@@ -1,0 +1,227 @@
+package dbrewllvm
+
+// The benchmarks in this file regenerate every figure of the paper's
+// evaluation (Section VI). Each benchmark reports the paper's metric as
+// custom units next to Go's timing output:
+//
+//	cyc/elem        modelled Haswell cycles per stencil element
+//	proj-seconds    projected run time of the full workload
+//	                (50,000 Jacobi iterations, 649x649 matrix, 3.5 GHz)
+//	compile-ms      transformation time (Figure 10)
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// The default matrix uses the paper's 649x649 configuration; set
+// -short to use a smaller matrix for quick runs.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+var (
+	wlOnce sync.Once
+	wl     *bench.Workload
+	wlErr  error
+)
+
+func workload(b *testing.B) *bench.Workload {
+	wlOnce.Do(func() {
+		size := 649
+		if testing.Short() {
+			size = 99
+		}
+		wl, wlErr = bench.NewWorkload(size)
+	})
+	if wlErr != nil {
+		b.Fatal(wlErr)
+	}
+	return wl
+}
+
+// benchVariant measures one (kind, structure, mode) bar.
+func benchVariant(b *testing.B, kind bench.Kind, s bench.Structure, m bench.Mode, o bench.Options) {
+	w := workload(b)
+	v, err := w.Prepare(kind, s, m, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last bench.Measurement
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last, err = w.MeasureRows(v, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(last.CyclesPerElem, "cyc/elem")
+	b.ReportMetric(last.Seconds, "proj-seconds")
+}
+
+// BenchmarkFig9aElement regenerates Figure 9a: the element kernel across
+// the three structures and five modes.
+func BenchmarkFig9aElement(b *testing.B) {
+	for _, s := range bench.AllStructures {
+		for _, m := range bench.AllModes {
+			b.Run(fmt.Sprintf("%s/%s", s, m), func(b *testing.B) {
+				benchVariant(b, bench.Element, s, m, bench.Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkFig9bLine regenerates Figure 9b: the line kernel.
+func BenchmarkFig9bLine(b *testing.B) {
+	for _, s := range bench.AllStructures {
+		for _, m := range bench.AllModes {
+			b.Run(fmt.Sprintf("%s/%s", s, m), func(b *testing.B) {
+				benchVariant(b, bench.Line, s, m, bench.Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkFig10CompileTime regenerates Figure 10: the transformation time
+// of each mode on the line kernels (the paper averages 1000 compiles; the
+// benchmark framework picks N).
+func BenchmarkFig10CompileTime(b *testing.B) {
+	for _, s := range bench.AllStructures {
+		for _, m := range []bench.Mode{bench.LLVM, bench.LLVMFix, bench.DBrew, bench.DBrewLLVM} {
+			b.Run(fmt.Sprintf("%s/%s", s, m), func(b *testing.B) {
+				w := workload(b)
+				var totalMS float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					v, err := w.Prepare(bench.Line, s, m, bench.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					totalMS += float64(v.CompileTime.Microseconds()) / 1000.0
+				}
+				b.StopTimer()
+				b.ReportMetric(totalMS/float64(b.N), "compile-ms")
+			})
+		}
+	}
+}
+
+// BenchmarkFig6FlagCache measures the flag-cache effect (Figure 6) on the
+// max kernel: identity-transformed code with and without the cache.
+func BenchmarkFig6FlagCache(b *testing.B) {
+	for _, cached := range []bool{true, false} {
+		name := "with-cache"
+		if !cached {
+			name = "without-cache"
+		}
+		b.Run(name, func(b *testing.B) {
+			w := workload(b)
+			lo := liftDefaultsWithFlagCache(cached)
+			v, err := w.Prepare(bench.Element, bench.Flat, bench.LLVM, bench.Options{LiftOpts: &lo})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last bench.Measurement
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				last, err = w.MeasureRows(v, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(last.CyclesPerElem, "cyc/elem")
+		})
+	}
+}
+
+// BenchmarkForcedVectorization regenerates the Section VI-B experiment.
+func BenchmarkForcedVectorization(b *testing.B) {
+	cases := []struct {
+		name string
+		run  func(w *bench.Workload) (bench.Measurement, error)
+	}{
+		{"gcc-aligned", func(w *bench.Workload) (bench.Measurement, error) {
+			v, err := w.Prepare(bench.Line, bench.Direct, bench.Native, bench.Options{})
+			if err != nil {
+				return bench.Measurement{}, err
+			}
+			return w.MeasureRows(v, 1)
+		}},
+		{"forced-width-2", func(w *bench.Workload) (bench.Measurement, error) {
+			v, err := w.Prepare(bench.Line, bench.Flat, bench.LLVMFix, bench.Options{ForceVectorWidth: 2})
+			if err != nil {
+				return bench.Measurement{}, err
+			}
+			return w.MeasureRows(v, 1)
+		}},
+		{"unforced-scalar", func(w *bench.Workload) (bench.Measurement, error) {
+			v, err := w.Prepare(bench.Line, bench.Flat, bench.LLVMFix, bench.Options{})
+			if err != nil {
+				return bench.Measurement{}, err
+			}
+			return w.MeasureRows(v, 1)
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			w := workload(b)
+			var last bench.Measurement
+			var err error
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				last, err = c.run(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(last.CyclesPerElem, "cyc/elem")
+		})
+	}
+}
+
+// BenchmarkAblations measures the lifter design choices of Section III
+// (flag cache, facet cache, GEP addressing) — the ablation study DESIGN.md
+// calls out.
+func BenchmarkAblations(b *testing.B) {
+	type cfg struct {
+		name       string
+		flagCache  bool
+		facetCache bool
+		useGEP     bool
+	}
+	cfgs := []cfg{
+		{"baseline", true, true, true},
+		{"no-flag-cache", false, true, true},
+		{"no-facet-cache", true, false, true},
+		{"no-gep", true, true, false},
+	}
+	for _, c := range cfgs {
+		b.Run(c.name, func(b *testing.B) {
+			w := workload(b)
+			lo := liftDefaultsWithFlagCache(c.flagCache)
+			lo.FacetCache = c.facetCache
+			lo.UseGEP = c.useGEP
+			v, err := w.Prepare(bench.Element, bench.Flat, bench.LLVM, bench.Options{LiftOpts: &lo})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last bench.Measurement
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				last, err = w.MeasureRows(v, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(last.CyclesPerElem, "cyc/elem")
+		})
+	}
+}

@@ -1,0 +1,165 @@
+// Command stencilbench regenerates the paper's evaluation artifacts
+// (Section VI): Figures 9a, 9b, and 10, the Figure 6 and Figure 8 code
+// listings, the Section VI-B forced-vectorization experiment, and the
+// design-choice ablations DESIGN.md calls out.
+//
+// Usage:
+//
+//	stencilbench -fig 9a            # element-kernel running times
+//	stencilbench -fig 9b            # line-kernel running times
+//	stencilbench -fig 10            # transformation times
+//	stencilbench -fig 6             # flag-cache IR comparison
+//	stencilbench -fig 8             # DBrew vs DBrew+LLVM listings
+//	stencilbench -fig vec           # forced vectorization
+//	stencilbench -fig ablation      # lifter/pipeline ablations
+//	stencilbench -fig all           # everything
+//
+// Flags -size and -rows trade fidelity for speed: the paper's matrix is
+// 649×649 (9×9 base grid with 80 interlines); the emulated sample is
+// extrapolated to 50,000 Jacobi iterations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 7, 9a, 9b, 10, 6, 8, vec, ablation, all")
+	size := flag.Int("size", 649, "matrix side length (paper: 649)")
+	rows := flag.Int("rows", 2, "interior rows to emulate per variant")
+	repeats := flag.Int("repeats", 10, "compile repetitions for figure 10 (paper: 1000)")
+	flag.Parse()
+
+	w, err := bench.NewWorkload(*size)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload: %dx%d matrix (paper: 9x9 base grid, 80 interlines -> 649), 4-point stencil\n\n", *size, *size)
+
+	run := func(name string, f func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+
+	run("7", func() error {
+		out, err := w.Figure7Layouts()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 7 — the two generic stencil data structures as serialized:")
+		fmt.Println(out)
+		return nil
+	})
+	run("9a", func() error {
+		r, err := w.RunFigure9(bench.Element, *rows)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		return nil
+	})
+	run("9b", func() error {
+		r, err := w.RunFigure9(bench.Line, *rows)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		return nil
+	})
+	run("10", func() error {
+		rows10, err := w.RunFigure10(*repeats)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatFigure10(rows10))
+		return nil
+	})
+	run("6", func() error {
+		with, without, err := w.Figure6IR()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 6 — optimized IR of max(a, b) with the flag cache:")
+		fmt.Println(indent(with))
+		fmt.Println("and without it (the SF/OF reconstruction survives -O3):")
+		fmt.Println(indent(without))
+		return nil
+	})
+	run("8", func() error {
+		d, l, err := w.Figure8Listings()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 8 — specialized stencil, plain DBrew backend:")
+		for _, s := range d {
+			fmt.Println("    " + s)
+		}
+		fmt.Println("\nafter LLVM post-processing:")
+		for _, s := range l {
+			fmt.Println("    " + s)
+		}
+		fmt.Println()
+		return nil
+	})
+	run("vec", func() error {
+		r, err := w.RunVectorization(*rows)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		return nil
+	})
+	run("ablation", func() error {
+		a, err := w.RunAblations(*rows)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatAblations(a))
+		for _, mode := range []bench.Mode{bench.DBrewLLVM, bench.LLVMFix} {
+			p, err := w.RunPassAblation(*rows, mode)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.FormatPassAblation(p, mode))
+		}
+		return nil
+	})
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			lines = append(lines, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		lines = append(lines, cur)
+	}
+	return lines
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stencilbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,262 @@
+// Package dbrewllvm is a from-scratch Go reproduction of
+//
+//	A. Engelke, J. Weidendorfer: "Using LLVM for Optimized Lightweight
+//	Binary Re-Writing at Runtime", HIPS workshop at IPDPS, 2017.
+//
+// It provides the paper's full stack as a library: DBrew-style dynamic
+// binary rewriting of x86-64 machine code (parameter fixation, fixed memory
+// regions, inlining, binary-level constant propagation and unrolling), an
+// x86-64 → SSA-IR lifter with the paper's register-facet and flag-cache
+// design, an -O3-like optimization pipeline, and a JIT backend that compiles
+// the IR back to x86-64 — all running against a built-in machine emulator
+// with a Haswell-like timing model, which substitutes for the paper's
+// hardware testbed (see DESIGN.md).
+//
+// The basic usage mirrors Figure 2/3 of the paper:
+//
+//	eng := dbrewllvm.NewEngine()
+//	// ... place machine code and data into eng.Mem ...
+//	r := dbrewllvm.NewRewriter(eng, funcAddr, dbrewllvm.Sig(dbrewllvm.Int, dbrewllvm.Int, dbrewllvm.Int))
+//	r.SetPar(1, 42)                      // parameter 1 fixed to 42
+//	r.SetBackend(dbrewllvm.BackendLLVM)  // lift + optimize + JIT (this paper)
+//	newFn, err := r.Rewrite()
+//	res, err := eng.Call(newFn, []uint64{1, 2}, nil)
+package dbrewllvm
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/dbrew"
+	"repro/internal/emu"
+	"repro/internal/ir"
+	"repro/internal/jit"
+	"repro/internal/lift"
+	"repro/internal/opt"
+)
+
+// Class re-exports the ABI parameter classes.
+type Class = abi.Class
+
+// Parameter classes for Sig.
+const (
+	Int   = abi.ClassInt
+	Ptr   = abi.ClassPtr
+	F64   = abi.ClassF64
+	NoRet = abi.ClassNone
+)
+
+// Signature describes a function boundary per the SysV AMD64 ABI.
+type Signature = abi.Signature
+
+// Sig builds a signature: return class first, then parameters.
+func Sig(ret Class, params ...Class) Signature { return abi.Sig(ret, params...) }
+
+// Engine owns an emulated address space and executes code in it. It stands
+// in for the host process of the original DBrew: functions live at
+// addresses, get rewritten into new addresses, and are called through the
+// SysV calling convention.
+type Engine struct {
+	Mem *emu.Memory
+}
+
+// NewEngine creates an empty engine.
+func NewEngine() *Engine {
+	return &Engine{Mem: emu.NewMemory(0x10000000)}
+}
+
+// Alloc reserves zeroed memory and returns its address.
+func (e *Engine) Alloc(size int, name string) uint64 {
+	return e.Mem.Alloc(size, 16, name).Start
+}
+
+// PlaceCode maps machine code at a fresh address and returns it.
+func (e *Engine) PlaceCode(code []byte, name string) uint64 {
+	r := e.Mem.Alloc(len(code), 16, name)
+	copy(r.Data, code)
+	return r.Start
+}
+
+// Call invokes the function at entry with the given integer/pointer and
+// float arguments, returning RAX. Use CallF for a floating-point result.
+func (e *Engine) Call(entry uint64, ints []uint64, floats []float64) (uint64, error) {
+	m := emu.NewMachine(e.Mem)
+	return m.Call(entry, emu.CallArgs{Ints: ints, Floats: floats}, 0)
+}
+
+// CallF invokes the function at entry and returns XMM0 as a float64.
+func (e *Engine) CallF(entry uint64, ints []uint64, floats []float64) (float64, error) {
+	m := emu.NewMachine(e.Mem)
+	if _, err := m.Call(entry, emu.CallArgs{Ints: ints, Floats: floats}, 0); err != nil {
+		return 0, err
+	}
+	return ir.RV{Lo: m.XMM[0].Lo}.F64(), nil
+}
+
+// Measure runs the function and reports modelled cycles and retired
+// instructions alongside the result.
+func (e *Engine) Measure(entry uint64, ints []uint64, floats []float64) (rax uint64, cycles float64, insts uint64, err error) {
+	m := emu.NewMachine(e.Mem)
+	rax, err = m.Call(entry, emu.CallArgs{Ints: ints, Floats: floats}, 0)
+	return rax, m.Cycles, m.InstCount, err
+}
+
+// Backend selects the code generator of a Rewriter, the configuration this
+// paper adds to DBrew (Section II): the classic binary encoder, or the
+// lift → optimize → JIT pipeline.
+type Backend int
+
+// Backends.
+const (
+	BackendDBrew Backend = iota
+	BackendLLVM
+)
+
+// Rewriter mirrors the dbrew_rewriter object: configure known values, pick
+// a backend, call Rewrite to obtain a drop-in replacement function.
+type Rewriter struct {
+	eng     *Engine
+	entry   uint64
+	sig     Signature
+	backend Backend
+	rw      *dbrew.Rewriter
+
+	// FastMath enables floating-point optimizations (-ffast-math analog)
+	// in the LLVM backend. Default true, as in the paper's evaluation.
+	FastMath bool
+	// ForceVectorWidth forces loop vectorization at the given width (only
+	// 2 is supported), Section VI-B's experiment.
+	ForceVectorWidth int
+
+	// Stats of the last Rewrite (valid for both backends).
+	Stats dbrew.Stats
+	// CodeSize is the size in bytes of the finally generated code.
+	CodeSize int
+}
+
+// NewRewriter creates a rewriter for the function at entry.
+func NewRewriter(e *Engine, entry uint64, sig Signature) *Rewriter {
+	return &Rewriter{
+		eng:      e,
+		entry:    entry,
+		sig:      sig,
+		rw:       dbrew.NewRewriter(e.Mem, entry, sig),
+		FastMath: true,
+	}
+}
+
+// SetPar fixes parameter idx to a known integer value (dbrew_setpar).
+func (r *Rewriter) SetPar(idx int, v uint64) { r.rw.SetPar(idx, v) }
+
+// SetParPtr fixes parameter idx to a pointer whose target region holds
+// fixed values.
+func (r *Rewriter) SetParPtr(idx int, addr uint64, size int) { r.rw.SetParPtr(idx, addr, size) }
+
+// SetMem declares [start, end) as fixed memory (dbrew_setmem).
+func (r *Rewriter) SetMem(start, end uint64) { r.rw.SetMem(start, end) }
+
+// SetBackend selects the code generation backend.
+func (r *Rewriter) SetBackend(b Backend) { r.backend = b }
+
+// SetConfig forwards DBrew resource limits.
+func (r *Rewriter) SetConfig(c dbrew.Config) { r.rw.SetConfig(c) }
+
+// Rewrite produces the specialized function. With BackendDBrew the binary
+// encoder emits the result directly; with BackendLLVM the DBrew output is
+// lifted to IR, optimized at -O3, and JIT-compiled (Figure 1's full path).
+// On unrecoverable failure the original entry is returned, preserving
+// correctness as DBrew's default error handler does.
+func (r *Rewriter) Rewrite() (uint64, error) {
+	addr, err := r.rw.Rewrite()
+	r.Stats = r.rw.Stats
+	r.CodeSize = r.Stats.CodeSize
+	if err != nil {
+		return 0, err
+	}
+	if r.backend == BackendDBrew || r.Stats.Failed {
+		return addr, nil
+	}
+	l := lift.New(r.eng.Mem, lift.DefaultOptions())
+	f, err := l.LiftFunc(addr, "rewritten", r.sig)
+	if err != nil {
+		// Lifting failure falls back to the DBrew output.
+		return addr, nil
+	}
+	cfg := opt.O3()
+	cfg.FastMath = r.FastMath
+	cfg.ForceVectorWidth = r.ForceVectorWidth
+	opt.Optimize(f, cfg)
+	comp := jit.NewCompiler(r.eng.Mem)
+	jaddr, err := comp.CompileModule(l.Module, f.Nam)
+	if err != nil {
+		return addr, nil
+	}
+	r.CodeSize = comp.Sizes[jaddr]
+	return jaddr, nil
+}
+
+// LiftResult carries a lifted function and its module for inspection or
+// further transformation.
+type LiftResult struct {
+	Func   *ir.Func
+	Module *ir.Module
+	lifter *lift.Lifter
+}
+
+// Lift converts the function at entry into SSA IR (Section III) without
+// specializing it.
+func (e *Engine) Lift(entry uint64, name string, sig Signature) (*LiftResult, error) {
+	l := lift.New(e.Mem, lift.DefaultOptions())
+	f, err := l.LiftFunc(entry, name, sig)
+	if err != nil {
+		return nil, err
+	}
+	return &LiftResult{Func: f, Module: l.Module, lifter: l}, nil
+}
+
+// LiftWith converts with explicit lifter options (flag cache, facet cache,
+// GEP addressing — the paper's design switches).
+func (e *Engine) LiftWith(entry uint64, name string, sig Signature, o lift.Options) (*LiftResult, error) {
+	l := lift.New(e.Mem, o)
+	f, err := l.LiftFunc(entry, name, sig)
+	if err != nil {
+		return nil, err
+	}
+	return &LiftResult{Func: f, Module: l.Module, lifter: l}, nil
+}
+
+// Optimize runs the -O3-like pipeline on the lifted function.
+func (lr *LiftResult) Optimize() opt.Stats { return opt.Optimize(lr.Func, opt.O3()) }
+
+// Compile JIT-compiles the (optimized) function back into the engine's
+// address space and returns its entry.
+func (lr *LiftResult) Compile(e *Engine) (uint64, error) {
+	comp := jit.NewCompiler(e.Mem)
+	return comp.CompileModule(lr.Module, lr.Func.Nam)
+}
+
+// IR returns the function's textual IR (LLVM-like syntax).
+func (lr *LiftResult) IR() string { return ir.FormatFunc(lr.Func) }
+
+// Disassemble renders size bytes of machine code at addr, one instruction
+// per line.
+func (e *Engine) Disassemble(addr uint64, size int) ([]string, error) {
+	return dbrew.Listing(e.Mem, addr, size)
+}
+
+// Verify re-checks the structural invariants of a lifted function.
+func (lr *LiftResult) Verify() error { return ir.Verify(lr.Func) }
+
+// String summarizes rewriting statistics.
+func StatsString(s dbrew.Stats) string {
+	return fmt.Sprintf("decoded %d, emitted %d, eliminated %d, inlined %d, code %d bytes",
+		s.Decoded, s.Emitted, s.Eliminated, s.Inlined, s.CodeSize)
+}
+
+// liftDefaultsWithFlagCache returns the default lifter options with the
+// flag cache toggled — a convenience for the Figure 6 benchmarks.
+func liftDefaultsWithFlagCache(on bool) lift.Options {
+	o := lift.DefaultOptions()
+	o.FlagCache = on
+	return o
+}

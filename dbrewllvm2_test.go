@@ -1,0 +1,170 @@
+package dbrewllvm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dbrew"
+	"repro/internal/lift"
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
+)
+
+// buildDot assembles f(p, n_unused) = p[0]*2.0 + p[1], reading two doubles
+// through the pointer parameter.
+func buildDot(t *testing.T, e *Engine) uint64 {
+	t.Helper()
+	b := asm.NewBuilder()
+	b.I(x86.MOVSD_X, x86.X(x86.XMM0), x86.MemBD(8, x86.RDI, 0))
+	b.I(x86.ADDSD, x86.X(x86.XMM0), x86.X(x86.XMM0))
+	b.I(x86.ADDSD, x86.X(x86.XMM0), x86.MemBD(8, x86.RDI, 8))
+	b.Ret()
+	code, _, err := b.Assemble(0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.PlaceCode(code, "dot")
+}
+
+func TestAllocAndCallF(t *testing.T) {
+	e := NewEngine()
+	buf := e.Alloc(16, "coeffs")
+	if buf == 0 {
+		t.Fatal("Alloc returned null address")
+	}
+	if err := e.Mem.WriteFloat64(buf, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Mem.WriteFloat64(buf+8, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	fn := buildDot(t, e)
+	got, err := e.CallF(fn, []uint64{buf}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3.25 {
+		t.Errorf("dot = %g, want 3.25", got)
+	}
+}
+
+// TestSetParPtrSpecializesLoads: fixing a pointer parameter whose target is
+// declared constant folds the loads into immediates (Figure 3's
+// dbrew_setpar + dbrew_setmem combination).
+func TestSetParPtrSpecializesLoads(t *testing.T) {
+	for _, backend := range []Backend{BackendDBrew, BackendLLVM} {
+		e := NewEngine()
+		buf := e.Alloc(16, "coeffs")
+		if err := e.Mem.WriteFloat64(buf, 2.0); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Mem.WriteFloat64(buf+8, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		fn := buildDot(t, e)
+
+		r := NewRewriter(e, fn, Sig(F64, Ptr))
+		r.SetParPtr(0, buf, 16)
+		r.SetBackend(backend)
+		newFn, err := r.Rewrite()
+		if err != nil {
+			t.Fatalf("backend %v: %v", backend, err)
+		}
+		if newFn == fn {
+			t.Fatalf("backend %v: rewrite fell back to the original", backend)
+		}
+		got, err := e.CallF(newFn, []uint64{buf}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 4.5 {
+			t.Errorf("backend %v: specialized dot = %g, want 4.5", backend, got)
+		}
+	}
+}
+
+// TestSetMemEquivalent: SetMem on the region (instead of SetParPtr's
+// implied range) yields the same specialization when the parameter value
+// is fixed separately.
+func TestSetMemEquivalent(t *testing.T) {
+	e := NewEngine()
+	buf := e.Alloc(16, "coeffs")
+	if err := e.Mem.WriteFloat64(buf, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Mem.WriteFloat64(buf+8, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	fn := buildDot(t, e)
+	r := NewRewriter(e, fn, Sig(F64, Ptr))
+	r.SetPar(0, buf)
+	r.SetMem(buf, buf+16)
+	newFn, err := r.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.CallF(newFn, []uint64{0 /* pointer now baked in */}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4.5 {
+		t.Errorf("specialized dot = %g, want 4.5", got)
+	}
+}
+
+// TestSetConfigBufferLimit: an absurdly small buffer forces the error
+// handler path; the default handler returns the original function.
+func TestSetConfigBufferLimit(t *testing.T) {
+	e := NewEngine()
+	fn := buildDot(t, e)
+	r := NewRewriter(e, fn, Sig(F64, Ptr))
+	r.SetConfig(dbrew.Config{BufferSize: 1})
+	newFn, err := r.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newFn != fn {
+		t.Errorf("tiny buffer must fall back to the original entry")
+	}
+	if !r.Stats.Failed {
+		t.Error("Stats.Failed must be set after fallback")
+	}
+}
+
+func TestLiftWithOptionSwitches(t *testing.T) {
+	e := NewEngine()
+	fn := buildMax(t, e)
+	withCache, err := e.LiftWith(fn, "m1", Sig(Int, Int, Int), lift.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := lift.DefaultOptions()
+	o.FlagCache = false
+	without, err := e.LiftWith(fn, "m2", Sig(Int, Int, Int), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCache.Optimize()
+	without.Optimize()
+	if err := withCache.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := without.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 6: the flag cache collapses cmp+cmov into icmp+select; without
+	// it the sign/overflow flags are computed explicitly, leaving more
+	// instructions behind.
+	if nc, nw := withCache.Func.NumInsts(), without.Func.NumInsts(); nc >= nw {
+		t.Errorf("flag cache must shrink the optimized IR: %d vs %d", nc, nw)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := StatsString(dbrew.Stats{Decoded: 4, Emitted: 3, Eliminated: 1, CodeSize: 17})
+	for _, want := range []string{"decoded 4", "emitted 3", "eliminated 1", "17 bytes"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("StatsString missing %q in %q", want, s)
+		}
+	}
+}

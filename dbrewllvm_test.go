@@ -1,0 +1,125 @@
+package dbrewllvm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
+)
+
+// buildMax assembles the Figure 6 max(a, b) function.
+func buildMax(t *testing.T, e *Engine) uint64 {
+	t.Helper()
+	b := asm.NewBuilder()
+	b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+	b.I(x86.CMP, x86.R64(x86.RDI), x86.R64(x86.RSI))
+	b.Emit(x86.Inst{Op: x86.CMOVCC, Cond: x86.CondL, Dst: x86.R64(x86.RAX), Src: x86.R64(x86.RSI)})
+	b.Ret()
+	code, _, err := b.Assemble(0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.PlaceCode(code, "max")
+}
+
+// buildMulAdd assembles f(a, b) = a*3 + b.
+func buildMulAdd(t *testing.T, e *Engine) uint64 {
+	t.Helper()
+	b := asm.NewBuilder()
+	b.I(x86.IMUL3, x86.R64(x86.RAX), x86.R64(x86.RDI), x86.Imm(3, 8))
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RSI))
+	b.Ret()
+	code, _, err := b.Assemble(0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.PlaceCode(code, "muladd")
+}
+
+func TestEngineCall(t *testing.T) {
+	e := NewEngine()
+	fn := buildMax(t, e)
+	got, err := e.Call(fn, []uint64{3, 9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Errorf("max(3,9) = %d", got)
+	}
+}
+
+func TestRewriterBothBackends(t *testing.T) {
+	for _, backend := range []Backend{BackendDBrew, BackendLLVM} {
+		e := NewEngine()
+		fn := buildMulAdd(t, e)
+		r := NewRewriter(e, fn, Sig(Int, Int, Int))
+		r.SetPar(0, 42) // Figure 3: parameter fixed to 42
+		r.SetBackend(backend)
+		newFn, err := r.Rewrite()
+		if err != nil {
+			t.Fatalf("backend %d: %v", backend, err)
+		}
+		if r.Stats.Failed {
+			t.Fatalf("backend %d: rewriting failed: %v", backend, r.Stats.Err)
+		}
+		got, err := e.Call(newFn, []uint64{1, 2}, nil) // par 0 ignored: uses 42
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 42*3+2 {
+			t.Errorf("backend %d: specialized f(1,2) = %d, want 128", backend, got)
+		}
+	}
+}
+
+func TestLiftOptimizeCompile(t *testing.T) {
+	e := NewEngine()
+	fn := buildMax(t, e)
+	lr, err := e.Lift(fn, "max", Sig(Int, Int, Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	lr.Optimize()
+	if !strings.Contains(lr.IR(), "icmp slt") {
+		t.Errorf("flag cache should yield a direct comparison:\n%s", lr.IR())
+	}
+	jfn, err := lr.Compile(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Call(jfn, []uint64{^uint64(4), 2}, nil) // max(-5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(got) != 2 {
+		t.Errorf("compiled max(-5,2) = %d", int64(got))
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	e := NewEngine()
+	fn := buildMax(t, e)
+	lst, err := e.Disassemble(fn, 11) // mov(3) + cmp(3) + cmovl(4) + ret(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lst) != 4 || !strings.Contains(lst[2], "cmovl") {
+		t.Errorf("unexpected listing: %v", lst)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	e := NewEngine()
+	fn := buildMax(t, e)
+	_, cycles, insts, err := e.Measure(fn, []uint64{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insts != 4 || cycles <= 0 {
+		t.Errorf("measured %d insts, %.2f cycles", insts, cycles)
+	}
+}

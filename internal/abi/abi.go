@@ -1,0 +1,70 @@
+// Package abi models the System V AMD64 calling convention subset used
+// throughout the reproduction: integer/pointer arguments in RDI, RSI, RDX,
+// RCX, R8, R9; floating-point arguments in XMM0..XMM7; integer results in
+// RAX and floating results in XMM0. DBrew's parameter-fixation API and the
+// lifter's function-signature mapping both rely on this (Section II and
+// Section III.A of the paper).
+package abi
+
+import "repro/internal/x86"
+
+// Class categorizes one parameter or return slot.
+type Class uint8
+
+// Parameter classes.
+const (
+	ClassNone Class = iota
+	ClassInt        // 64-bit integer
+	ClassPtr        // pointer
+	ClassF64        // double
+)
+
+// Signature describes a function's parameters and result.
+type Signature struct {
+	Params []Class
+	Ret    Class
+}
+
+// Sig builds a signature.
+func Sig(ret Class, params ...Class) Signature {
+	return Signature{Params: params, Ret: ret}
+}
+
+// IntArgRegs is the SysV integer argument register order.
+var IntArgRegs = []x86.Reg{x86.RDI, x86.RSI, x86.RDX, x86.RCX, x86.R8, x86.R9}
+
+// ParamLocation describes where one parameter lives.
+type ParamLocation struct {
+	Reg   x86.Reg // integer or XMM register
+	IsFP  bool
+	Index int // parameter index
+}
+
+// Locations maps every parameter of sig to its register. The paper's note
+// about parameter slots applies: each parameter here occupies exactly one
+// 64-bit slot, so the mapping is 1:1.
+func (s Signature) Locations() []ParamLocation {
+	var locs []ParamLocation
+	nInt, nFP := 0, 0
+	for i, c := range s.Params {
+		switch c {
+		case ClassF64:
+			locs = append(locs, ParamLocation{Reg: x86.XMM0 + x86.Reg(nFP), IsFP: true, Index: i})
+			nFP++
+		default:
+			locs = append(locs, ParamLocation{Reg: IntArgRegs[nInt], Index: i})
+			nInt++
+		}
+	}
+	return locs
+}
+
+// CallerSaved lists the registers a call clobbers under SysV (excluding the
+// return registers, which the caller reads afterwards).
+var CallerSaved = []x86.Reg{
+	x86.RAX, x86.RCX, x86.RDX, x86.RSI, x86.RDI,
+	x86.R8, x86.R9, x86.R10, x86.R11,
+}
+
+// CalleeSaved lists registers preserved across calls.
+var CalleeSaved = []x86.Reg{x86.RBX, x86.RBP, x86.R12, x86.R13, x86.R14, x86.R15}

@@ -1,0 +1,43 @@
+package abi
+
+import (
+	"testing"
+
+	"repro/internal/x86"
+)
+
+func TestLocations(t *testing.T) {
+	sig := Signature{Params: []Class{ClassPtr, ClassF64, ClassInt, ClassF64, ClassInt}}
+	locs := sig.Locations()
+	want := []struct {
+		reg x86.Reg
+		fp  bool
+	}{
+		{x86.RDI, false}, {x86.XMM0, true}, {x86.RSI, false}, {x86.XMM1, true}, {x86.RDX, false},
+	}
+	for i, w := range want {
+		if locs[i].Reg != w.reg || locs[i].IsFP != w.fp || locs[i].Index != i {
+			t.Errorf("param %d: got %+v, want reg %v fp %v", i, locs[i], w.reg, w.fp)
+		}
+	}
+}
+
+func TestSig(t *testing.T) {
+	s := Sig(ClassF64, ClassPtr, ClassInt)
+	if s.Ret != ClassF64 || len(s.Params) != 2 {
+		t.Errorf("unexpected signature %+v", s)
+	}
+}
+
+func TestRegisterSets(t *testing.T) {
+	seen := map[x86.Reg]bool{}
+	for _, r := range append(append([]x86.Reg{}, CallerSaved...), CalleeSaved...) {
+		if seen[r] {
+			t.Errorf("register %v in both sets", r)
+		}
+		seen[r] = true
+	}
+	if seen[x86.RSP] {
+		t.Error("rsp must not be in either set")
+	}
+}

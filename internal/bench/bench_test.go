@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestAllVariantsSmall prepares and verifies every (kind, structure, mode)
+// combination on a small matrix: each variant must produce bit-correct rows.
+func TestAllVariantsSmall(t *testing.T) {
+	w, err := NewWorkload(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []Kind{Element, Line} {
+		for _, s := range AllStructures {
+			for _, mode := range AllModes {
+				v, err := w.Prepare(kind, s, mode, Options{})
+				if err != nil {
+					t.Errorf("%v/%v/%v: prepare: %v", kind, s, mode, err)
+					continue
+				}
+				meas, err := w.MeasureRows(v, 2)
+				if err != nil {
+					t.Errorf("%v/%v/%v: %v", kind, s, mode, err)
+					continue
+				}
+				if meas.CyclesPerElem <= 0 {
+					t.Errorf("%v/%v/%v: no cycles measured", kind, s, mode)
+				}
+				t.Logf("%v/%-12v/%-10v: %6.2f cyc/elem %6.1f inst/elem (%s)",
+					kind, s, mode, meas.CyclesPerElem, meas.InstsPerElem, v.Notes)
+			}
+		}
+	}
+}
+
+// TestPaperSizeVariants spot-checks the paper's 649 configuration for the
+// most complex combinations.
+func TestPaperSizeVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	w, err := NewWorkload(649)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		kind Kind
+		s    Structure
+		mode Mode
+	}{
+		{Element, Flat, DBrew},
+		{Element, Flat, DBrewLLVM},
+		{Element, Flat, LLVMFix},
+		{Element, Sorted, DBrewLLVM},
+		{Line, Flat, DBrew},
+		{Line, Sorted, DBrewLLVM},
+		{Line, Direct, LLVM},
+	} {
+		v, err := w.Prepare(cfg.kind, cfg.s, cfg.mode, Options{})
+		if err != nil {
+			t.Errorf("%v/%v/%v: prepare: %v", cfg.kind, cfg.s, cfg.mode, err)
+			continue
+		}
+		meas, err := w.MeasureRows(v, 1)
+		if err != nil {
+			t.Errorf("%v/%v/%v: %v", cfg.kind, cfg.s, cfg.mode, err)
+			continue
+		}
+		t.Logf("%v/%-12v/%-10v: %6.2f cyc/elem -> %7.2f s (%s)",
+			cfg.kind, cfg.s, cfg.mode, meas.CyclesPerElem, meas.Seconds, v.Notes)
+	}
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/stencil"
+)
+
+// TestEightPointAllModes runs the 8-point stencil (two coefficient groups,
+// diagonal taps) through every generic mode: this exercises multi-group
+// sorted loops, 8-way unrolling under parameter fixation, and DBrew's
+// recursive pointer following over two group records.
+func TestEightPointAllModes(t *testing.T) {
+	w, err := NewWorkloadStencil(33, stencil.EightPoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []Kind{Element, Line} {
+		for _, s := range []Structure{Flat, Sorted} {
+			for _, mode := range AllModes {
+				v, err := w.Prepare(kind, s, mode, Options{})
+				if err != nil {
+					t.Errorf("%v/%v/%v: prepare: %v", kind, s, mode, err)
+					continue
+				}
+				m, err := w.MeasureRows(v, 2)
+				if err != nil {
+					t.Errorf("%v/%v/%v: %v", kind, s, mode, err)
+					continue
+				}
+				t.Logf("%v/%-12v/%-10v: %6.2f cyc/elem (%s)", kind, s, mode, m.CyclesPerElem, v.Notes)
+			}
+		}
+	}
+}
+
+// TestEightPointSpecializationShape: the sorted structure's advantage (one
+// multiply per group) must show under DBrew with two groups.
+func TestEightPointSpecializationShape(t *testing.T) {
+	w, err := NewWorkloadStencil(33, stencil.EightPoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(s Structure, m Mode) float64 {
+		v, err := w.Prepare(Element, s, m, Options{})
+		if err != nil {
+			t.Fatalf("%v/%v: %v", s, m, err)
+		}
+		meas, err := w.MeasureRows(v, 2)
+		if err != nil {
+			t.Fatalf("%v/%v: %v", s, m, err)
+		}
+		return meas.CyclesPerElem
+	}
+	flatDBrew := get(Flat, DBrew)
+	sortedDBrew := get(Sorted, DBrew)
+	if sortedDBrew >= flatDBrew {
+		t.Errorf("sorted DBrew (%.2f) should beat flat DBrew (%.2f): 2 multiplies vs 8", sortedDBrew, flatDBrew)
+	}
+	flatNative := get(Flat, Native)
+	flatFix := get(Flat, LLVMFix)
+	if flatFix >= flatNative/2 {
+		t.Errorf("8-point flat LLVM-fix (%.2f) should strongly improve on native (%.2f)", flatFix, flatNative)
+	}
+}

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/emu"
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
+)
+
+// buildDriver4 emits the element-kernel measurement loop for the standard
+// four-argument signature (s, m1, m2, idx): it walks n elements calling the
+// kernel, mirroring the benchmark loop of the paper's evaluation.
+func buildDriver4(b *asm.Builder, target uint64) {
+	loop := b.NewLabel()
+	done := b.NewLabel()
+	b.I(x86.TEST, x86.R64(x86.R8), x86.R64(x86.R8))
+	b.Jcc(x86.CondLE, done)
+	b.I(x86.PUSH, x86.R64(x86.RBX))
+	b.I(x86.PUSH, x86.R64(x86.R12))
+	b.I(x86.PUSH, x86.R64(x86.R13))
+	b.I(x86.PUSH, x86.R64(x86.R14))
+	b.I(x86.PUSH, x86.R64(x86.R15))
+	b.I(x86.MOV, x86.R64(x86.RBX), x86.R64(x86.RDI))
+	b.I(x86.MOV, x86.R64(x86.R12), x86.R64(x86.RSI))
+	b.I(x86.MOV, x86.R64(x86.R13), x86.R64(x86.RDX))
+	b.I(x86.MOV, x86.R64(x86.R14), x86.R64(x86.RCX))
+	b.I(x86.MOV, x86.R64(x86.R15), x86.R64(x86.R8))
+	b.Bind(loop)
+	b.I(x86.MOV, x86.R64(x86.RDI), x86.R64(x86.RBX))
+	b.I(x86.MOV, x86.R64(x86.RSI), x86.R64(x86.R12))
+	b.I(x86.MOV, x86.R64(x86.RDX), x86.R64(x86.R13))
+	b.I(x86.MOV, x86.R64(x86.RCX), x86.R64(x86.R14))
+	b.Call(target)
+	b.I(x86.ADD, x86.R64(x86.R14), x86.Imm(1, 8))
+	b.I(x86.SUB, x86.R64(x86.R15), x86.Imm(1, 8))
+	b.Jcc(x86.CondNE, loop)
+	b.I(x86.POP, x86.R64(x86.R15))
+	b.I(x86.POP, x86.R64(x86.R14))
+	b.I(x86.POP, x86.R64(x86.R13))
+	b.I(x86.POP, x86.R64(x86.R12))
+	b.I(x86.POP, x86.R64(x86.RBX))
+	b.Bind(done)
+	b.Ret()
+}
+
+// buildDriver3 is the same loop for LLVM-fix variants whose stencil argument
+// was fixed away: the kernel takes (m1, m2, idx). The driver still receives
+// (s, m1, m2, idx0, n) so callers are uniform; s is ignored.
+func buildDriver3(b *asm.Builder, target uint64) {
+	loop := b.NewLabel()
+	done := b.NewLabel()
+	b.I(x86.TEST, x86.R64(x86.R8), x86.R64(x86.R8))
+	b.Jcc(x86.CondLE, done)
+	b.I(x86.PUSH, x86.R64(x86.R12))
+	b.I(x86.PUSH, x86.R64(x86.R13))
+	b.I(x86.PUSH, x86.R64(x86.R14))
+	b.I(x86.PUSH, x86.R64(x86.R15))
+	b.I(x86.MOV, x86.R64(x86.R12), x86.R64(x86.RSI))
+	b.I(x86.MOV, x86.R64(x86.R13), x86.R64(x86.RDX))
+	b.I(x86.MOV, x86.R64(x86.R14), x86.R64(x86.RCX))
+	b.I(x86.MOV, x86.R64(x86.R15), x86.R64(x86.R8))
+	b.Bind(loop)
+	b.I(x86.MOV, x86.R64(x86.RDI), x86.R64(x86.R12))
+	b.I(x86.MOV, x86.R64(x86.RSI), x86.R64(x86.R13))
+	b.I(x86.MOV, x86.R64(x86.RDX), x86.R64(x86.R14))
+	b.Call(target)
+	b.I(x86.ADD, x86.R64(x86.R14), x86.Imm(1, 8))
+	b.I(x86.SUB, x86.R64(x86.R15), x86.Imm(1, 8))
+	b.Jcc(x86.CondNE, loop)
+	b.I(x86.POP, x86.R64(x86.R15))
+	b.I(x86.POP, x86.R64(x86.R14))
+	b.I(x86.POP, x86.R64(x86.R13))
+	b.I(x86.POP, x86.R64(x86.R12))
+	b.Bind(done)
+	b.Ret()
+}
+
+// Measurement is one timing result, projected onto the paper's workload.
+type Measurement struct {
+	CyclesPerElem float64
+	InstsPerElem  float64
+	// Seconds projects the full evaluation workload: Iters Jacobi
+	// iterations over the interior of the SZ×SZ matrix at the model clock.
+	Seconds float64
+	// ElementsMeasured is the emulated sample size.
+	ElementsMeasured int
+}
+
+// Iters is the paper's iteration count (50,000 Jacobi iterations).
+const Iters = 50000
+
+// MeasureRows runs the variant over the given number of interior rows and
+// verifies every produced element against the Go reference before reporting
+// timing. The emulated sample is extrapolated to the full workload.
+func (w *Workload) MeasureRows(v *Variant, rows int) (Measurement, error) {
+	if rows <= 0 {
+		rows = 2
+	}
+	n := w.SZ - 2 // interior elements per row
+
+	var entry uint64
+	var err error
+	if v.Kind == Element {
+		if v.driver == 0 {
+			v.driver, err = w.driverFor(v)
+			if err != nil {
+				return Measurement{}, err
+			}
+		}
+		entry = v.driver
+	} else {
+		entry = v.Entry
+	}
+
+	m := emu.NewMachine(w.Mem)
+	m.ResetStats()
+	ref := w.M1.Slice()
+	for r := 0; r < rows; r++ {
+		row := 1 + (r % (w.SZ - 2))
+		idx0 := uint64(row*w.SZ + 1)
+		args := []uint64{v.StencilAddr, w.M1.Region.Start, w.M2.Region.Start, idx0, uint64(n)}
+		if v.Kind == Line && v.DropStencilArg {
+			args = []uint64{w.M1.Region.Start, w.M2.Region.Start, idx0, uint64(n)}
+		}
+		if _, err := m.Call(entry, emu.CallArgs{Ints: args}, 0); err != nil {
+			return Measurement{}, fmt.Errorf("bench: %v/%v/%v run: %w", v.Kind, v.Structure, v.Mode, err)
+		}
+		// Verify the row.
+		for col := 1; col < w.SZ-1; col++ {
+			idx := row*w.SZ + col
+			want := w.Stencil.Apply(ref, w.SZ, idx)
+			got := w.M2.Get(row, col)
+			if math.Abs(got-want) > 1e-9 {
+				return Measurement{}, fmt.Errorf("bench: %v/%v/%v wrong result at (%d,%d): got %g want %g",
+					v.Kind, v.Structure, v.Mode, row, col, got, want)
+			}
+		}
+	}
+
+	elems := rows * n
+	cpe := m.Cycles / float64(elems)
+	ipe := float64(m.InstCount) / float64(elems)
+	totalElems := float64(Iters) * float64(n) * float64(n)
+	secs := cpe * totalElems / m.Cost.ClockHz
+	return Measurement{
+		CyclesPerElem:    cpe,
+		InstsPerElem:     ipe,
+		Seconds:          secs,
+		ElementsMeasured: elems,
+	}, nil
+}

@@ -1,0 +1,260 @@
+package crosstest
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dbrew"
+	"repro/internal/emu"
+	"repro/internal/ir"
+	"repro/internal/jit"
+	"repro/internal/lift"
+	"repro/internal/opt"
+)
+
+// inputs exercised for every generated program.
+var inputPairs = [][2]uint64{
+	{0, 0},
+	{1, 2},
+	{0xFFFFFFFFFFFFFFFF, 1},
+	{0x8000000000000000, 0x7FFFFFFFFFFFFFFF},
+	{12345, 678910},
+	{0xDEADBEEF, 0xCAFEBABE12345678},
+}
+
+// TestDifferential runs each generated program through all five execution
+// paths and requires identical results and identical scratch memory.
+func TestDifferential(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		p, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		runDifferential(t, p)
+	}
+}
+
+func runDifferential(t *testing.T, p *Program) {
+	t.Helper()
+	sig := p.Sig()
+
+	// Build all variants once, in one address space.
+	mem, entry, scratch, err := p.Place()
+	if err != nil {
+		t.Fatalf("%s: place: %v", p.Desc, err)
+	}
+
+	// Variant A: lifted (raw) for the interpreter.
+	lRaw := lift.New(mem, lift.DefaultOptions())
+	fRaw, err := lRaw.LiftFunc(entry, "raw", sig)
+	if err != nil {
+		t.Fatalf("%s: lift: %v", p.Desc, err)
+	}
+	// Variant B: lifted + O3, interpreted and JIT-compiled.
+	lOpt := lift.New(mem, lift.DefaultOptions())
+	fOpt, err := lOpt.LiftFunc(entry, "opt", sig)
+	if err != nil {
+		t.Fatalf("%s: lift2: %v", p.Desc, err)
+	}
+	// Strict FP: fast-math legitimately changes signed zeros and
+	// association, which would break bit-exact differential comparison.
+	cfg := opt.O3()
+	cfg.FastMath = false
+	opt.Optimize(fOpt, cfg)
+	if err := ir.Verify(fOpt); err != nil {
+		t.Fatalf("%s: post-O3 verify: %v", p.Desc, err)
+	}
+	comp := jit.NewCompiler(mem)
+	jitEntry, err := comp.CompileModule(lOpt.Module, "opt")
+	if err != nil {
+		t.Fatalf("%s: jit: %v\n%s", p.Desc, err, ir.FormatFunc(fOpt))
+	}
+	// Variant C: DBrew identity rewrite.
+	rw := dbrew.NewRewriter(mem, entry, sig)
+	dbrewEntry, err := rw.Rewrite()
+	if err != nil {
+		t.Fatalf("%s: dbrew: %v", p.Desc, err)
+	}
+	if rw.Stats.Failed {
+		t.Fatalf("%s: dbrew fell back: %v", p.Desc, rw.Stats.Err)
+	}
+
+	for _, in := range inputPairs {
+		// Native reference.
+		if err := ResetScratch(mem, scratch); err != nil {
+			t.Fatal(err)
+		}
+		want, wantBuf, err := RunNative(mem, entry, scratch, p, in[0], in[1])
+		if err != nil {
+			t.Fatalf("%s in=%v: native: %v", p.Desc, in, err)
+		}
+
+		// Raw lifted IR, interpreted.
+		ResetScratch(mem, scratch)
+		got, buf := runInterp(t, p, mem, fRaw, scratch, in)
+		check(t, p, "lift+interp", in, want, got, wantBuf, buf)
+
+		// Optimized IR, interpreted.
+		ResetScratch(mem, scratch)
+		got, buf = runInterp(t, p, mem, fOpt, scratch, in)
+		check(t, p, "lift+O3+interp", in, want, got, wantBuf, buf)
+
+		// Optimized IR, JIT-compiled, emulated.
+		ResetScratch(mem, scratch)
+		got, buf, err = RunNative(mem, jitEntry, scratch, p, in[0], in[1])
+		if err != nil {
+			t.Fatalf("%s in=%v: jit run: %v", p.Desc, in, err)
+		}
+		check(t, p, "lift+O3+jit", in, want, got, wantBuf, buf)
+
+		// DBrew identity rewrite, emulated.
+		ResetScratch(mem, scratch)
+		got, buf, err = RunNative(mem, dbrewEntry, scratch, p, in[0], in[1])
+		if err != nil {
+			t.Fatalf("%s in=%v: dbrew run: %v", p.Desc, in, err)
+		}
+		check(t, p, "dbrew", in, want, got, wantBuf, buf)
+	}
+}
+
+func runInterp(t *testing.T, p *Program, mem *emu.Memory, f *ir.Func, scratch uint64, in [2]uint64) (uint64, []byte) {
+	t.Helper()
+	ip := ir.NewInterp(mem)
+	ip.MaxSteps = 5_000_000
+	res, err := ip.CallFunc(f, []ir.RV{{Lo: in[0]}, {Lo: in[1]}, {Lo: scratch}})
+	if err != nil {
+		t.Fatalf("%s in=%v: interp: %v\n%s", p.Desc, in, err, ir.FormatFunc(f))
+	}
+	buf, err := mem.Read(scratch, ScratchSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Lo, buf
+}
+
+func check(t *testing.T, p *Program, path string, in [2]uint64, want, got uint64, wantBuf, buf []byte) {
+	t.Helper()
+	if got != want {
+		t.Errorf("%s: %s(%#x, %#x) = %#x, native %#x", p.Desc, path, in[0], in[1], got, want)
+	}
+	if !bytes.Equal(wantBuf, buf) {
+		t.Errorf("%s: %s(%#x, %#x): scratch memory diverged", p.Desc, path, in[0], in[1])
+	}
+}
+
+// TestDBrewSpecializationConsistency fixes the first argument and checks
+// that the specialized code matches the original called with that value.
+func TestDBrewSpecializationConsistency(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(100); seed < int64(100+seeds); seed++ {
+		p, err := Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, entry, scratch, err := p.Place()
+		if err != nil {
+			t.Fatal(err)
+		}
+		const fixedA = 0x1234_5678_9ABC
+		rw := dbrew.NewRewriter(mem, entry, p.Sig())
+		rw.SetPar(0, fixedA)
+		spec, err := rw.Rewrite()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rw.Stats.Failed {
+			t.Fatalf("%s: dbrew fell back: %v", p.Desc, rw.Stats.Err)
+		}
+		for _, b := range []uint64{0, 7, 0xFFFF_FFFF_FFFF} {
+			ResetScratch(mem, scratch)
+			want, wantBuf, err := RunNative(mem, entry, scratch, p, fixedA, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ResetScratch(mem, scratch)
+			got, buf, err := RunNative(mem, spec, scratch, p, 0xBAD, b) // arg 0 ignored
+			if err != nil {
+				t.Fatalf("%s: specialized run: %v", p.Desc, err)
+			}
+			if got != want || !bytes.Equal(wantBuf, buf) {
+				t.Errorf("%s: specialization diverged for b=%#x: %#x vs %#x", p.Desc, b, got, want)
+			}
+		}
+	}
+}
+
+// TestDBrewPlusLLVMConsistency runs the full Figure 1 path on generated
+// programs with a fixed parameter.
+func TestDBrewPlusLLVMConsistency(t *testing.T) {
+	seeds := 15
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := int64(500); seed < int64(500+seeds); seed++ {
+		p, err := Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, entry, scratch, err := p.Place()
+		if err != nil {
+			t.Fatal(err)
+		}
+		const fixedA = 42
+		rw := dbrew.NewRewriter(mem, entry, p.Sig())
+		rw.SetPar(0, fixedA)
+		spec, err := rw.Rewrite()
+		if err != nil || rw.Stats.Failed {
+			t.Fatalf("%s: dbrew: %v %v", p.Desc, err, rw.Stats.Err)
+		}
+		l := lift.New(mem, lift.DefaultOptions())
+		f, err := l.LiftFunc(spec, "spec", p.Sig())
+		if err != nil {
+			t.Fatalf("%s: lift dbrew output: %v", p.Desc, err)
+		}
+		cfg := opt.O3()
+		cfg.FastMath = false
+		opt.Optimize(f, cfg)
+		comp := jit.NewCompiler(mem)
+		jentry, err := comp.CompileModule(l.Module, "spec")
+		if err != nil {
+			t.Fatalf("%s: jit: %v", p.Desc, err)
+		}
+		for _, b := range []uint64{3, 0x8000_0000_0000_0001} {
+			ResetScratch(mem, scratch)
+			want, wantBuf, err := RunNative(mem, entry, scratch, p, fixedA, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ResetScratch(mem, scratch)
+			got, buf, err := RunNative(mem, jentry, scratch, p, 0, b)
+			if err != nil {
+				t.Fatalf("%s: dbrew+llvm run: %v", p.Desc, err)
+			}
+			if got != want || !bytes.Equal(wantBuf, buf) {
+				t.Errorf("%s: dbrew+llvm diverged for b=%#x: %#x vs %#x", p.Desc, b, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialCondOps pins fresh seeds that exercise the flag-consuming
+// generator shapes (cmov/setcc/adc/sbb after cmp) introduced for the
+// stc/clc carry-materialization feature.
+func TestDifferentialCondOps(t *testing.T) {
+	found := 0
+	for seed := int64(500); seed < 560 && found < 12; seed++ {
+		p, err := Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runDifferential(t, p)
+		found++
+	}
+}

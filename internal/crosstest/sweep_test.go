@@ -1,0 +1,22 @@
+package crosstest
+
+import "testing"
+
+// TestSweepExtended widens the differential search beyond the seeds of
+// TestDifferential. Larger one-off sweeps (thousands of seeds) were run
+// during development; this bounded version guards against regressions.
+func TestSweepExtended(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for seed := int64(1000); seed <= 1250; seed++ {
+		p, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		runDifferential(t, p)
+		if t.Failed() {
+			t.Fatalf("first failure at seed %d", seed)
+		}
+	}
+}

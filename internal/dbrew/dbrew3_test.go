@@ -1,0 +1,262 @@
+package dbrew
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
+)
+
+// TestKnownUnaryAndWideningOps: movzx/movsx/lea/not/neg/imul over a fixed
+// parameter all evaluate away; the rewritten function reduces to a
+// materialized constant.
+func TestKnownUnaryAndWideningOps(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *asm.Builder)
+		fix   uint64
+		want  uint64
+	}{
+		{
+			"movzx8", func(b *asm.Builder) {
+				b.I(x86.MOVZX, x86.R64(x86.RAX), x86.RegOp(x86.RDI, 1))
+				b.Ret()
+			}, 0x1FF, 0xFF,
+		},
+		{
+			"movsx8", func(b *asm.Builder) {
+				b.I(x86.MOVSX, x86.R64(x86.RAX), x86.RegOp(x86.RDI, 1))
+				b.Ret()
+			}, 0x80, 0xFFFFFFFFFFFFFF80,
+		},
+		{
+			"movsxd", func(b *asm.Builder) {
+				b.I(x86.MOVSXD, x86.R64(x86.RAX), x86.R32(x86.RDI))
+				b.Ret()
+			}, 0x80000000, 0xFFFFFFFF80000000,
+		},
+		{
+			"lea", func(b *asm.Builder) {
+				b.I(x86.LEA, x86.R64(x86.RAX), x86.MemBIS(8, x86.RDI, x86.RDI, 4, 7))
+				b.Ret()
+			}, 10, 57,
+		},
+		{
+			"not", func(b *asm.Builder) {
+				b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+				b.I(x86.NOT, x86.R64(x86.RAX))
+				b.Ret()
+			}, 0x0F0F, ^uint64(0x0F0F),
+		},
+		{
+			"neg", func(b *asm.Builder) {
+				b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+				b.I(x86.NEG, x86.R64(x86.RAX))
+				b.Ret()
+			}, 5, ^uint64(5) + 1,
+		},
+		{
+			"imul3", func(b *asm.Builder) {
+				b.I(x86.IMUL3, x86.R64(x86.RAX), x86.R64(x86.RDI), x86.Imm(99, 8))
+				b.Ret()
+			}, 7, 693,
+		},
+		{
+			"popcnt", func(b *asm.Builder) {
+				b.I(x86.POPCNT, x86.R64(x86.RAX), x86.R64(x86.RDI))
+				b.Ret()
+			}, 0xF0F0, 8,
+		},
+	}
+	for _, c := range cases {
+		mem, _ := buildCode(t, c.build)
+		orig, spec, r := rewriteAndRunFixed(t, mem, c.fix, []uint64{c.fix, 0})
+		if orig != c.want || spec != c.want {
+			t.Errorf("%s: orig %#x, spec %#x, want %#x", c.name, orig, spec, c.want)
+		}
+		if r.Stats.Eliminated == 0 {
+			t.Errorf("%s: no instructions eliminated", c.name)
+		}
+	}
+}
+
+// TestKnownAdcSbbChain: a 128-bit add via add/adc with both halves known
+// folds completely, carry included.
+func TestKnownAdcSbbChain(t *testing.T) {
+	mem, _ := buildCode(t, func(b *asm.Builder) {
+		// lo = rdi + ~0 (sets CF), hi = 1 + 0 + CF
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.Imm(-1, 8))
+		b.I(x86.MOV, x86.R64(x86.RCX), x86.Imm(1, 8))
+		b.I(x86.ADC, x86.R64(x86.RCX), x86.Imm(0, 8))
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RCX))
+		b.Ret()
+	})
+	// rdi = 5: lo = 4 (CF=1), hi = 1+0+1 = 2, result 6.
+	orig, spec, r := rewriteAndRunFixed(t, mem, 5, []uint64{5, 0})
+	if orig != 6 || spec != 6 {
+		t.Errorf("orig %d, spec %d, want 6", orig, spec)
+	}
+	if r.Stats.Eliminated < 4 {
+		t.Errorf("adc chain should fold, eliminated=%d", r.Stats.Eliminated)
+	}
+}
+
+// TestKnownSbbWithBorrow: sbb folds with a known borrow flag.
+func TestKnownSbbWithBorrow(t *testing.T) {
+	mem, _ := buildCode(t, func(b *asm.Builder) {
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+		b.I(x86.SUB, x86.R64(x86.RAX), x86.Imm(10, 8)) // 3-10 borrows
+		b.I(x86.MOV, x86.R64(x86.RCX), x86.Imm(100, 8))
+		b.I(x86.SBB, x86.R64(x86.RCX), x86.Imm(0, 8)) // 100 - 0 - 1 = 99
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RCX))
+		b.Ret()
+	})
+	orig, spec, _ := rewriteAndRunFixed(t, mem, 3, []uint64{3, 0})
+	if orig != 99 || spec != 99 {
+		t.Errorf("orig %d, spec %d, want 99", orig, spec)
+	}
+}
+
+// TestPartiallyKnownALUEmitsImmediate: one known operand becomes an
+// immediate in the emitted code rather than blocking specialization.
+func TestPartiallyKnownALUEmitsImmediate(t *testing.T) {
+	mem, _ := buildCode(t, func(b *asm.Builder) {
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RSI)) // dynamic
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RDI)) // known -> imm
+		b.Ret()
+	})
+	r := NewRewriter(mem, codeBase, abi.Sig(abi.ClassInt, abi.ClassInt, abi.ClassInt))
+	r.SetPar(0, 1000)
+	newFn, err := r.Rewrite()
+	if err != nil || r.Stats.Failed {
+		t.Fatalf("rewrite: %v / %v", err, r.Stats.Err)
+	}
+	lst, err := Listing(mem, newFn, r.Stats.CodeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundImm := false
+	for _, line := range lst {
+		if strings.Contains(line, "0x3e8") || strings.Contains(line, "1000") {
+			foundImm = true
+		}
+	}
+	if !foundImm {
+		t.Errorf("known operand not substituted as immediate:\n%v", lst)
+	}
+}
+
+// TestIndirectCallKnownTarget: `call rax` with a statically known rax is
+// resolved and inlined, as DBrew does for known indirect targets.
+func TestIndirectCallKnownTarget(t *testing.T) {
+	const calleeBase = 0x402000
+	cb := asm.NewBuilder()
+	cb.I(x86.MOV, x86.R64(x86.RAX), x86.Imm(40, 8))
+	cb.Ret()
+	calleeCode, _, err := cb.Assemble(calleeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mem, _ := buildCode(t, func(b *asm.Builder) {
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.Imm(calleeBase, 8))
+		b.Emit(x86.Inst{Op: x86.CALLIndirect, Dst: x86.R64(x86.RAX)})
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RDI))
+		b.Ret()
+	})
+	if _, err := mem.MapBytes(calleeBase, calleeCode, "callee"); err != nil {
+		t.Fatal(err)
+	}
+	orig, spec, r := rewriteAndRun(t, mem, abi.Sig(abi.ClassInt, abi.ClassInt),
+		nil, []uint64{2})
+	if orig != 42 || spec != 42 {
+		t.Errorf("orig %d, spec %d, want 42", orig, spec)
+	}
+	if r.Stats.Inlined == 0 {
+		t.Error("known indirect call must be inlined")
+	}
+}
+
+// TestInlineDepthForcesRealCall: exceeding InlineDepth emits a real call to
+// the original callee instead of inlining (killFlags + caller-saved
+// invalidation path).
+func TestInlineDepthForcesRealCall(t *testing.T) {
+	mem, _ := buildCode(t, func(b *asm.Builder) {
+		c1 := b.NewLabel()
+		c2 := b.NewLabel()
+		b.CallLabel(c1)
+		b.Ret()
+		b.Bind(c1)
+		b.CallLabel(c2)
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.Imm(1, 8))
+		b.Ret()
+		b.Bind(c2)
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.Imm(10, 8))
+		b.Ret()
+	})
+	orig, spec, r := rewriteAndRun(t, mem, abi.Sig(abi.ClassInt),
+		func(r *Rewriter) { r.SetConfig(Config{InlineDepth: 1}) }, nil)
+	if orig != 11 || spec != 11 {
+		t.Errorf("orig %d, spec %d, want 11", orig, spec)
+	}
+	if r.Stats.Inlined != 1 {
+		t.Errorf("exactly one level should inline, got %d", r.Stats.Inlined)
+	}
+}
+
+// TestAdcKnownCarryDynamicOperand: the carry is known (producing cmp was
+// eliminated) but an operand is dynamic — DBrew must materialize the flag
+// with stc/clc instead of falling back (paper: specialized code must stay
+// correct under partial knowledge).
+func TestAdcKnownCarryDynamicOperand(t *testing.T) {
+	for _, fix := range []uint64{1, 10} { // CF=1 (1<5) and CF=0 (10>5)
+		mem, _ := buildCode(t, func(b *asm.Builder) {
+			b.I(x86.CMP, x86.R64(x86.RDI), x86.Imm(5, 8)) // known cmp -> eliminated
+			b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RSI))
+			b.I(x86.ADC, x86.R64(x86.RAX), x86.Imm(0, 8)) // dynamic + known CF
+			b.Ret()
+		})
+		orig, spec, r := rewriteAndRunFixed(t, mem, fix, []uint64{fix, 100})
+		if r.Stats.Failed {
+			t.Fatalf("fix=%d: fell back: %v", fix, r.Stats.Err)
+		}
+		want := uint64(100)
+		if fix < 5 {
+			want = 101
+		}
+		if orig != want || spec != want {
+			t.Errorf("fix=%d: orig %d, spec %d, want %d", fix, orig, spec, want)
+		}
+	}
+}
+
+// TestIndirectJumpKnownTarget: `jmp rax` with a known rax is resolved and
+// rewriting continues at the target, as DBrew does for computed gotos with
+// known values.
+func TestIndirectJumpKnownTarget(t *testing.T) {
+	const tailBase = 0x403000
+	tb := asm.NewBuilder()
+	tb.I(x86.MOV, x86.R64(x86.RAX), x86.Imm(11, 8))
+	tb.Ret()
+	tailCode, _, err := tb.Assemble(tailBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, _ := buildCode(t, func(b *asm.Builder) {
+		b.I(x86.MOV, x86.R64(x86.RCX), x86.Imm(tailBase, 8))
+		b.Emit(x86.Inst{Op: x86.JMPIndirect, Dst: x86.R64(x86.RCX)})
+	})
+	if _, err := mem.MapBytes(tailBase, tailCode, "tail"); err != nil {
+		t.Fatal(err)
+	}
+	orig, spec, r := rewriteAndRun(t, mem, abi.Sig(abi.ClassInt), nil, nil)
+	if orig != 11 || spec != 11 {
+		t.Errorf("orig %d, spec %d, want 11", orig, spec)
+	}
+	if r.Stats.Failed {
+		t.Errorf("known indirect jump must not fall back: %v", r.Stats.Err)
+	}
+}

@@ -1,0 +1,351 @@
+package dbrew
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/abi"
+	"repro/internal/emu"
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
+)
+
+const codeBase = 0x401000
+
+func buildCode(t *testing.T, build func(b *asm.Builder)) (*emu.Memory, map[asm.Label]uint64) {
+	t.Helper()
+	b := asm.NewBuilder()
+	build(b)
+	code, labels, err := b.Assemble(codeBase)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	mem := emu.NewMemory(0x10000000)
+	if _, err := mem.MapBytes(codeBase, code, "code"); err != nil {
+		t.Fatal(err)
+	}
+	return mem, labels
+}
+
+// TestRewriteIdentity rewrites without any fixation: the result must behave
+// identically to the original.
+func TestRewriteIdentity(t *testing.T) {
+	mem, _ := buildCode(t, func(b *asm.Builder) {
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+		b.I(x86.CMP, x86.R64(x86.RDI), x86.R64(x86.RSI))
+		b.Emit(x86.Inst{Op: x86.CMOVCC, Cond: x86.CondL, Dst: x86.R64(x86.RAX), Src: x86.R64(x86.RSI)})
+		b.Ret()
+	})
+	sig := abi.Sig(abi.ClassInt, abi.ClassInt, abi.ClassInt)
+	r := NewRewriter(mem, codeBase, sig)
+	newFn, err := r.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Failed {
+		t.Fatalf("rewrite failed: %v", r.Stats.Err)
+	}
+	m := emu.NewMachine(mem)
+	prop := func(a, b int64) bool {
+		r1, err := m.Call(codeBase, emu.CallArgs{Ints: []uint64{uint64(a), uint64(b)}}, 1000)
+		if err != nil {
+			return false
+		}
+		r2, err := m.Call(newFn, emu.CallArgs{Ints: []uint64{uint64(a), uint64(b)}}, 1000)
+		if err != nil {
+			return false
+		}
+		return r1 == r2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRewriteSetPar fixes a parameter: the paper's Figure 3 example — the
+// rewritten function ignores the actual argument and uses the fixed value.
+func TestRewriteSetPar(t *testing.T) {
+	mem, _ := buildCode(t, func(b *asm.Builder) {
+		// f(a, b) = a*3 + b
+		b.I(x86.IMUL3, x86.R64(x86.RAX), x86.R64(x86.RDI), x86.Imm(3, 8))
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RSI))
+		b.Ret()
+	})
+	sig := abi.Sig(abi.ClassInt, abi.ClassInt, abi.ClassInt)
+	r := NewRewriter(mem, codeBase, sig)
+	r.SetPar(0, 42) // par 0 fixed to 42, as in Figure 3
+	newFn, err := r.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Failed {
+		t.Fatalf("rewrite failed: %v", r.Stats.Err)
+	}
+	m := emu.NewMachine(mem)
+	// Called with a=1: the fixed value 42 must win: 42*3 + 2 = 128.
+	got, err := m.Call(newFn, emu.CallArgs{Ints: []uint64{1, 2}}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 128 {
+		t.Errorf("specialized f(1,2) = %d, want 128", got)
+	}
+	if r.Stats.Eliminated == 0 {
+		t.Error("expected the imul to be eliminated")
+	}
+}
+
+// TestRewriteUnrollsKnownLoop checks full loop unrolling: a counted loop
+// with a fixed trip count must produce straight-line code with no branches.
+func TestRewriteUnrollsKnownLoop(t *testing.T) {
+	mem, _ := buildCode(t, func(b *asm.Builder) {
+		// f(n, x): for(i=0;i<n;i++) x += i; return x  — n will be fixed.
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RSI))
+		b.I(x86.XOR, x86.R32(x86.RCX), x86.R32(x86.RCX))
+		loop := b.NewLabel()
+		done := b.NewLabel()
+		b.Bind(loop)
+		b.I(x86.CMP, x86.R64(x86.RCX), x86.R64(x86.RDI))
+		b.Jcc(x86.CondGE, done)
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RCX))
+		b.I(x86.ADD, x86.R64(x86.RCX), x86.Imm(1, 8))
+		b.Jmp(loop)
+		b.Bind(done)
+		b.Ret()
+	})
+	sig := abi.Sig(abi.ClassInt, abi.ClassInt, abi.ClassInt)
+	r := NewRewriter(mem, codeBase, sig)
+	r.SetPar(0, 5)
+	newFn, err := r.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Failed {
+		t.Fatalf("rewrite failed: %v", r.Stats.Err)
+	}
+	m := emu.NewMachine(mem)
+	got, err := m.Call(newFn, emu.CallArgs{Ints: []uint64{999, 7}}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7+0+1+2+3+4 {
+		t.Errorf("got %d, want 17", got)
+	}
+	// The loop over a known count disappears: the counter arithmetic is
+	// evaluated and only the dynamic adds on rax remain.
+	lst, err := Listing(mem, newFn, r.Stats.CodeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range lst {
+		if strings.HasPrefix(line, "j") {
+			t.Errorf("unrolled code contains a branch: %s", line)
+		}
+		if strings.Contains(line, "cmp") {
+			t.Errorf("unrolled code contains a compare: %s", line)
+		}
+	}
+}
+
+// TestRewriteDynamicLoopPreserved: a loop with an unknown bound must survive
+// rewriting (the state-hash loop detection emits a back edge).
+func TestRewriteDynamicLoopPreserved(t *testing.T) {
+	mem, _ := buildCode(t, func(b *asm.Builder) {
+		b.I(x86.XOR, x86.R32(x86.RAX), x86.R32(x86.RAX)) // sum = 0
+		loop := b.NewLabel()
+		done := b.NewLabel()
+		b.Bind(loop)
+		b.I(x86.TEST, x86.R64(x86.RDI), x86.R64(x86.RDI))
+		b.Jcc(x86.CondE, done)
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RDI))
+		b.I(x86.SUB, x86.R64(x86.RDI), x86.Imm(1, 8))
+		b.Jmp(loop)
+		b.Bind(done)
+		b.Ret()
+	})
+	sig := abi.Sig(abi.ClassInt, abi.ClassInt)
+	r := NewRewriter(mem, codeBase, sig)
+	newFn, err := r.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Failed {
+		t.Fatalf("rewrite failed: %v", r.Stats.Err)
+	}
+	m := emu.NewMachine(mem)
+	for _, n := range []uint64{0, 1, 5, 100} {
+		got, err := m.Call(newFn, emu.CallArgs{Ints: []uint64{n}}, 10000)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got != n*(n+1)/2 {
+			t.Errorf("sum(%d) = %d, want %d", n, got, n*(n+1)/2)
+		}
+	}
+}
+
+// TestRewriteSetMem folds loads from fixed memory regions into immediates.
+func TestRewriteSetMem(t *testing.T) {
+	mem, _ := buildCode(t, func(b *asm.Builder) {
+		// f(p) = *(i64*)p + 5
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.MemBD(8, x86.RDI, 0))
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.Imm(5, 8))
+		b.Ret()
+	})
+	tbl := mem.Alloc(16, 16, "tbl")
+	mem.WriteU(tbl.Start, 8, 1000)
+	sig := abi.Sig(abi.ClassInt, abi.ClassPtr)
+	r := NewRewriter(mem, codeBase, sig)
+	r.SetParPtr(0, tbl.Start, 16)
+	newFn, err := r.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Failed {
+		t.Fatalf("rewrite failed: %v", r.Stats.Err)
+	}
+	m := emu.NewMachine(mem)
+	got, err := m.Call(newFn, emu.CallArgs{Ints: []uint64{0xDEAD}}, 100) // bogus ptr ignored
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1005 {
+		t.Errorf("got %d, want 1005", got)
+	}
+}
+
+// TestRewriteInlinesCalls: direct calls are inlined, propagating known
+// values into the callee.
+func TestRewriteInlinesCalls(t *testing.T) {
+	mem, _ := buildCode(t, func(b *asm.Builder) {
+		inner := b.NewLabel()
+		// outer(a, b) = inner(a) + b where inner(x) = x * 4
+		b.I(x86.SUB, x86.R64(x86.RSP), x86.Imm(8, 8))
+		b.CallLabel(inner)
+		b.I(x86.ADD, x86.R64(x86.RSP), x86.Imm(8, 8))
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RSI))
+		b.Ret()
+		b.Bind(inner)
+		b.I(x86.LEA, x86.R64(x86.RAX), x86.MemBIS(8, x86.NoReg, x86.RDI, 4, 0))
+		b.Ret()
+	})
+	sig := abi.Sig(abi.ClassInt, abi.ClassInt, abi.ClassInt)
+	r := NewRewriter(mem, codeBase, sig)
+	r.SetPar(0, 10)
+	newFn, err := r.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Failed {
+		t.Fatalf("rewrite failed: %v", r.Stats.Err)
+	}
+	if r.Stats.Inlined != 1 {
+		t.Errorf("inlined %d calls, want 1", r.Stats.Inlined)
+	}
+	m := emu.NewMachine(mem)
+	got, err := m.Call(newFn, emu.CallArgs{Ints: []uint64{0, 2}}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("got %d, want 42", got)
+	}
+	// The inner computation was fully known: no call, no lea in output.
+	lst, _ := Listing(mem, newFn, r.Stats.CodeSize)
+	for _, line := range lst {
+		if strings.Contains(line, "call") {
+			t.Errorf("call survived inlining: %s", line)
+		}
+	}
+}
+
+// TestRewriteFailureFallsBack: unsupported instructions must fall back to
+// the original function via the default error handler.
+func TestRewriteFailureFallsBack(t *testing.T) {
+	mem, _ := buildCode(t, func(b *asm.Builder) {
+		b.I(x86.JMPIndirect, x86.R64(x86.RAX)) // unsupported with unknown rax
+	})
+	sig := abi.Sig(abi.ClassInt, abi.ClassInt)
+	r := NewRewriter(mem, codeBase, sig)
+	got, err := r.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != codeBase {
+		t.Errorf("fallback must return the original entry, got %#x", got)
+	}
+	if !r.Stats.Failed {
+		t.Error("Stats.Failed must be set")
+	}
+}
+
+// TestRewriteBufferTooSmall exercises the error handler retry protocol from
+// Section II: enlarge the buffer and restart.
+func TestRewriteBufferTooSmall(t *testing.T) {
+	mem, _ := buildCode(t, func(b *asm.Builder) {
+		for i := 0; i < 50; i++ {
+			b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RDI))
+		}
+		b.Ret()
+	})
+	sig := abi.Sig(abi.ClassInt, abi.ClassInt)
+	r := NewRewriter(mem, codeBase, sig)
+	r.SetConfig(Config{BufferSize: 16})
+	retries := 0
+	r.ErrorHandler = func(err error) bool {
+		if retries > 4 {
+			return false
+		}
+		retries++
+		cfg := r.cfg
+		cfg.BufferSize *= 16
+		r.SetConfig(cfg)
+		return true
+	}
+	newFn, err := r.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retries == 0 {
+		t.Error("error handler never ran")
+	}
+	if newFn == codeBase {
+		t.Error("expected successful rewrite after buffer growth")
+	}
+}
+
+// TestRewriteSSEPassthrough: FP code is copied through with address folding
+// but no FP specialization (Figure 8 semantics).
+func TestRewriteSSEPassthrough(t *testing.T) {
+	mem, _ := buildCode(t, func(b *asm.Builder) {
+		// f(m, i) = m[i] * m[i+1] (doubles)
+		b.I(x86.MOVSD_X, x86.X(x86.XMM0), x86.MemBIS(8, x86.RDI, x86.RSI, 8, 0))
+		b.I(x86.MULSD, x86.X(x86.XMM0), x86.MemBIS(8, x86.RDI, x86.RSI, 8, 8))
+		b.Ret()
+	})
+	arr := mem.Alloc(64, 16, "arr")
+	mem.WriteFloat64(arr.Start+16, 3)
+	mem.WriteFloat64(arr.Start+24, 4)
+	sig := abi.Signature{Params: []abi.Class{abi.ClassPtr, abi.ClassInt}, Ret: abi.ClassF64}
+	r := NewRewriter(mem, codeBase, sig)
+	r.SetPar(1, 2) // fix index
+	newFn, err := r.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Failed {
+		t.Fatalf("rewrite failed: %v", r.Stats.Err)
+	}
+	m := emu.NewMachine(mem)
+	if _, err := m.Call(newFn, emu.CallArgs{Ints: []uint64{arr.Start, 999}}, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := m.XMM[0].Lo
+	if got != f64bits(12) {
+		t.Errorf("got %x, want 12.0", got)
+	}
+}
+
+func f64bits(v float64) uint64 { return math.Float64bits(v) }

@@ -1,0 +1,631 @@
+package dbrew
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/emu"
+	"repro/internal/x86"
+)
+
+// exec processes a non-control-flow instruction: it is either evaluated away
+// ("instructions simply disappear if all input parameters are known") or
+// emitted with known operands replaced by immediates / materialized
+// constants.
+func (e *emitterState) exec(st *mstate, in *x86.Inst) error {
+	switch in.Op {
+	case x86.NOP, x86.ENDBR64:
+		return nil
+
+	case x86.MOV:
+		return e.execMov(st, in)
+
+	case x86.MOVZX, x86.MOVSX, x86.MOVSXD:
+		if v, ok := e.operandKnown(st, in, in.Src); ok && in.Dst.Kind == x86.KReg {
+			var res uint64
+			if in.Op == x86.MOVZX {
+				res = truncVal(v, in.Src.Size)
+			} else {
+				res = uint64(signExtVal(v, in.Src.Size))
+			}
+			if st.writeKnown(in.Dst.Reg, in.Dst.Size, truncVal(res, in.Dst.Size)) {
+				e.rw.Stats.Eliminated++
+				return nil
+			}
+		}
+		return e.emitAdjusted(st, in, 0)
+
+	case x86.LEA:
+		if addr, ok := e.addrKnown(st, in, in.Src.Mem); ok && in.Src.Mem.Seg == x86.SegNone {
+			if st.writeKnown(in.Dst.Reg, in.Dst.Size, truncVal(addr, in.Dst.Size)) {
+				e.rw.Stats.Eliminated++
+				return nil
+			}
+		}
+		return e.emitAdjusted(st, in, 0)
+
+	case x86.ADD, x86.SUB, x86.AND, x86.OR, x86.XOR, x86.CMP, x86.TEST:
+		return e.execALU(st, in)
+	case x86.ADC, x86.SBB:
+		// Evaluate only with a known carry; otherwise emit.
+		if st.flags.known&fCF != 0 {
+			av, aok := e.operandKnown(st, in, in.Dst)
+			bv, bok := e.operandKnown(st, in, in.Src)
+			if aok && bok {
+				c := uint64(0)
+				if st.flags.f.CF {
+					c = 1
+				}
+				size := in.Dst.Size
+				var res uint64
+				if in.Op == x86.ADC {
+					res = av + bv + c
+					st.setFlagsKnown(emu.FlagsOfAdd(av, bv+c, size))
+				} else {
+					res = av - bv - c
+					st.setFlagsKnown(emu.FlagsOfSub(av, bv+c, size))
+				}
+				if in.Dst.Kind == x86.KReg && st.writeKnown(in.Dst.Reg, size, truncVal(res, size)) {
+					e.rw.Stats.Eliminated++
+					return nil
+				}
+			}
+		}
+		if st.flags.valid&fCF == 0 && st.flags.known&fCF == 0 {
+			return fmt.Errorf("%w: adc/sbb consumes eliminated carry at %#x", ErrUnsupported, in.Addr)
+		}
+		if st.flags.known&fCF != 0 && st.flags.valid&fCF == 0 {
+			// The carry is known abstractly but the producing compare was
+			// eliminated: materialize it with stc/clc before the emitted
+			// adc/sbb consumes the hardware flag.
+			if st.flags.f.CF {
+				e.emit(x86.Inst{Op: x86.STC})
+			} else {
+				e.emit(x86.Inst{Op: x86.CLC})
+			}
+			st.flags.valid |= fCF
+		}
+		return e.emitAdjusted(st, in, fAll)
+
+	case x86.NOT:
+		if in.Dst.Kind == x86.KReg {
+			if v, ok := st.regKnown(in.Dst.Reg, in.Dst.Size); ok {
+				if st.writeKnown(in.Dst.Reg, in.Dst.Size, truncVal(^v, in.Dst.Size)) {
+					e.rw.Stats.Eliminated++
+					return nil
+				}
+			}
+		}
+		return e.emitAdjusted(st, in, 0)
+	case x86.POPCNT:
+		if in.Dst.Kind == x86.KReg {
+			if v, ok := e.operandKnown(st, in, in.Src); ok {
+				// popcnt clears OF/SF/CF/AF/PF and sets ZF on zero input.
+				st.setFlagsKnown(emu.Flags{ZF: truncVal(v, in.Src.Size) == 0})
+				res := uint64(bits.OnesCount64(truncVal(v, in.Src.Size)))
+				if st.writeKnown(in.Dst.Reg, in.Dst.Size, res) {
+					e.rw.Stats.Eliminated++
+					return nil
+				}
+			}
+		}
+		return e.emitAdjusted(st, in, fAll)
+
+	case x86.NEG:
+		if in.Dst.Kind == x86.KReg {
+			if v, ok := st.regKnown(in.Dst.Reg, in.Dst.Size); ok {
+				f := emu.FlagsOfSub(0, v, in.Dst.Size)
+				f.CF = truncVal(v, in.Dst.Size) != 0
+				st.setFlagsKnown(f)
+				if st.writeKnown(in.Dst.Reg, in.Dst.Size, truncVal(-v, in.Dst.Size)) {
+					e.rw.Stats.Eliminated++
+					return nil
+				}
+			}
+		}
+		return e.emitAdjusted(st, in, fAll)
+
+	case x86.INC, x86.DEC:
+		if in.Dst.Kind == x86.KReg {
+			if v, ok := st.regKnown(in.Dst.Reg, in.Dst.Size); ok {
+				var res uint64
+				var f emu.Flags
+				if in.Op == x86.INC {
+					res = v + 1
+					f = emu.FlagsOfAdd(v, 1, in.Dst.Size)
+				} else {
+					res = v - 1
+					f = emu.FlagsOfSub(v, 1, in.Dst.Size)
+				}
+				if st.writeKnown(in.Dst.Reg, in.Dst.Size, truncVal(res, in.Dst.Size)) {
+					// CF is preserved: keep its previous state.
+					cfKnown := st.flags.known&fCF != 0
+					cfValid := st.flags.valid&fCF != 0
+					cfVal := st.flags.f.CF
+					st.setFlagsKnown(f)
+					st.flags.known = (fAll &^ fCF)
+					if cfKnown {
+						st.flags.known |= fCF
+						st.flags.f.CF = cfVal
+					}
+					if cfValid {
+						st.flags.valid = fCF
+					}
+					e.rw.Stats.Eliminated++
+					return nil
+				}
+			}
+		}
+		return e.emitAdjusted(st, in, fAll&^fCF)
+
+	case x86.IMUL, x86.IMUL3:
+		return e.execIMul(st, in)
+
+	case x86.SHL, x86.SHR, x86.SAR, x86.ROL, x86.ROR:
+		return e.execShift(st, in)
+
+	case x86.CQO:
+		if v, ok := st.regKnown(x86.RAX, 8); ok {
+			if st.writeKnown(x86.RDX, 8, uint64(int64(v)>>63)) {
+				e.rw.Stats.Eliminated++
+				return nil
+			}
+		}
+		return e.emitAdjusted(st, in, 0)
+	case x86.CDQ:
+		if v, ok := st.regKnown(x86.RAX, 4); ok {
+			if st.writeKnown(x86.RDX, 4, uint64(uint32(int32(v)>>31))) {
+				e.rw.Stats.Eliminated++
+				return nil
+			}
+		}
+		return e.emitAdjusted(st, in, 0)
+	case x86.CDQE:
+		if v, ok := st.regKnown(x86.RAX, 4); ok {
+			if st.writeKnown(x86.RAX, 8, uint64(int64(int32(v)))) {
+				e.rw.Stats.Eliminated++
+				return nil
+			}
+		}
+		return e.emitAdjusted(st, in, 0)
+
+	case x86.MUL, x86.IDIV, x86.DIV:
+		// Emit with operands materialized; RAX/RDX become dynamic and the
+		// flags are architecturally undefined afterwards (poisoned).
+		if err := e.emitAdjusted(st, in, 0); err != nil {
+			return err
+		}
+		st.setDynamic(x86.RAX)
+		st.setDynamic(x86.RDX)
+		st.flags = flagsVal{}
+		return nil
+
+	case x86.XCHG:
+		if in.Dst.Kind == x86.KReg && in.Src.Kind == x86.KReg {
+			a, aok := st.regKnown(in.Dst.Reg, in.Dst.Size)
+			b, bok := st.regKnown(in.Src.Reg, in.Src.Size)
+			if aok && bok && in.Dst.Size >= 4 {
+				st.writeKnown(in.Dst.Reg, in.Dst.Size, b)
+				st.writeKnown(in.Src.Reg, in.Src.Size, a)
+				e.rw.Stats.Eliminated++
+				return nil
+			}
+		}
+		return e.emitAdjusted(st, in, 0)
+
+	case x86.CMOVCC:
+		return e.execCMov(st, in)
+
+	case x86.SETCC:
+		need := flagsNeeded(in.Cond)
+		if st.flags.known&need == need {
+			v := uint64(0)
+			if emu.CondHoldsIn(st.flags.f, in.Cond) {
+				v = 1
+			}
+			if in.Dst.Kind == x86.KReg {
+				if st.writeKnown(in.Dst.Reg, 1, v) {
+					e.rw.Stats.Eliminated++
+					return nil
+				}
+				e.materialize(st, in.Dst.Reg.Parent())
+				e.emit(x86.Inst{Op: x86.MOV, Dst: in.Dst, Src: x86.Imm(int64(v), 1)})
+				st.setDynamic(in.Dst.Reg.Parent())
+				return nil
+			}
+			adj, err := e.adjustMem(st, in, in.Dst)
+			if err != nil {
+				return err
+			}
+			e.emit(x86.Inst{Op: x86.MOV, Dst: adj, Src: x86.Imm(int64(v), 1)})
+			return nil
+		}
+		if st.flags.valid&need != need {
+			return fmt.Errorf("%w: setcc consumes eliminated flags at %#x", ErrUnsupported, in.Addr)
+		}
+		return e.emitAdjusted(st, in, 0)
+
+	case x86.PUSH:
+		// Track the pushed abstract value so the matching pop restores it.
+		if st.vstackOK {
+			var rv regVal
+			if v, ok := e.operandKnown(st, in, in.Dst); ok {
+				rv = regVal{known: true, val: v}
+			}
+			st.vstack = append(st.vstack, rv)
+		}
+		if v, ok := e.operandKnown(st, in, in.Dst); ok {
+			sv := int64(v)
+			if sv >= -(1<<31) && sv < 1<<31 {
+				e.emit(x86.Inst{Op: x86.PUSH, Dst: x86.Imm(sv, 8)})
+				return nil
+			}
+		}
+		return e.emitAdjusted(st, in, 0)
+	case x86.POP:
+		var restored *regVal
+		if st.vstackOK && len(st.vstack) > 0 {
+			rv := st.vstack[len(st.vstack)-1]
+			st.vstack = st.vstack[:len(st.vstack)-1]
+			restored = &rv
+		}
+		if err := e.emitAdjusted(st, in, 0); err != nil {
+			return err
+		}
+		if restored != nil && restored.known && in.Dst.Kind == x86.KReg && in.Dst.Reg.IsGP() {
+			// The emitted pop physically restored the value.
+			st.gpr[in.Dst.Reg] = regVal{known: true, val: restored.val, mat: true}
+		}
+		return nil
+	}
+
+	// Everything else — the SSE subset and rarities — is emitted with
+	// address folding and known-register materialization. DBrew performs no
+	// floating-point specialization (Figure 8's visible overhead).
+	return e.emitAdjusted(st, in, sseFlagWriters[in.Op])
+}
+
+var sseFlagWriters = map[x86.Op]uint8{
+	x86.COMISD: fAll, x86.UCOMISD: fAll, x86.COMISS: fAll, x86.UCOMISS: fAll,
+	x86.POPCNT: fAll,
+}
+
+func (e *emitterState) execMov(st *mstate, in *x86.Inst) error {
+	v, known := e.operandKnown(st, in, in.Src)
+	if known && in.Dst.Kind == x86.KReg && !in.Dst.Reg.IsHighByte() {
+		if st.writeKnown(in.Dst.Reg, in.Dst.Size, truncVal(v, in.Dst.Size)) {
+			e.rw.Stats.Eliminated++
+			return nil
+		}
+	}
+	if known && in.Dst.Kind == x86.KMem {
+		// Store of a known value: use an immediate form when it fits.
+		sv := signExtVal(v, in.Dst.Size)
+		if in.Dst.Size < 8 || (sv >= -(1<<31) && sv < 1<<31) {
+			adj, err := e.adjustMem(st, in, in.Dst)
+			if err != nil {
+				return err
+			}
+			e.emit(x86.Inst{Op: x86.MOV, Dst: adj, Src: x86.Imm(int64(truncVal(v, in.Dst.Size)), in.Dst.Size)})
+			return nil
+		}
+	}
+	return e.emitAdjusted(st, in, 0)
+}
+
+func (e *emitterState) execALU(st *mstate, in *x86.Inst) error {
+	av, aok := e.operandKnown(st, in, in.Dst)
+	bv, bok := e.operandKnown(st, in, in.Src)
+	size := in.Dst.Size
+	// xor r, r and sub r, r are the canonical zero idioms: the result is
+	// known regardless of the register's current contents.
+	if (in.Op == x86.XOR || in.Op == x86.SUB) &&
+		in.Dst.Kind == x86.KReg && in.Src.Kind == x86.KReg && in.Dst.Reg == in.Src.Reg {
+		av, aok, bv, bok = 0, true, 0, true
+	}
+	if aok && bok {
+		var res uint64
+		var f emu.Flags
+		switch in.Op {
+		case x86.ADD:
+			res = av + bv
+			f = emu.FlagsOfAdd(av, bv, size)
+		case x86.SUB, x86.CMP:
+			res = av - bv
+			f = emu.FlagsOfSub(av, bv, size)
+		case x86.AND, x86.TEST:
+			res = av & bv
+			f = emu.FlagsOfLogic(res, size)
+		case x86.OR:
+			res = av | bv
+			f = emu.FlagsOfLogic(res, size)
+		case x86.XOR:
+			res = av ^ bv
+			f = emu.FlagsOfLogic(res, size)
+		}
+		st.setFlagsKnown(f)
+		if in.Op == x86.CMP || in.Op == x86.TEST {
+			e.rw.Stats.Eliminated++
+			return nil
+		}
+		if in.Dst.Kind == x86.KReg && st.writeKnown(in.Dst.Reg, size, truncVal(res, size)) {
+			e.rw.Stats.Eliminated++
+			return nil
+		}
+		if in.Dst.Kind == x86.KMem {
+			sv := signExtVal(res, size)
+			if size < 8 || (sv >= -(1<<31) && sv < 1<<31) {
+				adj, err := e.adjustMem(st, in, in.Dst)
+				if err != nil {
+					return err
+				}
+				e.emit(x86.Inst{Op: x86.MOV, Dst: adj, Src: x86.Imm(int64(truncVal(res, size)), size)})
+				// The emitted mov does not set flags; they stay known.
+				return nil
+			}
+		}
+	}
+	return e.emitAdjusted(st, in, fAll)
+}
+
+func (e *emitterState) execIMul(st *mstate, in *x86.Inst) error {
+	var a, b uint64
+	var aok, bok bool
+	if in.Op == x86.IMUL {
+		a, aok = e.operandKnown(st, in, in.Dst)
+		b, bok = e.operandKnown(st, in, in.Src)
+	} else {
+		a, aok = e.operandKnown(st, in, in.Src)
+		b, bok = uint64(in.Src2.Imm), true
+	}
+	if aok && bok && in.Dst.Kind == x86.KReg {
+		full := signExtVal(a, in.Dst.Size) * signExtVal(b, in.Dst.Size)
+		if st.writeKnown(in.Dst.Reg, in.Dst.Size, truncVal(uint64(full), in.Dst.Size)) {
+			// CF/OF are defined (overflow of the truncated product); the
+			// other flags are architecturally undefined -> poisoned.
+			overflow := signExtVal(uint64(full), in.Dst.Size) != full
+			st.flags = flagsVal{known: fCF | fOF}
+			st.flags.f.CF = overflow
+			st.flags.f.OF = overflow
+			e.rw.Stats.Eliminated++
+			return nil
+		}
+	}
+	return e.emitAdjusted(st, in, fAll)
+}
+
+func (e *emitterState) execShift(st *mstate, in *x86.Inst) error {
+	var cnt uint64
+	var cok bool
+	if in.Src.Kind == x86.KImm {
+		cnt, cok = uint64(in.Src.Imm), true
+	} else {
+		cnt, cok = st.regKnown(x86.RCX, 1)
+	}
+	if v, ok := e.operandKnown(st, in, in.Dst); ok && cok && in.Dst.Kind == x86.KReg {
+		size := in.Dst.Size
+		width := uint64(size) * 8
+		if width == 64 {
+			cnt &= 63
+		} else {
+			cnt &= 31
+		}
+		if cnt == 0 {
+			e.rw.Stats.Eliminated++
+			return nil // value and flags unchanged
+		}
+		v = truncVal(v, size)
+		var res uint64
+		var cf bool
+		switch in.Op {
+		case x86.SHL:
+			res = v << cnt
+			cf = v>>(width-cnt)&1 != 0
+		case x86.SHR:
+			res = v >> cnt
+			cf = v>>(cnt-1)&1 != 0
+		case x86.SAR:
+			res = uint64(signExtVal(v, size) >> cnt)
+			cf = v>>(cnt-1)&1 != 0
+		case x86.ROL:
+			c := cnt % width
+			res = v<<c | v>>(width-c)
+		case x86.ROR:
+			c := cnt % width
+			res = v>>c | v<<(width-c)
+		}
+		if st.writeKnown(in.Dst.Reg, size, truncVal(res, size)) {
+			if in.Op == x86.ROL || in.Op == x86.ROR {
+				st.flags.known &^= fCF | fOF
+				st.flags.valid &^= fCF | fOF
+			} else {
+				res = truncVal(res, size)
+				st.flags = flagsVal{known: fZF | fSF | fPF | fCF}
+				st.flags.f.ZF = res == 0
+				st.flags.f.SF = res>>(width-1)&1 != 0
+				st.flags.f.PF = bits.OnesCount8(uint8(res))%2 == 0
+				st.flags.f.CF = cf
+			}
+			e.rw.Stats.Eliminated++
+			return nil
+		}
+	}
+	mask := uint8(fAll)
+	if in.Op == x86.ROL || in.Op == x86.ROR {
+		mask = fCF | fOF
+	}
+	return e.emitAdjusted(st, in, mask)
+}
+
+func (e *emitterState) execCMov(st *mstate, in *x86.Inst) error {
+	need := flagsNeeded(in.Cond)
+	if st.flags.known&need == need {
+		taken := emu.CondHoldsIn(st.flags.f, in.Cond)
+		if !taken {
+			// A 32-bit cmov still zeroes the upper half.
+			if in.Dst.Size == 4 {
+				if v, ok := st.regKnown(in.Dst.Reg, 4); ok {
+					st.writeKnown(in.Dst.Reg, 4, v)
+					e.rw.Stats.Eliminated++
+					return nil
+				}
+				e.emit(x86.Inst{Op: x86.MOV, Dst: in.Dst, Src: x86.RegOp(in.Dst.Reg, 4)})
+				st.setDynamic(in.Dst.Reg)
+				return nil
+			}
+			e.rw.Stats.Eliminated++
+			return nil
+		}
+		// Taken: behaves like mov dst, src.
+		mv := x86.Inst{Op: x86.MOV, Dst: in.Dst, Src: in.Src, Addr: in.Addr, Len: in.Len}
+		return e.execMov(st, &mv)
+	}
+	if st.flags.valid&need != need {
+		return fmt.Errorf("%w: cmov consumes eliminated flags at %#x", ErrUnsupported, in.Addr)
+	}
+	return e.emitAdjusted(st, in, 0)
+}
+
+// adjustMem rewrites a memory operand: a fully known address becomes
+// absolute when encodable; otherwise known base/index registers are
+// materialized.
+func (e *emitterState) adjustMem(st *mstate, in *x86.Inst, op x86.Operand) (x86.Operand, error) {
+	if op.Mem.Seg != x86.SegNone {
+		return op, nil
+	}
+	if addr, ok := e.addrKnown(st, in, op.Mem); ok {
+		if addr < 1<<31 {
+			return x86.MemAbs(op.Size, int32(addr)), nil
+		}
+	}
+	if op.Mem.RIPRel {
+		// Convert to absolute addressing relative to the original location.
+		addr := in.Addr + uint64(in.Len) + uint64(int64(op.Mem.Disp))
+		if addr < 1<<31 {
+			return x86.MemAbs(op.Size, int32(addr)), nil
+		}
+		return op, fmt.Errorf("%w: rip-relative operand beyond 2 GiB at %#x", ErrUnsupported, in.Addr)
+	}
+	if op.Mem.Base != x86.NoReg {
+		e.materialize(st, op.Mem.Base)
+	}
+	if op.Mem.Index != x86.NoReg {
+		e.materialize(st, op.Mem.Index)
+	}
+	return op, nil
+}
+
+// emitAdjusted emits the instruction with immediate substitution for known
+// source registers, materialization where substitution is impossible, and
+// memory operand folding. flagMask names the flags the instruction writes
+// (they become runtime-valid).
+func (e *emitterState) emitAdjusted(st *mstate, in *x86.Inst, flagMask uint8) error {
+	out := *in
+
+	// Adjust memory operands.
+	var err error
+	if out.Dst.Kind == x86.KMem {
+		out.Dst, err = e.adjustMem(st, in, out.Dst)
+		if err != nil {
+			return err
+		}
+	}
+	if out.Src.Kind == x86.KMem {
+		out.Src, err = e.adjustMem(st, in, out.Src)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Substitute or materialize a known source register.
+	if out.Src.Kind == x86.KReg && out.Src.Reg.IsGP() {
+		if v, ok := st.regKnown(out.Src.Reg, out.Src.Size); ok {
+			if immSubstitutable(out.Op) && fitsImm32(v, out.Src.Size) {
+				out.Src = x86.Imm(signExtVal(v, out.Src.Size), out.Src.Size)
+			} else {
+				e.materialize(st, out.Src.Reg)
+			}
+		}
+	}
+	if out.Src.Kind == x86.KReg && out.Src.Reg.IsHighByte() {
+		if _, ok := st.regKnown(out.Src.Reg.Parent(), 8); ok {
+			e.materialize(st, out.Src.Reg.Parent())
+		}
+	}
+	if out.Src2.Kind == x86.KReg && out.Src2.Reg.IsGP() {
+		e.materialize(st, out.Src2.Reg)
+	}
+
+	// A destination register that is also read (ALU dst, partial writes)
+	// must be materialized first.
+	if out.Dst.Kind == x86.KReg && out.Dst.Reg.IsGP() {
+		if readsDst(out.Op) || out.Dst.Size < 4 {
+			e.materialize(st, out.Dst.Reg)
+		}
+	}
+	if out.Dst.Kind == x86.KReg && out.Dst.Reg.IsHighByte() {
+		e.materialize(st, out.Dst.Reg.Parent())
+	}
+
+	e.emit(out)
+
+	// Post-state: written registers become dynamic.
+	if out.Dst.Kind == x86.KReg && !writesNothing(out.Op) {
+		if out.Dst.Reg.IsGP() {
+			st.setDynamic(out.Dst.Reg)
+		} else if out.Dst.Reg.IsHighByte() {
+			st.setDynamic(out.Dst.Reg.Parent())
+		}
+	}
+	if out.Op == x86.POP && out.Dst.Kind == x86.KReg {
+		st.setDynamic(out.Dst.Reg)
+	}
+	if out.Op == x86.CVTTSD2SI || out.Op == x86.MOVMSKPD {
+		if out.Dst.Kind == x86.KReg && out.Dst.Reg.IsGP() {
+			st.setDynamic(out.Dst.Reg)
+		}
+	}
+	if flagMask != 0 {
+		st.flags.known &^= flagMask
+		st.flags.valid |= flagMask
+	}
+	return nil
+}
+
+// immSubstitutable reports whether the instruction's source operand can be
+// an immediate.
+func immSubstitutable(op x86.Op) bool {
+	switch op {
+	case x86.ADD, x86.ADC, x86.SUB, x86.SBB, x86.AND, x86.OR, x86.XOR,
+		x86.CMP, x86.TEST, x86.MOV:
+		return true
+	}
+	return false
+}
+
+func fitsImm32(v uint64, size uint8) bool {
+	sv := signExtVal(v, size)
+	return sv >= -(1<<31) && sv < 1<<31
+}
+
+// readsDst reports whether the instruction reads its destination register.
+func readsDst(op x86.Op) bool {
+	switch op {
+	case x86.MOV, x86.MOVZX, x86.MOVSX, x86.MOVSXD, x86.LEA, x86.POP,
+		x86.SETCC, x86.MOVD, x86.MOVQGP, x86.CVTTSD2SI, x86.MOVMSKPD,
+		x86.MOVSD_X, x86.MOVSS_X, x86.MOVAPS, x86.MOVUPS, x86.MOVAPD,
+		x86.MOVUPD, x86.MOVDQA, x86.MOVDQU, x86.MOVQ:
+		return false
+	}
+	return true
+}
+
+// writesNothing reports ops whose Dst operand is read-only (stores handled
+// by operand kind; cmp/test/push write no register).
+func writesNothing(op x86.Op) bool {
+	switch op {
+	case x86.CMP, x86.TEST, x86.PUSH, x86.COMISD, x86.UCOMISD, x86.COMISS, x86.UCOMISS:
+		return true
+	}
+	return false
+}

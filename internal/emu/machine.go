@@ -1,0 +1,333 @@
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/x86"
+)
+
+func f64bits(v float64) uint64     { return math.Float64bits(v) }
+func f64frombits(u uint64) float64 { return math.Float64frombits(u) }
+func f32bits(v float32) uint32     { return math.Float32bits(v) }
+func f32frombits(u uint32) float32 { return math.Float32frombits(u) }
+
+// XMMReg holds one SSE register as two 64-bit little-endian lanes.
+type XMMReg struct {
+	Lo, Hi uint64
+}
+
+// Lanes32 decomposes the register into four 32-bit lanes.
+func (x XMMReg) Lanes32() [4]uint32 {
+	return [4]uint32{uint32(x.Lo), uint32(x.Lo >> 32), uint32(x.Hi), uint32(x.Hi >> 32)}
+}
+
+// FromLanes32 rebuilds the register from four 32-bit lanes.
+func FromLanes32(l [4]uint32) XMMReg {
+	return XMMReg{
+		Lo: uint64(l[0]) | uint64(l[1])<<32,
+		Hi: uint64(l[2]) | uint64(l[3])<<32,
+	}
+}
+
+// Flags is the modelled subset of RFLAGS: the six status flags the paper's
+// lifter reconstructs.
+type Flags struct {
+	CF, PF, AF, ZF, SF, OF bool
+}
+
+// Machine is the architectural state of the emulated CPU plus execution
+// bookkeeping (instruction cache, cycle accounting, per-op statistics).
+type Machine struct {
+	GPR   [16]uint64
+	XMM   [16]XMMReg
+	Flags Flags
+	RIP   uint64
+	Mem   *Memory
+
+	// FSBase/GSBase are segment bases for fs:/gs: overrides.
+	FSBase, GSBase uint64
+
+	// Cost is the timing model; nil disables cycle accounting.
+	Cost *CostModel
+	// Cycles accumulates modelled cycles, InstCount retired instructions.
+	Cycles    float64
+	InstCount uint64
+	// OpCount tallies retired instructions per opcode when CountOps is set.
+	CountOps bool
+	OpCount  map[x86.Op]uint64
+
+	// CallHook, when non-nil, intercepts CALL targets. Returning handled ==
+	// true skips the call (the hook is responsible for machine effects).
+	CallHook func(m *Machine, target uint64) (handled bool, err error)
+
+	icache map[uint64]*x86.Inst
+}
+
+// NewMachine returns a machine over mem with the default cost model.
+func NewMachine(mem *Memory) *Machine {
+	return &Machine{
+		Mem:    mem,
+		Cost:   HaswellModel(),
+		icache: make(map[uint64]*x86.Inst),
+	}
+}
+
+// returnSentinel is the fake return address pushed by Call; reaching it
+// terminates execution.
+const returnSentinel = 0xDEAD0000DEAD0000
+
+// FlushICache discards decoded instructions; call after patching code.
+func (m *Machine) FlushICache() { m.icache = make(map[uint64]*x86.Inst) }
+
+// fetch decodes (with caching) the instruction at RIP.
+func (m *Machine) fetch() (*x86.Inst, error) {
+	if in, ok := m.icache[m.RIP]; ok {
+		return in, nil
+	}
+	// Longest x86 instruction is 15 bytes; tolerate shorter tails.
+	window := 15
+	var code []byte
+	for window > 0 {
+		b, err := m.Mem.Bytes(m.RIP, window)
+		if err == nil {
+			code = b
+			break
+		}
+		window--
+	}
+	if code == nil {
+		return nil, &Fault{Addr: m.RIP, Size: 1, Op: "fetch"}
+	}
+	in, err := x86.Decode(code, m.RIP)
+	if err != nil {
+		return nil, err
+	}
+	p := &in
+	m.icache[m.RIP] = p
+	return p, nil
+}
+
+// gpRead reads a general purpose register facet.
+func (m *Machine) gpRead(r x86.Reg, size uint8) uint64 {
+	if r.IsHighByte() {
+		return (m.GPR[r.Parent()] >> 8) & 0xFF
+	}
+	v := m.GPR[r]
+	switch size {
+	case 1:
+		return v & 0xFF
+	case 2:
+		return v & 0xFFFF
+	case 4:
+		return v & 0xFFFFFFFF
+	}
+	return v
+}
+
+// gpWrite writes a general purpose register facet with x86 merge/zero
+// semantics: 32-bit writes zero the upper half, 8/16-bit writes preserve it.
+func (m *Machine) gpWrite(r x86.Reg, size uint8, v uint64) {
+	if r.IsHighByte() {
+		p := r.Parent()
+		m.GPR[p] = m.GPR[p]&^uint64(0xFF00) | (v&0xFF)<<8
+		return
+	}
+	switch size {
+	case 1:
+		m.GPR[r] = m.GPR[r]&^uint64(0xFF) | v&0xFF
+	case 2:
+		m.GPR[r] = m.GPR[r]&^uint64(0xFFFF) | v&0xFFFF
+	case 4:
+		m.GPR[r] = v & 0xFFFFFFFF
+	default:
+		m.GPR[r] = v
+	}
+}
+
+// ea computes the effective address of a memory operand. For RIP-relative
+// operands the displacement is relative to the end of the instruction.
+func (m *Machine) ea(in *x86.Inst, o x86.Operand) uint64 {
+	mem := o.Mem
+	var addr uint64
+	if mem.RIPRel {
+		addr = in.Addr + uint64(in.Len) + uint64(int64(mem.Disp))
+	} else {
+		if mem.Base != x86.NoReg {
+			addr = m.GPR[mem.Base]
+		}
+		if mem.Index != x86.NoReg {
+			addr += m.GPR[mem.Index] * uint64(mem.Scale)
+		}
+		addr += uint64(int64(mem.Disp))
+	}
+	switch mem.Seg {
+	case x86.SegFS:
+		addr += m.FSBase
+	case x86.SegGS:
+		addr += m.GSBase
+	}
+	return addr
+}
+
+// readOp reads an integer operand value (register, immediate, or memory).
+func (m *Machine) readOp(in *x86.Inst, o x86.Operand) (uint64, error) {
+	switch o.Kind {
+	case x86.KReg:
+		return m.gpRead(o.Reg, o.Size), nil
+	case x86.KImm:
+		return uint64(o.Imm), nil
+	case x86.KMem:
+		addr := m.ea(in, o)
+		m.accountMem(addr, int(o.Size), false)
+		return m.Mem.ReadU(addr, int(o.Size))
+	}
+	return 0, fmt.Errorf("emu: read of empty operand")
+}
+
+// writeOp writes an integer operand destination.
+func (m *Machine) writeOp(in *x86.Inst, o x86.Operand, v uint64) error {
+	switch o.Kind {
+	case x86.KReg:
+		m.gpWrite(o.Reg, o.Size, v)
+		return nil
+	case x86.KMem:
+		addr := m.ea(in, o)
+		m.accountMem(addr, int(o.Size), true)
+		return m.Mem.WriteU(addr, int(o.Size), v)
+	}
+	return fmt.Errorf("emu: write to bad operand")
+}
+
+func (m *Machine) accountMem(addr uint64, size int, write bool) {
+	if m.Cost != nil {
+		m.Cycles += m.Cost.MemPenalty(addr, size, write)
+	}
+}
+
+// push pushes a 64-bit value.
+func (m *Machine) push(v uint64) error {
+	m.GPR[x86.RSP] -= 8
+	return m.Mem.WriteU(m.GPR[x86.RSP], 8, v)
+}
+
+// pop pops a 64-bit value.
+func (m *Machine) pop() (uint64, error) {
+	v, err := m.Mem.ReadU(m.GPR[x86.RSP], 8)
+	m.GPR[x86.RSP] += 8
+	return v, err
+}
+
+// CondHolds evaluates an x86 condition code against the current flags.
+func (m *Machine) CondHolds(c x86.Cond) bool {
+	f := m.Flags
+	var v bool
+	switch c &^ 1 {
+	case x86.CondO:
+		v = f.OF
+	case x86.CondB:
+		v = f.CF
+	case x86.CondE:
+		v = f.ZF
+	case x86.CondBE:
+		v = f.CF || f.ZF
+	case x86.CondS:
+		v = f.SF
+	case x86.CondP:
+		v = f.PF
+	case x86.CondL:
+		v = f.SF != f.OF
+	case x86.CondLE:
+		v = f.ZF || (f.SF != f.OF)
+	}
+	if c&1 != 0 {
+		return !v
+	}
+	return v
+}
+
+// Step fetches, decodes, and executes one instruction.
+func (m *Machine) Step() error {
+	in, err := m.fetch()
+	if err != nil {
+		return err
+	}
+	m.InstCount++
+	if m.Cost != nil {
+		m.Cycles += m.Cost.InstCost(in)
+	}
+	if m.CountOps {
+		if m.OpCount == nil {
+			m.OpCount = make(map[x86.Op]uint64)
+		}
+		m.OpCount[in.Op]++
+	}
+	next := m.RIP + uint64(in.Len)
+	m.RIP = next
+	if err := m.exec(in); err != nil {
+		return fmt.Errorf("emu: at %#x %v: %w", in.Addr, in, err)
+	}
+	return nil
+}
+
+// Run executes until the return sentinel is reached or maxInst instructions
+// retire in this run (0 means no limit).
+func (m *Machine) Run(maxInst uint64) error {
+	var n uint64
+	for m.RIP != returnSentinel {
+		if err := m.Step(); err != nil {
+			return err
+		}
+		n++
+		if maxInst > 0 && n >= maxInst {
+			return fmt.Errorf("emu: instruction budget of %d exhausted at %#x", maxInst, m.RIP)
+		}
+	}
+	return nil
+}
+
+// CallArgs describes a SysV AMD64 call: integer args fill RDI, RSI, RDX,
+// RCX, R8, R9; float args fill XMM0..XMM7.
+type CallArgs struct {
+	Ints   []uint64
+	Floats []float64
+}
+
+// Call executes the function at entry with the given arguments on a fresh
+// stack, following the SysV AMD64 calling convention, and returns RAX.
+func (m *Machine) Call(entry uint64, args CallArgs, maxInst uint64) (uint64, error) {
+	intRegs := []x86.Reg{x86.RDI, x86.RSI, x86.RDX, x86.RCX, x86.R8, x86.R9}
+	if len(args.Ints) > len(intRegs) {
+		return 0, fmt.Errorf("emu: too many integer args (%d)", len(args.Ints))
+	}
+	for i, v := range args.Ints {
+		m.GPR[intRegs[i]] = v
+	}
+	if len(args.Floats) > 8 {
+		return 0, fmt.Errorf("emu: too many float args (%d)", len(args.Floats))
+	}
+	for i, v := range args.Floats {
+		m.XMM[i] = XMMReg{Lo: f64bits(v)}
+	}
+	if m.GPR[x86.RSP] == 0 {
+		if m.Mem.stack == nil {
+			m.Mem.stack = m.Mem.Alloc(1<<20, 4096, "stack")
+		}
+		m.GPR[x86.RSP] = m.Mem.stack.End() - 64
+	}
+	if err := m.push(returnSentinel); err != nil {
+		return 0, err
+	}
+	m.RIP = entry
+	if err := m.Run(maxInst); err != nil {
+		return 0, err
+	}
+	return m.GPR[x86.RAX], nil
+}
+
+// ResetStats clears cycle and instruction accounting.
+func (m *Machine) ResetStats() {
+	m.Cycles = 0
+	m.InstCount = 0
+	m.OpCount = nil
+}

@@ -1,0 +1,209 @@
+// Package emu executes x86-64 machine code produced by the kernels corpus,
+// by DBrew, and by the JIT backend. It provides the "hardware" substitute
+// for this reproduction: a user-mode interpreter over a flat virtual address
+// space plus a Haswell-like cost model that accounts cycles per executed
+// instruction.
+//
+// Every evaluated code variant (native, DBrew-rewritten, JIT-compiled) runs
+// on the same machine model, so relative performance is determined purely by
+// the generated code — mirroring how the paper compares variants on one CPU.
+package emu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Fault describes an invalid memory access.
+type Fault struct {
+	Addr uint64
+	Size int
+	Op   string
+}
+
+// Error formats the fault.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("emu: %s fault at %#x (size %d)", f.Op, f.Addr, f.Size)
+}
+
+// Region is a contiguous mapped range of the virtual address space.
+type Region struct {
+	Start uint64
+	Data  []byte
+	Name  string
+}
+
+// End returns the first address past the region.
+func (r *Region) End() uint64 { return r.Start + uint64(len(r.Data)) }
+
+// Memory is a sparse virtual address space composed of mapped regions.
+// Lookups cache the last region hit, which makes the common
+// one-region-dominates workloads fast.
+type Memory struct {
+	regions []*Region
+	last    *Region
+	brk     uint64 // next free address for Alloc
+
+	// stack is the shared machine stack, created on first use. Machines
+	// on one Memory run sequentially, so one stack region suffices; a
+	// per-call allocation would grow the address space without bound in
+	// measurement loops.
+	stack *Region
+}
+
+// NewMemory returns an empty address space whose allocator starts at base.
+func NewMemory(base uint64) *Memory { return &Memory{brk: base} }
+
+// Map adds a region at a fixed address. Overlapping an existing region is an
+// error.
+func (m *Memory) Map(start uint64, size int, name string) (*Region, error) {
+	r := &Region{Start: start, Data: make([]byte, size), Name: name}
+	for _, o := range m.regions {
+		if r.Start < o.End() && o.Start < r.End() {
+			return nil, fmt.Errorf("emu: mapping %q [%#x,%#x) overlaps %q", name, r.Start, r.End(), o.Name)
+		}
+	}
+	m.regions = append(m.regions, r)
+	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Start < m.regions[j].Start })
+	if r.End() > m.brk {
+		m.brk = r.End()
+	}
+	return r, nil
+}
+
+// Alloc maps a fresh region of the given size and alignment at the next free
+// address and returns it.
+func (m *Memory) Alloc(size int, align uint64, name string) *Region {
+	if align == 0 {
+		align = 16
+	}
+	start := (m.brk + align - 1) &^ (align - 1)
+	r, err := m.Map(start, size, name)
+	if err != nil {
+		panic("emu: allocator collision: " + err.Error()) // cannot happen: brk is past all regions
+	}
+	m.brk = start + uint64(size) + 64 // red zone between allocations
+	return r
+}
+
+// MapBytes maps data at a fixed address.
+func (m *Memory) MapBytes(start uint64, data []byte, name string) (*Region, error) {
+	r, err := m.Map(start, len(data), name)
+	if err != nil {
+		return nil, err
+	}
+	copy(r.Data, data)
+	return r, nil
+}
+
+// find locates the region containing [addr, addr+size).
+func (m *Memory) find(addr uint64, size int) *Region {
+	if r := m.last; r != nil && addr >= r.Start && addr+uint64(size) <= r.End() {
+		return r
+	}
+	i := sort.Search(len(m.regions), func(i int) bool { return m.regions[i].End() > addr })
+	if i < len(m.regions) {
+		r := m.regions[i]
+		if addr >= r.Start && addr+uint64(size) <= r.End() {
+			m.last = r
+			return r
+		}
+	}
+	return nil
+}
+
+// Bytes returns a mutable view of [addr, addr+size).
+func (m *Memory) Bytes(addr uint64, size int) ([]byte, error) {
+	r := m.find(addr, size)
+	if r == nil {
+		return nil, &Fault{Addr: addr, Size: size, Op: "access"}
+	}
+	off := addr - r.Start
+	return r.Data[off : off+uint64(size)], nil
+}
+
+// Read copies size bytes from addr.
+func (m *Memory) Read(addr uint64, size int) ([]byte, error) {
+	b, err := m.Bytes(addr, size)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, size)
+	copy(out, b)
+	return out, nil
+}
+
+// ReadU reads a little-endian unsigned integer of 1, 2, 4, or 8 bytes.
+func (m *Memory) ReadU(addr uint64, size int) (uint64, error) {
+	b, err := m.Bytes(addr, size)
+	if err != nil {
+		return 0, err
+	}
+	switch size {
+	case 1:
+		return uint64(b[0]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b)), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b)), nil
+	case 8:
+		return binary.LittleEndian.Uint64(b), nil
+	}
+	return 0, fmt.Errorf("emu: bad read size %d", size)
+}
+
+// WriteU writes a little-endian unsigned integer of 1, 2, 4, or 8 bytes.
+func (m *Memory) WriteU(addr uint64, size int, v uint64) error {
+	b, err := m.Bytes(addr, size)
+	if err != nil {
+		return &Fault{Addr: addr, Size: size, Op: "write"}
+	}
+	switch size {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(b, v)
+	default:
+		return fmt.Errorf("emu: bad write size %d", size)
+	}
+	return nil
+}
+
+// Read128 reads a 16-byte value as two little-endian 64-bit lanes.
+func (m *Memory) Read128(addr uint64) (lo, hi uint64, err error) {
+	b, err := m.Bytes(addr, 16)
+	if err != nil {
+		return 0, 0, err
+	}
+	return binary.LittleEndian.Uint64(b), binary.LittleEndian.Uint64(b[8:]), nil
+}
+
+// Write128 writes a 16-byte value from two 64-bit lanes.
+func (m *Memory) Write128(addr uint64, lo, hi uint64) error {
+	b, err := m.Bytes(addr, 16)
+	if err != nil {
+		return &Fault{Addr: addr, Size: 16, Op: "write"}
+	}
+	binary.LittleEndian.PutUint64(b, lo)
+	binary.LittleEndian.PutUint64(b[8:], hi)
+	return nil
+}
+
+// WriteFloat64 stores a float64 at addr.
+func (m *Memory) WriteFloat64(addr uint64, v float64) error {
+	return m.WriteU(addr, 8, f64bits(v))
+}
+
+// ReadFloat64 loads a float64 from addr.
+func (m *Memory) ReadFloat64(addr uint64) (float64, error) {
+	u, err := m.ReadU(addr, 8)
+	return f64frombits(u), err
+}
+
+// Regions returns the mapped regions in address order.
+func (m *Memory) Regions() []*Region { return m.regions }

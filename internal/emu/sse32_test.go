@@ -1,0 +1,274 @@
+package emu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
+)
+
+func f32pack(lanes [4]float32) XMMReg {
+	var u [4]uint32
+	for i, f := range lanes {
+		u[i] = math.Float32bits(f)
+	}
+	return FromLanes32(u)
+}
+
+func lanesOf(v XMMReg) [4]float32 {
+	var out [4]float32
+	for i, u := range v.Lanes32() {
+		out[i] = math.Float32frombits(u)
+	}
+	return out
+}
+
+// TestScalarF32Ops exercises addss/subss/mulss/divss, including the
+// requirement that the upper three lanes of the destination are preserved.
+func TestScalarF32Ops(t *testing.T) {
+	cases := []struct {
+		op   x86.Op
+		want float32
+	}{
+		{x86.ADDSS, 7.5},
+		{x86.SUBSS, 4.5},
+		{x86.MULSS, 9.0},
+		{x86.DIVSS, 4.0},
+	}
+	for _, c := range cases {
+		m := run(t, func(m *Machine) {
+			m.XMM[0] = f32pack([4]float32{6, 111, 222, 333})
+			m.XMM[1] = f32pack([4]float32{1.5, -1, -1, -1})
+		}, func(b *asm.Builder) {
+			b.I(c.op, x86.X(x86.XMM0), x86.X(x86.XMM1))
+		})
+		got := lanesOf(m.XMM[0])
+		if got[0] != c.want {
+			t.Errorf("%v lane0 = %g, want %g", c.op, got[0], c.want)
+		}
+		if got[1] != 111 || got[2] != 222 || got[3] != 333 {
+			t.Errorf("%v clobbered upper lanes: %v", c.op, got)
+		}
+	}
+}
+
+// TestPackedF32Ops exercises addps/subps/mulps/divps across all four lanes.
+func TestPackedF32Ops(t *testing.T) {
+	a := [4]float32{1, 2, 3, 4}
+	bv := [4]float32{4, 3, 2, 1}
+	cases := []struct {
+		op   x86.Op
+		want [4]float32
+	}{
+		{x86.ADDPS, [4]float32{5, 5, 5, 5}},
+		{x86.SUBPS, [4]float32{-3, -1, 1, 3}},
+		{x86.MULPS, [4]float32{4, 6, 6, 4}},
+		{x86.DIVPS, [4]float32{0.25, 2.0 / 3.0, 1.5, 4}},
+	}
+	for _, c := range cases {
+		m := run(t, func(m *Machine) {
+			m.XMM[0] = f32pack(a)
+			m.XMM[1] = f32pack(bv)
+		}, func(b *asm.Builder) {
+			b.I(c.op, x86.X(x86.XMM0), x86.X(x86.XMM1))
+		})
+		if got := lanesOf(m.XMM[0]); got != c.want {
+			t.Errorf("%v = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+// TestScalarF32Mem: the memory-source form reads exactly four bytes.
+func TestScalarF32Mem(t *testing.T) {
+	m := run(t, func(m *Machine) {
+		m.XMM[0] = f32pack([4]float32{10, 0, 0, 0})
+		buf := m.Mem.Alloc(8, 8, "buf")
+		m.GPR[x86.RDI] = buf.Start
+		if err := m.Mem.WriteU(buf.Start, 4, uint64(math.Float32bits(2.5))); err != nil {
+			t.Fatal(err)
+		}
+		// Poison the following bytes: they must not be read.
+		if err := m.Mem.WriteU(buf.Start+4, 4, 0xFFFFFFFF); err != nil {
+			t.Fatal(err)
+		}
+	}, func(b *asm.Builder) {
+		b.I(x86.ADDSS, x86.X(x86.XMM0), x86.MemBD(4, x86.RDI, 0))
+	})
+	if got := lanesOf(m.XMM[0])[0]; got != 12.5 {
+		t.Errorf("addss mem = %g, want 12.5", got)
+	}
+}
+
+// TestCondHoldsIn checks the exported flag-predicate helper on a snapshot.
+func TestCondHoldsIn(t *testing.T) {
+	fl := Flags{ZF: true, SF: false, OF: true, CF: false}
+	cases := []struct {
+		c    x86.Cond
+		want bool
+	}{
+		{x86.CondE, true},
+		{x86.CondNE, false},
+		{x86.CondL, true}, // SF != OF
+		{x86.CondGE, false},
+		{x86.CondB, false},
+		{x86.CondAE, true},
+		{x86.CondLE, true},
+		{x86.CondG, false},
+	}
+	for _, c := range cases {
+		if got := CondHoldsIn(fl, c.c); got != c.want {
+			t.Errorf("CondHoldsIn(%v) = %v, want %v", c.c, got, c.want)
+		}
+	}
+}
+
+// TestCostSeconds converts cycles at the model clock.
+func TestCostSeconds(t *testing.T) {
+	c := HaswellModel()
+	if s := c.Seconds(3.5e9); math.Abs(s-1.0) > 1e-9 {
+		t.Errorf("3.5e9 cycles = %g s at 3.5 GHz, want 1.0", s)
+	}
+}
+
+// TestFlushICache: patched code takes effect only after the decoded
+// instruction cache is flushed — mirroring real runtime patching.
+func TestFlushICache(t *testing.T) {
+	b := asm.NewBuilder()
+	b.I(x86.MOV, x86.R64(x86.RAX), x86.Imm(1, 8))
+	b.Ret()
+	code, _, err := b.Assemble(0x5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemory(0x100000)
+	region, err := mem.MapBytes(0x5000, code, "code")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(mem)
+	if rax, _ := m.Call(0x5000, CallArgs{}, 1000); rax != 1 {
+		t.Fatalf("first call: rax = %d", rax)
+	}
+	// Patch the immediate (mov rax, imm64 via C7 /0 id or B8+r io — find
+	// the byte holding 0x01 and bump it).
+	patched := false
+	for i, by := range region.Data {
+		if by == 1 {
+			region.Data[i] = 2
+			patched = true
+			break
+		}
+	}
+	if !patched {
+		t.Fatal("immediate byte not found")
+	}
+	m.FlushICache()
+	if rax, _ := m.Call(0x5000, CallArgs{}, 1000); rax != 2 {
+		t.Errorf("after patch+flush: rax = %d, want 2", rax)
+	}
+}
+
+// TestMemoryReadCopies: Read returns a copy, Bytes aliases the region.
+func TestMemoryReadCopies(t *testing.T) {
+	mem := NewMemory(0x100000)
+	r := mem.Alloc(16, 8, "buf")
+	r.Data[0] = 0xAA
+	cp, err := mem.Read(r.Start, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp[0] = 0xBB
+	if r.Data[0] != 0xAA {
+		t.Error("Read must return a copy")
+	}
+	al, err := mem.Bytes(r.Start, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al[0] = 0xCC
+	if r.Data[0] != 0xCC {
+		t.Error("Bytes must alias the region")
+	}
+	if _, err := mem.Read(r.Start+8, 16); err == nil {
+		t.Error("out-of-region read must fail")
+	}
+	found := false
+	for _, reg := range mem.Regions() {
+		if reg == r {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Regions must include the allocation")
+	}
+}
+
+// TestSharedStackStable: repeated Calls on one Memory must reuse one stack
+// region instead of growing the address space (regression: measurement
+// loops previously allocated 1 MiB per call).
+func TestSharedStackStable(t *testing.T) {
+	b := asm.NewBuilder()
+	b.I(x86.MOV, x86.R64(x86.RAX), x86.Imm(7, 8))
+	b.Ret()
+	code, _, err := b.Assemble(0x5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemory(0x100000)
+	if _, err := mem.MapBytes(0x5000, code, "code"); err != nil {
+		t.Fatal(err)
+	}
+	before := len(mem.Regions())
+	for i := 0; i < 50; i++ {
+		m := NewMachine(mem)
+		if rax, err := m.Call(0x5000, CallArgs{}, 100); err != nil || rax != 7 {
+			t.Fatalf("call %d: rax=%d err=%v", i, rax, err)
+		}
+	}
+	after := len(mem.Regions())
+	if after != before+1 {
+		t.Errorf("50 calls grew regions from %d to %d; want exactly one shared stack", before, after)
+	}
+}
+
+// TestMemPenaltyModel: the cost model's unaligned/split penalties behave as
+// documented — no penalty for aligned scalar loads, a fixed penalty for
+// 16-byte accesses that are misaligned, a larger one when the access
+// crosses a cache line, and doubled split cost for stores.
+func TestMemPenaltyModel(t *testing.T) {
+	c := HaswellModel()
+	if p := c.MemPenalty(0x1000, 8, false); p != 0 {
+		t.Errorf("aligned 8B load penalty %g", p)
+	}
+	if p := c.MemPenalty(0x1000, 16, false); p != 0 {
+		t.Errorf("aligned 16B load penalty %g", p)
+	}
+	unaligned := c.MemPenalty(0x1008, 16, false)
+	if unaligned <= 0 {
+		t.Errorf("misaligned 16B load penalty %g", unaligned)
+	}
+	split := c.MemPenalty(0x103C, 16, false) // crosses the 0x1040 line
+	if split <= unaligned {
+		t.Errorf("line-split %g must exceed plain misalignment %g", split, unaligned)
+	}
+	storeSplit := c.MemPenalty(0x103C, 16, true)
+	if storeSplit <= split {
+		t.Errorf("split store %g must exceed split load %g", storeSplit, split)
+	}
+}
+
+// TestStcClcExecution: carry flag materialization ops.
+func TestStcClcExecution(t *testing.T) {
+	m := run(t, nil, func(b *asm.Builder) {
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.Imm(0, 8))
+		b.I(x86.STC)
+		b.I(x86.ADC, x86.R64(x86.RAX), x86.Imm(0, 8)) // +1 from carry
+		b.I(x86.CLC)
+		b.I(x86.ADC, x86.R64(x86.RAX), x86.Imm(10, 8)) // +10, no carry
+		b.Ret()
+	})
+	if m.GPR[x86.RAX] != 11 {
+		t.Errorf("stc/clc chain: rax = %d, want 11", m.GPR[x86.RAX])
+	}
+}

@@ -1,0 +1,276 @@
+package ir
+
+import "fmt"
+
+// Builder appends instructions to a current insertion block, naming results
+// automatically.
+type Builder struct {
+	Fn  *Func
+	Cur *Block
+	// FastMath applies the fast-math flag to all FP instructions built,
+	// mirroring the paper's optional -ffast-math mode.
+	FastMath bool
+}
+
+// NewBuilder returns a builder positioned at the function entry (creating it
+// if needed).
+func NewBuilder(f *Func) *Builder {
+	b := &Builder{Fn: f}
+	if len(f.Blocks) == 0 {
+		b.Cur = f.NewBlock("entry")
+	} else {
+		b.Cur = f.Blocks[0]
+	}
+	return b
+}
+
+// SetBlock moves the insertion point.
+func (b *Builder) SetBlock(blk *Block) { b.Cur = blk }
+
+// insert finalizes and appends an instruction.
+func (b *Builder) insert(i *Inst) *Inst {
+	if i.Ty == nil {
+		i.Ty = Void
+	}
+	if i.Ty != Void && i.Nam == "" {
+		i.Nam = b.Fn.freshName()
+	}
+	b.Cur.append(i)
+	return i
+}
+
+func (b *Builder) binary(op Op, x, y Value) *Inst {
+	return b.insert(&Inst{Op: op, Ty: x.Type(), Args: []Value{x, y}})
+}
+
+func (b *Builder) fbinary(op Op, x, y Value) *Inst {
+	i := b.binary(op, x, y)
+	i.FastMath = b.FastMath
+	return i
+}
+
+// Integer arithmetic.
+
+// Add builds an integer add.
+func (b *Builder) Add(x, y Value) *Inst { return b.binary(OpAdd, x, y) }
+
+// Sub builds an integer subtract.
+func (b *Builder) Sub(x, y Value) *Inst { return b.binary(OpSub, x, y) }
+
+// Mul builds an integer multiply.
+func (b *Builder) Mul(x, y Value) *Inst { return b.binary(OpMul, x, y) }
+
+// SDiv builds a signed division.
+func (b *Builder) SDiv(x, y Value) *Inst { return b.binary(OpSDiv, x, y) }
+
+// UDiv builds an unsigned division.
+func (b *Builder) UDiv(x, y Value) *Inst { return b.binary(OpUDiv, x, y) }
+
+// SRem builds a signed remainder.
+func (b *Builder) SRem(x, y Value) *Inst { return b.binary(OpSRem, x, y) }
+
+// URem builds an unsigned remainder.
+func (b *Builder) URem(x, y Value) *Inst { return b.binary(OpURem, x, y) }
+
+// And builds a bitwise and.
+func (b *Builder) And(x, y Value) *Inst { return b.binary(OpAnd, x, y) }
+
+// Or builds a bitwise or.
+func (b *Builder) Or(x, y Value) *Inst { return b.binary(OpOr, x, y) }
+
+// Xor builds a bitwise xor.
+func (b *Builder) Xor(x, y Value) *Inst { return b.binary(OpXor, x, y) }
+
+// Shl builds a left shift.
+func (b *Builder) Shl(x, y Value) *Inst { return b.binary(OpShl, x, y) }
+
+// LShr builds a logical right shift.
+func (b *Builder) LShr(x, y Value) *Inst { return b.binary(OpLShr, x, y) }
+
+// AShr builds an arithmetic right shift.
+func (b *Builder) AShr(x, y Value) *Inst { return b.binary(OpAShr, x, y) }
+
+// Floating-point arithmetic.
+
+// FAdd builds a floating add.
+func (b *Builder) FAdd(x, y Value) *Inst { return b.fbinary(OpFAdd, x, y) }
+
+// FSub builds a floating subtract.
+func (b *Builder) FSub(x, y Value) *Inst { return b.fbinary(OpFSub, x, y) }
+
+// FMul builds a floating multiply.
+func (b *Builder) FMul(x, y Value) *Inst { return b.fbinary(OpFMul, x, y) }
+
+// FDiv builds a floating divide.
+func (b *Builder) FDiv(x, y Value) *Inst { return b.fbinary(OpFDiv, x, y) }
+
+// Sqrt builds an llvm.sqrt intrinsic call.
+func (b *Builder) Sqrt(x Value) *Inst {
+	return b.insert(&Inst{Op: OpSqrt, Ty: x.Type(), Args: []Value{x}})
+}
+
+// Ctpop builds an llvm.ctpop intrinsic call.
+func (b *Builder) Ctpop(x Value) *Inst {
+	return b.insert(&Inst{Op: OpCtpop, Ty: x.Type(), Args: []Value{x}})
+}
+
+// Comparisons.
+
+// ICmp builds an integer comparison yielding i1.
+func (b *Builder) ICmp(p Pred, x, y Value) *Inst {
+	return b.insert(&Inst{Op: OpICmp, Ty: I1, Pred: p, Args: []Value{x, y}})
+}
+
+// FCmp builds a floating comparison yielding i1.
+func (b *Builder) FCmp(p Pred, x, y Value) *Inst {
+	return b.insert(&Inst{Op: OpFCmp, Ty: I1, Pred: p, Args: []Value{x, y}})
+}
+
+// Select builds a select between two values.
+func (b *Builder) Select(cond, x, y Value) *Inst {
+	return b.insert(&Inst{Op: OpSelect, Ty: x.Type(), Args: []Value{cond, x, y}})
+}
+
+// Casts.
+
+func (b *Builder) cast(op Op, x Value, to *Type) *Inst {
+	return b.insert(&Inst{Op: op, Ty: to, Args: []Value{x}})
+}
+
+// Trunc truncates an integer.
+func (b *Builder) Trunc(x Value, to *Type) *Inst { return b.cast(OpTrunc, x, to) }
+
+// ZExt zero-extends an integer.
+func (b *Builder) ZExt(x Value, to *Type) *Inst { return b.cast(OpZExt, x, to) }
+
+// SExt sign-extends an integer.
+func (b *Builder) SExt(x Value, to *Type) *Inst { return b.cast(OpSExt, x, to) }
+
+// FPTrunc narrows a floating value.
+func (b *Builder) FPTrunc(x Value, to *Type) *Inst { return b.cast(OpFPTrunc, x, to) }
+
+// FPExt widens a floating value.
+func (b *Builder) FPExt(x Value, to *Type) *Inst { return b.cast(OpFPExt, x, to) }
+
+// FPToSI converts floating to signed integer (truncating).
+func (b *Builder) FPToSI(x Value, to *Type) *Inst { return b.cast(OpFPToSI, x, to) }
+
+// SIToFP converts signed integer to floating.
+func (b *Builder) SIToFP(x Value, to *Type) *Inst { return b.cast(OpSIToFP, x, to) }
+
+// PtrToInt converts a pointer to an integer.
+func (b *Builder) PtrToInt(x Value, to *Type) *Inst { return b.cast(OpPtrToInt, x, to) }
+
+// IntToPtr converts an integer to a pointer.
+func (b *Builder) IntToPtr(x Value, to *Type) *Inst { return b.cast(OpIntToPtr, x, to) }
+
+// Bitcast reinterprets a value's bits at another type of equal size.
+func (b *Builder) Bitcast(x Value, to *Type) *Inst {
+	if x.Type().Equal(to) {
+		if i, ok := x.(*Inst); ok {
+			return i
+		}
+	}
+	return b.cast(OpBitcast, x, to)
+}
+
+// Memory.
+
+// GEP builds a getelementptr: base + idx*sizeof(elem). The result type is a
+// pointer to elem in base's address space.
+func (b *Builder) GEP(elem *Type, base, idx Value) *Inst {
+	space := 0
+	if base.Type().IsPtr() {
+		space = base.Type().AddrSpace
+	}
+	return b.insert(&Inst{Op: OpGEP, Ty: PtrInSpace(elem, space), ElemTy: elem, Args: []Value{base, idx}})
+}
+
+// Load builds a typed load.
+func (b *Builder) Load(ty *Type, ptr Value) *Inst {
+	return b.insert(&Inst{Op: OpLoad, Ty: ty, Args: []Value{ptr}})
+}
+
+// Store builds a store.
+func (b *Builder) Store(v, ptr Value) *Inst {
+	return b.insert(&Inst{Op: OpStore, Ty: Void, Args: []Value{v, ptr}})
+}
+
+// Alloca builds a stack allocation of n elements of ty in the entry block
+// position of the current block.
+func (b *Builder) Alloca(ty *Type, n int) *Inst {
+	return b.insert(&Inst{Op: OpAlloca, Ty: PtrTo(ty), ElemTy: ty, NElem: n})
+}
+
+// Vectors.
+
+// ExtractElement builds an element extraction.
+func (b *Builder) ExtractElement(vec Value, idx int) *Inst {
+	return b.insert(&Inst{Op: OpExtractElement, Ty: vec.Type().Elem,
+		Args: []Value{vec, Int(I32, uint64(idx))}})
+}
+
+// InsertElement builds an element insertion.
+func (b *Builder) InsertElement(vec, v Value, idx int) *Inst {
+	return b.insert(&Inst{Op: OpInsertElement, Ty: vec.Type(),
+		Args: []Value{vec, v, Int(I32, uint64(idx))}})
+}
+
+// ShuffleVector builds a shuffle of two vectors with the given mask. Mask
+// entries index the concatenation [x ++ y]; -1 selects undef.
+func (b *Builder) ShuffleVector(x, y Value, mask []int) *Inst {
+	return b.insert(&Inst{Op: OpShuffleVector, Ty: VecOf(x.Type().Elem, len(mask)),
+		Args: []Value{x, y}, Mask: append([]int(nil), mask...)})
+}
+
+// Control flow.
+
+// Phi builds an empty phi of type ty; use AddIncoming to populate it.
+func (b *Builder) Phi(ty *Type) *Inst {
+	return b.insert(&Inst{Op: OpPhi, Ty: ty})
+}
+
+// AddIncoming appends an incoming (value, predecessor) pair to a phi.
+func AddIncoming(phi *Inst, v Value, from *Block) {
+	phi.Args = append(phi.Args, v)
+	phi.Incoming = append(phi.Incoming, from)
+}
+
+// Call builds a direct call.
+func (b *Builder) Call(callee *Func, args ...Value) *Inst {
+	return b.insert(&Inst{Op: OpCall, Ty: callee.RetTy, Callee: callee, Args: args})
+}
+
+// Ret builds a return (v may be nil for void).
+func (b *Builder) Ret(v Value) *Inst {
+	i := &Inst{Op: OpRet, Ty: Void}
+	if v != nil {
+		i.Args = []Value{v}
+	}
+	return b.insert(i)
+}
+
+// Br builds an unconditional branch.
+func (b *Builder) Br(dst *Block) *Inst {
+	return b.insert(&Inst{Op: OpBr, Ty: Void, Blocks: []*Block{dst}})
+}
+
+// CondBr builds a conditional branch.
+func (b *Builder) CondBr(cond Value, then, els *Block) *Inst {
+	return b.insert(&Inst{Op: OpCondBr, Ty: Void, Args: []Value{cond}, Blocks: []*Block{then, els}})
+}
+
+// Unreachable builds an unreachable terminator.
+func (b *Builder) Unreachable() *Inst {
+	return b.insert(&Inst{Op: OpUnreachable, Ty: Void})
+}
+
+// FMulAdd builds a fused multiply-add intrinsic a*b+c.
+func (b *Builder) FMulAdd(a, x, c Value) *Inst {
+	return b.insert(&Inst{Op: OpFMulAdd, Ty: a.Type(), Args: []Value{a, x, c}})
+}
+
+// String provides debug output for builder state.
+func (b *Builder) String() string {
+	return fmt.Sprintf("builder at %s.%s", b.Fn.Nam, b.Cur.Nam)
+}

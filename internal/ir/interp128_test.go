@@ -1,0 +1,121 @@
+package ir
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// bigOf reconstructs the unsigned 128-bit integer from an RV.
+func bigOf(v RV) *big.Int {
+	x := new(big.Int).SetUint64(v.Hi)
+	x.Lsh(x, 64)
+	return x.Or(x, new(big.Int).SetUint64(v.Lo))
+}
+
+// runShift128 interprets `a <op> s` at i128.
+func runShift128(t *testing.T, op Op, a RV, s uint64) RV {
+	t.Helper()
+	f := NewFunc("s128", I128)
+	b := NewBuilder(f)
+	av := &ConstInt{Ty: I128, V: a.Lo, Hi: a.Hi}
+	sv := &ConstInt{Ty: I128, V: s}
+	var r Value
+	switch op {
+	case OpShl:
+		r = b.Shl(av, sv)
+	case OpLShr:
+		r = b.LShr(av, sv)
+	}
+	b.Ret(r)
+	ip := NewInterp(nil)
+	res, err := ip.CallFunc(f, nil)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return res
+}
+
+// TestShift128MatchesBig pins the interpreter's 128-bit shifts to math/big.
+func TestShift128MatchesBig(t *testing.T) {
+	mod := new(big.Int).Lsh(big.NewInt(1), 128)
+	prop := func(lo, hi uint64, sRaw uint8) bool {
+		s := uint64(sRaw) % 128
+		a := RV{Lo: lo, Hi: hi}
+
+		gotL := bigOf(runShift128(t, OpShl, a, s))
+		wantL := new(big.Int).Lsh(bigOf(a), uint(s))
+		wantL.Mod(wantL, mod)
+		if gotL.Cmp(wantL) != 0 {
+			t.Logf("shl %d: got %s, want %s", s, gotL, wantL)
+			return false
+		}
+
+		gotR := bigOf(runShift128(t, OpLShr, a, s))
+		wantR := new(big.Int).Rsh(bigOf(a), uint(s))
+		if gotR.Cmp(wantR) != 0 {
+			t.Logf("lshr %d: got %s, want %s", s, gotR, wantR)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShift128Boundaries exercises the exact-64 and ≥128 edges explicitly.
+func TestShift128Boundaries(t *testing.T) {
+	a := RV{Lo: 0x0123456789ABCDEF, Hi: 0xFEDCBA9876543210}
+	if got := runShift128(t, OpShl, a, 64); got.Lo != 0 || got.Hi != a.Lo {
+		t.Errorf("shl 64: %+v", got)
+	}
+	if got := runShift128(t, OpLShr, a, 64); got.Hi != 0 || got.Lo != a.Hi {
+		t.Errorf("lshr 64: %+v", got)
+	}
+	if got := runShift128(t, OpShl, a, 0); got != a {
+		t.Errorf("shl 0: %+v", got)
+	}
+	if got := runShift128(t, OpLShr, a, 127); got.Lo != a.Hi>>63 || got.Hi != 0 {
+		t.Errorf("lshr 127: %+v", got)
+	}
+}
+
+// TestVerifyModuleAndIdents: module-level verification plus the printable
+// identities of every value kind.
+func TestVerifyModuleAndIdents(t *testing.T) {
+	m := &Module{}
+	f := NewFunc("ok", I64, I64)
+	b := NewBuilder(f)
+	b.Ret(b.Add(f.Params[0], Int(I64, 1)))
+	m.AddFunc(f)
+	if err := VerifyModule(m); err != nil {
+		t.Fatalf("valid module: %v", err)
+	}
+	bad := NewFunc("bad", I64)
+	bb := NewBuilder(bad)
+	bb.Ret(Flt(1.0)) // type mismatch: f64 returned from i64 function
+	m.AddFunc(bad)
+	if err := VerifyModule(m); err == nil {
+		t.Error("module with bad function must fail verification")
+	}
+
+	if (&Undef{Ty: I64}).Ident() != "undef" {
+		t.Error("undef ident")
+	}
+	if (&Zero{Ty: I64}).Ident() != "zeroinitializer" {
+		t.Error("zero ident")
+	}
+	if f.Params[0].Ident() != "%arg0" {
+		t.Errorf("param ident %q", f.Params[0].Ident())
+	}
+	if (&Global{Nam: "g"}).Ident() != "@g" {
+		t.Error("global ident")
+	}
+	if f.Ident() != "@ok" {
+		t.Error("func ident")
+	}
+	if m.FindFunc("ok") != f || m.FindFunc("missing") != nil {
+		t.Error("FindFunc")
+	}
+}

@@ -1,0 +1,307 @@
+package ir
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+)
+
+func evalUnary(t *testing.T, build func(b *Builder, x Value) Value, ty *Type, in RV) RV {
+	t.Helper()
+	f := NewFunc("u", ty, ty)
+	b := NewBuilder(f)
+	b.Ret(build(b, f.Params[0]))
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	ip := NewInterp(emu.NewMemory(0x1000))
+	out, err := ip.CallFunc(f, []RV{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestInterpIntEdges(t *testing.T) {
+	// sdiv INT64_MIN / -1 wraps in two's complement in our semantics; Go
+	// would panic, so clamp the test to defined cases.
+	f := NewFunc("d", I64, I64, I64)
+	b := NewBuilder(f)
+	b.Ret(b.SDiv(f.Params[0], f.Params[1]))
+	ip := NewInterp(emu.NewMemory(0x1000))
+	got, err := ip.CallFunc(f, []RV{{Lo: 0xFFFFFFFFFFFFFFF7 /* -9 */}, {Lo: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(got.Lo) != -4 {
+		t.Errorf("sdiv(-9,2) = %d", int64(got.Lo))
+	}
+	if _, err := ip.CallFunc(f, []RV{{Lo: 5}, {Lo: 0}}); err == nil {
+		t.Error("sdiv by zero must error")
+	}
+}
+
+func TestInterpRemainders(t *testing.T) {
+	f := NewFunc("r", I64, I64, I64)
+	b := NewBuilder(f)
+	b.Ret(b.SRem(f.Params[0], f.Params[1]))
+	ip := NewInterp(emu.NewMemory(0x1000))
+	got, _ := ip.CallFunc(f, []RV{{Lo: 0xFFFFFFFFFFFFFFF7 /* -9 */}, {Lo: 4}})
+	if int64(got.Lo) != -1 {
+		t.Errorf("srem(-9,4) = %d", int64(got.Lo))
+	}
+
+	f2 := NewFunc("r2", I64, I64, I64)
+	b2 := NewBuilder(f2)
+	b2.Ret(b2.URem(f2.Params[0], f2.Params[1]))
+	got, _ = ip.CallFunc(f2, []RV{{Lo: 9}, {Lo: 4}})
+	if got.Lo != 1 {
+		t.Errorf("urem(9,4) = %d", got.Lo)
+	}
+}
+
+func TestInterpCtpopAndSqrt(t *testing.T) {
+	got := evalUnary(t, func(b *Builder, x Value) Value { return b.Ctpop(x) }, I64, RV{Lo: 0xFF00FF})
+	if got.Lo != 16 {
+		t.Errorf("ctpop = %d", got.Lo)
+	}
+	g2 := evalUnary(t, func(b *Builder, x Value) Value { return b.Sqrt(x) }, Double, RVFloat(81))
+	if g2.F64() != 9 {
+		t.Errorf("sqrt = %g", g2.F64())
+	}
+}
+
+func TestInterpFMulAdd(t *testing.T) {
+	f := NewFunc("fma", Double, Double, Double, Double)
+	b := NewBuilder(f)
+	b.Ret(b.FMulAdd(f.Params[0], f.Params[1], f.Params[2]))
+	ip := NewInterp(emu.NewMemory(0x1000))
+	got, err := ip.CallFunc(f, []RV{RVFloat(3), RVFloat(4), RVFloat(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.F64() != 17 {
+		t.Errorf("fma = %g", got.F64())
+	}
+}
+
+func TestInterpFloatCasts(t *testing.T) {
+	f := NewFunc("c", Double, Double)
+	b := NewBuilder(f)
+	tr := b.FPTrunc(f.Params[0], Float)
+	back := b.FPExt(tr, Double)
+	b.Ret(back)
+	ip := NewInterp(emu.NewMemory(0x1000))
+	got, _ := ip.CallFunc(f, []RV{RVFloat(1.5)})
+	if got.F64() != 1.5 {
+		t.Errorf("fptrunc/fpext = %g", got.F64())
+	}
+
+	f2 := NewFunc("c2", I32, Double)
+	b2 := NewBuilder(f2)
+	b2.Ret(b2.FPToSI(f2.Params[0], I32))
+	got, _ = ip.CallFunc(f2, []RV{RVFloat(-3.99)})
+	if int32(got.Lo) != -3 {
+		t.Errorf("fptosi = %d", int32(got.Lo))
+	}
+}
+
+func TestInterpFCmpPredicates(t *testing.T) {
+	cases := []struct {
+		p    Pred
+		a, b float64
+		want uint64
+	}{
+		{PredOEQ, 1, 1, 1}, {PredOEQ, 1, 2, 0},
+		{PredONE, 1, 2, 1}, {PredONE, math.NaN(), 2, 0},
+		{PredOLT, 1, 2, 1}, {PredOLE, 2, 2, 1},
+		{PredOGT, 3, 2, 1}, {PredOGE, 2, 3, 0},
+		{PredUNO, math.NaN(), 1, 1}, {PredUNO, 1, 1, 0},
+	}
+	ip := NewInterp(emu.NewMemory(0x1000))
+	for _, c := range cases {
+		f := NewFunc("fc", I64, Double, Double)
+		b := NewBuilder(f)
+		b.Ret(b.ZExt(b.FCmp(c.p, f.Params[0], f.Params[1]), I64))
+		got, err := ip.CallFunc(f, []RV{RVFloat(c.a), RVFloat(c.b)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Lo != c.want {
+			t.Errorf("fcmp %s(%g,%g) = %d, want %d", c.p, c.a, c.b, got.Lo, c.want)
+		}
+	}
+}
+
+func TestInterpI128Ops(t *testing.T) {
+	f := NewFunc("w", I64)
+	b := NewBuilder(f)
+	v := &ConstInt{Ty: I128, V: 0x1, Hi: 0x2}
+	sh := b.Shl(v, Int(I128, 64)) // lo moves to hi
+	x := b.Xor(sh, v)
+	lo := b.Trunc(x, I64)
+	b.Ret(lo)
+	ip := NewInterp(emu.NewMemory(0x1000))
+	got, err := ip.CallFunc(f, []RV{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lo != 1 {
+		t.Errorf("i128 chain lo = %#x", got.Lo)
+	}
+}
+
+func TestInterpVectorIntOps(t *testing.T) {
+	v2 := VecOf(I64, 2)
+	f := NewFunc("vi", I64, PtrTo(I8))
+	b := NewBuilder(f)
+	p := b.Bitcast(f.Params[0], PtrTo(v2))
+	v := b.Load(v2, p)
+	dbl := b.Add(v, v)
+	e1 := b.ExtractElement(dbl, 1)
+	b.Ret(e1)
+	mem := emu.NewMemory(0x10000)
+	buf := mem.Alloc(16, 16, "buf")
+	mem.WriteU(buf.Start, 8, 5)
+	mem.WriteU(buf.Start+8, 8, 7)
+	ip := NewInterp(mem)
+	got, err := ip.CallFunc(f, []RV{{Lo: buf.Start}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lo != 14 {
+		t.Errorf("vector add lane1 = %d", got.Lo)
+	}
+}
+
+func TestInterpUnreachable(t *testing.T) {
+	f := NewFunc("u", I64)
+	b := NewBuilder(f)
+	b.Unreachable()
+	ip := NewInterp(emu.NewMemory(0x1000))
+	if _, err := ip.CallFunc(f, nil); err == nil {
+		t.Error("unreachable must error")
+	}
+}
+
+func TestInterpStepBudget(t *testing.T) {
+	f := NewFunc("inf", I64)
+	b := NewBuilder(f)
+	loop := f.NewBlock("loop")
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.Br(loop)
+	ip := NewInterp(emu.NewMemory(0x1000))
+	ip.MaxSteps = 1000
+	if _, err := ip.CallFunc(f, nil); err == nil {
+		t.Error("infinite loop must exhaust the budget")
+	}
+}
+
+func TestGlobalAddrReuseAndAlloc(t *testing.T) {
+	mem := emu.NewMemory(0x10000)
+	region := mem.Alloc(8, 8, "existing")
+	mem.WriteU(region.Start, 8, 99)
+	ip := NewInterp(mem)
+
+	// Global with a mapped address reuses it.
+	g1 := &Global{Nam: "mapped", Ty: I64, Addr: region.Start}
+	a1, err := ip.GlobalAddr(g1)
+	if err != nil || a1 != region.Start {
+		t.Errorf("mapped global at %#x, want %#x (%v)", a1, region.Start, err)
+	}
+	// Global with init data allocates fresh storage.
+	g2 := &Global{Nam: "fresh", Ty: I64, Init: []byte{1, 2, 3, 4, 5, 6, 7, 8}}
+	a2, err := ip.GlobalAddr(g2)
+	if err != nil || a2 == 0 {
+		t.Fatalf("fresh global: %#x %v", a2, err)
+	}
+	v, _ := mem.ReadU(a2, 8)
+	if v != 0x0807060504030201 {
+		t.Errorf("fresh global contents %#x", v)
+	}
+	// Idempotent.
+	a2b, _ := ip.GlobalAddr(g2)
+	if a2b != a2 {
+		t.Error("GlobalAddr must be stable")
+	}
+}
+
+func TestPrinterCoverage(t *testing.T) {
+	m := &Module{}
+	g := &Global{Nam: "tbl", Ty: I8, Init: []byte{1, 2}, Addr: 0x100, Const: true}
+	m.AddGlobal(g)
+	f := NewFunc("all", Double, PtrTo(I8), Double)
+	f.AlwaysInline = true
+	m.AddFunc(f)
+	b := NewBuilder(f)
+	al := b.Alloca(I64, 4)
+	b.Store(Int(I64, 1), al)
+	ld := b.Load(I64, al)
+	ld.Align = 8
+	fv := b.SIToFP(ld, Double)
+	v2 := VecOf(Double, 2)
+	ins := b.InsertElement(UndefOf(v2), fv, 0)
+	shuf := b.ShuffleVector(ins, UndefOf(v2), []int{0, -1})
+	ext := b.ExtractElement(shuf, 0)
+	sel := b.Select(b.FCmp(PredOGT, ext, f.Params[1]), ext, f.Params[1])
+	pop := b.Ctpop(ld)
+	_ = pop
+	sq := b.Sqrt(sel)
+	fma := b.FMulAdd(sq, sel, f.Params[1])
+	b.Ret(fma)
+
+	decl := NewFunc("ext", Void, I64)
+	m.AddFunc(decl)
+
+	out := FormatModule(m)
+	for _, want := range []string{
+		"@tbl = constant i8", "alwaysinline", "alloca i64, i64 4",
+		"store i64 1", "load i64", "align 8", "sitofp", "insertelement",
+		"shufflevector", "i32 undef", "extractelement", "select", "fcmp ogt",
+		"llvm.ctpop", "llvm.sqrt", "llvm.fmuladd", "declare void @ext",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printer output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerifyMoreErrors(t *testing.T) {
+	// Branch to a foreign block.
+	f1 := NewFunc("a", Void)
+	g1 := NewFunc("b", Void)
+	b1 := NewBuilder(f1)
+	bg := NewBuilder(g1)
+	bg.Ret(nil)
+	b1.Br(g1.Entry())
+	if err := Verify(f1); err == nil {
+		t.Error("foreign-block branch not caught")
+	}
+
+	// Call arity mismatch.
+	callee := NewFunc("c", I64, I64)
+	bc := NewBuilder(callee)
+	bc.Ret(callee.Params[0])
+	f2 := NewFunc("d", I64)
+	b2 := NewBuilder(f2)
+	call := &Inst{Op: OpCall, Ty: I64, Callee: callee, Nam: "x"} // no args
+	b2.Cur.append(call)
+	b2.Ret(call)
+	if err := Verify(f2); err == nil {
+		t.Error("call arity mismatch not caught")
+	}
+
+	// GEP with non-integer index.
+	f3 := NewFunc("e", Void, PtrTo(I8), Double)
+	b3 := NewBuilder(f3)
+	gep := &Inst{Op: OpGEP, Ty: PtrTo(I8), ElemTy: I8, Nam: "g",
+		Args: []Value{f3.Params[0], f3.Params[1]}}
+	b3.Cur.append(gep)
+	b3.Ret(nil)
+	if err := Verify(f3); err == nil {
+		t.Error("gep float index not caught")
+	}
+}

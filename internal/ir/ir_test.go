@@ -1,0 +1,262 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/emu"
+)
+
+func TestMaxViaSelect(t *testing.T) {
+	f := NewFunc("max", I64, I64, I64)
+	b := NewBuilder(f)
+	lt := b.ICmp(PredSLT, f.Params[0], f.Params[1])
+	r := b.Select(lt, f.Params[1], f.Params[0])
+	b.Ret(r)
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	ip := NewInterp(emu.NewMemory(0x1000))
+	prop := func(a, x int64) bool {
+		got, err := ip.CallFunc(f, []RV{{Lo: uint64(a)}, {Lo: uint64(x)}})
+		if err != nil {
+			return false
+		}
+		want := a
+		if x > a {
+			want = x
+		}
+		return int64(got.Lo) == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoopWithPhi(t *testing.T) {
+	// sum of 0..n-1 with a phi-based counted loop.
+	f := NewFunc("sum", I64, I64)
+	b := NewBuilder(f)
+	entry := b.Cur
+	loop := f.NewBlock("loop")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	b.Br(loop)
+
+	b.SetBlock(loop)
+	i := b.Phi(I64)
+	s := b.Phi(I64)
+	cond := b.ICmp(PredSLT, i, f.Params[0])
+	b.CondBr(cond, body, exit)
+
+	b.SetBlock(body)
+	s2 := b.Add(s, i)
+	i2 := b.Add(i, Int(I64, 1))
+	b.Br(loop)
+
+	AddIncoming(i, Int(I64, 0), entry)
+	AddIncoming(i, i2, body)
+	AddIncoming(s, Int(I64, 0), entry)
+	AddIncoming(s, s2, body)
+
+	b.SetBlock(exit)
+	b.Ret(s)
+
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	ip := NewInterp(emu.NewMemory(0x1000))
+	for _, n := range []int64{0, 1, 5, 100} {
+		got, err := ip.CallFunc(f, []RV{{Lo: uint64(n)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := n * (n - 1) / 2
+		if int64(got.Lo) != want {
+			t.Errorf("sum(%d) = %d, want %d", n, int64(got.Lo), want)
+		}
+	}
+}
+
+func TestGEPLoadStore(t *testing.T) {
+	// f(p, i) stores p[i] = p[i-1] * 2 and returns p[i].
+	f := NewFunc("scale", Double, PtrTo(Double), I64)
+	b := NewBuilder(f)
+	prev := b.GEP(Double, f.Params[0], b.Sub(f.Params[1], Int(I64, 1)))
+	v := b.Load(Double, prev)
+	v2 := b.FMul(v, Flt(2))
+	dst := b.GEP(Double, f.Params[0], f.Params[1])
+	b.Store(v2, dst)
+	b.Ret(v2)
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	mem := emu.NewMemory(0x10000)
+	buf := mem.Alloc(64, 16, "buf")
+	mem.WriteFloat64(buf.Start, 3.5)
+	ip := NewInterp(mem)
+	got, err := ip.CallFunc(f, []RV{{Lo: buf.Start}, {Lo: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.F64() != 7 {
+		t.Errorf("got %g, want 7", got.F64())
+	}
+	back, _ := mem.ReadFloat64(buf.Start + 8)
+	if back != 7 {
+		t.Errorf("stored %g, want 7", back)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	v2d := VecOf(Double, 2)
+	f := NewFunc("vec", Double, PtrTo(Double))
+	b := NewBuilder(f)
+	pv := b.Bitcast(f.Params[0], PtrTo(v2d))
+	v := b.Load(v2d, pv)
+	sum := b.FAdd(v, v) // [2a, 2b]
+	sw := b.ShuffleVector(sum, UndefOf(v2d), []int{1, 0})
+	tot := b.FAdd(sum, sw) // both lanes = 2a+2b
+	e := b.ExtractElement(tot, 0)
+	b.Ret(e)
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	mem := emu.NewMemory(0x10000)
+	buf := mem.Alloc(16, 16, "buf")
+	mem.WriteFloat64(buf.Start, 1.5)
+	mem.WriteFloat64(buf.Start+8, 2.0)
+	ip := NewInterp(mem)
+	got, err := ip.CallFunc(f, []RV{{Lo: buf.Start}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.F64() != 7 {
+		t.Errorf("got %g, want 7", got.F64())
+	}
+}
+
+func TestCallBetweenFunctions(t *testing.T) {
+	g := NewFunc("twice", I64, I64)
+	gb := NewBuilder(g)
+	gb.Ret(gb.Add(g.Params[0], g.Params[0]))
+
+	f := NewFunc("plus1twice", I64, I64)
+	fb := NewBuilder(f)
+	c := fb.Call(g, f.Params[0])
+	fb.Ret(fb.Add(c, Int(I64, 1)))
+
+	ip := NewInterp(emu.NewMemory(0x1000))
+	got, err := ip.CallFunc(f, []RV{{Lo: 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lo != 41 {
+		t.Errorf("got %d, want 41", got.Lo)
+	}
+}
+
+func TestVerifyCatchesErrors(t *testing.T) {
+	// Missing terminator.
+	f := NewFunc("bad", I64)
+	b := NewBuilder(f)
+	b.Add(Int(I64, 1), Int(I64, 2))
+	if err := Verify(f); err == nil {
+		t.Error("missing terminator not caught")
+	}
+	// Type mismatch.
+	f2 := NewFunc("bad2", I64)
+	b2 := NewBuilder(f2)
+	add := &Inst{Op: OpAdd, Ty: I64, Args: []Value{Int(I64, 1), Int(I32, 2)}, Nam: "x"}
+	b2.Cur.append(add)
+	b2.Ret(add)
+	if err := Verify(f2); err == nil {
+		t.Error("operand type mismatch not caught")
+	}
+	// Phi without matching preds.
+	f3 := NewFunc("bad3", I64)
+	b3 := NewBuilder(f3)
+	phi := b3.Phi(I64)
+	AddIncoming(phi, Int(I64, 1), b3.Cur)
+	b3.Ret(phi)
+	if err := Verify(f3); err == nil {
+		t.Error("phi incoming mismatch not caught")
+	}
+}
+
+func TestPrinter(t *testing.T) {
+	f := NewFunc("max", I64, I64, I64)
+	f.Params[0].Nam = "rdi"
+	f.Params[1].Nam = "rsi"
+	b := NewBuilder(f)
+	lt := b.ICmp(PredSLT, f.Params[0], f.Params[1])
+	lt.Nam = "lt"
+	r := b.Select(lt, f.Params[1], f.Params[0])
+	r.Nam = "rax"
+	b.Ret(r)
+	out := FormatFunc(f)
+	for _, want := range []string{
+		"define i64 @max(i64 %rdi, i64 %rsi)",
+		"%lt = icmp slt i64 %rdi, %rsi",
+		"%rax = select i1 %lt, i64 %rsi, i64 %rdi",
+		"ret i64 %rax",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printer output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTypeProperties(t *testing.T) {
+	if !VecOf(Double, 2).Equal(VecOf(Double, 2)) {
+		t.Error("structural vector equality broken")
+	}
+	if VecOf(Double, 2).Equal(VecOf(Float, 2)) {
+		t.Error("different element types must differ")
+	}
+	if PtrTo(I64).Equal(PtrInSpace(I64, 257)) {
+		t.Error("address spaces must distinguish pointers")
+	}
+	sizes := map[*Type]int{I1: 1, I8: 1, I32: 4, I64: 8, I128: 16, Float: 4, Double: 8,
+		PtrTo(I8): 8, VecOf(Double, 2): 16, VecOf(Float, 4): 16}
+	for ty, want := range sizes {
+		if ty.Size() != want {
+			t.Errorf("%s.Size() = %d, want %d", ty, ty.Size(), want)
+		}
+	}
+}
+
+func TestLaneAccessors(t *testing.T) {
+	prop := func(lo, hi uint64, idx uint8) bool {
+		v := RV{Lo: lo, Hi: hi}
+		for _, lb := range []int{8, 16, 32, 64} {
+			n := 128 / lb
+			i := int(idx) % n
+			got := getLane(v, lb, i)
+			var w RV
+			setLane(&w, lb, i, got)
+			if getLane(w, lb, i) != got {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredHelpers(t *testing.T) {
+	if PredSLT.Swap() != PredSGT || PredSLT.Negate() != PredSGE {
+		t.Error("pred algebra broken")
+	}
+	for _, p := range []Pred{PredEQ, PredNE, PredSLT, PredSLE, PredSGT, PredSGE, PredULT, PredUGE} {
+		if p.Negate().Negate() != p {
+			t.Errorf("double negate of %s", p)
+		}
+		if p.Swap().Swap() != p {
+			t.Errorf("double swap of %s", p)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// typedIdent renders "type ident" for an operand.
+func typedIdent(v Value) string {
+	return v.Type().String() + " " + v.Ident()
+}
+
+// FormatInst renders one instruction in LLVM-like syntax.
+func FormatInst(i *Inst) string {
+	var b strings.Builder
+	if i.Ty != Void {
+		fmt.Fprintf(&b, "%s = ", i.Ident())
+	}
+	fm := ""
+	if i.FastMath {
+		fm = "fast "
+	}
+	switch i.Op {
+	case OpICmp, OpFCmp:
+		fmt.Fprintf(&b, "%s %s %s %s, %s", i.Op, i.Pred, i.Args[0].Type(), i.Args[0].Ident(), i.Args[1].Ident())
+	case OpSelect:
+		fmt.Fprintf(&b, "select i1 %s, %s, %s", i.Args[0].Ident(), typedIdent(i.Args[1]), typedIdent(i.Args[2]))
+	case OpTrunc, OpZExt, OpSExt, OpFPTrunc, OpFPExt, OpFPToSI, OpSIToFP, OpPtrToInt, OpIntToPtr, OpBitcast:
+		fmt.Fprintf(&b, "%s %s to %s", i.Op, typedIdent(i.Args[0]), i.Ty)
+	case OpGEP:
+		fmt.Fprintf(&b, "getelementptr %s, %s, %s", i.ElemTy, typedIdent(i.Args[0]), typedIdent(i.Args[1]))
+	case OpLoad:
+		al := ""
+		if i.Align > 0 {
+			al = fmt.Sprintf(", align %d", i.Align)
+		}
+		vol := ""
+		if i.Volatile {
+			vol = "volatile "
+		}
+		fmt.Fprintf(&b, "load %s%s, %s%s", vol, i.Ty, typedIdent(i.Args[0]), al)
+	case OpStore:
+		al := ""
+		if i.Align > 0 {
+			al = fmt.Sprintf(", align %d", i.Align)
+		}
+		vol := ""
+		if i.Volatile {
+			vol = "volatile "
+		}
+		fmt.Fprintf(&b, "store %s%s, %s%s", vol, typedIdent(i.Args[0]), typedIdent(i.Args[1]), al)
+	case OpAlloca:
+		fmt.Fprintf(&b, "alloca %s", i.ElemTy)
+		if i.NElem != 1 {
+			fmt.Fprintf(&b, ", i64 %d", i.NElem)
+		}
+	case OpExtractElement:
+		fmt.Fprintf(&b, "extractelement %s, i32 %s", typedIdent(i.Args[0]), i.Args[1].Ident())
+	case OpInsertElement:
+		fmt.Fprintf(&b, "insertelement %s, %s, i32 %s", typedIdent(i.Args[0]), typedIdent(i.Args[1]), i.Args[2].Ident())
+	case OpShuffleVector:
+		parts := make([]string, len(i.Mask))
+		for k, mv := range i.Mask {
+			if mv < 0 {
+				parts[k] = "i32 undef"
+			} else {
+				parts[k] = fmt.Sprintf("i32 %d", mv)
+			}
+		}
+		fmt.Fprintf(&b, "shufflevector %s, %s, <%d x i32> <%s>",
+			typedIdent(i.Args[0]), typedIdent(i.Args[1]), len(i.Mask), strings.Join(parts, ", "))
+	case OpPhi:
+		fmt.Fprintf(&b, "phi %s ", i.Ty)
+		for k := range i.Args {
+			if k > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "[ %s, %%%s ]", i.Args[k].Ident(), i.Incoming[k].Nam)
+		}
+	case OpCall:
+		args := make([]string, len(i.Args))
+		for k, a := range i.Args {
+			args[k] = typedIdent(a)
+		}
+		fmt.Fprintf(&b, "call %s %s(%s)", i.Ty, i.Callee.Ident(), strings.Join(args, ", "))
+	case OpRet:
+		if len(i.Args) == 0 {
+			b.WriteString("ret void")
+		} else {
+			fmt.Fprintf(&b, "ret %s", typedIdent(i.Args[0]))
+		}
+	case OpBr:
+		fmt.Fprintf(&b, "br label %%%s", i.Blocks[0].Nam)
+	case OpCondBr:
+		fmt.Fprintf(&b, "br i1 %s, label %%%s, label %%%s", i.Args[0].Ident(), i.Blocks[0].Nam, i.Blocks[1].Nam)
+	case OpUnreachable:
+		b.WriteString("unreachable")
+	case OpCtpop, OpSqrt:
+		fmt.Fprintf(&b, "call %s @%s.%s(%s)", i.Ty, i.Op, i.Ty, typedIdent(i.Args[0]))
+	case OpFMulAdd:
+		fmt.Fprintf(&b, "call %s @llvm.fmuladd(%s, %s, %s)", i.Ty,
+			typedIdent(i.Args[0]), typedIdent(i.Args[1]), typedIdent(i.Args[2]))
+	default:
+		fmt.Fprintf(&b, "%s%s %s %s, %s", fm, i.Op, i.Ty, i.Args[0].Ident(), i.Args[1].Ident())
+	}
+	return b.String()
+}
+
+// FormatFunc renders a function definition.
+func FormatFunc(f *Func) string {
+	var b strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = typedIdent(p)
+	}
+	attrs := ""
+	if f.AlwaysInline {
+		attrs = " alwaysinline"
+	}
+	if len(f.Blocks) == 0 {
+		fmt.Fprintf(&b, "declare %s @%s(%s)%s\n", f.RetTy, f.Nam, strings.Join(params, ", "), attrs)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "define %s @%s(%s)%s {\n", f.RetTy, f.Nam, strings.Join(params, ", "), attrs)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:\n", blk.Nam)
+		for _, in := range blk.Insts {
+			fmt.Fprintf(&b, "  %s\n", FormatInst(in))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// FormatModule renders all globals and functions.
+func FormatModule(m *Module) string {
+	var b strings.Builder
+	for _, g := range m.Globals {
+		kind := "global"
+		if g.Const {
+			kind = "constant"
+		}
+		fmt.Fprintf(&b, "@%s = %s %s ; %d bytes at %#x\n", g.Nam, kind, g.Ty, len(g.Init), g.Addr)
+	}
+	if len(m.Globals) > 0 {
+		b.WriteString("\n")
+	}
+	for i, f := range m.Funcs {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(FormatFunc(f))
+	}
+	return b.String()
+}

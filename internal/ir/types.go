@@ -1,0 +1,151 @@
+// Package ir implements a typed SSA intermediate representation modelled on
+// LLVM-IR, covering the instruction subset the paper's x86-64 lifter emits:
+// integer and floating-point arithmetic, comparisons, select, phi nodes,
+// getelementptr-based address arithmetic, loads/stores, casts, vector
+// element and shuffle operations, calls, and branches.
+//
+// The package also provides a builder, a textual printer (LLVM-like syntax),
+// a verifier, and a reference interpreter used to cross-check the lifter and
+// the optimizer against the machine-code emulator.
+package ir
+
+import "fmt"
+
+// Kind classifies a type.
+type Kind uint8
+
+// Type kinds.
+const (
+	KVoid Kind = iota
+	KInt
+	KFloat  // 32-bit
+	KDouble // 64-bit
+	KPtr
+	KVec
+)
+
+// Type describes an IR type. Types are compared structurally via Equal;
+// common scalar types are interned package singletons.
+type Type struct {
+	Kind Kind
+	Bits int // integer width for KInt
+
+	Elem      *Type // pointee for KPtr, element for KVec
+	Len       int   // vector length for KVec
+	AddrSpace int   // pointer address space (256/257 model gs:/fs:)
+}
+
+// Interned scalar types.
+var (
+	Void   = &Type{Kind: KVoid}
+	I1     = &Type{Kind: KInt, Bits: 1}
+	I8     = &Type{Kind: KInt, Bits: 8}
+	I16    = &Type{Kind: KInt, Bits: 16}
+	I32    = &Type{Kind: KInt, Bits: 32}
+	I64    = &Type{Kind: KInt, Bits: 64}
+	I128   = &Type{Kind: KInt, Bits: 128}
+	Float  = &Type{Kind: KFloat}
+	Double = &Type{Kind: KDouble}
+)
+
+// IntType returns the interned integer type of the given width.
+func IntType(bits int) *Type {
+	switch bits {
+	case 1:
+		return I1
+	case 8:
+		return I8
+	case 16:
+		return I16
+	case 32:
+		return I32
+	case 64:
+		return I64
+	case 128:
+		return I128
+	}
+	return &Type{Kind: KInt, Bits: bits}
+}
+
+// PtrTo returns a pointer type in address space 0.
+func PtrTo(elem *Type) *Type { return &Type{Kind: KPtr, Elem: elem} }
+
+// PtrInSpace returns a pointer type in the given address space.
+func PtrInSpace(elem *Type, space int) *Type {
+	return &Type{Kind: KPtr, Elem: elem, AddrSpace: space}
+}
+
+// VecOf returns the vector type with n elements of elem.
+func VecOf(elem *Type, n int) *Type { return &Type{Kind: KVec, Elem: elem, Len: n} }
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KInt:
+		return t.Bits == o.Bits
+	case KPtr:
+		return t.AddrSpace == o.AddrSpace && t.Elem.Equal(o.Elem)
+	case KVec:
+		return t.Len == o.Len && t.Elem.Equal(o.Elem)
+	}
+	return true
+}
+
+// Size returns the in-memory size of the type in bytes.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case KVoid:
+		return 0
+	case KInt:
+		return (t.Bits + 7) / 8
+	case KFloat:
+		return 4
+	case KDouble:
+		return 8
+	case KPtr:
+		return 8
+	case KVec:
+		return t.Elem.Size() * t.Len
+	}
+	return 0
+}
+
+// IsInt reports whether t is an integer type.
+func (t *Type) IsInt() bool { return t.Kind == KInt }
+
+// IsFP reports whether t is a scalar floating-point type.
+func (t *Type) IsFP() bool { return t.Kind == KFloat || t.Kind == KDouble }
+
+// IsPtr reports whether t is a pointer type.
+func (t *Type) IsPtr() bool { return t.Kind == KPtr }
+
+// IsVec reports whether t is a vector type.
+func (t *Type) IsVec() bool { return t.Kind == KVec }
+
+// String renders the type in LLVM syntax.
+func (t *Type) String() string {
+	switch t.Kind {
+	case KVoid:
+		return "void"
+	case KInt:
+		return fmt.Sprintf("i%d", t.Bits)
+	case KFloat:
+		return "float"
+	case KDouble:
+		return "double"
+	case KPtr:
+		if t.AddrSpace != 0 {
+			return fmt.Sprintf("%s addrspace(%d)*", t.Elem, t.AddrSpace)
+		}
+		return t.Elem.String() + "*"
+	case KVec:
+		return fmt.Sprintf("<%d x %s>", t.Len, t.Elem)
+	}
+	return "?"
+}

@@ -1,0 +1,140 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Value is anything usable as an instruction operand: instructions,
+// constants, function parameters, globals, and undef.
+type Value interface {
+	Type() *Type
+	// Ident returns the printed operand form (%name, constant literal, @global).
+	Ident() string
+}
+
+// ConstInt is an integer constant. V holds the low 64 bits; for i128
+// constants used by the lifter's register model, Hi holds the upper lanes.
+type ConstInt struct {
+	Ty *Type
+	V  uint64
+	Hi uint64
+}
+
+// Type implements Value.
+func (c *ConstInt) Type() *Type { return c.Ty }
+
+// Ident implements Value.
+func (c *ConstInt) Ident() string {
+	if c.Ty == I1 {
+		if c.V != 0 {
+			return "true"
+		}
+		return "false"
+	}
+	if c.Ty.Bits == 128 && c.Hi != 0 {
+		return fmt.Sprintf("i128(%#x:%#x)", c.Hi, c.V)
+	}
+	return fmt.Sprintf("%d", int64(c.V))
+}
+
+// Int returns an integer constant of the given type, truncated to its width.
+func Int(ty *Type, v uint64) *ConstInt {
+	if ty.Bits < 64 && ty.Bits > 0 {
+		v &= (1 << uint(ty.Bits)) - 1
+	}
+	return &ConstInt{Ty: ty, V: v}
+}
+
+// Bool returns an i1 constant.
+func Bool(b bool) *ConstInt {
+	if b {
+		return Int(I1, 1)
+	}
+	return Int(I1, 0)
+}
+
+// ConstFloat is a floating-point constant (float or double).
+type ConstFloat struct {
+	Ty *Type
+	V  float64
+}
+
+// Type implements Value.
+func (c *ConstFloat) Type() *Type { return c.Ty }
+
+// Ident implements Value.
+func (c *ConstFloat) Ident() string { return fmt.Sprintf("%g", c.V) }
+
+// Bits returns the raw bit pattern of the constant at its type's width.
+func (c *ConstFloat) Bits() uint64 {
+	if c.Ty.Kind == KFloat {
+		return uint64(math.Float32bits(float32(c.V)))
+	}
+	return math.Float64bits(c.V)
+}
+
+// Flt returns a double constant; use FltT for float.
+func Flt(v float64) *ConstFloat { return &ConstFloat{Ty: Double, V: v} }
+
+// FltT returns a floating constant of the given type.
+func FltT(ty *Type, v float64) *ConstFloat { return &ConstFloat{Ty: ty, V: v} }
+
+// Undef is the undefined value of a type; the lifter uses it for registers
+// that have not been written yet, exactly as the paper describes.
+type Undef struct {
+	Ty *Type
+}
+
+// Type implements Value.
+func (u *Undef) Type() *Type { return u.Ty }
+
+// Ident implements Value.
+func (u *Undef) Ident() string { return "undef" }
+
+// UndefOf returns the undef value of ty.
+func UndefOf(ty *Type) *Undef { return &Undef{Ty: ty} }
+
+// Zero is the zeroinitializer for any first-class type.
+type Zero struct {
+	Ty *Type
+}
+
+// Type implements Value.
+func (z *Zero) Type() *Type { return z.Ty }
+
+// Ident implements Value.
+func (z *Zero) Ident() string { return "zeroinitializer" }
+
+// ZeroOf returns the zero value of ty.
+func ZeroOf(ty *Type) *Zero { return &Zero{Ty: ty} }
+
+// Param is a function parameter.
+type Param struct {
+	Nam string
+	Ty  *Type
+	Idx int
+}
+
+// Type implements Value.
+func (p *Param) Type() *Type { return p.Ty }
+
+// Ident implements Value.
+func (p *Param) Ident() string { return "%" + p.Nam }
+
+// Global is a module-level variable. Addr links it to the emulated address
+// space: the constant-memory globalization of Section IV copies bytes from
+// a fixed memory range into Init and remembers the original address here.
+type Global struct {
+	Nam   string
+	Ty    *Type // pointee type
+	Init  []byte
+	Addr  uint64
+	Const bool
+}
+
+// Type implements Value: a global evaluates to a pointer to its contents.
+func (g *Global) Type() *Type { return PtrTo(g.Ty) }
+
+// Ident implements Value.
+func (g *Global) Ident() string { return "@" + g.Nam }

@@ -1,0 +1,194 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// Verify checks structural invariants of a function:
+//   - every block ends with exactly one terminator, which is its last
+//     instruction;
+//   - phi nodes appear only at block heads and cover exactly the block's
+//     predecessors;
+//   - every instruction operand is defined (params, constants, globals, or
+//     instructions belonging to this function);
+//   - operand types are consistent for the common instruction classes.
+//
+// It returns the first violation found.
+func Verify(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: function %s has no blocks", f.Nam)
+	}
+	defined := make(map[*Inst]bool)
+	blocks := make(map[*Block]bool)
+	for _, b := range f.Blocks {
+		blocks[b] = true
+		for _, in := range b.Insts {
+			defined[in] = true
+		}
+	}
+	preds := f.Preds()
+
+	for _, b := range f.Blocks {
+		term := b.Term()
+		if term == nil {
+			return fmt.Errorf("ir: %s.%s: missing terminator", f.Nam, b.Nam)
+		}
+		for idx, in := range b.Insts {
+			if in.IsTerminator() && idx != len(b.Insts)-1 {
+				return fmt.Errorf("ir: %s.%s: terminator %s not at block end", f.Nam, b.Nam, FormatInst(in))
+			}
+			if in.Op == OpPhi {
+				if idx > 0 && b.Insts[idx-1].Op != OpPhi {
+					return fmt.Errorf("ir: %s.%s: phi %s not at block head", f.Nam, b.Nam, in.Ident())
+				}
+				if len(in.Args) != len(in.Incoming) {
+					return fmt.Errorf("ir: %s.%s: phi %s has %d values for %d blocks",
+						f.Nam, b.Nam, in.Ident(), len(in.Args), len(in.Incoming))
+				}
+				want := preds[b]
+				if len(in.Args) != len(want) {
+					return fmt.Errorf("ir: %s.%s: phi %s has %d incoming, block has %d preds",
+						f.Nam, b.Nam, in.Ident(), len(in.Args), len(want))
+				}
+				seen := make(map[*Block]bool)
+				for _, inc := range in.Incoming {
+					if seen[inc] {
+						return fmt.Errorf("ir: %s.%s: phi %s duplicates incoming %s", f.Nam, b.Nam, in.Ident(), inc.Nam)
+					}
+					seen[inc] = true
+				}
+				for _, p := range want {
+					if !seen[p] {
+						return fmt.Errorf("ir: %s.%s: phi %s missing incoming for pred %s", f.Nam, b.Nam, in.Ident(), p.Nam)
+					}
+				}
+			}
+			for ai, a := range in.Args {
+				if a == nil {
+					return fmt.Errorf("ir: %s.%s: %s has nil arg %d", f.Nam, b.Nam, FormatInst(in), ai)
+				}
+				if ref, ok := a.(*Inst); ok && !defined[ref] {
+					return fmt.Errorf("ir: %s.%s: %s uses value %s not defined in function",
+						f.Nam, b.Nam, FormatInst(in), ref.Ident())
+				}
+			}
+			for _, tb := range in.Blocks {
+				if !blocks[tb] {
+					return fmt.Errorf("ir: %s.%s: branch to foreign block %s", f.Nam, b.Nam, tb.Nam)
+				}
+			}
+			if in.Op == OpRet {
+				switch {
+				case f.RetTy == Void:
+					if len(in.Args) != 0 && in.Args[0] != nil {
+						return fmt.Errorf("ir: %s.%s: ret with value in void function", f.Nam, b.Nam)
+					}
+				case len(in.Args) == 0 || in.Args[0] == nil:
+					return fmt.Errorf("ir: %s.%s: ret without value in %s function", f.Nam, b.Nam, f.RetTy)
+				case !in.Args[0].Type().Equal(f.RetTy):
+					return fmt.Errorf("ir: %s.%s: ret type %s does not match function type %s",
+						f.Nam, b.Nam, in.Args[0].Type(), f.RetTy)
+				}
+			}
+			if err := checkTypes(in); err != nil {
+				return fmt.Errorf("ir: %s.%s: %s: %w", f.Nam, b.Nam, FormatInst(in), err)
+			}
+		}
+	}
+	return nil
+}
+
+func checkTypes(in *Inst) error {
+	sameArgs := func() error {
+		if !in.Args[0].Type().Equal(in.Args[1].Type()) {
+			return fmt.Errorf("operand type mismatch %s vs %s", in.Args[0].Type(), in.Args[1].Type())
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpUDiv, OpSDiv, OpURem, OpSRem,
+		OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr:
+		if err := sameArgs(); err != nil {
+			return err
+		}
+		if !in.Ty.Equal(in.Args[0].Type()) {
+			return fmt.Errorf("result type %s differs from operand type %s", in.Ty, in.Args[0].Type())
+		}
+	case OpFAdd, OpFSub, OpFMul, OpFDiv:
+		if err := sameArgs(); err != nil {
+			return err
+		}
+		t := in.Args[0].Type()
+		if !t.IsFP() && !(t.IsVec() && t.Elem.IsFP()) {
+			return fmt.Errorf("fp op on non-fp type %s", t)
+		}
+	case OpICmp, OpFCmp:
+		if err := sameArgs(); err != nil {
+			return err
+		}
+		if in.Ty != I1 {
+			return fmt.Errorf("cmp result must be i1")
+		}
+	case OpSelect:
+		if !in.Args[1].Type().Equal(in.Args[2].Type()) {
+			return fmt.Errorf("select arm type mismatch")
+		}
+	case OpLoad:
+		if !in.Args[0].Type().IsPtr() {
+			return fmt.Errorf("load from non-pointer %s", in.Args[0].Type())
+		}
+	case OpStore:
+		if !in.Args[1].Type().IsPtr() {
+			return fmt.Errorf("store to non-pointer %s", in.Args[1].Type())
+		}
+	case OpGEP:
+		if !in.Args[0].Type().IsPtr() {
+			return fmt.Errorf("gep base must be pointer")
+		}
+		if !in.Args[1].Type().IsInt() {
+			return fmt.Errorf("gep index must be integer")
+		}
+	case OpTrunc:
+		if in.Args[0].Type().Bits <= in.Ty.Bits {
+			return fmt.Errorf("trunc must narrow (%s to %s)", in.Args[0].Type(), in.Ty)
+		}
+	case OpZExt, OpSExt:
+		if in.Args[0].Type().Bits >= in.Ty.Bits {
+			return fmt.Errorf("ext must widen (%s to %s)", in.Args[0].Type(), in.Ty)
+		}
+	case OpBitcast:
+		if in.Args[0].Type().Size() != in.Ty.Size() && !in.Args[0].Type().IsPtr() && !in.Ty.IsPtr() {
+			return fmt.Errorf("bitcast size mismatch %s to %s", in.Args[0].Type(), in.Ty)
+		}
+	case OpExtractElement:
+		if !in.Args[0].Type().IsVec() {
+			return fmt.Errorf("extractelement from non-vector")
+		}
+	case OpInsertElement:
+		if !in.Args[0].Type().IsVec() {
+			return fmt.Errorf("insertelement into non-vector")
+		}
+	case OpShuffleVector:
+		if !in.Args[0].Type().IsVec() || !in.Args[1].Type().IsVec() {
+			return fmt.Errorf("shufflevector needs vector operands")
+		}
+	case OpCall:
+		if in.Callee == nil {
+			return fmt.Errorf("call without callee")
+		}
+		if len(in.Args) != len(in.Callee.Params) {
+			return fmt.Errorf("call to %s with %d args, want %d", in.Callee.Nam, len(in.Args), len(in.Callee.Params))
+		}
+	}
+	return nil
+}
+
+// VerifyModule verifies every function in the module.
+func VerifyModule(m *Module) error {
+	for _, f := range m.Funcs {
+		if err := Verify(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+package jit
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/ir"
+)
+
+// TestLoadNotFusedAcrossStore is the regression test for the differential
+// bug where a memory-operand-fused load was reordered past an aliasing
+// store.
+func TestLoadNotFusedAcrossStore(t *testing.T) {
+	f := ir.NewFunc("f", ir.I64, ir.PtrTo(ir.I8), ir.I64)
+	b := ir.NewBuilder(f)
+	p := b.Bitcast(f.Params[0], ir.PtrTo(ir.I64))
+	old := b.Load(ir.I64, p)       // reads the OLD value
+	b.Store(f.Params[1], p)        // overwrites it
+	sum := b.Add(old, f.Params[1]) // must use the old value
+	b.Ret(sum)
+
+	mem := emu.NewMemory(0x1000000)
+	buf := mem.Alloc(16, 16, "buf")
+	mem.WriteU(buf.Start, 8, 100)
+	c := NewCompiler(mem)
+	entry, err := c.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.NewMachine(mem)
+	got, err := m.Call(entry, emu.CallArgs{Ints: []uint64{buf.Start, 5}}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 105 {
+		t.Errorf("got %d, want 105 (load hoisted past store?)", got)
+	}
+}
+
+// TestVariableShiftWithRCXDst: shifting a value whose home is RCX.
+func TestVariableShiftWithRCXDst(t *testing.T) {
+	f := ir.NewFunc("f", ir.I64, ir.I64, ir.I64)
+	b := ir.NewBuilder(f)
+	s := b.Shl(f.Params[0], f.Params[1])
+	// Keep both params live so the allocator spreads registers.
+	r := b.Add(s, f.Params[1])
+	b.Ret(b.Add(r, f.Params[0]))
+	for _, c := range [][3]uint64{{1, 4, 21}, {3, 2, 17}} {
+		mem := emu.NewMemory(0x1000000)
+		comp := NewCompiler(mem)
+		entry, err := comp.Compile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := emu.NewMachine(mem)
+		got, err := m.Call(entry, emu.CallArgs{Ints: []uint64{c[0], c[1]}}, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c[2] {
+			t.Errorf("shl(%d,%d)+...: got %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+// TestFPSelectDiamond exercises the branch-based FP select.
+func TestFPSelectDiamond(t *testing.T) {
+	f := ir.NewFunc("fmax", ir.Double, ir.Double, ir.Double)
+	b := ir.NewBuilder(f)
+	c := b.FCmp(ir.PredOGT, f.Params[0], f.Params[1])
+	b.Ret(b.Select(c, f.Params[0], f.Params[1]))
+	mem := emu.NewMemory(0x1000000)
+	comp := NewCompiler(mem)
+	entry, err := comp.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cse := range [][3]float64{{1, 2, 2}, {5, 3, 5}, {2, 2, 2}} {
+		m := emu.NewMachine(mem)
+		if _, err := m.Call(entry, emu.CallArgs{Floats: []float64{cse[0], cse[1]}}, 1000); err != nil {
+			t.Fatal(err)
+		}
+		if got := (ir.RV{Lo: m.XMM[0].Lo}).F64(); got != cse[2] {
+			t.Errorf("fmax(%g,%g) = %g", cse[0], cse[1], got)
+		}
+	}
+}
+
+// TestShuffleVariants covers the two-lane shuffle selector space.
+func TestShuffleVariants(t *testing.T) {
+	v2 := ir.VecOf(ir.Double, 2)
+	masks := [][]int{{0, 2}, {1, 3}, {1, 0}, {0, 0}, {1, 1}, {2, 3}, {3, 2}, {2, 0}, {3, 1}}
+	for _, mask := range masks {
+		f := ir.NewFunc("sh", ir.Double, ir.PtrTo(ir.I8), ir.PtrTo(ir.I8), ir.I64)
+		b := ir.NewBuilder(f)
+		va := b.Load(v2, b.Bitcast(f.Params[0], ir.PtrTo(v2)))
+		vb := b.Load(v2, b.Bitcast(f.Params[1], ir.PtrTo(v2)))
+		sh := b.ShuffleVector(va, vb, mask)
+		lane0 := b.ExtractElement(sh, 0)
+		lane1 := b.ExtractElement(sh, 1)
+		b.Ret(b.FAdd(b.FMul(lane0, ir.Flt(100)), lane1))
+
+		mem := emu.NewMemory(0x1000000)
+		a := mem.Alloc(16, 16, "a")
+		bb := mem.Alloc(16, 16, "b")
+		mem.WriteFloat64(a.Start, 1)
+		mem.WriteFloat64(a.Start+8, 2)
+		mem.WriteFloat64(bb.Start, 3)
+		mem.WriteFloat64(bb.Start+8, 4)
+		lanes := []float64{1, 2, 3, 4}
+
+		comp := NewCompiler(mem)
+		entry, err := comp.Compile(f)
+		if err != nil {
+			t.Fatalf("mask %v: %v", mask, err)
+		}
+		m := emu.NewMachine(mem)
+		if _, err := m.Call(entry, emu.CallArgs{Ints: []uint64{a.Start, bb.Start}}, 1000); err != nil {
+			t.Fatalf("mask %v: %v", mask, err)
+		}
+		want := lanes[mask[0]]*100 + lanes[mask[1]]
+		if got := (ir.RV{Lo: m.XMM[0].Lo}).F64(); got != want {
+			t.Errorf("mask %v: got %g, want %g", mask, got, want)
+		}
+	}
+}
+
+// TestExtract4Lanes covers v4f32 extracts through pshufd.
+func TestExtract4Lanes(t *testing.T) {
+	v4 := ir.VecOf(ir.Float, 4)
+	for lane := 0; lane < 4; lane++ {
+		f := ir.NewFunc("ex", ir.Double, ir.PtrTo(ir.I8))
+		b := ir.NewBuilder(f)
+		v := b.Load(v4, b.Bitcast(f.Params[0], ir.PtrTo(v4)))
+		e := b.ExtractElement(v, lane)
+		b.Ret(b.FPExt(e, ir.Double))
+		mem := emu.NewMemory(0x1000000)
+		buf := mem.Alloc(16, 16, "buf")
+		for i := 0; i < 4; i++ {
+			bts, _ := mem.Bytes(buf.Start+uint64(4*i), 4)
+			u := uint32(0x3F800000 + i*0x800000) // 1, 2, 4, 8 as float32
+			bts[0], bts[1], bts[2], bts[3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
+		}
+		comp := NewCompiler(mem)
+		entry, err := comp.Compile(f)
+		if err != nil {
+			t.Fatalf("lane %d: %v", lane, err)
+		}
+		m := emu.NewMachine(mem)
+		if _, err := m.Call(entry, emu.CallArgs{Ints: []uint64{buf.Start}}, 1000); err != nil {
+			t.Fatal(err)
+		}
+		want := []float64{1, 2, 4, 8}[lane]
+		if got := (ir.RV{Lo: m.XMM[0].Lo}).F64(); got != want {
+			t.Errorf("lane %d: got %g, want %g", lane, got, want)
+		}
+	}
+}
+
+// TestCtpopI8 covers the narrow-popcnt path.
+func TestCtpopI8(t *testing.T) {
+	f := ir.NewFunc("pc", ir.I64, ir.I64)
+	b := ir.NewBuilder(f)
+	t8 := b.Trunc(f.Params[0], ir.I8)
+	p := b.Ctpop(t8)
+	b.Ret(b.ZExt(p, ir.I64))
+	mem := emu.NewMemory(0x1000000)
+	comp := NewCompiler(mem)
+	entry, err := comp.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.NewMachine(mem)
+	got, err := m.Call(entry, emu.CallArgs{Ints: []uint64{0xFFFF00F1}}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 { // popcount of 0xF1
+		t.Errorf("ctpop.i8 = %d, want 5", got)
+	}
+}
+
+// TestGEPLargeElemSize uses a non-power-of-two element size (imul path).
+func TestGEPLargeElemSize(t *testing.T) {
+	elem := ir.IntType(24 * 8) // 24-byte records
+	f := ir.NewFunc("rec", ir.I64, ir.PtrTo(ir.I8), ir.I64)
+	b := ir.NewBuilder(f)
+	base := b.Bitcast(f.Params[0], ir.PtrTo(elem))
+	g := b.GEP(elem, base, f.Params[1])
+	p := b.Bitcast(g, ir.PtrTo(ir.I64))
+	b.Ret(b.Load(ir.I64, p))
+	mem := emu.NewMemory(0x1000000)
+	buf := mem.Alloc(24*4, 16, "buf")
+	mem.WriteU(buf.Start+48, 8, 4242) // record 2
+	comp := NewCompiler(mem)
+	entry, err := comp.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.NewMachine(mem)
+	got, err := m.Call(entry, emu.CallArgs{Ints: []uint64{buf.Start, 2}}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4242 {
+		t.Errorf("24-byte gep = %d", got)
+	}
+}
+
+// TestSplitCriticalEdgesPreservesSemantics: a diamond with phis whose preds
+// branch conditionally (critical edges on both arms).
+func TestSplitCriticalEdgesPreservesSemantics(t *testing.T) {
+	f := ir.NewFunc("d", ir.I64, ir.I64, ir.I64)
+	b := ir.NewBuilder(f)
+	mid := f.NewBlock("mid")
+	join := f.NewBlock("join")
+	// entry: if a < b goto join (critical: entry has 2 succs, join has 2 preds)
+	c1 := b.ICmp(ir.PredSLT, f.Params[0], f.Params[1])
+	b.CondBr(c1, join, mid)
+	entryBlk := f.Blocks[0]
+	b.SetBlock(mid)
+	v2 := b.Mul(f.Params[0], ir.Int(ir.I64, 3))
+	b.Br(join)
+	b.SetBlock(join)
+	phi := b.Phi(ir.I64)
+	ir.AddIncoming(phi, ir.Int(ir.I64, 111), entryBlk)
+	ir.AddIncoming(phi, v2, mid)
+	b.Ret(phi)
+
+	mem := emu.NewMemory(0x1000000)
+	comp := NewCompiler(mem)
+	entry, err := comp.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.NewMachine(mem)
+	got, _ := m.Call(entry, emu.CallArgs{Ints: []uint64{1, 5}}, 1000)
+	if got != 111 {
+		t.Errorf("taken arm: %d", got)
+	}
+	got, _ = m.Call(entry, emu.CallArgs{Ints: []uint64{5, 1}}, 1000)
+	if got != 15 {
+		t.Errorf("fall arm: %d", got)
+	}
+}

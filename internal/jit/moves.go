@@ -1,0 +1,158 @@
+package jit
+
+import (
+	"repro/internal/ir"
+	"repro/internal/x86"
+)
+
+// pmove is one element of a parallel copy: dst receives either the contents
+// of srcLoc (when set) or the materialized value srcVal.
+type pmove struct {
+	dst    loc
+	cls    regClass
+	srcLoc *loc
+	srcVal ir.Value
+}
+
+func sameLoc(a, b loc) bool {
+	if a.inReg != b.inReg {
+		return false
+	}
+	if a.inReg {
+		return a.reg == b.reg
+	}
+	return a.off == b.off
+}
+
+// parallelMoves emits a set of simultaneous location moves, breaking cycles
+// through the scratch registers. Constant materializations cannot be read by
+// other moves, so they are emitted last.
+func (e *emitter) parallelMoves(moves []pmove) error {
+	var pending []pmove
+	var consts []pmove
+	for _, m := range moves {
+		if m.srcLoc == nil {
+			consts = append(consts, m)
+			continue
+		}
+		if sameLoc(*m.srcLoc, m.dst) {
+			continue
+		}
+		pending = append(pending, m)
+	}
+	for len(pending) > 0 {
+		emitted := false
+		for i, m := range pending {
+			readByOther := false
+			for j, o := range pending {
+				if i == j {
+					continue
+				}
+				if o.srcLoc != nil && sameLoc(*o.srcLoc, m.dst) {
+					readByOther = true
+					break
+				}
+			}
+			if readByOther {
+				continue
+			}
+			if err := e.emitLocMove(m); err != nil {
+				return err
+			}
+			pending = append(pending[:i], pending[i+1:]...)
+			emitted = true
+			break
+		}
+		if emitted {
+			continue
+		}
+		// Cycle: park the first move's source in scratch and redirect all
+		// readers of that location.
+		m := pending[0]
+		var park loc
+		if m.cls == classXMM {
+			park = loc{inReg: true, reg: scratchXMM}
+			if err := e.emitLocMove(pmove{dst: park, cls: classXMM, srcLoc: m.srcLoc}); err != nil {
+				return err
+			}
+		} else {
+			park = loc{inReg: true, reg: scratchGP}
+			if err := e.emitLocMove(pmove{dst: park, cls: classGP, srcLoc: m.srcLoc}); err != nil {
+				return err
+			}
+		}
+		old := *m.srcLoc
+		for i := range pending {
+			if pending[i].srcLoc != nil && sameLoc(*pending[i].srcLoc, old) {
+				p := park
+				pending[i].srcLoc = &p
+			}
+		}
+	}
+	for _, m := range consts {
+		if err := e.emitValMove(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitLocMove copies between two locations.
+func (e *emitter) emitLocMove(m pmove) error {
+	src, dst := *m.srcLoc, m.dst
+	if sameLoc(src, dst) {
+		return nil
+	}
+	if m.cls == classGP {
+		switch {
+		case src.inReg && dst.inReg:
+			e.b.I(x86.MOV, x86.R64(dst.reg), x86.R64(src.reg))
+		case src.inReg:
+			e.b.I(x86.MOV, stackOp(8, dst.off), x86.R64(src.reg))
+		case dst.inReg:
+			e.b.I(x86.MOV, x86.R64(dst.reg), stackOp(8, src.off))
+		default:
+			e.b.I(x86.MOV, x86.R64(scratchGP2), stackOp(8, src.off))
+			e.b.I(x86.MOV, stackOp(8, dst.off), x86.R64(scratchGP2))
+		}
+		return nil
+	}
+	switch {
+	case src.inReg && dst.inReg:
+		e.b.I(x86.MOVAPS, x86.X(dst.reg), x86.X(src.reg))
+	case src.inReg:
+		e.b.I(x86.MOVUPS, stackOp(16, dst.off), x86.X(src.reg))
+	case dst.inReg:
+		e.b.I(x86.MOVUPS, x86.X(dst.reg), stackOp(16, src.off))
+	default:
+		e.b.I(x86.MOVUPS, x86.X(scratchXMM2), stackOp(16, src.off))
+		e.b.I(x86.MOVUPS, stackOp(16, dst.off), x86.X(scratchXMM2))
+	}
+	return nil
+}
+
+// emitValMove materializes a value into a location. When the destination is
+// a register, it doubles as the materialization target so constants land
+// directly (pxor dst,dst instead of pxor scratch,scratch + movaps).
+func (e *emitter) emitValMove(m pmove) error {
+	if m.cls == classGP {
+		into := scratchGP
+		if m.dst.inReg {
+			into = m.dst.reg
+		}
+		r, err := e.valueGP(m.srcVal, into)
+		if err != nil {
+			return err
+		}
+		return e.emitLocMove(pmove{dst: m.dst, cls: classGP, srcLoc: &loc{inReg: true, reg: r}})
+	}
+	into := scratchXMM
+	if m.dst.inReg {
+		into = m.dst.reg
+	}
+	r, err := e.valueXMM(m.srcVal, into)
+	if err != nil {
+		return err
+	}
+	return e.emitLocMove(pmove{dst: m.dst, cls: classXMM, srcLoc: &loc{inReg: true, reg: r}})
+}

@@ -1,0 +1,711 @@
+// Package jit compiles IR functions back to x86-64 machine code placed in
+// the emulated address space — the paper's "JIT compiler" stage in Figure 1.
+// It performs instruction selection with compare/branch and address-mode
+// fusion plus a linear-scan register allocator, producing code whose quality
+// is close enough to the compiler-generated input that the identity
+// transformation (lift, optimize, compile) has little overhead, as reported
+// in Section VI.
+package jit
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/x86"
+)
+
+// regClass separates general purpose and vector values.
+type regClass uint8
+
+const (
+	classGP regClass = iota
+	classXMM
+)
+
+func classOf(t *ir.Type) regClass {
+	if t.IsFP() || t.IsVec() || (t.IsInt() && t.Bits > 64) {
+		return classXMM
+	}
+	return classGP
+}
+
+// loc is a value's assigned home.
+type loc struct {
+	inReg bool
+	reg   x86.Reg
+	// off is the rbp-relative offset of the spill slot when !inReg.
+	off int32
+}
+
+// Register pools. R10/R11 and XMM14/XMM15 are reserved as scratch; RSP/RBP
+// frame registers.
+var gpPool = []x86.Reg{
+	x86.RAX, x86.RCX, x86.RDX, x86.RSI, x86.RDI, x86.R8, x86.R9,
+	x86.RBX, x86.R12, x86.R13, x86.R14, x86.R15,
+}
+var gpCalleeSaved = map[x86.Reg]bool{
+	x86.RBX: true, x86.R12: true, x86.R13: true, x86.R14: true, x86.R15: true,
+}
+var xmmPool = []x86.Reg{
+	x86.XMM0, x86.XMM1, x86.XMM2, x86.XMM3, x86.XMM4, x86.XMM5, x86.XMM6,
+	x86.XMM7, x86.XMM8, x86.XMM9, x86.XMM10, x86.XMM11, x86.XMM12, x86.XMM13,
+}
+
+const (
+	scratchGP   = x86.R10
+	scratchGP2  = x86.R11
+	scratchXMM  = x86.XMM14
+	scratchXMM2 = x86.XMM15
+)
+
+// interval is a live range in instruction numbering space.
+type interval struct {
+	v          ir.Value
+	class      regClass
+	start, end int
+	spansCall  bool
+	// prefFrom is an interval whose register this one would like to reuse
+	// (its last use coincides with this definition).
+	prefFrom *interval
+	// prefReg is a fixed register preference (parameter arrival register);
+	// hasPref distinguishes it from the zero value.
+	prefReg x86.Reg
+	hasPref bool
+	// assigned register (NoReg when spilled), for coalescing lookups.
+	assigned x86.Reg
+}
+
+// allocation is the result of register allocation.
+type allocation struct {
+	locs      map[ir.Value]loc
+	frameSize int32
+	usedSaved []x86.Reg // callee-saved registers to preserve
+	// fused instructions produce no home and are re-materialized at their
+	// single consumer.
+	fused map[*ir.Inst]bool
+}
+
+// analyzeFusion finds instructions folded into their consumer: icmps feeding
+// a same-block terminator or select, and the address chains feeding a
+// same-block load/store — pointer bitcasts, a single GEP, and a constant
+// index adjustment (add idx, c), which all become one addressing mode.
+func analyzeFusion(f *ir.Func) map[*ir.Inst]bool {
+	uses := make(map[*ir.Inst]int)
+	consumer := make(map[*ir.Inst]*ir.Inst)
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			for _, a := range in.Args {
+				if ai, ok := a.(*ir.Inst); ok {
+					uses[ai]++
+					consumer[ai] = in
+				}
+			}
+		}
+	}
+	fused := make(map[*ir.Inst]bool)
+	// fuseAddr marks the single-use address chain of a load/store rooted at
+	// ptr; every fused node must live in block b.
+	var fuseAddr func(ptr ir.Value, b *ir.Block)
+	fuseAddr = func(ptr ir.Value, b *ir.Block) {
+		in, ok := ptr.(*ir.Inst)
+		if !ok || uses[in] != 1 || in.Parent != b {
+			return
+		}
+		switch in.Op {
+		case ir.OpBitcast:
+			if in.Args[0].Type().IsPtr() {
+				fused[in] = true
+				fuseAddr(in.Args[0], b)
+			}
+		case ir.OpGEP:
+			sz := in.ElemTy.Size()
+			if sz != 1 && sz != 2 && sz != 4 && sz != 8 {
+				return
+			}
+			fused[in] = true
+			// A constant index adjustment folds into the displacement.
+			if ai, ok := in.Args[1].(*ir.Inst); ok && ai.Op == ir.OpAdd &&
+				uses[ai] == 1 && ai.Parent == b {
+				if _, isC := ai.Args[1].(*ir.ConstInt); isC {
+					fused[ai] = true
+				}
+			}
+			// The base may be a dedicated bitcast.
+			if bc, ok := in.Args[0].(*ir.Inst); ok && bc.Op == ir.OpBitcast &&
+				uses[bc] == 1 && bc.Parent == b && bc.Args[0].Type().IsPtr() {
+				fused[bc] = true
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			switch in.Op {
+			case ir.OpLoad:
+				fuseAddr(in.Args[0], b)
+			case ir.OpStore:
+				fuseAddr(in.Args[1], b)
+			}
+			if uses[in] != 1 {
+				continue
+			}
+			cons := consumer[in]
+			if cons == nil || cons.Parent != b {
+				continue
+			}
+			if in.Op == ir.OpICmp {
+				if cons.Op == ir.OpCondBr || cons.Op == ir.OpSelect && cons.Args[0] == ir.Value(in) {
+					fused[in] = true
+				}
+			}
+		}
+	}
+	// Cast transparency: a single-use pointer cast (inttoptr, ptrtoint,
+	// pointer bitcast) feeding a GEP is a pure register alias and folds
+	// into the GEP's addressing (lea is three-operand, so no copy is
+	// needed).
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			if in.Op != ir.OpGEP {
+				continue
+			}
+			for _, a := range in.Args {
+				ai, ok := a.(*ir.Inst)
+				if !ok || uses[ai] != 1 || ai.Parent != b || fused[ai] {
+					continue
+				}
+				switch ai.Op {
+				case ir.OpIntToPtr, ir.OpPtrToInt:
+					fused[ai] = true
+				case ir.OpBitcast:
+					if ai.Args[0].Type().IsPtr() && ai.Ty.IsPtr() {
+						fused[ai] = true
+					}
+				}
+			}
+		}
+	}
+
+	// Memory-operand folding: a single-use scalar load feeding a binary
+	// operation in the same block becomes the operation's memory operand
+	// (addsd xmm, [mem] style). Commutative operations swap a left-hand
+	// load into position.
+	loadFusable := func(v ir.Value, cons *ir.Inst, b *ir.Block, scalarFP bool) *ir.Inst {
+		ld, ok := v.(*ir.Inst)
+		if !ok || ld.Op != ir.OpLoad || uses[ld] != 1 || ld.Parent != b || fused[ld] {
+			return nil
+		}
+		if scalarFP {
+			if !ld.Ty.IsFP() {
+				return nil
+			}
+		} else if !ld.Ty.IsInt() || ld.Ty.Bits > 64 {
+			return nil
+		}
+		// Fusing moves the load's execution to the consumer: no store or
+		// call may intervene, or an aliasing write would be observed.
+		between := false
+		for _, in := range b.Insts {
+			if in == ld {
+				between = true
+				continue
+			}
+			if in == cons {
+				break
+			}
+			if between && (in.Op == ir.OpStore || in.Op == ir.OpCall) {
+				return nil
+			}
+		}
+		return ld
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			var commutative, isFP bool
+			switch in.Op {
+			case ir.OpFAdd, ir.OpFMul:
+				commutative, isFP = true, true
+			case ir.OpFSub, ir.OpFDiv:
+				isFP = true
+			case ir.OpAdd, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor:
+				commutative = true
+			case ir.OpSub, ir.OpICmp:
+			case ir.OpSExt, ir.OpZExt:
+				// movsx/movzx with a memory operand.
+				if ld := loadFusable(in.Args[0], in, b, false); ld != nil && ld.Ty.Bits <= 32 {
+					fused[ld] = true
+					fuseAddr(ld.Args[0], b)
+				}
+				continue
+			default:
+				continue
+			}
+			if in.Ty.IsVec() || (in.Op != ir.OpICmp && isFP && in.Ty.IsVec()) {
+				continue
+			}
+			if isFP && in.Ty.IsVec() {
+				continue
+			}
+			if ld := loadFusable(in.Args[1], in, b, isFP); ld != nil {
+				fused[ld] = true
+				fuseAddr(ld.Args[0], b)
+				continue
+			}
+			if commutative {
+				if ld := loadFusable(in.Args[0], in, b, isFP); ld != nil {
+					in.Args[0], in.Args[1] = in.Args[1], in.Args[0]
+					fused[ld] = true
+					fuseAddr(ld.Args[0], b)
+				}
+			}
+		}
+	}
+	return fused
+}
+
+// numbering assigns positions to instructions; block boundaries get their
+// own positions for liveness endpoints.
+type numbering struct {
+	pos        map[*ir.Inst]int
+	blockStart map[*ir.Block]int
+	blockEnd   map[*ir.Block]int
+	callPos    []int
+	max        int
+}
+
+func number(f *ir.Func) *numbering {
+	n := &numbering{
+		pos:        make(map[*ir.Inst]int),
+		blockStart: make(map[*ir.Block]int),
+		blockEnd:   make(map[*ir.Block]int),
+	}
+	p := 1
+	for _, b := range f.Blocks {
+		n.blockStart[b] = p
+		p++
+		for _, in := range b.Insts {
+			n.pos[in] = p
+			if in.Op == ir.OpCall {
+				n.callPos = append(n.callPos, p)
+			}
+			p += 2 // leave room for edge copies
+		}
+		n.blockEnd[b] = p
+		p++
+	}
+	n.max = p
+	return n
+}
+
+// liveness computes per-block live-out sets of instruction values and params.
+func liveness(f *ir.Func) map[*ir.Block]map[ir.Value]bool {
+	gen := make(map[*ir.Block]map[ir.Value]bool)
+	kill := make(map[*ir.Block]map[ir.Value]bool)
+	trackable := func(v ir.Value) bool {
+		switch v.(type) {
+		case *ir.Inst, *ir.Param:
+			return true
+		}
+		return false
+	}
+	for _, b := range f.Blocks {
+		g := make(map[ir.Value]bool)
+		k := make(map[ir.Value]bool)
+		for _, in := range b.Insts {
+			if in.Op == ir.OpPhi {
+				// Phi args are uses at the end of predecessors.
+				k[in] = true
+				continue
+			}
+			for _, a := range in.Args {
+				if trackable(a) && !k[a] {
+					g[a] = true
+				}
+			}
+			if in.Ty != ir.Void {
+				k[in] = true
+			}
+		}
+		gen[b], kill[b] = g, k
+	}
+	liveIn := make(map[*ir.Block]map[ir.Value]bool)
+	liveOut := make(map[*ir.Block]map[ir.Value]bool)
+	for _, b := range f.Blocks {
+		liveIn[b] = make(map[ir.Value]bool)
+		liveOut[b] = make(map[ir.Value]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := liveOut[b]
+			for _, s := range b.Succs() {
+				for v := range liveIn[s] {
+					if !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+				// Phi args in s flowing from b are live-out of b.
+				for _, in := range s.Insts {
+					if in.Op != ir.OpPhi {
+						break
+					}
+					for k2, inc := range in.Incoming {
+						if inc == b && trackable(in.Args[k2]) && !out[in.Args[k2]] {
+							out[in.Args[k2]] = true
+							changed = true
+						}
+					}
+				}
+			}
+			in := liveIn[b]
+			for v := range gen[b] {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+			for v := range out {
+				if !kill[b][v] && !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return liveOut
+}
+
+// allocate runs liveness + linear scan and returns value homes.
+func allocate(f *ir.Func, fused map[*ir.Inst]bool) *allocation {
+	num := number(f)
+	liveOut := liveness(f)
+
+	ivals := make(map[ir.Value]*interval)
+	touch := func(v ir.Value, pos int, def bool, class regClass) {
+		iv, ok := ivals[v]
+		if !ok {
+			iv = &interval{v: v, class: class, start: pos, end: pos}
+			ivals[v] = iv
+		}
+		if pos < iv.start && def {
+			iv.start = pos
+		}
+		if pos < iv.start && !def {
+			iv.start = pos // use before recorded def (params)
+		}
+		if pos > iv.end {
+			iv.end = pos
+		}
+	}
+
+	// Parameters are defined at position 0, arriving in ABI registers.
+	// Unused parameters get no interval (and no register).
+	paramUsed := make(map[*ir.Param]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			for _, a := range in.Args {
+				if p, ok := a.(*ir.Param); ok {
+					paramUsed[p] = true
+				}
+			}
+		}
+	}
+	nInt, nFP := 0, 0
+	for _, p := range f.Params {
+		cl := classOf(p.Ty)
+		var arrival x86.Reg = x86.NoReg
+		if cl == classXMM {
+			arrival = x86.XMM0 + x86.Reg(nFP)
+			nFP++
+		} else if nInt < len(intArgRegs) {
+			arrival = intArgRegs[nInt]
+			nInt++
+		}
+		if !paramUsed[p] {
+			continue
+		}
+		touch(p, 0, true, cl)
+		if arrival != x86.NoReg {
+			ivals[ir.Value(p)].prefReg = arrival
+			ivals[ir.Value(p)].hasPref = true
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			pos := num.pos[in]
+			// Fused instructions defer their operand uses to the (possibly
+			// transitively fused) consumer that finally materializes them.
+			usePos := pos
+			if fused[in] {
+				usePos = finalConsumerPos(num, f, in, fused)
+			}
+			if in.Op == ir.OpPhi {
+				// Defined at block start; args used at pred block ends.
+				touch(in, num.blockStart[in.Parent], true, classOf(in.Ty))
+				for k, a := range in.Args {
+					if trackableValue(a) {
+						touch(a, num.blockEnd[in.Incoming[k]], false, classOf(a.Type()))
+					}
+				}
+				continue
+			}
+			for _, a := range in.Args {
+				// Fused operands are re-materialized at their consumer and
+				// never own a register.
+				if ai, ok := a.(*ir.Inst); ok && fused[ai] {
+					continue
+				}
+				if trackableValue(a) {
+					touch(a, usePos, false, classOf(a.Type()))
+				}
+			}
+			if in.Ty != ir.Void && !fused[in] {
+				touch(in, pos, true, classOf(in.Ty))
+			}
+		}
+	}
+
+	// Extend intervals across back edges: anything live out of a block must
+	// survive to that block's end position.
+	for _, b := range f.Blocks {
+		for v := range liveOut[b] {
+			if iv, ok := ivals[v]; ok && num.blockEnd[b] > iv.end {
+				iv.end = num.blockEnd[b]
+			}
+		}
+	}
+
+	// Values live across calls.
+	for _, iv := range ivals {
+		for _, cp := range num.callPos {
+			if iv.start < cp && iv.end > cp {
+				iv.spansCall = true
+				break
+			}
+		}
+	}
+
+	// Coalescing preference: a value whose first operand dies exactly where
+	// this value is defined would like to reuse that operand's register
+	// (two-address style), eliminating a move.
+	for v, iv := range ivals {
+		in, ok := v.(*ir.Inst)
+		if !ok || len(in.Args) == 0 {
+			continue
+		}
+		if src := ivals[in.Args[0]]; src != nil && src.class == iv.class && src.end == iv.start {
+			iv.prefFrom = src
+		}
+	}
+
+	list := make([]*interval, 0, len(ivals))
+	for _, iv := range ivals {
+		list = append(list, iv)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].start != list[j].start {
+			return list[i].start < list[j].start
+		}
+		return nameOf(list[i].v) < nameOf(list[j].v)
+	})
+
+	a := &allocation{locs: make(map[ir.Value]loc), fused: fused}
+	var frame int32
+	slotOf := func(cl regClass) int32 {
+		if cl == classXMM {
+			frame += 16
+			if frame%16 != 0 {
+				frame += 16 - frame%16
+			}
+		} else {
+			frame += 8
+		}
+		return -frame
+	}
+
+	type activeEnt struct {
+		iv  *interval
+		reg x86.Reg
+	}
+	var active []activeEnt
+	inUse := make(map[x86.Reg]bool)
+	usedSavedSet := make(map[x86.Reg]bool)
+
+	expire := func(pos int) {
+		out := active[:0]
+		for _, ae := range active {
+			if ae.iv.end >= pos {
+				out = append(out, ae)
+			} else {
+				delete(inUse, ae.reg)
+			}
+		}
+		active = out
+	}
+
+	for _, iv := range list {
+		expire(iv.start)
+		pool := gpPool
+		if iv.class == classXMM {
+			pool = xmmPool
+		}
+		// XMM registers are all caller-saved: values live across calls go
+		// to the stack. GP values prefer callee-saved registers.
+		if iv.spansCall && iv.class == classXMM {
+			a.locs[iv.v] = loc{off: slotOf(iv.class)}
+			continue
+		}
+		var chosen x86.Reg = x86.NoReg
+		// Fixed preference (parameter arrival register).
+		if iv.hasPref && !inUse[iv.prefReg] &&
+			(!iv.spansCall || gpCalleeSaved[iv.prefReg]) {
+			inPool := false
+			for _, r := range pool {
+				if r == iv.prefReg {
+					inPool = true
+					break
+				}
+			}
+			if inPool {
+				chosen = iv.prefReg
+			}
+		}
+		// Two-address coalescing: reuse the register of the first operand
+		// when its live range ends exactly at this definition. The holder
+		// is removed from the active list so its later expiry does not free
+		// a register that is still in use.
+		if chosen == x86.NoReg {
+			if p := iv.prefFrom; p != nil && p.assigned != x86.NoReg &&
+				(!iv.spansCall || gpCalleeSaved[p.assigned]) {
+				if !inUse[p.assigned] {
+					chosen = p.assigned
+				} else if p.end == iv.start {
+					for i, ae := range active {
+						if ae.iv == p {
+							active = append(active[:i], active[i+1:]...)
+							chosen = p.assigned
+							break
+						}
+					}
+				}
+			}
+		}
+		if chosen == x86.NoReg && iv.spansCall {
+			for _, r := range pool {
+				if gpCalleeSaved[r] && !inUse[r] {
+					chosen = r
+					break
+				}
+			}
+		} else if chosen == x86.NoReg {
+			for _, r := range pool {
+				if !inUse[r] && !(gpCalleeSaved[r] && iv.end-iv.start < 8) {
+					chosen = r
+					break
+				}
+			}
+			if chosen == x86.NoReg {
+				for _, r := range pool {
+					if !inUse[r] {
+						chosen = r
+						break
+					}
+				}
+			}
+		}
+		iv.assigned = x86.NoReg
+		if chosen == x86.NoReg {
+			// Spill the active interval with the furthest end if it ends
+			// later than this one.
+			worstIdx := -1
+			for i, ae := range active {
+				if ae.iv.class != iv.class || (iv.spansCall && !gpCalleeSaved[ae.reg]) {
+					continue
+				}
+				if worstIdx < 0 || ae.iv.end > active[worstIdx].iv.end {
+					worstIdx = i
+				}
+			}
+			if worstIdx >= 0 && active[worstIdx].iv.end > iv.end {
+				victim := active[worstIdx]
+				a.locs[victim.iv.v] = loc{off: slotOf(victim.iv.class)}
+				chosen = victim.reg
+				active = append(active[:worstIdx], active[worstIdx+1:]...)
+			} else {
+				a.locs[iv.v] = loc{off: slotOf(iv.class)}
+				continue
+			}
+		}
+		inUse[chosen] = true
+		if gpCalleeSaved[chosen] {
+			usedSavedSet[chosen] = true
+		}
+		iv.assigned = chosen
+		a.locs[iv.v] = loc{inReg: true, reg: chosen}
+		active = append(active, activeEnt{iv, chosen})
+	}
+
+	if frame%16 != 0 {
+		frame += 16 - frame%16
+	}
+	a.frameSize = frame
+	for _, r := range gpPool {
+		if usedSavedSet[r] {
+			a.usedSaved = append(a.usedSaved, r)
+		}
+	}
+	return a
+}
+
+func trackableValue(v ir.Value) bool {
+	switch v.(type) {
+	case *ir.Inst, *ir.Param:
+		return true
+	}
+	return false
+}
+
+// finalConsumerPos returns the position of the instruction that actually
+// materializes in's value: fusion chains (bitcast -> gep -> load -> binop)
+// are followed until a non-fused consumer is reached.
+func finalConsumerPos(num *numbering, f *ir.Func, in *ir.Inst, fused map[*ir.Inst]bool) int {
+	cur := in
+	for depth := 0; depth < 8; depth++ {
+		cons := directConsumer(cur)
+		if cons == nil {
+			return num.pos[cur]
+		}
+		if !fused[cons] {
+			return num.pos[cons]
+		}
+		cur = cons
+	}
+	return num.pos[cur]
+}
+
+// directConsumer finds the first instruction after in (same block) that uses
+// its value.
+func directConsumer(in *ir.Inst) *ir.Inst {
+	b := in.Parent
+	found := false
+	for _, other := range b.Insts {
+		if other == in {
+			found = true
+			continue
+		}
+		if !found {
+			continue
+		}
+		for _, a := range other.Args {
+			if a == ir.Value(in) {
+				return other
+			}
+		}
+	}
+	return nil
+}
+
+func nameOf(v ir.Value) string {
+	return v.Ident()
+}

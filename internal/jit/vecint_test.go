@@ -1,0 +1,255 @@
+package jit
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/ir"
+)
+
+// writeLanes32 stores four uint32 lanes at addr.
+func writeLanes32(t *testing.T, mem *emu.Memory, addr uint64, lanes [4]uint32) {
+	t.Helper()
+	bts, err := mem.Bytes(addr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range lanes {
+		binary.LittleEndian.PutUint32(bts[4*i:], u)
+	}
+}
+
+// readLanes32 loads four uint32 lanes from addr.
+func readLanes32(t *testing.T, mem *emu.Memory, addr uint64) [4]uint32 {
+	t.Helper()
+	bts, err := mem.Bytes(addr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [4]uint32
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(bts[4*i:])
+	}
+	return out
+}
+
+// TestVectorIntBin4x32 exercises the packed-integer ALU table (paddd/psubd
+// and friends) on <4 x i32> values: load two vectors, combine, store.
+func TestVectorIntBin4x32(t *testing.T) {
+	a := [4]uint32{10, 20, 0xFFFFFFFF, 7}
+	bv := [4]uint32{1, 25, 1, 0x80000000}
+	cases := []struct {
+		op   ir.Op
+		want [4]uint32
+	}{
+		{ir.OpAdd, [4]uint32{11, 45, 0, 0x80000007}},
+		{ir.OpSub, [4]uint32{9, 0xFFFFFFFB, 0xFFFFFFFE, 0x80000007}},
+		{ir.OpAnd, [4]uint32{0, 16, 1, 0}},
+		{ir.OpOr, [4]uint32{11, 29, 0xFFFFFFFF, 0x80000007}},
+		{ir.OpXor, [4]uint32{11, 13, 0xFFFFFFFE, 0x80000007}},
+	}
+	v4 := ir.VecOf(ir.I32, 4)
+	for _, c := range cases {
+		f := ir.NewFunc("vi", ir.Void, ir.PtrTo(ir.I8), ir.PtrTo(ir.I8), ir.PtrTo(ir.I8))
+		b := ir.NewBuilder(f)
+		va := b.Load(v4, b.Bitcast(f.Params[0], ir.PtrTo(v4)))
+		vb := b.Load(v4, b.Bitcast(f.Params[1], ir.PtrTo(v4)))
+		var r ir.Value
+		switch c.op {
+		case ir.OpAdd:
+			r = b.Add(va, vb)
+		case ir.OpSub:
+			r = b.Sub(va, vb)
+		case ir.OpAnd:
+			r = b.And(va, vb)
+		case ir.OpOr:
+			r = b.Or(va, vb)
+		case ir.OpXor:
+			r = b.Xor(va, vb)
+		}
+		b.Store(r, b.Bitcast(f.Params[2], ir.PtrTo(v4)))
+		b.Ret(nil)
+
+		mem := emu.NewMemory(0x1000000)
+		pa := mem.Alloc(16, 16, "a").Start
+		pb := mem.Alloc(16, 16, "b").Start
+		pc := mem.Alloc(16, 16, "c").Start
+		writeLanes32(t, mem, pa, a)
+		writeLanes32(t, mem, pb, bv)
+		compileAndRun(t, mem, f, []uint64{pa, pb, pc}, nil)
+		if got := readLanes32(t, mem, pc); got != c.want {
+			t.Errorf("%v: got %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+// TestVectorIntBinAliasedDst: the second operand's home register equals the
+// destination — the emitter must park it for non-commutative sub.
+func TestVectorIntBinAliasedDst(t *testing.T) {
+	v4 := ir.VecOf(ir.I32, 4)
+	f := ir.NewFunc("alias", ir.Void, ir.PtrTo(ir.I8), ir.PtrTo(ir.I8))
+	b := ir.NewBuilder(f)
+	v := b.Load(v4, b.Bitcast(f.Params[0], ir.PtrTo(v4)))
+	dbl := b.Add(v, v) // dst likely shares v's register
+	dif := b.Sub(dbl, v)
+	sum := b.Add(dif, dif)
+	b.Store(b.Sub(sum, dif), b.Bitcast(f.Params[1], ir.PtrTo(v4)))
+	b.Ret(nil)
+
+	mem := emu.NewMemory(0x1000000)
+	pa := mem.Alloc(16, 16, "a").Start
+	pb := mem.Alloc(16, 16, "b").Start
+	writeLanes32(t, mem, pa, [4]uint32{3, 5, 7, 11})
+	compileAndRun(t, mem, f, []uint64{pa, pb}, nil)
+	// ((2v - v)*2) - v = v
+	if got := readLanes32(t, mem, pb); got != [4]uint32{3, 5, 7, 11} {
+		t.Errorf("aliased vector chain: got %v", got)
+	}
+}
+
+// TestShuffle4x32Unpack covers unpcklps ([0,4,1,5]), pshufd (single-source
+// permutes), and the shufps two-source shape on <4 x float>.
+func TestShuffle4x32Unpack(t *testing.T) {
+	v4 := ir.VecOf(ir.Float, 4)
+	masks := [][]int{
+		{0, 4, 1, 5}, // unpcklps
+		{3, 2, 1, 0}, // pshufd
+		{2, 2, 0, 0}, // pshufd with repeats
+		{0, 1, 4, 5}, // shufps: low from a, low from b
+		{1, 0, 6, 7}, // shufps mixed
+	}
+	src := [4]uint32{0x3F800000, 0x40000000, 0x40400000, 0x40800000} // 1,2,3,4
+	srb := [4]uint32{0x40A00000, 0x40C00000, 0x40E00000, 0x41000000} // 5,6,7,8
+	lane := func(i int) uint32 {
+		if i < 4 {
+			return src[i]
+		}
+		return srb[i-4]
+	}
+	for _, mask := range masks {
+		f := ir.NewFunc("shuf", ir.Void, ir.PtrTo(ir.I8), ir.PtrTo(ir.I8), ir.PtrTo(ir.I8))
+		b := ir.NewBuilder(f)
+		va := b.Load(v4, b.Bitcast(f.Params[0], ir.PtrTo(v4)))
+		vb := b.Load(v4, b.Bitcast(f.Params[1], ir.PtrTo(v4)))
+		sh := b.ShuffleVector(va, vb, mask)
+		b.Store(sh, b.Bitcast(f.Params[2], ir.PtrTo(v4)))
+		b.Ret(nil)
+
+		mem := emu.NewMemory(0x1000000)
+		pa := mem.Alloc(16, 16, "a").Start
+		pb := mem.Alloc(16, 16, "b").Start
+		pc := mem.Alloc(16, 16, "c").Start
+		writeLanes32(t, mem, pa, src)
+		writeLanes32(t, mem, pb, srb)
+		compileAndRun(t, mem, f, []uint64{pa, pb, pc}, nil)
+		got := readLanes32(t, mem, pc)
+		var want [4]uint32
+		for i, m := range mask {
+			want[i] = lane(m)
+		}
+		if got != want {
+			t.Errorf("mask %v: got %#v, want %#v", mask, got, want)
+		}
+	}
+}
+
+// TestI128AddRejected: the backend declines i128 add/sub instead of
+// miscompiling them.
+func TestI128AddRejected(t *testing.T) {
+	f := ir.NewFunc("w", ir.Void, ir.PtrTo(ir.I8), ir.PtrTo(ir.I8))
+	b := ir.NewBuilder(f)
+	v := b.Load(ir.I128, b.Bitcast(f.Params[0], ir.PtrTo(ir.I128)))
+	b.Store(b.Add(v, v), b.Bitcast(f.Params[1], ir.PtrTo(ir.I128)))
+	b.Ret(nil)
+	mem := emu.NewMemory(0x1000000)
+	c := NewCompiler(mem)
+	if _, err := c.Compile(f); err == nil {
+		t.Error("i128 add must be rejected")
+	}
+}
+
+// TestInsertElementLanes writes each lane of a v4f32 in turn.
+func TestInsertElementLanes(t *testing.T) {
+	v4 := ir.VecOf(ir.Float, 4)
+	for lane := 0; lane < 4; lane++ {
+		f := ir.NewFunc("ins", ir.Void, ir.PtrTo(ir.I8), ir.PtrTo(ir.I8))
+		b := ir.NewBuilder(f)
+		v := b.Load(v4, b.Bitcast(f.Params[0], ir.PtrTo(v4)))
+		nv := b.InsertElement(v, ir.FltT(ir.Float, 9), lane)
+		b.Store(nv, b.Bitcast(f.Params[1], ir.PtrTo(v4)))
+		b.Ret(nil)
+
+		mem := emu.NewMemory(0x1000000)
+		pa := mem.Alloc(16, 16, "a").Start
+		pb := mem.Alloc(16, 16, "b").Start
+		src := [4]uint32{0x3F800000, 0x40000000, 0x40400000, 0x40800000}
+		writeLanes32(t, mem, pa, src)
+		compileAndRun(t, mem, f, []uint64{pa, pb}, nil)
+		got := readLanes32(t, mem, pb)
+		want := src
+		want[lane] = 0x41100000 // 9.0f
+		if got != want {
+			t.Errorf("lane %d: got %#v, want %#v", lane, got, want)
+		}
+	}
+}
+
+// TestCompilerEntryLookup: Entry reports compiled addresses per function.
+func TestCompilerEntryLookup(t *testing.T) {
+	f := ir.NewFunc("one", ir.I64)
+	b := ir.NewBuilder(f)
+	b.Ret(ir.Int(ir.I64, 1))
+	other := ir.NewFunc("other", ir.I64)
+
+	mem := emu.NewMemory(0x1000000)
+	c := NewCompiler(mem)
+	addr, err := c.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Entry(f)
+	if !ok || got != addr {
+		t.Errorf("Entry(f) = %#x, %v; want %#x, true", got, ok, addr)
+	}
+	if _, ok := c.Entry(other); ok {
+		t.Error("Entry must miss for uncompiled functions")
+	}
+}
+
+// TestLinkGlobalWithInitializer: a module global without a fixed address
+// gets placed in memory with its initializer; loads through it read that
+// data.
+func TestLinkGlobalWithInitializer(t *testing.T) {
+	g := &ir.Global{Nam: "table", Ty: ir.I64, Init: []byte{
+		0x2A, 0, 0, 0, 0, 0, 0, 0, // 42
+		0x07, 0, 0, 0, 0, 0, 0, 0, // 7
+	}}
+	m := &ir.Module{}
+	m.AddGlobal(g)
+	f := ir.NewFunc("rd", ir.I64, ir.I64)
+	b := ir.NewBuilder(f)
+	p := b.GEP(ir.I64, g, f.Params[0])
+	b.Ret(b.Load(ir.I64, p))
+	m.AddFunc(f)
+
+	mem := emu.NewMemory(0x1000000)
+	c := NewCompiler(mem)
+	entry, err := c.CompileModule(m, "rd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Addr == 0 {
+		t.Fatal("global not placed")
+	}
+	em := emu.NewMachine(mem)
+	for i, want := range []uint64{42, 7} {
+		got, err := em.Call(entry, emu.CallArgs{Ints: []uint64{uint64(i)}}, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("table[%d] = %d, want %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,524 @@
+// Package kernels provides the "compiled binary code" corpus of the
+// reproduction: hand-scheduled x86-64 machine code for every function the
+// paper's evaluation feeds into DBrew and the LLVM transformation, written
+// in the style GCC 5.4 emits at -O3 -mno-avx. This substitutes for the
+// GCC-compiled object code of the original artifact (see DESIGN.md): the
+// bytes are genuine x86-64 with the idioms the paper calls out — lea-chain
+// index multiplication, SSE scalar arithmetic, and a vectorized line kernel
+// with an alignment peel and aligned packed stores.
+//
+// All element kernels share the signature
+//
+//	void elem(struct S *s, double *m1, double *m2, long index)
+//
+// (rdi, rsi, rdx, rcx) and all line kernels
+//
+//	void line(struct S *s, double *m1, double *m2, long index0, long n)
+//
+// (rdi, rsi, rdx, rcx, r8).
+package kernels
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/abi"
+	"repro/internal/emu"
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
+)
+
+// Corpus holds the entry addresses of all built kernels.
+type Corpus struct {
+	Mem *emu.Memory
+	SZ  int // matrix side length baked into the generic kernels (like #define SZ)
+
+	// Quarter is the address of the 0.25 constant; QuarterPair of the
+	// 16-byte [0.25, 0.25] used by the vectorized kernel.
+	Quarter     uint64
+	QuarterPair uint64
+
+	// Element kernels.
+	DirectElem uint64
+	FlatElem   uint64
+	SortedElem uint64
+
+	// Line kernels as the compiler produced them (generic kernels inlined,
+	// the direct one vectorized).
+	DirectLine uint64
+	FlatLine   uint64
+	SortedLine uint64
+
+	// Call-based line kernels: the element computation in a separate
+	// function, as used for the DBrew line-kernel experiments (Section VI).
+	DirectLineCall uint64
+	FlatLineCall   uint64
+	SortedLineCall uint64
+
+	// MaxFunc is the Figure 6 example: max(a, b) via cmp + cmovl.
+	MaxFunc uint64
+
+	// Sizes maps entry addresses to code sizes (for listings).
+	Sizes map[uint64]int
+}
+
+// ElemSig is the element kernel signature.
+var ElemSig = abi.Signature{Params: []abi.Class{abi.ClassPtr, abi.ClassPtr, abi.ClassPtr, abi.ClassInt}}
+
+// LineSig is the line kernel signature.
+var LineSig = abi.Signature{Params: []abi.Class{abi.ClassPtr, abi.ClassPtr, abi.ClassPtr, abi.ClassInt, abi.ClassInt}}
+
+// MaxSig is the Figure 6 function signature.
+var MaxSig = abi.Sig(abi.ClassInt, abi.ClassInt, abi.ClassInt)
+
+// codeBase is where the "text segment" of the corpus is mapped.
+const codeBase = 0x400000
+
+// Build assembles the corpus into mem for matrices of side length sz.
+func Build(mem *emu.Memory, sz int) (*Corpus, error) {
+	c := &Corpus{Mem: mem, SZ: sz, Sizes: make(map[uint64]int)}
+
+	// .rodata: FP constants, 16-byte aligned for the packed pair.
+	ro := mem.Alloc(32, 16, "kernels.rodata")
+	binary.LittleEndian.PutUint64(ro.Data[0:], math.Float64bits(0.25))
+	binary.LittleEndian.PutUint64(ro.Data[16:], math.Float64bits(0.25))
+	binary.LittleEndian.PutUint64(ro.Data[24:], math.Float64bits(0.25))
+	c.Quarter = ro.Start
+	c.QuarterPair = ro.Start + 16
+	if c.QuarterPair >= 1<<31 {
+		return nil, fmt.Errorf("kernels: rodata beyond 2 GiB")
+	}
+
+	base := codeBase
+	type fn struct {
+		name  string
+		addr  *uint64
+		build func(b *asm.Builder) error
+	}
+	fns := []fn{
+		{"direct_elem", &c.DirectElem, c.buildDirectElem},
+		{"flat_elem", &c.FlatElem, c.buildFlatElem},
+		{"sorted_elem", &c.SortedElem, c.buildSortedElem},
+		{"direct_line", &c.DirectLine, c.buildDirectLine},
+		{"flat_line", &c.FlatLine, c.buildFlatLine},
+		{"sorted_line", &c.SortedLine, c.buildSortedLine},
+		{"max", &c.MaxFunc, buildMax},
+	}
+	next := uint64(base)
+	for _, f := range fns {
+		b := asm.NewBuilder()
+		if err := f.build(b); err != nil {
+			return nil, fmt.Errorf("kernels: %s: %w", f.name, err)
+		}
+		code, _, err := b.Assemble(next)
+		if err != nil {
+			return nil, fmt.Errorf("kernels: %s: %w", f.name, err)
+		}
+		if _, err := mem.MapBytes(next, code, "kernels."+f.name); err != nil {
+			return nil, err
+		}
+		*f.addr = next
+		c.Sizes[next] = len(code)
+		next += uint64(len(code))
+		next = (next + 15) &^ 15 // function alignment
+	}
+
+	// Call-based line kernels need the element entry addresses.
+	callFns := []fn{
+		{"direct_line_call", &c.DirectLineCall, func(b *asm.Builder) error { return buildLineCall(b, c.DirectElem) }},
+		{"flat_line_call", &c.FlatLineCall, func(b *asm.Builder) error { return buildLineCall(b, c.FlatElem) }},
+		{"sorted_line_call", &c.SortedLineCall, func(b *asm.Builder) error { return buildLineCall(b, c.SortedElem) }},
+	}
+	for _, f := range callFns {
+		b := asm.NewBuilder()
+		if err := f.build(b); err != nil {
+			return nil, fmt.Errorf("kernels: %s: %w", f.name, err)
+		}
+		code, _, err := b.Assemble(next)
+		if err != nil {
+			return nil, fmt.Errorf("kernels: %s: %w", f.name, err)
+		}
+		if _, err := mem.MapBytes(next, code, "kernels."+f.name); err != nil {
+			return nil, err
+		}
+		*f.addr = next
+		c.Sizes[next] = len(code)
+		next += uint64(len(code))
+		next = (next + 15) &^ 15
+	}
+	return c, nil
+}
+
+// rowDisp is the byte displacement of one matrix row.
+func (c *Corpus) rowDisp() int32 { return int32(8 * c.SZ) }
+
+// quarterOp returns the absolute-address operand of the 0.25 constant, the
+// form GCC's constant pool references take after linking (cf. the
+// mulsd xmm0, [0x14c47d8] in Figure 8).
+func (c *Corpus) quarterOp() x86.Operand { return x86.MemAbs(8, int32(c.Quarter)) }
+
+// buildDirectElem is the hand-specialized 4-point stencil:
+//
+//	m2[idx] = 0.25*(m1[idx-1] + m1[idx+1] + m1[idx-SZ] + m1[idx+SZ])
+func (c *Corpus) buildDirectElem(b *asm.Builder) error {
+	rd := c.rowDisp()
+	b.I(x86.MOVSD_X, x86.X(x86.XMM0), x86.MemBIS(8, x86.RSI, x86.RCX, 8, -8))
+	b.I(x86.ADDSD, x86.X(x86.XMM0), x86.MemBIS(8, x86.RSI, x86.RCX, 8, 8))
+	b.I(x86.ADDSD, x86.X(x86.XMM0), x86.MemBIS(8, x86.RSI, x86.RCX, 8, -rd))
+	b.I(x86.ADDSD, x86.X(x86.XMM0), x86.MemBIS(8, x86.RSI, x86.RCX, 8, rd))
+	b.I(x86.MULSD, x86.X(x86.XMM0), c.quarterOp())
+	b.I(x86.MOVSD_X, x86.MemBIS(8, x86.RDX, x86.RCX, 8, 0), x86.X(x86.XMM0))
+	b.Ret()
+	return nil
+}
+
+// emitMul649 emits the GCC-style lea chain computing dst = src*SZ for
+// SZ = 649 (dst = src + 8*(81*src), 81 = 9*9), or an imul for other sizes.
+// src and dst must differ; dst is clobbered.
+func (c *Corpus) emitMulSZ(b *asm.Builder, dst, src x86.Reg) {
+	if c.SZ == 649 {
+		// GCC 5.4 strength-reduces *649 into lea chains — the paper notes
+		// LLVM instead uses a single imul here (Section VI-A).
+		b.I(x86.LEA, x86.R64(dst), x86.MemBIS(8, src, src, 8, 0)) // 9*src
+		b.I(x86.LEA, x86.R64(dst), x86.MemBIS(8, dst, dst, 8, 0)) // 81*src
+		b.I(x86.LEA, x86.R64(dst), x86.MemBIS(8, src, dst, 8, 0)) // 649*src
+		return
+	}
+	b.I(x86.IMUL3, x86.R64(dst), x86.R64(src), x86.Imm(int64(c.SZ), 8))
+}
+
+// buildFlatElem is apply_flat from Figure 7 as GCC compiles it: a loop over
+// the stencil points with the lea-chain index computation.
+func (c *Corpus) buildFlatElem(b *asm.Builder) error {
+	loop := b.NewLabel()
+	store := b.NewLabel()
+	zero := b.NewLabel()
+
+	b.I(x86.MOV, x86.R32(x86.RAX), x86.MemBD(4, x86.RDI, 0)) // ps
+	b.I(x86.TEST, x86.R32(x86.RAX), x86.R32(x86.RAX))
+	b.Jcc(x86.CondLE, zero)
+	b.I(x86.LEA, x86.R64(x86.R8), x86.MemBD(8, x86.RDI, 8)) // p = s->p
+	b.I(x86.MOVSXD, x86.R64(x86.R9), x86.R32(x86.RAX))
+	b.I(x86.SHL, x86.R64(x86.R9), x86.Imm(4, 1))
+	b.I(x86.ADD, x86.R64(x86.R9), x86.R64(x86.R8)) // end pointer
+	b.I(x86.PXOR, x86.X(x86.XMM1), x86.X(x86.XMM1))
+
+	b.Bind(loop)
+	b.I(x86.MOVSXD, x86.R64(x86.R10), x86.MemBD(4, x86.R8, 12)) // dy
+	c.emitMulSZ(b, x86.R11, x86.R10)                            // SZ*dy
+	b.I(x86.MOVSXD, x86.R64(x86.RAX), x86.MemBD(4, x86.R8, 8))  // dx
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.R11))
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RCX)) // + index
+	b.I(x86.MOVSD_X, x86.X(x86.XMM0), x86.MemBD(8, x86.R8, 0))
+	b.I(x86.MULSD, x86.X(x86.XMM0), x86.MemBIS(8, x86.RSI, x86.RAX, 8, 0))
+	b.I(x86.ADDSD, x86.X(x86.XMM1), x86.X(x86.XMM0))
+	b.I(x86.ADD, x86.R64(x86.R8), x86.Imm(16, 8))
+	b.I(x86.CMP, x86.R64(x86.R8), x86.R64(x86.R9))
+	b.Jcc(x86.CondNE, loop)
+	b.Jmp(store)
+
+	b.Bind(zero)
+	b.I(x86.PXOR, x86.X(x86.XMM1), x86.X(x86.XMM1))
+	b.Bind(store)
+	b.I(x86.MOVSD_X, x86.MemBIS(8, x86.RDX, x86.RCX, 8, 0), x86.X(x86.XMM1))
+	b.Ret()
+	return nil
+}
+
+// buildSortedElem is the sorted-structure kernel: the header holds a table
+// of pointers to coefficient groups (the nested pointers of Section IV);
+// two nested loops, one multiply per group.
+func (c *Corpus) buildSortedElem(b *asm.Builder) error {
+	gloop := b.NewLabel()
+	ploop := b.NewLabel()
+	pdone := b.NewLabel()
+	store := b.NewLabel()
+	zero := b.NewLabel()
+
+	b.I(x86.PUSH, x86.R64(x86.RBX))
+	b.I(x86.PUSH, x86.R64(x86.R12))
+	b.I(x86.MOV, x86.R32(x86.RAX), x86.MemBD(4, x86.RDI, 0)) // gs
+	b.I(x86.TEST, x86.R32(x86.RAX), x86.R32(x86.RAX))
+	b.Jcc(x86.CondLE, zero)
+	b.I(x86.LEA, x86.R64(x86.R8), x86.MemBD(8, x86.RDI, 8)) // pointer table
+	b.I(x86.MOVSXD, x86.R64(x86.RAX), x86.R32(x86.RAX))
+	b.I(x86.LEA, x86.R64(x86.R9), x86.MemBIS(8, x86.R8, x86.RAX, 8, 0)) // table end
+	b.I(x86.PXOR, x86.X(x86.XMM1), x86.X(x86.XMM1))                     // v
+
+	b.Bind(gloop)
+	b.I(x86.MOV, x86.R64(x86.RBX), x86.MemBD(8, x86.R8, 0))  // group ptr (nested)
+	b.I(x86.MOV, x86.R32(x86.RAX), x86.MemBD(4, x86.RBX, 8)) // ps
+	b.I(x86.PXOR, x86.X(x86.XMM2), x86.X(x86.XMM2))          // sum
+	b.I(x86.TEST, x86.R32(x86.RAX), x86.R32(x86.RAX))
+	b.Jcc(x86.CondLE, pdone)
+	b.I(x86.LEA, x86.R64(x86.R10), x86.MemBD(8, x86.RBX, 16)) // point ptr
+	b.I(x86.MOVSXD, x86.R64(x86.RAX), x86.R32(x86.RAX))
+	b.I(x86.LEA, x86.R64(x86.R11), x86.MemBIS(8, x86.R10, x86.RAX, 8, 0)) // end
+
+	b.Bind(ploop)
+	b.I(x86.MOVSXD, x86.R64(x86.R12), x86.MemBD(4, x86.R10, 4)) // dy
+	c.emitMulSZ(b, x86.RAX, x86.R12)                            // SZ*dy
+	b.I(x86.MOVSXD, x86.R64(x86.R12), x86.MemBD(4, x86.R10, 0)) // dx
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.R12))
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RCX))
+	b.I(x86.ADDSD, x86.X(x86.XMM2), x86.MemBIS(8, x86.RSI, x86.RAX, 8, 0))
+	b.I(x86.ADD, x86.R64(x86.R10), x86.Imm(8, 8))
+	b.I(x86.CMP, x86.R64(x86.R10), x86.R64(x86.R11))
+	b.Jcc(x86.CondNE, ploop)
+
+	b.Bind(pdone)
+	b.I(x86.MULSD, x86.X(x86.XMM2), x86.MemBD(8, x86.RBX, 0)) // * f
+	b.I(x86.ADDSD, x86.X(x86.XMM1), x86.X(x86.XMM2))
+	b.I(x86.ADD, x86.R64(x86.R8), x86.Imm(8, 8))
+	b.I(x86.CMP, x86.R64(x86.R8), x86.R64(x86.R9))
+	b.Jcc(x86.CondNE, gloop)
+	b.Jmp(store)
+
+	b.Bind(zero)
+	b.I(x86.PXOR, x86.X(x86.XMM1), x86.X(x86.XMM1))
+	b.Bind(store)
+	b.I(x86.MOVSD_X, x86.MemBIS(8, x86.RDX, x86.RCX, 8, 0), x86.X(x86.XMM1))
+	b.I(x86.POP, x86.R64(x86.R12))
+	b.I(x86.POP, x86.R64(x86.RBX))
+	b.Ret()
+	return nil
+}
+
+// buildDirectLine is the compile-time vectorized line kernel: GCC peels one
+// element when the output is misaligned, then processes pairs with packed
+// arithmetic and aligned stores, with a scalar tail (Section VI-B notes GCC
+// "includes alignment checks to perform aligned loads where possible").
+func (c *Corpus) buildDirectLine(b *asm.Builder) error {
+	rd := c.rowDisp()
+	done := b.NewLabel()
+	mainSetup := b.NewLabel()
+	mainLoop := b.NewLabel()
+	tail := b.NewLabel()
+
+	b.I(x86.TEST, x86.R64(x86.R8), x86.R64(x86.R8))
+	b.Jcc(x86.CondLE, done)
+
+	// Peel one scalar element if m2+8*idx is not 16-byte aligned.
+	b.I(x86.LEA, x86.R64(x86.RAX), x86.MemBIS(8, x86.RDX, x86.RCX, 8, 0))
+	b.I(x86.TEST, x86.R8L(x86.RAX), x86.Imm(15, 1))
+	b.Jcc(x86.CondE, mainSetup)
+	c.emitScalarElem(b)
+	b.I(x86.ADD, x86.R64(x86.RCX), x86.Imm(1, 8))
+	b.I(x86.SUB, x86.R64(x86.R8), x86.Imm(1, 8))
+	b.Jcc(x86.CondE, done)
+
+	b.Bind(mainSetup)
+	b.I(x86.MOV, x86.R64(x86.R9), x86.R64(x86.R8))
+	b.I(x86.SHR, x86.R64(x86.R9), x86.Imm(1, 1)) // pair count
+	b.Jcc(x86.CondE, tail)
+	b.I(x86.MOVAPD, x86.X(x86.XMM2), x86.MemAbs(16, int32(c.QuarterPair)))
+
+	b.Bind(mainLoop)
+	b.I(x86.MOVUPD, x86.X(x86.XMM0), x86.MemBIS(16, x86.RSI, x86.RCX, 8, -8))
+	b.I(x86.MOVUPD, x86.X(x86.XMM1), x86.MemBIS(16, x86.RSI, x86.RCX, 8, 8))
+	b.I(x86.ADDPD, x86.X(x86.XMM0), x86.X(x86.XMM1))
+	b.I(x86.MOVUPD, x86.X(x86.XMM1), x86.MemBIS(16, x86.RSI, x86.RCX, 8, -rd))
+	b.I(x86.ADDPD, x86.X(x86.XMM0), x86.X(x86.XMM1))
+	b.I(x86.MOVUPD, x86.X(x86.XMM1), x86.MemBIS(16, x86.RSI, x86.RCX, 8, rd))
+	b.I(x86.ADDPD, x86.X(x86.XMM0), x86.X(x86.XMM1))
+	b.I(x86.MULPD, x86.X(x86.XMM0), x86.X(x86.XMM2))
+	b.I(x86.MOVAPD, x86.MemBIS(16, x86.RDX, x86.RCX, 8, 0), x86.X(x86.XMM0))
+	b.I(x86.ADD, x86.R64(x86.RCX), x86.Imm(2, 8))
+	b.I(x86.SUB, x86.R64(x86.R9), x86.Imm(1, 8))
+	b.Jcc(x86.CondNE, mainLoop)
+
+	b.Bind(tail)
+	b.I(x86.TEST, x86.R8L(x86.R8), x86.Imm(1, 1))
+	b.Jcc(x86.CondE, done)
+	c.emitScalarElem(b)
+
+	b.Bind(done)
+	b.Ret()
+	return nil
+}
+
+// emitScalarElem emits the scalar direct computation at the current rcx.
+func (c *Corpus) emitScalarElem(b *asm.Builder) {
+	rd := c.rowDisp()
+	b.I(x86.MOVSD_X, x86.X(x86.XMM0), x86.MemBIS(8, x86.RSI, x86.RCX, 8, -8))
+	b.I(x86.ADDSD, x86.X(x86.XMM0), x86.MemBIS(8, x86.RSI, x86.RCX, 8, 8))
+	b.I(x86.ADDSD, x86.X(x86.XMM0), x86.MemBIS(8, x86.RSI, x86.RCX, 8, -rd))
+	b.I(x86.ADDSD, x86.X(x86.XMM0), x86.MemBIS(8, x86.RSI, x86.RCX, 8, rd))
+	b.I(x86.MULSD, x86.X(x86.XMM0), c.quarterOp())
+	b.I(x86.MOVSD_X, x86.MemBIS(8, x86.RDX, x86.RCX, 8, 0), x86.X(x86.XMM0))
+}
+
+// buildFlatLine is the generic flat kernel inlined into the line loop, as
+// GCC -O3 produces (outer loop over elements, inner over stencil points).
+func (c *Corpus) buildFlatLine(b *asm.Builder) error {
+	elem := b.NewLabel()
+	pt := b.NewLabel()
+	estore := b.NewLabel()
+	ezero := b.NewLabel()
+	enext := b.NewLabel()
+	done := b.NewLabel()
+
+	b.I(x86.TEST, x86.R64(x86.R8), x86.R64(x86.R8))
+	b.Jcc(x86.CondLE, done)
+	b.I(x86.PUSH, x86.R64(x86.RBX))
+	b.I(x86.LEA, x86.R64(x86.R9), x86.MemBIS(8, x86.RCX, x86.R8, 1, 0)) // end index
+
+	b.Bind(elem)
+	b.I(x86.MOV, x86.R32(x86.RAX), x86.MemBD(4, x86.RDI, 0)) // ps
+	b.I(x86.TEST, x86.R32(x86.RAX), x86.R32(x86.RAX))
+	b.Jcc(x86.CondLE, ezero)
+	b.I(x86.LEA, x86.R64(x86.R10), x86.MemBD(8, x86.RDI, 8))
+	b.I(x86.MOVSXD, x86.R64(x86.RAX), x86.R32(x86.RAX))
+	b.I(x86.SHL, x86.R64(x86.RAX), x86.Imm(4, 1))
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.R10))
+	b.I(x86.MOV, x86.R64(x86.R11), x86.R64(x86.RAX)) // end ptr
+	b.I(x86.PXOR, x86.X(x86.XMM1), x86.X(x86.XMM1))
+
+	b.Bind(pt)
+	b.I(x86.MOVSXD, x86.R64(x86.RBX), x86.MemBD(4, x86.R10, 12)) // dy
+	c.emitMulSZ(b, x86.RAX, x86.RBX)
+	b.I(x86.MOVSXD, x86.R64(x86.RBX), x86.MemBD(4, x86.R10, 8)) // dx
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RBX))
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RCX))
+	b.I(x86.MOVSD_X, x86.X(x86.XMM0), x86.MemBD(8, x86.R10, 0))
+	b.I(x86.MULSD, x86.X(x86.XMM0), x86.MemBIS(8, x86.RSI, x86.RAX, 8, 0))
+	b.I(x86.ADDSD, x86.X(x86.XMM1), x86.X(x86.XMM0))
+	b.I(x86.ADD, x86.R64(x86.R10), x86.Imm(16, 8))
+	b.I(x86.CMP, x86.R64(x86.R10), x86.R64(x86.R11))
+	b.Jcc(x86.CondNE, pt)
+	b.Jmp(estore)
+
+	b.Bind(ezero)
+	b.I(x86.PXOR, x86.X(x86.XMM1), x86.X(x86.XMM1))
+	b.Bind(estore)
+	b.I(x86.MOVSD_X, x86.MemBIS(8, x86.RDX, x86.RCX, 8, 0), x86.X(x86.XMM1))
+	b.Bind(enext)
+	b.I(x86.ADD, x86.R64(x86.RCX), x86.Imm(1, 8))
+	b.I(x86.CMP, x86.R64(x86.RCX), x86.R64(x86.R9))
+	b.Jcc(x86.CondNE, elem)
+	b.I(x86.POP, x86.R64(x86.RBX))
+	b.Bind(done)
+	b.Ret()
+	return nil
+}
+
+// buildSortedLine inlines the sorted kernel into the line loop (three
+// nested loops over elements, groups, and points).
+func (c *Corpus) buildSortedLine(b *asm.Builder) error {
+	elem := b.NewLabel()
+	gloop := b.NewLabel()
+	ploop := b.NewLabel()
+	pdone := b.NewLabel()
+	estore := b.NewLabel()
+	ezero := b.NewLabel()
+	done := b.NewLabel()
+
+	b.I(x86.TEST, x86.R64(x86.R8), x86.R64(x86.R8))
+	b.Jcc(x86.CondLE, done)
+	b.I(x86.PUSH, x86.R64(x86.RBX))
+	b.I(x86.PUSH, x86.R64(x86.R12))
+	b.I(x86.PUSH, x86.R64(x86.R13))
+	b.I(x86.LEA, x86.R64(x86.R13), x86.MemBIS(8, x86.RCX, x86.R8, 1, 0)) // end index
+
+	b.Bind(elem)
+	b.I(x86.MOV, x86.R32(x86.RAX), x86.MemBD(4, x86.RDI, 0)) // gs
+	b.I(x86.TEST, x86.R32(x86.RAX), x86.R32(x86.RAX))
+	b.Jcc(x86.CondLE, ezero)
+	b.I(x86.LEA, x86.R64(x86.R8), x86.MemBD(8, x86.RDI, 8)) // pointer table
+	b.I(x86.MOVSXD, x86.R64(x86.RAX), x86.R32(x86.RAX))
+	b.I(x86.LEA, x86.R64(x86.R9), x86.MemBIS(8, x86.R8, x86.RAX, 8, 0))
+	b.I(x86.PXOR, x86.X(x86.XMM1), x86.X(x86.XMM1))
+
+	b.Bind(gloop)
+	b.I(x86.MOV, x86.R64(x86.RBX), x86.MemBD(8, x86.R8, 0))  // group ptr
+	b.I(x86.MOV, x86.R32(x86.RAX), x86.MemBD(4, x86.RBX, 8)) // ps
+	b.I(x86.PXOR, x86.X(x86.XMM2), x86.X(x86.XMM2))
+	b.I(x86.TEST, x86.R32(x86.RAX), x86.R32(x86.RAX))
+	b.Jcc(x86.CondLE, pdone)
+	b.I(x86.LEA, x86.R64(x86.R10), x86.MemBD(8, x86.RBX, 16))
+	b.I(x86.MOVSXD, x86.R64(x86.RAX), x86.R32(x86.RAX))
+	b.I(x86.LEA, x86.R64(x86.R11), x86.MemBIS(8, x86.R10, x86.RAX, 8, 0))
+
+	b.Bind(ploop)
+	b.I(x86.MOVSXD, x86.R64(x86.R12), x86.MemBD(4, x86.R10, 4))
+	c.emitMulSZ(b, x86.RAX, x86.R12)
+	b.I(x86.MOVSXD, x86.R64(x86.R12), x86.MemBD(4, x86.R10, 0))
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.R12))
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RCX))
+	b.I(x86.ADDSD, x86.X(x86.XMM2), x86.MemBIS(8, x86.RSI, x86.RAX, 8, 0))
+	b.I(x86.ADD, x86.R64(x86.R10), x86.Imm(8, 8))
+	b.I(x86.CMP, x86.R64(x86.R10), x86.R64(x86.R11))
+	b.Jcc(x86.CondNE, ploop)
+
+	b.Bind(pdone)
+	b.I(x86.MULSD, x86.X(x86.XMM2), x86.MemBD(8, x86.RBX, 0))
+	b.I(x86.ADDSD, x86.X(x86.XMM1), x86.X(x86.XMM2))
+	b.I(x86.ADD, x86.R64(x86.R8), x86.Imm(8, 8))
+	b.I(x86.CMP, x86.R64(x86.R8), x86.R64(x86.R9))
+	b.Jcc(x86.CondNE, gloop)
+	b.Jmp(estore)
+
+	b.Bind(ezero)
+	b.I(x86.PXOR, x86.X(x86.XMM1), x86.X(x86.XMM1))
+	b.Bind(estore)
+	b.I(x86.MOVSD_X, x86.MemBIS(8, x86.RDX, x86.RCX, 8, 0), x86.X(x86.XMM1))
+	b.I(x86.ADD, x86.R64(x86.RCX), x86.Imm(1, 8))
+	b.I(x86.CMP, x86.R64(x86.RCX), x86.R64(x86.R13))
+	b.Jcc(x86.CondNE, elem)
+	b.I(x86.POP, x86.R64(x86.R13))
+	b.I(x86.POP, x86.R64(x86.R12))
+	b.I(x86.POP, x86.R64(x86.RBX))
+	b.Bind(done)
+	b.Ret()
+	return nil
+}
+
+// buildLineCall loops over one line calling the element kernel — the
+// DBrew-input form of the line kernels ("the actual computation of an
+// element is moved to a separate function which is inlined by DBrew").
+func buildLineCall(b *asm.Builder, elemAddr uint64) error {
+	loop := b.NewLabel()
+	done := b.NewLabel()
+
+	b.I(x86.TEST, x86.R64(x86.R8), x86.R64(x86.R8))
+	b.Jcc(x86.CondLE, done)
+	b.I(x86.PUSH, x86.R64(x86.RBX))
+	b.I(x86.PUSH, x86.R64(x86.R12))
+	b.I(x86.PUSH, x86.R64(x86.R13))
+	b.I(x86.PUSH, x86.R64(x86.R14))
+	b.I(x86.PUSH, x86.R64(x86.R15))
+	b.I(x86.MOV, x86.R64(x86.RBX), x86.R64(x86.RDI))
+	b.I(x86.MOV, x86.R64(x86.R12), x86.R64(x86.RSI))
+	b.I(x86.MOV, x86.R64(x86.R13), x86.R64(x86.RDX))
+	b.I(x86.MOV, x86.R64(x86.R14), x86.R64(x86.RCX))
+	b.I(x86.MOV, x86.R64(x86.R15), x86.R64(x86.R8))
+
+	b.Bind(loop)
+	b.I(x86.MOV, x86.R64(x86.RDI), x86.R64(x86.RBX))
+	b.I(x86.MOV, x86.R64(x86.RSI), x86.R64(x86.R12))
+	b.I(x86.MOV, x86.R64(x86.RDX), x86.R64(x86.R13))
+	b.I(x86.MOV, x86.R64(x86.RCX), x86.R64(x86.R14))
+	b.Call(elemAddr)
+	b.I(x86.ADD, x86.R64(x86.R14), x86.Imm(1, 8))
+	b.I(x86.SUB, x86.R64(x86.R15), x86.Imm(1, 8))
+	b.Jcc(x86.CondNE, loop)
+
+	b.I(x86.POP, x86.R64(x86.R15))
+	b.I(x86.POP, x86.R64(x86.R14))
+	b.I(x86.POP, x86.R64(x86.R13))
+	b.I(x86.POP, x86.R64(x86.R12))
+	b.I(x86.POP, x86.R64(x86.RBX))
+	b.Bind(done)
+	b.Ret()
+	return nil
+}
+
+// buildMax is the Figure 6 example: long max(long a, long b).
+func buildMax(b *asm.Builder) error {
+	b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+	b.I(x86.CMP, x86.R64(x86.RDI), x86.R64(x86.RSI))
+	b.Emit(x86.Inst{Op: x86.CMOVCC, Cond: x86.CondL, Dst: x86.R64(x86.RAX), Src: x86.R64(x86.RSI)})
+	b.Ret()
+	return nil
+}

@@ -1,0 +1,211 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/stencil"
+)
+
+// setup builds a corpus plus matrices and serialized stencils.
+func setup(t *testing.T, sz int, st stencil.Stencil) (*Corpus, *stencil.Matrix, *stencil.Matrix, uint64, uint64) {
+	t.Helper()
+	mem := emu.NewMemory(0x10000000)
+	c, err := Build(mem, sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := stencil.NewMatrix(mem, sz, "m1")
+	m2 := stencil.NewMatrix(mem, sz, "m2")
+	m1.InitBoundary()
+	for r := 1; r < sz-1; r++ {
+		for col := 1; col < sz-1; col++ {
+			m1.Set(r, col, float64(r*31+col)/100.0)
+		}
+	}
+	flat, _, err := st.SerializeFlat(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, _, _, err := st.SerializeSorted(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, m1, m2, flat, sorted
+}
+
+// runElem invokes an element kernel for every interior element of row.
+func runElem(t *testing.T, c *Corpus, entry, s uint64, m1, m2 *stencil.Matrix, row int) {
+	t.Helper()
+	m := emu.NewMachine(c.Mem)
+	for col := 1; col < m1.N-1; col++ {
+		idx := uint64(row*m1.N + col)
+		_, err := m.Call(entry, emu.CallArgs{
+			Ints: []uint64{s, m1.Region.Start, m2.Region.Start, idx},
+		}, 100000)
+		if err != nil {
+			t.Fatalf("col %d: %v", col, err)
+		}
+	}
+}
+
+// runLine invokes a line kernel on one row.
+func runLine(t *testing.T, c *Corpus, entry, s uint64, m1, m2 *stencil.Matrix, row int) {
+	t.Helper()
+	m := emu.NewMachine(c.Mem)
+	idx0 := uint64(row*m1.N + 1)
+	n := uint64(m1.N - 2)
+	_, err := m.Call(entry, emu.CallArgs{
+		Ints: []uint64{s, m1.Region.Start, m2.Region.Start, idx0, n},
+	}, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkRow compares one matrix row against the reference computation.
+func checkRow(t *testing.T, st stencil.Stencil, m1, m2 *stencil.Matrix, row int, label string) {
+	t.Helper()
+	ref := m1.Slice()
+	for col := 1; col < m1.N-1; col++ {
+		idx := row*m1.N + col
+		want := st.Apply(ref, m1.N, idx)
+		got := m2.Get(row, col)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%s: (%d,%d): got %g, want %g", label, row, col, got, want)
+			return
+		}
+	}
+}
+
+func TestElementKernels(t *testing.T) {
+	const sz = 33
+	st := stencil.FourPoint()
+	c, m1, m2, flat, sorted := setup(t, sz, st)
+	for _, k := range []struct {
+		name  string
+		entry uint64
+		s     uint64
+	}{
+		{"direct", c.DirectElem, flat},
+		{"flat", c.FlatElem, flat},
+		{"sorted", c.SortedElem, sorted},
+	} {
+		runElem(t, c, k.entry, k.s, m1, m2, 5)
+		checkRow(t, st, m1, m2, 5, k.name)
+	}
+}
+
+func TestLineKernels(t *testing.T) {
+	const sz = 33
+	st := stencil.FourPoint()
+	c, m1, m2, flat, sorted := setup(t, sz, st)
+	for _, k := range []struct {
+		name  string
+		entry uint64
+		s     uint64
+	}{
+		{"direct_line", c.DirectLine, flat},
+		{"flat_line", c.FlatLine, flat},
+		{"sorted_line", c.SortedLine, sorted},
+		{"direct_line_call", c.DirectLineCall, flat},
+		{"flat_line_call", c.FlatLineCall, flat},
+		{"sorted_line_call", c.SortedLineCall, sorted},
+	} {
+		runLine(t, c, k.entry, k.s, m1, m2, 7)
+		checkRow(t, st, m1, m2, 7, k.name)
+	}
+}
+
+func TestLineKernelOddCount(t *testing.T) {
+	// Odd element counts exercise the vectorized kernel's peel and tail.
+	const sz = 20 // 18 interior elements; with peel the pairing shifts
+	st := stencil.FourPoint()
+	c, m1, m2, flat, _ := setup(t, sz, st)
+	m := emu.NewMachine(c.Mem)
+	for _, n := range []uint64{1, 2, 3, 7, 17} {
+		idx0 := uint64(3*sz + 1)
+		_, err := m.Call(c.DirectLine, emu.CallArgs{
+			Ints: []uint64{flat, m1.Region.Start, m2.Region.Start, idx0, n},
+		}, 1_000_000)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		ref := m1.Slice()
+		for k := 0; k < int(n); k++ {
+			idx := int(idx0) + k
+			want := st.Apply(ref, sz, idx)
+			got := m2.Get(idx/sz, idx%sz)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("n=%d k=%d: got %g want %g", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestEightPointStencil(t *testing.T) {
+	const sz = 25
+	st := stencil.EightPoint()
+	c, m1, m2, flat, sorted := setup(t, sz, st)
+	runElem(t, c, c.FlatElem, flat, m1, m2, 4)
+	checkRow(t, st, m1, m2, 4, "flat8")
+	runElem(t, c, c.SortedElem, sorted, m1, m2, 4)
+	checkRow(t, st, m1, m2, 4, "sorted8")
+}
+
+func TestMaxKernel(t *testing.T) {
+	mem := emu.NewMemory(0x10000000)
+	c, err := Build(mem, 649)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.NewMachine(mem)
+	cases := [][3]int64{{3, 9, 9}, {9, 3, 9}, {-4, -7, -4}}
+	for _, cs := range cases {
+		got, err := m.Call(c.MaxFunc, emu.CallArgs{Ints: []uint64{uint64(cs[0]), uint64(cs[1])}}, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(got) != cs[2] {
+			t.Errorf("max(%d,%d) = %d, want %d", cs[0], cs[1], int64(got), cs[2])
+		}
+	}
+}
+
+func TestPaperMatrixSize(t *testing.T) {
+	if n := stencil.MatrixSize(9, 80); n != 649 {
+		t.Errorf("9x9 with 80 interlines = %d, want 649 (the paper's setup)", n)
+	}
+}
+
+func Test649Kernels(t *testing.T) {
+	// Run one row with the paper's actual matrix size so the lea-chain
+	// multiply path is exercised.
+	st := stencil.FourPoint()
+	c, m1, m2, flat, sorted := setup(t, 649, st)
+	runLine(t, c, c.FlatLine, flat, m1, m2, 11)
+	checkRow(t, st, m1, m2, 11, "flat649")
+	runLine(t, c, c.SortedLine, sorted, m1, m2, 12)
+	checkRow(t, st, m1, m2, 12, "sorted649")
+	runLine(t, c, c.DirectLine, flat, m1, m2, 13)
+	checkRow(t, st, m1, m2, 13, "direct649")
+}
+
+// TestOddSizeKernels: the corpus must be correct for arbitrary matrix sizes
+// (imul path of emitMulSZ), not only the paper's lea-chain 649.
+func TestOddSizeKernels(t *testing.T) {
+	st := stencil.FourPoint()
+	for _, sz := range []int{17, 101, 255} {
+		c, m1, m2, flat, sorted := setup(t, sz, st)
+		row := sz / 2
+		runElem(t, c, c.FlatElem, flat, m1, m2, row)
+		checkRow(t, st, m1, m2, row, "flat_elem")
+		runElem(t, c, c.SortedElem, sorted, m1, m2, row)
+		checkRow(t, st, m1, m2, row, "sorted_elem")
+		runLine(t, c, c.FlatLine, flat, m1, m2, row+1)
+		checkRow(t, st, m1, m2, row+1, "flat_line")
+		runLine(t, c, c.DirectLine, flat, m1, m2, row+2)
+		checkRow(t, st, m1, m2, row+2, "direct_line")
+	}
+}

@@ -1,0 +1,169 @@
+package lift
+
+import (
+	"repro/internal/ir"
+	"repro/internal/x86"
+)
+
+// setArithFlags computes the six status flags for an add- or sub-family
+// instruction, following Section III.D of the paper: zero/sign/carry via
+// integer comparisons, overflow via the bitwise xor/and/slt pattern
+// (Figure 6b), parity via the ctpop intrinsic, and auxiliary carry via
+// bitwise operations.
+func (l *Lifter) setArithFlags(s *state, isSub bool, a, b, res ir.Value) {
+	ty := res.Type()
+	zero := ir.Int(ty, 0)
+	s.flag[fZF] = l.b.ICmp(ir.PredEQ, res, zero)
+	s.flag[fSF] = l.b.ICmp(ir.PredSLT, res, zero)
+	if isSub {
+		s.flag[fCF] = l.b.ICmp(ir.PredULT, a, b)
+		// OF = (a^b) & (a^res) has the sign bit set.
+		t1 := l.b.Xor(a, b)
+		t2 := l.b.Xor(a, res)
+		s.flag[fOF] = l.b.ICmp(ir.PredSLT, l.b.And(t1, t2), zero)
+	} else {
+		s.flag[fCF] = l.b.ICmp(ir.PredULT, res, a)
+		// OF = ~(a^b) & (a^res) has the sign bit set.
+		t1 := l.b.Xor(a, res)
+		t2 := l.b.Xor(b, res)
+		s.flag[fOF] = l.b.ICmp(ir.PredSLT, l.b.And(t1, t2), zero)
+	}
+	s.flag[fPF] = l.parityFlag(res)
+	// AF = bit 4 of a^b^res.
+	ax := l.b.Xor(l.b.Xor(a, b), res)
+	s.flag[fAF] = l.b.ICmp(ir.PredNE, l.b.And(ax, ir.Int(ty, 0x10)), zero)
+	// The flag cache preserves the semantics of cmp/sub for later
+	// conditions (Figure 6); other flag writers invalidate it.
+	if isSub {
+		s.fc = flagCache{valid: true, a: a, b: b}
+	} else {
+		s.fc = flagCache{}
+	}
+}
+
+// setLogicFlags computes flags for and/or/xor/test: CF and OF are cleared.
+// Because CF = OF = 0, every cmp-style condition over these flags is
+// equivalent to comparing the result against zero, so the flag cache is
+// seeded with (res, 0).
+func (l *Lifter) setLogicFlags(s *state, res ir.Value) {
+	ty := res.Type()
+	zero := ir.Int(ty, 0)
+	s.flag[fZF] = l.b.ICmp(ir.PredEQ, res, zero)
+	s.flag[fSF] = l.b.ICmp(ir.PredSLT, res, zero)
+	s.flag[fCF] = ir.Bool(false)
+	s.flag[fOF] = ir.Bool(false)
+	s.flag[fAF] = ir.Bool(false)
+	s.flag[fPF] = l.parityFlag(res)
+	s.fc = flagCache{valid: true, a: res, b: zero}
+}
+
+// setResultFlagsOnly sets ZF/SF/PF from a result and leaves CF/OF undefined
+// (shifts, imul), invalidating the flag cache.
+func (l *Lifter) setResultFlagsOnly(s *state, res ir.Value) {
+	ty := res.Type()
+	zero := ir.Int(ty, 0)
+	s.flag[fZF] = l.b.ICmp(ir.PredEQ, res, zero)
+	s.flag[fSF] = l.b.ICmp(ir.PredSLT, res, zero)
+	s.flag[fPF] = l.parityFlag(res)
+	s.flag[fCF] = ir.UndefOf(ir.I1)
+	s.flag[fOF] = ir.UndefOf(ir.I1)
+	s.flag[fAF] = ir.UndefOf(ir.I1)
+	s.fc = flagCache{}
+}
+
+// parityFlag computes PF: even parity of the low byte, via llvm.ctpop.i8.
+func (l *Lifter) parityFlag(res ir.Value) ir.Value {
+	b := res
+	if res.Type() != ir.I8 {
+		b = l.b.Trunc(res, ir.I8)
+	}
+	pop := l.b.Ctpop(b)
+	lowbit := l.b.And(pop, ir.Int(ir.I8, 1))
+	return l.b.ICmp(ir.PredEQ, lowbit, ir.Int(ir.I8, 0))
+}
+
+// cond reconstructs an x86 condition code as an i1 value. With a valid flag
+// cache, signed and unsigned orderings become a single icmp on the original
+// cmp operands — the optimization shown in Figure 6c. Without it, the
+// condition is assembled from the individual flag values (Figure 6b).
+func (l *Lifter) cond(s *state, c x86.Cond) ir.Value {
+	if l.Opts.FlagCache && s.fc.valid {
+		var p ir.Pred
+		ok := true
+		ptrOK := false // predicates that translate directly to pointer compares
+		switch c {
+		case x86.CondE:
+			p, ptrOK = ir.PredEQ, true
+		case x86.CondNE:
+			p, ptrOK = ir.PredNE, true
+		case x86.CondL:
+			p = ir.PredSLT
+		case x86.CondGE:
+			p = ir.PredSGE
+		case x86.CondLE:
+			p = ir.PredSLE
+		case x86.CondG:
+			p = ir.PredSGT
+		case x86.CondB:
+			p, ptrOK = ir.PredULT, true
+		case x86.CondAE:
+			p, ptrOK = ir.PredUGE, true
+		case x86.CondBE:
+			p, ptrOK = ir.PredULE, true
+		case x86.CondA:
+			p, ptrOK = ir.PredUGT, true
+		default:
+			ok = false
+		}
+		if ok {
+			if ptrOK && s.fc.aPtr != nil && s.fc.bPtr != nil {
+				return l.b.ICmp(p, s.fc.aPtr, s.fc.bPtr)
+			}
+			return l.b.ICmp(p, s.fc.a, s.fc.b)
+		}
+	}
+	flag := func(i int) ir.Value {
+		if s.flag[i] == nil {
+			return ir.UndefOf(ir.I1)
+		}
+		return s.flag[i]
+	}
+	var v ir.Value
+	switch c &^ 1 {
+	case x86.CondO:
+		v = flag(fOF)
+	case x86.CondB:
+		v = flag(fCF)
+	case x86.CondE:
+		v = flag(fZF)
+	case x86.CondBE:
+		v = l.b.Or(flag(fCF), flag(fZF))
+	case x86.CondS:
+		v = flag(fSF)
+	case x86.CondP:
+		v = flag(fPF)
+	case x86.CondL:
+		v = l.b.Xor(flag(fSF), flag(fOF))
+	case x86.CondLE:
+		v = l.b.Or(flag(fZF), l.b.Xor(flag(fSF), flag(fOF)))
+	}
+	if c&1 != 0 {
+		v = l.b.Xor(v, ir.Bool(true))
+	}
+	return v
+}
+
+// setComiFlags models comisd/ucomisd: ZF/PF/CF encode the floating
+// comparison result; OF/SF/AF are cleared.
+func (l *Lifter) setComiFlags(s *state, a, b ir.Value) {
+	uno := l.b.FCmp(ir.PredUNO, a, b)
+	oeq := l.b.FCmp(ir.PredOEQ, a, b)
+	olt := l.b.FCmp(ir.PredOLT, a, b)
+	s.flag[fZF] = l.b.Or(uno, oeq)
+	s.flag[fCF] = l.b.Or(uno, olt)
+	s.flag[fPF] = uno
+	s.flag[fOF] = ir.Bool(false)
+	s.flag[fSF] = ir.Bool(false)
+	s.flag[fAF] = ir.Bool(false)
+	s.fc = flagCache{}
+}

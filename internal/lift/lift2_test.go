@@ -1,0 +1,333 @@
+package lift
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/emu"
+	"repro/internal/ir"
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
+)
+
+// liftAndRun builds, lifts (default options), and interprets with the given
+// integer args.
+func liftAndRun(t *testing.T, sig abi.Signature, ints []uint64, build func(b *asm.Builder)) uint64 {
+	t.Helper()
+	mem := buildFunc(t, build)
+	l := New(mem, DefaultOptions())
+	f, err := l.LiftFunc(codeBase, "f", sig)
+	if err != nil {
+		t.Fatalf("lift: %v", err)
+	}
+	ip := ir.NewInterp(mem)
+	args := make([]ir.RV, len(ints))
+	for i, v := range ints {
+		args[i] = ir.RV{Lo: v}
+	}
+	res, err := ip.CallFunc(f, args)
+	if err != nil {
+		t.Fatalf("interp: %v\n%s", err, ir.FormatFunc(f))
+	}
+	return res.Lo
+}
+
+func TestLiftSetccFamilies(t *testing.T) {
+	// A chain of setcc instructions, some consuming flags produced by
+	// intervening shifts/logic ops — lifted semantics must match the
+	// machine exactly (cross-checked, since the later conditions observe
+	// shift/or flag effects).
+	build := func(b *asm.Builder) {
+		b.I(x86.CMP, x86.R64(x86.RDI), x86.R64(x86.RSI))
+		b.Emit(x86.Inst{Op: x86.SETCC, Cond: x86.CondL, Dst: x86.R8L(x86.RAX)})
+		b.I(x86.MOVZX, x86.R64(x86.RAX), x86.R8L(x86.RAX))
+		b.Emit(x86.Inst{Op: x86.SETCC, Cond: x86.CondE, Dst: x86.R8L(x86.RCX)})
+		b.I(x86.MOVZX, x86.R64(x86.RCX), x86.R8L(x86.RCX))
+		b.I(x86.SHL, x86.R64(x86.RCX), x86.Imm(1, 1))
+		b.I(x86.OR, x86.R64(x86.RAX), x86.R64(x86.RCX))
+		// seta here reads the or's flags (CF=0; ZF from the result).
+		b.Emit(x86.Inst{Op: x86.SETCC, Cond: x86.CondA, Dst: x86.R8L(x86.RCX)})
+		b.I(x86.MOVZX, x86.R64(x86.RCX), x86.R8L(x86.RCX))
+		b.I(x86.SHL, x86.R64(x86.RCX), x86.Imm(2, 1))
+		b.I(x86.OR, x86.R64(x86.RAX), x86.R64(x86.RCX))
+		b.Ret()
+	}
+	sig := abi.Sig(abi.ClassInt, abi.ClassInt, abi.ClassInt)
+	for _, c := range [][2]uint64{{3, 5}, {5, 3}, {4, 4}, {0, ^uint64(0)}} {
+		mem := buildFunc(t, build)
+		native, lifted := crossCheck(t, mem, sig, DefaultOptions(), c[:], nil)
+		if native != lifted {
+			t.Errorf("setcc chain(%d,%d): machine %#x, lifted %#x", c[0], c[1], native, lifted)
+		}
+	}
+}
+
+func TestLiftCdqIdiv(t *testing.T) {
+	got := liftAndRun(t, abi.Sig(abi.ClassInt, abi.ClassInt, abi.ClassInt), []uint64{0xFFFFFFFFFFFFFFDD /* -35 */, 4},
+		func(b *asm.Builder) {
+			b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+			b.I(x86.CQO)
+			b.I(x86.IDIV, x86.R64(x86.RSI))
+			b.Ret()
+		})
+	if int64(got) != -8 {
+		t.Errorf("idiv = %d, want -8", int64(got))
+	}
+}
+
+func TestLiftHighByteRegisters(t *testing.T) {
+	// Uses ah: f(a) = ((a & 0xff00) >> 8) + 1 via ah access.
+	got := liftAndRun(t, abi.Sig(abi.ClassInt, abi.ClassInt), []uint64{0x1234},
+		func(b *asm.Builder) {
+			b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+			b.I(x86.MOV, x86.R8L(x86.RCX), x86.RegOp(x86.AH, 1))
+			b.I(x86.MOVZX, x86.R64(x86.RAX), x86.R8L(x86.RCX))
+			b.I(x86.ADD, x86.R64(x86.RAX), x86.Imm(1, 8))
+			b.Ret()
+		})
+	if got != 0x13 {
+		t.Errorf("high byte = %#x, want 0x13", got)
+	}
+}
+
+func TestLiftRotate(t *testing.T) {
+	got := liftAndRun(t, abi.Sig(abi.ClassInt, abi.ClassInt), []uint64{0x8000000000000001},
+		func(b *asm.Builder) {
+			b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+			b.I(x86.ROL, x86.R64(x86.RAX), x86.Imm(4, 1))
+			b.Ret()
+		})
+	if got != 0x18 {
+		t.Errorf("rol = %#x, want 0x18", got)
+	}
+}
+
+func TestLiftComisdBranch(t *testing.T) {
+	// f(a, b) = a > b ? 1 : 0 on doubles via comisd + ja.
+	mem := buildFunc(t, func(b *asm.Builder) {
+		yes := b.NewLabel()
+		b.I(x86.UCOMISD, x86.X(x86.XMM0), x86.X(x86.XMM1))
+		b.Jcc(x86.CondA, yes)
+		b.I(x86.XOR, x86.R32(x86.RAX), x86.R32(x86.RAX))
+		b.Ret()
+		b.Bind(yes)
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.Imm(1, 8))
+		b.Ret()
+	})
+	sig := abi.Signature{Params: []abi.Class{abi.ClassF64, abi.ClassF64}, Ret: abi.ClassInt}
+	l := New(mem, DefaultOptions())
+	f, err := l.LiftFunc(codeBase, "fcmp", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := ir.NewInterp(mem)
+	for _, c := range []struct {
+		a, b float64
+		want uint64
+	}{{2, 1, 1}, {1, 2, 0}, {1, 1, 0}} {
+		got, err := ip.CallFunc(f, []ir.RV{ir.RVFloat(c.a), ir.RVFloat(c.b)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Lo != c.want {
+			t.Errorf("gt(%g,%g) = %d, want %d", c.a, c.b, got.Lo, c.want)
+		}
+	}
+}
+
+func TestLiftPackedVector(t *testing.T) {
+	// out[0..1] = a[0..1] + b[0..1] via movupd/addpd.
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.I(x86.MOVUPD, x86.X(x86.XMM0), x86.MemBD(16, x86.RDI, 0))
+		b.I(x86.MOVUPD, x86.X(x86.XMM1), x86.MemBD(16, x86.RSI, 0))
+		b.I(x86.ADDPD, x86.X(x86.XMM0), x86.X(x86.XMM1))
+		b.I(x86.MOVUPD, x86.MemBD(16, x86.RDX, 0), x86.X(x86.XMM0))
+		b.Ret()
+	})
+	a := mem.Alloc(16, 16, "a")
+	bb := mem.Alloc(16, 16, "b")
+	o := mem.Alloc(16, 16, "o")
+	mem.WriteFloat64(a.Start, 1)
+	mem.WriteFloat64(a.Start+8, 2)
+	mem.WriteFloat64(bb.Start, 10)
+	mem.WriteFloat64(bb.Start+8, 20)
+	sig := abi.Signature{Params: []abi.Class{abi.ClassPtr, abi.ClassPtr, abi.ClassPtr}}
+	l := New(mem, DefaultOptions())
+	f, err := l.LiftFunc(codeBase, "vadd", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := ir.NewInterp(mem)
+	if _, err := ip.CallFunc(f, []ir.RV{{Lo: a.Start}, {Lo: bb.Start}, {Lo: o.Start}}); err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := mem.ReadFloat64(o.Start)
+	v1, _ := mem.ReadFloat64(o.Start + 8)
+	if v0 != 11 || v1 != 22 {
+		t.Errorf("addpd: [%g %g]", v0, v1)
+	}
+	// The lifted IR should carry <2 x double> operations.
+	if !strings.Contains(ir.FormatFunc(f), "<2 x double>") {
+		t.Error("packed double type missing from lifted IR")
+	}
+}
+
+func TestLiftShufflesAndUnpack(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.I(x86.MOVUPD, x86.X(x86.XMM0), x86.MemBD(16, x86.RDI, 0))
+		b.I(x86.MOVAPS, x86.X(x86.XMM1), x86.X(x86.XMM0))
+		b.I(x86.UNPCKHPD, x86.X(x86.XMM1), x86.X(x86.XMM1)) // [hi, hi]
+		b.I(x86.ADDSD, x86.X(x86.XMM0), x86.X(x86.XMM1))    // lo+hi in lane 0
+		b.Ret()
+	})
+	buf := mem.Alloc(16, 16, "buf")
+	mem.WriteFloat64(buf.Start, 3)
+	mem.WriteFloat64(buf.Start+8, 4)
+	sig := abi.Signature{Params: []abi.Class{abi.ClassPtr}, Ret: abi.ClassF64}
+	l := New(mem, DefaultOptions())
+	f, err := l.LiftFunc(codeBase, "hsum", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := ir.NewInterp(mem)
+	got, err := ip.CallFunc(f, []ir.RV{{Lo: buf.Start}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.F64() != 7 {
+		t.Errorf("hsum = %g, want 7", got.F64())
+	}
+}
+
+func TestLiftStackRedZone(t *testing.T) {
+	// Leaf function using the red zone below rsp.
+	got := liftAndRun(t, abi.Sig(abi.ClassInt, abi.ClassInt), []uint64{41},
+		func(b *asm.Builder) {
+			b.I(x86.MOV, x86.MemBD(8, x86.RSP, -8), x86.R64(x86.RDI))
+			b.I(x86.MOV, x86.R64(x86.RAX), x86.MemBD(8, x86.RSP, -8))
+			b.I(x86.ADD, x86.R64(x86.RAX), x86.Imm(1, 8))
+			b.Ret()
+		})
+	if got != 42 {
+		t.Errorf("red zone = %d, want 42", got)
+	}
+}
+
+func TestLiftF64ReturnViaParams(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.I(x86.ADDSD, x86.X(x86.XMM0), x86.X(x86.XMM1))
+		b.I(x86.MULSD, x86.X(x86.XMM0), x86.X(x86.XMM2))
+		b.Ret()
+	})
+	sig := abi.Signature{Params: []abi.Class{abi.ClassF64, abi.ClassF64, abi.ClassF64}, Ret: abi.ClassF64}
+	l := New(mem, DefaultOptions())
+	f, err := l.LiftFunc(codeBase, "fma", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := ir.NewInterp(mem)
+	got, err := ip.CallFunc(f, []ir.RV{ir.RVFloat(2), ir.RVFloat(3), ir.RVFloat(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.F64() != 20 {
+		t.Errorf("(2+3)*4 = %g", got.F64())
+	}
+}
+
+func TestLiftDiscoverSharedTail(t *testing.T) {
+	// Two paths joining at a shared tail: the block must be emitted once
+	// (the de-duplication property of Section III.B).
+	mem := buildFunc(t, func(b *asm.Builder) {
+		tail := b.NewLabel()
+		b.I(x86.TEST, x86.R64(x86.RDI), x86.R64(x86.RDI))
+		b.Jcc(x86.CondE, tail)
+		b.I(x86.ADD, x86.R64(x86.RSI), x86.Imm(10, 8))
+		b.Bind(tail)
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RSI))
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.Imm(1, 8))
+		b.Ret()
+	})
+	sig := abi.Sig(abi.ClassInt, abi.ClassInt, abi.ClassInt)
+	l := New(mem, DefaultOptions())
+	f, err := l.LiftFunc(codeBase, "tail", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count the ret instructions: exactly one (the tail is shared).
+	rets := 0
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Insts {
+			if in.Op == ir.OpRet {
+				rets++
+			}
+		}
+	}
+	if rets != 1 {
+		t.Errorf("shared tail duplicated: %d rets", rets)
+	}
+	ip := ir.NewInterp(mem)
+	got, _ := ip.CallFunc(f, []ir.RV{{Lo: 0}, {Lo: 5}})
+	if got.Lo != 6 {
+		t.Errorf("tail(0,5) = %d", got.Lo)
+	}
+	got, _ = ip.CallFunc(f, []ir.RV{{Lo: 1}, {Lo: 5}})
+	if got.Lo != 16 {
+		t.Errorf("tail(1,5) = %d", got.Lo)
+	}
+}
+
+func TestLiftErrorOnRolVariable(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.I(x86.ROL, x86.R64(x86.RAX), x86.RegOp(x86.RCX, 1))
+		b.Ret()
+	})
+	l := New(mem, DefaultOptions())
+	if _, err := l.LiftFunc(codeBase, "bad", abi.Sig(abi.ClassInt)); err == nil {
+		t.Fatal("variable rotate must be rejected")
+	}
+}
+
+func TestLiftStackLimitEnforced(t *testing.T) {
+	// A function pushing deeper than the virtual stack fails at runtime of
+	// the IR (the alloca has fixed size) — lifting itself succeeds.
+	mem := buildFunc(t, func(b *asm.Builder) {
+		for i := 0; i < 4; i++ {
+			b.I(x86.PUSH, x86.R64(x86.RDI))
+		}
+		for i := 0; i < 4; i++ {
+			b.I(x86.POP, x86.R64(x86.RAX))
+		}
+		b.Ret()
+	})
+	opts := DefaultOptions()
+	opts.StackSize = 160 // 128 red zone + 32 usable: 4 pushes exactly
+	l := New(mem, opts)
+	f, err := l.LiftFunc(codeBase, "deep", abi.Sig(abi.ClassInt, abi.ClassInt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := ir.NewInterp(mem)
+	got, err := ip.CallFunc(f, []ir.RV{{Lo: 9}})
+	if err != nil {
+		t.Fatalf("4 pushes must fit: %v", err)
+	}
+	if got.Lo != 9 {
+		t.Errorf("push/pop = %d", got.Lo)
+	}
+}
+
+func TestLiftCdqe32BitChain(t *testing.T) {
+	got := liftAndRun(t, abi.Sig(abi.ClassInt, abi.ClassInt), []uint64{0xFFFFFFFF},
+		func(b *asm.Builder) {
+			b.I(x86.MOV, x86.R32(x86.RAX), x86.R32(x86.RDI)) // -1 as i32
+			b.I(x86.CDQE)
+			b.Ret()
+		})
+	if int64(got) != -1 {
+		t.Errorf("cdqe = %d, want -1", int64(got))
+	}
+}
+
+var _ = emu.NewMemory // keep import

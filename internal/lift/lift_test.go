@@ -1,0 +1,408 @@
+package lift
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/abi"
+	"repro/internal/emu"
+	"repro/internal/ir"
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
+)
+
+const codeBase = 0x401000
+
+// buildFunc assembles machine code into a fresh memory image.
+func buildFunc(t *testing.T, build func(b *asm.Builder)) *emu.Memory {
+	t.Helper()
+	b := asm.NewBuilder()
+	build(b)
+	code, _, err := b.Assemble(codeBase)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	mem := emu.NewMemory(0x10000000)
+	if _, err := mem.MapBytes(codeBase, code, "code"); err != nil {
+		t.Fatal(err)
+	}
+	return mem
+}
+
+// crossCheck runs the machine code and the lifted IR on identical inputs and
+// compares results.
+func crossCheck(t *testing.T, mem *emu.Memory, sig abi.Signature, opts Options,
+	intArgs []uint64, fpArgs []float64) (machine, lifted uint64) {
+	t.Helper()
+	m := emu.NewMachine(mem)
+	got, err := m.Call(codeBase, emu.CallArgs{Ints: intArgs, Floats: fpArgs}, 1_000_000)
+	if err != nil {
+		t.Fatalf("emulate: %v", err)
+	}
+	if sig.Ret == abi.ClassF64 {
+		got = m.XMM[0].Lo
+	}
+
+	l := New(mem, opts)
+	f, err := l.LiftFunc(codeBase, "f", sig)
+	if err != nil {
+		t.Fatalf("lift: %v", err)
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	ip := ir.NewInterp(mem)
+	var args []ir.RV
+	ii, fi := 0, 0
+	for _, c := range sig.Params {
+		if c == abi.ClassF64 {
+			args = append(args, ir.RVFloat(fpArgs[fi]))
+			fi++
+		} else {
+			args = append(args, ir.RV{Lo: intArgs[ii]})
+			ii++
+		}
+	}
+	res, err := ip.CallFunc(f, args)
+	if err != nil {
+		t.Fatalf("interp: %v\n%s", err, ir.FormatFunc(f))
+	}
+	return got, res.Lo
+}
+
+func maxBuilder(b *asm.Builder) {
+	b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+	b.I(x86.CMP, x86.R64(x86.RDI), x86.R64(x86.RSI))
+	b.Emit(x86.Inst{Op: x86.CMOVCC, Cond: x86.CondL, Dst: x86.R64(x86.RAX), Src: x86.R64(x86.RSI)})
+	b.Ret()
+}
+
+func TestLiftMax(t *testing.T) {
+	for _, opts := range []Options{
+		DefaultOptions(),
+		{FlagCache: false, FacetCache: true, UseGEP: true, StackSize: 256},
+		{FlagCache: true, FacetCache: false, UseGEP: true, StackSize: 256},
+		{FlagCache: false, FacetCache: false, UseGEP: false, StackSize: 256},
+	} {
+		mem := buildFunc(t, maxBuilder)
+		sig := abi.Sig(abi.ClassInt, abi.ClassInt, abi.ClassInt)
+		cases := [][2]uint64{{1, 2}, {5, 3}, {^uint64(6), 2}, {0, 0}}
+		for _, c := range cases {
+			got, lifted := crossCheck(t, mem, sig, opts, c[:], nil)
+			if got != lifted {
+				t.Errorf("opts=%+v max(%d,%d): machine %d, lifted %d", opts, int64(c[0]), int64(c[1]), int64(got), int64(lifted))
+			}
+		}
+	}
+}
+
+// TestFlagCacheIR verifies the Figure 6 effect at the IR level: with the
+// flag cache the condition becomes a single signed icmp on the original
+// operands; without it, the sign/overflow reconstruction pattern appears.
+func TestFlagCacheIR(t *testing.T) {
+	mem := buildFunc(t, maxBuilder)
+	sig := abi.Sig(abi.ClassInt, abi.ClassInt, abi.ClassInt)
+
+	l := New(mem, DefaultOptions())
+	f, err := l.LiftFunc(codeBase, "max_fc", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ir.FormatFunc(f)
+	if !strings.Contains(out, "icmp slt i64") {
+		t.Errorf("flag cache should produce a direct signed comparison:\n%s", out)
+	}
+
+	mem2 := buildFunc(t, maxBuilder)
+	opts := DefaultOptions()
+	opts.FlagCache = false
+	l2 := New(mem2, opts)
+	f2, err := l2.LiftFunc(codeBase, "max_nofc", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := ir.FormatFunc(f2)
+	// Without the cache the condition is assembled from SF and OF: an xor
+	// of the two i1 flag values.
+	if !strings.Contains(out2, "xor i1") {
+		t.Errorf("without flag cache the SF!=OF pattern should appear:\n%s", out2)
+	}
+}
+
+func TestLiftLoop(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.I(x86.XOR, x86.R32(x86.RAX), x86.R32(x86.RAX))
+		b.I(x86.XOR, x86.R32(x86.RCX), x86.R32(x86.RCX))
+		loop := b.NewLabel()
+		done := b.NewLabel()
+		b.Bind(loop)
+		b.I(x86.CMP, x86.R64(x86.RCX), x86.R64(x86.RDI))
+		b.Jcc(x86.CondGE, done)
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RCX))
+		b.I(x86.ADD, x86.R64(x86.RCX), x86.Imm(1, 8))
+		b.Jmp(loop)
+		b.Bind(done)
+		b.Ret()
+	})
+	sig := abi.Sig(abi.ClassInt, abi.ClassInt)
+	for _, n := range []uint64{0, 1, 7, 100} {
+		got, lifted := crossCheck(t, mem, sig, DefaultOptions(), []uint64{n}, nil)
+		if got != lifted {
+			t.Errorf("sum(%d): machine %d, lifted %d", n, got, lifted)
+		}
+	}
+}
+
+// TestLiftFig5Sub checks the canonical translation of Figure 5: sub rax, 1.
+func TestLiftFig5Sub(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+		b.I(x86.SUB, x86.R64(x86.RAX), x86.Imm(1, 8))
+		b.Ret()
+	})
+	sig := abi.Sig(abi.ClassInt, abi.ClassInt)
+	l := New(mem, DefaultOptions())
+	f, err := l.LiftFunc(codeBase, "dec", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ir.FormatFunc(f)
+	if !strings.Contains(out, "sub i64") {
+		t.Errorf("expected sub i64 in lifted IR:\n%s", out)
+	}
+	got, lifted := crossCheck(t, mem, sig, DefaultOptions(), []uint64{42}, nil)
+	if got != 41 || lifted != 41 {
+		t.Errorf("dec(42) = %d/%d, want 41", got, lifted)
+	}
+}
+
+// TestLiftFig5MemLoad checks mov eax, [rbp-0xc]: a GEP-based 32-bit load
+// with zero extension, as in Figure 5.
+func TestLiftFig5MemLoad(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.I(x86.MOV, x86.R64(x86.RBP), x86.R64(x86.RDI))
+		b.I(x86.MOV, x86.R32(x86.RAX), x86.MemBD(4, x86.RBP, -0xc))
+		b.Ret()
+	})
+	buf := mem.Alloc(64, 16, "buf")
+	mem.WriteU(buf.Start+32-0xc, 4, 0xCAFEBABE)
+	sig := abi.Sig(abi.ClassInt, abi.ClassPtr)
+	got, lifted := crossCheck(t, mem, sig, DefaultOptions(), []uint64{buf.Start + 32}, nil)
+	if got != 0xCAFEBABE || lifted != 0xCAFEBABE {
+		t.Errorf("got %#x / %#x, want 0xCAFEBABE", got, lifted)
+	}
+
+	l := New(mem, DefaultOptions())
+	f, err := l.LiftFunc(codeBase, "load32", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ir.FormatFunc(f)
+	for _, want := range []string{"getelementptr", "load i32", "zext i32"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lifted IR missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLiftFig5Addsd checks addsd xmm0, xmm1: extractelement on bitcast
+// vectors plus insertelement, as in Figure 5.
+func TestLiftFig5Addsd(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.I(x86.ADDSD, x86.X(x86.XMM0), x86.X(x86.XMM1))
+		b.Ret()
+	})
+	sig := abi.Sig(abi.ClassF64, abi.ClassF64, abi.ClassF64)
+	l := New(mem, DefaultOptions())
+	f, err := l.LiftFunc(codeBase, "addsd", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ir.FormatFunc(f)
+	for _, want := range []string{"fadd double", "insertelement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lifted IR missing %q:\n%s", want, out)
+		}
+	}
+	ip := ir.NewInterp(mem)
+	res, err := ip.CallFunc(f, []ir.RV{ir.RVFloat(1.25), ir.RVFloat(2.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F64() != 3.75 {
+		t.Errorf("addsd(1.25,2.5) = %g, want 3.75", res.F64())
+	}
+}
+
+func TestLiftStencilElement(t *testing.T) {
+	// out[i] = 0.25 * (in[i-1] + in[i+1] + in[i-4] + in[i+4]) — the shape of
+	// the paper's 4-point stencil element computation (Figure 8 bottom).
+	mem := buildFunc(t, func(b *asm.Builder) {
+		// rdi=in, rsi=out, rdx=i
+		b.I(x86.MOVSD_X, x86.X(x86.XMM0), x86.MemBIS(8, x86.RDI, x86.RDX, 8, -8))
+		b.I(x86.ADDSD, x86.X(x86.XMM0), x86.MemBIS(8, x86.RDI, x86.RDX, 8, 8))
+		b.I(x86.ADDSD, x86.X(x86.XMM0), x86.MemBIS(8, x86.RDI, x86.RDX, 8, -32))
+		b.I(x86.ADDSD, x86.X(x86.XMM0), x86.MemBIS(8, x86.RDI, x86.RDX, 8, 32))
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.Imm(0x3FD0000000000000, 8)) // 0.25
+		b.I(x86.MOVQGP, x86.X(x86.XMM1), x86.R64(x86.RAX))
+		b.I(x86.MULSD, x86.X(x86.XMM0), x86.X(x86.XMM1))
+		b.I(x86.MOVSD_X, x86.MemBIS(8, x86.RSI, x86.RDX, 8, 0), x86.X(x86.XMM0))
+		b.Ret()
+	})
+	in := mem.Alloc(16*8, 16, "in")
+	outM := mem.Alloc(16*8, 16, "outM")
+	outI := mem.Alloc(16*8, 16, "outI")
+	for k := 0; k < 16; k++ {
+		mem.WriteFloat64(in.Start+uint64(8*k), float64(k*k)+0.5)
+	}
+	sig := abi.Signature{Params: []abi.Class{abi.ClassPtr, abi.ClassPtr, abi.ClassInt}}
+
+	m := emu.NewMachine(mem)
+	l := New(mem, DefaultOptions())
+	f, err := l.LiftFunc(codeBase, "stencil", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := ir.NewInterp(mem)
+	for i := 4; i < 12; i++ {
+		if _, err := m.Call(codeBase, emu.CallArgs{Ints: []uint64{in.Start, outM.Start, uint64(i)}}, 1000); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ip.CallFunc(f, []ir.RV{{Lo: in.Start}, {Lo: outI.Start}, {Lo: uint64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+		a, _ := mem.ReadFloat64(outM.Start + uint64(8*i))
+		bv, _ := mem.ReadFloat64(outI.Start + uint64(8*i))
+		if a != bv || math.IsNaN(a) {
+			t.Errorf("i=%d: machine %g, lifted %g", i, a, bv)
+		}
+	}
+}
+
+func TestLiftCall(t *testing.T) {
+	// Outer calls inner(x) = x*3, then adds 1.
+	var innerAddr uint64
+	b := asm.NewBuilder()
+	inner := b.NewLabel()
+	b.I(x86.SUB, x86.R64(x86.RSP), x86.Imm(8, 8))
+	b.CallLabel(inner)
+	b.I(x86.ADD, x86.R64(x86.RSP), x86.Imm(8, 8))
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.Imm(1, 8))
+	b.Ret()
+	b.Bind(inner)
+	b.I(x86.LEA, x86.R64(x86.RAX), x86.MemBIS(8, x86.RDI, x86.RDI, 2, 0))
+	b.Ret()
+	code, labels, err := b.Assemble(codeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	innerAddr = labels[inner]
+	mem := emu.NewMemory(0x10000000)
+	if _, err := mem.MapBytes(codeBase, code, "code"); err != nil {
+		t.Fatal(err)
+	}
+
+	sig := abi.Sig(abi.ClassInt, abi.ClassInt)
+	l := New(mem, DefaultOptions())
+	// Lift the inner function first so the call site resolves.
+	if _, err := l.LiftFunc(innerAddr, "inner", sig); err != nil {
+		t.Fatal(err)
+	}
+	f, err := l.LiftFunc(codeBase, "outer", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := ir.NewInterp(mem)
+	res, err := ip.CallFunc(f, []ir.RV{{Lo: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lo != 31 {
+		t.Errorf("outer(10) = %d, want 31", res.Lo)
+	}
+	m := emu.NewMachine(mem)
+	got, err := m.Call(codeBase, emu.CallArgs{Ints: []uint64{10}}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 31 {
+		t.Errorf("machine outer(10) = %d, want 31", got)
+	}
+}
+
+func TestLiftPushPop(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.I(x86.PUSH, x86.R64(x86.RBP))
+		b.I(x86.MOV, x86.R64(x86.RBP), x86.R64(x86.RSP))
+		b.I(x86.MOV, x86.MemBD(8, x86.RBP, -8), x86.R64(x86.RDI))
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.MemBD(8, x86.RBP, -8))
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RAX))
+		b.I(x86.POP, x86.R64(x86.RBP))
+		b.Ret()
+	})
+	sig := abi.Sig(abi.ClassInt, abi.ClassInt)
+	got, lifted := crossCheck(t, mem, sig, DefaultOptions(), []uint64{21}, nil)
+	if got != 42 || lifted != 42 {
+		t.Errorf("got %d/%d, want 42", got, lifted)
+	}
+}
+
+func TestLiftRejectsIndirectJump(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.I(x86.JMPIndirect, x86.R64(x86.RAX))
+	})
+	l := New(mem, DefaultOptions())
+	if _, err := l.LiftFunc(codeBase, "bad", abi.Sig(abi.ClassInt)); err == nil {
+		t.Fatal("indirect jump must be rejected")
+	}
+}
+
+func TestLiftUnknownCallRejected(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.Call(0x999999)
+		b.Ret()
+	})
+	l := New(mem, DefaultOptions())
+	if _, err := l.LiftFunc(codeBase, "bad", abi.Sig(abi.ClassInt)); err == nil {
+		t.Fatal("call to undeclared function must be rejected")
+	}
+}
+
+// TestLiftProperty cross-checks a small ALU function on random inputs.
+func TestLiftProperty(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		// f(a,b) = ((a+b)*3) ^ (a>>2) - b
+		b.I(x86.LEA, x86.R64(x86.RAX), x86.MemBIS(8, x86.RDI, x86.RSI, 1, 0))
+		b.I(x86.IMUL3, x86.R64(x86.RAX), x86.R64(x86.RAX), x86.Imm(3, 8))
+		b.I(x86.MOV, x86.R64(x86.RCX), x86.R64(x86.RDI))
+		b.I(x86.SHR, x86.R64(x86.RCX), x86.Imm(2, 1))
+		b.I(x86.XOR, x86.R64(x86.RAX), x86.R64(x86.RCX))
+		b.I(x86.SUB, x86.R64(x86.RAX), x86.R64(x86.RSI))
+		b.Ret()
+	})
+	sig := abi.Sig(abi.ClassInt, abi.ClassInt, abi.ClassInt)
+	l := New(mem, DefaultOptions())
+	f, err := l.LiftFunc(codeBase, "mix", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := ir.NewInterp(mem)
+	ip.MaxSteps = 1 << 30
+	m := emu.NewMachine(mem)
+	prop := func(a, b uint64) bool {
+		got, err := m.Call(codeBase, emu.CallArgs{Ints: []uint64{a, b}}, 1000)
+		if err != nil {
+			return false
+		}
+		res, err := ip.CallFunc(f, []ir.RV{{Lo: a}, {Lo: b}})
+		if err != nil {
+			return false
+		}
+		return got == res.Lo
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

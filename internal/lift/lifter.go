@@ -1,0 +1,330 @@
+package lift
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/abi"
+	"repro/internal/emu"
+	"repro/internal/ir"
+	"repro/internal/x86"
+)
+
+// Options control the transformation, exposing the paper's design choices
+// as ablatable switches.
+type Options struct {
+	// FlagCache enables the cmp-operand cache of Section III.D (Figure 6).
+	FlagCache bool
+	// FacetCache caches derived register facets per block (Section III.C).
+	FacetCache bool
+	// UseGEP reconstructs addresses with getelementptr instead of integer
+	// arithmetic plus inttoptr (Section III.E).
+	UseGEP bool
+	// StackSize is the size of the virtual stack allocated via alloca
+	// (Section III.F). The used portion must not exceed this limit.
+	StackSize int
+	// MaxInsts bounds decoding, mirroring DBrew's resource limits.
+	MaxInsts int
+	// VolatileRanges marks address ranges whose accesses are volatile.
+	// The paper notes this cannot be derived from the assembly and needs
+	// an explicit API (Section III.E's future work); this is that API:
+	// accesses whose address is statically within a range are marked, and
+	// the optimizer then neither reorders nor eliminates them.
+	VolatileRanges []VolatileRange
+}
+
+// VolatileRange is a half-open interval of volatile memory.
+type VolatileRange struct {
+	Start, End uint64
+}
+
+// DefaultOptions returns the configuration used in the paper's evaluation.
+func DefaultOptions() Options {
+	return Options{FlagCache: true, FacetCache: true, UseGEP: true, StackSize: 1024}
+}
+
+// Callee associates a lifted or declared IR function with its signature.
+type Callee struct {
+	Fn  *ir.Func
+	Sig abi.Signature
+}
+
+// Lifter converts x86-64 functions in an emulated address space to IR.
+type Lifter struct {
+	Mem    *emu.Memory
+	Opts   Options
+	Module *ir.Module
+	// Funcs maps machine entry addresses to known functions so that call
+	// instructions can be translated (Section III.B).
+	Funcs map[uint64]*Callee
+
+	b          *ir.Builder
+	globalBase *ir.Global
+	blockIR    map[uint64]*ir.Block
+	stackSlots int
+}
+
+// New returns a lifter over mem with the given options.
+func New(mem *emu.Memory, opts Options) *Lifter {
+	return &Lifter{
+		Mem:    mem,
+		Opts:   opts,
+		Module: &ir.Module{},
+		Funcs:  make(map[uint64]*Callee),
+	}
+}
+
+// Declare registers a function signature at an address without lifting it,
+// so calls to it can be translated. The returned Callee's Fn is a
+// declaration (no blocks) until LiftFunc is called for the same address.
+func (l *Lifter) Declare(addr uint64, name string, sig abi.Signature) *Callee {
+	if c, ok := l.Funcs[addr]; ok {
+		return c
+	}
+	f := ir.NewFunc(name, retType(sig), paramTypes(sig)...)
+	f.Addr = addr
+	l.Module.AddFunc(f)
+	c := &Callee{Fn: f, Sig: sig}
+	l.Funcs[addr] = c
+	return c
+}
+
+func paramTypes(sig abi.Signature) []*ir.Type {
+	out := make([]*ir.Type, len(sig.Params))
+	for i, c := range sig.Params {
+		switch c {
+		case abi.ClassPtr:
+			out[i] = ir.PtrTo(ir.I8)
+		case abi.ClassF64:
+			out[i] = ir.Double
+		default:
+			out[i] = ir.I64
+		}
+	}
+	return out
+}
+
+func retType(sig abi.Signature) *ir.Type {
+	switch sig.Ret {
+	case abi.ClassF64:
+		return ir.Double
+	case abi.ClassPtr:
+		return ir.PtrTo(ir.I8)
+	case abi.ClassInt:
+		return ir.I64
+	}
+	return ir.Void
+}
+
+// phikey identifies one phi slot.
+type phikey struct {
+	isXMM  bool
+	isFlag bool
+	idx    uint8
+	facet  Facet
+}
+
+type phiEntry struct {
+	key phikey
+	phi *ir.Inst
+}
+
+type blockLift struct {
+	mb   *machBlock
+	irb  *ir.Block
+	st   *state
+	phis []phiEntry
+}
+
+// gprPhiFacets and xmmPhiFacets are the facets merged through phi nodes at
+// block heads; the paper merges "the values of the registers in all facets
+// of the predecessors". Unused phis are removed by the optimizer.
+var gprPhiFacets = []Facet{FI64, FPtr}
+var xmmPhiFacets = []Facet{FI128, FF64, FV2F64}
+
+// LiftFunc lifts the function at addr. The signature determines the
+// parameter-register mapping of Section III.A.
+func (l *Lifter) LiftFunc(addr uint64, name string, sig abi.Signature) (*ir.Func, error) {
+	mbs, err := discover(l.Mem, addr, l.Opts.MaxInsts)
+	if err != nil {
+		return nil, err
+	}
+	callee := l.Declare(addr, name, sig)
+	f := callee.Fn
+	if len(f.Blocks) > 0 {
+		return nil, fmt.Errorf("lift: function %s at %#x already lifted", name, addr)
+	}
+	l.b = ir.NewBuilder(f)
+	l.blockIR = make(map[uint64]*ir.Block)
+
+	// Sort blocks by address with the entry block first.
+	sort.Slice(mbs, func(i, j int) bool {
+		if mbs[i].start == addr {
+			return true
+		}
+		if mbs[j].start == addr {
+			return false
+		}
+		return mbs[i].start < mbs[j].start
+	})
+
+	lifts := make([]*blockLift, len(mbs))
+	byAddr := make(map[uint64]*blockLift)
+	for i, mb := range mbs {
+		bl := &blockLift{mb: mb, irb: f.NewBlock(fmt.Sprintf("bb_%x", mb.start))}
+		lifts[i] = bl
+		byAddr[mb.start] = bl
+		l.blockIR[mb.start] = bl.irb
+	}
+
+	// Synthetic entry: virtual stack plus parameter setup, then a branch to
+	// the first machine block. This lets the machine entry block carry phis
+	// when it is also a loop target.
+	entrySt := newState()
+	l.b.SetBlock(f.Blocks[0]) // the builder created "entry" first
+	l.setupEntry(entrySt, f, sig)
+	l.b.Br(byAddr[addr].irb)
+
+	// Seed phis for every machine block.
+	for _, bl := range lifts {
+		l.b.SetBlock(bl.irb)
+		st := newState()
+		for r := 0; r < 16; r++ {
+			for _, fc := range gprPhiFacets {
+				phi := l.b.Phi(fc.Type())
+				phi.Nam = fmt.Sprintf("%s.%s.%x", x86.Reg(r).Name(8), fc, bl.mb.start)
+				st.gpr[r][fc] = phi
+				bl.phis = append(bl.phis, phiEntry{phikey{false, false, uint8(r), fc}, phi})
+			}
+			for _, fc := range xmmPhiFacets {
+				phi := l.b.Phi(fc.Type())
+				phi.Nam = fmt.Sprintf("xmm%d.%s.%x", r, fc, bl.mb.start)
+				st.xmm[r][fc] = phi
+				bl.phis = append(bl.phis, phiEntry{phikey{true, false, uint8(r), fc}, phi})
+			}
+		}
+		for fl := 0; fl < numFlags; fl++ {
+			phi := l.b.Phi(ir.I1)
+			phi.Nam = fmt.Sprintf("%s.%x", flagNames[fl], bl.mb.start)
+			st.flag[fl] = phi
+			bl.phis = append(bl.phis, phiEntry{phikey{false, true, uint8(fl), 0}, phi})
+		}
+		bl.st = st
+	}
+
+	// Translate instructions block by block.
+	for _, bl := range lifts {
+		l.b.SetBlock(bl.irb)
+		s := bl.st
+		for k := range bl.mb.insts {
+			in := &bl.mb.insts[k]
+			if err := l.translate(s, in, sig); err != nil {
+				return nil, err
+			}
+		}
+		// Fall-through edge if the block did not end in a terminator.
+		if bl.irb.Term() == nil {
+			if bl.mb.fall == 0 {
+				return nil, fmt.Errorf("lift: block %#x has no successor", bl.mb.start)
+			}
+			l.b.Br(l.blockIR[bl.mb.fall])
+		}
+	}
+
+	// Wire phis: connect each block's phi slots to the predecessor states,
+	// materializing facet conversions at predecessor ends when needed.
+	byIR := make(map[*ir.Block]*blockLift, len(lifts))
+	for _, bl := range lifts {
+		byIR[bl.irb] = bl
+	}
+	predsOf := f.Preds()
+	for _, bl := range lifts {
+		preds := predsOf[bl.irb]
+		for _, pe := range bl.phis {
+			for _, p := range preds {
+				v := l.predValue(p, byIR, entrySt, pe.key)
+				ir.AddIncoming(pe.phi, v, p)
+			}
+		}
+	}
+	if err := ir.Verify(f); err != nil {
+		return nil, fmt.Errorf("lift: generated invalid IR: %w", err)
+	}
+	return f, nil
+}
+
+// predValue fetches (or materializes) the value of a phi slot at the end of
+// predecessor block p.
+func (l *Lifter) predValue(p *ir.Block, byIR map[*ir.Block]*blockLift, entrySt *state, key phikey) ir.Value {
+	var st *state
+	if bl, ok := byIR[p]; ok {
+		st = bl.st
+	} else {
+		st = entrySt // synthetic entry block
+	}
+	if key.isFlag {
+		if st.flag[key.idx] == nil {
+			return ir.UndefOf(ir.I1)
+		}
+		return st.flag[key.idx]
+	}
+	m := st.gpr[key.idx]
+	if key.isXMM {
+		m = st.xmm[key.idx]
+	}
+	if v, ok := m[key.facet]; ok {
+		return v
+	}
+	// Materialize a conversion at the end of p (before its terminator).
+	var out ir.Value
+	l.atBlockEnd(p, func() {
+		if key.isXMM {
+			out = l.readXMMFacet(st, x86.XMM0+x86.Reg(key.idx), key.facet)
+		} else {
+			out = l.readGPRFacet(st, x86.Reg(key.idx), key.facet)
+		}
+	})
+	return out
+}
+
+// atBlockEnd runs fn with the builder positioned before b's terminator.
+func (l *Lifter) atBlockEnd(b *ir.Block, fn func()) {
+	saved := l.b.Cur
+	term := b.Insts[len(b.Insts)-1]
+	b.Insts = b.Insts[:len(b.Insts)-1]
+	l.b.SetBlock(b)
+	fn()
+	b.Insts = append(b.Insts, term)
+	l.b.SetBlock(saved)
+}
+
+// setupEntry initializes the register state from the function parameters
+// and allocates the virtual stack (Sections III.A and III.F).
+func (l *Lifter) setupEntry(s *state, f *ir.Func, sig abi.Signature) {
+	// Virtual stack: the red zone below the initial RSP needs headroom.
+	stack := l.b.Alloca(ir.I8, l.Opts.StackSize)
+	stack.Nam = "vstack"
+	top := l.b.GEP(ir.I8, stack, ir.Int(ir.I64, uint64(l.Opts.StackSize-128)))
+	top.Nam = "rsp.init"
+	s.gpr[x86.RSP][FPtr] = top
+	s.gpr[x86.RSP][FI64] = l.b.PtrToInt(top, ir.I64)
+
+	for _, loc := range sig.Locations() {
+		p := f.Params[loc.Index]
+		if loc.IsFP {
+			x := loc.Reg - x86.XMM0
+			vec := l.b.InsertElement(ir.UndefOf(ir.VecOf(ir.Double, 2)), p, 0)
+			s.xmm[x][FV2F64] = vec
+			s.xmm[x][FF64] = p
+			s.xmm[x][FI128] = l.b.Bitcast(vec, ir.I128)
+			continue
+		}
+		switch sig.Params[loc.Index] {
+		case abi.ClassPtr:
+			s.gpr[loc.Reg][FPtr] = p
+			s.gpr[loc.Reg][FI64] = l.b.PtrToInt(p, ir.I64)
+		default:
+			s.gpr[loc.Reg][FI64] = p
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package lift
+
+import (
+	"repro/internal/ir"
+	"repro/internal/x86"
+)
+
+// memAddr reconstructs the address of an x86 memory operand as a pointer
+// value, following Section III.E: register operands use the pointer facet
+// where available and GEP instructions connect the components; constant
+// addresses are expressed relative to a global base pointer; segment
+// overrides move the pointer into address space 256/257.
+func (l *Lifter) memAddr(s *state, in *x86.Inst, op x86.Operand) ir.Value {
+	mem := op.Mem
+	space := 0
+	switch mem.Seg {
+	case x86.SegGS:
+		space = 256
+	case x86.SegFS:
+		space = 257
+	}
+
+	// Constant absolute or RIP-relative address.
+	if mem.Base == x86.NoReg && mem.Index == x86.NoReg || mem.RIPRel {
+		addr := uint64(int64(mem.Disp))
+		if mem.RIPRel {
+			addr = in.Addr + uint64(in.Len) + uint64(int64(mem.Disp))
+		}
+		return l.constAddr(addr, space)
+	}
+
+	if !l.Opts.UseGEP || space != 0 {
+		// inttoptr fallback: sum the components as integers.
+		v := l.addrInt(s, mem)
+		return l.b.IntToPtr(v, ir.PtrInSpace(ir.I8, space))
+	}
+
+	// GEP path.
+	var ptr ir.Value
+	var idx ir.Value
+	if mem.Base != x86.NoReg {
+		ptr = l.readGPRFacet(s, mem.Base, FPtr)
+	}
+	if mem.Index != x86.NoReg {
+		iv := l.readGPRFacet(s, mem.Index, FI64)
+		scale := int64(mem.Scale)
+		disp := int64(mem.Disp)
+		if scale > 1 && disp%scale == 0 {
+			// Typed GEP with element size == scale keeps the index scaled
+			// by the access stride, the form LLVM's alias analysis prefers.
+			elem := ir.IntType(int(scale) * 8)
+			if idxAdj := disp / scale; idxAdj != 0 {
+				iv = l.b.Add(iv, ir.Int(ir.I64, uint64(idxAdj)))
+			}
+			if ptr == nil {
+				ptr = l.b.IntToPtr(ir.Int(ir.I64, 0), ir.PtrTo(ir.I8))
+			}
+			typed := l.b.Bitcast(ptr, ir.PtrTo(elem))
+			g := l.b.GEP(elem, typed, iv)
+			return l.b.Bitcast(g, ir.PtrTo(ir.I8))
+		}
+		scaled := iv
+		if scale > 1 {
+			scaled = l.b.Mul(iv, ir.Int(ir.I64, uint64(scale)))
+		}
+		idx = scaled
+	}
+	if ptr == nil {
+		ptr = l.b.IntToPtr(ir.Int(ir.I64, 0), ir.PtrTo(ir.I8))
+	}
+	if idx != nil {
+		ptr = l.b.GEP(ir.I8, ptr, idx)
+	}
+	if mem.Disp != 0 {
+		ptr = l.b.GEP(ir.I8, ptr, ir.Int(ir.I64, uint64(int64(mem.Disp))))
+	}
+	return ptr
+}
+
+// addrInt computes a memory operand address as a plain i64.
+func (l *Lifter) addrInt(s *state, mem x86.MemArg) ir.Value {
+	var v ir.Value
+	if mem.Base != x86.NoReg {
+		v = l.readGPRFacet(s, mem.Base, FI64)
+	}
+	if mem.Index != x86.NoReg {
+		iv := l.readGPRFacet(s, mem.Index, FI64)
+		if mem.Scale > 1 {
+			iv = l.b.Mul(iv, ir.Int(ir.I64, uint64(mem.Scale)))
+		}
+		if v == nil {
+			v = iv
+		} else {
+			v = l.b.Add(v, iv)
+		}
+	}
+	if v == nil {
+		return ir.Int(ir.I64, uint64(int64(mem.Disp)))
+	}
+	if mem.Disp != 0 {
+		v = l.b.Add(v, ir.Int(ir.I64, uint64(int64(mem.Disp))))
+	}
+	return v
+}
+
+// constAddr expresses a constant address relative to the module's global
+// base pointer, per the paper's recommendation to avoid inttoptr for
+// constants. The first constant address found becomes the base.
+func (l *Lifter) constAddr(addr uint64, space int) ir.Value {
+	if space != 0 {
+		return l.b.IntToPtr(ir.Int(ir.I64, addr), ir.PtrInSpace(ir.I8, space))
+	}
+	if l.globalBase == nil {
+		l.globalBase = &ir.Global{Nam: "gbase", Ty: ir.I8, Addr: addr}
+		l.Module.AddGlobal(l.globalBase)
+	}
+	off := int64(addr) - int64(l.globalBase.Addr)
+	if off == 0 {
+		return l.globalBase
+	}
+	return l.b.GEP(ir.I8, l.globalBase, ir.Int(ir.I64, uint64(off)))
+}
+
+// loadMem loads a typed value from a memory operand.
+func (l *Lifter) loadMem(s *state, in *x86.Inst, op x86.Operand, ty *ir.Type) ir.Value {
+	ptr := l.memAddr(s, in, op)
+	typed := l.b.Bitcast(ptr, ir.PtrInSpace(ty, ptr.Type().AddrSpace))
+	ld := l.b.Load(ty, typed)
+	ld.Align = l.knownAlign(op)
+	ld.Volatile = l.isVolatile(in, op, ty.Size())
+	return ld
+}
+
+// isVolatile reports whether a memory operand with a statically-known
+// address falls into a configured volatile range.
+func (l *Lifter) isVolatile(in *x86.Inst, op x86.Operand, size int) bool {
+	if len(l.Opts.VolatileRanges) == 0 {
+		return false
+	}
+	mem := op.Mem
+	var addr uint64
+	switch {
+	case mem.RIPRel:
+		addr = in.Addr + uint64(in.Len) + uint64(int64(mem.Disp))
+	case mem.Base == x86.NoReg && mem.Index == x86.NoReg:
+		addr = uint64(int64(mem.Disp))
+	default:
+		return false // dynamic address: cannot be classified statically
+	}
+	for _, r := range l.Opts.VolatileRanges {
+		if addr >= r.Start && addr+uint64(size) <= r.End {
+			return true
+		}
+	}
+	return false
+}
+
+// storeMem stores a typed value to a memory operand. Stores are
+// non-volatile (Section III.E) unless the address is statically inside a
+// configured VolatileRange.
+func (l *Lifter) storeMem(s *state, in *x86.Inst, op x86.Operand, v ir.Value) {
+	ptr := l.memAddr(s, in, op)
+	typed := l.b.Bitcast(ptr, ir.PtrInSpace(v.Type(), ptr.Type().AddrSpace))
+	st := l.b.Store(v, typed)
+	st.Align = l.knownAlign(op)
+	st.Volatile = l.isVolatile(in, op, v.Type().Size())
+}
+
+// knownAlign reports alignment knowledge recoverable from the encoding: the
+// paper notes that alignment metadata is lost at the binary level, so only
+// instructions whose semantics require alignment (movaps/movapd/movdqa)
+// give any information. That information is attached by the caller; here we
+// return 0 (unknown).
+func (l *Lifter) knownAlign(op x86.Operand) int { return 0 }
+
+// readIntOperand reads an integer operand (register facet, immediate, or
+// typed memory load).
+func (l *Lifter) readIntOperand(s *state, in *x86.Inst, op x86.Operand) ir.Value {
+	switch op.Kind {
+	case x86.KReg:
+		if op.Reg.IsHighByte() {
+			return l.readGPRFacet(s, op.Reg.Parent(), FI8H)
+		}
+		return l.readGPRFacet(s, op.Reg, gprFacetOfSize(op.Size))
+	case x86.KImm:
+		return ir.Int(ir.IntType(int(op.Size)*8), uint64(op.Imm))
+	case x86.KMem:
+		return l.loadMem(s, in, op, ir.IntType(int(op.Size)*8))
+	}
+	return nil
+}
+
+// writeIntOperand writes an integer value to a register or memory operand.
+func (l *Lifter) writeIntOperand(s *state, in *x86.Inst, op x86.Operand, v ir.Value, ptr ir.Value) {
+	switch op.Kind {
+	case x86.KReg:
+		if op.Reg.IsHighByte() {
+			l.writeGPR(s, op.Reg, 1, v, nil)
+			return
+		}
+		l.writeGPR(s, op.Reg, op.Size, v, ptr)
+	case x86.KMem:
+		l.storeMem(s, in, op, v)
+	}
+}

@@ -1,0 +1,150 @@
+package lift
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
+)
+
+// ssePair loads two 16-byte vectors from rdi/rdi+16, applies build, and
+// returns xmm0's low half as the f64 result; the cross-check compares the
+// lifted IR against the emulator on the same memory image.
+func ssePairCheck(t *testing.T, vals [4]float64, build func(b *asm.Builder)) {
+	t.Helper()
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.I(x86.MOVUPD, x86.X(x86.XMM0), x86.MemBD(16, x86.RDI, 0))
+		b.I(x86.MOVUPD, x86.X(x86.XMM1), x86.MemBD(16, x86.RDI, 16))
+		build(b)
+		b.Ret()
+	})
+	buf := mem.Alloc(32, 16, "buf")
+	for i, v := range vals {
+		if err := mem.WriteFloat64(buf.Start+uint64(8*i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sig := abi.Signature{Params: []abi.Class{abi.ClassPtr}, Ret: abi.ClassF64}
+	got, lifted := crossCheck(t, mem, sig, DefaultOptions(), []uint64{buf.Start}, nil)
+	if lifted != got {
+		t.Errorf("lifted %#x != machine %#x (%g vs %g)",
+			lifted, got, math.Float64frombits(lifted), math.Float64frombits(got))
+	}
+}
+
+func TestLiftPackedArithVariants(t *testing.T) {
+	vals := [4]float64{1.5, -2.25, 4.0, 0.5}
+	ops := []x86.Op{x86.ADDPD, x86.SUBPD, x86.MULPD, x86.DIVPD,
+		x86.ANDPD, x86.ORPD, x86.XORPD}
+	for _, op := range ops {
+		op := op
+		ssePairCheck(t, vals, func(b *asm.Builder) {
+			b.I(op, x86.X(x86.XMM0), x86.X(x86.XMM1))
+		})
+	}
+}
+
+func TestLiftShufpdSelectors(t *testing.T) {
+	vals := [4]float64{10, 20, 30, 40}
+	for sel := int64(0); sel < 4; sel++ {
+		sel := sel
+		ssePairCheck(t, vals, func(b *asm.Builder) {
+			b.I(x86.SHUFPD, x86.X(x86.XMM0), x86.X(x86.XMM1), x86.Imm(sel, 1))
+		})
+	}
+}
+
+func TestLiftUnpackVariants(t *testing.T) {
+	vals := [4]float64{1, 2, 3, 4}
+	for _, op := range []x86.Op{x86.UNPCKLPD, x86.UNPCKHPD, x86.PUNPCKLQDQ} {
+		op := op
+		ssePairCheck(t, vals, func(b *asm.Builder) {
+			b.I(op, x86.X(x86.XMM0), x86.X(x86.XMM1))
+		})
+	}
+}
+
+func TestLiftMovmskpd(t *testing.T) {
+	// Sign patterns: (+,−) → mask 2, (−,+) → mask 1, etc.
+	cases := [][2]float64{{1, -1}, {-1, 1}, {-3, -4}, {5, 6}}
+	for _, c := range cases {
+		mem := buildFunc(t, func(b *asm.Builder) {
+			b.I(x86.MOVUPD, x86.X(x86.XMM2), x86.MemBD(16, x86.RDI, 0))
+			b.I(x86.MOVMSKPD, x86.R32(x86.RAX), x86.X(x86.XMM2))
+			b.Ret()
+		})
+		buf := mem.Alloc(16, 16, "buf")
+		mem.WriteFloat64(buf.Start, c[0])
+		mem.WriteFloat64(buf.Start+8, c[1])
+		sig := abi.Signature{Params: []abi.Class{abi.ClassPtr}, Ret: abi.ClassInt}
+		got, lifted := crossCheck(t, mem, sig, DefaultOptions(), []uint64{buf.Start}, nil)
+		want := uint64(0)
+		if math.Signbit(c[0]) {
+			want |= 1
+		}
+		if math.Signbit(c[1]) {
+			want |= 2
+		}
+		if got != want || lifted != want {
+			t.Errorf("movmskpd(%v): machine %d, lifted %d, want %d", c, got, lifted, want)
+		}
+	}
+}
+
+func TestLiftCvtChain(t *testing.T) {
+	// int → ss → sd → int round trip with truncation.
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.I(x86.CVTSI2SS, x86.X(x86.XMM0), x86.R64(x86.RDI))
+		b.I(x86.CVTSS2SD, x86.X(x86.XMM1), x86.X(x86.XMM0))
+		b.I(x86.CVTSD2SS, x86.X(x86.XMM2), x86.X(x86.XMM1))
+		b.I(x86.CVTSS2SD, x86.X(x86.XMM3), x86.X(x86.XMM2))
+		b.I(x86.CVTTSD2SI, x86.R64(x86.RAX), x86.X(x86.XMM3))
+		b.Ret()
+	})
+	sig := abi.Signature{Params: []abi.Class{abi.ClassInt}, Ret: abi.ClassInt}
+	for _, n := range []uint64{0, 7, 1 << 20} {
+		got, lifted := crossCheck(t, mem, sig, DefaultOptions(), []uint64{n}, nil)
+		if got != n || lifted != n {
+			t.Errorf("cvt chain(%d): machine %d, lifted %d", n, got, lifted)
+		}
+	}
+}
+
+func TestLiftMinMaxSqrtSd(t *testing.T) {
+	vals := [4]float64{9.0, 2.0, 4.0, 16.0}
+	for _, op := range []x86.Op{x86.MINSD, x86.MAXSD} {
+		op := op
+		ssePairCheck(t, vals, func(b *asm.Builder) {
+			b.I(op, x86.X(x86.XMM0), x86.X(x86.XMM1))
+		})
+	}
+	ssePairCheck(t, vals, func(b *asm.Builder) {
+		b.I(x86.SQRTSD, x86.X(x86.XMM0), x86.X(x86.XMM1))
+	})
+}
+
+func TestLiftMovhlpd(t *testing.T) {
+	vals := [4]float64{1, 2, 3, 4}
+	mem := buildFunc(t, func(b *asm.Builder) {
+		b.I(x86.MOVUPD, x86.X(x86.XMM0), x86.MemBD(16, x86.RDI, 0))
+		b.I(x86.MOVHPD, x86.X(x86.XMM0), x86.MemBD(8, x86.RDI, 16))
+		b.I(x86.MOVLPD, x86.X(x86.XMM0), x86.MemBD(8, x86.RDI, 24))
+		// Collapse halves so the return observes both.
+		b.I(x86.MOVAPS, x86.X(x86.XMM1), x86.X(x86.XMM0))
+		b.I(x86.UNPCKHPD, x86.X(x86.XMM1), x86.X(x86.XMM1))
+		b.I(x86.ADDSD, x86.X(x86.XMM0), x86.X(x86.XMM1))
+		b.Ret()
+	})
+	buf := mem.Alloc(32, 16, "buf")
+	for i, v := range vals {
+		mem.WriteFloat64(buf.Start+uint64(8*i), v)
+	}
+	sig := abi.Signature{Params: []abi.Class{abi.ClassPtr}, Ret: abi.ClassF64}
+	got, lifted := crossCheck(t, mem, sig, DefaultOptions(), []uint64{buf.Start}, nil)
+	if want := math.Float64bits(4.0 + 3.0); got != want || lifted != want {
+		t.Errorf("movhpd/movlpd: machine %g, lifted %g, want 7",
+			math.Float64frombits(got), math.Float64frombits(lifted))
+	}
+}

@@ -1,0 +1,421 @@
+package lift
+
+import (
+	"repro/internal/abi"
+	"repro/internal/ir"
+	"repro/internal/x86"
+)
+
+// translate lowers one machine instruction into IR, updating the register
+// state. Figure 5 of the paper shows representative translations; this is
+// the full dispatch.
+func (l *Lifter) translate(s *state, in *x86.Inst, sig abi.Signature) error {
+	b := l.b
+	switch in.Op {
+	case x86.NOP, x86.ENDBR64:
+		return nil
+	case x86.STC:
+		s.flag[fCF] = ir.Bool(true)
+		s.fc = flagCache{}
+		return nil
+	case x86.CLC:
+		s.flag[fCF] = ir.Bool(false)
+		s.fc = flagCache{}
+		return nil
+	case x86.UD2:
+		b.Unreachable()
+		return nil
+
+	case x86.MOV:
+		if in.Dst.Kind == x86.KReg && in.Src.Kind == x86.KImm {
+			v := ir.Int(ir.IntType(int(in.Dst.Size)*8), uint64(in.Src.Imm))
+			l.writeIntOperand(s, in, in.Dst, v, nil)
+			return nil
+		}
+		// Register-to-register 64-bit moves preserve the pointer facet.
+		if in.Dst.Kind == x86.KReg && in.Src.Kind == x86.KReg && in.Dst.Size == 8 &&
+			!in.Src.Reg.IsHighByte() {
+			var ptr ir.Value
+			if p, ok := s.gpr[in.Src.Reg][FPtr]; ok {
+				ptr = p
+			}
+			v := l.readGPRFacet(s, in.Src.Reg, FI64)
+			l.writeGPR(s, in.Dst.Reg, 8, v, ptr)
+			return nil
+		}
+		v := l.readIntOperand(s, in, in.Src)
+		l.writeIntOperand(s, in, in.Dst, v, nil)
+		return nil
+
+	case x86.MOVZX:
+		v := l.readIntOperand(s, in, in.Src)
+		l.writeGPR(s, in.Dst.Reg, in.Dst.Size, b.ZExt(v, ir.IntType(int(in.Dst.Size)*8)), nil)
+		return nil
+	case x86.MOVSX, x86.MOVSXD:
+		v := l.readIntOperand(s, in, in.Src)
+		l.writeGPR(s, in.Dst.Reg, in.Dst.Size, b.SExt(v, ir.IntType(int(in.Dst.Size)*8)), nil)
+		return nil
+
+	case x86.LEA:
+		if in.Dst.Size == 8 && l.Opts.UseGEP && in.Src.Mem.Seg == x86.SegNone {
+			ptr := l.memAddr(s, in, in.Src)
+			iv := b.PtrToInt(ptr, ir.I64)
+			l.writeGPR(s, in.Dst.Reg, 8, iv, ptr)
+			return nil
+		}
+		iv := l.addrInt(s, in.Src.Mem)
+		if in.Dst.Size != 8 {
+			iv = b.Trunc(iv, ir.IntType(int(in.Dst.Size)*8))
+		}
+		l.writeGPR(s, in.Dst.Reg, in.Dst.Size, iv, nil)
+		return nil
+
+	case x86.ADD, x86.SUB, x86.CMP:
+		a := l.readIntOperand(s, in, in.Dst)
+		c := l.readIntOperand(s, in, in.Src)
+		c = l.matchWidth(c, a.Type())
+		var res ir.Value
+		isSub := in.Op != x86.ADD
+		if isSub {
+			res = b.Sub(a, c)
+		} else {
+			res = b.Add(a, c)
+		}
+		l.setArithFlags(s, isSub, a, c, res)
+		if in.Op == x86.CMP {
+			// Record pointer facets of both operands so equality/unsigned
+			// conditions compare pointers (one induction chain, not two).
+			if in.Dst.Kind == x86.KReg && in.Src.Kind == x86.KReg &&
+				in.Dst.Size == 8 && in.Src.Size == 8 {
+				if ap, ok := s.gpr[in.Dst.Reg][FPtr]; ok {
+					if bp, ok2 := s.gpr[in.Src.Reg][FPtr]; ok2 {
+						s.fc.aPtr, s.fc.bPtr = ap, bp
+					}
+				}
+			}
+			return nil
+		}
+		// Pointer facet propagation for 64-bit register destinations
+		// (Section III.C: add/lea can set both facets).
+		var ptr ir.Value
+		if in.Dst.Kind == x86.KReg && in.Dst.Size == 8 && l.Opts.UseGEP {
+			if base, ok := s.gpr[in.Dst.Reg][FPtr]; ok {
+				off := c
+				if isSub {
+					off = b.Sub(ir.Int(ir.I64, 0), c)
+				}
+				ptr = b.GEP(ir.I8, base, off)
+			}
+		}
+		l.writeIntOperand(s, in, in.Dst, res, ptr)
+		return nil
+
+	case x86.ADC, x86.SBB:
+		a := l.readIntOperand(s, in, in.Dst)
+		c := l.matchWidth(l.readIntOperand(s, in, in.Src), a.Type())
+		carry := b.ZExt(l.flagVal(s, fCF), a.Type())
+		var res ir.Value
+		if in.Op == x86.ADC {
+			res = b.Add(b.Add(a, c), carry)
+		} else {
+			res = b.Sub(b.Sub(a, c), carry)
+		}
+		l.setResultFlagsOnly(s, res)
+		l.writeIntOperand(s, in, in.Dst, res, nil)
+		return nil
+
+	case x86.AND, x86.OR, x86.XOR, x86.TEST:
+		// xor r, r is the canonical zero idiom.
+		if in.Op == x86.XOR && in.Dst.Kind == x86.KReg && in.Src.Kind == x86.KReg &&
+			in.Dst.Reg == in.Src.Reg {
+			zero := ir.Int(ir.IntType(int(in.Dst.Size)*8), 0)
+			l.setLogicFlags(s, zero)
+			l.writeIntOperand(s, in, in.Dst, zero, nil)
+			return nil
+		}
+		a := l.readIntOperand(s, in, in.Dst)
+		c := l.matchWidth(l.readIntOperand(s, in, in.Src), a.Type())
+		var res ir.Value
+		switch in.Op {
+		case x86.AND, x86.TEST:
+			res = b.And(a, c)
+		case x86.OR:
+			res = b.Or(a, c)
+		case x86.XOR:
+			res = b.Xor(a, c)
+		}
+		l.setLogicFlags(s, res)
+		if in.Op != x86.TEST {
+			l.writeIntOperand(s, in, in.Dst, res, nil)
+		}
+		return nil
+
+	case x86.NOT:
+		a := l.readIntOperand(s, in, in.Dst)
+		res := b.Xor(a, ir.Int(a.Type(), ^uint64(0)))
+		l.writeIntOperand(s, in, in.Dst, res, nil)
+		return nil
+	case x86.NEG:
+		a := l.readIntOperand(s, in, in.Dst)
+		res := b.Sub(ir.Int(a.Type(), 0), a)
+		l.setArithFlags(s, true, ir.Int(a.Type(), 0), a, res)
+		s.fc = flagCache{} // CF differs from plain sub semantics
+		l.writeIntOperand(s, in, in.Dst, res, nil)
+		return nil
+	case x86.INC, x86.DEC:
+		a := l.readIntOperand(s, in, in.Dst)
+		one := ir.Int(a.Type(), 1)
+		cf := s.flag[fCF] // preserved by inc/dec
+		var res ir.Value
+		if in.Op == x86.INC {
+			res = b.Add(a, one)
+			l.setArithFlags(s, false, a, one, res)
+		} else {
+			res = b.Sub(a, one)
+			l.setArithFlags(s, true, a, one, res)
+		}
+		s.flag[fCF] = cf
+		s.fc = flagCache{}
+		l.writeIntOperand(s, in, in.Dst, res, nil)
+		return nil
+
+	case x86.IMUL:
+		a := l.readIntOperand(s, in, in.Dst)
+		c := l.matchWidth(l.readIntOperand(s, in, in.Src), a.Type())
+		res := b.Mul(a, c)
+		l.setResultFlagsOnly(s, res)
+		l.writeIntOperand(s, in, in.Dst, res, nil)
+		return nil
+	case x86.IMUL3:
+		c := l.readIntOperand(s, in, in.Src)
+		res := b.Mul(c, ir.Int(c.Type(), uint64(in.Src2.Imm)))
+		l.setResultFlagsOnly(s, res)
+		l.writeIntOperand(s, in, in.Dst, res, nil)
+		return nil
+	case x86.MUL:
+		return facetErr(in, "widening multiply is not supported")
+	case x86.IDIV:
+		// Supported in the common cqo/cdq-extended form: quotient in RAX,
+		// remainder in RDX.
+		ty := ir.IntType(int(in.Dst.Size) * 8)
+		den := l.readIntOperand(s, in, in.Dst)
+		num := l.readGPRFacet(s, x86.RAX, gprFacetOfSize(in.Dst.Size))
+		q := b.SDiv(num, den)
+		r := b.SRem(num, den)
+		l.writeGPR(s, x86.RAX, in.Dst.Size, q, nil)
+		l.writeGPR(s, x86.RDX, in.Dst.Size, r, nil)
+		s.setFlagsUndef()
+		_ = ty
+		return nil
+	case x86.DIV:
+		den := l.readIntOperand(s, in, in.Dst)
+		num := l.readGPRFacet(s, x86.RAX, gprFacetOfSize(in.Dst.Size))
+		q := b.UDiv(num, den)
+		r := b.URem(num, den)
+		l.writeGPR(s, x86.RAX, in.Dst.Size, q, nil)
+		l.writeGPR(s, x86.RDX, in.Dst.Size, r, nil)
+		s.setFlagsUndef()
+		return nil
+
+	case x86.CQO:
+		v := l.readGPRFacet(s, x86.RAX, FI64)
+		l.writeGPR(s, x86.RDX, 8, b.AShr(v, ir.Int(ir.I64, 63)), nil)
+		return nil
+	case x86.CDQ:
+		v := l.readGPRFacet(s, x86.RAX, FI32)
+		l.writeGPR(s, x86.RDX, 4, b.AShr(v, ir.Int(ir.I32, 31)), nil)
+		return nil
+	case x86.CDQE:
+		v := l.readGPRFacet(s, x86.RAX, FI32)
+		l.writeGPR(s, x86.RAX, 8, b.SExt(v, ir.I64), nil)
+		return nil
+
+	case x86.SHL, x86.SHR, x86.SAR:
+		a := l.readIntOperand(s, in, in.Dst)
+		var cnt ir.Value
+		if in.Src.Kind == x86.KImm {
+			cnt = ir.Int(a.Type(), uint64(in.Src.Imm))
+		} else {
+			cl := l.readGPRFacet(s, x86.RCX, FI8)
+			cnt = b.And(b.ZExt(cl, a.Type()), ir.Int(a.Type(), uint64(a.Type().Bits-1)))
+		}
+		var res ir.Value
+		switch in.Op {
+		case x86.SHL:
+			res = b.Shl(a, cnt)
+		case x86.SHR:
+			res = b.LShr(a, cnt)
+		case x86.SAR:
+			res = b.AShr(a, cnt)
+		}
+		l.setResultFlagsOnly(s, res)
+		l.writeIntOperand(s, in, in.Dst, res, nil)
+		return nil
+	case x86.ROL, x86.ROR:
+		a := l.readIntOperand(s, in, in.Dst)
+		bits := uint64(a.Type().Bits)
+		if in.Src.Kind != x86.KImm {
+			return facetErr(in, "variable rotate is not supported")
+		}
+		n := uint64(in.Src.Imm) % bits
+		var res ir.Value
+		if in.Op == x86.ROL {
+			res = b.Or(b.Shl(a, ir.Int(a.Type(), n)), b.LShr(a, ir.Int(a.Type(), bits-n)))
+		} else {
+			res = b.Or(b.LShr(a, ir.Int(a.Type(), n)), b.Shl(a, ir.Int(a.Type(), bits-n)))
+		}
+		s.setFlagsUndef()
+		l.writeIntOperand(s, in, in.Dst, res, nil)
+		return nil
+
+	case x86.PUSH:
+		v := l.readIntOperand(s, in, withSize(in.Dst, 8))
+		rsp := l.readGPRFacet(s, x86.RSP, FPtr)
+		newSP := b.GEP(ir.I8, rsp, ir.Int(ir.I64, ^uint64(7))) // -8
+		slot := b.Bitcast(newSP, ir.PtrTo(ir.I64))
+		b.Store(v, slot)
+		l.writeGPR(s, x86.RSP, 8, b.PtrToInt(newSP, ir.I64), newSP)
+		return nil
+	case x86.POP:
+		rsp := l.readGPRFacet(s, x86.RSP, FPtr)
+		slot := b.Bitcast(rsp, ir.PtrTo(ir.I64))
+		v := b.Load(ir.I64, slot)
+		newSP := b.GEP(ir.I8, rsp, ir.Int(ir.I64, 8))
+		l.writeGPR(s, x86.RSP, 8, b.PtrToInt(newSP, ir.I64), newSP)
+		l.writeIntOperand(s, in, in.Dst, v, nil)
+		return nil
+
+	case x86.CALL:
+		return l.translateCall(s, in)
+	case x86.CALLIndirect, x86.JMPIndirect:
+		return facetErr(in, "indirect control flow is not supported")
+
+	case x86.RET:
+		switch sig.Ret {
+		case abi.ClassF64:
+			b.Ret(l.readXMMFacet(s, x86.XMM0, FF64))
+		case abi.ClassPtr:
+			b.Ret(l.readGPRFacet(s, x86.RAX, FPtr))
+		case abi.ClassInt:
+			b.Ret(l.readGPRFacet(s, x86.RAX, FI64))
+		default:
+			b.Ret(nil)
+		}
+		return nil
+
+	case x86.JMP:
+		t, ok := l.blockIR[uint64(in.Dst.Imm)]
+		if !ok {
+			return facetErr(in, "jump outside function")
+		}
+		b.Br(t)
+		return nil
+	case x86.JCC:
+		t, ok := l.blockIR[uint64(in.Dst.Imm)]
+		if !ok {
+			return facetErr(in, "jump outside function")
+		}
+		fall, ok := l.blockIR[in.Addr+uint64(in.Len)]
+		if !ok {
+			return facetErr(in, "missing fall-through block")
+		}
+		b.CondBr(l.cond(s, in.Cond), t, fall)
+		return nil
+	case x86.CMOVCC:
+		c := l.cond(s, in.Cond)
+		v := l.readIntOperand(s, in, in.Src)
+		old := l.readGPRFacet(s, in.Dst.Reg, gprFacetOfSize(in.Dst.Size))
+		l.writeGPR(s, in.Dst.Reg, in.Dst.Size, b.Select(c, v, old), nil)
+		return nil
+	case x86.SETCC:
+		c := l.cond(s, in.Cond)
+		l.writeIntOperand(s, in, in.Dst, b.ZExt(c, ir.I8), nil)
+		return nil
+
+	case x86.XCHG:
+		if in.Dst.Kind == x86.KReg && in.Src.Kind == x86.KReg {
+			a := l.readGPRFacet(s, in.Dst.Reg, gprFacetOfSize(in.Dst.Size))
+			c := l.readGPRFacet(s, in.Src.Reg, gprFacetOfSize(in.Src.Size))
+			l.writeGPR(s, in.Dst.Reg, in.Dst.Size, c, nil)
+			l.writeGPR(s, in.Src.Reg, in.Src.Size, a, nil)
+			return nil
+		}
+		return facetErr(in, "xchg with memory is not supported")
+	}
+	return l.translateSSE(s, in)
+}
+
+// flagVal returns a flag value, defaulting to undef.
+func (l *Lifter) flagVal(s *state, idx int) ir.Value {
+	if s.flag[idx] == nil {
+		return ir.UndefOf(ir.I1)
+	}
+	return s.flag[idx]
+}
+
+// matchWidth adapts an immediate operand's type to the computation type
+// (x86 sign-extends 8-bit immediates to the operand size).
+func (l *Lifter) matchWidth(v ir.Value, ty *ir.Type) ir.Value {
+	if v.Type().Equal(ty) {
+		return v
+	}
+	if c, ok := v.(*ir.ConstInt); ok {
+		return ir.Int(ty, uint64(int64(c.V)))
+	}
+	if v.Type().Bits < ty.Bits {
+		return l.b.SExt(v, ty)
+	}
+	return l.b.Trunc(v, ty)
+}
+
+func withSize(o x86.Operand, size uint8) x86.Operand {
+	if o.Kind == x86.KImm || o.Kind == x86.KReg || o.Kind == x86.KMem {
+		o.Size = size
+	}
+	return o
+}
+
+// translateCall lowers a direct call (Section III.B): the target must be a
+// declared function; argument registers are read per its signature; caller-
+// saved state is clobbered afterwards.
+func (l *Lifter) translateCall(s *state, in *x86.Inst) error {
+	target := uint64(in.Dst.Imm)
+	callee, ok := l.Funcs[target]
+	if !ok {
+		return facetErr(in, "call to unknown function %#x (declare it first)", target)
+	}
+	b := l.b
+	var args []ir.Value
+	for _, loc := range callee.Sig.Locations() {
+		if loc.IsFP {
+			args = append(args, l.readXMMFacet(s, loc.Reg, FF64))
+			continue
+		}
+		switch callee.Sig.Params[loc.Index] {
+		case abi.ClassPtr:
+			args = append(args, l.readGPRFacet(s, loc.Reg, FPtr))
+		default:
+			args = append(args, l.readGPRFacet(s, loc.Reg, FI64))
+		}
+	}
+	call := b.Call(callee.Fn, args...)
+
+	// Clobber caller-saved registers and all vector registers.
+	for _, r := range abi.CallerSaved {
+		clearFacets(s.gpr[r])
+	}
+	for i := range s.xmm {
+		clearFacets(s.xmm[i])
+	}
+	s.setFlagsUndef()
+
+	switch callee.Sig.Ret {
+	case abi.ClassInt:
+		l.writeGPR(s, x86.RAX, 8, call, nil)
+	case abi.ClassPtr:
+		l.writeGPR(s, x86.RAX, 8, b.PtrToInt(call, ir.I64), call)
+	case abi.ClassF64:
+		l.writeXMMScalarF64(s, x86.XMM0, call, false)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package lift
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
+)
+
+// TestVolatileRangesSurviveO3: loads/stores inside a configured volatile
+// range are marked and survive the full pipeline, while an identical
+// non-volatile redundant load pair is collapsed.
+func TestVolatileRangesSurviveO3(t *testing.T) {
+	mem := buildFunc(t, func(b *asm.Builder) {
+		// Two loads from a device register at 0x2000, summed.
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.MemAbs(8, 0x2000))
+		b.I(x86.MOV, x86.R64(x86.RCX), x86.MemAbs(8, 0x2000))
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RCX))
+		// And two from plain memory at 0x3000.
+		b.I(x86.MOV, x86.R64(x86.RCX), x86.MemAbs(8, 0x3000))
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RCX))
+		b.I(x86.MOV, x86.R64(x86.RCX), x86.MemAbs(8, 0x3000))
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RCX))
+		b.Ret()
+	})
+	if _, err := mem.Map(0x2000, 8, "mmio"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Map(0x3000, 8, "ram"); err != nil {
+		t.Fatal(err)
+	}
+
+	lo := DefaultOptions()
+	lo.VolatileRanges = []VolatileRange{{Start: 0x2000, End: 0x2008}}
+	l := New(mem, lo)
+	f, err := l.LiftFunc(codeBase, "dev", abi.Sig(abi.ClassInt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ir.FormatFunc(f)
+	if strings.Count(out, "load volatile") != 2 {
+		t.Errorf("expected two volatile loads:\n%s", out)
+	}
+
+	opt.Optimize(f, opt.O3())
+	loads := 0
+	volLoads := 0
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Insts {
+			if in.Op == ir.OpLoad {
+				loads++
+				if in.Volatile {
+					volLoads++
+				}
+			}
+		}
+	}
+	if volLoads != 2 {
+		t.Errorf("volatile loads must survive -O3: %d", volLoads)
+	}
+	if loads != 3 { // 2 volatile + 1 deduplicated plain load
+		t.Errorf("plain redundant load should be CSEd: %d total loads\n%s", loads, ir.FormatFunc(f))
+	}
+}

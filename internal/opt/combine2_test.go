@@ -1,0 +1,186 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/ir"
+)
+
+// TestICmpPairUnion checks (a == b) | (a < b) -> a <= b and the and-form.
+func TestICmpPairUnion(t *testing.T) {
+	f := ir.NewFunc("f", ir.I64, ir.I64, ir.I64)
+	b := ir.NewBuilder(f)
+	eq := b.ICmp(ir.PredEQ, f.Params[0], f.Params[1])
+	lt := b.ICmp(ir.PredSLT, f.Params[0], f.Params[1])
+	le := b.Or(eq, lt)
+	b.Ret(b.ZExt(le, ir.I64))
+	InstCombine(f, false)
+	mustVerify(t, f)
+	out := ir.FormatFunc(f)
+	if !strings.Contains(out, "icmp sle") {
+		t.Errorf("or of eq|slt should fold to sle:\n%s", out)
+	}
+	if strings.Contains(out, "or i1") {
+		t.Errorf("i1 or should be gone:\n%s", out)
+	}
+	// Semantics.
+	for _, c := range [][3]int64{{1, 2, 1}, {2, 2, 1}, {3, 2, 0}} {
+		if got := runI(t, f, uint64(c[0]), uint64(c[1])); int64(got) != c[2] {
+			t.Errorf("le(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+// TestConstCanonicalization: constants move right, icmp swaps predicates.
+func TestConstCanonicalization(t *testing.T) {
+	f := ir.NewFunc("f", ir.I64, ir.I64)
+	b := ir.NewBuilder(f)
+	// 5 + x and 7 < x (const on the left).
+	add := &ir.Inst{Op: ir.OpAdd, Ty: ir.I64, Nam: "a",
+		Args: []ir.Value{ir.Int(ir.I64, 5), f.Params[0]}}
+	b.Cur.Insts = append(b.Cur.Insts, add)
+	cmp := &ir.Inst{Op: ir.OpICmp, Ty: ir.I1, Pred: ir.PredSLT, Nam: "c",
+		Args: []ir.Value{ir.Int(ir.I64, 7), add}}
+	b.Cur.Insts = append(b.Cur.Insts, cmp)
+	b.Ret(b.ZExt(cmp, ir.I64))
+	InstCombine(f, false)
+	mustVerify(t, f)
+	// 7 < x+5  ==  x+5 > 7
+	if got := runI(t, f, 3); got != 1 { // 8 > 7
+		t.Errorf("got %d, want 1", got)
+	}
+	if got := runI(t, f, 2); got != 0 { // 7 > 7 false
+		t.Errorf("got %d, want 0", got)
+	}
+	out := ir.FormatFunc(f)
+	if !strings.Contains(out, "icmp sgt") {
+		t.Errorf("swapped predicate expected:\n%s", out)
+	}
+}
+
+// TestDistributiveFactoring: a*C + b*C -> (a+b)*C under fast-math.
+func TestDistributiveFactoring(t *testing.T) {
+	f := ir.NewFunc("f", ir.Double, ir.Double, ir.Double)
+	b := ir.NewBuilder(f)
+	c := ir.Flt(0.25)
+	m0 := b.FMul(f.Params[0], c)
+	m1 := b.FMul(f.Params[1], c)
+	b.Ret(b.FAdd(m0, m1))
+	InstCombine(f, true)
+	DCE(f) // the superseded fmuls are dead, as the pipeline's round() cleans
+	mustVerify(t, f)
+	nMul := 0
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Insts {
+			if in.Op == ir.OpFMul {
+				nMul++
+			}
+		}
+	}
+	if nMul != 1 {
+		t.Errorf("expected 1 fmul after factoring, got %d:\n%s", nMul, ir.FormatFunc(f))
+	}
+	ip := ir.NewInterp(emu.NewMemory(0x1000))
+	got, err := ip.CallFunc(f, []ir.RV{ir.RVFloat(4), ir.RVFloat(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.F64() != 3 {
+		t.Errorf("got %g, want 3", got.F64())
+	}
+}
+
+// TestConstPtrValueFolding: ptrtoint over inttoptr/gep constant chains.
+func TestConstPtrValueFolding(t *testing.T) {
+	f := ir.NewFunc("f", ir.I64)
+	b := ir.NewBuilder(f)
+	p := b.IntToPtr(ir.Int(ir.I64, 0x1000), ir.PtrTo(ir.I64))
+	g := b.GEP(ir.I64, p, ir.Int(ir.I64, 3)) // +24
+	i := b.PtrToInt(g, ir.I64)
+	b.Ret(i)
+	InstCombine(f, false)
+	mustVerify(t, f)
+	if f.NumInsts() != 1 {
+		t.Errorf("chain should fold to a constant return:\n%s", ir.FormatFunc(f))
+	}
+	if got := runI(t, f); got != 0x1018 {
+		t.Errorf("got %#x, want 0x1018", got)
+	}
+}
+
+// TestCongruentPhiMerge: duplicated induction chains collapse.
+func TestCongruentPhiMerge(t *testing.T) {
+	f := ir.NewFunc("f", ir.I64, ir.I64)
+	b := ir.NewBuilder(f)
+	entry := b.Cur
+	loop := f.NewBlock("loop")
+	exit := f.NewBlock("exit")
+	b.Br(loop)
+	b.SetBlock(loop)
+	i1 := b.Phi(ir.I64)
+	i2 := b.Phi(ir.I64)
+	n1 := b.Add(i1, ir.Int(ir.I64, 1))
+	n2 := b.Add(i2, ir.Int(ir.I64, 1))
+	cond := b.ICmp(ir.PredSLT, n1, f.Params[0])
+	b.CondBr(cond, loop, exit)
+	ir.AddIncoming(i1, ir.Int(ir.I64, 0), entry)
+	ir.AddIncoming(i1, n1, loop)
+	ir.AddIncoming(i2, ir.Int(ir.I64, 0), entry)
+	ir.AddIncoming(i2, n2, loop)
+	b.SetBlock(exit)
+	b.Ret(b.Add(n1, n2)) // 2 * trip count
+
+	before := runI(t, f, 5)
+	CSE(f)
+	mustVerify(t, f)
+	phis := 0
+	for _, in := range f.Blocks[1].Insts {
+		if in.Op == ir.OpPhi {
+			phis++
+		}
+	}
+	if phis != 1 {
+		t.Errorf("congruent phis should merge to 1, got %d:\n%s", phis, ir.FormatFunc(f))
+	}
+	if after := runI(t, f, 5); after != before {
+		t.Errorf("semantics changed: %d -> %d", before, after)
+	}
+}
+
+// TestDCECollapsesDeadCycles: phi <-> increment cycles disappear.
+func TestDCECollapsesDeadCycles(t *testing.T) {
+	f := ir.NewFunc("f", ir.I64, ir.I64)
+	b := ir.NewBuilder(f)
+	entry := b.Cur
+	loop := f.NewBlock("loop")
+	exit := f.NewBlock("exit")
+	b.Br(loop)
+	b.SetBlock(loop)
+	live := b.Phi(ir.I64)
+	dead := b.Phi(ir.I64) // only used by its own increment
+	dn := b.Add(dead, ir.Int(ir.I64, 3))
+	ln := b.Add(live, ir.Int(ir.I64, 1))
+	cond := b.ICmp(ir.PredSLT, ln, f.Params[0])
+	b.CondBr(cond, loop, exit)
+	ir.AddIncoming(live, ir.Int(ir.I64, 0), entry)
+	ir.AddIncoming(live, ln, loop)
+	ir.AddIncoming(dead, ir.Int(ir.I64, 0), entry)
+	ir.AddIncoming(dead, dn, loop)
+	b.SetBlock(exit)
+	b.Ret(ln)
+
+	DCE(f)
+	mustVerify(t, f)
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Insts {
+			if in == dead || in == dn {
+				t.Errorf("dead cycle instruction survived: %s", ir.FormatInst(in))
+			}
+		}
+	}
+	if got := runI(t, f, 4); got != 4 {
+		t.Errorf("got %d, want 4", got)
+	}
+}

@@ -1,0 +1,227 @@
+package opt
+
+import "repro/internal/ir"
+
+// CSE performs global value numbering of pure instructions over the
+// dominator tree plus block-local store-to-load forwarding, redundant load
+// elimination, and congruent-phi merging (duplicate induction chains from
+// lifted register copies collapse to one). Memory state is invalidated
+// conservatively at stores to possibly-aliasing locations and at calls.
+func CSE(f *ir.Func) int {
+	changed := mergeCongruentPhis(f)
+	idom := Dominators(f)
+	rpo := ReversePostorder(f)
+
+	// avail maps value keys to defining instructions; we accept a hit only
+	// if the definition's block dominates the user's block.
+	avail := make(map[valueKey][]*ir.Inst)
+	repl := make(map[ir.Value]ir.Value)
+
+	for _, b := range rpo {
+		// memKey tracks known memory contents within this block.
+		type memVal struct {
+			v  ir.Value
+			ty *ir.Type
+		}
+		mem := make(map[ir.Value]memVal) // pointer value -> stored/loaded value
+
+		for _, in := range b.Insts {
+			switch in.Op {
+			case ir.OpLoad:
+				if in.Volatile {
+					// Volatile loads read fresh values and clear tracking.
+					mem = make(map[ir.Value]memVal)
+					continue
+				}
+				p := in.Args[0]
+				if mv, ok := mem[p]; ok && mv.ty.Equal(in.Ty) {
+					repl[in] = mv.v
+					changed++
+					continue
+				}
+				mem[p] = memVal{v: in, ty: in.Ty}
+			case ir.OpStore:
+				v, p := in.Args[0], in.Args[1]
+				// Invalidate everything that may alias p.
+				for q := range mem {
+					if q != p && mayAlias(p, q) {
+						delete(mem, q)
+					}
+				}
+				if in.Volatile {
+					continue // do not forward from volatile stores
+				}
+				mem[p] = memVal{v: v, ty: v.Type()}
+			case ir.OpCall:
+				mem = make(map[ir.Value]memVal)
+			default:
+				k, ok := keyOf(in)
+				if !ok {
+					continue
+				}
+				found := false
+				for _, prev := range avail[k] {
+					if prev.Parent == b || Dominates(idom, prev.Parent, b) {
+						repl[in] = prev
+						changed++
+						found = true
+						break
+					}
+				}
+				if !found {
+					in.Parent = b
+					avail[k] = append(avail[k], in)
+				}
+			}
+		}
+	}
+	if len(repl) > 0 {
+		replaceAll(f, repl)
+		DCE(f)
+	}
+	return changed
+}
+
+// mergeCongruentPhis merges phi pairs in the same block whose incoming
+// values are identical up to self-reference through one level of identical
+// arithmetic — the pattern left by duplicated induction variables:
+//
+//	%i = phi [ %init, %pre ], [ %i.next, %latch ]   %i.next = add %i, 1
+//	%j = phi [ %init, %pre ], [ %j.next, %latch ]   %j.next = add %j, 1
+func mergeCongruentPhis(f *ir.Func) int {
+	merged := 0
+	for {
+		repl := make(map[ir.Value]ir.Value)
+		for _, b := range f.Blocks {
+			phis := b.Phis()
+			for i := 0; i < len(phis); i++ {
+				for j := i + 1; j < len(phis); j++ {
+					if repl[phis[i]] != nil || repl[phis[j]] != nil {
+						continue
+					}
+					if phisCongruent(phis[i], phis[j]) {
+						repl[phis[j]] = phis[i]
+					}
+				}
+			}
+		}
+		if len(repl) == 0 {
+			return merged
+		}
+		merged += len(repl)
+		replaceAll(f, repl)
+		DCE(f)
+	}
+}
+
+func phisCongruent(p, q *ir.Inst) bool {
+	if !p.Ty.Equal(q.Ty) || len(p.Args) != len(q.Args) {
+		return false
+	}
+	for i := range p.Args {
+		// Incoming blocks must match pairwise.
+		if p.Incoming[i] != q.Incoming[i] {
+			return false
+		}
+		a, b := p.Args[i], q.Args[i]
+		if sameValue(a, b) {
+			continue
+		}
+		ai, aok := a.(*ir.Inst)
+		bi, bok := b.(*ir.Inst)
+		if !aok || !bok || ai.Op != bi.Op || len(ai.Args) != len(bi.Args) ||
+			ai.Pred != bi.Pred || !ai.Ty.Equal(bi.Ty) {
+			return false
+		}
+		switch ai.Op {
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpGEP, ir.OpPtrToInt, ir.OpIntToPtr, ir.OpBitcast:
+			if ai.Op == ir.OpGEP && !ai.ElemTy.Equal(bi.ElemTy) {
+				return false
+			}
+		default:
+			return false
+		}
+		for k := range ai.Args {
+			x, y := ai.Args[k], bi.Args[k]
+			if sameValue(x, y) {
+				continue
+			}
+			if x == ir.Value(p) && y == ir.Value(q) {
+				continue // matching self-recurrence
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// sameValue is defined in instcombine.go.
+
+// mayAlias conservatively decides whether two pointer values can address the
+// same memory. Distinct GEPs off the same base with different constant
+// offsets cannot alias (within the access size granularity tracked here we
+// require identical element types); distinct allocas never alias; an alloca
+// that has not escaped cannot alias a pointer derived from elsewhere only if
+// escape analysis proves it — we do not track escapes, so that case aliases.
+func mayAlias(a, b ir.Value) bool {
+	ba, oa, wa := baseAndOffset(a)
+	bb, ob, wb := baseAndOffset(b)
+	if ba == nil || bb == nil {
+		return true
+	}
+	if ba == bb {
+		if !wa || !wb {
+			return true
+		}
+		// Without per-access sizes, treat anything within the maximum
+		// access width (16 bytes) as potentially overlapping.
+		d := oa - ob
+		if d < 0 {
+			d = -d
+		}
+		return d < 16
+	}
+	// Different allocas never alias each other.
+	ia, aok := ba.(*ir.Inst)
+	ib, bok := bb.(*ir.Inst)
+	if aok && bok && ia.Op == ir.OpAlloca && ib.Op == ir.OpAlloca {
+		return false
+	}
+	// Distinct globals never alias.
+	ga, gaok := ba.(*ir.Global)
+	gb, gbok := bb.(*ir.Global)
+	if gaok && gbok && ga != gb {
+		return false
+	}
+	return true
+}
+
+// baseAndOffset walks GEP/bitcast chains to a base value plus a constant
+// byte offset; known reports whether the offset is fully constant.
+func baseAndOffset(v ir.Value) (base ir.Value, off int64, known bool) {
+	off = 0
+	known = true
+	for depth := 0; depth < 32; depth++ {
+		in, ok := v.(*ir.Inst)
+		if !ok {
+			return v, off, known
+		}
+		switch in.Op {
+		case ir.OpBitcast:
+			if !in.Args[0].Type().IsPtr() {
+				return v, off, known
+			}
+			v = in.Args[0]
+		case ir.OpGEP:
+			if c, ok := constOf(in.Args[1]); ok {
+				off += int64(c.V) * int64(in.ElemTy.Size())
+			} else {
+				known = false
+			}
+			v = in.Args[0]
+		default:
+			return v, off, known
+		}
+	}
+	return v, off, known
+}

@@ -1,0 +1,95 @@
+package opt
+
+import "repro/internal/ir"
+
+// DCE removes instructions whose results do not (transitively) reach a
+// side-effecting instruction. Mark-and-sweep liveness handles dead cycles —
+// e.g. an induction phi used only by its own increment — that use-count
+// approaches cannot remove.
+func DCE(f *ir.Func) int {
+	live := make(map[*ir.Inst]bool)
+	var work []*ir.Inst
+	mark := func(v ir.Value) {
+		if in, ok := v.(*ir.Inst); ok && !live[in] {
+			live[in] = true
+			work = append(work, in)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			if hasSideEffects(in) {
+				live[in] = true
+				work = append(work, in)
+			}
+		}
+	}
+	for len(work) > 0 {
+		in := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, a := range in.Args {
+			mark(a)
+		}
+	}
+	dead := make(map[*ir.Inst]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			if !live[in] {
+				dead[in] = true
+			}
+		}
+	}
+	if len(dead) == 0 {
+		return 0
+	}
+	// Dead phis may still be referenced by other dead phis; removal is
+	// consistent because all of them go at once.
+	return removeMarked(f, dead)
+}
+
+// RemoveUnreachable deletes blocks not reachable from the entry and prunes
+// phi incoming entries from removed predecessors.
+func RemoveUnreachable(f *ir.Func) int {
+	reach := make(map[*ir.Block]bool)
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs() {
+			walk(s)
+		}
+	}
+	walk(f.Blocks[0])
+	if len(reach) == len(f.Blocks) {
+		return 0
+	}
+	out := f.Blocks[:0]
+	removedCount := 0
+	for _, b := range f.Blocks {
+		if reach[b] {
+			out = append(out, b)
+		} else {
+			removedCount++
+		}
+	}
+	f.Blocks = out
+	// Prune phi edges from unreachable predecessors.
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			if in.Op != ir.OpPhi {
+				break
+			}
+			args := in.Args[:0]
+			incs := in.Incoming[:0]
+			for i, inc := range in.Incoming {
+				if reach[inc] {
+					args = append(args, in.Args[i])
+					incs = append(incs, inc)
+				}
+			}
+			in.Args, in.Incoming = args, incs
+		}
+	}
+	return removedCount
+}

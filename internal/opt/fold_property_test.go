@@ -1,0 +1,163 @@
+package opt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+// binOn emits `x op y` using the builder's typed helpers.
+func binOn(b *ir.Builder, op ir.Op, x, y ir.Value) ir.Value {
+	switch op {
+	case ir.OpAdd:
+		return b.Add(x, y)
+	case ir.OpSub:
+		return b.Sub(x, y)
+	case ir.OpMul:
+		return b.Mul(x, y)
+	case ir.OpUDiv:
+		return b.UDiv(x, y)
+	case ir.OpSDiv:
+		return b.SDiv(x, y)
+	case ir.OpURem:
+		return b.URem(x, y)
+	case ir.OpSRem:
+		return b.SRem(x, y)
+	case ir.OpAnd:
+		return b.And(x, y)
+	case ir.OpOr:
+		return b.Or(x, y)
+	case ir.OpXor:
+		return b.Xor(x, y)
+	case ir.OpShl:
+		return b.Shl(x, y)
+	case ir.OpLShr:
+		return b.LShr(x, y)
+	case ir.OpAShr:
+		return b.AShr(x, y)
+	}
+	panic("binOn: unsupported op")
+}
+
+// buildBinFunc builds f(a, b) = a op b at the given width.
+func buildBinFunc(op ir.Op, ty *ir.Type) *ir.Func {
+	f := ir.NewFunc("g", ty, ty, ty)
+	b := ir.NewBuilder(f)
+	b.Ret(binOn(b, op, f.Params[0], f.Params[1]))
+	return f
+}
+
+// runBin interprets f(a, b).
+func runBin(t *testing.T, f *ir.Func, a, b uint64) uint64 {
+	t.Helper()
+	ip := ir.NewInterp(nil)
+	res, err := ip.CallFunc(f, []ir.RV{{Lo: a}, {Lo: b}})
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return res.Lo
+}
+
+// TestFoldMatchesInterp: for random operand pairs, constant-folding
+// `a op b` must agree with interpreting the same operation on the same IR.
+// This pins the folder to the interpreter as a second semantics oracle (the
+// differential suite pins both to the hardware emulator).
+func TestFoldMatchesInterp(t *testing.T) {
+	ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpLShr, ir.OpAShr, ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem}
+	widths := []*ir.Type{ir.I8, ir.I16, ir.I32, ir.I64}
+	prop := func(a, b uint64, opIdx, wIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		ty := widths[int(wIdx)%len(widths)]
+		mask := ^uint64(0)
+		if ty.Bits < 64 {
+			mask = 1<<uint(ty.Bits) - 1
+		}
+		a &= mask
+		b &= mask
+		switch op {
+		case ir.OpShl, ir.OpLShr, ir.OpAShr:
+			b %= uint64(ty.Bits) // shift amount must be in range
+		case ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem:
+			if b == 0 {
+				return true // UB in both worlds; nothing to compare
+			}
+		}
+		in := &ir.Inst{Op: op, Ty: ty, Args: []ir.Value{ir.Int(ty, a), ir.Int(ty, b)}}
+		v := foldConst(in)
+		if v == nil {
+			t.Logf("op %v width %d did not fold", op, ty.Bits)
+			return false
+		}
+		c, ok := v.(*ir.ConstInt)
+		if !ok {
+			return false
+		}
+		f := buildBinFunc(op, ty)
+		want := runBin(t, f, a, b)
+		return c.V == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFoldICmpMatchesInterp: folded icmp results agree with the interpreter
+// for every predicate at every width.
+func TestFoldICmpMatchesInterp(t *testing.T) {
+	preds := []ir.Pred{ir.PredEQ, ir.PredNE, ir.PredSLT, ir.PredSLE, ir.PredSGT,
+		ir.PredSGE, ir.PredULT, ir.PredULE, ir.PredUGT, ir.PredUGE}
+	widths := []*ir.Type{ir.I8, ir.I16, ir.I32, ir.I64}
+	prop := func(a, b uint64, pIdx, wIdx uint8) bool {
+		pred := preds[int(pIdx)%len(preds)]
+		ty := widths[int(wIdx)%len(widths)]
+		if ty.Bits < 64 {
+			m := uint64(1)<<uint(ty.Bits) - 1
+			a &= m
+			b &= m
+		}
+		in := &ir.Inst{Op: ir.OpICmp, Ty: ir.I1, Pred: pred,
+			Args: []ir.Value{ir.Int(ty, a), ir.Int(ty, b)}}
+		v := foldConst(in)
+		c, ok := v.(*ir.ConstInt)
+		if !ok {
+			return false
+		}
+		f := ir.NewFunc("g", ir.I1, ty, ty)
+		bld := ir.NewBuilder(f)
+		bld.Ret(bld.ICmp(pred, f.Params[0], f.Params[1]))
+		want := runBin(t, f, a, b)
+		return c.V == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInstCombinePreservesSemantics: running instcombine on a random
+// three-op expression tree must not change its value.
+func TestInstCombinePreservesSemantics(t *testing.T) {
+	ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor}
+	prop := func(a, b, c uint64, o1, o2, o3 uint8) bool {
+		build := func() *ir.Func {
+			f := ir.NewFunc("g", ir.I64, ir.I64, ir.I64)
+			bld := ir.NewBuilder(f)
+			x := binOn(bld, ops[int(o1)%len(ops)], f.Params[0], ir.Int(ir.I64, c))
+			y := binOn(bld, ops[int(o2)%len(ops)], x, f.Params[1])
+			z := binOn(bld, ops[int(o3)%len(ops)], y, x)
+			bld.Ret(z)
+			return f
+		}
+		plain := build()
+		combined := build()
+		InstCombine(combined, false)
+		if err := ir.Verify(combined); err != nil {
+			return false
+		}
+		return runBin(t, plain, a, b) == runBin(t, combined, a, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// TestOptimizeIdempotent: a second -O3 run must not change instruction
+// counts or semantics (the pipeline reaches a fixed point).
+func TestOptimizeIdempotent(t *testing.T) {
+	f := buildSumLoop(nil)
+	Optimize(f, O3())
+	before := runI(t, f, 12)
+	n1 := f.NumInsts()
+	st := Optimize(f, O3())
+	if st.InstsAfter != n1 {
+		t.Errorf("second O3 changed size: %d -> %d", n1, st.InstsAfter)
+	}
+	if after := runI(t, f, 12); after != before {
+		t.Errorf("second O3 changed semantics: %d -> %d", before, after)
+	}
+	mustVerify(t, f)
+}
+
+// TestPipelineDisableSwitches: every disable switch still yields verified,
+// semantically-correct code.
+func TestPipelineDisableSwitches(t *testing.T) {
+	mods := []func(*Config){
+		func(c *Config) { c.NoCSE = true },
+		func(c *Config) { c.NoInline = true },
+		func(c *Config) { c.NoUnroll = true },
+		func(c *Config) { c.NoMem2Reg = true },
+		func(c *Config) { c.NoSimplify = true },
+		func(c *Config) { c.NoInstCombine = true },
+	}
+	for i, mod := range mods {
+		f := buildSumLoop(ir.Int(ir.I64, 7))
+		cfg := O3()
+		mod(&cfg)
+		Optimize(f, cfg)
+		mustVerify(t, f)
+		if got := runI(t, f, 0); got != 21 {
+			t.Errorf("config %d: sum(7) = %d, want 21", i, got)
+		}
+	}
+}

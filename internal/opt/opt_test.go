@@ -1,0 +1,491 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/ir"
+)
+
+// buildSumLoop constructs sum(n) = 0+1+...+(n-1) in IR.
+func buildSumLoop(bound ir.Value) *ir.Func {
+	f := ir.NewFunc("sum", ir.I64, ir.I64)
+	b := ir.NewBuilder(f)
+	entry := b.Cur
+	loop := f.NewBlock("loop")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	b.Br(loop)
+	b.SetBlock(loop)
+	i := b.Phi(ir.I64)
+	s := b.Phi(ir.I64)
+	var bnd ir.Value = f.Params[0]
+	if bound != nil {
+		bnd = bound
+	}
+	cond := b.ICmp(ir.PredSLT, i, bnd)
+	b.CondBr(cond, body, exit)
+	b.SetBlock(body)
+	s2 := b.Add(s, i)
+	i2 := b.Add(i, ir.Int(ir.I64, 1))
+	b.Br(loop)
+	ir.AddIncoming(i, ir.Int(ir.I64, 0), entry)
+	ir.AddIncoming(i, i2, body)
+	ir.AddIncoming(s, ir.Int(ir.I64, 0), entry)
+	ir.AddIncoming(s, s2, body)
+	b.SetBlock(exit)
+	b.Ret(s)
+	return f
+}
+
+func mustVerify(t *testing.T, f *ir.Func) {
+	t.Helper()
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("verify after pass: %v\n%s", err, ir.FormatFunc(f))
+	}
+}
+
+func runI(t *testing.T, f *ir.Func, args ...uint64) uint64 {
+	t.Helper()
+	ip := ir.NewInterp(emu.NewMemory(0x100000))
+	rvs := make([]ir.RV, len(args))
+	for i, a := range args {
+		rvs[i] = ir.RV{Lo: a}
+	}
+	got, err := ip.CallFunc(f, rvs)
+	if err != nil {
+		t.Fatalf("interp: %v\n%s", err, ir.FormatFunc(f))
+	}
+	return got.Lo
+}
+
+func TestDCERemovesDeadCode(t *testing.T) {
+	f := ir.NewFunc("f", ir.I64, ir.I64)
+	b := ir.NewBuilder(f)
+	dead := b.Mul(f.Params[0], ir.Int(ir.I64, 3))
+	_ = dead
+	live := b.Add(f.Params[0], ir.Int(ir.I64, 1))
+	b.Ret(live)
+	n := DCE(f)
+	if n != 1 {
+		t.Errorf("DCE removed %d, want 1", n)
+	}
+	mustVerify(t, f)
+	if runI(t, f, 5) != 6 {
+		t.Error("semantics changed")
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	f := ir.NewFunc("f", ir.I64)
+	b := ir.NewBuilder(f)
+	x := b.Add(ir.Int(ir.I64, 40), ir.Int(ir.I64, 2))
+	y := b.Mul(x, ir.Int(ir.I64, 10))
+	b.Ret(y)
+	InstCombine(f, false)
+	mustVerify(t, f)
+	if runI(t, f) != 420 {
+		t.Error("wrong result")
+	}
+	if f.NumInsts() != 1 {
+		t.Errorf("expected fully folded function, got %d insts:\n%s", f.NumInsts(), ir.FormatFunc(f))
+	}
+}
+
+func TestInstCombineFacetCasts(t *testing.T) {
+	// The facet round trip: extract(insert(splat, x, 0), 0) -> x.
+	v2 := ir.VecOf(ir.Double, 2)
+	f := ir.NewFunc("f", ir.Double, ir.Double)
+	b := ir.NewBuilder(f)
+	ins := b.InsertElement(ir.UndefOf(v2), f.Params[0], 0)
+	cast1 := b.Bitcast(ins, ir.I128)
+	cast2 := b.Bitcast(cast1, v2)
+	ext := b.ExtractElement(cast2, 0)
+	b.Ret(ext)
+	InstCombine(f, false)
+	mustVerify(t, f)
+	if f.NumInsts() != 1 {
+		t.Errorf("facet casts should fold to ret:\n%s", ir.FormatFunc(f))
+	}
+}
+
+func TestInstCombineFastMath(t *testing.T) {
+	f := ir.NewFunc("f", ir.Double, ir.Double)
+	b := ir.NewBuilder(f)
+	x := b.FAdd(ir.Flt(0), f.Params[0]) // 0 + x
+	y := b.FMul(x, ir.Flt(1))           // * 1
+	b.Ret(y)
+	InstCombine(f, false) // strict FP: must NOT fold x+0.0
+	if f.NumInsts() != 3 {
+		t.Errorf("strict FP folded x+0: %d insts", f.NumInsts())
+	}
+	InstCombine(f, true)
+	mustVerify(t, f)
+	if f.NumInsts() != 1 {
+		t.Errorf("fast-math should fold to ret:\n%s", ir.FormatFunc(f))
+	}
+}
+
+func TestSimplifyCFGConstBranch(t *testing.T) {
+	f := ir.NewFunc("f", ir.I64)
+	b := ir.NewBuilder(f)
+	then := f.NewBlock("then")
+	els := f.NewBlock("els")
+	b.CondBr(ir.Bool(true), then, els)
+	b.SetBlock(then)
+	b.Ret(ir.Int(ir.I64, 1))
+	b.SetBlock(els)
+	b.Ret(ir.Int(ir.I64, 2))
+	SimplifyCFG(f)
+	mustVerify(t, f)
+	if len(f.Blocks) != 1 {
+		t.Errorf("expected single block, got %d", len(f.Blocks))
+	}
+	if runI(t, f) != 1 {
+		t.Error("wrong branch taken")
+	}
+}
+
+func TestCSE(t *testing.T) {
+	f := ir.NewFunc("f", ir.I64, ir.I64, ir.I64)
+	b := ir.NewBuilder(f)
+	a1 := b.Add(f.Params[0], f.Params[1])
+	a2 := b.Add(f.Params[0], f.Params[1])
+	r := b.Mul(a1, a2)
+	b.Ret(r)
+	CSE(f)
+	mustVerify(t, f)
+	if f.NumInsts() != 3 { // add, mul, ret
+		t.Errorf("CSE left %d insts:\n%s", f.NumInsts(), ir.FormatFunc(f))
+	}
+	if runI(t, f, 3, 4) != 49 {
+		t.Error("wrong result")
+	}
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	f := ir.NewFunc("f", ir.I64, ir.PtrTo(ir.I8), ir.I64)
+	b := ir.NewBuilder(f)
+	p := b.Bitcast(f.Params[0], ir.PtrTo(ir.I64))
+	b.Store(f.Params[1], p)
+	ld := b.Load(ir.I64, p)
+	b.Ret(ld)
+	CSE(f)
+	mustVerify(t, f)
+	// The load must be forwarded from the store.
+	hasLoad := false
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Insts {
+			if in.Op == ir.OpLoad {
+				hasLoad = true
+			}
+		}
+	}
+	if hasLoad {
+		t.Errorf("store-to-load forwarding failed:\n%s", ir.FormatFunc(f))
+	}
+}
+
+func TestMem2RegPromotesStack(t *testing.T) {
+	// Mimics push/pop: spill to a stack slot across a branch.
+	f := ir.NewFunc("f", ir.I64, ir.I64)
+	b := ir.NewBuilder(f)
+	st := b.Alloca(ir.I8, 64)
+	slot := b.Bitcast(b.GEP(ir.I8, st, ir.Int(ir.I64, 8)), ir.PtrTo(ir.I64))
+	b.Store(f.Params[0], slot)
+	next := f.NewBlock("next")
+	b.Br(next)
+	b.SetBlock(next)
+	v := b.Load(ir.I64, slot)
+	b.Ret(b.Add(v, ir.Int(ir.I64, 5)))
+	n := Mem2Reg(f)
+	if n == 0 {
+		t.Fatalf("nothing promoted:\n%s", ir.FormatFunc(f))
+	}
+	mustVerify(t, f)
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Insts {
+			if in.Op == ir.OpLoad || in.Op == ir.OpStore {
+				t.Errorf("memory op survived promotion: %s", ir.FormatInst(in))
+			}
+		}
+	}
+	if runI(t, f, 10) != 15 {
+		t.Error("wrong result")
+	}
+}
+
+func TestMem2RegLoop(t *testing.T) {
+	// A counter kept in memory through a loop must become a phi.
+	f := ir.NewFunc("f", ir.I64, ir.I64)
+	b := ir.NewBuilder(f)
+	entry := b.Cur
+	_ = entry
+	st := b.Alloca(ir.I64, 1)
+	b.Store(ir.Int(ir.I64, 0), st)
+	loop := f.NewBlock("loop")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	b.Br(loop)
+	b.SetBlock(loop)
+	i := b.Phi(ir.I64)
+	c := b.ICmp(ir.PredSLT, i, f.Params[0])
+	b.CondBr(c, body, exit)
+	b.SetBlock(body)
+	cur := b.Load(ir.I64, st)
+	b.Store(b.Add(cur, i), st)
+	i2 := b.Add(i, ir.Int(ir.I64, 1))
+	b.Br(loop)
+	ir.AddIncoming(i, ir.Int(ir.I64, 0), entry)
+	ir.AddIncoming(i, i2, body)
+	b.SetBlock(exit)
+	res := b.Load(ir.I64, st)
+	b.Ret(res)
+
+	before := runI(t, f, 10)
+	Mem2Reg(f)
+	InstCombine(f, false)
+	mustVerify(t, f)
+	after := runI(t, f, 10)
+	if before != after || after != 45 {
+		t.Errorf("mem2reg changed semantics: before %d after %d", before, after)
+	}
+}
+
+func TestInlineAlwaysInline(t *testing.T) {
+	g := ir.NewFunc("g", ir.I64, ir.I64)
+	gb := ir.NewBuilder(g)
+	gb.Ret(gb.Mul(g.Params[0], ir.Int(ir.I64, 7)))
+	g.AlwaysInline = true
+
+	f := ir.NewFunc("f", ir.I64, ir.I64)
+	fb := ir.NewBuilder(f)
+	c := fb.Call(g, f.Params[0])
+	fb.Ret(fb.Add(c, ir.Int(ir.I64, 1)))
+
+	n := Inline(f)
+	if n != 1 {
+		t.Fatalf("inlined %d, want 1", n)
+	}
+	SimplifyCFG(f)
+	mustVerify(t, f)
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Insts {
+			if in.Op == ir.OpCall {
+				t.Error("call survived inlining")
+			}
+		}
+	}
+	if runI(t, f, 6) != 43 {
+		t.Error("wrong result after inlining")
+	}
+}
+
+func TestInlineBranchyCallee(t *testing.T) {
+	// Callee with control flow and two returns.
+	g := ir.NewFunc("abs", ir.I64, ir.I64)
+	gb := ir.NewBuilder(g)
+	neg := g.NewBlock("neg")
+	pos := g.NewBlock("pos")
+	gb.CondBr(gb.ICmp(ir.PredSLT, g.Params[0], ir.Int(ir.I64, 0)), neg, pos)
+	gb.SetBlock(neg)
+	gb.Ret(gb.Sub(ir.Int(ir.I64, 0), g.Params[0]))
+	gb.SetBlock(pos)
+	gb.Ret(g.Params[0])
+
+	f := ir.NewFunc("f", ir.I64, ir.I64)
+	fb := ir.NewBuilder(f)
+	c := fb.Call(g, f.Params[0])
+	fb.Ret(c)
+	if Inline(f) != 1 {
+		t.Fatal("not inlined")
+	}
+	mustVerify(t, f)
+	if runI(t, f, ^uint64(41)) != 42 { // abs(-42)
+		t.Error("wrong result")
+	}
+	if runI(t, f, 17) != 17 {
+		t.Error("wrong result")
+	}
+}
+
+func TestUnrollConstantTrip(t *testing.T) {
+	f := buildSumLoop(ir.Int(ir.I64, 5))
+	mustVerify(t, f)
+	n := Unroll(f, 64, 4096)
+	if n != 1 {
+		t.Fatalf("unrolled %d loops, want 1:\n%s", n, ir.FormatFunc(f))
+	}
+	mustVerify(t, f)
+	InstCombine(f, false)
+	SimplifyCFG(f)
+	DCE(f)
+	if runI(t, f, 0) != 10 {
+		t.Errorf("sum(5) wrong: %d", runI(t, f, 0))
+	}
+	// After full unrolling and folding the function should be a constant
+	// return with no branches.
+	if len(f.Blocks) != 1 {
+		t.Errorf("expected straight-line code, got %d blocks:\n%s", len(f.Blocks), ir.FormatFunc(f))
+	}
+}
+
+func TestUnrollVariableTripNotUnrolled(t *testing.T) {
+	f := buildSumLoop(nil) // bound is a parameter
+	if n := Unroll(f, 64, 4096); n != 0 {
+		t.Errorf("variable trip count must not unroll (got %d)", n)
+	}
+	mustVerify(t, f)
+	if runI(t, f, 7) != 21 {
+		t.Error("semantics broken")
+	}
+}
+
+func TestFixParam(t *testing.T) {
+	m := &ir.Module{}
+	f := buildSumLoop(nil)
+	m.AddFunc(f)
+	w, err := FixParam(m, f, 0, ir.Int(ir.I64, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Optimize(w, O3())
+	mustVerify(t, w)
+	if st.Inlined < 1 {
+		t.Error("wrapper must inline the original")
+	}
+	if runI(t, w) != 15 {
+		t.Errorf("sum_fix() = %d, want 15", runI(t, w))
+	}
+	// The whole computation folds to a constant return.
+	if w.NumInsts() != 1 {
+		t.Errorf("specialized function should be a single ret:\n%s", ir.FormatFunc(w))
+	}
+}
+
+func TestGlobalizeConstMem(t *testing.T) {
+	mem := emu.NewMemory(0x100000)
+	tbl := mem.Alloc(32, 16, "tbl")
+	mem.WriteU(tbl.Start, 8, 100)
+	mem.WriteU(tbl.Start+8, 8, 23)
+
+	m := &ir.Module{}
+	f := ir.NewFunc("f", ir.I64)
+	m.AddFunc(f)
+	b := ir.NewBuilder(f)
+	p := b.IntToPtr(ir.Int(ir.I64, tbl.Start), ir.PtrTo(ir.I64))
+	v0 := b.Load(ir.I64, p)
+	p1 := b.GEP(ir.I64, p, ir.Int(ir.I64, 1))
+	v1 := b.Load(ir.I64, p1)
+	b.Ret(b.Add(v0, v1))
+
+	n, err := GlobalizeConstMem(m, f, mem, []ConstRange{{Start: tbl.Start, Size: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("folded %d loads, want 2:\n%s", n, ir.FormatFunc(f))
+	}
+	InstCombine(f, false)
+	if runI(t, f) != 123 {
+		t.Error("wrong folded value")
+	}
+	if f.NumInsts() != 1 {
+		t.Errorf("expected constant return:\n%s", ir.FormatFunc(f))
+	}
+}
+
+// buildAxpyLoop builds for(i=0;i<n;i++) out[i] = a*in[i] + in[i+1].
+func buildAxpyLoop() *ir.Func {
+	f := ir.NewFunc("axpy", ir.Void, ir.PtrTo(ir.I8), ir.PtrTo(ir.I8), ir.I64, ir.Double)
+	b := ir.NewBuilder(f)
+	entry := b.Cur
+	loop := f.NewBlock("loop")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	b.Br(loop)
+	b.SetBlock(loop)
+	i := b.Phi(ir.I64)
+	c := b.ICmp(ir.PredSLT, i, f.Params[2])
+	b.CondBr(c, body, exit)
+	b.SetBlock(body)
+	inp := b.Bitcast(f.Params[0], ir.PtrTo(ir.Double))
+	outp := b.Bitcast(f.Params[1], ir.PtrTo(ir.Double))
+	l0 := b.Load(ir.Double, b.GEP(ir.Double, inp, i))
+	i1v := b.Add(i, ir.Int(ir.I64, 1))
+	_ = i1v
+	l1 := b.Load(ir.Double, b.GEP(ir.Double, inp, b.Add(i, ir.Int(ir.I64, 1))))
+	mul := b.FMul(l0, f.Params[3])
+	sum := b.FAdd(mul, l1)
+	b.Store(sum, b.GEP(ir.Double, outp, i))
+	i2 := b.Add(i, ir.Int(ir.I64, 1))
+	b.Br(loop)
+	ir.AddIncoming(i, ir.Int(ir.I64, 0), entry)
+	ir.AddIncoming(i, i2, body)
+	b.SetBlock(exit)
+	b.Ret(nil)
+	return f
+}
+
+func runAxpy(t *testing.T, f *ir.Func, n int) []float64 {
+	t.Helper()
+	mem := emu.NewMemory(0x100000)
+	in := mem.Alloc((n+2)*8, 16, "in")
+	out := mem.Alloc(n*8, 16, "out")
+	for k := 0; k <= n; k++ {
+		mem.WriteFloat64(in.Start+uint64(8*k), float64(k)+0.5)
+	}
+	ip := ir.NewInterp(mem)
+	_, err := ip.CallFunc(f, []ir.RV{{Lo: in.Start}, {Lo: out.Start}, {Lo: uint64(n)}, ir.RVFloat(3)})
+	if err != nil {
+		t.Fatalf("interp: %v\n%s", err, ir.FormatFunc(f))
+	}
+	res := make([]float64, n)
+	for k := 0; k < n; k++ {
+		res[k], _ = mem.ReadFloat64(out.Start + uint64(8*k))
+	}
+	return res
+}
+
+func TestVectorizeForced(t *testing.T) {
+	f := buildAxpyLoop()
+	mustVerify(t, f)
+	want := runAxpy(t, f, 9) // odd count exercises the remainder loop
+
+	cfg := O3()
+	cfg.ForceVectorWidth = 2
+	n := Vectorize(f, cfg)
+	if n != 1 {
+		t.Fatalf("vectorized %d loops, want 1:\n%s", n, ir.FormatFunc(f))
+	}
+	mustVerify(t, f)
+	got := runAxpy(t, f, 9)
+	for k := range want {
+		if got[k] != want[k] {
+			t.Errorf("out[%d] = %g, want %g", k, got[k], want[k])
+		}
+	}
+	out := ir.FormatFunc(f)
+	if !strings.Contains(out, "<2 x double>") {
+		t.Errorf("no vector ops generated:\n%s", out)
+	}
+}
+
+func TestVectorizeNotForcedDeclines(t *testing.T) {
+	// Matching the paper: without the force flag the pass declines.
+	f := buildAxpyLoop()
+	if n := Vectorize(f, O3()); n != 0 {
+		t.Errorf("cost model must decline without force flag (got %d)", n)
+	}
+}
+
+func TestOptimizePipelineOnLoop(t *testing.T) {
+	f := buildSumLoop(nil)
+	before := runI(t, f, 20)
+	Optimize(f, O3())
+	mustVerify(t, f)
+	if after := runI(t, f, 20); after != before {
+		t.Errorf("O3 changed semantics: %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,131 @@
+package opt
+
+import "repro/internal/ir"
+
+// Config controls the optimization pipeline, mirroring the paper's setup:
+// the standard pipeline at level 3 with optional floating-point
+// optimizations (-ffast-math) and an optional forced vectorization width
+// (the -force-vector-width=2 experiment of Section VI-B).
+type Config struct {
+	// Level is the optimization level; 0 disables everything except CFG
+	// cleanup. The paper always uses 3.
+	Level int
+	// FastMath enables FP reassociation and identity folding.
+	FastMath bool
+	// ForceVectorWidth, when 2, vectorizes eligible innermost loops even
+	// though the cost model considers it non-beneficial for lifted code.
+	ForceVectorWidth int
+	// MaxUnrollTrip bounds full loop unrolling.
+	MaxUnrollTrip int
+	// MaxUnrollClone bounds total instructions created by unrolling.
+	MaxUnrollClone int
+
+	// Per-pass disable switches for the "which passes are essential" study
+	// the paper's conclusion motivates (Section VIII).
+	NoCSE         bool
+	NoInline      bool
+	NoUnroll      bool
+	NoMem2Reg     bool
+	NoSimplify    bool
+	NoInstCombine bool
+}
+
+// O3 returns the configuration used throughout the paper's evaluation.
+func O3() Config {
+	return Config{Level: 3, FastMath: true, MaxUnrollTrip: 256, MaxUnrollClone: 8192}
+}
+
+// Stats reports what the pipeline did.
+type Stats struct {
+	Inlined     int
+	Unrolled    int
+	Vectorized  int
+	InstsBefore int
+	InstsAfter  int
+}
+
+// Optimize runs the pipeline on one function. It is idempotent and safe to
+// run repeatedly.
+func Optimize(f *ir.Func, cfg Config) Stats {
+	st := Stats{InstsBefore: f.NumInsts()}
+	if cfg.MaxUnrollTrip == 0 {
+		cfg.MaxUnrollTrip = 256
+	}
+	if cfg.MaxUnrollClone == 0 {
+		cfg.MaxUnrollClone = 8192
+	}
+
+	if cfg.Level == 0 {
+		SimplifyCFG(f)
+		st.InstsAfter = f.NumInsts()
+		return st
+	}
+
+	// Early cleanup: fold the facet-model noise before anything else.
+	round := func() {
+		if !cfg.NoSimplify {
+			SimplifyCFG(f)
+		}
+		if !cfg.NoInstCombine {
+			InstCombine(f, cfg.FastMath)
+		}
+		DCE(f)
+		if !cfg.NoCSE {
+			CSE(f)
+		}
+		if !cfg.NoSimplify {
+			SimplifyCFG(f)
+		}
+	}
+	round()
+
+	if !cfg.NoInline {
+		st.Inlined += Inline(f)
+	}
+	round()
+
+	if !cfg.NoMem2Reg {
+		Mem2Reg(f)
+	}
+	round()
+
+	if !cfg.NoUnroll {
+		st.Unrolled += Unroll(f, cfg.MaxUnrollTrip, cfg.MaxUnrollClone)
+	}
+	round()
+
+	// A second inline/unroll round catches loops exposed by folding.
+	if !cfg.NoInline {
+		st.Inlined += Inline(f)
+	}
+	if !cfg.NoUnroll {
+		st.Unrolled += Unroll(f, cfg.MaxUnrollTrip, cfg.MaxUnrollClone)
+	}
+	round()
+
+	if cfg.ForceVectorWidth == 2 {
+		st.Vectorized += Vectorize(f, cfg)
+		round()
+	}
+
+	round()
+	st.InstsAfter = f.NumInsts()
+	return st
+}
+
+// OptimizeModule optimizes every defined function in the module.
+func OptimizeModule(m *ir.Module, cfg Config) Stats {
+	var total Stats
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 {
+			continue
+		}
+		s := Optimize(f, cfg)
+		total.Inlined += s.Inlined
+		total.Unrolled += s.Unrolled
+		total.Vectorized += s.Vectorized
+		total.InstsBefore += s.InstsBefore
+		total.InstsAfter += s.InstsAfter
+	}
+	return total
+}

@@ -1,0 +1,209 @@
+package opt
+
+import "repro/internal/ir"
+
+// SimplifyCFG performs control-flow cleanups: constant conditional branches
+// become unconditional, blocks are merged with their unique successor when
+// it has no other predecessors, empty forwarding blocks are removed, and
+// unreachable blocks are deleted. Returns the number of changes.
+func SimplifyCFG(f *ir.Func) int {
+	changed := 0
+	for {
+		n := simplifyOnce(f)
+		changed += n
+		if n == 0 {
+			return changed
+		}
+	}
+}
+
+func simplifyOnce(f *ir.Func) int {
+	n := 0
+
+	// 1. Fold constant conditional branches.
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		var taken, dead *ir.Block
+		if c, ok := constOf(t.Args[0]); ok {
+			if c.V&1 != 0 {
+				taken, dead = t.Blocks[0], t.Blocks[1]
+			} else {
+				taken, dead = t.Blocks[1], t.Blocks[0]
+			}
+		} else if t.Blocks[0] == t.Blocks[1] {
+			taken, dead = t.Blocks[0], nil
+		}
+		if taken == nil {
+			continue
+		}
+		*t = ir.Inst{Op: ir.OpBr, Ty: ir.Void, Blocks: []*ir.Block{taken}, Parent: b}
+		if dead != nil && dead != taken {
+			removePhiEdge(dead, b)
+		}
+		n++
+	}
+
+	n += RemoveUnreachable(f)
+
+	// 2. Merge a block into its unique predecessor when that predecessor
+	// jumps straight to it.
+	preds := f.Preds()
+	for _, b := range f.Blocks {
+		if b == f.Blocks[0] {
+			continue
+		}
+		ps := preds[b]
+		if len(ps) != 1 {
+			continue
+		}
+		p := ps[0]
+		if p == b {
+			continue
+		}
+		t := p.Term()
+		if t == nil || t.Op != ir.OpBr || t.Blocks[0] != b {
+			continue
+		}
+		// Fold single-incoming phis, then splice instructions.
+		repl := make(map[ir.Value]ir.Value)
+		rest := b.Insts
+		for len(rest) > 0 && rest[0].Op == ir.OpPhi {
+			phi := rest[0]
+			if len(phi.Args) != 1 {
+				break
+			}
+			repl[phi] = phi.Args[0]
+			rest = rest[1:]
+		}
+		if len(rest) > 0 && rest[0].Op == ir.OpPhi {
+			continue // unexpected multi-incoming phi with one pred; skip
+		}
+		p.Insts = p.Insts[:len(p.Insts)-1] // drop the br
+		for _, in := range rest {
+			in.Parent = p
+			p.Insts = append(p.Insts, in)
+		}
+		// Successors of b now flow from p: update their phi incoming.
+		for _, s := range b.Succs() {
+			for _, in := range s.Insts {
+				if in.Op != ir.OpPhi {
+					break
+				}
+				for i, inc := range in.Incoming {
+					if inc == b {
+						in.Incoming[i] = p
+					}
+				}
+			}
+		}
+		b.Insts = nil
+		replaceAll(f, repl)
+		RemoveUnreachable(f)
+		return n + 1 // CFG changed structurally; restart
+	}
+
+	// 3. Remove empty forwarding blocks (just "br X") when no phi conflicts
+	// arise in the destination.
+	for _, b := range f.Blocks {
+		if b == f.Blocks[0] || len(b.Insts) != 1 {
+			continue
+		}
+		t := b.Term()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		dst := t.Blocks[0]
+		if dst == b {
+			continue
+		}
+		ps := preds[b]
+		if len(ps) == 0 {
+			continue
+		}
+		// The destination's phis must be mergeable: for each phi, the value
+		// flowing from b is retargeted to come from each pred of b. If a
+		// pred already reaches dst directly with a different value, skip.
+		conflict := false
+		for _, in := range dst.Insts {
+			if in.Op != ir.OpPhi {
+				break
+			}
+			var viaB ir.Value
+			direct := make(map[*ir.Block]ir.Value)
+			for i, inc := range in.Incoming {
+				if inc == b {
+					viaB = in.Args[i]
+				} else {
+					direct[inc] = in.Args[i]
+				}
+			}
+			for _, p := range ps {
+				if v, ok := direct[p]; ok && !sameValue(v, viaB) {
+					conflict = true
+				}
+			}
+			// A phi in dst must not reference a phi defined in b (none: b is empty).
+		}
+		if conflict {
+			continue
+		}
+		// Retarget branches from preds of b to dst, updating dst's phis.
+		for _, in := range dst.Insts {
+			if in.Op != ir.OpPhi {
+				break
+			}
+			var viaB ir.Value
+			for i, inc := range in.Incoming {
+				if inc == b {
+					viaB = in.Args[i]
+					in.Args = append(in.Args[:i], in.Args[i+1:]...)
+					in.Incoming = append(in.Incoming[:i], in.Incoming[i+1:]...)
+					break
+				}
+			}
+			for _, p := range ps {
+				already := false
+				for _, inc := range in.Incoming {
+					if inc == p {
+						already = true
+						break
+					}
+				}
+				if !already {
+					ir.AddIncoming(in, viaB, p)
+				}
+			}
+		}
+		for _, p := range ps {
+			pt := p.Term()
+			for i, s := range pt.Blocks {
+				if s == b {
+					pt.Blocks[i] = dst
+				}
+			}
+		}
+		RemoveUnreachable(f)
+		return n + 1
+	}
+
+	return n
+}
+
+// removePhiEdge deletes the incoming entry from pred in every phi of b.
+func removePhiEdge(b *ir.Block, pred *ir.Block) {
+	for _, in := range b.Insts {
+		if in.Op != ir.OpPhi {
+			break
+		}
+		for i, inc := range in.Incoming {
+			if inc == pred {
+				in.Args = append(in.Args[:i], in.Args[i+1:]...)
+				in.Incoming = append(in.Incoming[:i], in.Incoming[i+1:]...)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,414 @@
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Unroll fully unrolls counted loops whose trip count becomes a compile-time
+// constant — the effect parameter fixation relies on: once the stencil size
+// is a constant, the loop over stencil points unrolls completely. Loops are
+// recognized in the two canonical shapes the lifter and SimplifyCFG produce
+// (a self-looping block, or a header plus one latch block), and the trip
+// count is derived by abstract execution of the loop-carried constants.
+//
+// maxTrip bounds the trip count and maxClone the total cloned instructions.
+// Returns the number of loops unrolled.
+func Unroll(f *ir.Func, maxTrip, maxClone int) int {
+	count := 0
+	for iter := 0; iter < 8; iter++ {
+		loop := findLoop(f)
+		if loop == nil {
+			return count
+		}
+		if !unrollLoop(f, loop, maxTrip, maxClone) {
+			return count
+		}
+		count++
+		SimplifyCFG(f)
+		InstCombine(f, false)
+	}
+	return count
+}
+
+type loopInfo struct {
+	header *ir.Block // block with the condbr and the phis
+	body   *ir.Block // latch (may equal header for self-loops)
+	// exit is the condbr successor outside the loop; intoBody reports
+	// whether Blocks[0] of the condbr is the in-loop target.
+	exit     *ir.Block
+	intoBody bool
+}
+
+// markers to avoid retrying failed candidates within one Unroll call would
+// require block metadata; instead findLoop returns the first candidate and
+// unrollLoop failure terminates the scan (see Unroll).
+
+func findLoop(f *ir.Func) *loopInfo { return findLoopExcept(f, nil) }
+
+// findLoopExcept returns the first candidate loop whose header is not in
+// skip.
+func findLoopExcept(f *ir.Func, skip map[*ir.Block]bool) *loopInfo {
+	preds := f.Preds()
+	for _, h := range f.Blocks {
+		if skip[h] {
+			continue
+		}
+		t := h.Term()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		// Self loop: condbr targets h itself.
+		if t.Blocks[0] == h || t.Blocks[1] == h {
+			into := t.Blocks[0] == h
+			exit := t.Blocks[1]
+			if !into {
+				exit = t.Blocks[0]
+			}
+			if exit == h {
+				continue
+			}
+			return &loopInfo{header: h, body: h, exit: exit, intoBody: into}
+		}
+		// Two-block loop: condbr to B, B ends with br h, B's unique pred is h.
+		for k, b := range t.Blocks {
+			bt := b.Term()
+			if bt == nil || bt.Op != ir.OpBr || bt.Blocks[0] != h {
+				continue
+			}
+			if len(preds[b]) != 1 {
+				continue
+			}
+			if hasPhis(b) {
+				continue
+			}
+			exit := t.Blocks[1-k]
+			if exit == h || exit == b {
+				continue
+			}
+			return &loopInfo{header: h, body: b, exit: exit, intoBody: k == 0}
+		}
+	}
+	return nil
+}
+
+func hasPhis(b *ir.Block) bool {
+	return len(b.Insts) > 0 && b.Insts[0].Op == ir.OpPhi
+}
+
+// unrollLoop simulates the loop-carried constant state to find the trip
+// count, then splices the fully unrolled straight-line body.
+func unrollLoop(f *ir.Func, L *loopInfo, maxTrip, maxClone int) bool {
+	h, body := L.header, L.body
+	phis := h.Phis()
+	if len(phis) == 0 {
+		return false
+	}
+	preds := f.Preds()
+
+	// Identify the latch and entry incoming edges for every phi.
+	latch := body
+	var entryPreds []*ir.Block
+	for _, p := range preds[h] {
+		if p != latch {
+			entryPreds = append(entryPreds, p)
+		}
+	}
+	if len(entryPreds) != 1 {
+		return false // multiple loop entries: not handled
+	}
+	entryPred := entryPreds[0]
+
+	type phiEdges struct {
+		phi          *ir.Inst
+		init, latchV ir.Value
+	}
+	var edges []phiEdges
+	for _, phi := range phis {
+		var e phiEdges
+		e.phi = phi
+		for i, inc := range phi.Incoming {
+			switch inc {
+			case latch:
+				e.latchV = phi.Args[i]
+			case entryPred:
+				e.init = phi.Args[i]
+			default:
+				return false
+			}
+		}
+		if e.init == nil || e.latchV == nil {
+			return false
+		}
+		edges = append(edges, e)
+	}
+
+	// Abstract execution: track constant values of the loop-carried state.
+	// Phis with non-constant initial values (pointers) or non-constant
+	// recurrences (FP accumulators) stay symbolic; they are cloned per
+	// iteration but cannot feed the trip condition. The demoted set is
+	// discovered iteratively: a simulation restart demotes any tracked phi
+	// whose latch value stops being constant.
+	demoted := make(map[*ir.Inst]bool)
+	cond := h.Term().Args[0]
+
+	var env map[ir.Value]ir.Value
+	var tracked map[*ir.Inst]bool
+
+	evalBlock := func(b *ir.Block) bool {
+		for _, in := range b.Insts {
+			if in.Op == ir.OpPhi || in.IsTerminator() {
+				continue
+			}
+			if hasSideEffects(in) || in.Op == ir.OpLoad {
+				continue // not needed unless the condition depends on it
+			}
+			shadow := *in
+			shadow.Args = make([]ir.Value, len(in.Args))
+			allConst := true
+			for i, a := range in.Args {
+				if c, ok := env[a]; ok {
+					shadow.Args[i] = c
+				} else if c, ok := asConst(a); ok {
+					shadow.Args[i] = c
+				} else if c, ok := staticPtrConst(a); ok {
+					shadow.Args[i] = c
+				} else {
+					allConst = false
+					break
+				}
+			}
+			if !allConst {
+				continue
+			}
+			// Pointer arithmetic is evaluated abstractly: addresses are
+			// plain i64 constants here.
+			switch in.Op {
+			case ir.OpGEP:
+				base, ok0 := constOf(shadow.Args[0])
+				idx, ok1 := constOf(shadow.Args[1])
+				if ok0 && ok1 {
+					env[in] = ir.Int(ir.I64, base.V+uint64(int64(idx.V)*int64(in.ElemTy.Size())))
+				}
+				continue
+			case ir.OpIntToPtr, ir.OpPtrToInt, ir.OpBitcast:
+				if c, ok := constOf(shadow.Args[0]); ok {
+					env[in] = ir.Int(ir.I64, c.V)
+				}
+				continue
+			}
+			if v := foldConst(&shadow); v != nil {
+				env[in] = v
+			}
+		}
+		return true
+	}
+
+	trip := 0
+restart:
+	env = make(map[ir.Value]ir.Value)
+	tracked = make(map[*ir.Inst]bool)
+	for _, e := range edges {
+		if demoted[e.phi] {
+			continue
+		}
+		if c, ok := asConst(e.init); ok {
+			env[e.phi] = c
+			tracked[e.phi] = true
+		} else if c, ok := staticPtrConst(e.init); ok {
+			env[e.phi] = c
+			tracked[e.phi] = true
+		}
+	}
+	if len(tracked) == 0 {
+		return false
+	}
+	trip = 0
+	for {
+		if trip > maxTrip {
+			return false
+		}
+		evalBlock(h)
+		cv, ok := env[cond]
+		if !ok {
+			if c, isC := asConst(cond); isC {
+				cv = c
+			} else {
+				return false
+			}
+		}
+		ci, ok := constOf(cv)
+		if !ok {
+			return false
+		}
+		stay := ci.V&1 != 0
+		if !L.intoBody {
+			stay = !stay
+		}
+		if !stay {
+			break
+		}
+		if body != h {
+			evalBlock(body)
+		}
+		// Advance phis: a tracked phi whose latch value is no longer
+		// constant is demoted to symbolic and the simulation restarts.
+		next := make(map[ir.Value]ir.Value)
+		for _, e := range edges {
+			if !tracked[e.phi] {
+				continue
+			}
+			c, ok := env[e.latchV]
+			if !ok {
+				if cc, isC := asConst(e.latchV); isC {
+					c = cc
+				} else {
+					if len(demoted) > len(edges) {
+						return false // defensive: cannot happen
+					}
+					demoted[e.phi] = true
+					goto restart
+				}
+			}
+			next[e.phi] = c
+		}
+		// Reset per-iteration values, keep only phi state.
+		env = next
+		trip++
+	}
+
+	// Clone budget.
+	bodySize := len(h.Insts) + len(body.Insts)
+	if bodySize*(trip+1) > maxClone {
+		return false
+	}
+
+	// Build the unrolled straight-line block.
+	nb := f.NewBlock(fmt.Sprintf("unroll.%s", h.Nam))
+	state := make(map[ir.Value]ir.Value) // phi -> value of current iteration
+	for _, e := range edges {
+		state[e.phi] = e.init
+	}
+	cloneNames := 0
+	cloneBlock := func(b *ir.Block, vmap map[ir.Value]ir.Value) {
+		for _, in := range b.Insts {
+			if in.Op == ir.OpPhi || in.IsTerminator() {
+				continue
+			}
+			cp := *in
+			cp.Parent = nb
+			cp.Args = make([]ir.Value, len(in.Args))
+			for i, a := range in.Args {
+				if v, ok := vmap[a]; ok {
+					cp.Args[i] = v
+				} else {
+					cp.Args[i] = a
+				}
+			}
+			cloneNames++
+			if cp.Nam != "" {
+				cp.Nam = fmt.Sprintf("u%d.%s", cloneNames, in.Nam)
+			}
+			vmap[in] = &cp
+			nb.Insts = append(nb.Insts, &cp)
+		}
+	}
+
+	vmap := make(map[ir.Value]ir.Value)
+	for it := 0; it < trip; it++ {
+		vmap = make(map[ir.Value]ir.Value)
+		for _, e := range edges {
+			vmap[e.phi] = state[e.phi]
+		}
+		cloneBlock(h, vmap)
+		if body != h {
+			cloneBlock(body, vmap)
+		}
+		for _, e := range edges {
+			if v, ok := vmap[e.latchV]; ok {
+				state[e.phi] = v
+			} else {
+				state[e.phi] = e.latchV
+			}
+		}
+	}
+	// Final header evaluation (the exiting check side effects: loads in the
+	// header execute once more).
+	finalMap := make(map[ir.Value]ir.Value)
+	for _, e := range edges {
+		finalMap[e.phi] = state[e.phi]
+	}
+	cloneBlock(h, finalMap)
+	nb.Insts = append(nb.Insts, &ir.Inst{Op: ir.OpBr, Ty: ir.Void,
+		Blocks: []*ir.Block{L.exit}, Parent: nb})
+
+	// Retarget the loop entry edge.
+	et := entryPred.Term()
+	for i, s := range et.Blocks {
+		if s == h {
+			et.Blocks[i] = nb
+		}
+	}
+	// Exit phis: the incoming from h now comes from nb with final values.
+	for _, in := range L.exit.Insts {
+		if in.Op != ir.OpPhi {
+			break
+		}
+		for i, inc := range in.Incoming {
+			if inc == h {
+				in.Incoming[i] = nb
+				if v, ok := finalMap[in.Args[i]]; ok {
+					in.Args[i] = v
+				}
+			}
+		}
+	}
+	// Any remaining external uses of loop-defined values get the final
+	// iteration's clones.
+	replaceAll(f, finalMap)
+	RemoveUnreachable(f)
+	return true
+}
+
+func asConst(v ir.Value) (ir.Value, bool) {
+	switch v.(type) {
+	case *ir.ConstInt, *ir.ConstFloat, *ir.Zero, *ir.Undef:
+		return v, true
+	}
+	return nil, false
+}
+
+// staticPtrConst resolves pointer expressions with link-time-constant
+// addresses (globals, gep/cast chains over them) to i64 constants for the
+// abstract trip-count execution.
+func staticPtrConst(v ir.Value) (ir.Value, bool) {
+	switch x := v.(type) {
+	case *ir.Global:
+		if x.Addr != 0 {
+			return ir.Int(ir.I64, x.Addr), true
+		}
+	case *ir.Inst:
+		switch x.Op {
+		case ir.OpGEP:
+			base, ok := staticPtrConst(x.Args[0])
+			if !ok {
+				return nil, false
+			}
+			c, ok := x.Args[1].(*ir.ConstInt)
+			if !ok {
+				return nil, false
+			}
+			bc := base.(*ir.ConstInt)
+			return ir.Int(ir.I64, bc.V+uint64(int64(c.V)*int64(x.ElemTy.Size()))), true
+		case ir.OpIntToPtr, ir.OpPtrToInt, ir.OpBitcast:
+			if c, ok := x.Args[0].(*ir.ConstInt); ok {
+				return ir.Int(ir.I64, c.V), true
+			}
+			return staticPtrConst(x.Args[0])
+		}
+	case *ir.ConstInt:
+		return x, true
+	}
+	return nil, false
+}

@@ -1,0 +1,144 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// buildPtrBoundLoop builds a loop whose bound is a pointer comparison
+// against a GEP off an addressed global — the shape lifted generic kernels
+// take after IR-level fixation (pointer p walks from @tbl to @tbl+N*16).
+func buildPtrBoundLoop(n int64) *ir.Func {
+	g := &ir.Global{Nam: "tbl", Ty: ir.I8, Addr: 0x5000}
+	f := ir.NewFunc("walk", ir.I64)
+	b := ir.NewBuilder(f)
+	entry := b.Cur
+	loop := f.NewBlock("loop")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+
+	start := b.Bitcast(g, ir.PtrTo(ir.I8))
+	end := b.GEP(ir.I8, g, ir.Int(ir.I64, uint64(16*n)))
+	b.Br(loop)
+
+	b.SetBlock(loop)
+	p := b.Phi(ir.PtrTo(ir.I8))
+	acc := b.Phi(ir.I64)
+	cmp := b.ICmp(ir.PredNE, b.PtrToInt(p, ir.I64), b.PtrToInt(end, ir.I64))
+	b.CondBr(cmp, body, exit)
+
+	b.SetBlock(body)
+	acc2 := b.Add(acc, ir.Int(ir.I64, 3))
+	p2 := b.GEP(ir.I8, p, ir.Int(ir.I64, 16))
+	b.Br(loop)
+
+	ir.AddIncoming(p, start, entry)
+	ir.AddIncoming(p, p2, body)
+	ir.AddIncoming(acc, ir.Int(ir.I64, 0), entry)
+	ir.AddIncoming(acc, acc2, body)
+
+	b.SetBlock(exit)
+	b.Ret(acc)
+	return f
+}
+
+// TestUnrollPointerBoundLoop: full unrolling must handle pointer-compare
+// trip counts via static pointer evaluation (staticPtrConst), leaving a
+// straight-line function.
+func TestUnrollPointerBoundLoop(t *testing.T) {
+	f := buildPtrBoundLoop(5)
+	st := Optimize(f, O3())
+	mustVerify(t, f)
+	if st.Unrolled == 0 {
+		t.Fatalf("pointer-bound loop did not unroll:\n%s", ir.FormatFunc(f))
+	}
+	if got := runI(t, f); got != 15 {
+		t.Errorf("walk() = %d, want 15", got)
+	}
+	if len(f.Blocks) != 1 {
+		t.Errorf("expected straight-line result, got %d blocks", len(f.Blocks))
+	}
+}
+
+// TestStaticPtrConstChains: direct unit coverage of the resolver over
+// global/gep/cast chains.
+func TestStaticPtrConstChains(t *testing.T) {
+	g := &ir.Global{Nam: "g", Ty: ir.I8, Addr: 0x2000}
+	f := ir.NewFunc("x", ir.Void)
+	b := ir.NewBuilder(f)
+
+	if c, ok := staticPtrConst(g); !ok || c.(*ir.ConstInt).V != 0x2000 {
+		t.Error("bare addressed global")
+	}
+	gep := b.GEP(ir.I64, g, ir.Int(ir.I64, 3)) // +24
+	if c, ok := staticPtrConst(gep); !ok || c.(*ir.ConstInt).V != 0x2018 {
+		t.Error("gep over global")
+	}
+	cast := b.Bitcast(gep, ir.PtrTo(ir.I8))
+	gep2 := b.GEP(ir.I8, cast, ir.Int(ir.I64, 8))
+	if c, ok := staticPtrConst(gep2); !ok || c.(*ir.ConstInt).V != 0x2020 {
+		t.Error("gep over bitcast over gep")
+	}
+	p2i := b.PtrToInt(gep2, ir.I64)
+	if c, ok := staticPtrConst(p2i); !ok || c.(*ir.ConstInt).V != 0x2020 {
+		t.Error("ptrtoint chain")
+	}
+	unaddressed := &ir.Global{Nam: "u", Ty: ir.I8}
+	if _, ok := staticPtrConst(unaddressed); ok {
+		t.Error("global without address must not resolve")
+	}
+}
+
+// TestUnrollTwoSequentialLoops: both loops of a two-loop function unroll
+// (findLoopExcept must locate the second loop after the first is gone).
+func TestUnrollTwoSequentialLoops(t *testing.T) {
+	f := ir.NewFunc("two", ir.I64)
+	b := ir.NewBuilder(f)
+	entry := b.Cur
+	l1, b1 := f.NewBlock("l1"), f.NewBlock("b1")
+	mid := f.NewBlock("mid")
+	l2, b2 := f.NewBlock("l2"), f.NewBlock("b2")
+	exit := f.NewBlock("exit")
+
+	b.Br(l1)
+	b.SetBlock(l1)
+	i1 := b.Phi(ir.I64)
+	s1 := b.Phi(ir.I64)
+	b.CondBr(b.ICmp(ir.PredSLT, i1, ir.Int(ir.I64, 4)), b1, mid)
+	b.SetBlock(b1)
+	s1n := b.Add(s1, ir.Int(ir.I64, 10))
+	i1n := b.Add(i1, ir.Int(ir.I64, 1))
+	b.Br(l1)
+	ir.AddIncoming(i1, ir.Int(ir.I64, 0), entry)
+	ir.AddIncoming(i1, i1n, b1)
+	ir.AddIncoming(s1, ir.Int(ir.I64, 0), entry)
+	ir.AddIncoming(s1, s1n, b1)
+
+	b.SetBlock(mid)
+	b.Br(l2)
+	b.SetBlock(l2)
+	i2 := b.Phi(ir.I64)
+	s2 := b.Phi(ir.I64)
+	b.CondBr(b.ICmp(ir.PredSLT, i2, ir.Int(ir.I64, 3)), b2, exit)
+	b.SetBlock(b2)
+	s2n := b.Add(s2, ir.Int(ir.I64, 100))
+	i2n := b.Add(i2, ir.Int(ir.I64, 1))
+	b.Br(l2)
+	ir.AddIncoming(i2, ir.Int(ir.I64, 0), mid)
+	ir.AddIncoming(i2, i2n, b2)
+	ir.AddIncoming(s2, s1, mid)
+	ir.AddIncoming(s2, s2n, b2)
+
+	b.SetBlock(exit)
+	b.Ret(s2)
+
+	st := Optimize(f, O3())
+	mustVerify(t, f)
+	if st.Unrolled < 2 {
+		t.Errorf("both loops should unroll, got %d:\n%s", st.Unrolled, ir.FormatFunc(f))
+	}
+	if got := runI(t, f); got != 340 {
+		t.Errorf("two() = %d, want 340 (4*10 + 3*100)", got)
+	}
+}

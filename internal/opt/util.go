@@ -1,0 +1,226 @@
+// Package opt implements the optimization pipeline applied to lifted IR,
+// standing in for LLVM's -O3 passes in the paper's Figure 1: constant
+// propagation and folding, dead code elimination, instruction combining,
+// common subexpression elimination with store-to-load forwarding, stack-slot
+// promotion (SROA + mem2reg), function inlining, full loop unrolling, an
+// optional loop vectorizer with a cost model, and the specialization helpers
+// of Section IV (parameter fixation and constant-memory globalization).
+package opt
+
+import (
+	"repro/internal/ir"
+)
+
+// replaceAll rewrites every operand of every instruction according to repl,
+// following replacement chains to a fixed point.
+func replaceAll(f *ir.Func, repl map[ir.Value]ir.Value) {
+	if len(repl) == 0 {
+		return
+	}
+	resolve := func(v ir.Value) ir.Value {
+		seen := 0
+		for {
+			n, ok := repl[v]
+			if !ok {
+				return v
+			}
+			v = n
+			seen++
+			if seen > len(repl)+1 {
+				return v // defensive: break replacement cycles
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			for i, a := range in.Args {
+				in.Args[i] = resolve(a)
+			}
+		}
+	}
+}
+
+// postorder returns the blocks reachable from entry in postorder.
+func postorder(f *ir.Func) []*ir.Block {
+	var out []*ir.Block
+	seen := make(map[*ir.Block]bool)
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs() {
+			walk(s)
+		}
+		out = append(out, b)
+	}
+	if len(f.Blocks) > 0 {
+		walk(f.Blocks[0])
+	}
+	return out
+}
+
+// ReversePostorder returns reachable blocks in reverse postorder.
+func ReversePostorder(f *ir.Func) []*ir.Block {
+	po := postorder(f)
+	for i, j := 0, len(po)-1; i < j; i, j = i+1, j-1 {
+		po[i], po[j] = po[j], po[i]
+	}
+	return po
+}
+
+// Dominators computes the immediate dominator of every reachable block using
+// the Cooper/Harvey/Kennedy iterative algorithm.
+func Dominators(f *ir.Func) map[*ir.Block]*ir.Block {
+	rpo := ReversePostorder(f)
+	index := make(map[*ir.Block]int, len(rpo))
+	for i, b := range rpo {
+		index[b] = i
+	}
+	preds := f.Preds()
+	idom := make(map[*ir.Block]*ir.Block, len(rpo))
+	entry := f.Blocks[0]
+	idom[entry] = entry
+
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range preds[b] {
+				if idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under the given idom tree.
+func Dominates(idom map[*ir.Block]*ir.Block, a, b *ir.Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		d := idom[b]
+		if d == nil || d == b {
+			return false
+		}
+		b = d
+	}
+}
+
+// hasSideEffects reports whether removing the instruction would change
+// program behaviour. Loads are removable (memory operations are
+// non-volatile at the binary level, Section III.E) unless explicitly
+// marked volatile through the lifter's VolatileRanges API.
+func hasSideEffects(in *ir.Inst) bool {
+	switch in.Op {
+	case ir.OpStore, ir.OpCall, ir.OpRet, ir.OpBr, ir.OpCondBr, ir.OpUnreachable:
+		return true
+	case ir.OpLoad:
+		return in.Volatile
+	}
+	return false
+}
+
+// removeMarked deletes instructions whose dead flag was set by a pass.
+func removeMarked(f *ir.Func, dead map[*ir.Inst]bool) int {
+	n := 0
+	for _, b := range f.Blocks {
+		out := b.Insts[:0]
+		for _, in := range b.Insts {
+			if dead[in] {
+				n++
+				continue
+			}
+			out = append(out, in)
+		}
+		b.Insts = out
+	}
+	return n
+}
+
+// valueKey builds a structural identity for pure instructions so CSE/GVN can
+// detect equal computations.
+type valueKey struct {
+	op     ir.Op
+	pred   ir.Pred
+	ty     string
+	a0, a1 interface{}
+	a2     interface{}
+	extra  string
+}
+
+// constKey folds structurally-equal constants to one identity.
+type constKey struct {
+	kind  byte
+	ty    string
+	v, hi uint64
+}
+
+func argKey(v ir.Value) interface{} {
+	switch c := v.(type) {
+	case *ir.ConstInt:
+		return constKey{'i', c.Ty.String(), c.V, c.Hi}
+	case *ir.ConstFloat:
+		return constKey{'f', c.Ty.String(), c.Bits(), 0}
+	case *ir.Undef:
+		return constKey{'u', c.Ty.String(), 0, 0}
+	case *ir.Zero:
+		return constKey{'z', c.Ty.String(), 0, 0}
+	}
+	return v
+}
+
+func keyOf(in *ir.Inst) (valueKey, bool) {
+	switch in.Op {
+	case ir.OpLoad, ir.OpStore, ir.OpCall, ir.OpPhi, ir.OpAlloca,
+		ir.OpRet, ir.OpBr, ir.OpCondBr, ir.OpUnreachable:
+		return valueKey{}, false
+	}
+	k := valueKey{op: in.Op, pred: in.Pred, ty: in.Ty.String()}
+	if len(in.Args) > 0 {
+		k.a0 = argKey(in.Args[0])
+	}
+	if len(in.Args) > 1 {
+		k.a1 = argKey(in.Args[1])
+	}
+	if len(in.Args) > 2 {
+		k.a2 = argKey(in.Args[2])
+	}
+	if in.Op == ir.OpGEP {
+		k.extra = in.ElemTy.String()
+	}
+	if in.Op == ir.OpShuffleVector {
+		for _, m := range in.Mask {
+			k.extra += string(rune('a' + m + 1))
+		}
+	}
+	return k, true
+}

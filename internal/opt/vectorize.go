@@ -1,0 +1,427 @@
+package opt
+
+import (
+	"repro/internal/ir"
+)
+
+// Vectorize implements the forced loop vectorization of Section VI-B. The
+// cost-model decision matches the paper: for lifted code the loop analysis
+// lacks type and alignment metadata, so vectorization is considered
+// non-beneficial and is only performed when ForceVectorWidth is 2 (the
+// -force-vector-width=2 experiment). The transformed loop uses unaligned
+// vector accesses — exactly the property that makes it ~23% slower than
+// GCC's aligned compile-time vectorization on split accesses.
+//
+// Recognized shape: an innermost counted loop whose phis are all affine
+// inductions (one i64 induction stepping by one drives the affine
+// addresses; secondary inductions such as the lifter's pointer twin are
+// advanced in lockstep), whose floating-point work is an element-wise chain
+// of double loads at stride-8 addresses feeding one stride-8 store. The
+// remainder iterations run through the original scalar loop.
+func Vectorize(f *ir.Func, cfg Config) int {
+	if cfg.ForceVectorWidth != 2 {
+		return 0
+	}
+	count := 0
+	done := make(map[*ir.Block]bool)
+	for i := 0; i < 4; i++ {
+		if !vectorizeOne(f, done) {
+			break
+		}
+		count++
+		SimplifyCFG(f)
+		DCE(f)
+	}
+	return count
+}
+
+// affine represents base + scale*iv + off (bytes).
+type affine struct {
+	base  ir.Value
+	scale int64
+	off   int64
+}
+
+// induction is one loop-carried affine recurrence.
+type induction struct {
+	phi   *ir.Inst
+	init  ir.Value
+	step  *ir.Inst // add(phi, c) or gep(phi, c)
+	stepC int64    // byte/unit step per iteration
+}
+
+func vectorizeOne(f *ir.Func, done map[*ir.Block]bool) bool {
+	L := findLoopExcept(f, done)
+	if L == nil {
+		return false
+	}
+	done[L.header] = true
+	h, body := L.header, L.body
+	loopBlocks := map[*ir.Block]bool{h: true, body: true}
+	preds := f.Preds()
+
+	phis := h.Phis()
+	if len(phis) == 0 {
+		return false
+	}
+	var entryPred *ir.Block
+	for _, p := range preds[h] {
+		if p != body {
+			if entryPred != nil {
+				return false
+			}
+			entryPred = p
+		}
+	}
+	if entryPred == nil {
+		return false
+	}
+
+	// Classify every phi as an affine induction.
+	var inds []induction
+	var iv *ir.Inst
+	for _, phi := range phis {
+		var init, latchV ir.Value
+		for i, inc := range phi.Incoming {
+			if inc == entryPred {
+				init = phi.Args[i]
+			} else {
+				latchV = phi.Args[i]
+			}
+		}
+		st, ok := latchV.(*ir.Inst)
+		if !ok || len(st.Args) == 0 || st.Args[0] != ir.Value(phi) {
+			return false
+		}
+		var c int64
+		switch st.Op {
+		case ir.OpAdd:
+			cc, isC := constOf(st.Args[1])
+			if !isC {
+				return false
+			}
+			c = int64(cc.V)
+		case ir.OpGEP:
+			cc, isC := constOf(st.Args[1])
+			if !isC {
+				return false
+			}
+			c = int64(cc.V) * int64(st.ElemTy.Size())
+		default:
+			return false
+		}
+		inds = append(inds, induction{phi: phi, init: init, step: st, stepC: c})
+		if phi.Ty.Equal(ir.I64) && c == 1 && iv == nil {
+			iv = phi
+		}
+	}
+	if iv == nil {
+		return false
+	}
+
+	// Exit condition: an icmp against a loop-invariant bound testing an
+	// induction's current or advanced value. slt keeps its ordering; ult
+	// and the exact-trip ne form use an unsigned guard — the same
+	// counts-up-to-its-bound assumption -force-vector-width makes when it
+	// overrides the cost model.
+	term := h.Term()
+	cond, ok := term.Args[0].(*ir.Inst)
+	if !ok || cond.Op != ir.OpICmp {
+		return false
+	}
+	var condInd *induction
+	for i := range inds {
+		if cond.Args[0] == ir.Value(inds[i].phi) || cond.Args[0] == ir.Value(inds[i].step) {
+			condInd = &inds[i]
+			break
+		}
+	}
+	if condInd == nil || condInd.stepC <= 0 {
+		return false
+	}
+	var guardPred ir.Pred
+	switch cond.Pred {
+	case ir.PredSLT:
+		guardPred = ir.PredSLT
+	case ir.PredULT, ir.PredNE:
+		guardPred = ir.PredULT
+	default:
+		return false
+	}
+	if !L.intoBody {
+		return false // loop continues only on true branch in this shape
+	}
+	bound := cond.Args[1]
+	if inI, isI := bound.(*ir.Inst); isI && loopBlocks[inI.Parent] {
+		return false
+	}
+
+	isInd := func(in *ir.Inst) bool {
+		for i := range inds {
+			if in == inds[i].step || in == inds[i].phi {
+				return true
+			}
+		}
+		return false
+	}
+	isInvariant := func(v ir.Value) bool {
+		if in, isI := v.(*ir.Inst); isI {
+			if isInd(in) {
+				return false
+			}
+			if loopBlocks[in.Parent] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var affineOf func(v ir.Value) (affine, bool)
+	affineOf = func(v ir.Value) (affine, bool) {
+		if isInvariant(v) {
+			return affine{base: v}, true
+		}
+		in, isI := v.(*ir.Inst)
+		if !isI {
+			return affine{}, false
+		}
+		switch in.Op {
+		case ir.OpBitcast:
+			if in.Args[0].Type().IsPtr() {
+				return affineOf(in.Args[0])
+			}
+		case ir.OpGEP:
+			a, ok := affineOf(in.Args[0])
+			if !ok {
+				return affine{}, false
+			}
+			sz := int64(in.ElemTy.Size())
+			idx := in.Args[1]
+			switch {
+			case idx == ir.Value(iv):
+				a.scale += sz
+			default:
+				if c, isC := constOf(idx); isC {
+					a.off += int64(c.V) * sz
+				} else if ai, isI := idx.(*ir.Inst); isI && ai.Op == ir.OpAdd {
+					x, y := ai.Args[0], ai.Args[1]
+					c, isC := constOf(y)
+					if !isC || x != ir.Value(iv) {
+						return affine{}, false
+					}
+					a.scale += sz
+					a.off += int64(c.V) * sz
+				} else {
+					return affine{}, false
+				}
+			}
+			return a, true
+		}
+		return affine{}, false
+	}
+
+	// Classify the loop body. Collect the FP chain.
+	type memAcc struct {
+		inst *ir.Inst
+		a    affine
+	}
+	var loads []memAcc
+	var stores []memAcc
+	var fpOps []*ir.Inst
+	vectorizable := make(map[*ir.Inst]bool)
+
+	scan := func(b *ir.Block) bool {
+		for _, in := range b.Insts {
+			if in.Op == ir.OpPhi || in.IsTerminator() || in == cond || isInd(in) {
+				continue
+			}
+			switch in.Op {
+			case ir.OpLoad:
+				if !in.Ty.Equal(ir.Double) {
+					return false
+				}
+				a, ok := affineOf(in.Args[0])
+				if !ok || a.scale != 8 {
+					return false
+				}
+				loads = append(loads, memAcc{in, a})
+				vectorizable[in] = true
+			case ir.OpStore:
+				if !in.Args[0].Type().Equal(ir.Double) {
+					return false
+				}
+				a, ok := affineOf(in.Args[1])
+				if !ok || a.scale != 8 {
+					return false
+				}
+				stores = append(stores, memAcc{in, a})
+			case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+				if !in.Ty.Equal(ir.Double) {
+					return false
+				}
+				fpOps = append(fpOps, in)
+				vectorizable[in] = true
+			case ir.OpGEP, ir.OpBitcast, ir.OpAdd, ir.OpMul, ir.OpPtrToInt, ir.OpIntToPtr,
+				ir.OpTrunc, ir.OpSExt, ir.OpZExt:
+				// Address/induction arithmetic: recomputed or dead.
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if !scan(h) {
+		return false
+	}
+	if body != h && !scan(body) {
+		return false
+	}
+	if len(stores) != 1 || len(loads) == 0 {
+		return false
+	}
+	// Every FP op's operands must be vectorizable or invariant.
+	for _, in := range fpOps {
+		for _, a := range in.Args {
+			ai, isI := a.(*ir.Inst)
+			if isI && vectorizable[ai] {
+				continue
+			}
+			if isInvariant(a) {
+				continue
+			}
+			return false
+		}
+	}
+	stVal, isI := stores[0].inst.Args[0].(*ir.Inst)
+	if !isI || !vectorizable[stVal] {
+		return false
+	}
+
+	// Build the vector loop between entryPred and the scalar loop.
+	vh := f.NewBlock("vec.header")
+	vb := f.NewBlock("vec.body")
+	bld := &ir.Builder{Fn: f, Cur: vh}
+
+	vecPhi := make(map[*ir.Inst]*ir.Inst, len(inds))
+	for i := range inds {
+		p := bld.Phi(inds[i].phi.Ty)
+		p.Nam = "vec." + inds[i].phi.Nam
+		vecPhi[inds[i].phi] = p
+	}
+	vphi := vecPhi[iv]
+	// Guard: the condition induction advanced by one scalar step must stay
+	// inside the bound, so both lanes of this iteration are in range.
+	cp := vecPhi[condInd.phi]
+	var t1 ir.Value
+	if condInd.phi.Ty.IsPtr() {
+		t1 = bld.GEP(ir.I8, cp, ir.Int(ir.I64, uint64(condInd.stepC)))
+	} else {
+		t1 = bld.Add(cp, ir.Int(ir.I64, uint64(condInd.stepC)))
+	}
+	vc := bld.ICmp(guardPred, t1, bound)
+	bld.CondBr(vc, vb, h)
+
+	bld.SetBlock(vb)
+	v2 := ir.VecOf(ir.Double, 2)
+	vmap := make(map[*ir.Inst]ir.Value)
+	splats := make(map[ir.Value]ir.Value)
+	splat := func(v ir.Value) ir.Value {
+		if s, ok := splats[v]; ok {
+			return s
+		}
+		ins := bld.InsertElement(ir.UndefOf(v2), v, 0)
+		s := bld.ShuffleVector(ins, ir.UndefOf(v2), []int{0, 0})
+		splats[v] = s
+		return s
+	}
+	vaddr := func(a affine) ir.Value {
+		// base + 8*iv + off as an unaligned <2 x double>*.
+		p := a.base
+		if !p.Type().IsPtr() {
+			p = bld.IntToPtr(p, ir.PtrTo(ir.I8))
+		}
+		dptr := bld.Bitcast(p, ir.PtrTo(ir.Double))
+		if a.off%8 == 0 {
+			idx := ir.Value(vphi)
+			if a.off != 0 {
+				idx = bld.Add(vphi, ir.Int(ir.I64, uint64(a.off/8)))
+			}
+			g := bld.GEP(ir.Double, dptr, idx)
+			return bld.Bitcast(g, ir.PtrTo(v2))
+		}
+		g := bld.GEP(ir.Double, dptr, vphi)
+		byteP := bld.Bitcast(g, ir.PtrTo(ir.I8))
+		g2 := bld.GEP(ir.I8, byteP, ir.Int(ir.I64, uint64(a.off)))
+		return bld.Bitcast(g2, ir.PtrTo(v2))
+	}
+	operand := func(v ir.Value) ir.Value {
+		if in, isI := v.(*ir.Inst); isI {
+			if mv, ok := vmap[in]; ok {
+				return mv
+			}
+		}
+		return splat(v)
+	}
+	emit := func(b *ir.Block) {
+		for _, in := range b.Insts {
+			switch {
+			case in.Op == ir.OpLoad && vectorizable[in]:
+				for _, ld := range loads {
+					if ld.inst == in {
+						vl := bld.Load(v2, vaddr(ld.a))
+						vl.Align = 8 // known 8, not 16: unaligned vector access
+						vmap[in] = vl
+					}
+				}
+			case in.Op == ir.OpStore:
+				for _, st := range stores {
+					if st.inst == in {
+						vs := bld.Store(operand(in.Args[0]), vaddr(st.a))
+						vs.Align = 8
+					}
+				}
+			case vectorizable[in]:
+				nv := &ir.Inst{Op: in.Op, Ty: v2, Nam: "vec." + in.Nam,
+					Args:     []ir.Value{operand(in.Args[0]), operand(in.Args[1])},
+					FastMath: in.FastMath, Parent: vb}
+				vb.Insts = append(vb.Insts, nv)
+				vmap[in] = nv
+			}
+		}
+	}
+	emit(h)
+	if body != h {
+		emit(body)
+	}
+	// Advance every induction by two scalar steps.
+	for i := range inds {
+		p := vecPhi[inds[i].phi]
+		var next ir.Value
+		if inds[i].phi.Ty.IsPtr() {
+			next = bld.GEP(ir.I8, p, ir.Int(ir.I64, uint64(2*inds[i].stepC)))
+		} else {
+			next = bld.Add(p, ir.Int(ir.I64, uint64(2*inds[i].stepC)))
+		}
+		ir.AddIncoming(p, inds[i].init, entryPred)
+		ir.AddIncoming(p, next, vb)
+	}
+	bld.Br(vh)
+
+	// Rewire: entry edge now reaches the vector loop; the scalar loop's
+	// entry incoming comes from vh carrying the vector inductions.
+	et := entryPred.Term()
+	for i, sblk := range et.Blocks {
+		if sblk == h {
+			et.Blocks[i] = vh
+		}
+	}
+	for i := range inds {
+		for k, inc := range inds[i].phi.Incoming {
+			if inc == entryPred {
+				inds[i].phi.Incoming[k] = vh
+				inds[i].phi.Args[k] = vecPhi[inds[i].phi]
+			}
+		}
+	}
+	return true
+}

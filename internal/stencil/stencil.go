@@ -1,0 +1,268 @@
+// Package stencil implements the paper's case study (Section V): generic 2d
+// stencil descriptors in the two layouts of Figure 7 — a flat structure
+// (struct FS/FP) and a coefficient-sorted structure (struct SS/SG/SP) — plus
+// the matrix-with-interlines construction and the Jacobi iteration driver
+// used by the evaluation, and pure-Go reference implementations that serve
+// as correctness oracles for every code variant.
+package stencil
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/emu"
+)
+
+// Point is one stencil tap: matrix offset (DX, DY) with coefficient F.
+type Point struct {
+	DX, DY int32
+	F      float64
+}
+
+// Stencil is a generic 2d stencil.
+type Stencil struct {
+	Points []Point
+}
+
+// FourPoint returns the 4-point Jacobi stencil used throughout the paper
+// (Figure 7's s4: the four neighbours weighted 0.25).
+func FourPoint() Stencil {
+	return Stencil{Points: []Point{
+		{DX: -1, DY: 0, F: 0.25},
+		{DX: 1, DY: 0, F: 0.25},
+		{DX: 0, DY: -1, F: 0.25},
+		{DX: 0, DY: 1, F: 0.25},
+	}}
+}
+
+// EightPoint returns an 8-point stencil (the four neighbours plus the four
+// diagonals) with two coefficient groups — exercising the sorted layout with
+// more than one group.
+func EightPoint() Stencil {
+	return Stencil{Points: []Point{
+		{DX: -1, DY: 0, F: 0.15},
+		{DX: 1, DY: 0, F: 0.15},
+		{DX: 0, DY: -1, F: 0.15},
+		{DX: 0, DY: 1, F: 0.15},
+		{DX: -1, DY: -1, F: 0.10},
+		{DX: 1, DY: -1, F: 0.10},
+		{DX: -1, DY: 1, F: 0.10},
+		{DX: 1, DY: 1, F: 0.10},
+	}}
+}
+
+// Flat layout (struct FS { int ps; struct FP p[]; } with
+// struct FP { double f; int dx, dy; }):
+//
+//	offset 0:  ps (i32), 4 bytes padding
+//	offset 8:  p[0].f (f64), p[0].dx (i32) at +8, p[0].dy (i32) at +12
+//	stride 16 per point.
+const (
+	flatHeader   = 8
+	flatStride   = 16
+	flatOffF     = 0
+	flatOffDX    = 8
+	flatOffDY    = 12
+	sortedHeader = 8
+	groupHeader  = 16 // f (f64) at 0, ps (i32) at 8, padding, points at 16
+	pointSize    = 8  // dx (i32), dy (i32)
+)
+
+// SerializeFlat writes the FS/FP representation into memory and returns its
+// address and size.
+func (s Stencil) SerializeFlat(mem *emu.Memory) (addr uint64, size int, err error) {
+	size = flatHeader + flatStride*len(s.Points)
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint32(buf, uint32(len(s.Points)))
+	for i, p := range s.Points {
+		off := flatHeader + flatStride*i
+		binary.LittleEndian.PutUint64(buf[off+flatOffF:], math.Float64bits(p.F))
+		binary.LittleEndian.PutUint32(buf[off+flatOffDX:], uint32(p.DX))
+		binary.LittleEndian.PutUint32(buf[off+flatOffDY:], uint32(p.DY))
+	}
+	r := mem.Alloc(size, 16, "stencil.flat")
+	copy(r.Data, buf)
+	return r.Start, size, nil
+}
+
+// Group is one coefficient group of the sorted layout.
+type Group struct {
+	F      float64
+	Points []Point
+}
+
+// Groups returns the stencil points grouped by coefficient, sorted by
+// descending group size (the paper's sorted structure groups points by
+// coefficient so each factor is multiplied once per group).
+func (s Stencil) Groups() []Group {
+	byF := make(map[float64][]Point)
+	var order []float64
+	for _, p := range s.Points {
+		if _, ok := byF[p.F]; !ok {
+			order = append(order, p.F)
+		}
+		byF[p.F] = append(byF[p.F], p)
+	}
+	sort.Float64s(order)
+	groups := make([]Group, 0, len(order))
+	for _, f := range order {
+		groups = append(groups, Group{F: f, Points: byF[f]})
+	}
+	sort.SliceStable(groups, func(i, j int) bool {
+		return len(groups[i].Points) > len(groups[j].Points)
+	})
+	return groups
+}
+
+// SerializeSorted writes the SS/SG/SP representation. Like the paper's
+// sorted structure, it contains nested pointers: the header holds gs and a
+// table of gs pointers to the group records.
+//
+//	offset 0:       gs (i32), 4 bytes padding
+//	offset 8:       gs pointers (8 bytes each) to the groups
+//	each group:     f (f64), ps (i32), padding, then ps points of
+//	                (dx i32, dy i32)
+//
+// headerSize covers only gs plus the pointer table — the part an explicit
+// constant-memory configuration at the IR level sees (Section IV: nested
+// pointers are not followed). size is the full serialized footprint, which
+// DBrew's recursive fixation covers.
+func (s Stencil) SerializeSorted(mem *emu.Memory) (addr uint64, headerSize, size int, err error) {
+	groups := s.Groups()
+	headerSize = sortedHeader + 8*len(groups)
+	size = headerSize
+	// Align group records to 8 bytes.
+	groupOff := make([]int, len(groups))
+	for i, g := range groups {
+		size = (size + 7) &^ 7
+		groupOff[i] = size
+		size += groupHeader + pointSize*len(g.Points)
+	}
+	r := mem.Alloc(size, 16, "stencil.sorted")
+	buf := r.Data
+	binary.LittleEndian.PutUint32(buf, uint32(len(groups)))
+	for i, g := range groups {
+		binary.LittleEndian.PutUint64(buf[sortedHeader+8*i:], r.Start+uint64(groupOff[i]))
+		off := groupOff[i]
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(g.F))
+		binary.LittleEndian.PutUint32(buf[off+8:], uint32(len(g.Points)))
+		po := off + groupHeader
+		for _, p := range g.Points {
+			binary.LittleEndian.PutUint32(buf[po:], uint32(p.DX))
+			binary.LittleEndian.PutUint32(buf[po+4:], uint32(p.DY))
+			po += pointSize
+		}
+	}
+	return r.Start, headerSize, size, nil
+}
+
+// Apply computes one stencil application at idx on a flattened sz×sz matrix
+// — the reference semantics of apply_flat in Figure 7.
+func (s Stencil) Apply(m1 []float64, sz, idx int) float64 {
+	v := 0.0
+	for _, p := range s.Points {
+		v += p.F * m1[idx+int(p.DX)+sz*int(p.DY)]
+	}
+	return v
+}
+
+// ApplySorted computes the same value with the grouped evaluation order
+// (one multiply per coefficient group).
+func (s Stencil) ApplySorted(m1 []float64, sz, idx int) float64 {
+	v := 0.0
+	for _, g := range s.Groups() {
+		sum := 0.0
+		for _, p := range g.Points {
+			sum += m1[idx+int(p.DX)+sz*int(p.DY)]
+		}
+		v += g.F * sum
+	}
+	return v
+}
+
+// Matrix is a square matrix of doubles living in emulated memory.
+type Matrix struct {
+	N      int
+	Region *emu.Region
+}
+
+// MatrixSize returns the side length for a base grid with interlines:
+// 9×9 with 80 interlines gives 649×649, the paper's configuration.
+func MatrixSize(base, interlines int) int {
+	return base + (base-1)*interlines
+}
+
+// NewMatrix allocates an n×n matrix (16-byte aligned, as malloc+GCC would).
+func NewMatrix(mem *emu.Memory, n int, name string) *Matrix {
+	r := mem.Alloc(n*n*8, 64, name)
+	return &Matrix{N: n, Region: r}
+}
+
+// Addr returns the address of element (row, col).
+func (m *Matrix) Addr(row, col int) uint64 {
+	return m.Region.Start + uint64(8*(row*m.N+col))
+}
+
+// Set writes element (row, col).
+func (m *Matrix) Set(row, col int, v float64) {
+	binary.LittleEndian.PutUint64(m.Region.Data[8*(row*m.N+col):], math.Float64bits(v))
+}
+
+// Get reads element (row, col).
+func (m *Matrix) Get(row, col int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(m.Region.Data[8*(row*m.N+col):]))
+}
+
+// Slice returns the matrix contents as a flat []float64 copy.
+func (m *Matrix) Slice() []float64 {
+	out := make([]float64, m.N*m.N)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(m.Region.Data[8*i:]))
+	}
+	return out
+}
+
+// InitBoundary sets the classic Jacobi boundary condition (linear gradients
+// along the borders, zero interior), mirroring the example the paper's
+// evaluation derives from.
+func (m *Matrix) InitBoundary() {
+	n := m.N
+	h := 1.0 / float64(n-1)
+	for i := 0; i < n; i++ {
+		g := h * float64(i)
+		m.Set(0, i, 1.0-g) // top
+		m.Set(n-1, i, g)   // bottom
+		m.Set(i, 0, 1.0-g) // left
+		m.Set(i, n-1, g)   // right
+	}
+	m.Set(0, n-1, 0)
+	m.Set(n-1, 0, 0)
+}
+
+// CopyFrom copies the contents of another matrix.
+func (m *Matrix) CopyFrom(o *Matrix) error {
+	if m.N != o.N {
+		return fmt.Errorf("stencil: size mismatch %d vs %d", m.N, o.N)
+	}
+	copy(m.Region.Data, o.Region.Data)
+	return nil
+}
+
+// JacobiRef performs iters Jacobi iterations in pure Go over the interior of
+// the matrices and returns the final values — the correctness oracle.
+func JacobiRef(s Stencil, src []float64, sz, iters int) []float64 {
+	a := append([]float64(nil), src...)
+	b := append([]float64(nil), src...)
+	for it := 0; it < iters; it++ {
+		for row := 1; row < sz-1; row++ {
+			for col := 1; col < sz-1; col++ {
+				idx := row*sz + col
+				b[idx] = s.Apply(a, sz, idx)
+			}
+		}
+		a, b = b, a
+	}
+	return a
+}

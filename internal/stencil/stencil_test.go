@@ -1,0 +1,232 @@
+package stencil
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/emu"
+)
+
+func TestGroups(t *testing.T) {
+	g4 := FourPoint().Groups()
+	if len(g4) != 1 || len(g4[0].Points) != 4 || g4[0].F != 0.25 {
+		t.Errorf("FourPoint groups: %+v", g4)
+	}
+	g8 := EightPoint().Groups()
+	if len(g8) != 2 {
+		t.Fatalf("EightPoint groups: %d", len(g8))
+	}
+	// Sorted by descending group size; equal here, so both have 4 points.
+	if len(g8[0].Points) != 4 || len(g8[1].Points) != 4 {
+		t.Errorf("EightPoint group sizes: %d, %d", len(g8[0].Points), len(g8[1].Points))
+	}
+}
+
+func TestApplyEqualsApplySorted(t *testing.T) {
+	const sz = 12
+	m := make([]float64, sz*sz)
+	for i := range m {
+		m[i] = float64(i%17) / 3
+	}
+	for _, s := range []Stencil{FourPoint(), EightPoint()} {
+		for row := 1; row < sz-1; row++ {
+			for col := 1; col < sz-1; col++ {
+				idx := row*sz + col
+				a := s.Apply(m, sz, idx)
+				b := s.ApplySorted(m, sz, idx)
+				if math.Abs(a-b) > 1e-12 {
+					t.Fatalf("apply mismatch at %d: %g vs %g", idx, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestSerializeFlatLayout(t *testing.T) {
+	mem := emu.NewMemory(0x10000)
+	s := FourPoint()
+	addr, size, err := s.SerializeFlat(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 8+16*4 {
+		t.Errorf("flat size %d", size)
+	}
+	ps, _ := mem.ReadU(addr, 4)
+	if ps != 4 {
+		t.Errorf("ps = %d", ps)
+	}
+	// First point: f at +8, dx at +16, dy at +20.
+	f, _ := mem.ReadFloat64(addr + 8)
+	if f != 0.25 {
+		t.Errorf("p[0].f = %g", f)
+	}
+	dx, _ := mem.ReadU(addr+16, 4)
+	if int32(dx) != -1 {
+		t.Errorf("p[0].dx = %d", int32(dx))
+	}
+}
+
+func TestSerializeSortedLayout(t *testing.T) {
+	mem := emu.NewMemory(0x10000)
+	s := EightPoint()
+	addr, header, size, err := s.SerializeSorted(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, _ := mem.ReadU(addr, 4)
+	if gs != 2 {
+		t.Errorf("gs = %d", gs)
+	}
+	if header != 8+8*2 {
+		t.Errorf("header size %d", header)
+	}
+	// Each group pointer must land inside the serialized blob and point at
+	// a record with the right point count.
+	total := 0
+	for gi := 0; gi < int(gs); gi++ {
+		p, _ := mem.ReadU(addr+8+uint64(8*gi), 8)
+		if p < addr || p >= addr+uint64(size) {
+			t.Fatalf("group %d pointer %#x outside blob [%#x, %#x)", gi, p, addr, addr+uint64(size))
+		}
+		ps, _ := mem.ReadU(p+8, 4)
+		total += int(ps)
+		f, _ := mem.ReadFloat64(p)
+		if f != 0.15 && f != 0.10 {
+			t.Errorf("group %d f = %g", gi, f)
+		}
+	}
+	if total != 8 {
+		t.Errorf("total points %d", total)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	mem := emu.NewMemory(0x100000)
+	m := NewMatrix(mem, 8, "m")
+	m.Set(2, 3, 1.5)
+	if m.Get(2, 3) != 1.5 {
+		t.Error("set/get")
+	}
+	if m.Addr(2, 3) != m.Region.Start+8*(2*8+3) {
+		t.Error("addr")
+	}
+	sl := m.Slice()
+	if sl[2*8+3] != 1.5 {
+		t.Error("slice")
+	}
+	m2 := NewMatrix(mem, 8, "m2")
+	if err := m2.CopyFrom(m); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Get(2, 3) != 1.5 {
+		t.Error("copy")
+	}
+	m3 := NewMatrix(mem, 9, "m3")
+	if err := m3.CopyFrom(m); err == nil {
+		t.Error("size mismatch must error")
+	}
+}
+
+func TestInitBoundary(t *testing.T) {
+	mem := emu.NewMemory(0x100000)
+	m := NewMatrix(mem, 5, "m")
+	m.InitBoundary()
+	if m.Get(0, 0) != 1 {
+		t.Errorf("corner (0,0) = %g", m.Get(0, 0))
+	}
+	if m.Get(0, 4) != 0 || m.Get(4, 0) != 0 {
+		t.Errorf("opposite corners must be 0")
+	}
+	if m.Get(2, 2) != 0 {
+		t.Error("interior must start at 0")
+	}
+}
+
+func TestJacobiRefConverges(t *testing.T) {
+	// The Jacobi iteration smooths toward the boundary-driven harmonic
+	// solution: the residual must shrink monotonically over iterations.
+	const sz = 17
+	mem := emu.NewMemory(0x100000)
+	m := NewMatrix(mem, sz, "m")
+	m.InitBoundary()
+	src := m.Slice()
+	s := FourPoint()
+	prev := math.Inf(1)
+	state := src
+	for it := 0; it < 4; it++ {
+		next := JacobiRef(s, state, sz, 5)
+		var delta float64
+		for i := range next {
+			delta += math.Abs(next[i] - state[i])
+		}
+		if delta >= prev {
+			t.Fatalf("iteration %d: residual %g did not shrink from %g", it, delta, prev)
+		}
+		prev = delta
+		state = next
+	}
+}
+
+// TestSerializeRoundTripProperty: random stencils serialize into flat form
+// whose fields read back exactly.
+func TestSerializeRoundTripProperty(t *testing.T) {
+	prop := func(dxs, dys []int8, coefIdx []uint8) bool {
+		n := len(dxs)
+		if n > len(dys) {
+			n = len(dys)
+		}
+		if n > len(coefIdx) {
+			n = len(coefIdx)
+		}
+		if n == 0 || n > 16 {
+			return true
+		}
+		coefs := []float64{0.25, 0.5, 0.125}
+		st := Stencil{}
+		for i := 0; i < n; i++ {
+			st.Points = append(st.Points, Point{
+				DX: int32(dxs[i]), DY: int32(dys[i]), F: coefs[int(coefIdx[i])%3],
+			})
+		}
+		mem := emu.NewMemory(0x100000)
+		addr, size, err := st.SerializeFlat(mem)
+		if err != nil || size != 8+16*n {
+			return false
+		}
+		buf, err := mem.Read(addr, size)
+		if err != nil {
+			return false
+		}
+		if binary.LittleEndian.Uint32(buf) != uint32(n) {
+			return false
+		}
+		for i, p := range st.Points {
+			off := 8 + 16*i
+			if math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])) != p.F {
+				return false
+			}
+			if int32(binary.LittleEndian.Uint32(buf[off+8:])) != p.DX {
+				return false
+			}
+			if int32(binary.LittleEndian.Uint32(buf[off+12:])) != p.DY {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixSizeFormula(t *testing.T) {
+	cases := [][3]int{{9, 80, 649}, {9, 0, 9}, {5, 2, 13}}
+	for _, c := range cases {
+		if got := MatrixSize(c[0], c[1]); got != c[2] {
+			t.Errorf("MatrixSize(%d, %d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package asm provides a small label-based assembler on top of the x86
+// encoder. It is used to author the "compiled" input corpus, by the DBrew
+// encoder, and by the JIT backend.
+//
+// Labels are resolved with a two-pass assembly: because the encoder always
+// emits rel32 branches, instruction lengths are independent of final label
+// values, so the second pass simply patches target addresses.
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/x86"
+)
+
+// Label is a forward-referenceable position in the instruction stream.
+type Label int
+
+// item is either an instruction or a label definition.
+type item struct {
+	inst    x86.Inst
+	label   Label
+	isLabel bool
+	// target, when >= 0, marks the instruction as a branch to a label that
+	// must be patched during assembly.
+	target Label
+}
+
+// Builder accumulates instructions and labels and assembles them to machine
+// code at a chosen base address.
+type Builder struct {
+	items  []item
+	nlabel int
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// NewLabel allocates a fresh, not yet bound label.
+func (b *Builder) NewLabel() Label {
+	b.nlabel++
+	return Label(b.nlabel - 1)
+}
+
+// Bind places lbl at the current position.
+func (b *Builder) Bind(lbl Label) {
+	b.items = append(b.items, item{label: lbl, isLabel: true, target: -1})
+}
+
+// Emit appends a non-branching instruction.
+func (b *Builder) Emit(in x86.Inst) {
+	b.items = append(b.items, item{inst: in, target: -1})
+}
+
+// I is shorthand for Emit with operands.
+func (b *Builder) I(op x86.Op, args ...x86.Operand) {
+	in := x86.Inst{Op: op}
+	if len(args) > 0 {
+		in.Dst = args[0]
+	}
+	if len(args) > 1 {
+		in.Src = args[1]
+	}
+	if len(args) > 2 {
+		in.Src2 = args[2]
+	}
+	b.Emit(in)
+}
+
+// Jmp emits an unconditional jump to lbl.
+func (b *Builder) Jmp(lbl Label) {
+	b.items = append(b.items, item{inst: x86.Inst{Op: x86.JMP, Dst: x86.Imm(0, 8)}, target: lbl})
+}
+
+// Jcc emits a conditional jump to lbl.
+func (b *Builder) Jcc(c x86.Cond, lbl Label) {
+	b.items = append(b.items, item{inst: x86.Inst{Op: x86.JCC, Cond: c, Dst: x86.Imm(0, 8)}, target: lbl})
+}
+
+// Call emits a call to an absolute address.
+func (b *Builder) Call(addr uint64) {
+	b.I(x86.CALL, x86.Imm(int64(addr), 8))
+}
+
+// CallLabel emits a call to a label inside this builder.
+func (b *Builder) CallLabel(lbl Label) {
+	b.items = append(b.items, item{inst: x86.Inst{Op: x86.CALL, Dst: x86.Imm(0, 8)}, target: lbl})
+}
+
+// Ret emits a return.
+func (b *Builder) Ret() { b.I(x86.RET) }
+
+// Assemble encodes the instruction stream at the given base address and
+// returns the machine code plus the address of every bound label.
+func (b *Builder) Assemble(base uint64) ([]byte, map[Label]uint64, error) {
+	// Pass 1: compute instruction offsets (lengths are label-independent
+	// because branches are fixed-size rel32 forms).
+	offsets := make([]uint64, len(b.items))
+	labelAddr := make(map[Label]uint64)
+	pc := base
+	for i, it := range b.items {
+		offsets[i] = pc
+		if it.isLabel {
+			labelAddr[it.label] = pc
+			continue
+		}
+		enc, err := x86.EncodeInst(patchedForSizing(it.inst, it.target >= 0, pc), pc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("asm: pass1 item %d: %w", i, err)
+		}
+		pc += uint64(len(enc))
+	}
+	// Pass 2: emit with resolved targets.
+	e := x86.NewEncoder(base)
+	for i, it := range b.items {
+		if it.isLabel {
+			continue
+		}
+		in := it.inst
+		if it.target >= 0 {
+			addr, ok := labelAddr[it.target]
+			if !ok {
+				return nil, nil, fmt.Errorf("asm: unbound label %d", it.target)
+			}
+			in.Dst = x86.Imm(int64(addr), 8)
+		}
+		if err := e.Encode(in); err != nil {
+			return nil, nil, fmt.Errorf("asm: pass2 item %d: %w", i, err)
+		}
+	}
+	return e.Buf, labelAddr, nil
+}
+
+// patchedForSizing replaces not-yet-resolved branch targets with the
+// instruction's own neighbourhood so pass-1 encoding cannot fail on rel32
+// range checks when assembling at a high base address. Lengths stay correct
+// because branches are always encoded in their fixed-size rel32 forms.
+func patchedForSizing(in x86.Inst, hasLabel bool, pc uint64) x86.Inst {
+	if !hasLabel {
+		return in
+	}
+	switch in.Op {
+	case x86.JMP, x86.JCC, x86.CALL:
+		in.Dst = x86.Imm(int64(pc), 8)
+	}
+	return in
+}

@@ -1,0 +1,182 @@
+package asm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/x86"
+)
+
+func TestForwardAndBackwardLabels(t *testing.T) {
+	b := NewBuilder()
+	top := b.NewLabel()
+	end := b.NewLabel()
+	b.Bind(top)
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.Imm(1, 8))
+	b.Jcc(x86.CondE, end) // forward
+	b.Jmp(top)            // backward
+	b.Bind(end)
+	b.Ret()
+	code, labels, err := b.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[top] != 0x1000 {
+		t.Errorf("top label at %#x", labels[top])
+	}
+	// Decode and verify the branch targets.
+	var insts []x86.Inst
+	addr := uint64(0x1000)
+	for addr < 0x1000+uint64(len(code)) {
+		in, err := x86.Decode(code[addr-0x1000:], addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts = append(insts, in)
+		addr += uint64(in.Len)
+	}
+	if len(insts) != 4 {
+		t.Fatalf("expected 4 instructions, got %d", len(insts))
+	}
+	if tgt, _ := insts[1].BranchTarget(); tgt != labels[end] {
+		t.Errorf("jcc target %#x, want %#x", tgt, labels[end])
+	}
+	if tgt, _ := insts[2].BranchTarget(); tgt != labels[top] {
+		t.Errorf("jmp target %#x, want %#x", tgt, labels[top])
+	}
+}
+
+func TestUnboundLabelFails(t *testing.T) {
+	b := NewBuilder()
+	l := b.NewLabel()
+	b.Jmp(l)
+	if _, _, err := b.Assemble(0x1000); err == nil {
+		t.Fatal("assembling with an unbound label must fail")
+	}
+}
+
+func TestCallLabel(t *testing.T) {
+	b := NewBuilder()
+	fn := b.NewLabel()
+	b.CallLabel(fn)
+	b.Ret()
+	b.Bind(fn)
+	b.I(x86.MOV, x86.R64(x86.RAX), x86.Imm(7, 8))
+	b.Ret()
+	code, labels, err := b.Assemble(0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := x86.Decode(code, 0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != x86.CALL {
+		t.Fatalf("first instruction %v", in)
+	}
+	if tgt, _ := in.BranchTarget(); tgt != labels[fn] {
+		t.Errorf("call target %#x, want %#x", tgt, labels[fn])
+	}
+}
+
+func TestAssembleTwiceIsStable(t *testing.T) {
+	b := NewBuilder()
+	l := b.NewLabel()
+	b.Bind(l)
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RBX))
+	b.Jmp(l)
+	c1, _, err := b.Assemble(0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := b.Assemble(0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c1) != string(c2) {
+		t.Error("repeated assembly differs")
+	}
+	c3, _, err := b.Assemble(0x8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c3) != len(c1) {
+		t.Error("assembly length must be base-independent")
+	}
+}
+
+// TestAssembleAtHighBase: label branches must assemble at bases beyond the
+// rel32 range from address 0 (regression: pass-1 used placeholder target 0,
+// which made the range check fail for any base above 2 GiB).
+func TestAssembleAtHighBase(t *testing.T) {
+	b := NewBuilder()
+	top := b.NewLabel()
+	b.Bind(top)
+	b.I(x86.SUB, x86.R64(x86.RDI), x86.Imm(1, 8))
+	b.Jcc(x86.CondNE, top)
+	b.Ret()
+	for _, base := range []uint64{0x1000, 0x9000_0000, 0x7FFF_FFF0_0000} {
+		code, labels, err := b.Assemble(base)
+		if err != nil {
+			t.Fatalf("base %#x: %v", base, err)
+		}
+		if labels[top] != base {
+			t.Errorf("base %#x: label at %#x", base, labels[top])
+		}
+		// The encoded jne must target the label.
+		in, err := x86.Decode(code[4:], base+4)
+		if err != nil {
+			t.Fatalf("base %#x: decode: %v", base, err)
+		}
+		if tgt, ok := in.BranchTarget(); !ok || tgt != base {
+			t.Errorf("base %#x: branch to %#x, want %#x", base, tgt, base)
+		}
+	}
+}
+
+// TestAssembleBaseIndependentLengths: a random labeled program must have
+// identical instruction layout at different bases (pass-1 sizing must not
+// depend on the base address).
+func TestAssembleBaseIndependentLengths(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		b := NewBuilder()
+		var labels []Label
+		for i := 0; i < 5; i++ {
+			labels = append(labels, b.NewLabel())
+		}
+		n := r.Intn(30) + 5
+		for i := 0; i < n; i++ {
+			switch r.Intn(5) {
+			case 0:
+				b.I(x86.ADD, x86.R64(x86.RAX), x86.Imm(int64(r.Intn(1000)), 8))
+			case 1:
+				b.I(x86.MOV, x86.R64(x86.RCX), x86.R64(x86.RDX))
+			case 2:
+				b.Jmp(labels[r.Intn(len(labels))])
+			case 3:
+				b.Jcc(x86.CondNE, labels[r.Intn(len(labels))])
+			case 4:
+				b.Bind(labels[r.Intn(len(labels))])
+			}
+		}
+		for _, l := range labels {
+			b.Bind(l) // ensure all labels bound (duplicates are rebinding)
+		}
+		b.Ret()
+
+		c1, l1, err1 := b.Assemble(0x1000)
+		c2, l2, err2 := b.Assemble(0x7000_0000_0000)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: %v / %v", trial, err1, err2)
+		}
+		if len(c1) != len(c2) {
+			t.Fatalf("trial %d: lengths differ: %d vs %d", trial, len(c1), len(c2))
+		}
+		for lbl, a1 := range l1 {
+			if l2[lbl]-0x7000_0000_0000 != a1-0x1000 {
+				t.Errorf("trial %d: label %d offset differs", trial, lbl)
+			}
+		}
+	}
+}

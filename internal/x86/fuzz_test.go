@@ -1,0 +1,62 @@
+package x86
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeFuzzNoPanic feeds random byte windows to the decoder: it must
+// either decode or return an error, never panic, and any decoded
+// instruction must re-encode (when supported) without panicking either.
+func TestDecodeFuzzNoPanic(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	buf := make([]byte, 16)
+	for i := 0; i < 200000; i++ {
+		for j := range buf {
+			buf[j] = byte(r.Intn(256))
+		}
+		in, err := Decode(buf, 0x1000)
+		if err != nil {
+			continue
+		}
+		if in.Len <= 0 || in.Len > 15 {
+			t.Fatalf("decoded length %d out of range for % x", in.Len, buf)
+		}
+		// Re-encoding may fail for forms the encoder does not produce, but
+		// must not panic.
+		_, _ = EncodeInst(in, 0x1000)
+	}
+}
+
+// TestDecodeEncodeDecodeStable: decoding a supported encoding twice through
+// the encoder must reach a fixed point (decode(encode(decode(x))) ==
+// decode(x) semantically, compared via the printed form).
+func TestDecodeEncodeDecodeStable(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	buf := make([]byte, 16)
+	checked := 0
+	for i := 0; i < 300000 && checked < 5000; i++ {
+		for j := range buf {
+			buf[j] = byte(r.Intn(256))
+		}
+		in1, err := Decode(buf, 0x1000)
+		if err != nil {
+			continue
+		}
+		enc, err := EncodeInst(in1, 0x1000)
+		if err != nil {
+			continue // unsupported by the encoder: fine
+		}
+		in2, err := Decode(enc, 0x1000)
+		if err != nil {
+			t.Fatalf("re-decode failed for %v (% x -> % x): %v", in1, buf[:in1.Len], enc, err)
+		}
+		if in1.String() != in2.String() {
+			t.Fatalf("unstable round trip: %q -> %q (% x -> % x)", in1, in2, buf[:in1.Len], enc)
+		}
+		checked++
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d instructions checked", checked)
+	}
+}

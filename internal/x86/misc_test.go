@@ -1,0 +1,138 @@
+package x86
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpStringVariants(t *testing.T) {
+	cases := map[Op]string{
+		ADD: "add", MOVSD_X: "movsd", JCC: "jcc", CMOVCC: "cmovcc",
+		SETCC: "setcc", PSHUFD: "pshufd",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(9999).String(); !strings.HasPrefix(got, "op") {
+		t.Errorf("unknown op should fall back: %q", got)
+	}
+}
+
+func TestMnemonicConditionSuffixes(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: JCC, Cond: CondE}, "je"},
+		{Inst{Op: JCC, Cond: CondG}, "jg"},
+		{Inst{Op: CMOVCC, Cond: CondL}, "cmovl"},
+		{Inst{Op: SETCC, Cond: CondB}, "setb"},
+		{Inst{Op: RET}, "ret"},
+	}
+	for _, c := range cases {
+		if got := c.in.Mnemonic(); got != c.want {
+			t.Errorf("Mnemonic = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestNArgsAndIsBranch(t *testing.T) {
+	if n := (Inst{Op: RET}).NArgs(); n != 0 {
+		t.Errorf("ret NArgs = %d", n)
+	}
+	if n := (Inst{Op: NOT, Dst: R64(RAX)}).NArgs(); n != 1 {
+		t.Errorf("not NArgs = %d", n)
+	}
+	if n := (Inst{Op: ADD, Dst: R64(RAX), Src: R64(RCX)}).NArgs(); n != 2 {
+		t.Errorf("add NArgs = %d", n)
+	}
+	if n := (Inst{Op: IMUL3, Dst: R64(RAX), Src: R64(RCX), Src2: Imm(3, 8)}).NArgs(); n != 3 {
+		t.Errorf("imul3 NArgs = %d", n)
+	}
+	branches := []Op{JMP, JMPIndirect, JCC, CALL, CALLIndirect, RET}
+	for _, op := range branches {
+		if !(Inst{Op: op}).IsBranch() {
+			t.Errorf("%v must be a branch", op)
+		}
+	}
+	if (Inst{Op: ADD}).IsBranch() {
+		t.Error("add is not a branch")
+	}
+}
+
+func TestRegStringNames(t *testing.T) {
+	cases := map[Reg]string{
+		RAX: "rax", R15: "r15", XMM0: "xmm0", XMM15: "xmm15",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reg.String() = %q, want %q", got, want)
+		}
+	}
+	if got := RSP.Name(4); got != "esp" {
+		t.Errorf("esp name: %q", got)
+	}
+	if got := RAX.Name(1); got != "al" {
+		t.Errorf("al name: %q", got)
+	}
+}
+
+func TestEncodeAllStopsOnError(t *testing.T) {
+	e := NewEncoder(0x1000)
+	good := Inst{Op: ADD, Dst: R64(RAX), Src: R64(RCX)}
+	bad := Inst{Op: ADD, Dst: Imm(1, 8), Src: Imm(2, 8)} // imm dst is invalid
+	if err := e.EncodeAll([]Inst{good, good}); err != nil {
+		t.Fatalf("valid sequence: %v", err)
+	}
+	if err := e.EncodeAll([]Inst{good, bad, good}); err == nil {
+		t.Error("invalid instruction must stop EncodeAll")
+	}
+}
+
+func TestDecodeErrorMessage(t *testing.T) {
+	_, err := Decode([]byte{0x0F, 0xFF, 0xFF}, 0x4000)
+	if err == nil {
+		t.Fatal("garbage must not decode")
+	}
+	de, ok := err.(*DecodeError)
+	if !ok {
+		t.Fatalf("want *DecodeError, got %T", err)
+	}
+	msg := de.Error()
+	if !strings.Contains(msg, "0x400") || !strings.Contains(msg, "cannot decode") {
+		t.Errorf("unhelpful error: %q", msg)
+	}
+}
+
+func TestInstStringBranchForm(t *testing.T) {
+	in := Inst{Op: JCC, Cond: CondNE, Dst: Imm(0x401020, 8)}
+	if got := in.String(); got != "jne 0x401020" {
+		t.Errorf("jcc format: %q", got)
+	}
+	in = Inst{Op: CALL, Dst: Imm(0x400000, 8)}
+	if got := in.String(); got != "call 0x400000" {
+		t.Errorf("call format: %q", got)
+	}
+}
+
+// TestStcClcRoundTrip: the carry-materialization ops encode/decode exactly.
+func TestStcClcRoundTrip(t *testing.T) {
+	for _, op := range []Op{STC, CLC} {
+		enc, err := EncodeInst(Inst{Op: op}, 0x1000)
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		if len(enc) != 1 {
+			t.Errorf("%v encodes to %d bytes", op, len(enc))
+		}
+		in, err := Decode(enc, 0x1000)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", op, err)
+		}
+		if in.Op != op || in.Len != 1 {
+			t.Errorf("%v round trip: %+v", op, in)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package x86 models the subset of the x86-64 instruction set used by the
+// DBrew reproduction: a register file, an operand/instruction representation,
+// a binary encoder, a decoder, and an Intel-syntax printer.
+//
+// The subset covers what GCC/Clang emit for scalar and SSE floating-point
+// code at -O3 -mno-avx: the integer ALU, address generation, data movement,
+// control flow, and the SSE/SSE2 scalar and packed instructions. AVX is
+// deliberately absent, matching the paper's evaluation setup.
+package x86
+
+import "fmt"
+
+// Reg identifies an architectural register. General purpose registers come
+// first (RAX..R15), followed by the sixteen SSE vector registers and the
+// instruction pointer. The four legacy high-byte registers (AH..BH) get
+// dedicated identifiers because they address bits 8..15 of their parent
+// register and therefore behave differently from every other facet.
+type Reg uint8
+
+// General purpose registers, in hardware encoding order.
+const (
+	RAX Reg = iota
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+)
+
+// SSE vector registers.
+const (
+	XMM0 Reg = 16 + iota
+	XMM1
+	XMM2
+	XMM3
+	XMM4
+	XMM5
+	XMM6
+	XMM7
+	XMM8
+	XMM9
+	XMM10
+	XMM11
+	XMM12
+	XMM13
+	XMM14
+	XMM15
+)
+
+// Special registers.
+const (
+	// RIPVal names the instruction pointer for RIP-relative addressing.
+	RIPVal Reg = 32
+	// AH..BH are the legacy high-byte views of RAX..RBX.
+	AH Reg = 33 + iota
+	CH
+	DH
+	BH
+	// NoReg marks an absent register operand.
+	NoReg Reg = 255
+)
+
+// IsGP reports whether r is one of the sixteen general purpose registers.
+func (r Reg) IsGP() bool { return r <= R15 }
+
+// IsXMM reports whether r is an SSE vector register.
+func (r Reg) IsXMM() bool { return r >= XMM0 && r <= XMM15 }
+
+// IsHighByte reports whether r is one of the legacy high-byte registers.
+func (r Reg) IsHighByte() bool { return r >= AH && r <= BH }
+
+// Parent returns the containing 64-bit register for a high-byte register,
+// and r itself otherwise.
+func (r Reg) Parent() Reg {
+	if r.IsHighByte() {
+		return Reg(r - AH) // AH->RAX(0), CH->RCX(1), DH->RDX(2), BH->RBX(3)
+	}
+	return r
+}
+
+// enc returns the 4-bit hardware encoding of the register.
+func (r Reg) enc() byte {
+	switch {
+	case r.IsGP():
+		return byte(r)
+	case r.IsXMM():
+		return byte(r - XMM0)
+	case r.IsHighByte():
+		return byte(r-AH) + 4 // AH=4, CH=5, DH=6, BH=7
+	}
+	panic(fmt.Sprintf("x86: register %d has no hardware encoding", r))
+}
+
+var gpNames64 = [16]string{"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15"}
+var gpNames32 = [16]string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi", "r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d"}
+var gpNames16 = [16]string{"ax", "cx", "dx", "bx", "sp", "bp", "si", "di", "r8w", "r9w", "r10w", "r11w", "r12w", "r13w", "r14w", "r15w"}
+var gpNames8 = [16]string{"al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil", "r8b", "r9b", "r10b", "r11b", "r12b", "r13b", "r14b", "r15b"}
+var highNames = [4]string{"ah", "ch", "dh", "bh"}
+
+// Name returns the conventional assembly name of the register when accessed
+// with the given operand size in bytes (1, 2, 4, 8, or 16 for XMM).
+func (r Reg) Name(size uint8) string {
+	switch {
+	case r.IsGP():
+		switch size {
+		case 1:
+			return gpNames8[r]
+		case 2:
+			return gpNames16[r]
+		case 4:
+			return gpNames32[r]
+		default:
+			return gpNames64[r]
+		}
+	case r.IsXMM():
+		return fmt.Sprintf("xmm%d", r-XMM0)
+	case r.IsHighByte():
+		return highNames[r-AH]
+	case r == RIPVal:
+		return "rip"
+	}
+	return fmt.Sprintf("reg%d", r)
+}
+
+// String returns the full-width name of the register.
+func (r Reg) String() string {
+	if r.IsGP() {
+		return gpNames64[r]
+	}
+	return r.Name(16)
+}
+
+// SegReg identifies a segment override. Only FS and GS are meaningful in
+// 64-bit mode; they map to the LLVM address spaces 257 and 256 during
+// lifting, exactly as described in the paper.
+type SegReg uint8
+
+// Segment override values.
+const (
+	SegNone SegReg = iota
+	SegFS
+	SegGS
+)
+
+// String returns the segment prefix name.
+func (s SegReg) String() string {
+	switch s {
+	case SegFS:
+		return "fs"
+	case SegGS:
+		return "gs"
+	}
+	return ""
+}
+
+// Cond is an x86 condition code in hardware encoding order, used by Jcc,
+// SETcc and CMOVcc.
+type Cond uint8
+
+// Condition codes.
+const (
+	CondO  Cond = iota // overflow
+	CondNO             // not overflow
+	CondB              // below (carry)
+	CondAE             // above or equal (not carry)
+	CondE              // equal (zero)
+	CondNE             // not equal
+	CondBE             // below or equal
+	CondA              // above
+	CondS              // sign
+	CondNS             // not sign
+	CondP              // parity
+	CondNP             // not parity
+	CondL              // less (signed)
+	CondGE             // greater or equal (signed)
+	CondLE             // less or equal (signed)
+	CondG              // greater (signed)
+)
+
+var condNames = [16]string{"o", "no", "b", "ae", "e", "ne", "be", "a", "s", "ns", "p", "np", "l", "ge", "le", "g"}
+
+// String returns the condition suffix (e, ne, l, ...).
+func (c Cond) String() string { return condNames[c&15] }
+
+// Negate returns the inverse condition.
+func (c Cond) Negate() Cond { return c ^ 1 }
