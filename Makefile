@@ -1,0 +1,38 @@
+# Developer entry points. `make check` is the full gate CI runs.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench fig10 throughput cachecheck
+
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Figure 10 with cold and cached-warm transformation times.
+fig10:
+	$(GO) run ./cmd/stencilbench -fig 10
+
+# Concurrent specialization throughput (goroutines × distinct keys).
+throughput:
+	$(GO) run ./cmd/stencilbench -fig throughput
+
+# Differential check: cached code bytes == freshly compiled code bytes.
+cachecheck:
+	$(GO) run ./cmd/difftest -cachecheck

@@ -1,0 +1,318 @@
+package dbrewllvm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// cacheSetup places the dot kernel plus a fixed coefficient buffer and
+// returns an engine with caching enabled.
+func cacheSetup(t *testing.T) (e *Engine, fn, buf uint64) {
+	t.Helper()
+	e = NewEngine()
+	e.EnableCache(64)
+	buf = e.Alloc(16, "coeffs")
+	if err := e.Mem.WriteFloat64(buf, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Mem.WriteFloat64(buf+8, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	fn = buildDot(t, e)
+	return e, fn, buf
+}
+
+func newDotRewriter(e *Engine, fn, buf uint64) *Rewriter {
+	r := NewRewriter(e, fn, Sig(F64, Ptr))
+	r.SetParPtr(0, buf, 16)
+	r.SetBackend(BackendLLVM)
+	return r
+}
+
+// TestCacheHitReturnsSameCode: two identically configured rewriters share
+// one compilation; the second is a hit with identical outputs.
+func TestCacheHitReturnsSameCode(t *testing.T) {
+	e, fn, buf := cacheSetup(t)
+
+	r1 := newDotRewriter(e, fn, buf)
+	a1, err := r1.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit {
+		t.Fatal("first Rewrite must be a miss")
+	}
+	r2 := newDotRewriter(e, fn, buf)
+	a2, err := r2.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("second identical Rewrite must be a cache hit")
+	}
+	if a1 != a2 {
+		t.Fatalf("cache hit returned different code address: %#x vs %#x", a1, a2)
+	}
+	if r2.CodeSize != r1.CodeSize {
+		t.Fatalf("cache hit restored CodeSize %d, want %d", r2.CodeSize, r1.CodeSize)
+	}
+	got, err := e.CallF(a2, []uint64{buf}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4.5 {
+		t.Errorf("cached specialization = %g, want 4.5", got)
+	}
+	st, ok := e.CacheStats()
+	if !ok {
+		t.Fatal("CacheStats must report ok with the cache enabled")
+	}
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %v, want 1 miss and 1 hit", st)
+	}
+}
+
+// TestCacheInvalidationOnMemChange: mutating bytes inside a SetMem fixed
+// range must change the cache key and force a recompile — the stale-code
+// safety property.
+func TestCacheInvalidationOnMemChange(t *testing.T) {
+	e, fn, buf := cacheSetup(t)
+
+	r1 := newDotRewriter(e, fn, buf)
+	a1, err := r1.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := e.CallF(a1, []uint64{buf}, nil); got != 4.5 {
+		t.Fatalf("initial specialization = %g, want 4.5", got)
+	}
+
+	// The fixed region changes: p[0] 2.0 → 3.0. The old cache entry must
+	// not be served.
+	if err := e.Mem.WriteFloat64(buf, 3.0); err != nil {
+		t.Fatal(err)
+	}
+	r2 := newDotRewriter(e, fn, buf)
+	a2, err := r2.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CacheHit {
+		t.Fatal("Rewrite after mutating a fixed range must recompile, got a cache hit")
+	}
+	got, err := e.CallF(a2, []uint64{buf}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6.5 { // 3.0*2 + 0.5
+		t.Errorf("respecialized dot = %g, want 6.5", got)
+	}
+	if st, _ := e.CacheStats(); st.Misses != 2 {
+		t.Errorf("Misses = %d, want 2 (one per distinct memory contents)", st.Misses)
+	}
+
+	// Restoring the original contents restores the original key: the first
+	// entry is still cached.
+	if err := e.Mem.WriteFloat64(buf, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	r3 := newDotRewriter(e, fn, buf)
+	a3, err := r3.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.CacheHit || a3 != a1 {
+		t.Errorf("restored contents must hit the original entry: hit=%v addr=%#x want %#x",
+			r3.CacheHit, a3, a1)
+	}
+}
+
+// TestCacheKeyDistinguishesConfig: different fixed parameters, backends, or
+// opt switches must not share cache entries.
+func TestCacheKeyDistinguishesConfig(t *testing.T) {
+	e, fn, buf := cacheSetup(t)
+
+	base := newDotRewriter(e, fn, buf)
+	if _, err := base.Rewrite(); err != nil {
+		t.Fatal(err)
+	}
+
+	variants := []func(r *Rewriter){
+		func(r *Rewriter) { r.SetBackend(BackendDBrew) },
+		func(r *Rewriter) { r.FastMath = false },
+		func(r *Rewriter) { r.SetMem(buf, buf+8) }, // extra fixed range
+	}
+	for i, mod := range variants {
+		r := newDotRewriter(e, fn, buf)
+		mod(r)
+		if _, err := r.Rewrite(); err != nil {
+			t.Fatal(err)
+		}
+		if r.CacheHit {
+			t.Errorf("variant %d shared a cache entry with the base configuration", i)
+		}
+	}
+}
+
+// TestCacheBypass: NoCache and DisableCache both compile fresh.
+func TestCacheBypass(t *testing.T) {
+	e, fn, buf := cacheSetup(t)
+
+	r1 := newDotRewriter(e, fn, buf)
+	if _, err := r1.Rewrite(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := newDotRewriter(e, fn, buf)
+	r2.NoCache = true
+	if _, err := r2.Rewrite(); err != nil {
+		t.Fatal(err)
+	}
+	if r2.CacheHit {
+		t.Error("NoCache rewriter must not hit the cache")
+	}
+	if st, _ := e.CacheStats(); st.Misses != 1 {
+		t.Errorf("NoCache rewrite must not touch cache counters: %v", st)
+	}
+
+	e.DisableCache()
+	r3 := newDotRewriter(e, fn, buf)
+	if _, err := r3.Rewrite(); err != nil {
+		t.Fatal(err)
+	}
+	if r3.CacheHit {
+		t.Error("Rewrite with the cache disabled reported a hit")
+	}
+	if _, ok := e.CacheStats(); ok {
+		t.Error("CacheStats must report !ok after DisableCache")
+	}
+}
+
+// TestConcurrentRewriteExactlyOnce: many goroutines, each with its own
+// Rewriter but the same specialization, must trigger exactly one compile.
+func TestConcurrentRewriteExactlyOnce(t *testing.T) {
+	e, fn, buf := cacheSetup(t)
+	const goroutines = 32
+
+	var wg sync.WaitGroup
+	addrs := make([]uint64, goroutines)
+	errs := make([]error, goroutines)
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := newDotRewriter(e, fn, buf)
+			<-start
+			addrs[g], errs[g] = r.Rewrite()
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if addrs[g] != addrs[0] {
+			t.Fatalf("goroutine %d got different code address %#x vs %#x", g, addrs[g], addrs[0])
+		}
+	}
+	st, _ := e.CacheStats()
+	if st.Misses != 1 {
+		t.Fatalf("%d concurrent same-key rewrites compiled %d times, want exactly 1", goroutines, st.Misses)
+	}
+	got, err := e.CallF(addrs[0], []uint64{buf}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4.5 {
+		t.Errorf("concurrently compiled specialization = %g, want 4.5", got)
+	}
+}
+
+// TestWarmRewriteSpeedup: a cache hit must be at least 5× faster than the
+// cold compile (the issue's headline perf target; in practice it is orders
+// of magnitude).
+func TestWarmRewriteSpeedup(t *testing.T) {
+	e, fn, buf := cacheSetup(t)
+
+	cold := time.Duration(1<<62 - 1)
+	for i := 0; i < 3; i++ {
+		e.cache.Purge()
+		r := newDotRewriter(e, fn, buf)
+		t0 := time.Now()
+		if _, err := r.Rewrite(); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(t0); d < cold {
+			cold = d
+		}
+		if r.CacheHit {
+			t.Fatal("cold Rewrite after Purge reported a cache hit")
+		}
+	}
+
+	// Seed the cache, then take the best warm time out of a few runs.
+	if _, err := newDotRewriter(e, fn, buf).Rewrite(); err != nil {
+		t.Fatal(err)
+	}
+	warm := time.Duration(1<<62 - 1)
+	for i := 0; i < 16; i++ {
+		r := newDotRewriter(e, fn, buf)
+		t0 := time.Now()
+		if _, err := r.Rewrite(); err != nil {
+			t.Fatal(err)
+		}
+		d := time.Since(t0)
+		if !r.CacheHit {
+			t.Fatal("warm Rewrite missed the cache")
+		}
+		if d < warm {
+			warm = d
+		}
+	}
+	if warm*5 > cold {
+		t.Errorf("warm Rewrite %v not ≥5× faster than cold %v", warm, cold)
+	}
+	t.Logf("cold %v, warm %v (%.0f×)", cold, warm, float64(cold)/float64(warm))
+}
+
+// BenchmarkRewriteCold measures the full compile pipeline per Rewrite.
+func BenchmarkRewriteCold(b *testing.B) {
+	e := NewEngine()
+	buf := e.Alloc(16, "coeffs")
+	e.Mem.WriteFloat64(buf, 2.0)
+	e.Mem.WriteFloat64(buf+8, 0.5)
+	fn := buildDot(b, e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := newDotRewriter(e, fn, buf)
+		if _, err := r.Rewrite(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRewriteWarm measures a cache-hit Rewrite (key hash + lookup).
+func BenchmarkRewriteWarm(b *testing.B) {
+	e := NewEngine()
+	e.EnableCache(64)
+	buf := e.Alloc(16, "coeffs")
+	e.Mem.WriteFloat64(buf, 2.0)
+	e.Mem.WriteFloat64(buf+8, 0.5)
+	fn := buildDot(b, e)
+	if _, err := newDotRewriter(e, fn, buf).Rewrite(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := newDotRewriter(e, fn, buf)
+		if _, err := r.Rewrite(); err != nil {
+			b.Fatal(err)
+		}
+		if !r.CacheHit {
+			b.Fatal("warm benchmark missed the cache")
+		}
+	}
+}

@@ -7,7 +7,8 @@
 //
 //	stencilbench -fig 9a            # element-kernel running times
 //	stencilbench -fig 9b            # line-kernel running times
-//	stencilbench -fig 10            # transformation times
+//	stencilbench -fig 10            # transformation times (cold and cached-warm)
+//	stencilbench -fig throughput    # concurrent specialization throughput
 //	stencilbench -fig 6             # flag-cache IR comparison
 //	stencilbench -fig 8             # DBrew vs DBrew+LLVM listings
 //	stencilbench -fig vec           # forced vectorization
@@ -28,10 +29,11 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7, 9a, 9b, 10, 6, 8, vec, ablation, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7, 9a, 9b, 10, 6, 8, vec, ablation, throughput, all")
 	size := flag.Int("size", 649, "matrix side length (paper: 649)")
 	rows := flag.Int("rows", 2, "interior rows to emulate per variant")
 	repeats := flag.Int("repeats", 10, "compile repetitions for figure 10 (paper: 1000)")
+	threads := flag.Int("threads", 8, "goroutines for the throughput experiment")
 	flag.Parse()
 
 	w, err := bench.NewWorkload(*size)
@@ -107,6 +109,14 @@ func main() {
 			fmt.Println("    " + s)
 		}
 		fmt.Println()
+		return nil
+	})
+	run("throughput", func() error {
+		r, err := w.RunConcurrentThroughput(*threads, *repeats)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
 		return nil
 	})
 	run("vec", func() error {

@@ -25,8 +25,11 @@ package dbrewllvm
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/abi"
+	"repro/internal/codecache"
 	"repro/internal/dbrew"
 	"repro/internal/emu"
 	"repro/internal/ir"
@@ -58,11 +61,58 @@ func Sig(ret Class, params ...Class) Signature { return abi.Sig(ret, params...) 
 // SysV calling convention.
 type Engine struct {
 	Mem *emu.Memory
+
+	// cache, when non-nil, memoizes Rewrite results by specialization key
+	// (see EnableCache). Reads are lock-free on the Rewrite hot path; the
+	// pointer itself is only mutated by EnableCache/DisableCache, which must
+	// not race with in-flight Rewrite calls.
+	cache *codecache.Cache[cachedCode]
+
+	// compileMu serializes actual compilations. The emulated address space
+	// (Mem) is not safe for concurrent mutation — Alloc appends regions —
+	// so concurrent Rewrite calls may only run one compile at a time. Cache
+	// hits bypass this lock entirely, which is what makes the warm path
+	// scale across goroutines.
+	compileMu sync.Mutex
+}
+
+// cachedCode is the per-specialization payload kept in the code cache:
+// enough to restore a Rewriter's outputs without recompiling.
+type cachedCode struct {
+	addr     uint64
+	codeSize int
+	stats    dbrew.Stats
 }
 
 // NewEngine creates an empty engine.
 func NewEngine() *Engine {
 	return &Engine{Mem: emu.NewMemory(0x10000000)}
+}
+
+// EnableCache turns on the specialization code cache: subsequent Rewrite
+// calls whose configuration hashes to the same key return the previously
+// generated code instead of recompiling, and concurrent Rewrite calls for
+// the same key compile exactly once (the rest block on the in-flight
+// result). capacity bounds the number of cached specializations; evicted
+// entries only forget the mapping — placed code pages stay valid. capacity
+// <= 0 selects a default of 1024.
+//
+// Enable or disable the cache only while no Rewrite calls are in flight.
+func (e *Engine) EnableCache(capacity int) {
+	e.cache = codecache.New[cachedCode](capacity)
+}
+
+// DisableCache turns the specialization cache off (existing generated code
+// remains valid and callable).
+func (e *Engine) DisableCache() { e.cache = nil }
+
+// CacheStats returns a snapshot of the cache counters; ok is false when the
+// cache is disabled.
+func (e *Engine) CacheStats() (st codecache.Stats, ok bool) {
+	if e.cache == nil {
+		return codecache.Stats{}, false
+	}
+	return e.cache.Stats(), true
 }
 
 // Alloc reserves zeroed memory and returns its address.
@@ -128,10 +178,19 @@ type Rewriter struct {
 	// 2 is supported), Section VI-B's experiment.
 	ForceVectorWidth int
 
+	// NoCache bypasses the engine's specialization cache for this rewriter
+	// even when Engine.EnableCache is active (e.g. for one-off rewrites that
+	// would only pollute the cache).
+	NoCache bool
+
 	// Stats of the last Rewrite (valid for both backends).
 	Stats dbrew.Stats
 	// CodeSize is the size in bytes of the finally generated code.
 	CodeSize int
+	// CacheHit reports whether the last Rewrite was served from the engine's
+	// specialization cache (including waiting on another goroutine's
+	// in-flight compilation) instead of compiling.
+	CacheHit bool
 }
 
 // NewRewriter creates a rewriter for the function at entry.
@@ -166,7 +225,97 @@ func (r *Rewriter) SetConfig(c dbrew.Config) { r.rw.SetConfig(c) }
 // lifted to IR, optimized at -O3, and JIT-compiled (Figure 1's full path).
 // On unrecoverable failure the original entry is returned, preserving
 // correctness as DBrew's default error handler does.
+//
+// When the engine's specialization cache is enabled (Engine.EnableCache)
+// and NoCache is false, the result is memoized under a canonical key of the
+// entry address, signature, backend, optimization switches, fixed
+// parameters, and the current contents of all fixed memory ranges. Mutating
+// bytes inside a SetMem range therefore changes the key and forces a fresh
+// compile — cached code can never go stale. Concurrent Rewrite calls are
+// safe as long as each goroutine uses its own Rewriter; same-key calls
+// compile exactly once.
 func (r *Rewriter) Rewrite() (uint64, error) {
+	r.CacheHit = false
+	cache := r.eng.cache
+	if cache == nil || r.NoCache {
+		return r.compile()
+	}
+	key, ok := r.cacheKey()
+	if !ok {
+		// A fixed range points at unmapped memory; let the uncached path
+		// surface whatever the rewriter does with it.
+		return r.compile()
+	}
+	v, hit, err := cache.Do(key, func() (cachedCode, error) {
+		r.eng.compileMu.Lock()
+		defer r.eng.compileMu.Unlock()
+		addr, err := r.compile()
+		if err != nil {
+			return cachedCode{}, err
+		}
+		return cachedCode{addr: addr, codeSize: r.CodeSize, stats: r.Stats}, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	r.CacheHit = hit
+	r.Stats = v.stats
+	r.CodeSize = v.codeSize
+	return v.addr, nil
+}
+
+// cacheKey canonicalizes the rewriter configuration into a specialization
+// cache key. Fixed memory ranges contribute their current byte contents, so
+// two rewrites over different data never collide. ok is false when a fixed
+// range cannot be read (unmapped memory).
+func (r *Rewriter) cacheKey() (codecache.Key, bool) {
+	h := codecache.NewHasher()
+	h.U64(r.entry)
+	h.I64(int64(r.backend))
+	h.Bool(r.FastMath)
+	h.I64(int64(r.ForceVectorWidth))
+
+	h.I64(int64(r.sig.Ret))
+	h.U64(uint64(len(r.sig.Params)))
+	for _, p := range r.sig.Params {
+		h.I64(int64(p))
+	}
+
+	cfg := r.rw.Config()
+	h.I64(int64(cfg.BufferSize))
+	h.I64(int64(cfg.MaxInsts))
+	h.I64(int64(cfg.InlineDepth))
+
+	params := r.rw.KnownParams()
+	h.U64(uint64(len(params)))
+	for _, p := range params {
+		h.I64(int64(p.Idx))
+		h.U64(p.Value)
+	}
+
+	ranges := append([]dbrew.Range(nil), r.rw.Ranges()...)
+	sort.Slice(ranges, func(i, j int) bool {
+		if ranges[i].Start != ranges[j].Start {
+			return ranges[i].Start < ranges[j].Start
+		}
+		return ranges[i].End < ranges[j].End
+	})
+	h.U64(uint64(len(ranges)))
+	for _, rg := range ranges {
+		h.U64(rg.Start)
+		h.U64(rg.End)
+		data, err := r.eng.Mem.Read(rg.Start, int(rg.End-rg.Start))
+		if err != nil {
+			return codecache.Key{}, false
+		}
+		h.Bytes(data)
+	}
+	return h.Sum(), true
+}
+
+// compile is the uncached Rewrite path: DBrew pass, then (for BackendLLVM)
+// lift → optimize → JIT.
+func (r *Rewriter) compile() (uint64, error) {
 	addr, err := r.rw.Rewrite()
 	r.Stats = r.rw.Stats
 	r.CodeSize = r.Stats.CodeSize

@@ -12,7 +12,7 @@ import (
 
 // buildDot assembles f(p, n_unused) = p[0]*2.0 + p[1], reading two doubles
 // through the pointer parameter.
-func buildDot(t *testing.T, e *Engine) uint64 {
+func buildDot(t testing.TB, e *Engine) uint64 {
 	t.Helper()
 	b := asm.NewBuilder()
 	b.I(x86.MOVSD_X, x86.X(x86.XMM0), x86.MemBD(8, x86.RDI, 0))

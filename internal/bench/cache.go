@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"repro/internal/codecache"
+	"repro/internal/lift"
+)
+
+// EnableCache attaches a specialization cache of the given capacity (entries)
+// to the workload. PrepareCached then deduplicates compilations: concurrent
+// requests for the same (kind, structure, mode, options, stencil contents)
+// specialization compile exactly once and share the resulting Variant.
+func (w *Workload) EnableCache(capacity int) {
+	w.cache = codecache.New[*Variant](capacity)
+}
+
+// DisableCache detaches the cache; PrepareCached degrades to Prepare.
+func (w *Workload) DisableCache() { w.cache = nil }
+
+// CacheStats reports the cache counters; ok is false when no cache is set.
+func (w *Workload) CacheStats() (codecache.Stats, bool) {
+	if w.cache == nil {
+		return codecache.Stats{}, false
+	}
+	return w.cache.Stats(), true
+}
+
+// cacheKey canonicalizes a preparation request. The stencil region the
+// specialization fixes is hashed by content, so mutating the serialized
+// stencil changes the key and forces a recompile — cached code can never go
+// stale silently. Requests carrying a PipelineMod closure are not hashable
+// and report ok=false (the caller bypasses the cache).
+func (w *Workload) cacheKey(kind Kind, s Structure, mode Mode, o Options) (codecache.Key, bool) {
+	if o.PipelineMod != nil {
+		return codecache.Key{}, false
+	}
+	entry, sAddr, fullSize, headerSize := w.inputFor(kind, s, mode)
+	h := codecache.NewHasher()
+	h.U64(uint64(kind))
+	h.U64(uint64(s))
+	h.U64(uint64(mode))
+	h.U64(entry)
+	h.I64(int64(o.ForceVectorWidth))
+	h.I64(int64(o.OptLevel))
+	h.Bool(o.NoFastMath)
+	lo := lift.DefaultOptions()
+	if o.LiftOpts != nil {
+		lo = *o.LiftOpts
+	}
+	h.Bool(lo.FlagCache)
+	h.Bool(lo.FacetCache)
+	h.Bool(lo.UseGEP)
+	h.I64(int64(lo.StackSize))
+	h.I64(int64(lo.MaxInsts))
+	h.U64(uint64(len(lo.VolatileRanges)))
+	for _, vr := range lo.VolatileRanges {
+		h.U64(vr.Start)
+		h.U64(vr.End)
+	}
+	h.U64(sAddr)
+	h.U64(uint64(headerSize))
+	buf, err := w.Mem.Read(sAddr, fullSize)
+	if err != nil {
+		return codecache.Key{}, false
+	}
+	h.Bytes(buf)
+	return h.Sum(), true
+}
+
+// PrepareCached is Prepare behind the specialization cache. The returned hit
+// reports whether an already-compiled Variant was reused (including waiting
+// on a concurrent in-flight compile of the same key). Cache hits share one
+// *Variant across callers; treat it as read-only apart from MeasureRows,
+// which must not run concurrently on a shared Variant.
+//
+// Compilations are serialized by an internal lock because preparation
+// allocates and writes the emulated address space; hits bypass it entirely,
+// so PrepareCached is safe to call from many goroutines.
+func (w *Workload) PrepareCached(kind Kind, s Structure, mode Mode, o Options) (*Variant, bool, error) {
+	if w.cache == nil {
+		v, err := w.Prepare(kind, s, mode, o)
+		return v, false, err
+	}
+	key, ok := w.cacheKey(kind, s, mode, o)
+	if !ok {
+		w.compileMu.Lock()
+		defer w.compileMu.Unlock()
+		v, err := w.Prepare(kind, s, mode, o)
+		return v, false, err
+	}
+	return w.cache.Do(key, func() (*Variant, error) {
+		w.compileMu.Lock()
+		defer w.compileMu.Unlock()
+		return w.Prepare(kind, s, mode, o)
+	})
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/opt"
+)
+
+func cachedWorkload(t testing.TB) *Workload {
+	t.Helper()
+	w, err := NewWorkload(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.EnableCache(256)
+	return w
+}
+
+func TestPrepareCachedHitSharesVariant(t *testing.T) {
+	w := cachedWorkload(t)
+	v1, hit, err := w.PrepareCached(Line, Flat, DBrew, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first PrepareCached reported a hit")
+	}
+	v2, hit, err := w.PrepareCached(Line, Flat, DBrew, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second PrepareCached missed")
+	}
+	if v1 != v2 {
+		t.Error("cache hit returned a different Variant")
+	}
+	st, ok := w.CacheStats()
+	if !ok || st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss / 1 hit", st)
+	}
+
+	// The cached variant still measures correctly.
+	m, err := w.MeasureRows(v2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CyclesPerElem <= 0 {
+		t.Errorf("cached variant unmeasurable: %+v", m)
+	}
+}
+
+// TestPrepareCachedInvalidationOnStencilChange: the key hashes the stencil
+// region's contents, so mutating the serialized stencil must force a
+// recompile, and restoring it must hit the original entry again.
+func TestPrepareCachedInvalidationOnStencilChange(t *testing.T) {
+	w := cachedWorkload(t)
+	v1, _, err := w.PrepareCached(Element, Flat, DBrew, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := w.Mem.ReadFloat64(w.FlatAddr + 8) // first point's factor
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Mem.WriteFloat64(w.FlatAddr+8, orig*2); err != nil {
+		t.Fatal(err)
+	}
+	v2, hit, err := w.PrepareCached(Element, Flat, DBrew, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("stencil mutation did not change the cache key")
+	}
+	if v2.Entry == v1.Entry {
+		t.Error("recompile after mutation reused the old entry")
+	}
+	if err := w.Mem.WriteFloat64(w.FlatAddr+8, orig); err != nil {
+		t.Fatal(err)
+	}
+	v3, hit, err := w.PrepareCached(Element, Flat, DBrew, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || v3 != v1 {
+		t.Error("restoring the stencil did not hit the original specialization")
+	}
+}
+
+// TestPrepareCachedBypassesUnhashable: a PipelineMod closure cannot be part
+// of the key, so such requests must compile fresh every time and leave the
+// counters untouched.
+func TestPrepareCachedBypassesUnhashable(t *testing.T) {
+	w := cachedWorkload(t)
+	o := Options{PipelineMod: func(c *opt.Config) { c.NoCSE = true }}
+	for i := 0; i < 2; i++ {
+		_, hit, err := w.PrepareCached(Element, Flat, DBrewLLVM, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit {
+			t.Error("unhashable request reported a cache hit")
+		}
+	}
+	if st, _ := w.CacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("unhashable requests touched the cache: %+v", st)
+	}
+}
+
+// TestConcurrentThroughputExactlyOnce: under concurrent load every distinct
+// specialization compiles exactly once; all other requests are hits.
+func TestConcurrentThroughputExactlyOnce(t *testing.T) {
+	w, err := NewWorkload(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := w.RunConcurrentThroughput(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Compiles != int64(r.Distinct) {
+		t.Errorf("compiles = %d, want exactly %d (one per specialization)", r.Compiles, r.Distinct)
+	}
+	if r.Hits != int64(r.Requests)-r.Compiles {
+		t.Errorf("hits = %d, want %d", r.Hits, int64(r.Requests)-r.Compiles)
+	}
+	if got := r.Format(); got == "" {
+		t.Error("empty throughput format")
+	}
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ThroughputResult summarizes the concurrent-specialization experiment:
+// many goroutines requesting the twelve distinct line-kernel
+// specializations (structure × non-native mode) through the cache.
+type ThroughputResult struct {
+	Goroutines int
+	Rounds     int
+	Distinct   int           // distinct specializations requested
+	Requests   int           // total PrepareCached calls
+	Compiles   int64         // cache misses — must equal Distinct
+	Hits       int64         // served from cache or by waiting on an in-flight compile
+	Elapsed    time.Duration // wall clock for the whole run
+}
+
+// RunConcurrentThroughput runs goroutines workers, each requesting every
+// distinct line-kernel specialization rounds times via PrepareCached. The
+// cache's singleflight guarantees each specialization compiles exactly
+// once no matter how many workers race for it; everything else is a hit.
+func (w *Workload) RunConcurrentThroughput(goroutines, rounds int) (*ThroughputResult, error) {
+	if goroutines <= 0 {
+		goroutines = 8
+	}
+	if rounds <= 0 {
+		rounds = 1
+	}
+	prev := w.cache
+	w.EnableCache(256)
+	defer func() { w.cache = prev }()
+
+	type combo struct {
+		s Structure
+		m Mode
+	}
+	var combos []combo
+	for _, s := range AllStructures {
+		for _, m := range figure10Modes {
+			combos = append(combos, combo{s, m})
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				// Stagger the walk so workers collide on different keys.
+				for j := range combos {
+					c := combos[(j+g)%len(combos)]
+					if _, _, err := w.PrepareCached(Line, c.s, c.m, Options{}); err != nil {
+						errs[g] = fmt.Errorf("%v/%v: %w", c.s, c.m, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	st, _ := w.CacheStats()
+	return &ThroughputResult{
+		Goroutines: goroutines,
+		Rounds:     rounds,
+		Distinct:   len(combos),
+		Requests:   goroutines * rounds * len(combos),
+		Compiles:   st.Misses,
+		Hits:       st.Hits,
+		Elapsed:    elapsed,
+	}, nil
+}
+
+// Format renders the throughput experiment.
+func (r *ThroughputResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Concurrent specialization throughput (line kernels, cached)\n")
+	fmt.Fprintf(&b, "  %d goroutines × %d rounds × %d specializations = %d requests\n",
+		r.Goroutines, r.Rounds, r.Distinct, r.Requests)
+	fmt.Fprintf(&b, "  compiles: %d (exactly one per distinct specialization), cache hits: %d\n",
+		r.Compiles, r.Hits)
+	persec := float64(r.Requests) / r.Elapsed.Seconds()
+	fmt.Fprintf(&b, "  elapsed: %v, %.0f requests/s\n", r.Elapsed.Round(time.Microsecond), persec)
+	return b.String()
+}

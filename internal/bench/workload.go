@@ -8,9 +8,11 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/abi"
+	"repro/internal/codecache"
 	"repro/internal/dbrew"
 	"repro/internal/emu"
 	"repro/internal/ir"
@@ -94,6 +96,12 @@ type Workload struct {
 	SortedAddr   uint64
 	SortedHeader int
 	SortedSize   int
+
+	// cache, when enabled, deduplicates PrepareCached compilations;
+	// compileMu serializes the compilations themselves (preparation
+	// allocates and writes the shared emulated address space).
+	cache     *codecache.Cache[*Variant]
+	compileMu sync.Mutex
 }
 
 // NewWorkload builds the full workload for side length sz (the paper: 649)

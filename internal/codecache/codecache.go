@@ -1,0 +1,243 @@
+// Package codecache implements the specialization code cache of the
+// runtime rewriter: a sharded, concurrency-safe map from canonical
+// specialization keys to compiled-code entries, with singleflight
+// deduplication so N concurrent requests for the same specialization
+// compile exactly once while the rest block on the in-flight result.
+//
+// The cache is bounded: each shard keeps an LRU list and evicts its
+// least-recently-used entry when over capacity. Eviction only forgets the
+// cache mapping — the generated code itself stays valid, because the engine
+// owns the placed code pages (a later request for the same key simply
+// compiles again into fresh pages).
+//
+// The value type is generic so the cache carries whatever the caller needs
+// to restore on a hit (entry address, code size, rewrite statistics) without
+// this package depending on the rewriter layers above it.
+package codecache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards is the shard count for caches whose capacity allows it. Sixteen
+// shards keep same-shard lock contention low at the concurrency levels the
+// throughput benchmark exercises without fragmenting small capacities.
+const numShards = 16
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups served from a completed entry, including waiters
+	// that blocked on an in-flight compilation and received its result.
+	Hits int64
+	// Misses counts lookups that ran the compile function. This equals the
+	// number of compilations the cache started.
+	Misses int64
+	// Waits counts lookups that found a compilation in flight and blocked
+	// for its result (a subset of Hits unless the compile failed).
+	Waits int64
+	// Evictions counts entries dropped by the LRU capacity bound.
+	Evictions int64
+	// Entries is the current number of cached entries.
+	Entries int64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("hits %d, misses %d, inflight-waits %d, evictions %d, entries %d",
+		s.Hits, s.Misses, s.Waits, s.Evictions, s.Entries)
+}
+
+// entry is one cached value on a shard's LRU list.
+type entry[V any] struct {
+	key Key
+	val V
+}
+
+// flight is an in-progress compilation other goroutines can wait on.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+type shard[V any] struct {
+	mu       sync.Mutex
+	entries  map[Key]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[Key]*flight[V]
+}
+
+// Cache is a sharded, bounded specialization cache. All methods are safe
+// for concurrent use.
+type Cache[V any] struct {
+	shards      []shard[V]
+	perShardCap int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	waits     atomic.Int64
+	evictions atomic.Int64
+}
+
+// New returns a cache bounded to at most capacity entries (capacity <= 0
+// selects a default of 1024). The bound is enforced per shard, so the total
+// entry count never exceeds capacity.
+func New[V any](capacity int) *Cache[V] {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	n := numShards
+	if capacity < n {
+		// Tiny caches use one shard so the capacity bound stays exact.
+		n = 1
+	}
+	c := &Cache[V]{
+		shards:      make([]shard[V], n),
+		perShardCap: capacity / n,
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*list.Element)
+		c.shards[i].lru = list.New()
+		c.shards[i].inflight = make(map[Key]*flight[V])
+	}
+	return c
+}
+
+func (c *Cache[V]) shard(k Key) *shard[V] {
+	return &c.shards[uint(k[0])%uint(len(c.shards))]
+}
+
+// Get returns the cached value for k without compiling on a miss.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[k]; ok {
+		s.lru.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Do returns the cached value for k, compiling it with compile on a miss.
+// Concurrent calls for the same key run compile exactly once: the first
+// caller compiles, the rest block and receive the same result. The reported
+// bool is true when the value came from the cache or from another caller's
+// in-flight compilation, false when this call ran compile itself.
+//
+// A failed compile is not cached; every caller waiting on it receives the
+// error, and the next Do for the key compiles again.
+func (c *Cache[V]) Do(k Key, compile func() (V, error)) (V, bool, error) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if el, ok := s.entries[k]; ok {
+		s.lru.MoveToFront(el)
+		v := el.Value.(*entry[V]).val
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return v, true, nil
+	}
+	if fl, ok := s.inflight[k]; ok {
+		s.mu.Unlock()
+		c.waits.Add(1)
+		<-fl.done
+		if fl.err != nil {
+			var zero V
+			return zero, false, fl.err
+		}
+		c.hits.Add(1)
+		return fl.val, true, nil
+	}
+	fl := &flight[V]{done: make(chan struct{})}
+	s.inflight[k] = fl
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	var v V
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				// Unblock waiters with an error before propagating the
+				// panic, so a panicking compile cannot deadlock the key.
+				s.mu.Lock()
+				delete(s.inflight, k)
+				s.mu.Unlock()
+				fl.err = fmt.Errorf("codecache: compile panicked: %v", r)
+				close(fl.done)
+				panic(r)
+			}
+		}()
+		v, err = compile()
+	}()
+
+	s.mu.Lock()
+	delete(s.inflight, k)
+	if err == nil {
+		s.insert(k, v, c)
+	}
+	s.mu.Unlock()
+	fl.val, fl.err = v, err
+	close(fl.done)
+	if err != nil {
+		var zero V
+		return zero, false, err
+	}
+	return v, false, nil
+}
+
+// insert adds k under the shard lock and evicts past the capacity bound.
+func (s *shard[V]) insert(k Key, v V, c *Cache[V]) {
+	if el, ok := s.entries[k]; ok {
+		el.Value.(*entry[V]).val = v
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[k] = s.lru.PushFront(&entry[V]{key: k, val: v})
+	for s.lru.Len() > c.perShardCap {
+		back := s.lru.Back()
+		e := back.Value.(*entry[V])
+		s.lru.Remove(back)
+		delete(s.entries, e.key)
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Purge drops every cached entry (in-flight compilations finish normally
+// and re-insert their results).
+func (c *Cache[V]) Purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[Key]*list.Element)
+		s.lru = list.New()
+		s.mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Waits:     c.waits.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   int64(c.Len()),
+	}
+}

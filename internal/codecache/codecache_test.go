@@ -1,0 +1,328 @@
+package codecache
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func keyOf(parts ...uint64) Key {
+	h := NewHasher()
+	for _, p := range parts {
+		h.U64(p)
+	}
+	return h.Sum()
+}
+
+func TestDoCompilesOnceAndHits(t *testing.T) {
+	c := New[int](8)
+	var calls int
+	k := keyOf(1)
+	v, hit, err := c.Do(k, func() (int, error) { calls++; return 42, nil })
+	if err != nil || hit || v != 42 {
+		t.Fatalf("first Do = (%d, %v, %v), want (42, false, nil)", v, hit, err)
+	}
+	v, hit, err = c.Do(k, func() (int, error) { calls++; return 0, nil })
+	if err != nil || !hit || v != 42 {
+		t.Fatalf("second Do = (%d, %v, %v), want (42, true, nil)", v, hit, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compile ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestGet(t *testing.T) {
+	c := New[string](8)
+	k := keyOf(7)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("Get on empty cache reported a hit")
+	}
+	c.Do(k, func() (string, error) { return "code", nil })
+	v, ok := c.Get(k)
+	if !ok || v != "code" {
+		t.Fatalf("Get = (%q, %v), want (code, true)", v, ok)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New[int](8)
+	k := keyOf(3)
+	boom := errors.New("boom")
+	if _, _, err := c.Do(k, func() (int, error) { return 0, boom }); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed compile was cached")
+	}
+	v, hit, err := c.Do(k, func() (int, error) { return 9, nil })
+	if err != nil || hit || v != 9 {
+		t.Fatalf("retry Do = (%d, %v, %v), want (9, false, nil)", v, hit, err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Capacity below numShards forces a single shard, so eviction order is
+	// exact: inserting capacity+1 entries evicts the least recently used.
+	c := New[int](4)
+	for i := 0; i < 4; i++ {
+		c.Do(keyOf(uint64(i)), func() (int, error) { return i, nil })
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	// Touch key 0 so key 1 becomes the LRU victim.
+	if _, ok := c.Get(keyOf(0)); !ok {
+		t.Fatal("key 0 missing before eviction")
+	}
+	c.Do(keyOf(99), func() (int, error) { return 99, nil })
+	if c.Len() != 4 {
+		t.Fatalf("Len after eviction = %d, want 4", c.Len())
+	}
+	if _, ok := c.Get(keyOf(1)); ok {
+		t.Fatal("LRU entry (key 1) survived eviction")
+	}
+	if _, ok := c.Get(keyOf(0)); !ok {
+		t.Fatal("recently used entry (key 0) was evicted")
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("Evictions = %d, want 1", ev)
+	}
+}
+
+func TestCapacityBoundSharded(t *testing.T) {
+	c := New[int](64)
+	for i := 0; i < 1000; i++ {
+		c.Do(keyOf(uint64(i)), func() (int, error) { return i, nil })
+	}
+	if n := c.Len(); n > 64 {
+		t.Fatalf("Len = %d, exceeds capacity 64", n)
+	}
+	if ev := c.Stats().Evictions; ev == 0 {
+		t.Fatal("expected evictions after 1000 inserts into capacity 64")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[int](8)
+	c.Do(keyOf(1), func() (int, error) { return 1, nil })
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Purge = %d, want 0", c.Len())
+	}
+}
+
+func TestCompilePanicUnblocksWaiters(t *testing.T) {
+	c := New[int](8)
+	k := keyOf(5)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		c.Do(k, func() (int, error) {
+			close(started)
+			<-release
+			panic("compile exploded")
+		})
+	}()
+	<-started
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// A waiter either receives the panic error or, racing past the
+			// cleanup, compiles 7 itself — both leave the key usable.
+			v, _, err := c.Do(k, func() (int, error) { return 7, nil })
+			if err == nil && v != 7 {
+				t.Errorf("waiter got (%d, nil), want value 7", v)
+			}
+		}()
+	}
+	// Give the waiters a chance to park on the flight, then let it panic.
+	close(release)
+	wg.Wait()
+	// The key must remain usable and compile fresh (or hit a waiter's entry).
+	v, _, err := c.Do(k, func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("Do after panic = (%d, %v), want (7, nil)", v, err)
+	}
+}
+
+// TestConcurrentExactlyOnce is the -race hammer required by the issue:
+// 32 goroutines on one cache, both all-same-key and distinct-keys modes,
+// asserting via a counting compile func that each key compiles exactly once.
+func TestConcurrentExactlyOnce(t *testing.T) {
+	const goroutines = 32
+	const rounds = 50
+
+	t.Run("same-key", func(t *testing.T) {
+		c := New[uint64](128)
+		var calls atomic.Int64
+		k := keyOf(0xbeef)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < rounds; i++ {
+					v, _, err := c.Do(k, func() (uint64, error) {
+						calls.Add(1)
+						return 0xbeef, nil
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if v != 0xbeef {
+						t.Errorf("v = %#x, want 0xbeef", v)
+						return
+					}
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		if n := calls.Load(); n != 1 {
+			t.Fatalf("compile ran %d times for one key, want exactly 1", n)
+		}
+		st := c.Stats()
+		if st.Misses != 1 {
+			t.Fatalf("Misses = %d, want 1", st.Misses)
+		}
+		if st.Hits+st.Misses < goroutines*rounds {
+			t.Fatalf("hits %d + misses %d < %d lookups", st.Hits, st.Misses, goroutines*rounds)
+		}
+	})
+
+	t.Run("distinct-keys", func(t *testing.T) {
+		c := New[uint64](4096)
+		var perKey [goroutines]atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < goroutines; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < rounds; i++ {
+					// Every goroutine cycles through all keys, so each key is
+					// requested concurrently by many goroutines.
+					key := uint64((g + i) % goroutines)
+					v, _, err := c.Do(keyOf(key), func() (uint64, error) {
+						perKey[key].Add(1)
+						return key * 3, nil
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if v != key*3 {
+						t.Errorf("key %d: v = %d, want %d", key, v, key*3)
+						return
+					}
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		for k := range perKey {
+			if n := perKey[k].Load(); n != 1 {
+				t.Errorf("key %d compiled %d times, want exactly 1", k, n)
+			}
+		}
+		if st := c.Stats(); st.Misses != goroutines {
+			t.Errorf("Misses = %d, want %d", st.Misses, goroutines)
+		}
+	})
+}
+
+func TestHasherFieldBoundaries(t *testing.T) {
+	// Length prefixes must prevent adjacent fields from aliasing.
+	a := NewHasher()
+	a.Bytes([]byte("ab"))
+	a.Bytes([]byte("c"))
+	b := NewHasher()
+	b.Bytes([]byte("a"))
+	b.Bytes([]byte("bc"))
+	if a.Sum() == b.Sum() {
+		t.Fatal("field boundaries alias: ab|c == a|bc")
+	}
+
+	// Type tags must distinguish equal bit patterns.
+	u := NewHasher()
+	u.U64(1)
+	bo := NewHasher()
+	bo.Bool(true)
+	if u.Sum() == bo.Sum() {
+		t.Fatal("U64(1) and Bool(true) hash identically")
+	}
+
+	// Determinism.
+	if keyOf(1, 2, 3) != keyOf(1, 2, 3) {
+		t.Fatal("identical field sequences produced different keys")
+	}
+	if keyOf(1, 2, 3) == keyOf(1, 2, 4) {
+		t.Fatal("different field sequences produced the same key")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Hits: 2, Misses: 1, Waits: 3, Evictions: 4, Entries: 5}.String()
+	for _, want := range []string{"hits 2", "misses 1", "inflight-waits 3", "evictions 4", "entries 5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Stats.String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func BenchmarkDoHit(b *testing.B) {
+	c := New[int](1024)
+	k := keyOf(1)
+	c.Do(k, func() (int, error) { return 1, nil })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Do(k, func() (int, error) { return 1, nil })
+	}
+}
+
+func BenchmarkDoHitParallel(b *testing.B) {
+	c := New[int](1024)
+	keys := make([]Key, 64)
+	for i := range keys {
+		keys[i] = keyOf(uint64(i))
+		c.Do(keys[i], func() (int, error) { return i, nil })
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Do(keys[i%len(keys)], func() (int, error) { return 0, nil })
+			i++
+		}
+	})
+}
+
+func ExampleCache() {
+	c := New[string](16)
+	h := NewHasher()
+	h.U64(0x400000) // entry address
+	h.Str("f64(ptr)")
+	k := h.Sum()
+	v, hit, _ := c.Do(k, func() (string, error) { return "compiled", nil })
+	fmt.Println(v, hit)
+	v, hit, _ = c.Do(k, func() (string, error) { return "never runs", nil })
+	fmt.Println(v, hit)
+	// Output:
+	// compiled false
+	// compiled true
+}

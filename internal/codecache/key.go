@@ -1,0 +1,70 @@
+package codecache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+)
+
+// Key is a canonical specialization key: the first 16 bytes of a SHA-256
+// over the length-prefixed fields fed to a Hasher. 128 bits keeps accidental
+// collisions out of reach while the key stays a cheap comparable array
+// usable directly as a map key.
+type Key [16]byte
+
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Hasher accumulates the fields of a specialization key. Each field is
+// written with a type tag and (for variable-length data) a length prefix, so
+// adjacent fields can never alias each other — e.g. Bytes("ab"), Bytes("c")
+// hashes differently from Bytes("a"), Bytes("bc").
+type Hasher struct {
+	h   hash.Hash
+	buf [9]byte
+}
+
+// NewHasher returns an empty Hasher.
+func NewHasher() *Hasher {
+	return &Hasher{h: sha256.New()}
+}
+
+func (h *Hasher) tagged(tag byte, n uint64) {
+	h.buf[0] = tag
+	binary.LittleEndian.PutUint64(h.buf[1:], n)
+	h.h.Write(h.buf[:])
+}
+
+// U64 appends a fixed-width integer field.
+func (h *Hasher) U64(v uint64) { h.tagged('u', v) }
+
+// I64 appends a signed integer field.
+func (h *Hasher) I64(v int64) { h.tagged('i', uint64(v)) }
+
+// Bool appends a boolean field.
+func (h *Hasher) Bool(v bool) {
+	var n uint64
+	if v {
+		n = 1
+	}
+	h.tagged('b', n)
+}
+
+// Bytes appends a variable-length field with a length prefix.
+func (h *Hasher) Bytes(p []byte) {
+	h.tagged('[', uint64(len(p)))
+	h.h.Write(p)
+}
+
+// Str appends a string field with a length prefix.
+func (h *Hasher) Str(s string) {
+	h.tagged('s', uint64(len(s)))
+	h.h.Write([]byte(s))
+}
+
+// Sum finalizes the key. The Hasher must not be reused afterwards.
+func (h *Hasher) Sum() Key {
+	var k Key
+	copy(k[:], h.h.Sum(nil))
+	return k
+}

@@ -3,6 +3,7 @@ package dbrew
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/abi"
 	"repro/internal/emu"
@@ -96,6 +97,26 @@ func (r *Rewriter) SetConfig(cfg Config) { r.cfg = cfg }
 // Ranges returns the configured fixed memory ranges (used by the LLVM
 // backend integration of Section IV).
 func (r *Rewriter) Ranges() []Range { return r.ranges }
+
+// ParamFix is one fixed parameter as configured by SetPar/SetParPtr.
+type ParamFix struct {
+	Idx   int
+	Value uint64
+}
+
+// KnownParams returns the fixed parameters sorted by index — a canonical
+// form suitable for building specialization cache keys.
+func (r *Rewriter) KnownParams() []ParamFix {
+	out := make([]ParamFix, 0, len(r.knownParams))
+	for idx, v := range r.knownParams {
+		out = append(out, ParamFix{Idx: idx, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Idx < out[j].Idx })
+	return out
+}
+
+// Config returns the configured resource limits.
+func (r *Rewriter) Config() Config { return r.cfg }
 
 // Rewrite produces the specialized function and returns its entry address.
 // On failure the error handler runs; the default returns the original

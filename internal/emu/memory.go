@@ -13,6 +13,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Fault describes an invalid memory access.
@@ -40,10 +42,20 @@ func (r *Region) End() uint64 { return r.Start + uint64(len(r.Data)) }
 // Memory is a sparse virtual address space composed of mapped regions.
 // Lookups cache the last region hit, which makes the common
 // one-region-dominates workloads fast.
+//
+// The region *set* is copy-on-write: Map/Alloc build a new sorted slice
+// under a mutex and publish it atomically, and lookups read the published
+// slice without locking. This keeps the emulator's per-instruction lookup
+// path lock-free while letting the rewriter hash fixed memory ranges (for
+// specialization cache keys) concurrently with compiles that allocate code
+// pages. Region contents are not synchronized — concurrent accessors must
+// touch disjoint regions, which the engine guarantees by serializing
+// compiles (writers) and only reading already-published data elsewhere.
 type Memory struct {
-	regions []*Region
-	last    *Region
-	brk     uint64 // next free address for Alloc
+	mapMu   sync.Mutex                // serializes Map/Alloc and guards brk
+	regions atomic.Pointer[[]*Region] // sorted by Start; slice is immutable once published
+	last    atomic.Pointer[Region]    // MRU lookup cache
+	brk     uint64                    // next free address for Alloc
 
 	// stack is the shared machine stack, created on first use. Machines
 	// on one Memory run sequentially, so one stack region suffices; a
@@ -55,17 +67,34 @@ type Memory struct {
 // NewMemory returns an empty address space whose allocator starts at base.
 func NewMemory(base uint64) *Memory { return &Memory{brk: base} }
 
+func (m *Memory) loadRegions() []*Region {
+	if p := m.regions.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // Map adds a region at a fixed address. Overlapping an existing region is an
 // error.
 func (m *Memory) Map(start uint64, size int, name string) (*Region, error) {
+	m.mapMu.Lock()
+	defer m.mapMu.Unlock()
+	return m.mapLocked(start, size, name)
+}
+
+func (m *Memory) mapLocked(start uint64, size int, name string) (*Region, error) {
 	r := &Region{Start: start, Data: make([]byte, size), Name: name}
-	for _, o := range m.regions {
+	old := m.loadRegions()
+	for _, o := range old {
 		if r.Start < o.End() && o.Start < r.End() {
 			return nil, fmt.Errorf("emu: mapping %q [%#x,%#x) overlaps %q", name, r.Start, r.End(), o.Name)
 		}
 	}
-	m.regions = append(m.regions, r)
-	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Start < m.regions[j].Start })
+	next := make([]*Region, len(old)+1)
+	copy(next, old)
+	next[len(old)] = r
+	sort.Slice(next, func(i, j int) bool { return next[i].Start < next[j].Start })
+	m.regions.Store(&next)
 	if r.End() > m.brk {
 		m.brk = r.End()
 	}
@@ -78,8 +107,10 @@ func (m *Memory) Alloc(size int, align uint64, name string) *Region {
 	if align == 0 {
 		align = 16
 	}
+	m.mapMu.Lock()
+	defer m.mapMu.Unlock()
 	start := (m.brk + align - 1) &^ (align - 1)
-	r, err := m.Map(start, size, name)
+	r, err := m.mapLocked(start, size, name)
 	if err != nil {
 		panic("emu: allocator collision: " + err.Error()) // cannot happen: brk is past all regions
 	}
@@ -99,14 +130,15 @@ func (m *Memory) MapBytes(start uint64, data []byte, name string) (*Region, erro
 
 // find locates the region containing [addr, addr+size).
 func (m *Memory) find(addr uint64, size int) *Region {
-	if r := m.last; r != nil && addr >= r.Start && addr+uint64(size) <= r.End() {
+	if r := m.last.Load(); r != nil && addr >= r.Start && addr+uint64(size) <= r.End() {
 		return r
 	}
-	i := sort.Search(len(m.regions), func(i int) bool { return m.regions[i].End() > addr })
-	if i < len(m.regions) {
-		r := m.regions[i]
+	regions := m.loadRegions()
+	i := sort.Search(len(regions), func(i int) bool { return regions[i].End() > addr })
+	if i < len(regions) {
+		r := regions[i]
 		if addr >= r.Start && addr+uint64(size) <= r.End() {
-			m.last = r
+			m.last.Store(r)
 			return r
 		}
 	}
@@ -206,4 +238,4 @@ func (m *Memory) ReadFloat64(addr uint64) (float64, error) {
 }
 
 // Regions returns the mapped regions in address order.
-func (m *Memory) Regions() []*Region { return m.regions }
+func (m *Memory) Regions() []*Region { return m.loadRegions() }

@@ -168,10 +168,19 @@ func (l *Lifter) LiftFunc(addr uint64, name string, sig abi.Signature) (*ir.Func
 		return mbs[i].start < mbs[j].start
 	})
 
+	// Every block head seeds one phi per GPR/XMM facet and flag, so the
+	// phi-slot and instruction slices have a known floor — preallocating
+	// them keeps the hot translate loop out of append's regrow path.
+	phisPerBlock := 16*(len(gprPhiFacets)+len(xmmPhiFacets)) + numFlags
+
 	lifts := make([]*blockLift, len(mbs))
-	byAddr := make(map[uint64]*blockLift)
+	byAddr := make(map[uint64]*blockLift, len(mbs))
 	for i, mb := range mbs {
 		bl := &blockLift{mb: mb, irb: f.NewBlock(fmt.Sprintf("bb_%x", mb.start))}
+		bl.phis = make([]phiEntry, 0, phisPerBlock)
+		// Each machine instruction expands to a handful of IR instructions
+		// on top of the phi block; start the slice at that scale.
+		bl.irb.Insts = make([]*ir.Inst, 0, phisPerBlock+4*len(mb.insts))
 		lifts[i] = bl
 		byAddr[mb.start] = bl
 		l.blockIR[mb.start] = bl.irb
@@ -241,6 +250,9 @@ func (l *Lifter) LiftFunc(addr uint64, name string, sig abi.Signature) (*ir.Func
 	for _, bl := range lifts {
 		preds := predsOf[bl.irb]
 		for _, pe := range bl.phis {
+			// One incoming edge per predecessor: size the phi up front.
+			pe.phi.Args = make([]ir.Value, 0, len(preds))
+			pe.phi.Incoming = make([]*ir.Block, 0, len(preds))
 			for _, p := range preds {
 				v := l.predValue(p, byIR, entrySt, pe.key)
 				ir.AddIncoming(pe.phi, v, p)

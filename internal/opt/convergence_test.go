@@ -1,0 +1,105 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// buildCascade constructs 1+2, then +3, ... — a constant-fold chain depth
+// insts deep whose cleanup is entirely the convergence loop's work.
+func buildCascade(depth int) *ir.Func {
+	f := ir.NewFunc("cascade", ir.I64)
+	bld := ir.NewBuilder(f)
+	v := ir.Value(bld.Add(ir.Int(ir.I64, 1), ir.Int(ir.I64, 2)))
+	for i := 1; i < depth; i++ {
+		v = bld.Add(v, ir.Int(ir.I64, uint64(i+2)))
+	}
+	bld.Ret(v)
+	return f
+}
+
+// TestOptimizeConvergenceStats: the pipeline's cleanup loop must run until
+// a round changes nothing and record its work in Stats. A first run over
+// foldable IR does real work; a second run is at the fixpoint and
+// terminates after exactly one zero-change round.
+func TestOptimizeConvergenceStats(t *testing.T) {
+	f := buildCascade(8)
+	first := Optimize(f, O3())
+	if first.Rounds == 0 {
+		t.Fatal("first Optimize reported zero cleanup rounds")
+	}
+	if first.Changed == 0 {
+		t.Fatal("first Optimize over foldable IR reported zero changes")
+	}
+	if first.Rounds >= maxCleanupRounds {
+		t.Fatalf("cleanup did not converge: %d rounds", first.Rounds)
+	}
+
+	second := Optimize(f, O3())
+	if second.Changed != 0 {
+		t.Errorf("second Optimize at the fixpoint reported %d changes", second.Changed)
+	}
+	// At the fixpoint no structural phase fires, so only the initial
+	// convergence loop runs — and it must stop after its first round.
+	if second.Rounds != 1 {
+		t.Errorf("second Optimize ran %d rounds, want 1", second.Rounds)
+	}
+	if second.Rounds >= first.Rounds {
+		t.Errorf("fixpoint run used %d rounds, first run %d — convergence check is not saving work",
+			second.Rounds, first.Rounds)
+	}
+	mustVerify(t, f)
+	if got := runI(t, f); got != 45 {
+		t.Errorf("cascade = %d, want 45", got)
+	}
+
+	// The full pipeline still optimizes and preserves loops end to end.
+	loop := buildSumLoop(ir.Int(ir.I64, 7))
+	st := Optimize(loop, O3())
+	if st.Rounds == 0 || st.Rounds >= 5*maxCleanupRounds {
+		t.Errorf("loop pipeline rounds = %d, want a small positive count", st.Rounds)
+	}
+	mustVerify(t, loop)
+	if got := runI(t, loop, 0); got != 21 {
+		t.Errorf("sum(7) = %d, want 21", got)
+	}
+}
+
+// TestInstCombineSinglePassCascade: a constant chain of depth k must fold in
+// one InstCombine call (eager operand substitution), and a second call must
+// report zero changes.
+func TestInstCombineSinglePassCascade(t *testing.T) {
+	f := buildCascade(8)
+	if n := InstCombine(f, false); n == 0 {
+		t.Fatal("InstCombine folded nothing")
+	}
+	if n := f.NumInsts(); n != 1 { // just the ret
+		t.Errorf("cascade left %d instructions, want 1 (ret const)", n)
+	}
+	if n := InstCombine(f, false); n != 0 {
+		t.Errorf("second InstCombine reported %d changes at the fixpoint", n)
+	}
+	mustVerify(t, f)
+	if got := runI(t, f); got != 45 { // 1+2+...+9
+		t.Errorf("cascade = %d, want 45", got)
+	}
+}
+
+// TestDCEReportsRemovals: DCE must return the number of removed
+// instructions and zero at the fixpoint.
+func TestDCEReportsRemovals(t *testing.T) {
+	f := ir.NewFunc("deadcode", ir.I64)
+	bld := ir.NewBuilder(f)
+	d := bld.Add(ir.Int(ir.I64, 1), ir.Int(ir.I64, 2))
+	bld.Mul(d, ir.Int(ir.I64, 3))
+	bld.Ret(ir.Int(ir.I64, 9))
+
+	if n := DCE(f); n != 2 {
+		t.Errorf("DCE removed %d instructions, want 2", n)
+	}
+	if n := DCE(f); n != 0 {
+		t.Errorf("second DCE removed %d instructions, want 0", n)
+	}
+	mustVerify(t, f)
+}

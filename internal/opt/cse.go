@@ -88,30 +88,51 @@ func CSE(f *ir.Func) int {
 //
 //	%i = phi [ %init, %pre ], [ %i.next, %latch ]   %i.next = add %i, 1
 //	%j = phi [ %init, %pre ], [ %j.next, %latch ]   %j.next = add %j, 1
+//
+// Merged (now dead) phis are remembered in a skip set and swept by one DCE
+// at the end, and re-scan rounds only revisit blocks that merged something
+// in the previous round; cross-block cascades are picked up by the next CSE
+// call of the pipeline's convergence loop.
 func mergeCongruentPhis(f *ir.Func) int {
 	merged := 0
-	for {
+	dead := make(map[*ir.Inst]bool)
+	blocks := f.Blocks
+	for len(blocks) > 0 {
 		repl := make(map[ir.Value]ir.Value)
-		for _, b := range f.Blocks {
+		var next []*ir.Block
+		for _, b := range blocks {
 			phis := b.Phis()
+			found := false
 			for i := 0; i < len(phis); i++ {
+				if dead[phis[i]] {
+					continue
+				}
 				for j := i + 1; j < len(phis); j++ {
-					if repl[phis[i]] != nil || repl[phis[j]] != nil {
+					if dead[phis[j]] || repl[phis[i]] != nil || repl[phis[j]] != nil {
 						continue
 					}
 					if phisCongruent(phis[i], phis[j]) {
 						repl[phis[j]] = phis[i]
+						dead[phis[j]] = true
+						found = true
 					}
 				}
 			}
+			if found {
+				next = append(next, b)
+			}
 		}
 		if len(repl) == 0 {
-			return merged
+			break
 		}
 		merged += len(repl)
 		replaceAll(f, repl)
+		blocks = next
+	}
+	if merged > 0 {
 		DCE(f)
 	}
+	return merged
 }
 
 func phisCongruent(p, q *ir.Inst) bool {

@@ -30,20 +30,22 @@ func DCE(f *ir.Func) int {
 			mark(a)
 		}
 	}
-	dead := make(map[*ir.Inst]bool)
+	// Sweep in one pass over the blocks. Dead phis may still be referenced
+	// by other dead phis; removal is consistent because all of them go at
+	// once.
+	removed := 0
 	for _, b := range f.Blocks {
+		out := b.Insts[:0]
 		for _, in := range b.Insts {
-			if !live[in] {
-				dead[in] = true
+			if live[in] {
+				out = append(out, in)
+			} else {
+				removed++
 			}
 		}
+		b.Insts = out
 	}
-	if len(dead) == 0 {
-		return 0
-	}
-	// Dead phis may still be referenced by other dead phis; removal is
-	// consistent because all of them go at once.
-	return removeMarked(f, dead)
+	return removed
 }
 
 // RemoveUnreachable deletes blocks not reachable from the entry and prunes

@@ -14,29 +14,82 @@ import (
 // Deliberately absent, matching the paper's observation in Section III.D:
 // recombining bitwise operations on individual flag i1 values back into a
 // signed comparison. Only the lifter's flag cache produces the direct icmp.
+//
+// Replacements are substituted into operands eagerly during the scan, so a
+// depth-k constant-folding cascade collapses in one pass instead of needing
+// k full rescans, and dead originals are swept by a single DCE at the end
+// instead of one per inner iteration.
 func InstCombine(f *ir.Func, fastMath bool) int {
 	changed := 0
-	for {
-		repl := make(map[ir.Value]ir.Value)
-		for _, b := range f.Blocks {
-			for _, in := range b.Insts {
-				if v := foldConst(in); v != nil {
-					repl[in] = v
-					continue
-				}
-				if v := combine(in, fastMath); v != nil && v != ir.Value(in) {
-					repl[in] = v
-				}
-				in.Parent = b // in-place rewrites reset metadata
+	repl := make(map[ir.Value]ir.Value)
+	resolve := func(v ir.Value) ir.Value {
+		seen := 0
+		for {
+			n, ok := repl[v]
+			if !ok {
+				return v
+			}
+			v = n
+			seen++
+			if seen > len(repl)+1 {
+				return v // defensive: break replacement cycles
 			}
 		}
-		if len(repl) == 0 {
-			return changed
+	}
+	for {
+		newRepl, mutated := 0, 0
+		for _, b := range f.Blocks {
+			for _, in := range b.Insts {
+				if _, dead := repl[in]; dead {
+					continue // already replaced; DCE sweeps it at the end
+				}
+				// Substitute accumulated replacements into the operands
+				// before matching, so this pass sees the folded form.
+				for i, a := range in.Args {
+					if r := resolve(a); r != a {
+						in.Args[i] = r
+					}
+				}
+				if v := foldConst(in); v != nil {
+					repl[in] = v
+					newRepl++
+					continue
+				}
+				// Snapshot the fields every in-place rewrite touches, so a
+				// nil return from combine still reveals whether it changed
+				// the instruction (and a rescan may find new patterns).
+				op, pred, nargs := in.Op, in.Pred, len(in.Args)
+				var a0, a1 ir.Value
+				if nargs > 0 {
+					a0 = in.Args[0]
+				}
+				if nargs > 1 {
+					a1 = in.Args[1]
+				}
+				v := combine(in, fastMath)
+				in.Parent = b // in-place rewrites reset metadata
+				if v != nil && v != ir.Value(in) {
+					repl[in] = v
+					newRepl++
+					continue
+				}
+				if in.Op != op || in.Pred != pred || len(in.Args) != nargs ||
+					(nargs > 0 && in.Args[0] != a0) || (nargs > 1 && in.Args[1] != a1) {
+					mutated++
+				}
+			}
 		}
-		changed += len(repl)
-		replaceAll(f, repl)
+		changed += newRepl + mutated
+		// Stop once a full scan neither replaced nor rewrote anything; at
+		// that point every use has also been resolved through repl.
+		if newRepl == 0 && mutated == 0 {
+			break
+		}
+	}
+	if changed > 0 {
 		DCE(f)
 	}
+	return changed
 }
 
 func isZeroConst(v ir.Value) bool {

@@ -42,10 +42,27 @@ type Stats struct {
 	Vectorized  int
 	InstsBefore int
 	InstsAfter  int
+	// Rounds counts the cleanup rounds executed across all convergence
+	// loops; Changed sums the changes those rounds reported. A function
+	// already at its fixpoint costs exactly one (zero-change) round per
+	// convergence point.
+	Rounds  int
+	Changed int
 }
+
+// maxCleanupRounds bounds each convergence loop defensively; the cleanup
+// passes are monotone, so real inputs converge in a handful of rounds.
+const maxCleanupRounds = 32
 
 // Optimize runs the pipeline on one function. It is idempotent and safe to
 // run repeatedly.
+//
+// The cleanup passes (SimplifyCFG, InstCombine, DCE, CSE) run in rounds
+// until a whole round reports no changes, rather than a fixed number of
+// times: functions that converge early skip the dead rounds, and the
+// occasional deep chain still gets as many rounds as it needs. The
+// structural phases (inline, mem2reg, unroll, vectorize) only trigger
+// another convergence loop when they changed something.
 func Optimize(f *ir.Func, cfg Config) Stats {
 	st := Stats{InstsBefore: f.NumInsts()}
 	if cfg.MaxUnrollTrip == 0 {
@@ -61,54 +78,80 @@ func Optimize(f *ir.Func, cfg Config) Stats {
 		return st
 	}
 
-	// Early cleanup: fold the facet-model noise before anything else.
-	round := func() {
+	round := func() int {
+		n := 0
 		if !cfg.NoSimplify {
-			SimplifyCFG(f)
+			n += SimplifyCFG(f)
 		}
 		if !cfg.NoInstCombine {
-			InstCombine(f, cfg.FastMath)
+			n += InstCombine(f, cfg.FastMath)
 		}
-		DCE(f)
+		n += DCE(f)
 		if !cfg.NoCSE {
-			CSE(f)
+			n += CSE(f)
 		}
 		if !cfg.NoSimplify {
-			SimplifyCFG(f)
+			n += SimplifyCFG(f)
+		}
+		return n
+	}
+	converge := func() {
+		for i := 0; i < maxCleanupRounds; i++ {
+			st.Rounds++
+			n := round()
+			st.Changed += n
+			if n == 0 {
+				return
+			}
 		}
 	}
-	round()
+
+	// Early cleanup: fold the facet-model noise before anything else.
+	converge()
 
 	if !cfg.NoInline {
-		st.Inlined += Inline(f)
+		if n := Inline(f); n > 0 {
+			st.Inlined += n
+			converge()
+		}
 	}
-	round()
 
 	if !cfg.NoMem2Reg {
-		Mem2Reg(f)
+		if Mem2Reg(f) > 0 {
+			converge()
+		}
 	}
-	round()
 
 	if !cfg.NoUnroll {
-		st.Unrolled += Unroll(f, cfg.MaxUnrollTrip, cfg.MaxUnrollClone)
+		if n := Unroll(f, cfg.MaxUnrollTrip, cfg.MaxUnrollClone); n > 0 {
+			st.Unrolled += n
+			converge()
+		}
 	}
-	round()
 
 	// A second inline/unroll round catches loops exposed by folding.
+	again := 0
 	if !cfg.NoInline {
-		st.Inlined += Inline(f)
+		n := Inline(f)
+		st.Inlined += n
+		again += n
 	}
 	if !cfg.NoUnroll {
-		st.Unrolled += Unroll(f, cfg.MaxUnrollTrip, cfg.MaxUnrollClone)
+		n := Unroll(f, cfg.MaxUnrollTrip, cfg.MaxUnrollClone)
+		st.Unrolled += n
+		again += n
 	}
-	round()
+	if again > 0 {
+		converge()
+	}
 
 	if cfg.ForceVectorWidth == 2 {
-		st.Vectorized += Vectorize(f, cfg)
-		round()
+		if n := Vectorize(f, cfg); n > 0 {
+			st.Vectorized += n
+			converge()
+		}
 	}
 
-	round()
 	st.InstsAfter = f.NumInsts()
 	return st
 }
@@ -126,6 +169,8 @@ func OptimizeModule(m *ir.Module, cfg Config) Stats {
 		total.Vectorized += s.Vectorized
 		total.InstsBefore += s.InstsBefore
 		total.InstsAfter += s.InstsAfter
+		total.Rounds += s.Rounds
+		total.Changed += s.Changed
 	}
 	return total
 }
