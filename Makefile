@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fig10 throughput cachecheck
+.PHONY: check fmt vet build test race race-tiering bench bench-tiering fig10 throughput cachecheck
 
-check: fmt vet build race
+check: fmt vet build race-tiering race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -22,8 +22,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Tiered-execution promotion/deopt suite under the race detector, run with
+# -count=1 so the concurrency-sensitive package is re-exercised every gate.
+race-tiering:
+	$(GO) test -race -count=1 ./internal/tier/...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One-shot O3 vs tiered execution totals across call counts.
+bench-tiering:
+	$(GO) run ./cmd/stencilbench -fig tiering
 
 # Figure 10 with cold and cached-warm transformation times.
 fig10:

@@ -9,6 +9,7 @@
 //	stencilbench -fig 9b            # line-kernel running times
 //	stencilbench -fig 10            # transformation times (cold and cached-warm)
 //	stencilbench -fig throughput    # concurrent specialization throughput
+//	stencilbench -fig tiering       # one-shot O3 vs tiered execution
 //	stencilbench -fig 6             # flag-cache IR comparison
 //	stencilbench -fig 8             # DBrew vs DBrew+LLVM listings
 //	stencilbench -fig vec           # forced vectorization
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7, 9a, 9b, 10, 6, 8, vec, ablation, throughput, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7, 9a, 9b, 10, 6, 8, vec, ablation, throughput, tiering, all")
 	size := flag.Int("size", 649, "matrix side length (paper: 649)")
 	rows := flag.Int("rows", 2, "interior rows to emulate per variant")
 	repeats := flag.Int("repeats", 10, "compile repetitions for figure 10 (paper: 1000)")
@@ -113,6 +114,14 @@ func main() {
 	})
 	run("throughput", func() error {
 		r, err := w.RunConcurrentThroughput(*threads, *repeats)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		return nil
+	})
+	run("tiering", func() error {
+		r, err := w.RunTiering(nil)
 		if err != nil {
 			return err
 		}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/jit"
 	"repro/internal/lift"
 	"repro/internal/opt"
+	"repro/internal/tier"
 )
 
 // Class re-exports the ABI parameter classes.
@@ -74,6 +75,10 @@ type Engine struct {
 	// hits bypass this lock entirely, which is what makes the warm path
 	// scale across goroutines.
 	compileMu sync.Mutex
+
+	// tiering, when non-nil, is the tiered-execution manager installed by
+	// EnableTiering (see tiering.go).
+	tiering *tier.Manager
 }
 
 // cachedCode is the per-specialization payload kept in the code cache:
@@ -106,8 +111,14 @@ func (e *Engine) EnableCache(capacity int) {
 // remains valid and callable).
 func (e *Engine) DisableCache() { e.cache = nil }
 
-// CacheStats returns a snapshot of the cache counters; ok is false when the
-// cache is disabled.
+// CacheStats returns a snapshot of the specialization-cache counters.
+//
+// When caching is disabled — EnableCache was never called, or DisableCache
+// ran — it returns the zero codecache.Stats as a documented sentinel
+// together with ok == false. Callers must branch on ok: a zero Stats with
+// ok == true means an enabled cache that has simply seen no traffic yet,
+// which is a different situation from "no cache at all". See the
+// ExampleEngine_CacheStats godoc example.
 func (e *Engine) CacheStats() (st codecache.Stats, ok bool) {
 	if e.cache == nil {
 		return codecache.Stats{}, false

@@ -1,0 +1,23 @@
+package dbrewllvm
+
+import "fmt"
+
+// CacheStats distinguishes "cache disabled" (zero Stats sentinel, ok ==
+// false) from "cache enabled but idle" (zero Stats, ok == true). Branch on
+// ok — never on the zero counters alone.
+func ExampleEngine_CacheStats() {
+	eng := NewEngine()
+
+	// Disabled: the zero codecache.Stats is returned as a sentinel.
+	if st, ok := eng.CacheStats(); !ok {
+		fmt.Printf("disabled: ok=%v (sentinel stats: %v)\n", ok, st)
+	}
+
+	// Enabled but idle: also all-zero counters, but ok == true.
+	eng.EnableCache(16)
+	st, ok := eng.CacheStats()
+	fmt.Printf("enabled:  ok=%v hits=%d misses=%d\n", ok, st.Hits, st.Misses)
+	// Output:
+	// disabled: ok=false (sentinel stats: hits 0, misses 0, inflight-waits 0, evictions 0, entries 0)
+	// enabled:  ok=true hits=0 misses=0
+}

@@ -1,0 +1,95 @@
+// Tiering: profile-guided promotion and deoptimization via the public API.
+// A function f(p, x) = *p + x is registered as a tiered handle with its
+// pointer argument fixed to a coefficient buffer. The engine starts by
+// interpreting the original code, promotes to cheaply lifted JIT code once
+// warm, and to the fully specialized DBrew+O3 build once hot. Mutating the
+// coefficient then invalidating its range deoptimizes the handle back to
+// the interpreter, and re-promotion specializes on the new value.
+//
+// Run with: go run ./examples/tiering
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dbrewllvm "repro"
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
+)
+
+func main() {
+	eng := dbrewllvm.NewEngine()
+	eng.EnableTiering(dbrewllvm.TierConfig{
+		Tier1Calls:  4, // warm: lift + O1 after 4 calls
+		Tier2Calls:  8, // hot: DBrew specialize + O3 after 8 calls
+		Synchronous: true,
+	})
+
+	// "Compiled binary code": f(p, x) = *(int64*)p + x.
+	b := asm.NewBuilder()
+	b.I(x86.MOV, x86.R64(x86.RAX), x86.MemBD(8, x86.RDI, 0))
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RSI))
+	b.Ret()
+	code, _, err := b.Assemble(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fn := eng.PlaceCode(code, "addc")
+
+	// The coefficient the specialization folds into the code.
+	coeff := eng.Alloc(8, "coeff")
+	if err := eng.Mem.WriteU(coeff, 8, 1000); err != nil {
+		log.Fatal(err)
+	}
+
+	// Register a tiered handle with p fixed to the coefficient buffer.
+	r := dbrewllvm.NewRewriter(eng, fn, dbrewllvm.Sig(dbrewllvm.Int, dbrewllvm.Ptr, dbrewllvm.Int))
+	r.SetParPtr(0, coeff, 8)
+	h, err := r.Tiered("addc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Hammer the handle: same answer at every tier, promotions in between.
+	level := h.Level()
+	fmt.Printf("call  1..: executing at %v\n", level)
+	for i := uint64(1); i <= 12; i++ {
+		got, err := h.Call([]uint64{0, i}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if got != 1000+i {
+			log.Fatalf("call %d: got %d, want %d", i, got, 1000+i)
+		}
+		if l := h.Level(); l != level {
+			fmt.Printf("call %2d : promoted to %v\n", i, l)
+			level = l
+		}
+	}
+
+	// Mutate the coefficient: the installed tier-2 code baked in 1000, so
+	// the range must be invalidated. The handle deoptimizes to the
+	// interpreter, which reads the new value immediately.
+	if err := eng.Mem.WriteU(coeff, 8, 5000); err != nil {
+		log.Fatal(err)
+	}
+	n := eng.InvalidateRange(coeff, coeff+8)
+	fmt.Printf("coeff 1000 -> 5000: %d function deoptimized, now at %v\n", n, h.Level())
+
+	for i := uint64(1); i <= 12; i++ {
+		got, err := h.Call([]uint64{0, i}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if got != 5000+i {
+			log.Fatalf("after deopt, call %d: got %d, want %d", i, got, 5000+i)
+		}
+	}
+	fmt.Printf("re-promoted over the new value, now at %v\n", h.Level())
+
+	if st, ok := eng.TierStats(); ok {
+		fmt.Println("\ntiering stats:")
+		fmt.Print(st)
+	}
+}

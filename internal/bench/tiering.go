@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/emu"
+	"repro/internal/opt"
+	"repro/internal/tier"
+)
+
+// Tiering promotion thresholds for the experiment: warm after 16 calls,
+// hot after 128 — small enough that modest call counts exercise every tier.
+const (
+	tieringT1 = 16
+	tieringT2 = 128
+)
+
+// TieringRow compares total cost at one call count: one-shot pays the full
+// DBrew+O3 transformation up front, tiered starts interpreting and invests
+// compile time only as hotness proves it worthwhile. Totals combine the
+// wall-clock transformation time with the modelled execution time of every
+// call (cycles at the Haswell model clock) — the paper's Figure 10 framing
+// of compile time against run time.
+type TieringRow struct {
+	Calls        int
+	OneShotTotal time.Duration
+	TieredTotal  time.Duration
+	FinalLevel   tier.Level
+	Promotions   [tier.NumLevels]uint64
+	// SteadyRatio is the tiered per-call time at the final installed tier
+	// over the one-shot per-call time (1.0 = converged; large at low call
+	// counts where tiering intentionally never compiled).
+	SteadyRatio float64
+}
+
+// TieringResult carries the sweep plus the per-call numbers behind it.
+type TieringResult struct {
+	Rows []TieringRow
+	// Tier0PerCall/Tier2PerCall are the modelled per-call times of the
+	// interpreted original and the fully optimized specialization.
+	Tier0PerCall time.Duration
+	Tier2PerCall time.Duration
+	// OneShotCompile is the cold DBrew+O3 transformation time.
+	OneShotCompile time.Duration
+	// BreakEvenCalls estimates the call count where the one-shot compile
+	// amortizes against interpreting: compile / (tier0 - tier2) per-call.
+	BreakEvenCalls int
+}
+
+// RunTiering sweeps the element-kernel (flat structure) specialization over
+// the given call counts, comparing one-shot O3 against tiered execution
+// (tier 0 interpret → tier 1 lift+O1 at 16 calls → tier 2 DBrew+O3 at 128
+// calls, synchronous promotions so the accounting is exact). Every tiered
+// run verifies its results against the Go reference.
+func (w *Workload) RunTiering(callCounts []int) (*TieringResult, error) {
+	if len(callCounts) == 0 {
+		callCounts = []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000}
+	}
+	entry, sAddr, fullSize, _ := w.inputFor(Element, Flat, DBrewLLVM)
+
+	// One-shot reference: cold full transformation plus its per-call time.
+	oneShot, err := w.Prepare(Element, Flat, DBrewLLVM, Options{})
+	if err != nil {
+		return nil, fmt.Errorf("bench: one-shot prepare: %w", err)
+	}
+	oneShotPerCall, err := w.perCallTime(oneShot.Entry)
+	if err != nil {
+		return nil, fmt.Errorf("bench: one-shot measure: %w", err)
+	}
+	tier0PerCall, err := w.perCallTime(entry)
+	if err != nil {
+		return nil, fmt.Errorf("bench: tier0 measure: %w", err)
+	}
+
+	res := &TieringResult{
+		Tier0PerCall:   tier0PerCall,
+		Tier2PerCall:   oneShotPerCall,
+		OneShotCompile: oneShot.CompileTime,
+	}
+	if d := tier0PerCall - oneShotPerCall; d > 0 {
+		res.BreakEvenCalls = int(float64(oneShot.CompileTime) / float64(d))
+	}
+
+	for _, calls := range callCounts {
+		row, err := w.runTieredOnce(entry, sAddr, fullSize, calls, oneShot.CompileTime, oneShotPerCall)
+		if err != nil {
+			return nil, fmt.Errorf("bench: tiered run (%d calls): %w", calls, err)
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+// runTieredOnce executes one cold tiered session of the given length and
+// totals its cost against the one-shot numbers.
+func (w *Workload) runTieredOnce(entry, sAddr uint64, fullSize, calls int, oneShotCompile, oneShotPerCall time.Duration) (*TieringRow, error) {
+	mgr := tier.NewManager(w.Mem, tier.Config{
+		Tier1Calls:  tieringT1,
+		Tier2Calls:  tieringT2,
+		Synchronous: true,
+	})
+	f, err := mgr.Register(tier.FuncSpec{
+		Name:   "flat_elem",
+		Entry:  entry,
+		Fixed:  []tier.FixedArg{{Idx: 0, Val: sAddr}},
+		Ranges: []tier.Range{{Start: sAddr, End: sAddr + uint64(fullSize)}},
+		Compile: func(target tier.Level) (tier.CompileResult, error) {
+			var v *Variant
+			var err error
+			switch target {
+			case tier.Tier1:
+				v, err = w.Prepare(Element, Flat, LLVM, Options{
+					PipelineMod: func(c *opt.Config) { *c = opt.O1() },
+				})
+			case tier.Tier2:
+				v, err = w.Prepare(Element, Flat, DBrewLLVM, Options{})
+			default:
+				return tier.CompileResult{}, fmt.Errorf("no compiler for %v", target)
+			}
+			if err != nil {
+				return tier.CompileResult{}, err
+			}
+			return tier.CompileResult{Entry: v.Entry, CodeSize: v.CodeSize}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	n := w.SZ - 2
+	row := 1
+	ref := w.M1.Slice()
+	for i := 0; i < calls; i++ {
+		col := 1 + i%n
+		idx := uint64(row*w.SZ + col)
+		if _, err := f.Call([]uint64{0, w.M1.Region.Start, w.M2.Region.Start, idx}, nil); err != nil {
+			return nil, fmt.Errorf("call %d (at %v): %w", i, f.Level(), err)
+		}
+		// Verify against the Go reference: tiering must never trade
+		// correctness for speed, at any tier or promotion boundary.
+		want := w.Stencil.Apply(ref, w.SZ, int(idx))
+		if got := w.M2.Get(row, col); math.Abs(got-want) > 1e-9 {
+			return nil, fmt.Errorf("call %d (at %v): element (%d,%d) = %g, want %g",
+				i, f.Level(), row, col, got, want)
+		}
+	}
+
+	st := f.Stats()
+	clk := emu.HaswellModel().ClockHz
+	modelled := time.Duration(float64(st.Cycles) / clk * float64(time.Second))
+	out := &TieringRow{
+		Calls:        calls,
+		OneShotTotal: oneShotCompile + time.Duration(calls)*oneShotPerCall,
+		TieredTotal:  modelled + st.CompileTime,
+		FinalLevel:   st.Level,
+		Promotions:   st.Promotions,
+	}
+	finalPerCall, err := w.perCallTime(st.Entry)
+	if err != nil {
+		return nil, err
+	}
+	if oneShotPerCall > 0 {
+		out.SteadyRatio = float64(finalPerCall) / float64(oneShotPerCall)
+	}
+	return out, nil
+}
+
+// perCallTime measures the modelled per-call time of one element-kernel
+// entry by averaging over an interior row.
+func (w *Workload) perCallTime(entry uint64) (time.Duration, error) {
+	n := w.SZ - 2
+	m := emu.NewMachine(w.Mem)
+	for col := 1; col <= n; col++ {
+		idx := uint64(w.SZ + col) // row 1
+		args := []uint64{w.FlatAddr, w.M1.Region.Start, w.M2.Region.Start, idx}
+		if _, err := m.Call(entry, emu.CallArgs{Ints: args}, 0); err != nil {
+			return 0, err
+		}
+	}
+	secsPerCall := m.Cycles / float64(n) / m.Cost.ClockHz
+	return time.Duration(secsPerCall * float64(time.Second)), nil
+}
+
+// Format renders the Figure-10-style table: one-shot versus tiered totals
+// across call counts, with the break-even estimate.
+func (r *TieringResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Tiered execution — one-shot O3 vs profile-guided promotion (flat element kernel)\n")
+	fmt.Fprintf(&b, "per-call: tier0 (interp) %v, tier2 (DBrew+O3) %v; one-shot compile %v\n",
+		r.Tier0PerCall, r.Tier2PerCall, r.OneShotCompile.Round(time.Microsecond))
+	fmt.Fprintf(&b, "promotion thresholds: tier1 at %d calls, tier2 at %d calls\n", tieringT1, tieringT2)
+	if r.BreakEvenCalls > 0 {
+		fmt.Fprintf(&b, "estimated break-even: ~%d calls (compile / per-call saving)\n", r.BreakEvenCalls)
+	}
+	fmt.Fprintf(&b, "%8s %14s %14s %14s %-12s %7s %7s\n",
+		"calls", "one-shot [ms]", "tiered [ms]", "winner", "final tier", "promos", "steady")
+	for _, row := range r.Rows {
+		winner := "tiered"
+		if row.OneShotTotal < row.TieredTotal {
+			winner = "one-shot"
+		}
+		fmt.Fprintf(&b, "%8d %14.3f %14.3f %14s %-12v %3d/%-3d %6.2fx\n",
+			row.Calls,
+			float64(row.OneShotTotal.Microseconds())/1000.0,
+			float64(row.TieredTotal.Microseconds())/1000.0,
+			winner, row.FinalLevel,
+			row.Promotions[tier.Tier1], row.Promotions[tier.Tier2],
+			row.SteadyRatio)
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tier"
+)
+
+// TestRunTiering checks the acceptance criteria of the tiering figure on a
+// small workload: tiered wins at one call (no compile is ever triggered),
+// and at high call counts the handle reaches tier 2 with steady-state
+// per-call throughput within 5% of the one-shot O3 variant.
+func TestRunTiering(t *testing.T) {
+	w, err := NewWorkload(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.RunTiering([]int{1, tieringT1 - 1, tieringT2 * 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+
+	cold := res.Rows[0]
+	if cold.TieredTotal >= cold.OneShotTotal {
+		t.Fatalf("tiered (%v) does not beat one-shot (%v) at a single call",
+			cold.TieredTotal, cold.OneShotTotal)
+	}
+	if cold.FinalLevel != tier.Tier0 {
+		t.Fatalf("single call promoted to %v", cold.FinalLevel)
+	}
+
+	warm := res.Rows[1]
+	if warm.FinalLevel != tier.Tier0 {
+		t.Fatalf("%d calls (below tier1 threshold) promoted to %v", tieringT1-1, warm.FinalLevel)
+	}
+
+	hot := res.Rows[2]
+	if hot.FinalLevel != tier.Tier2 {
+		t.Fatalf("%d calls reached only %v, want tier2", hot.Calls, hot.FinalLevel)
+	}
+	if hot.Promotions[tier.Tier1] != 1 || hot.Promotions[tier.Tier2] != 1 {
+		t.Fatalf("promotions = %v, want one per tier", hot.Promotions)
+	}
+	if hot.SteadyRatio > 1.05 {
+		t.Fatalf("steady-state ratio %.3f exceeds 1.05 (tiered top tier slower than one-shot)",
+			hot.SteadyRatio)
+	}
+
+	if res.Tier0PerCall <= res.Tier2PerCall {
+		t.Fatalf("interpreting (%v) should cost more per call than optimized code (%v)",
+			res.Tier0PerCall, res.Tier2PerCall)
+	}
+	if res.BreakEvenCalls <= 0 {
+		t.Fatalf("break-even estimate = %d, want positive", res.BreakEvenCalls)
+	}
+
+	out := res.Format()
+	for _, want := range []string{"one-shot", "tiered", "break-even", "tier2/opt"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -219,6 +219,24 @@ func (c *Cache[V]) Len() int {
 	return n
 }
 
+// Remove drops the entry for k if present and reports whether it was
+// cached. An in-flight compilation for k is unaffected: it completes and
+// re-inserts its result. Use Remove when the caller knows an entry went
+// stale (e.g. tiered execution deoptimizing after a fixed memory region was
+// invalidated) instead of waiting for LRU eviction.
+func (c *Cache[V]) Remove(k Key) bool {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[k]
+	if !ok {
+		return false
+	}
+	s.lru.Remove(el)
+	delete(s.entries, k)
+	return true
+}
+
 // Purge drops every cached entry (in-flight compilations finish normally
 // and re-insert their results).
 func (c *Cache[V]) Purge() {

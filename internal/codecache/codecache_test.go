@@ -51,6 +51,30 @@ func TestGet(t *testing.T) {
 	}
 }
 
+func TestRemove(t *testing.T) {
+	c := New[string](8)
+	k := keyOf(7)
+	if c.Remove(k) {
+		t.Fatal("Remove on empty cache reported a removal")
+	}
+	c.Do(k, func() (string, error) { return "code", nil })
+	if !c.Remove(k) {
+		t.Fatal("Remove missed a cached entry")
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("entry survived Remove")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Remove, want 0", c.Len())
+	}
+	// The next Do compiles again.
+	ran := false
+	c.Do(k, func() (string, error) { ran = true; return "code2", nil })
+	if !ran {
+		t.Fatal("Do after Remove did not recompile")
+	}
+}
+
 func TestErrorsNotCached(t *testing.T) {
 	c := New[int](8)
 	k := keyOf(3)

@@ -331,3 +331,16 @@ func (m *Machine) ResetStats() {
 	m.InstCount = 0
 	m.OpCount = nil
 }
+
+// Reset clears the architectural state and accounting so the machine can be
+// reused for an independent call. The decoded-instruction cache survives:
+// placed code pages are immutable, so previously decoded instructions stay
+// valid, which is what makes pooled machines cheap (no per-call re-decode).
+// Callers that patch code in place must still use FlushICache.
+func (m *Machine) Reset() {
+	m.GPR = [16]uint64{}
+	m.XMM = [16]XMMReg{}
+	m.Flags = Flags{}
+	m.RIP = 0
+	m.ResetStats()
+}

@@ -11,6 +11,10 @@ import (
 // Compiler links IR functions into the emulated address space.
 type Compiler struct {
 	Mem *emu.Memory
+	// NamePrefix, when set, prefixes the names of placed code regions
+	// ("jitcode.<prefix><func>"), so memory maps distinguish multiple
+	// generations of one function (e.g. tiered execution's "t1."/"t2.").
+	NamePrefix string
 	// entries records where each compiled function was placed.
 	entries map[*ir.Func]uint64
 	// Sizes records the code size of each compiled function by entry.
@@ -141,7 +145,7 @@ func (c *Compiler) Compile(f *ir.Func) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	region := c.Mem.Alloc(len(e), 16, "jitcode."+f.Nam)
+	region := c.Mem.Alloc(len(e), 16, "jitcode."+c.NamePrefix+f.Nam)
 	final, err := c.emitFunc(f, region.Start, region.Start)
 	if err != nil {
 		return 0, err

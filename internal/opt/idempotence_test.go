@@ -23,6 +23,46 @@ func TestOptimizeIdempotent(t *testing.T) {
 	mustVerify(t, f)
 }
 
+// TestO1Idempotent: the tier-1 baseline pipeline must also reach a fixed
+// point — a second O1 run changes neither instruction counts nor semantics.
+func TestO1Idempotent(t *testing.T) {
+	f := buildSumLoop(nil)
+	st := Optimize(f, O1())
+	if st.Inlined != 0 || st.Unrolled != 0 || st.Vectorized != 0 {
+		t.Errorf("O1 ran structural passes: %+v", st)
+	}
+	before := runI(t, f, 12)
+	n1 := f.NumInsts()
+	st2 := Optimize(f, O1())
+	if st2.InstsAfter != n1 {
+		t.Errorf("second O1 changed size: %d -> %d", n1, st2.InstsAfter)
+	}
+	if after := runI(t, f, 12); after != before {
+		t.Errorf("second O1 changed semantics: %d -> %d", before, after)
+	}
+	mustVerify(t, f)
+}
+
+// TestO1KeepsLoops: O1 must leave the loop structure alone even with a
+// constant trip count that O3 would fully unroll.
+func TestO1KeepsLoops(t *testing.T) {
+	f := buildSumLoop(ir.Int(ir.I64, 7))
+	st := Optimize(f, O1())
+	if st.Unrolled != 0 {
+		t.Fatalf("O1 unrolled %d loops", st.Unrolled)
+	}
+	mustVerify(t, f)
+	if got := runI(t, f, 0); got != 21 {
+		t.Fatalf("sum(7) = %d, want 21", got)
+	}
+	// Premise check: O3 does unroll this loop, so O1 skipping it is a real
+	// difference and not a vacuous assertion.
+	f3 := buildSumLoop(ir.Int(ir.I64, 7))
+	if st3 := Optimize(f3, O3()); st3.Unrolled == 0 {
+		t.Fatalf("O3 did not unroll the comparison loop (test premise broken)")
+	}
+}
+
 // TestPipelineDisableSwitches: every disable switch still yields verified,
 // semantically-correct code.
 func TestPipelineDisableSwitches(t *testing.T) {

@@ -35,6 +35,15 @@ func O3() Config {
 	return Config{Level: 3, FastMath: true, MaxUnrollTrip: 256, MaxUnrollClone: 8192}
 }
 
+// O1 returns the cheap baseline-tier pipeline used by tiered execution's
+// tier 1: mem2reg plus an instcombine/DCE cleanup — no inlining, no
+// unrolling, no vectorization. It trades peak code quality for compile
+// latency, the baseline-JIT tradeoff TPDE-style tiers are built on. Like
+// O3 it is idempotent (see TestO1Idempotent).
+func O1() Config {
+	return Config{Level: 1, FastMath: true, NoInline: true, NoUnroll: true}
+}
+
 // Stats reports what the pipeline did.
 type Stats struct {
 	Inlined     int
@@ -104,6 +113,22 @@ func Optimize(f *ir.Func, cfg Config) Stats {
 				return
 			}
 		}
+	}
+
+	if cfg.Level == 1 {
+		// Tier-1 pipeline: one cleanup round to fold the lifter's facet
+		// noise, mem2reg to break the virtual stack, then cleanup to its
+		// (nearby) fixpoint. No structural passes run, so this stays a
+		// small constant factor over a single instcombine/DCE sweep while
+		// remaining idempotent.
+		st.Rounds++
+		st.Changed += round()
+		if !cfg.NoMem2Reg {
+			Mem2Reg(f)
+		}
+		converge()
+		st.InstsAfter = f.NumInsts()
+		return st
 	}
 
 	// Early cleanup: fold the facet-model noise before anything else.

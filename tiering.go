@@ -1,0 +1,218 @@
+package dbrewllvm
+
+// Tiered execution (profile-guided promotion). The one-shot Rewrite API
+// forces callers to pick, up front, between the slow emulator and the
+// expensive optimizing rewrite; the paper's compile-time/run-time tradeoff
+// (Section V, Figure 10) says that choice should depend on how hot the
+// function turns out to be. EnableTiering turns the engine into an adaptive
+// runtime: functions registered through Rewriter.Tiered start interpreted,
+// get a cheap lift+O1 JIT once warm, and receive the full DBrew+O3
+// specialization once hot — with deoptimization back to the interpreter
+// when a fixed memory region is invalidated.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dbrew"
+	"repro/internal/jit"
+	"repro/internal/lift"
+	"repro/internal/opt"
+	"repro/internal/tier"
+)
+
+// TierConfig tunes the promotion policy; the zero value selects the
+// defaults (promote to tier 1 after 10 calls, tier 2 after 100, background
+// compilation).
+type TierConfig = tier.Config
+
+// TierLevel identifies an execution tier.
+type TierLevel = tier.Level
+
+// The engine's execution tiers.
+const (
+	// Tier0 interprets the original machine code (internal/emu).
+	Tier0 = tier.Tier0
+	// Tier1 runs cheaply lifted, minimally cleaned (opt.O1) JIT code.
+	Tier1 = tier.Tier1
+	// Tier2 runs the fully specialized and optimized (DBrew + opt.O3) code.
+	Tier2 = tier.Tier2
+)
+
+// TieredFunc is the stable dispatch handle of a registered function: call
+// it and the engine runs whatever tier is currently installed.
+type TieredFunc = tier.Func
+
+// TierFuncStats is the per-function tiering snapshot.
+type TierFuncStats = tier.FuncStats
+
+// ErrTieringDisabled is returned by Rewriter.Tiered when
+// Engine.EnableTiering has not been called.
+var ErrTieringDisabled = errors.New("dbrewllvm: tiering is not enabled (call Engine.EnableTiering first)")
+
+// EnableTiering switches the engine into tiered-execution mode with the
+// given promotion policy. Functions are registered with Rewriter.Tiered and
+// then called through their handles; the engine promotes them along
+// tier 0 → tier 1 → tier 2 as they cross the configured hotness thresholds,
+// compiling in the background and installing each result with an atomic
+// code-pointer swap. Enable tiering before registering functions; calling
+// it again replaces the manager and orphans existing handles.
+func (e *Engine) EnableTiering(cfg TierConfig) {
+	e.tiering = tier.NewManager(e.Mem, cfg)
+}
+
+// TieringEnabled reports whether EnableTiering has been called.
+func (e *Engine) TieringEnabled() bool { return e.tiering != nil }
+
+// TierStats returns a snapshot of the tiering state — per-function tier,
+// promotion and deopt counts, time-in-tier, and the compile latency
+// histogram — plus the promotion compile-cache counters. Like CacheStats,
+// it returns the zero tier.Stats as a sentinel with ok == false when
+// tiering is disabled.
+func (e *Engine) TierStats() (st tier.Stats, ok bool) {
+	if e.tiering == nil {
+		return tier.Stats{}, false
+	}
+	return e.tiering.Stats(), true
+}
+
+// DrainTiering blocks until all in-flight background promotions have
+// settled. Useful before reading TierStats in tests and benchmarks; a
+// no-op when tiering is disabled.
+func (e *Engine) DrainTiering() {
+	if e.tiering != nil {
+		e.tiering.Drain()
+	}
+}
+
+// InvalidateRange declares that bytes in [start, end) were (or are about to
+// be) mutated. Every tiered function whose SetMem-declared fixed regions
+// overlap the range is deoptimized back to tier 0 — its specialized code
+// was compiled against the old contents — and will re-promote over the new
+// contents as it becomes hot again. Returns the number of functions
+// deoptimized (0 when tiering is disabled).
+//
+// The one-shot Rewrite cache needs no invalidation call: its keys hash the
+// fixed-range contents, so mutated regions miss naturally.
+func (e *Engine) InvalidateRange(start, end uint64) int {
+	if e.tiering == nil {
+		return 0
+	}
+	return e.tiering.Invalidate(start, end)
+}
+
+// Tiered registers the rewriter's function with the engine's tiering
+// manager and returns its dispatch handle. The rewriter's configuration —
+// fixed parameters, fixed memory regions, FastMath, ForceVectorWidth,
+// resource limits — is snapshotted at this point and defines the
+// specialization every tier computes:
+//
+//	tier 0  interprets the original code with fixed parameters pinned at
+//	        dispatch, so results match the specialization from call one
+//	tier 1  lifts the original code and runs the cheap opt.O1 cleanup
+//	tier 2  runs the full DBrew rewrite + lift + opt.O3 + JIT pipeline
+//
+// The rewriter itself is not retained; it can be reconfigured or discarded
+// afterwards. The backend selection is ignored (tiering always uses the
+// LLVM-style pipeline for its top tier).
+func (r *Rewriter) Tiered(name string) (*TieredFunc, error) {
+	mgr := r.eng.tiering
+	if mgr == nil {
+		return nil, ErrTieringDisabled
+	}
+	eng := r.eng
+	entry, sig := r.entry, r.sig
+	fastMath, fvw := r.FastMath, r.ForceVectorWidth
+	dcfg := r.rw.Config()
+	params := r.rw.KnownParams()
+	ranges := r.rw.Ranges()
+
+	fixed := make([]tier.FixedArg, len(params))
+	for i, p := range params {
+		fixed[i] = tier.FixedArg{Idx: p.Idx, Val: p.Value}
+	}
+	tranges := make([]tier.Range, len(ranges))
+	for i, rg := range ranges {
+		tranges[i] = tier.Range{Start: rg.Start, End: rg.End}
+	}
+
+	compile := func(target TierLevel) (tier.CompileResult, error) {
+		// Compilations mutate the shared address space (they allocate code
+		// pages); serialize them against one another and against cached
+		// Rewrite compiles, exactly like the one-shot path.
+		eng.compileMu.Lock()
+		defer eng.compileMu.Unlock()
+		switch target {
+		case Tier1:
+			return compileTier1(eng, entry, name, sig, fastMath)
+		case Tier2:
+			return compileTier2(eng, entry, name, sig, dcfg, params, ranges, fastMath, fvw)
+		}
+		return tier.CompileResult{}, fmt.Errorf("dbrewllvm: no compiler for %v", target)
+	}
+
+	return mgr.Register(tier.FuncSpec{
+		Name:    name,
+		Entry:   entry,
+		Fixed:   fixed,
+		Ranges:  tranges,
+		Compile: compile,
+	})
+}
+
+// compileTier1 is the baseline tier: lift the original code and clean it up
+// with the cheap O1 pipeline — no specialization, no structural passes —
+// so compile latency stays small (the TPDE-style baseline-tier tradeoff).
+func compileTier1(e *Engine, entry uint64, name string, sig Signature, fastMath bool) (tier.CompileResult, error) {
+	l := lift.New(e.Mem, lift.DefaultOptions())
+	f, err := l.LiftFunc(entry, name+".t1", sig)
+	if err != nil {
+		return tier.CompileResult{}, fmt.Errorf("tier1 lift: %w", err)
+	}
+	cfg := opt.O1()
+	cfg.FastMath = fastMath
+	opt.Optimize(f, cfg)
+	comp := jit.NewCompiler(e.Mem)
+	comp.NamePrefix = "t1."
+	addr, err := comp.CompileModule(l.Module, f.Nam)
+	if err != nil {
+		return tier.CompileResult{}, fmt.Errorf("tier1 jit: %w", err)
+	}
+	return tier.CompileResult{Entry: addr, CodeSize: comp.Sizes[addr]}, nil
+}
+
+// compileTier2 is the optimizing tier: the paper's full pipeline — DBrew
+// rewrite with the fixed parameters and memory regions, lift, O3, JIT. A
+// failed DBrew specialization falls back to lifting the original code, so
+// the tier still delivers an O3-optimized (if unspecialized) function.
+func compileTier2(e *Engine, entry uint64, name string, sig Signature, dcfg dbrew.Config,
+	params []dbrew.ParamFix, ranges []dbrew.Range, fastMath bool, fvw int) (tier.CompileResult, error) {
+	rw := dbrew.NewRewriter(e.Mem, entry, sig)
+	rw.SetConfig(dcfg)
+	for _, p := range params {
+		rw.SetPar(p.Idx, p.Value)
+	}
+	for _, rg := range ranges {
+		rw.SetMem(rg.Start, rg.End)
+	}
+	addr, err := rw.Rewrite()
+	if err != nil || rw.Stats.Failed {
+		addr = entry // fall back to optimizing the original code
+	}
+	l := lift.New(e.Mem, lift.DefaultOptions())
+	f, err := l.LiftFunc(addr, name+".t2", sig)
+	if err != nil {
+		return tier.CompileResult{}, fmt.Errorf("tier2 lift: %w", err)
+	}
+	cfg := opt.O3()
+	cfg.FastMath = fastMath
+	cfg.ForceVectorWidth = fvw
+	opt.Optimize(f, cfg)
+	comp := jit.NewCompiler(e.Mem)
+	comp.NamePrefix = "t2."
+	jaddr, err := comp.CompileModule(l.Module, f.Nam)
+	if err != nil {
+		return tier.CompileResult{}, fmt.Errorf("tier2 jit: %w", err)
+	}
+	return tier.CompileResult{Entry: jaddr, CodeSize: comp.Sizes[jaddr]}, nil
+}

@@ -1,0 +1,170 @@
+package dbrewllvm
+
+import (
+	"testing"
+
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
+)
+
+// buildAddC places f(p, x) = *(int64*)p + x: a load from the first
+// (pointer) parameter plus the second parameter. With SetParPtr fixing p to
+// a constant buffer, tier 2 folds the load into an immediate.
+func buildAddC(t testing.TB, e *Engine) uint64 {
+	t.Helper()
+	b := asm.NewBuilder()
+	b.I(x86.MOV, x86.R64(x86.RAX), x86.MemBD(8, x86.RDI, 0))
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RSI))
+	b.Ret()
+	code, _, err := b.Assemble(0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.PlaceCode(code, "addc")
+}
+
+func tieringSetup(t *testing.T, cfg TierConfig) (e *Engine, h *TieredFunc, buf uint64) {
+	t.Helper()
+	e = NewEngine()
+	e.EnableTiering(cfg)
+	buf = e.Alloc(8, "coeff")
+	if err := e.Mem.WriteU(buf, 8, 1000); err != nil {
+		t.Fatal(err)
+	}
+	fn := buildAddC(t, e)
+	r := NewRewriter(e, fn, Sig(Int, Ptr, Int))
+	r.SetParPtr(0, buf, 8)
+	h, err := r.Tiered("addc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, h, buf
+}
+
+// TestTieredPromotionSemantics drives a handle through all three tiers and
+// checks every call returns the specialized result, regardless of which
+// tier executed it and regardless of the caller's value for the fixed
+// pointer argument.
+func TestTieredPromotionSemantics(t *testing.T) {
+	_, h, _ := tieringSetup(t, TierConfig{Tier1Calls: 2, Tier2Calls: 4, Synchronous: true})
+	for i := uint64(1); i <= 8; i++ {
+		// Arg 0 is garbage on purpose: the dispatcher must pin it to buf.
+		got, err := h.Call([]uint64{0xDEADBEEF, i}, nil)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got != 1000+i {
+			t.Fatalf("call %d (at %v): got %d, want %d", i, h.Level(), got, 1000+i)
+		}
+	}
+	if h.Level() != Tier2 {
+		t.Fatalf("final level = %v, want tier2", h.Level())
+	}
+	st := h.Stats()
+	if st.Promotions[Tier1] != 1 || st.Promotions[Tier2] != 1 {
+		t.Fatalf("promotions = %v, want exactly one per tier", st.Promotions)
+	}
+	if st.CodeSize == 0 {
+		t.Fatal("installed tier2 code has zero size")
+	}
+}
+
+// TestTieredDeoptOnInvalidate mutates the fixed region, invalidates, and
+// checks the handle deoptimizes to tier 0 (new contents visible
+// immediately) and then re-promotes to code specialized on the new value.
+func TestTieredDeoptOnInvalidate(t *testing.T) {
+	e, h, buf := tieringSetup(t, TierConfig{Tier1Calls: 2, Tier2Calls: 4, Synchronous: true})
+	for i := uint64(1); i <= 6; i++ {
+		if _, err := h.Call([]uint64{0, i}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Level() != Tier2 {
+		t.Fatalf("level = %v, want tier2 before invalidation", h.Level())
+	}
+
+	if err := e.Mem.WriteU(buf, 8, 7777); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.InvalidateRange(buf, buf+8); n != 1 {
+		t.Fatalf("InvalidateRange deoptimized %d functions, want 1", n)
+	}
+	if h.Level() != Tier0 {
+		t.Fatalf("level = %v after invalidation, want tier0", h.Level())
+	}
+
+	for i := uint64(1); i <= 8; i++ {
+		got, err := h.Call([]uint64{0, i}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 7777+i {
+			t.Fatalf("call %d (at %v) after deopt: got %d, want %d", i, h.Level(), got, 7777+i)
+		}
+	}
+	if h.Level() != Tier2 {
+		t.Fatalf("no re-promotion after deopt: level = %v", h.Level())
+	}
+	st := h.Stats()
+	if st.Deopts != 1 {
+		t.Fatalf("deopts = %d, want 1", st.Deopts)
+	}
+	if st.Promotions[Tier2] != 2 {
+		t.Fatalf("tier2 promotions = %d, want 2 (one per generation)", st.Promotions[Tier2])
+	}
+}
+
+// TestTieredBackgroundPromotion exercises the default asynchronous mode:
+// promotions land eventually (DrainTiering) and never break results.
+func TestTieredBackgroundPromotion(t *testing.T) {
+	e, h, _ := tieringSetup(t, TierConfig{Tier1Calls: 2, Tier2Calls: 4})
+	for i := uint64(1); i <= 64; i++ {
+		got, err := h.Call([]uint64{0, i}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 1000+i {
+			t.Fatalf("call %d: got %d, want %d", i, got, 1000+i)
+		}
+	}
+	e.DrainTiering()
+	if h.Level() != Tier2 {
+		t.Fatalf("level after drain = %v, want tier2", h.Level())
+	}
+	got, err := h.Call([]uint64{0, 5}, nil)
+	if err != nil || got != 1005 {
+		t.Fatalf("tier2 call: got %d, err %v", got, err)
+	}
+}
+
+// TestTierStatsSentinel mirrors the CacheStats contract: zero Stats and
+// ok == false while tiering is disabled.
+func TestTierStatsSentinel(t *testing.T) {
+	e := NewEngine()
+	if st, ok := e.TierStats(); ok || len(st.Funcs) != 0 {
+		t.Fatalf("TierStats on disabled tiering = (%v, %v), want zero/false", st, ok)
+	}
+	if e.TieringEnabled() {
+		t.Fatal("TieringEnabled true before EnableTiering")
+	}
+	if n := e.InvalidateRange(0, 1<<40); n != 0 {
+		t.Fatalf("InvalidateRange without tiering deopted %d", n)
+	}
+	fn := buildAddC(t, e)
+	r := NewRewriter(e, fn, Sig(Int, Ptr, Int))
+	if _, err := r.Tiered("addc"); err != ErrTieringDisabled {
+		t.Fatalf("Tiered without EnableTiering: err = %v, want ErrTieringDisabled", err)
+	}
+
+	e.EnableTiering(TierConfig{})
+	if _, err := r.Tiered("addc"); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := e.TierStats()
+	if !ok || len(st.Funcs) != 1 || st.Funcs[0].Level != Tier0 {
+		t.Fatalf("TierStats after register = (%+v, %v)", st, ok)
+	}
+	if st.String() == "" {
+		t.Fatal("empty stats rendering")
+	}
+}
