@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-tiering bench bench-tiering fig10 throughput cachecheck
+.PHONY: check fmt vet build test race race-tiering race-service bench bench-tiering bench-service fig10 throughput cachecheck serve smoke
 
-check: fmt vet build race-tiering race
+check: fmt vet build race-tiering race-service race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -27,6 +27,11 @@ race:
 race-tiering:
 	$(GO) test -race -count=1 ./internal/tier/...
 
+# dbrewd end-to-end suite (coalescing, admission control, shutdown drain)
+# plus the cache singleflight races, re-run fresh under the race detector.
+race-service:
+	$(GO) test -race -count=1 ./internal/service/... ./internal/codecache/...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -45,3 +50,15 @@ throughput:
 # Differential check: cached code bytes == freshly compiled code bytes.
 cachecheck:
 	$(GO) run ./cmd/difftest -cachecheck
+
+# In-process vs dbrewd round-trip specialization latency.
+bench-service:
+	$(GO) run ./cmd/stencilbench -fig service
+
+# Run the specialization daemon on 127.0.0.1:7411.
+serve:
+	$(GO) run ./cmd/dbrewd
+
+# dbrewd self-test against an ephemeral server.
+smoke:
+	$(GO) run ./cmd/dbrewd -smoke

@@ -1,0 +1,167 @@
+// Command dbrewd serves specialization-as-a-service: POST /specialize
+// accepts an address-space snapshot (raw x86-64 code plus fixed data),
+// a signature, and a specialization configuration, and returns the
+// optimized machine code with compile statistics. GET /healthz and
+// GET /metrics expose liveness and the daemon's counters.
+//
+// Usage:
+//
+//	dbrewd                         # serve on 127.0.0.1:7411
+//	dbrewd -addr :8080 -workers 8  # bigger pool, all interfaces
+//	dbrewd -smoke                  # self-test against an ephemeral server
+//
+// The daemon never runs more than -workers compilations at once; beyond
+// that, up to -queue requests wait for a slot and the rest are rejected
+// with 429. Identical in-flight requests are coalesced into a single
+// compilation. SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7411", "listen address")
+	workers := flag.Int("workers", 4, "maximum concurrent compilations")
+	queue := flag.Int("queue", 64, "admission queue depth beyond the worker slots")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+	cacheCap := flag.Int("cache", 1024, "specialization cache capacity (entries)")
+	smoke := flag.Bool("smoke", false, "run the self-test against an ephemeral server and exit")
+	flag.Parse()
+
+	cfg := service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultDeadline: *deadline,
+		CacheCapacity:   *cacheCap,
+	}
+
+	if *smoke {
+		if err := runSmoke(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "dbrewd: smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := serve(*addr, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "dbrewd:", err)
+		os.Exit(1)
+	}
+}
+
+func serve(addr string, cfg service.Config) error {
+	svc := service.New(cfg)
+	srv := &http.Server{Addr: addr, Handler: svc}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("dbrewd: listening on %s (workers %d, queue %d)\n", addr, cfg.Workers, cfg.QueueDepth)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("dbrewd: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Stop accepting connections first, then wait out the compiles the
+	// daemon already admitted.
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("dbrewd: drained, bye")
+	return nil
+}
+
+func listenLoopback() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+// runSmoke exercises the full client-to-daemon path on an ephemeral
+// listener: upload the paper's stencil workload, specialize the line
+// kernel cold and warm, and print the resulting stats and metrics.
+func runSmoke(cfg service.Config) error {
+	svc := service.New(cfg)
+	srv := &http.Server{Handler: svc}
+	ln, err := listenLoopback()
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	client := service.NewClient("http://" + ln.Addr().String())
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := client.Health(ctx); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	w, err := bench.NewWorkload(65)
+	if err != nil {
+		return err
+	}
+	in := w.SpecInput(bench.Line, bench.Flat, bench.DBrewLLVM)
+	req := &service.Request{
+		Regions: service.SnapshotRegions(w.Mem),
+		Entry:   in.Entry,
+		Sig:     service.SigFromABI(in.Sig),
+		FixedParams: []service.ParamFix{
+			{Idx: 0, Value: in.StencilAddr, Ptr: true, Size: in.StencilSize},
+		},
+		IncludeIR: true,
+	}
+
+	cold, err := client.Specialize(ctx, req)
+	if err != nil {
+		return fmt.Errorf("cold specialize: %w", err)
+	}
+	warm, err := client.Specialize(ctx, req)
+	if err != nil {
+		return fmt.Errorf("warm specialize: %w", err)
+	}
+	switch {
+	case cold.CacheHit:
+		return errors.New("cold request reported a cache hit")
+	case !warm.CacheHit:
+		return errors.New("warm request missed the cache")
+	case len(warm.Code) != len(cold.Code):
+		return errors.New("warm code differs from cold code")
+	}
+
+	m, err := client.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	fmt.Printf("smoke: specialized flat line kernel via %s\n", client.BaseURL)
+	fmt.Printf("  cold: %5d us, %d bytes at %#x (decoded %d, emitted %d, eliminated %d)\n",
+		cold.ElapsedUS, len(cold.Code), cold.Addr,
+		cold.Stats.Decoded, cold.Stats.Emitted, cold.Stats.Eliminated)
+	fmt.Printf("  warm: %5d us, cache hit\n", warm.ElapsedUS)
+	fmt.Printf("  metrics: %d requests, %d ok, %d cache hits; engine cache %d miss / %d hit\n",
+		m.Requests, m.OK, m.CacheHits, m.Engine.Cache.Misses, m.Engine.Cache.Hits)
+	fmt.Printf("  IR: %d bytes lifted back from the returned code\n", len(cold.IR))
+	return nil
+}

@@ -10,6 +10,7 @@
 //	stencilbench -fig 10            # transformation times (cold and cached-warm)
 //	stencilbench -fig throughput    # concurrent specialization throughput
 //	stencilbench -fig tiering       # one-shot O3 vs tiered execution
+//	stencilbench -fig service       # in-process vs dbrewd round-trip latency
 //	stencilbench -fig 6             # flag-cache IR comparison
 //	stencilbench -fig 8             # DBrew vs DBrew+LLVM listings
 //	stencilbench -fig vec           # forced vectorization
@@ -27,10 +28,11 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/service"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7, 9a, 9b, 10, 6, 8, vec, ablation, throughput, tiering, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7, 9a, 9b, 10, 6, 8, vec, ablation, throughput, tiering, service, all")
 	size := flag.Int("size", 649, "matrix side length (paper: 649)")
 	rows := flag.Int("rows", 2, "interior rows to emulate per variant")
 	repeats := flag.Int("repeats", 10, "compile repetitions for figure 10 (paper: 1000)")
@@ -126,6 +128,17 @@ func main() {
 			return err
 		}
 		fmt.Println(r.Format())
+		return nil
+	})
+	run("service", func() error {
+		// A fresh, smaller workload: the service experiment ships the whole
+		// snapshot per request, and protocol overhead, not matrix size, is
+		// what it isolates.
+		rows, err := service.RunBenchmark(65, *repeats)
+		if err != nil {
+			return err
+		}
+		fmt.Println(service.FormatBenchmark(rows))
 		return nil
 	})
 	run("vec", func() error {

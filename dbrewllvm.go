@@ -24,6 +24,9 @@
 package dbrewllvm
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -126,6 +129,51 @@ func (e *Engine) CacheStats() (st codecache.Stats, ok bool) {
 	return e.cache.Stats(), true
 }
 
+// EngineStats aggregates every observable engine counter — the
+// specialization-cache counters and the tiered-execution snapshot — into one
+// JSON-marshalable value. Disabled subsystems are nil, so consumers can tell
+// "disabled" from "enabled but idle" exactly like the (Stats, ok) accessor
+// pairs do.
+type EngineStats struct {
+	// Cache is CacheStats, nil when the specialization cache is disabled.
+	Cache *codecache.Stats `json:"cache,omitempty"`
+	// Tiering is TierStats, nil when tiering is disabled.
+	Tiering *tier.Stats `json:"tiering,omitempty"`
+}
+
+// Stats snapshots CacheStats and TierStats in one call.
+func (e *Engine) Stats() EngineStats {
+	var s EngineStats
+	if st, ok := e.CacheStats(); ok {
+		s.Cache = &st
+	}
+	if st, ok := e.TierStats(); ok {
+		s.Tiering = &st
+	}
+	return s
+}
+
+// StatsJSON marshals CacheStats + TierStats to JSON in one call — the
+// payload dbrewd's /metrics endpoint embeds. See the ExampleEngine_StatsJSON
+// godoc example.
+func (e *Engine) StatsJSON() ([]byte, error) {
+	return json.Marshal(e.Stats())
+}
+
+// CachePeek reports whether the specialization key k is already cached and
+// whether a compilation for it is currently in flight; ok is false when the
+// cache is disabled. Together with Rewriter.CacheKey it forms the
+// coalescing hook of the dbrewd service: requests whose key is cached or in
+// flight are routed straight to RewriteCtx (which joins the existing flight
+// instead of compiling) without consuming a compile-concurrency slot.
+func (e *Engine) CachePeek(k codecache.Key) (cached, inflight, ok bool) {
+	if e.cache == nil {
+		return false, false, false
+	}
+	cached, inflight = e.cache.Peek(k)
+	return cached, inflight, true
+}
+
 // Alloc reserves zeroed memory and returns its address.
 func (e *Engine) Alloc(size int, name string) uint64 {
 	return e.Mem.Alloc(size, 16, name).Start
@@ -173,6 +221,81 @@ const (
 	BackendLLVM
 )
 
+// Stage identifies the pipeline stage a Rewrite failure originated in, so
+// callers (e.g. the dbrewd service) can map failures to distinct responses.
+type Stage int
+
+// The pipeline stages of Figure 1, in execution order.
+const (
+	// StageRewrite is the DBrew binary-rewriting pass.
+	StageRewrite Stage = iota
+	// StageLift is the x86-64 → IR lifter.
+	StageLift
+	// StageOptimize is the IR optimization pipeline (including the
+	// post-optimization verifier that guards Strict mode).
+	StageOptimize
+	// StageJIT is the IR → x86-64 code generator.
+	StageJIT
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageRewrite:
+		return "rewrite"
+	case StageLift:
+		return "lift"
+	case StageOptimize:
+		return "optimize"
+	case StageJIT:
+		return "jit"
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// Per-stage sentinels for errors.Is. A *StageError matches exactly the
+// sentinel of its stage:
+//
+//	if errors.Is(err, dbrewllvm.ErrStageLift) { ... }
+var (
+	ErrStageRewrite  = errors.New("dbrewllvm: rewrite stage failed")
+	ErrStageLift     = errors.New("dbrewllvm: lift stage failed")
+	ErrStageOptimize = errors.New("dbrewllvm: optimize stage failed")
+	ErrStageJIT      = errors.New("dbrewllvm: jit stage failed")
+)
+
+func stageSentinel(s Stage) error {
+	switch s {
+	case StageRewrite:
+		return ErrStageRewrite
+	case StageLift:
+		return ErrStageLift
+	case StageOptimize:
+		return ErrStageOptimize
+	case StageJIT:
+		return ErrStageJIT
+	}
+	return nil
+}
+
+// StageError wraps a Rewrite failure with the pipeline stage it came from.
+// Unwrap exposes the cause; Is matches the per-stage sentinel.
+type StageError struct {
+	Stage Stage
+	Err   error
+}
+
+// Error formats as "dbrewllvm: <stage> stage: <cause>".
+func (e *StageError) Error() string {
+	return fmt.Sprintf("dbrewllvm: %s stage: %v", e.Stage, e.Err)
+}
+
+// Unwrap returns the underlying cause.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Is reports whether target is the sentinel of this error's stage.
+func (e *StageError) Is(target error) bool { return target == stageSentinel(e.Stage) }
+
 // Rewriter mirrors the dbrew_rewriter object: configure known values, pick
 // a backend, call Rewrite to obtain a drop-in replacement function.
 type Rewriter struct {
@@ -193,6 +316,16 @@ type Rewriter struct {
 	// even when Engine.EnableCache is active (e.g. for one-off rewrites that
 	// would only pollute the cache).
 	NoCache bool
+
+	// Strict turns silent fallbacks into errors: instead of returning the
+	// DBrew output (or the original entry) when a pipeline stage fails,
+	// Rewrite returns a *StageError identifying the failing stage — the
+	// contract a service needs to map failures to distinct status codes.
+	// Strict also runs the IR verifier after optimization, surfacing
+	// pipeline bugs as StageOptimize errors instead of miscompiled code.
+	// The default (false) keeps DBrew's "always return runnable code"
+	// behavior.
+	Strict bool
 
 	// Stats of the last Rewrite (valid for both backends).
 	Stats dbrew.Stats
@@ -246,9 +379,23 @@ func (r *Rewriter) SetConfig(c dbrew.Config) { r.rw.SetConfig(c) }
 // safe as long as each goroutine uses its own Rewriter; same-key calls
 // compile exactly once.
 func (r *Rewriter) Rewrite() (uint64, error) {
+	return r.RewriteCtx(context.Background())
+}
+
+// RewriteCtx is Rewrite with a deadline: a call that would block — waiting
+// on another goroutine's in-flight compilation of the same key, or queued
+// behind the engine's compile lock — gives up when ctx is done and returns
+// ctx.Err(). A compilation that has already started is never aborted
+// mid-way (partial code generation would corrupt nothing, but the work is
+// not abandonable); the in-flight result still lands in the cache for the
+// next caller. This is the entry point dbrewd's per-request deadlines use.
+func (r *Rewriter) RewriteCtx(ctx context.Context) (uint64, error) {
 	r.CacheHit = false
 	cache := r.eng.cache
 	if cache == nil || r.NoCache {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		return r.compile()
 	}
 	key, ok := r.cacheKey()
@@ -257,9 +404,14 @@ func (r *Rewriter) Rewrite() (uint64, error) {
 		// surface whatever the rewriter does with it.
 		return r.compile()
 	}
-	v, hit, err := cache.Do(key, func() (cachedCode, error) {
+	v, hit, err := cache.DoCtx(ctx, key, func() (cachedCode, error) {
 		r.eng.compileMu.Lock()
 		defer r.eng.compileMu.Unlock()
+		if err := ctx.Err(); err != nil {
+			// The deadline passed while queued behind another compile;
+			// don't start work nobody is waiting for.
+			return cachedCode{}, err
+		}
 		addr, err := r.compile()
 		if err != nil {
 			return cachedCode{}, err
@@ -273,6 +425,18 @@ func (r *Rewriter) Rewrite() (uint64, error) {
 	r.Stats = v.stats
 	r.CodeSize = v.codeSize
 	return v.addr, nil
+}
+
+// CacheKey exposes the canonical specialization key of the current
+// configuration — the same key Rewrite memoizes and coalesces under. ok is
+// false when the configuration is not hashable (a fixed range points at
+// unmapped memory) or caching is disabled. Use with Engine.CachePeek to
+// dispatch requests without starting duplicate compilations.
+func (r *Rewriter) CacheKey() (codecache.Key, bool) {
+	if r.eng.cache == nil || r.NoCache {
+		return codecache.Key{}, false
+	}
+	return r.cacheKey()
 }
 
 // cacheKey canonicalizes the rewriter configuration into a specialization
@@ -325,13 +489,22 @@ func (r *Rewriter) cacheKey() (codecache.Key, bool) {
 }
 
 // compile is the uncached Rewrite path: DBrew pass, then (for BackendLLVM)
-// lift → optimize → JIT.
+// lift → optimize → JIT. Stage failures fall back to the best earlier
+// result (DBrew's default error handling) unless Strict is set, in which
+// case they surface as *StageError.
 func (r *Rewriter) compile() (uint64, error) {
 	addr, err := r.rw.Rewrite()
 	r.Stats = r.rw.Stats
 	r.CodeSize = r.Stats.CodeSize
 	if err != nil {
-		return 0, err
+		return 0, &StageError{Stage: StageRewrite, Err: err}
+	}
+	if r.Stats.Failed && r.Strict {
+		cause := r.Stats.Err
+		if cause == nil {
+			cause = errors.New("dbrew fell back to the original function")
+		}
+		return 0, &StageError{Stage: StageRewrite, Err: cause}
 	}
 	if r.backend == BackendDBrew || r.Stats.Failed {
 		return addr, nil
@@ -339,6 +512,9 @@ func (r *Rewriter) compile() (uint64, error) {
 	l := lift.New(r.eng.Mem, lift.DefaultOptions())
 	f, err := l.LiftFunc(addr, "rewritten", r.sig)
 	if err != nil {
+		if r.Strict {
+			return 0, &StageError{Stage: StageLift, Err: err}
+		}
 		// Lifting failure falls back to the DBrew output.
 		return addr, nil
 	}
@@ -346,9 +522,17 @@ func (r *Rewriter) compile() (uint64, error) {
 	cfg.FastMath = r.FastMath
 	cfg.ForceVectorWidth = r.ForceVectorWidth
 	opt.Optimize(f, cfg)
+	if r.Strict {
+		if err := ir.Verify(f); err != nil {
+			return 0, &StageError{Stage: StageOptimize, Err: err}
+		}
+	}
 	comp := jit.NewCompiler(r.eng.Mem)
 	jaddr, err := comp.CompileModule(l.Module, f.Nam)
 	if err != nil {
+		if r.Strict {
+			return 0, &StageError{Stage: StageJIT, Err: err}
+		}
 		return addr, nil
 	}
 	r.CodeSize = comp.Sizes[jaddr]

@@ -2,6 +2,26 @@ package dbrewllvm
 
 import "fmt"
 
+// StatsJSON marshals the cache and tiering counters in one call — the
+// payload served by dbrewd's /metrics endpoint. Disabled subsystems are
+// omitted from the JSON, so "never enabled" and "enabled but idle" stay
+// distinguishable, mirroring the (Stats, ok) accessors.
+func ExampleEngine_StatsJSON() {
+	eng := NewEngine()
+
+	// Nothing enabled: both sections are omitted.
+	b, _ := eng.StatsJSON()
+	fmt.Println(string(b))
+
+	// With the specialization cache on, its zero counters appear.
+	eng.EnableCache(16)
+	b, _ = eng.StatsJSON()
+	fmt.Println(string(b))
+	// Output:
+	// {}
+	// {"cache":{"Hits":0,"Misses":0,"Waits":0,"Evictions":0,"Entries":0}}
+}
+
 // CacheStats distinguishes "cache disabled" (zero Stats sentinel, ok ==
 // false) from "cache enabled but idle" (zero Stats, ok == true). Branch on
 // ok — never on the zero counters alone.

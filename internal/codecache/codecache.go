@@ -17,6 +17,7 @@ package codecache
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -132,6 +133,17 @@ func (c *Cache[V]) Get(k Key) (V, bool) {
 // A failed compile is not cached; every caller waiting on it receives the
 // error, and the next Do for the key compiles again.
 func (c *Cache[V]) Do(k Key, compile func() (V, error)) (V, bool, error) {
+	return c.DoCtx(context.Background(), k, compile)
+}
+
+// DoCtx is Do with a deadline on the coalesced wait: a caller that finds the
+// key's compilation in flight blocks only until ctx is done, then abandons
+// the wait and returns ctx.Err() (the in-flight compilation itself is
+// unaffected and still completes and inserts its result). The compile
+// function is invoked without a deadline — callers that want the leader to
+// honor ctx should check it inside compile. This is the coalescing hook the
+// dbrewd service builds its per-request deadlines on.
+func (c *Cache[V]) DoCtx(ctx context.Context, k Key, compile func() (V, error)) (V, bool, error) {
 	s := c.shard(k)
 	s.mu.Lock()
 	if el, ok := s.entries[k]; ok {
@@ -144,7 +156,12 @@ func (c *Cache[V]) Do(k Key, compile func() (V, error)) (V, bool, error) {
 	if fl, ok := s.inflight[k]; ok {
 		s.mu.Unlock()
 		c.waits.Add(1)
-		<-fl.done
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			var zero V
+			return zero, false, ctx.Err()
+		}
 		if fl.err != nil {
 			var zero V
 			return zero, false, fl.err
@@ -217,6 +234,23 @@ func (c *Cache[V]) Len() int {
 		s.mu.Unlock()
 	}
 	return n
+}
+
+// Peek reports, without affecting LRU order or any counter, whether k is
+// currently cached and whether a compilation for it is in flight. It is a
+// coalescing hook: a dispatcher can route requests whose key is already
+// cached or in flight straight to Do/DoCtx (which will not start a new
+// compilation) and reserve its own compile-concurrency budget for keys that
+// actually need one. The answer is advisory — both states can change the
+// moment the shard lock is released — so correctness must never depend on
+// it, only scheduling.
+func (c *Cache[V]) Peek(k Key) (cached, inflight bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, cached = s.entries[k]
+	_, inflight = s.inflight[k]
+	return cached, inflight
 }
 
 // Remove drops the entry for k if present and reports whether it was

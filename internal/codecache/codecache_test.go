@@ -1,6 +1,7 @@
 package codecache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -268,6 +269,159 @@ func TestConcurrentExactlyOnce(t *testing.T) {
 			t.Errorf("Misses = %d, want %d", st.Misses, goroutines)
 		}
 	})
+}
+
+// TestRemoveRacesInflightCompile is the deopt-path race of PR 2: tiered
+// execution calls Remove on a key whose singleflight compile is still in
+// flight (InvalidateRange deoptimizing while a promotion compiles). Remove
+// must not disturb the flight — waiters still receive its result, and the
+// completed compile re-inserts — and the interleaving must be -race clean.
+func TestRemoveRacesInflightCompile(t *testing.T) {
+	c := New[int](64)
+	k := keyOf(0xdead)
+
+	// Deterministic interleaving first: Remove runs strictly between the
+	// flight starting and the compile finishing.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, hit, err := c.Do(k, func() (int, error) {
+			close(started)
+			<-release
+			return 11, nil
+		})
+		if err != nil || hit || v != 11 {
+			t.Errorf("leader Do = (%d, %v, %v), want (11, false, nil)", v, hit, err)
+		}
+	}()
+	<-started
+	if c.Remove(k) {
+		t.Error("Remove reported a cached entry while the compile was still in flight")
+	}
+	// A waiter that parked on the flight before Remove must still get 11.
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		v, hit, err := c.Do(k, func() (int, error) { return -1, nil })
+		if err != nil || v != 11 {
+			t.Errorf("waiter Do = (%d, %v, %v), want value 11", v, hit, err)
+		}
+	}()
+	close(release)
+	<-done
+	<-waiterDone
+	// The in-flight compile completed after Remove and re-inserted.
+	if v, ok := c.Get(k); !ok || v != 11 {
+		t.Fatalf("Get after racing Remove = (%d, %v), want (11, true)", v, ok)
+	}
+
+	// Now the -race hammer: concurrent Do and Remove on one key. Every Do
+	// must observe either a fresh compile or the canonical value, never a
+	// torn state, and the cache must stay usable.
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				v, _, err := c.Do(k, func() (int, error) { return 11, nil })
+				if err != nil || v != 11 {
+					t.Errorf("Do under Remove storm = (%d, %v)", v, err)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				c.Remove(k)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+}
+
+func TestDoCtxAbandonsWaitOnDeadline(t *testing.T) {
+	c := New[int](8)
+	k := keyOf(0xf00d)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		c.Do(k, func() (int, error) {
+			close(started)
+			<-release
+			return 5, nil
+		})
+	}()
+	<-started
+
+	// A waiter whose context dies while the compile is in flight abandons
+	// the wait with ctx.Err; the flight itself is unaffected.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := c.DoCtx(ctx, k, func() (int, error) { return -1, nil })
+		errc <- err
+	}()
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned waiter err = %v, want context.Canceled", err)
+	}
+
+	close(release)
+	<-leaderDone
+	if v, ok := c.Get(k); !ok || v != 5 {
+		t.Fatalf("flight result lost after waiter abandoned: (%d, %v)", v, ok)
+	}
+
+	// With a live context DoCtx behaves exactly like Do.
+	v, hit, err := c.DoCtx(context.Background(), k, func() (int, error) { return -1, nil })
+	if err != nil || !hit || v != 5 {
+		t.Fatalf("DoCtx on cached key = (%d, %v, %v), want (5, true, nil)", v, hit, err)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	c := New[int](8)
+	k := keyOf(21)
+	if cached, inflight := c.Peek(k); cached || inflight {
+		t.Fatalf("Peek on empty cache = (%v, %v), want (false, false)", cached, inflight)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Do(k, func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+	if cached, inflight := c.Peek(k); cached || !inflight {
+		t.Fatalf("Peek during compile = (%v, %v), want (false, true)", cached, inflight)
+	}
+	close(release)
+	<-done
+	if cached, inflight := c.Peek(k); !cached || inflight {
+		t.Fatalf("Peek after compile = (%v, %v), want (true, false)", cached, inflight)
+	}
+	// Peek must not bump counters or LRU order.
+	if st := c.Stats(); st.Hits != 0 {
+		t.Fatalf("Peek counted as a hit: %v", st)
+	}
 }
 
 func TestHasherFieldBoundaries(t *testing.T) {

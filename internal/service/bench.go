@@ -1,0 +1,172 @@
+package service
+
+// The service-latency experiment behind `stencilbench -fig service`: the
+// same Section VI line-kernel specialization measured in-process (a direct
+// Rewrite on a local engine) and round-trip (JSON over HTTP through a
+// dbrewd instance), cold and cache-warm, so the daemon's protocol overhead
+// is visible next to the compile time it wraps.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	dbrewllvm "repro"
+	"repro/internal/bench"
+	"repro/internal/dbrew"
+)
+
+// BenchRow is one structure's latency comparison, all values mean
+// microseconds per request.
+type BenchRow struct {
+	Structure       string
+	InprocColdUS    float64
+	InprocWarmUS    float64
+	RoundTripColdUS float64
+	RoundTripWarmUS float64
+}
+
+// RunBenchmark measures in-process vs. round-trip specialization latency
+// for the line kernel over every stencil structure. Cold rows specialize a
+// distinct cache key per repeat — the instruction budget, which is part of
+// the key, is nudged to an unreachable fresh value so the compile itself is
+// unchanged; warm rows repeat one key and are served from the cache.
+func RunBenchmark(size, repeats int) ([]BenchRow, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	w, err := bench.NewWorkload(size)
+	if err != nil {
+		return nil, err
+	}
+	regions := SnapshotRegions(w.Mem)
+
+	eng := dbrewllvm.NewEngine()
+	eng.EnableCache(1024)
+	for _, rg := range regions {
+		if _, err := eng.Mem.MapBytes(rg.Addr, rg.Data, "image"); err != nil {
+			return nil, err
+		}
+	}
+
+	svc := New(Config{})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	client := NewClient(ts.URL)
+	ctx := context.Background()
+
+	var rows []BenchRow
+	for _, structure := range bench.AllStructures {
+		in := w.SpecInput(bench.Line, structure, bench.DBrewLLVM)
+		row := BenchRow{Structure: structure.String()}
+
+		// In-process cold: each repeat gets a fresh instruction budget and
+		// with it a fresh cache key; entries keep structures distinct.
+		for i := 0; i < repeats; i++ {
+			rw := newBenchRewriter(eng, in, coldBudget(i))
+			start := time.Now()
+			if _, err := rw.Rewrite(); err != nil {
+				return nil, fmt.Errorf("%s in-process cold: %w", structure, err)
+			}
+			row.InprocColdUS += us(start)
+		}
+		// In-process warm: the default-budget key, primed once, then timed
+		// cache hits.
+		warm := func() *dbrewllvm.Rewriter { return newBenchRewriter(eng, in, 0) }
+		if _, err := warm().Rewrite(); err != nil {
+			return nil, fmt.Errorf("%s in-process warm prime: %w", structure, err)
+		}
+		for i := 0; i < repeats; i++ {
+			start := time.Now()
+			if _, err := warm().Rewrite(); err != nil {
+				return nil, fmt.Errorf("%s in-process warm: %w", structure, err)
+			}
+			row.InprocWarmUS += us(start)
+		}
+
+		// Round-trip cold and warm mirror the same key pattern over HTTP.
+		for i := 0; i < repeats; i++ {
+			req := benchRequest(in, regions, coldBudget(i))
+			start := time.Now()
+			if _, err := client.Specialize(ctx, req); err != nil {
+				return nil, fmt.Errorf("%s round-trip cold: %w", structure, err)
+			}
+			row.RoundTripColdUS += us(start)
+		}
+		warmReq := benchRequest(in, regions, 0)
+		if _, err := client.Specialize(ctx, warmReq); err != nil {
+			return nil, fmt.Errorf("%s round-trip warm prime: %w", structure, err)
+		}
+		for i := 0; i < repeats; i++ {
+			start := time.Now()
+			resp, err := client.Specialize(ctx, warmReq)
+			if err != nil {
+				return nil, fmt.Errorf("%s round-trip warm: %w", structure, err)
+			}
+			if !resp.CacheHit {
+				return nil, fmt.Errorf("%s round-trip warm: expected a cache hit", structure)
+			}
+			row.RoundTripWarmUS += us(start)
+		}
+
+		n := float64(repeats)
+		row.InprocColdUS /= n
+		row.InprocWarmUS /= n
+		row.RoundTripColdUS /= n
+		row.RoundTripWarmUS /= n
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// coldBudget returns an effectively-unlimited instruction budget unique to
+// repeat i; the budget participates in the cache key, so each cold compile
+// is a genuine miss while the generated code is unaffected.
+func coldBudget(i int) int { return 1<<24 + i }
+
+func newBenchRewriter(eng *dbrewllvm.Engine, in bench.SpecInput, budget int) *dbrewllvm.Rewriter {
+	rw := dbrewllvm.NewRewriter(eng, in.Entry, in.Sig)
+	rw.SetBackend(dbrewllvm.BackendLLVM)
+	rw.SetParPtr(0, in.StencilAddr, in.StencilSize)
+	if budget != 0 {
+		rw.SetConfig(dbrew.Config{MaxInsts: budget})
+	}
+	return rw
+}
+
+func benchRequest(in bench.SpecInput, regions []Region, budget int) *Request {
+	req := &Request{
+		Regions: regions,
+		Entry:   in.Entry,
+		Sig:     SigFromABI(in.Sig),
+		FixedParams: []ParamFix{
+			{Idx: 0, Value: in.StencilAddr, Ptr: true, Size: in.StencilSize},
+		},
+	}
+	if budget != 0 {
+		req.Limits = &Limits{MaxInsts: budget}
+	}
+	return req
+}
+
+func us(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Microsecond)
+}
+
+// FormatBenchmark renders the comparison, including the derived round-trip
+// overhead (the cost of going through the daemon instead of linking the
+// engine in).
+func FormatBenchmark(rows []BenchRow) string {
+	out := "Service round-trip vs in-process specialization latency (line kernel, LLVM backend, mean us):\n\n"
+	out += fmt.Sprintf("  %-12s %14s %14s %14s %14s %16s\n",
+		"structure", "inproc cold", "roundtrip cold", "inproc warm", "roundtrip warm", "warm overhead")
+	for _, r := range rows {
+		out += fmt.Sprintf("  %-12s %14.1f %14.1f %14.1f %14.1f %16.1f\n",
+			r.Structure, r.InprocColdUS, r.RoundTripColdUS, r.InprocWarmUS, r.RoundTripWarmUS,
+			r.RoundTripWarmUS-r.InprocWarmUS)
+	}
+	out += "\nwarm requests are served from the specialization cache on both paths;\n"
+	out += "the warm overhead column is the pure HTTP+JSON round-trip cost.\n"
+	return out
+}

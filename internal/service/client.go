@@ -1,0 +1,153 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Sentinel errors for the interesting response classes; match with
+// errors.Is against the error returned by Client methods.
+var (
+	// ErrOverloaded is 429: the daemon's admission queue was full.
+	ErrOverloaded = errors.New("service: overloaded")
+	// ErrDeadlineExceeded is 504: the request's deadline passed server-side.
+	ErrDeadlineExceeded = errors.New("service: deadline exceeded")
+	// ErrShuttingDown is 503: the daemon is draining.
+	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrConflict is 409: a region conflicts with already-uploaded contents.
+	ErrConflict = errors.New("service: region conflict")
+)
+
+// APIError is any non-2xx response, carrying the HTTP status, the failing
+// pipeline stage (when the server identified one), and the server message.
+// It matches the sentinel errors above under errors.Is.
+type APIError struct {
+	StatusCode int
+	Stage      string
+	Message    string
+}
+
+// Error formats the status, optional stage, and message.
+func (e *APIError) Error() string {
+	if e.Stage != "" {
+		return fmt.Sprintf("service: HTTP %d (%s stage): %s", e.StatusCode, e.Stage, e.Message)
+	}
+	return fmt.Sprintf("service: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// Is maps status codes onto the package sentinels.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrOverloaded:
+		return e.StatusCode == http.StatusTooManyRequests
+	case ErrDeadlineExceeded:
+		return e.StatusCode == http.StatusGatewayTimeout
+	case ErrShuttingDown:
+		return e.StatusCode == http.StatusServiceUnavailable
+	case ErrConflict:
+		return e.StatusCode == http.StatusConflict
+	}
+	return false
+}
+
+// Client is the typed dbrewd client used by cmd/dbrewd's smoke mode, the
+// round-trip benchmark, and the end-to-end tests.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7411".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Specialize posts one specialization request and decodes the result.
+// Non-2xx responses come back as *APIError.
+func (c *Client) Specialize(ctx context.Context, req *Request) (*Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/specialize", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return nil, decodeError(hres)
+	}
+	var resp Response
+	if err := json.NewDecoder(hres.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("service: decoding response: %w", err)
+	}
+	return &resp, nil
+}
+
+// Health checks /healthz; nil means the daemon is accepting requests.
+func (c *Client) Health(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	hres, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return decodeError(hres)
+	}
+	return nil
+}
+
+// Metrics fetches and decodes /metrics.
+func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	hres, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return nil, decodeError(hres)
+	}
+	var m Metrics
+	if err := json.NewDecoder(hres.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("service: decoding metrics: %w", err)
+	}
+	return &m, nil
+}
+
+func decodeError(hres *http.Response) error {
+	apiErr := &APIError{StatusCode: hres.StatusCode}
+	raw, _ := io.ReadAll(io.LimitReader(hres.Body, 1<<16))
+	var body ErrorBody
+	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
+		apiErr.Stage = body.Stage
+		apiErr.Message = body.Error
+	} else {
+		apiErr.Message = string(bytes.TrimSpace(raw))
+	}
+	return apiErr
+}

@@ -1,0 +1,461 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	dbrewllvm "repro"
+	"repro/internal/dbrew"
+	"repro/internal/tier"
+)
+
+// Config tunes the daemon; zero fields select the documented defaults.
+type Config struct {
+	// Workers bounds concurrent compile slots (default 4). Compilations
+	// additionally serialize on the engine's compile lock, so Workers
+	// bounds admission, not parallelism.
+	Workers int
+	// QueueDepth bounds requests waiting for a compile slot; a request
+	// arriving with the queue full is rejected with 429 (default 64).
+	QueueDepth int
+	// DefaultDeadline applies to requests that carry no deadline_ms
+	// (default 30s); MaxDeadline clamps client-requested deadlines
+	// (default 2m). A deadline that passes while a request is queued or
+	// coalesced yields 504.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// CacheCapacity bounds the engine's specialization cache (default
+	// 1024 entries).
+	CacheCapacity int
+	// MaxBodyBytes bounds the request body, and therefore the uploaded
+	// image size (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// errOverloaded marks an admission rejection (queue full) internally.
+var errOverloaded = errors.New("service: admission queue full")
+
+// Service is the dbrewd HTTP handler: one engine, one specialization
+// cache, a bounded admission pool, and the /specialize, /healthz, and
+// /metrics endpoints. Create it with New and serve it with net/http.
+type Service struct {
+	cfg Config
+	eng *dbrewllvm.Engine
+	mux *http.ServeMux
+
+	// regionMu serializes snapshot placement (content-addressed reuse vs.
+	// fresh mapping) so concurrent identical uploads cannot race Map.
+	regionMu sync.Mutex
+
+	// slots is the compile-slot semaphore; queued counts requests waiting
+	// for a slot (bounded by QueueDepth); active counts slots in use.
+	slots  chan struct{}
+	queued atomic.Int64
+	active atomic.Int64
+
+	// shutMu guards closed; wg tracks accepted in-flight requests so
+	// Shutdown can drain them.
+	shutMu sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+
+	requests, okCount, badReq, rejected, deadlines, errCount, cacheHits atomic.Int64
+
+	latency tier.LatencyHistogram
+
+	// compileHook, when non-nil, runs while holding a freshly acquired
+	// compile slot — a test seam for pinning admission-control states.
+	compileHook func()
+}
+
+// New builds a Service with its own engine and enabled specialization
+// cache.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		eng:   dbrewllvm.NewEngine(),
+		mux:   http.NewServeMux(),
+		slots: make(chan struct{}, cfg.Workers),
+	}
+	s.eng.EnableCache(cfg.CacheCapacity)
+	s.mux.HandleFunc("POST /specialize", s.handleSpecialize)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Engine returns the daemon's engine (for embedding applications that want
+// to inspect or pre-populate the address space).
+func (s *Service) Engine() *dbrewllvm.Engine { return s.eng }
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// enter registers an in-flight request unless the service is draining.
+func (s *Service) enter() bool {
+	s.shutMu.Lock()
+	defer s.shutMu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.wg.Add(1)
+	return true
+}
+
+// Shutdown stops admitting new requests and blocks until every accepted
+// request has finished (drained through its compile or cache wait), or ctx
+// expires. Accepted requests are never dropped: they keep their compile
+// slots and complete normally.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.shutMu.Lock()
+	s.closed = true
+	s.shutMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.shutMu.Lock()
+	closed := s.closed
+	s.shutMu.Unlock()
+	if closed {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "shutting-down"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+// MetricsSnapshot assembles the /metrics payload: service counters plus the
+// engine's CacheStats/TierStats via Engine.StatsJSON's struct.
+func (s *Service) MetricsSnapshot() Metrics {
+	es := s.eng.Stats()
+	m := Metrics{
+		Requests:         s.requests.Load(),
+		OK:               s.okCount.Load(),
+		BadRequests:      s.badReq.Load(),
+		RejectedOverload: s.rejected.Load(),
+		DeadlineExceeded: s.deadlines.Load(),
+		Errors:           s.errCount.Load(),
+		CacheHits:        s.cacheHits.Load(),
+		QueueDepth:       s.queued.Load(),
+		ActiveCompiles:   s.active.Load(),
+		LatencyUSLog2:    s.latency.Snapshot(),
+		Engine:           es,
+	}
+	if es.Cache != nil {
+		m.CoalesceHits = es.Cache.Waits
+	}
+	return m
+}
+
+func (s *Service) handleSpecialize(w http.ResponseWriter, r *http.Request) {
+	if !s.enter() {
+		writeError(w, http.StatusServiceUnavailable, "", "service is shutting down")
+		return
+	}
+	defer s.wg.Done()
+	s.requests.Add(1)
+	start := time.Now()
+	defer func() { s.latency.Add(time.Since(start)) }()
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.badReq.Add(1)
+		writeError(w, http.StatusBadRequest, "", "decoding request: "+err.Error())
+		return
+	}
+
+	resp, status, stage, err := s.specialize(r.Context(), &req)
+	if err != nil {
+		switch {
+		case status == http.StatusTooManyRequests:
+			s.rejected.Add(1)
+		case status == http.StatusGatewayTimeout:
+			s.deadlines.Add(1)
+		case status >= 500:
+			s.errCount.Add(1)
+		default:
+			s.badReq.Add(1)
+		}
+		writeError(w, status, stage, err.Error())
+		return
+	}
+	s.okCount.Add(1)
+	if resp.CacheHit {
+		s.cacheHits.Add(1)
+	}
+	resp.ElapsedUS = time.Since(start).Microseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// specialize runs one request through placement, admission, and the
+// rewriter, returning the response or (status, stage, error) on failure.
+func (s *Service) specialize(ctx context.Context, req *Request) (*Response, int, string, error) {
+	if err := validate(req); err != nil {
+		return nil, http.StatusBadRequest, "", err
+	}
+	sig, err := req.Sig.ABISignature()
+	if err != nil {
+		return nil, http.StatusBadRequest, "", err
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(ctx, deadline)
+	defer cancel()
+
+	if err := s.ensureRegions(req.Regions); err != nil {
+		return nil, http.StatusConflict, "", err
+	}
+
+	rw := dbrewllvm.NewRewriter(s.eng, req.Entry, sig)
+	rw.Strict = true
+	rw.FastMath = !req.NoFastMath
+	rw.ForceVectorWidth = req.ForceVectorWidth
+	switch req.Backend {
+	case "", "llvm":
+		rw.SetBackend(dbrewllvm.BackendLLVM)
+	case "dbrew":
+		rw.SetBackend(dbrewllvm.BackendDBrew)
+	default:
+		return nil, http.StatusBadRequest, "", fmt.Errorf("unknown backend %q (want llvm or dbrew)", req.Backend)
+	}
+	if req.Limits != nil {
+		rw.SetConfig(dbrew.Config{
+			BufferSize:  req.Limits.BufferSize,
+			MaxInsts:    req.Limits.MaxInsts,
+			InlineDepth: req.Limits.InlineDepth,
+		})
+	}
+	for _, p := range req.FixedParams {
+		if p.Ptr {
+			rw.SetParPtr(p.Idx, p.Value, p.Size)
+		} else {
+			rw.SetPar(p.Idx, p.Value)
+		}
+	}
+	for _, m := range req.FixedRanges {
+		rw.SetMem(m.Start, m.End)
+	}
+
+	// Coalescing: a request whose specialization key is already cached or
+	// compiling joins the existing entry/flight inside RewriteCtx — it
+	// never starts a compile, so it bypasses admission entirely and leaves
+	// the compile slots to requests that need them. The peek is advisory;
+	// losing the race just means one extra admitted request that then hits
+	// the cache.
+	needSlot := true
+	if key, ok := rw.CacheKey(); ok {
+		if cached, inflight, ok := s.eng.CachePeek(key); ok && (cached || inflight) {
+			needSlot = false
+		}
+	}
+	if needSlot {
+		release, err := s.admit(ctx)
+		if err != nil {
+			if errors.Is(err, errOverloaded) {
+				return nil, http.StatusTooManyRequests, "", errors.New("admission queue full, retry later")
+			}
+			return nil, http.StatusGatewayTimeout, "", fmt.Errorf("deadline expired while queued for a compile slot: %w", err)
+		}
+		defer release()
+	}
+
+	addr, err := rw.RewriteCtx(ctx)
+	if err != nil {
+		status, stage := statusForError(err)
+		return nil, status, stage, err
+	}
+	code, err := s.eng.Mem.Read(addr, rw.CodeSize)
+	if err != nil {
+		return nil, http.StatusInternalServerError, "", fmt.Errorf("reading generated code: %w", err)
+	}
+
+	resp := &Response{
+		Addr:     addr,
+		Code:     code,
+		CacheHit: rw.CacheHit,
+		Stats: CompileStats{
+			Decoded:    rw.Stats.Decoded,
+			Emitted:    rw.Stats.Emitted,
+			Eliminated: rw.Stats.Eliminated,
+			Inlined:    rw.Stats.Inlined,
+			CodeSize:   rw.CodeSize,
+			Failed:     rw.Stats.Failed,
+		},
+	}
+	if req.IncludeIR {
+		if lr, err := s.eng.Lift(addr, "service_result", sig); err == nil {
+			resp.IR = lr.IR()
+		}
+	}
+	return resp, http.StatusOK, "", nil
+}
+
+// admit acquires a compile slot, queueing up to QueueDepth requests behind
+// the Workers slots. It returns errOverloaded when the queue is full and
+// ctx.Err() when the deadline passes while queued; on success the returned
+// release function must be called once.
+func (s *Service) admit(ctx context.Context) (func(), error) {
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+			s.queued.Add(-1)
+			return nil, errOverloaded
+		}
+		select {
+		case s.slots <- struct{}{}:
+			s.queued.Add(-1)
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			return nil, ctx.Err()
+		}
+	}
+	s.active.Add(1)
+	if s.compileHook != nil {
+		s.compileHook()
+	}
+	return func() {
+		s.active.Add(-1)
+		<-s.slots
+	}, nil
+}
+
+// ensureRegions places the request's snapshot into the engine. A region
+// whose address range is already mapped with identical bytes is reused
+// (content-addressed upload dedup — the precondition for request
+// coalescing); different bytes at the same address are a conflict.
+func (s *Service) ensureRegions(regions []Region) error {
+	s.regionMu.Lock()
+	defer s.regionMu.Unlock()
+	for _, rg := range regions {
+		existing, err := s.eng.Mem.Read(rg.Addr, len(rg.Data))
+		if err == nil {
+			if !bytes.Equal(existing, rg.Data) {
+				return fmt.Errorf("region at %#x (%d bytes) conflicts with already-uploaded contents", rg.Addr, len(rg.Data))
+			}
+			continue
+		}
+		if _, err := s.eng.Mem.MapBytes(rg.Addr, rg.Data, "service.image"); err != nil {
+			return fmt.Errorf("region at %#x (%d bytes) overlaps an existing mapping: %w", rg.Addr, len(rg.Data), err)
+		}
+	}
+	return nil
+}
+
+func validate(req *Request) error {
+	if len(req.Regions) == 0 {
+		return errors.New("request carries no regions")
+	}
+	entryMapped := false
+	for i, rg := range req.Regions {
+		if len(rg.Data) == 0 {
+			return fmt.Errorf("regions[%d] at %#x is empty", i, rg.Addr)
+		}
+		if rg.Addr+uint64(len(rg.Data)) < rg.Addr {
+			return fmt.Errorf("regions[%d] at %#x wraps the address space", i, rg.Addr)
+		}
+		if req.Entry >= rg.Addr && req.Entry < rg.Addr+uint64(len(rg.Data)) {
+			entryMapped = true
+		}
+	}
+	if !entryMapped {
+		return fmt.Errorf("entry %#x lies outside every uploaded region", req.Entry)
+	}
+	for i, p := range req.FixedParams {
+		if p.Idx < 0 || p.Idx >= len(req.Sig.Params) {
+			return fmt.Errorf("fixed_params[%d]: index %d outside signature (%d params)", i, p.Idx, len(req.Sig.Params))
+		}
+		if p.Ptr && p.Size <= 0 {
+			return fmt.Errorf("fixed_params[%d]: pointer fix needs a positive size", i)
+		}
+	}
+	for i, m := range req.FixedRanges {
+		if m.End <= m.Start {
+			return fmt.Errorf("fixed_ranges[%d]: end %#x not past start %#x", i, m.End, m.Start)
+		}
+	}
+	return nil
+}
+
+// statusForError maps pipeline failures to distinct HTTP statuses:
+// rewrite → 422 (the uploaded code cannot be specialized), lift → 424 (the
+// DBrew output resists lifting), optimize → 500 (pipeline invariant
+// violation), jit → 502 (backend code generation failed), deadline → 504.
+func statusForError(err error) (status int, stage string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, ""
+	case errors.Is(err, dbrewllvm.ErrStageRewrite):
+		return http.StatusUnprocessableEntity, "rewrite"
+	case errors.Is(err, dbrewllvm.ErrStageLift):
+		return http.StatusFailedDependency, "lift"
+	case errors.Is(err, dbrewllvm.ErrStageOptimize):
+		return http.StatusInternalServerError, "optimize"
+	case errors.Is(err, dbrewllvm.ErrStageJIT):
+		return http.StatusBadGateway, "jit"
+	}
+	return http.StatusInternalServerError, ""
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, stage, msg string) {
+	writeJSON(w, status, ErrorBody{Error: msg, Stage: stage})
+}

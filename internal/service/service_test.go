@@ -1,0 +1,443 @@
+package service
+
+// End-to-end suite against a live httptest server: byte-identity of
+// service-returned code vs. a direct in-process Rewrite over the same
+// image, exactly-once compilation under 32 concurrent identical requests,
+// admission-control overload behavior (429 queue-full, 504 past-deadline),
+// and graceful-shutdown draining. Run with -race: the coalescing and
+// admission paths are the concurrency-sensitive surface of the daemon.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	dbrewllvm "repro"
+	"repro/internal/bench"
+)
+
+// testWorkloadSize keeps the stencil image small; the paper's 649×649
+// matrix is irrelevant to protocol correctness.
+const testWorkloadSize = 33
+
+func newWorkloadSnapshot(t *testing.T) (*bench.Workload, []Region) {
+	t.Helper()
+	w, err := bench.NewWorkload(testWorkloadSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot before anything compiles, so the image holds only the
+	// original corpus, stencil structures, and matrices.
+	return w, SnapshotRegions(w.Mem)
+}
+
+// directEngine reconstructs the snapshot in a fresh in-process engine, the
+// reference the service output must match byte for byte.
+func directEngine(t *testing.T, regions []Region) *dbrewllvm.Engine {
+	t.Helper()
+	e := dbrewllvm.NewEngine()
+	for _, rg := range regions {
+		if _, err := e.Mem.MapBytes(rg.Addr, rg.Data, "image"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func startServer(t *testing.T, cfg Config) (*Service, *Client) {
+	t.Helper()
+	svc := New(cfg)
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+	return svc, NewClient(ts.URL)
+}
+
+// specCase is one Section VI stencil specialization expressed as a service
+// request configuration.
+type specCase struct {
+	name    string
+	mode    bench.Mode
+	backend string
+	fix     bool // fix parameter 0 to the stencil (SetParPtr)
+}
+
+// The Rewrite()-reachable Section VI modes: DBrew and DBrew+LLVM over all
+// three stencil structures, plus the unspecialized LLVM transformation.
+var specCases = []specCase{
+	{"dbrew", bench.DBrew, "dbrew", true},
+	{"dbrew+llvm", bench.DBrewLLVM, "llvm", true},
+	{"llvm-identity", bench.DBrewLLVM, "llvm", false},
+}
+
+func requestFor(in bench.SpecInput, regions []Region, c specCase) *Request {
+	req := &Request{
+		Regions: regions,
+		Entry:   in.Entry,
+		Sig:     SigFromABI(in.Sig),
+		Backend: c.backend,
+	}
+	if c.fix {
+		req.FixedParams = []ParamFix{{Idx: 0, Value: in.StencilAddr, Ptr: true, Size: in.StencilSize}}
+	}
+	return req
+}
+
+// TestServiceMatchesDirectRewrite asserts the acceptance criterion: for
+// every Section VI stencil mode, the code bytes returned over HTTP are
+// identical to a direct in-process Rewrite() over the same image.
+func TestServiceMatchesDirectRewrite(t *testing.T) {
+	_, regions := newWorkloadSnapshot(t)
+	for _, structure := range bench.AllStructures {
+		for _, c := range specCases {
+			t.Run(fmt.Sprintf("%s/%s", structure, c.name), func(t *testing.T) {
+				// Fresh engine and fresh service per case, so both sides
+				// replay the identical allocation history and even embedded
+				// absolute addresses cannot diverge.
+				w2, err := bench.NewWorkload(testWorkloadSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				in := w2.SpecInput(bench.Line, structure, c.mode)
+
+				eng := directEngine(t, regions)
+				rw := dbrewllvm.NewRewriter(eng, in.Entry, in.Sig)
+				if c.backend == "dbrew" {
+					rw.SetBackend(dbrewllvm.BackendDBrew)
+				} else {
+					rw.SetBackend(dbrewllvm.BackendLLVM)
+				}
+				if c.fix {
+					rw.SetParPtr(0, in.StencilAddr, in.StencilSize)
+				}
+				directAddr, err := rw.Rewrite()
+				if err != nil {
+					t.Fatalf("direct Rewrite: %v", err)
+				}
+				if rw.Stats.Failed {
+					t.Fatalf("direct Rewrite fell back: %v", rw.Stats.Err)
+				}
+				directCode, err := eng.Mem.Read(directAddr, rw.CodeSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				_, client := startServer(t, Config{})
+				req := requestFor(in, regions, c)
+				req.IncludeIR = c.backend == "llvm"
+				resp, err := client.Specialize(context.Background(), req)
+				if err != nil {
+					t.Fatalf("Specialize: %v", err)
+				}
+				if !bytes.Equal(resp.Code, directCode) {
+					t.Fatalf("service code (%d bytes) differs from direct Rewrite (%d bytes)",
+						len(resp.Code), len(directCode))
+				}
+				if resp.CacheHit {
+					t.Error("first request reported a cache hit")
+				}
+				if resp.Stats.CodeSize != rw.CodeSize {
+					t.Errorf("stats code_size = %d, direct = %d", resp.Stats.CodeSize, rw.CodeSize)
+				}
+				if req.IncludeIR && resp.IR == "" {
+					t.Error("include_ir set but no IR returned")
+				}
+
+				// A repeat of the same request is a warm hit with the same
+				// bytes.
+				resp2, err := client.Specialize(context.Background(), req)
+				if err != nil {
+					t.Fatalf("warm Specialize: %v", err)
+				}
+				if !resp2.CacheHit {
+					t.Error("identical repeat request did not hit the cache")
+				}
+				if !bytes.Equal(resp2.Code, resp.Code) {
+					t.Error("warm response bytes differ from cold response")
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentIdenticalRequestsCompileOnce asserts the coalescing
+// criterion: 32 concurrent identical requests yield exactly one
+// compilation, observable through the engine cache counters, with every
+// caller receiving identical bytes.
+func TestConcurrentIdenticalRequestsCompileOnce(t *testing.T) {
+	w, regions := newWorkloadSnapshot(t)
+	in := w.SpecInput(bench.Line, bench.Flat, bench.DBrewLLVM)
+	req := requestFor(in, regions, specCase{backend: "llvm", fix: true})
+
+	svc, client := startServer(t, Config{Workers: 4, QueueDepth: 64})
+
+	const concurrency = 32
+	codes := make([][]byte, concurrency)
+	errs := make([]error, concurrency)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < concurrency; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			resp, err := client.Specialize(context.Background(), req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			codes[i] = resp.Code
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < concurrency; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(codes[i], codes[0]) {
+			t.Fatalf("request %d returned different bytes", i)
+		}
+	}
+
+	m := svc.MetricsSnapshot()
+	if m.Engine.Cache == nil {
+		t.Fatal("engine cache stats missing from metrics")
+	}
+	if m.Engine.Cache.Misses != 1 {
+		t.Fatalf("cache misses = %d: the identical requests compiled more than once", m.Engine.Cache.Misses)
+	}
+	if m.OK != concurrency {
+		t.Fatalf("ok = %d, want %d", m.OK, concurrency)
+	}
+	if m.CacheHits != concurrency-1 {
+		t.Fatalf("cache_hits = %d, want %d", m.CacheHits, concurrency-1)
+	}
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// distinctRequest returns the base request with parameter 4 (the line
+// element count) fixed to n, giving each call its own specialization key.
+func distinctRequest(in bench.SpecInput, regions []Region, n uint64) *Request {
+	req := requestFor(in, regions, specCase{backend: "llvm", fix: true})
+	req.FixedParams = append(req.FixedParams, ParamFix{Idx: 4, Value: n})
+	return req
+}
+
+// TestAdmissionControl pins the overload contract: with one worker slot
+// occupied and the one-deep queue full, the next request is rejected with
+// 429, and a queued request whose deadline passes gets 504 — while the
+// occupying request still completes.
+func TestAdmissionControl(t *testing.T) {
+	w, regions := newWorkloadSnapshot(t)
+	in := w.SpecInput(bench.Line, bench.Flat, bench.DBrewLLVM)
+
+	svc := New(Config{Workers: 1, QueueDepth: 1})
+	gate := make(chan struct{})
+	svc.compileHook = func() { <-gate }
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	// A acquires the only slot and parks in the hook.
+	aDone := make(chan error, 1)
+	go func() {
+		_, err := client.Specialize(context.Background(), distinctRequest(in, regions, 4))
+		aDone <- err
+	}()
+	waitFor(t, "request A to hold the compile slot", func() bool { return svc.active.Load() == 1 })
+
+	// B fills the queue; its 200ms deadline will expire while queued.
+	bDone := make(chan error, 1)
+	go func() {
+		req := distinctRequest(in, regions, 5)
+		req.DeadlineMS = 200
+		_, err := client.Specialize(context.Background(), req)
+		bDone <- err
+	}()
+	waitFor(t, "request B to queue", func() bool { return svc.queued.Load() == 1 })
+
+	// C finds the queue full: 429.
+	if _, err := client.Specialize(context.Background(), distinctRequest(in, regions, 6)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow request err = %v, want ErrOverloaded", err)
+	}
+
+	// B's deadline passes while queued: 504.
+	if err := <-bDone; !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("queued request err = %v, want ErrDeadlineExceeded", err)
+	}
+
+	// A was never disturbed and completes once released.
+	close(gate)
+	if err := <-aDone; err != nil {
+		t.Fatalf("slot-holding request failed: %v", err)
+	}
+
+	m := svc.MetricsSnapshot()
+	if m.RejectedOverload != 1 || m.DeadlineExceeded != 1 || m.OK != 1 {
+		t.Fatalf("metrics = rejected %d, deadline %d, ok %d; want 1, 1, 1",
+			m.RejectedOverload, m.DeadlineExceeded, m.OK)
+	}
+	if m.QueueDepth != 0 || m.ActiveCompiles != 0 {
+		t.Fatalf("gauges not drained: queue %d, active %d", m.QueueDepth, m.ActiveCompiles)
+	}
+}
+
+// TestGracefulShutdownDrains asserts the drain contract: after Shutdown
+// begins, new requests are refused with 503, but the accepted in-flight
+// request keeps its slot and completes successfully, and Shutdown returns
+// only once it has.
+func TestGracefulShutdownDrains(t *testing.T) {
+	w, regions := newWorkloadSnapshot(t)
+	in := w.SpecInput(bench.Line, bench.Flat, bench.DBrewLLVM)
+
+	svc := New(Config{Workers: 2, QueueDepth: 4})
+	gate := make(chan struct{})
+	svc.compileHook = func() { <-gate }
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	aDone := make(chan *Response, 1)
+	aErr := make(chan error, 1)
+	go func() {
+		resp, err := client.Specialize(context.Background(), distinctRequest(in, regions, 4))
+		aErr <- err
+		aDone <- resp
+	}()
+	waitFor(t, "request A to hold a compile slot", func() bool { return svc.active.Load() == 1 })
+
+	shutDone := make(chan error, 1)
+	go func() { shutDone <- svc.Shutdown(context.Background()) }()
+	waitFor(t, "shutdown to begin", func() bool {
+		return client.Health(context.Background()) != nil
+	})
+
+	// New work is refused while draining.
+	if _, err := client.Specialize(context.Background(), distinctRequest(in, regions, 5)); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("request during drain err = %v, want ErrShuttingDown", err)
+	}
+	if err := client.Health(context.Background()); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("healthz during drain err = %v, want ErrShuttingDown", err)
+	}
+	select {
+	case err := <-shutDone:
+		t.Fatalf("Shutdown returned (%v) with a request still in flight", err)
+	default:
+	}
+
+	// The accepted request drains to completion.
+	close(gate)
+	if err := <-aErr; err != nil {
+		t.Fatalf("in-flight request dropped during shutdown: %v", err)
+	}
+	if resp := <-aDone; len(resp.Code) == 0 {
+		t.Fatal("drained request returned no code")
+	}
+	if err := <-shutDone; err != nil {
+		t.Fatalf("Shutdown = %v, want nil", err)
+	}
+}
+
+// TestStageErrorMapping: undecodable machine code fails in the rewrite
+// stage and maps to 422 with the stage named in the error body.
+func TestStageErrorMapping(t *testing.T) {
+	_, client := startServer(t, Config{})
+	req := &Request{
+		// 0x06 is invalid in 64-bit mode.
+		Regions: []Region{{Addr: 0x400000, Data: []byte{0x06, 0xc3}}},
+		Entry:   0x400000,
+		Sig:     SigSpec{Ret: "int"},
+	}
+	_, err := client.Specialize(context.Background(), req)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", apiErr.StatusCode)
+	}
+	if apiErr.Stage != "rewrite" {
+		t.Fatalf("stage = %q, want rewrite", apiErr.Stage)
+	}
+}
+
+// TestRegionConflict: re-uploading different bytes at an already-mapped
+// address is refused with 409 instead of silently respecializing over
+// changed data.
+func TestRegionConflict(t *testing.T) {
+	_, client := startServer(t, Config{})
+	// mov eax, 1; ret — any decodable code works.
+	code := []byte{0xb8, 0x01, 0x00, 0x00, 0x00, 0xc3}
+	req := &Request{
+		Regions: []Region{{Addr: 0x400000, Data: code}},
+		Entry:   0x400000,
+		Sig:     SigSpec{Ret: "int"},
+	}
+	if _, err := client.Specialize(context.Background(), req); err != nil {
+		t.Fatalf("first upload: %v", err)
+	}
+	changed := append([]byte(nil), code...)
+	changed[1] = 0x2a
+	req2 := &Request{
+		Regions: []Region{{Addr: 0x400000, Data: changed}},
+		Entry:   0x400000,
+		Sig:     SigSpec{Ret: "int"},
+	}
+	if _, err := client.Specialize(context.Background(), req2); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting upload err = %v, want ErrConflict", err)
+	}
+}
+
+// TestValidation covers the 400 surface: no regions, entry outside the
+// image, bad signature classes, bad backend.
+func TestValidation(t *testing.T) {
+	_, client := startServer(t, Config{})
+	code := []byte{0xb8, 0x01, 0x00, 0x00, 0x00, 0xc3}
+	base := func() *Request {
+		return &Request{
+			Regions: []Region{{Addr: 0x400000, Data: code}},
+			Entry:   0x400000,
+			Sig:     SigSpec{Ret: "int"},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Request)
+	}{
+		{"no regions", func(r *Request) { r.Regions = nil }},
+		{"entry outside image", func(r *Request) { r.Entry = 0x999999 }},
+		{"bad class", func(r *Request) { r.Sig.Params = []string{"quux"} }},
+		{"bad backend", func(r *Request) { r.Backend = "gcc" }},
+		{"param index out of range", func(r *Request) { r.FixedParams = []ParamFix{{Idx: 3, Value: 1}} }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			req := base()
+			c.mut(req)
+			_, err := client.Specialize(context.Background(), req)
+			var apiErr *APIError
+			if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+				t.Fatalf("err = %v, want *APIError with status 400", err)
+			}
+		})
+	}
+}

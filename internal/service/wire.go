@@ -1,0 +1,239 @@
+// Package service implements dbrewd, the specialization-as-a-service
+// daemon: an HTTP front-end over the Engine/Rewriter pipeline that accepts
+// raw x86-64 machine code plus a specialization configuration and returns
+// the optimized machine code, its IR, and compile statistics.
+//
+// A request is a self-contained snapshot of the client's relevant address
+// space: every region (code and fixed data) is shipped with its absolute
+// address and reconstructed verbatim inside the daemon's engine, so the
+// returned code is byte-identical to what an in-process Rewrite would have
+// produced over the same image. Identical regions re-uploaded by later
+// requests are recognized by content and reused; conflicting contents at
+// the same address are rejected with 409 rather than silently respecialized
+// over different data.
+//
+// The daemon's operational behavior — bounded worker pool with admission
+// control, request coalescing through the engine's specialization-cache
+// singleflight, per-request deadlines, graceful shutdown, and the
+// /healthz + /metrics endpoints — is described in DESIGN.md ("dbrewd").
+package service
+
+import (
+	"fmt"
+
+	dbrewllvm "repro"
+	"repro/internal/abi"
+	"repro/internal/emu"
+	"repro/internal/tier"
+)
+
+// Region is one mapped range of the client's address space, placed at its
+// absolute address inside the daemon's engine. Data is base64 in JSON.
+type Region struct {
+	Addr uint64 `json:"addr"`
+	Data []byte `json:"data"`
+}
+
+// SigSpec is the wire form of a function signature. Classes are "int",
+// "ptr", "f64"; the return class may also be "none" (or empty) for void.
+type SigSpec struct {
+	Ret    string   `json:"ret,omitempty"`
+	Params []string `json:"params"`
+}
+
+// ParamFix fixes one parameter. With Ptr false it is dbrew_setpar(idx,
+// value); with Ptr true it is dbrew_setpar_ptr: Value is a pointer whose
+// target region [Value, Value+Size) holds fixed contents.
+type ParamFix struct {
+	Idx   int    `json:"idx"`
+	Value uint64 `json:"value"`
+	Ptr   bool   `json:"ptr,omitempty"`
+	Size  int    `json:"size,omitempty"`
+}
+
+// MemRange declares [Start, End) as fixed memory (dbrew_setmem).
+type MemRange struct {
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
+}
+
+// Limits forwards the DBrew resource limits; zero fields keep defaults.
+type Limits struct {
+	BufferSize  int `json:"buffer_size,omitempty"`
+	MaxInsts    int `json:"max_insts,omitempty"`
+	InlineDepth int `json:"inline_depth,omitempty"`
+}
+
+// Request is one specialization request (POST /specialize).
+type Request struct {
+	// Regions is the address-space snapshot: machine code and any data the
+	// specialization reads (fixed parameter targets, constant pools).
+	Regions []Region `json:"regions"`
+	// Entry is the function's entry address within the snapshot.
+	Entry uint64 `json:"entry"`
+	// Sig is the function signature at Entry.
+	Sig SigSpec `json:"sig"`
+	// Backend selects the code generator: "llvm" (default; the paper's
+	// lift → optimize → JIT pipeline) or "dbrew" (binary encoder only).
+	Backend string `json:"backend,omitempty"`
+	// NoFastMath disables the -ffast-math analog (default: enabled, as in
+	// the paper's evaluation).
+	NoFastMath bool `json:"no_fast_math,omitempty"`
+	// ForceVectorWidth forces loop vectorization (Section VI-B; only 2).
+	ForceVectorWidth int `json:"force_vector_width,omitempty"`
+	// FixedParams are the known parameters (dbrew_setpar/_setpar_ptr).
+	FixedParams []ParamFix `json:"fixed_params,omitempty"`
+	// FixedRanges are extra fixed memory ranges (dbrew_setmem).
+	FixedRanges []MemRange `json:"fixed_ranges,omitempty"`
+	// Limits overrides the DBrew resource limits.
+	Limits *Limits `json:"limits,omitempty"`
+	// DeadlineMS bounds this request's total latency in milliseconds; the
+	// server clamps it to its configured maximum. 0 selects the server
+	// default.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// IncludeIR asks for the formatted IR of the returned code.
+	IncludeIR bool `json:"include_ir,omitempty"`
+}
+
+// CompileStats is the wire form of the rewrite statistics.
+type CompileStats struct {
+	Decoded    int  `json:"decoded"`
+	Emitted    int  `json:"emitted"`
+	Eliminated int  `json:"eliminated"`
+	Inlined    int  `json:"inlined"`
+	CodeSize   int  `json:"code_size"`
+	Failed     bool `json:"failed,omitempty"`
+}
+
+// Response is a successful specialization result.
+type Response struct {
+	// Addr is the address the generated code lives at inside the daemon's
+	// engine (informational; the bytes are position-independent).
+	Addr uint64 `json:"addr"`
+	// Code is the optimized machine code (base64 in JSON).
+	Code []byte `json:"code"`
+	// CacheHit reports that the result was served from the specialization
+	// cache — including joining another request's in-flight compilation —
+	// rather than compiled for this request.
+	CacheHit bool `json:"cache_hit"`
+	// Stats are the compile statistics (restored from cache on a hit).
+	Stats CompileStats `json:"stats"`
+	// IR is the formatted IR of the returned code, when IncludeIR was set
+	// and the result lifted cleanly.
+	IR string `json:"ir,omitempty"`
+	// ElapsedUS is the server-side handling time in microseconds.
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+	// Stage identifies the failing pipeline stage ("rewrite", "lift",
+	// "optimize", "jit") when the failure came from the compile pipeline.
+	Stage string `json:"stage,omitempty"`
+}
+
+// Metrics is the GET /metrics payload.
+type Metrics struct {
+	// Requests counts specialization requests accepted for processing.
+	Requests int64 `json:"requests"`
+	// OK counts 2xx specialization responses.
+	OK int64 `json:"ok"`
+	// BadRequests counts 4xx other than 429 (malformed, conflicting, or
+	// unspecializable inputs).
+	BadRequests int64 `json:"bad_requests"`
+	// RejectedOverload counts 429 responses (admission queue full).
+	RejectedOverload int64 `json:"rejected_overload"`
+	// DeadlineExceeded counts 504 responses (deadline passed while queued,
+	// coalesced, or waiting on the compile lock).
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	// Errors counts 5xx responses other than 504.
+	Errors int64 `json:"errors"`
+	// CacheHits counts responses served from the specialization cache,
+	// including coalesced joins of in-flight compiles.
+	CacheHits int64 `json:"cache_hits"`
+	// CoalesceHits counts requests that blocked on another request's
+	// in-flight identical compilation (the engine cache's Waits counter).
+	CoalesceHits int64 `json:"coalesce_hits"`
+	// QueueDepth is the current number of requests queued for a compile
+	// slot; ActiveCompiles the number of slots in use.
+	QueueDepth     int64 `json:"queue_depth"`
+	ActiveCompiles int64 `json:"active_compiles"`
+	// LatencyUSLog2 is the request latency histogram: bucket i counts
+	// requests in [2^(i-1), 2^i) microseconds.
+	LatencyUSLog2 tier.HistogramSnapshot `json:"latency_us_log2"`
+	// Engine embeds Engine.StatsJSON: the specialization-cache counters
+	// (and tiering stats, when an embedding application enables them).
+	Engine dbrewllvm.EngineStats `json:"engine"`
+}
+
+// SnapshotRegions copies every mapped region of mem into wire form — the
+// way clients build the Regions field from an address space they already
+// hold (the smoke mode and benchmarks snapshot a Workload this way).
+func SnapshotRegions(mem *emu.Memory) []Region {
+	regions := mem.Regions()
+	out := make([]Region, 0, len(regions))
+	for _, r := range regions {
+		data := make([]byte, len(r.Data))
+		copy(data, r.Data)
+		out = append(out, Region{Addr: r.Start, Data: data})
+	}
+	return out
+}
+
+// SigFromABI converts an abi.Signature to wire form.
+func SigFromABI(sig abi.Signature) SigSpec {
+	s := SigSpec{Ret: className(sig.Ret)}
+	for _, p := range sig.Params {
+		s.Params = append(s.Params, className(p))
+	}
+	return s
+}
+
+func className(c abi.Class) string {
+	switch c {
+	case abi.ClassNone:
+		return "none"
+	case abi.ClassInt:
+		return "int"
+	case abi.ClassPtr:
+		return "ptr"
+	case abi.ClassF64:
+		return "f64"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+func classFromName(name string) (abi.Class, error) {
+	switch name {
+	case "none", "":
+		return abi.ClassNone, nil
+	case "int":
+		return abi.ClassInt, nil
+	case "ptr":
+		return abi.ClassPtr, nil
+	case "f64":
+		return abi.ClassF64, nil
+	}
+	return 0, fmt.Errorf("unknown parameter class %q (want int, ptr, f64, or none)", name)
+}
+
+// ABISignature converts the wire signature back to an abi.Signature.
+func (s SigSpec) ABISignature() (abi.Signature, error) {
+	ret, err := classFromName(s.Ret)
+	if err != nil {
+		return abi.Signature{}, fmt.Errorf("sig.ret: %w", err)
+	}
+	sig := abi.Signature{Ret: ret}
+	for i, p := range s.Params {
+		c, err := classFromName(p)
+		if err != nil {
+			return abi.Signature{}, fmt.Errorf("sig.params[%d]: %w", i, err)
+		}
+		if c == abi.ClassNone {
+			return abi.Signature{}, fmt.Errorf("sig.params[%d]: parameters cannot be \"none\"", i)
+		}
+		sig.Params = append(sig.Params, c)
+	}
+	return sig, nil
+}
