@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-tiering race-service bench bench-tiering bench-service fig10 throughput cachecheck serve smoke
+.PHONY: check fmt vet build test race race-tiering race-service bench bench-tiering bench-service fig10 throughput cachecheck serve smoke cover fuzz-smoke
 
-check: fmt vet build race-tiering race-service race
+check: fmt vet build race-tiering race-service race cover fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -62,3 +62,20 @@ serve:
 # dbrewd self-test against an ephemeral server.
 smoke:
 	$(GO) run ./cmd/dbrewd -smoke
+
+# Coverage gate: the observability and differential-testing packages must
+# each stay at >= 70% statement coverage.
+COVER_PKGS = ./internal/trace ./internal/crosstest ./internal/opt
+cover:
+	@for pkg in $(COVER_PKGS); do \
+		out=$$($(GO) test -cover $$pkg | tail -1); echo "$$out"; \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "no coverage reported for $$pkg"; exit 1; fi; \
+		ok=$$(awk -v p="$$pct" 'BEGIN { print (p >= 70.0) ? 1 : 0 }'); \
+		if [ "$$ok" != 1 ]; then \
+			echo "coverage for $$pkg is $$pct%, below the 70% gate"; exit 1; fi; \
+	done
+
+# Short live fuzz of the differential harness on top of the pinned corpus.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzDifferential -fuzztime=30s ./internal/crosstest

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -30,6 +31,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -134,7 +136,7 @@ func runSmoke(cfg service.Config) error {
 		IncludeIR: true,
 	}
 
-	cold, err := client.Specialize(ctx, req)
+	cold, err := client.SpecializeTraced(ctx, req)
 	if err != nil {
 		return fmt.Errorf("cold specialize: %w", err)
 	}
@@ -149,11 +151,25 @@ func runSmoke(cfg service.Config) error {
 		return errors.New("warm request missed the cache")
 	case len(warm.Code) != len(cold.Code):
 		return errors.New("warm code differs from cold code")
+	case len(cold.Trace) == 0:
+		return errors.New("?trace=1 request carried no trace")
 	}
 
 	m, err := client.Metrics(ctx)
 	if err != nil {
 		return fmt.Errorf("metrics: %w", err)
+	}
+	prom, err := http.Get(client.BaseURL + "/metrics")
+	if err != nil {
+		return fmt.Errorf("prometheus metrics: %w", err)
+	}
+	promBody, err := io.ReadAll(prom.Body)
+	prom.Body.Close()
+	if err != nil {
+		return fmt.Errorf("prometheus metrics: %w", err)
+	}
+	if err := trace.Lint(promBody); err != nil {
+		return fmt.Errorf("prometheus /metrics output fails lint: %w", err)
 	}
 	fmt.Printf("smoke: specialized flat line kernel via %s\n", client.BaseURL)
 	fmt.Printf("  cold: %5d us, %d bytes at %#x (decoded %d, emitted %d, eliminated %d)\n",
@@ -163,5 +179,7 @@ func runSmoke(cfg service.Config) error {
 	fmt.Printf("  metrics: %d requests, %d ok, %d cache hits; engine cache %d miss / %d hit\n",
 		m.Requests, m.OK, m.CacheHits, m.Engine.Cache.Misses, m.Engine.Cache.Hits)
 	fmt.Printf("  IR: %d bytes lifted back from the returned code\n", len(cold.IR))
+	fmt.Printf("  trace: %d bytes of per-request spans; /metrics lints as Prometheus text (%d bytes)\n",
+		len(cold.Trace), len(promBody))
 	return nil
 }

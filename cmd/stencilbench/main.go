@@ -13,6 +13,7 @@
 //	stencilbench -fig service       # in-process vs dbrewd round-trip latency
 //	stencilbench -fig 6             # flag-cache IR comparison
 //	stencilbench -fig 8             # DBrew vs DBrew+LLVM listings
+//	stencilbench -fig trace         # per-stage pipeline trace, cold vs. warm
 //	stencilbench -fig vec           # forced vectorization
 //	stencilbench -fig ablation      # lifter/pipeline ablations
 //	stencilbench -fig all           # everything
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7, 9a, 9b, 10, 6, 8, vec, ablation, throughput, tiering, service, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7, 9a, 9b, 10, 6, 8, trace, vec, ablation, throughput, tiering, service, all")
 	size := flag.Int("size", 649, "matrix side length (paper: 649)")
 	rows := flag.Int("rows", 2, "interior rows to emulate per variant")
 	repeats := flag.Int("repeats", 10, "compile repetitions for figure 10 (paper: 1000)")
@@ -139,6 +140,15 @@ func main() {
 			return err
 		}
 		fmt.Println(service.FormatBenchmark(rows))
+		return nil
+	})
+	run("trace", func() error {
+		out, err := runTraceDemo(w)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Pipeline trace — one span per stage, cold vs. warm:")
+		fmt.Println(out)
 		return nil
 	})
 	run("vec", func() error {

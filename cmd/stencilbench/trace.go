@@ -1,0 +1,43 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	dbrewllvm "repro"
+	"repro/internal/bench"
+)
+
+// runTraceDemo demonstrates pipeline tracing (stencilbench -fig trace): it
+// compiles the flat line-kernel specialization once cold and once warm with
+// engine tracing enabled and returns the two rendered span trees — the cold
+// one showing every stage (cache miss, rewrite, decode, lift, optimizer
+// rounds, jit), the warm one collapsing to a single cache hit.
+func runTraceDemo(w *bench.Workload) (string, error) {
+	eng := dbrewllvm.NewEngine()
+	eng.Mem = w.Mem // compile against the workload's placed image
+	eng.EnableCache(16)
+	eng.EnableTracing()
+
+	in := w.SpecInput(bench.Line, bench.Flat, bench.DBrewLLVM)
+	rewrite := func() error {
+		rw := dbrewllvm.NewRewriter(eng, in.Entry, in.Sig)
+		rw.SetBackend(dbrewllvm.BackendLLVM)
+		rw.SetParPtr(0, in.StencilAddr, in.StencilSize)
+		_, err := rw.Rewrite()
+		return err
+	}
+
+	var b strings.Builder
+	if err := rewrite(); err != nil {
+		return "", fmt.Errorf("cold rewrite: %w", err)
+	}
+	b.WriteString("cold compile (cache miss, full pipeline):\n")
+	b.WriteString(indent(eng.LastTrace().String()))
+	if err := rewrite(); err != nil {
+		return "", fmt.Errorf("warm rewrite: %w", err)
+	}
+	b.WriteString("\nwarm compile (cache hit):\n")
+	b.WriteString(indent(eng.LastTrace().String()))
+	return b.String(), nil
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/abi"
 	"repro/internal/codecache"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/lift"
 	"repro/internal/opt"
 	"repro/internal/tier"
+	"repro/internal/trace"
 )
 
 // Class re-exports the ABI parameter classes.
@@ -82,6 +84,13 @@ type Engine struct {
 	// tiering, when non-nil, is the tiered-execution manager installed by
 	// EnableTiering (see tiering.go).
 	tiering *tier.Manager
+
+	// traceOn gates pipeline tracing. When false (the default) Rewrite runs
+	// with a nil *trace.Trace, which every stage treats as "record nothing"
+	// at the cost of one atomic load — the hot path stays allocation-free.
+	traceOn atomic.Bool
+	// lastTrace holds the most recently finished pipeline trace.
+	lastTrace atomic.Pointer[trace.Trace]
 }
 
 // cachedCode is the per-specialization payload kept in the code cache:
@@ -158,6 +167,42 @@ func (e *Engine) Stats() EngineStats {
 // godoc example.
 func (e *Engine) StatsJSON() ([]byte, error) {
 	return json.Marshal(e.Stats())
+}
+
+// EnableTracing turns on pipeline tracing: every subsequent Rewrite (and
+// tier promotion) records one span per executed stage — cache lookup, dbrew
+// rewrite, decode, lift, each optimizer round, JIT emit — with durations and
+// input/output sizes. The most recent trace is retrievable via LastTrace or
+// TraceJSON. Tracing is engine-global and safe to toggle at runtime; while
+// off, the only cost on the Rewrite path is a single atomic load.
+func (e *Engine) EnableTracing() { e.traceOn.Store(true) }
+
+// DisableTracing turns pipeline tracing off. Already-captured traces remain
+// retrievable.
+func (e *Engine) DisableTracing() { e.traceOn.Store(false) }
+
+// TracingEnabled reports whether pipeline tracing is on.
+func (e *Engine) TracingEnabled() bool { return e.traceOn.Load() }
+
+// LastTrace returns the most recently completed pipeline trace, or nil when
+// tracing never captured one. The returned trace is finished and safe to
+// read concurrently.
+func (e *Engine) LastTrace() *trace.Trace { return e.lastTrace.Load() }
+
+// TraceJSON marshals the most recent pipeline trace to JSON. It returns nil
+// when no trace has been captured yet.
+func (e *Engine) TraceJSON() []byte {
+	return e.lastTrace.Load().JSON()
+}
+
+// RegisterMetrics exports every engine counter — specialization-cache
+// hits/misses/waits/evictions, tier promotions/deopts, per-tier function
+// gauges, and the compile-latency histogram — into reg under the "dbrew_"
+// namespace. Disabled subsystems export nothing (their snapshot functions
+// report ok == false), so the output only ever shows live series.
+func (e *Engine) RegisterMetrics(reg *trace.Registry) {
+	codecache.RegisterMetrics(reg, "dbrew_codecache", e.CacheStats)
+	tier.RegisterMetrics(reg, "dbrew_tier", e.TierStats)
 }
 
 // CachePeek reports whether the specialization key k is already cached and
@@ -317,6 +362,14 @@ type Rewriter struct {
 	// would only pollute the cache).
 	NoCache bool
 
+	// Trace, when non-nil, receives the pipeline spans of the next Rewrite
+	// call (cache lookup, rewrite, decode, lift, optimize rounds, jit) —
+	// callers that own a larger trace (e.g. dbrewd's per-request traces) set
+	// it to embed the pipeline inside their own span tree. When nil and the
+	// engine has tracing enabled, Rewrite creates a trace per call and
+	// publishes it through Engine.LastTrace.
+	Trace *trace.Trace
+
 	// Strict turns silent fallbacks into errors: instead of returning the
 	// DBrew output (or the original entry) when a pipeline stage fails,
 	// Rewrite returns a *StageError identifying the failing stage — the
@@ -391,19 +444,29 @@ func (r *Rewriter) Rewrite() (uint64, error) {
 // next caller. This is the entry point dbrewd's per-request deadlines use.
 func (r *Rewriter) RewriteCtx(ctx context.Context) (uint64, error) {
 	r.CacheHit = false
+	tr := r.Trace
+	if tr == nil && r.eng.traceOn.Load() {
+		// Engine-owned trace: finish and publish it whatever the outcome.
+		tr = trace.New("rewrite")
+		defer func() {
+			tr.Finish()
+			r.eng.lastTrace.Store(tr)
+		}()
+	}
 	cache := r.eng.cache
 	if cache == nil || r.NoCache {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		return r.compile()
+		return r.compile(tr)
 	}
 	key, ok := r.cacheKey()
 	if !ok {
 		// A fixed range points at unmapped memory; let the uncached path
 		// surface whatever the rewriter does with it.
-		return r.compile()
+		return r.compile(tr)
 	}
+	csp := tr.Start("cache")
 	v, hit, err := cache.DoCtx(ctx, key, func() (cachedCode, error) {
 		r.eng.compileMu.Lock()
 		defer r.eng.compileMu.Unlock()
@@ -412,15 +475,21 @@ func (r *Rewriter) RewriteCtx(ctx context.Context) (uint64, error) {
 			// don't start work nobody is waiting for.
 			return cachedCode{}, err
 		}
-		addr, err := r.compile()
+		addr, err := r.compile(tr)
 		if err != nil {
 			return cachedCode{}, err
 		}
 		return cachedCode{addr: addr, codeSize: r.CodeSize, stats: r.Stats}, nil
 	})
 	if err != nil {
+		csp.EndErr(err)
 		return 0, err
 	}
+	outcome := "miss"
+	if hit {
+		outcome = "hit"
+	}
+	csp.Int("code_bytes", int64(v.codeSize)).Outcome(outcome).End()
 	r.CacheHit = hit
 	r.Stats = v.stats
 	r.CodeSize = v.codeSize
@@ -491,8 +560,10 @@ func (r *Rewriter) cacheKey() (codecache.Key, bool) {
 // compile is the uncached Rewrite path: DBrew pass, then (for BackendLLVM)
 // lift → optimize → JIT. Stage failures fall back to the best earlier
 // result (DBrew's default error handling) unless Strict is set, in which
-// case they surface as *StageError.
-func (r *Rewriter) compile() (uint64, error) {
+// case they surface as *StageError. tr (which may be nil) receives one span
+// per executed stage.
+func (r *Rewriter) compile(tr *trace.Trace) (uint64, error) {
+	r.rw.Trace = tr
 	addr, err := r.rw.Rewrite()
 	r.Stats = r.rw.Stats
 	r.CodeSize = r.Stats.CodeSize
@@ -509,7 +580,9 @@ func (r *Rewriter) compile() (uint64, error) {
 	if r.backend == BackendDBrew || r.Stats.Failed {
 		return addr, nil
 	}
-	l := lift.New(r.eng.Mem, lift.DefaultOptions())
+	lo := lift.DefaultOptions()
+	lo.Trace = tr
+	l := lift.New(r.eng.Mem, lo)
 	f, err := l.LiftFunc(addr, "rewritten", r.sig)
 	if err != nil {
 		if r.Strict {
@@ -521,6 +594,7 @@ func (r *Rewriter) compile() (uint64, error) {
 	cfg := opt.O3()
 	cfg.FastMath = r.FastMath
 	cfg.ForceVectorWidth = r.ForceVectorWidth
+	cfg.Trace = tr
 	opt.Optimize(f, cfg)
 	if r.Strict {
 		if err := ir.Verify(f); err != nil {
@@ -528,6 +602,7 @@ func (r *Rewriter) compile() (uint64, error) {
 		}
 	}
 	comp := jit.NewCompiler(r.eng.Mem)
+	comp.Trace = tr
 	jaddr, err := comp.CompileModule(l.Module, f.Nam)
 	if err != nil {
 		if r.Strict {

@@ -1,0 +1,32 @@
+package codecache
+
+import "repro/internal/trace"
+
+// RegisterMetrics exports the cache counters into reg under the given
+// metric-name prefix (e.g. "dbrew_codecache"). snapshot is polled on every
+// scrape; when it reports ok == false (cache disabled) every series reads
+// zero, so a registry built once stays valid across EnableCache/DisableCache.
+func RegisterMetrics(reg *trace.Registry, prefix string, snapshot func() (Stats, bool)) {
+	grab := func() Stats {
+		st, ok := snapshot()
+		if !ok {
+			return Stats{}
+		}
+		return st
+	}
+	counter := func(name, help string, field func(Stats) int64) {
+		reg.Counter(prefix+"_"+name, help, func() float64 {
+			return float64(field(grab()))
+		})
+	}
+	counter("hits_total", "Specialization-cache lookups served from cache.",
+		func(s Stats) int64 { return s.Hits })
+	counter("misses_total", "Specialization-cache lookups that compiled.",
+		func(s Stats) int64 { return s.Misses })
+	counter("waits_total", "Lookups that blocked on an in-flight compilation.",
+		func(s Stats) int64 { return s.Waits })
+	counter("evictions_total", "Entries dropped by the LRU capacity bound.",
+		func(s Stats) int64 { return s.Evictions })
+	reg.Gauge(prefix+"_entries", "Current number of cached specializations.",
+		func() float64 { return float64(grab().Entries) })
+}

@@ -2,6 +2,7 @@ package crosstest
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"repro/internal/dbrew"
@@ -48,15 +49,35 @@ func runDifferential(t *testing.T, p *Program) {
 		t.Fatalf("%s: place: %v", p.Desc, err)
 	}
 
+	// On any failure (including Fatalf's Goexit) dump the generated
+	// program's disassembly and the lifted IR variants, so a fuzzing
+	// counterexample is diagnosable from the report alone.
+	var fRaw, fOpt *ir.Func
+	alreadyFailed := t.Failed()
+	defer func() {
+		if !t.Failed() || alreadyFailed {
+			return
+		}
+		if lst, err := dbrew.Listing(mem, entry, len(p.Code)); err == nil {
+			t.Logf("%s (seed %d): generated code:\n\t%s", p.Desc, p.Seed, strings.Join(lst, "\n\t"))
+		}
+		if fRaw != nil {
+			t.Logf("%s: lifted IR (raw):\n%s", p.Desc, ir.FormatFunc(fRaw))
+		}
+		if fOpt != nil {
+			t.Logf("%s: lifted IR (post-O3):\n%s", p.Desc, ir.FormatFunc(fOpt))
+		}
+	}()
+
 	// Variant A: lifted (raw) for the interpreter.
 	lRaw := lift.New(mem, lift.DefaultOptions())
-	fRaw, err := lRaw.LiftFunc(entry, "raw", sig)
+	fRaw, err = lRaw.LiftFunc(entry, "raw", sig)
 	if err != nil {
 		t.Fatalf("%s: lift: %v", p.Desc, err)
 	}
 	// Variant B: lifted + O3, interpreted and JIT-compiled.
 	lOpt := lift.New(mem, lift.DefaultOptions())
-	fOpt, err := lOpt.LiftFunc(entry, "opt", sig)
+	fOpt, err = lOpt.LiftFunc(entry, "opt", sig)
 	if err != nil {
 		t.Fatalf("%s: lift2: %v", p.Desc, err)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/abi"
 	"repro/internal/emu"
+	"repro/internal/trace"
 	"repro/internal/x86"
 	"repro/internal/x86/asm"
 )
@@ -46,6 +47,11 @@ type Rewriter struct {
 	// original function. It may return a replacement address and true to
 	// retry (e.g. after enlarging the buffer).
 	ErrorHandler func(err error) (retry bool)
+
+	// Trace, when non-nil, receives one "rewrite" span per Rewrite call
+	// with decoded/emitted instruction counts and the emitted code size.
+	// A nil Trace records nothing.
+	Trace *trace.Trace
 
 	// Stats of the last Rewrite call.
 	Stats Stats
@@ -122,6 +128,16 @@ func (r *Rewriter) Config() Config { return r.cfg }
 // On failure the error handler runs; the default returns the original
 // function address with a nil error, so callers always get runnable code.
 func (r *Rewriter) Rewrite() (uint64, error) {
+	sp := r.Trace.Start("rewrite")
+	defer func() {
+		sp = sp.Int("insts_in", int64(r.Stats.Decoded)).
+			Int("insts_out", int64(r.Stats.Emitted)).
+			Int("code_bytes", int64(r.Stats.CodeSize))
+		if r.Stats.Failed {
+			sp.Outcome("fallback: " + r.Stats.Err.Error())
+		}
+		sp.End()
+	}()
 	for attempt := 0; ; attempt++ {
 		addr, err := r.rewriteOnce()
 		if err == nil {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/emu"
 	"repro/internal/ir"
+	"repro/internal/trace"
 	"repro/internal/x86/asm"
 )
 
@@ -15,6 +16,10 @@ type Compiler struct {
 	// ("jitcode.<prefix><func>"), so memory maps distinguish multiple
 	// generations of one function (e.g. tiered execution's "t1."/"t2.").
 	NamePrefix string
+	// Trace, when non-nil, receives one "jit" span per CompileModule call
+	// with the compiled function count and emitted code size. A nil Trace
+	// records nothing.
+	Trace *trace.Trace
 	// entries records where each compiled function was placed.
 	entries map[*ir.Func]uint64
 	// Sizes records the code size of each compiled function by entry.
@@ -36,9 +41,20 @@ func NewCompiler(mem *emu.Memory) *Compiler {
 // CompileModule compiles all defined functions (callees before callers when
 // possible) and returns the entry address of the named function.
 func (c *Compiler) CompileModule(m *ir.Module, name string) (uint64, error) {
+	sp := c.Trace.Start("jit")
+	entry, compiled, err := c.compileModule(m, name)
+	if err != nil {
+		sp.EndErr(err)
+		return 0, err
+	}
+	sp.Int("funcs_in", int64(compiled)).Int("code_bytes", int64(c.Sizes[entry])).End()
+	return entry, nil
+}
+
+func (c *Compiler) compileModule(m *ir.Module, name string) (entry uint64, compiled int, err error) {
 	for _, g := range m.Globals {
 		if err := c.linkGlobal(g); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
 	// Compile callees first so direct call targets resolve. A simple
@@ -55,27 +71,28 @@ func (c *Compiler) CompileModule(m *ir.Module, name string) (uint64, error) {
 		for _, f := range remaining {
 			if c.calleesResolved(f) {
 				if _, err := c.Compile(f); err != nil {
-					return 0, err
+					return 0, 0, err
 				}
+				compiled++
 				progress = true
 			} else {
 				next = append(next, f)
 			}
 		}
 		if !progress {
-			return 0, fmt.Errorf("jit: circular or unresolved call dependencies")
+			return 0, 0, fmt.Errorf("jit: circular or unresolved call dependencies")
 		}
 		remaining = next
 	}
 	target := m.FindFunc(name)
 	if target == nil {
-		return 0, fmt.Errorf("jit: function %s not found", name)
+		return 0, 0, fmt.Errorf("jit: function %s not found", name)
 	}
 	entry, ok := c.entries[target]
 	if !ok {
-		return 0, fmt.Errorf("jit: function %s was not compiled", name)
+		return 0, 0, fmt.Errorf("jit: function %s was not compiled", name)
 	}
-	return entry, nil
+	return entry, compiled, nil
 }
 
 func (c *Compiler) calleesResolved(f *ir.Func) bool {

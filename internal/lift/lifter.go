@@ -7,6 +7,7 @@ import (
 	"repro/internal/abi"
 	"repro/internal/emu"
 	"repro/internal/ir"
+	"repro/internal/trace"
 	"repro/internal/x86"
 )
 
@@ -31,6 +32,10 @@ type Options struct {
 	// accesses whose address is statically within a range are marked, and
 	// the optimizer then neither reorders nor eliminates them.
 	VolatileRanges []VolatileRange
+	// Trace, when non-nil, receives a "decode" span (basic-block discovery)
+	// and a "lift" span (translation) per LiftFunc call, with instruction
+	// and IR-value size attributes. A nil Trace records nothing.
+	Trace *trace.Trace
 }
 
 // VolatileRange is a half-open interval of volatile memory.
@@ -145,10 +150,30 @@ var xmmPhiFacets = []Facet{FI128, FF64, FV2F64}
 // LiftFunc lifts the function at addr. The signature determines the
 // parameter-register mapping of Section III.A.
 func (l *Lifter) LiftFunc(addr uint64, name string, sig abi.Signature) (*ir.Func, error) {
+	decodeSpan := l.Opts.Trace.Start("decode")
 	mbs, err := discover(l.Mem, addr, l.Opts.MaxInsts)
 	if err != nil {
+		decodeSpan.EndErr(err)
 		return nil, err
 	}
+	machInsts := 0
+	for _, mb := range mbs {
+		machInsts += len(mb.insts)
+	}
+	decodeSpan.Int("insts_out", int64(machInsts)).Int("blocks_out", int64(len(mbs))).End()
+
+	liftSpan := l.Opts.Trace.Start("lift").Int("insts_in", int64(machInsts))
+	f, err := l.liftBlocks(addr, name, sig, mbs)
+	if err != nil {
+		liftSpan.EndErr(err)
+		return nil, err
+	}
+	liftSpan.Int("ir_values_out", int64(f.NumInsts())).End()
+	return f, nil
+}
+
+// liftBlocks translates the discovered machine blocks into an IR function.
+func (l *Lifter) liftBlocks(addr uint64, name string, sig abi.Signature, mbs []*machBlock) (*ir.Func, error) {
 	callee := l.Declare(addr, name, sig)
 	f := callee.Fn
 	if len(f.Blocks) > 0 {

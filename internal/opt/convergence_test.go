@@ -71,13 +71,13 @@ func TestOptimizeConvergenceStats(t *testing.T) {
 // report zero changes.
 func TestInstCombineSinglePassCascade(t *testing.T) {
 	f := buildCascade(8)
-	if n := InstCombine(f, false); n == 0 {
+	if n, _ := InstCombine(f, false); n == 0 {
 		t.Fatal("InstCombine folded nothing")
 	}
 	if n := f.NumInsts(); n != 1 { // just the ret
 		t.Errorf("cascade left %d instructions, want 1 (ret const)", n)
 	}
-	if n := InstCombine(f, false); n != 0 {
+	if n, _ := InstCombine(f, false); n != 0 {
 		t.Errorf("second InstCombine reported %d changes at the fixpoint", n)
 	}
 	mustVerify(t, f)

@@ -18,9 +18,9 @@ import (
 // Replacements are substituted into operands eagerly during the scan, so a
 // depth-k constant-folding cascade collapses in one pass instead of needing
 // k full rescans, and dead originals are swept by a single DCE at the end
-// instead of one per inner iteration.
-func InstCombine(f *ir.Func, fastMath bool) int {
-	changed := 0
+// instead of one per inner iteration. The sweep's removal count is returned
+// separately so callers can attribute it to DCE rather than instcombine.
+func InstCombine(f *ir.Func, fastMath bool) (changed, swept int) {
 	repl := make(map[ir.Value]ir.Value)
 	resolve := func(v ir.Value) ir.Value {
 		seen := 0
@@ -87,9 +87,9 @@ func InstCombine(f *ir.Func, fastMath bool) int {
 		}
 	}
 	if changed > 0 {
-		DCE(f)
+		swept = DCE(f)
 	}
-	return changed
+	return changed, swept
 }
 
 func isZeroConst(v ir.Value) bool {

@@ -1,0 +1,74 @@
+package opt_test
+
+// Regression tests for the per-pass instruction deltas Stats.Pass reports:
+// running O3 on a lifted flat stencil kernel must attribute nonzero work to
+// both InstCombine (the facet-model folds) and DCE (the dead originals those
+// folds strand). The deltas feed the optimize.round trace spans, so a
+// regression here silently blanks stage telemetry without failing anything
+// else — this test is what fails instead.
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/kernels"
+	"repro/internal/lift"
+	"repro/internal/opt"
+)
+
+func liftFlatElem(t *testing.T) (*lift.Lifter, uint64) {
+	t.Helper()
+	mem := emu.NewMemory(0x10000000)
+	c, err := kernels.Build(mem, 9)
+	if err != nil {
+		t.Fatalf("build kernels: %v", err)
+	}
+	l := lift.New(mem, lift.DefaultOptions())
+	return l, c.FlatElem
+}
+
+func TestO3FlatStencilPassDeltas(t *testing.T) {
+	l, entry := liftFlatElem(t)
+	f, err := l.LiftFunc(entry, "flat_elem", kernels.ElemSig)
+	if err != nil {
+		t.Fatalf("lift: %v", err)
+	}
+	st := opt.Optimize(f, opt.O3())
+
+	if st.Pass.InstCombine == 0 {
+		t.Error("O3 on the flat stencil reported zero InstCombine changes")
+	}
+	if st.Pass.DCE == 0 {
+		t.Error("O3 on the flat stencil reported zero DCE removals")
+	}
+	if st.Pass.SimplifyCFG == 0 {
+		t.Error("O3 on the flat stencil reported zero SimplifyCFG changes")
+	}
+	// The per-pass breakdown must account for every change the rounds saw:
+	// a delta that drifts from the round totals is misattributed telemetry.
+	if got := st.Pass.SimplifyCFG + st.Pass.InstCombine + st.Pass.DCE + st.Pass.CSE; got != st.Changed {
+		t.Errorf("pass deltas sum to %d but rounds reported %d changes", got, st.Changed)
+	}
+	if st.InstsAfter >= st.InstsBefore {
+		t.Errorf("O3 did not shrink the function: %d -> %d insts", st.InstsBefore, st.InstsAfter)
+	}
+	if st.Rounds == 0 {
+		t.Error("O3 ran zero cleanup rounds")
+	}
+}
+
+// TestPassDeltasIdempotent: re-optimizing at the fixpoint must report zero
+// deltas for every pass — nonzero here would mean a pass keeps claiming work
+// on an already-converged function (and that Optimize is not idempotent).
+func TestPassDeltasIdempotent(t *testing.T) {
+	l, entry := liftFlatElem(t)
+	f, err := l.LiftFunc(entry, "flat_elem", kernels.ElemSig)
+	if err != nil {
+		t.Fatalf("lift: %v", err)
+	}
+	opt.Optimize(f, opt.O3())
+	st := opt.Optimize(f, opt.O3())
+	if st.Pass.InstCombine != 0 || st.Pass.DCE != 0 || st.Pass.CSE != 0 {
+		t.Errorf("second O3 reported pass deltas %+v on a converged function", st.Pass)
+	}
+}

@@ -1,6 +1,9 @@
 package opt
 
-import "repro/internal/ir"
+import (
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
 
 // Config controls the optimization pipeline, mirroring the paper's setup:
 // the standard pipeline at level 3 with optional floating-point
@@ -28,6 +31,12 @@ type Config struct {
 	NoMem2Reg     bool
 	NoSimplify    bool
 	NoInstCombine bool
+
+	// Trace, when non-nil, receives one "optimize" span per Optimize call
+	// and one "optimize.round" child span per cleanup round, each carrying
+	// the per-pass change deltas. A nil Trace records nothing and costs
+	// nothing.
+	Trace *trace.Trace
 }
 
 // O3 returns the configuration used throughout the paper's evaluation.
@@ -57,6 +66,31 @@ type Stats struct {
 	// convergence point.
 	Rounds  int
 	Changed int
+	// Pass breaks Changed down by cleanup pass, so stage telemetry can show
+	// which passes actually moved instructions instead of one opaque total.
+	Pass PassDeltas
+}
+
+// PassDeltas records, per cleanup pass, the number of changes it reported
+// summed over every round of every convergence loop.
+type PassDeltas struct {
+	SimplifyCFG int
+	InstCombine int
+	DCE         int
+	CSE         int
+}
+
+// add accumulates o into d.
+func (d *PassDeltas) add(o PassDeltas) {
+	d.SimplifyCFG += o.SimplifyCFG
+	d.InstCombine += o.InstCombine
+	d.DCE += o.DCE
+	d.CSE += o.CSE
+}
+
+// total sums the per-pass deltas.
+func (d PassDeltas) total() int {
+	return d.SimplifyCFG + d.InstCombine + d.DCE + d.CSE
 }
 
 // maxCleanupRounds bounds each convergence loop defensively; the cleanup
@@ -81,6 +115,14 @@ func Optimize(f *ir.Func, cfg Config) Stats {
 		cfg.MaxUnrollClone = 8192
 	}
 
+	stage := cfg.Trace.Start("optimize").Int("insts_in", int64(st.InstsBefore))
+	defer func() {
+		stage.Int("insts_out", int64(st.InstsAfter)).
+			Int("rounds", int64(st.Rounds)).
+			Int("changed", int64(st.Changed)).
+			End()
+	}()
+
 	if cfg.Level == 0 {
 		SimplifyCFG(f)
 		st.InstsAfter = f.NumInsts()
@@ -88,21 +130,31 @@ func Optimize(f *ir.Func, cfg Config) Stats {
 	}
 
 	round := func() int {
-		n := 0
+		sp := cfg.Trace.Start("optimize.round")
+		var d PassDeltas
 		if !cfg.NoSimplify {
-			n += SimplifyCFG(f)
+			d.SimplifyCFG += SimplifyCFG(f)
 		}
 		if !cfg.NoInstCombine {
-			n += InstCombine(f, cfg.FastMath)
+			c, swept := InstCombine(f, cfg.FastMath)
+			d.InstCombine += c
+			d.DCE += swept
 		}
-		n += DCE(f)
+		d.DCE += DCE(f)
 		if !cfg.NoCSE {
-			n += CSE(f)
+			d.CSE += CSE(f)
 		}
 		if !cfg.NoSimplify {
-			n += SimplifyCFG(f)
+			d.SimplifyCFG += SimplifyCFG(f)
 		}
-		return n
+		st.Pass.add(d)
+		sp.Int("insts", int64(f.NumInsts())).
+			Int("simplifycfg", int64(d.SimplifyCFG)).
+			Int("instcombine", int64(d.InstCombine)).
+			Int("dce", int64(d.DCE)).
+			Int("cse", int64(d.CSE)).
+			End()
+		return d.total()
 	}
 	converge := func() {
 		for i := 0; i < maxCleanupRounds; i++ {
@@ -196,6 +248,7 @@ func OptimizeModule(m *ir.Module, cfg Config) Stats {
 		total.InstsAfter += s.InstsAfter
 		total.Rounds += s.Rounds
 		total.Changed += s.Changed
+		total.Pass.add(s.Pass)
 	}
 	return total
 }

@@ -77,11 +77,21 @@ func (c *Client) httpClient() *http.Client {
 // Specialize posts one specialization request and decodes the result.
 // Non-2xx responses come back as *APIError.
 func (c *Client) Specialize(ctx context.Context, req *Request) (*Response, error) {
+	return c.specialize(ctx, req, "/specialize")
+}
+
+// SpecializeTraced is Specialize with ?trace=1: the daemon captures a
+// per-request pipeline trace and returns it in Response.Trace.
+func (c *Client) SpecializeTraced(ctx context.Context, req *Request) (*Response, error) {
+	return c.specialize(ctx, req, "/specialize?trace=1")
+}
+
+func (c *Client) specialize(ctx context.Context, req *Request, path string) (*Response, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("service: encoding request: %w", err)
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/specialize", bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -124,6 +134,9 @@ func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The default /metrics representation is Prometheus text; ask for the
+	// structured JSON snapshot explicitly.
+	hreq.Header.Set("Accept", "application/json")
 	hres, err := c.httpClient().Do(hreq)
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +15,7 @@ import (
 	dbrewllvm "repro"
 	"repro/internal/dbrew"
 	"repro/internal/tier"
+	"repro/internal/trace"
 )
 
 // Config tunes the daemon; zero fields select the documented defaults.
@@ -92,6 +94,10 @@ type Service struct {
 
 	latency tier.LatencyHistogram
 
+	// reg is the Prometheus-text-format registry behind GET /metrics: the
+	// service counters plus every engine counter, registered once at New.
+	reg *trace.Registry
+
 	// compileHook, when non-nil, runs while holding a freshly acquired
 	// compile slot — a test seam for pinning admission-control states.
 	compileHook func()
@@ -108,6 +114,9 @@ func New(cfg Config) *Service {
 		slots: make(chan struct{}, cfg.Workers),
 	}
 	s.eng.EnableCache(cfg.CacheCapacity)
+	s.reg = trace.NewRegistry()
+	s.eng.RegisterMetrics(s.reg)
+	s.registerMetrics()
 	s.mux.HandleFunc("POST /specialize", s.handleSpecialize)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -166,8 +175,37 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// registerMetrics exports the service counters into the registry, alongside
+// the engine metrics registered by New.
+func (s *Service) registerMetrics() {
+	counter := func(name, help string, v *atomic.Int64) {
+		s.reg.Counter(name, help, func() float64 { return float64(v.Load()) })
+	}
+	counter("dbrew_service_requests_total", "Specialization requests received.", &s.requests)
+	counter("dbrew_service_ok_total", "Requests answered 200.", &s.okCount)
+	counter("dbrew_service_bad_request_total", "Requests rejected as malformed.", &s.badReq)
+	counter("dbrew_service_rejected_total", "Requests rejected by admission control (429).", &s.rejected)
+	counter("dbrew_service_deadline_total", "Requests that exceeded their deadline (504).", &s.deadlines)
+	counter("dbrew_service_errors_total", "Requests failed with a 5xx pipeline error.", &s.errCount)
+	counter("dbrew_service_cache_hits_total", "Requests served from the specialization cache.", &s.cacheHits)
+	s.reg.Gauge("dbrew_service_queued", "Requests waiting for a compile slot.",
+		func() float64 { return float64(s.queued.Load()) })
+	s.reg.Gauge("dbrew_service_active", "Compile slots currently in use.",
+		func() float64 { return float64(s.active.Load()) })
+	s.reg.Histogram("dbrew_service_latency_seconds", "End-to-end /specialize latency.",
+		func() trace.HistogramData { return s.latency.Snapshot().HistogramData() })
+}
+
+// handleMetrics serves the unified registry in Prometheus text format by
+// default; the legacy JSON snapshot remains available via ?format=json or an
+// "Accept: application/json" header.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+	if r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json") {
+		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+		return
+	}
+	s.reg.ServeHTTP(w, r)
 }
 
 // MetricsSnapshot assembles the /metrics payload: service counters plus the
@@ -211,7 +249,14 @@ func (s *Service) handleSpecialize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp, status, stage, err := s.specialize(r.Context(), &req)
+	// ?trace=1 captures a per-request pipeline trace: an "admission" span
+	// plus the rewriter's stage spans, returned in Response.Trace.
+	var tr *trace.Trace
+	if r.URL.Query().Get("trace") == "1" {
+		tr = trace.New("specialize")
+	}
+
+	resp, status, stage, err := s.specialize(r.Context(), &req, tr)
 	if err != nil {
 		switch {
 		case status == http.StatusTooManyRequests:
@@ -231,12 +276,18 @@ func (s *Service) handleSpecialize(w http.ResponseWriter, r *http.Request) {
 		s.cacheHits.Add(1)
 	}
 	resp.ElapsedUS = time.Since(start).Microseconds()
+	if tr != nil {
+		tr.Finish()
+		resp.Trace = tr.JSON()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // specialize runs one request through placement, admission, and the
 // rewriter, returning the response or (status, stage, error) on failure.
-func (s *Service) specialize(ctx context.Context, req *Request) (*Response, int, string, error) {
+// tr (which may be nil) receives the admission span and the rewriter's
+// pipeline spans.
+func (s *Service) specialize(ctx context.Context, req *Request, tr *trace.Trace) (*Response, int, string, error) {
 	if err := validate(req); err != nil {
 		return nil, http.StatusBadRequest, "", err
 	}
@@ -301,17 +352,24 @@ func (s *Service) specialize(ctx context.Context, req *Request) (*Response, int,
 			needSlot = false
 		}
 	}
+	asp := tr.Start("admission").Int("queued", s.queued.Load()).Int("active", s.active.Load())
 	if needSlot {
 		release, err := s.admit(ctx)
 		if err != nil {
 			if errors.Is(err, errOverloaded) {
+				asp.Outcome("rejected: queue full").End()
 				return nil, http.StatusTooManyRequests, "", errors.New("admission queue full, retry later")
 			}
+			asp.EndErr(err)
 			return nil, http.StatusGatewayTimeout, "", fmt.Errorf("deadline expired while queued for a compile slot: %w", err)
 		}
 		defer release()
+		asp.End()
+	} else {
+		asp.Outcome("coalesced").End()
 	}
 
+	rw.Trace = tr
 	addr, err := rw.RewriteCtx(ctx)
 	if err != nil {
 		status, stage := statusForError(err)

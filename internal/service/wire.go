@@ -19,6 +19,7 @@
 package service
 
 import (
+	"encoding/json"
 	"fmt"
 
 	dbrewllvm "repro"
@@ -123,6 +124,10 @@ type Response struct {
 	IR string `json:"ir,omitempty"`
 	// ElapsedUS is the server-side handling time in microseconds.
 	ElapsedUS int64 `json:"elapsed_us"`
+	// Trace is the per-request pipeline trace (admission, cache, rewrite,
+	// decode, lift, optimize, jit spans), present when the request carried
+	// ?trace=1.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // ErrorBody is the JSON body of every non-2xx response.

@@ -1,0 +1,125 @@
+package stencil_test
+
+// Golden-file tests for the lifted IR of the Section VI element kernels:
+// one golden per stencil data structure (direct, flat, sorted) × opt level
+// (O0, O1, O3). The formatted IR is compared byte-for-byte, so any change
+// to the lifter or an optimization pass that alters the produced IR — an
+// intentional improvement or accidental churn — shows up as a reviewable
+// testdata diff. Regenerate with:
+//
+//	go test ./internal/stencil -run TestKernelIRGolden -update
+//
+// The kernels are built at a fixed matrix size and fixed code base, and the
+// pipeline is deterministic, so the goldens are stable across runs.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/lift"
+	"repro/internal/opt"
+)
+
+var update = flag.Bool("update", false, "rewrite the IR golden files")
+
+// goldenSZ is the matrix side length baked into the generic kernels; it
+// appears as a constant in the IR, so it must not change without -update.
+const goldenSZ = 9
+
+func liftKernelIR(t *testing.T, structure string, cfg opt.Config) string {
+	t.Helper()
+	mem := emu.NewMemory(0x10000000)
+	c, err := kernels.Build(mem, goldenSZ)
+	if err != nil {
+		t.Fatalf("build kernels: %v", err)
+	}
+	entry := map[string]uint64{
+		"direct": c.DirectElem,
+		"flat":   c.FlatElem,
+		"sorted": c.SortedElem,
+	}[structure]
+	if entry == 0 {
+		t.Fatalf("unknown structure %q", structure)
+	}
+	l := lift.New(mem, lift.DefaultOptions())
+	f, err := l.LiftFunc(entry, structure+"_elem", kernels.ElemSig)
+	if err != nil {
+		t.Fatalf("lift %s: %v", structure, err)
+	}
+	opt.Optimize(f, cfg)
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("%s: optimized IR does not verify: %v", structure, err)
+	}
+	return ir.FormatFunc(f)
+}
+
+func TestKernelIRGolden(t *testing.T) {
+	levels := []struct {
+		name string
+		cfg  opt.Config
+	}{
+		{"O0", opt.Config{}},
+		{"O1", opt.O1()},
+		{"O3", opt.O3()},
+	}
+	for _, structure := range []string{"direct", "flat", "sorted"} {
+		for _, lv := range levels {
+			structure, lv := structure, lv
+			t.Run(structure+"_"+lv.name, func(t *testing.T) {
+				got := liftKernelIR(t, structure, lv.cfg)
+				path := filepath.Join("testdata", fmt.Sprintf("elem_%s_%s.ll.golden", structure, lv.name))
+				if *update {
+					if err := os.MkdirAll("testdata", 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden (regenerate with -update): %v", err)
+				}
+				if string(want) != got {
+					t.Errorf("IR differs from %s (regenerate with -update if intentional):\n%s",
+						path, diffLines(string(want), got))
+				}
+			})
+		}
+	}
+}
+
+// TestKernelIRGoldenDeterministic guards the premise of the golden files:
+// lifting and optimizing the same kernel twice yields identical text.
+func TestKernelIRGoldenDeterministic(t *testing.T) {
+	a := liftKernelIR(t, "flat", opt.O3())
+	b := liftKernelIR(t, "flat", opt.O3())
+	if a != b {
+		t.Fatalf("lift+O3 is not deterministic:\n%s", diffLines(a, b))
+	}
+}
+
+// diffLines renders a compact first-divergence report; full files can be
+// large, so show context around the first differing line only.
+func diffLines(want, got string) string {
+	w := strings.Split(want, "\n")
+	g := strings.Split(got, "\n")
+	n := len(w)
+	if len(g) < n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		if w[i] != g[i] {
+			return fmt.Sprintf("first difference at line %d:\n  golden: %s\n  got:    %s", i+1, w[i], g[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: golden %d lines, got %d lines", len(w), len(g))
+}

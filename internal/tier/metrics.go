@@ -1,0 +1,90 @@
+package tier
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// HistogramData converts the log2-bucketed latency snapshot into the
+// cumulative form the Prometheus exposition format wants: bucket i's upper
+// bound is 2^i microseconds expressed in seconds, the open-ended last bucket
+// folds into +Inf. The sample sum is estimated from bucket upper bounds (the
+// histogram does not track exact sums).
+func (s HistogramSnapshot) HistogramData() trace.HistogramData {
+	var d trace.HistogramData
+	var cum uint64
+	for i := 0; i < histBuckets-1; i++ {
+		cum += s[i]
+		d.Buckets = append(d.Buckets, trace.HistogramBucket{
+			UpperBound:      float64(uint64(1)<<uint(i)) / 1e6,
+			CumulativeCount: cum,
+		})
+		d.SampleSum += float64(s[i]) * float64(uint64(1)<<uint(i)) / 1e6
+	}
+	// Open-ended bucket: count it toward +Inf, estimate with its lower bound.
+	d.SampleCount = cum + s[histBuckets-1]
+	d.SampleSum += float64(s[histBuckets-1]) * float64(uint64(1)<<uint(histBuckets-2)) / 1e6
+	return d
+}
+
+// RegisterMetrics exports the tiered-execution counters into reg under the
+// given metric-name prefix (e.g. "dbrew_tier"). snapshot is polled on every
+// scrape; ok == false (tiering disabled) reads as all-zero/empty series, so
+// a registry built once stays valid across EnableTiering.
+func RegisterMetrics(reg *trace.Registry, prefix string, snapshot func() (Stats, bool)) {
+	grab := func() Stats {
+		st, ok := snapshot()
+		if !ok {
+			return Stats{}
+		}
+		return st
+	}
+	reg.Counter(prefix+"_promotions_total", "Tier promotions installed (all tiers).",
+		func() float64 {
+			var n uint64
+			for _, f := range grab().Funcs {
+				for _, p := range f.Promotions {
+					n += p
+				}
+			}
+			return float64(n)
+		})
+	reg.Counter(prefix+"_deopts_total", "Invalidation-driven drops back to tier 0.",
+		func() float64 {
+			var n uint64
+			for _, f := range grab().Funcs {
+				n += f.Deopts
+			}
+			return float64(n)
+		})
+	reg.Counter(prefix+"_compile_errors_total", "Failed promotion compiles.",
+		func() float64 {
+			var n uint64
+			for _, f := range grab().Funcs {
+				n += f.CompileErrors
+			}
+			return float64(n)
+		})
+	reg.GaugeVec(prefix+"_funcs", "Registered functions currently at each tier.",
+		func() []trace.Sample {
+			var counts [NumLevels]int
+			for _, f := range grab().Funcs {
+				if f.Level >= 0 && int(f.Level) < NumLevels {
+					counts[f.Level]++
+				}
+			}
+			out := make([]trace.Sample, 0, NumLevels)
+			for l, c := range counts {
+				out = append(out, trace.Sample{
+					Label: fmt.Sprintf(`tier="%d"`, l),
+					Value: float64(c),
+				})
+			}
+			return out
+		})
+	reg.Histogram(prefix+"_compile_seconds", "Promotion compile latency.",
+		func() trace.HistogramData {
+			return grab().CompileLatency().HistogramData()
+		})
+}

@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a pull-model metrics registry rendering the Prometheus text
+// exposition format (version 0.0.4). Collectors are closures sampled at
+// scrape time, so registering is cheap and the instrumented subsystems keep
+// their existing atomic counters — the registry is just a shared schema over
+// them. It is the one /metrics surface for both engine-embedded and daemon
+// deployments.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// family is one metric family: a name, help text, a type, and a sampler.
+type family struct {
+	name, help, kind string
+	samples          func() []Sample
+	histogram        func() HistogramData
+}
+
+// Sample is one sample of a counter/gauge family. Label is rendered inside
+// the braces verbatim (e.g. `tier="1"`); leave it empty for an unlabeled
+// metric.
+type Sample struct {
+	Label string
+	Value float64
+}
+
+// HistogramBucket is one cumulative histogram bucket: the count of
+// observations with value <= UpperBound (in seconds for latency metrics).
+type HistogramBucket struct {
+	UpperBound      float64
+	CumulativeCount uint64
+}
+
+// HistogramData is a point-in-time histogram: cumulative buckets plus the
+// observation count and (possibly estimated) sum.
+type HistogramData struct {
+	Buckets     []HistogramBucket
+	SampleCount uint64
+	SampleSum   float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) register(f *family) {
+	r.mu.Lock()
+	r.fams[f.name] = f
+	r.mu.Unlock()
+}
+
+// Counter registers a monotonically increasing metric.
+func (r *Registry) Counter(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: "counter",
+		samples: func() []Sample { return []Sample{{Value: fn()}} }})
+}
+
+// Gauge registers a metric that can go up and down.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: "gauge",
+		samples: func() []Sample { return []Sample{{Value: fn()}} }})
+}
+
+// CounterVec registers a labeled counter family; fn returns one sample per
+// label set.
+func (r *Registry) CounterVec(name, help string, fn func() []Sample) {
+	r.register(&family{name: name, help: help, kind: "counter", samples: fn})
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, fn func() []Sample) {
+	r.register(&family{name: name, help: help, kind: "gauge", samples: fn})
+}
+
+// Histogram registers a histogram family sampled at scrape time.
+func (r *Registry) Histogram(name, help string, fn func() HistogramData) {
+	r.register(&family{name: name, help: help, kind: "histogram", histogram: fn})
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTo renders every family in name order.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b bytes.Buffer
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		if f.kind == "histogram" {
+			h := f.histogram()
+			for _, bk := range h.Buckets {
+				le := formatValue(bk.UpperBound)
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", f.name, le, bk.CumulativeCount)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", f.name, h.SampleCount)
+			fmt.Fprintf(&b, "%s_sum %s\n", f.name, formatValue(h.SampleSum))
+			fmt.Fprintf(&b, "%s_count %d\n", f.name, h.SampleCount)
+			continue
+		}
+		for _, s := range f.samples() {
+			if s.Label == "" {
+				fmt.Fprintf(&b, "%s %s\n", f.name, formatValue(s.Value))
+			} else {
+				fmt.Fprintf(&b, "%s{%s} %s\n", f.name, s.Label, formatValue(s.Value))
+			}
+		}
+	}
+	n, err := w.Write(b.Bytes())
+	return int64(n), err
+}
+
+// Text renders the registry to a string.
+func (r *Registry) Text() string {
+	var b strings.Builder
+	r.WriteTo(&b)
+	return b.String()
+}
+
+// ContentType is the exposition format content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// ServeHTTP serves the registry as a /metrics endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(http.StatusOK)
+	r.WriteTo(w)
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleLineRe = regexp.MustCompile(
+		`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? ([-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))( [0-9]+)?$`)
+)
+
+// Lint validates data against the Prometheus text exposition format: every
+// sample line must parse, every TYPE must be a known metric type, samples
+// must follow their family's TYPE line, and histogram families must end with
+// a "+Inf" bucket plus _sum and _count samples. It is the checker the
+// /metrics tests assert against.
+func Lint(data []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	typed := make(map[string]string)
+	histParts := make(map[string]map[string]bool)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 {
+				return fmt.Errorf("line %d: malformed comment %q", lineno, line)
+			}
+			switch fields[1] {
+			case "HELP":
+				if !metricNameRe.MatchString(fields[2]) {
+					return fmt.Errorf("line %d: bad metric name %q", lineno, fields[2])
+				}
+			case "TYPE":
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE needs a name and a type", lineno)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineno, fields[3])
+				}
+				if !metricNameRe.MatchString(fields[2]) {
+					return fmt.Errorf("line %d: bad metric name %q", lineno, fields[2])
+				}
+				typed[fields[2]] = fields[3]
+				if fields[3] == "histogram" {
+					histParts[fields[2]] = make(map[string]bool)
+				}
+			default:
+				return fmt.Errorf("line %d: unknown comment keyword %q", lineno, fields[1])
+			}
+			continue
+		}
+		m := sampleLineRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", lineno, line)
+		}
+		name := m[1]
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if t, ok := typed[trimmed]; ok && t == "histogram" && strings.HasSuffix(name, suffix) {
+				base = trimmed
+				part := strings.TrimPrefix(suffix, "_")
+				if suffix == "_bucket" && strings.Contains(m[2], `le="+Inf"`) {
+					part = "inf"
+				}
+				histParts[base][part] = true
+				break
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			return fmt.Errorf("line %d: sample %q precedes its TYPE line", lineno, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if lineno == 0 {
+		return fmt.Errorf("empty exposition")
+	}
+	for name, parts := range histParts {
+		for _, want := range []string{"inf", "sum", "count"} {
+			if !parts[want] {
+				return fmt.Errorf("histogram %s is missing its %s sample", name, map[string]string{
+					"inf": `le="+Inf" bucket`, "sum": "_sum", "count": "_count"}[want])
+			}
+		}
+	}
+	return nil
+}

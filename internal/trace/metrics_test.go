@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func demoRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("demo_hits_total", "Cache hits.", func() float64 { return 42 })
+	reg.Gauge("demo_entries", "Live entries.", func() float64 { return 7 })
+	reg.GaugeVec("demo_funcs", "Functions per tier.", func() []Sample {
+		return []Sample{
+			{Label: `tier="0"`, Value: 1},
+			{Label: `tier="1"`, Value: 2},
+		}
+	})
+	reg.Histogram("demo_latency_seconds", "Request latency.", func() HistogramData {
+		return HistogramData{
+			Buckets: []HistogramBucket{
+				{UpperBound: 0.001, CumulativeCount: 3},
+				{UpperBound: 0.01, CumulativeCount: 5},
+			},
+			SampleCount: 6,
+			SampleSum:   0.123,
+		}
+	})
+	return reg
+}
+
+func TestRegistryOutputLints(t *testing.T) {
+	out := demoRegistry().Text()
+	if err := Lint([]byte(out)); err != nil {
+		t.Fatalf("registry output fails its own linter: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE demo_hits_total counter",
+		"demo_hits_total 42",
+		"# TYPE demo_funcs gauge",
+		`demo_funcs{tier="1"} 2`,
+		`demo_latency_seconds_bucket{le="0.001"} 3`,
+		`demo_latency_seconds_bucket{le="+Inf"} 6`,
+		"demo_latency_seconds_sum 0.123",
+		"demo_latency_seconds_count 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryDeterministicOrder(t *testing.T) {
+	reg := demoRegistry()
+	if a, b := reg.Text(), reg.Text(); a != b {
+		t.Error("two renders differ")
+	}
+	out := reg.Text()
+	// Families are sorted by name: demo_entries before demo_funcs before
+	// demo_hits_total before demo_latency_seconds.
+	order := []string{"demo_entries", "demo_funcs", "demo_hits_total", "demo_latency_seconds"}
+	last := -1
+	for _, name := range order {
+		i := strings.Index(out, "# HELP "+name+" ")
+		if i < 0 {
+			t.Fatalf("missing family %s", name)
+		}
+		if i < last {
+			t.Errorf("family %s out of order", name)
+		}
+		last = i
+	}
+}
+
+func TestRegistryServeHTTP(t *testing.T) {
+	rec := httptest.NewRecorder()
+	demoRegistry().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if got := rec.Header().Get("Content-Type"); got != ContentType {
+		t.Errorf("content type %q", got)
+	}
+	if err := Lint(rec.Body.Bytes()); err != nil {
+		t.Errorf("served body fails lint: %v", err)
+	}
+}
+
+func TestRegistryReRegisterReplaces(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "first", func() float64 { return 1 })
+	reg.Counter("x_total", "second", func() float64 { return 2 })
+	out := reg.Text()
+	if strings.Contains(out, "first") || !strings.Contains(out, "x_total 2") {
+		t.Errorf("re-registration did not replace:\n%s", out)
+	}
+}
+
+func TestLintRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":  "foo 1\n",
+		"bad type":             "# TYPE foo zigzag\nfoo 1\n",
+		"malformed sample":     "# TYPE foo counter\nfoo one\n",
+		"bad name":             "# TYPE 9foo counter\n9foo 1\n",
+		"histogram no +Inf":    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram no sum":     "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"empty":                "",
+		"help missing name":    "# HELP\n",
+		"unknown comment word": "# FOO bar baz\n",
+	}
+	for name, in := range cases {
+		if err := Lint([]byte(in)); err == nil {
+			t.Errorf("%s: lint accepted %q", name, in)
+		}
+	}
+	good := "# HELP ok_total fine\n# TYPE ok_total counter\nok_total{a=\"b\"} 3 1700000000\n"
+	if err := Lint([]byte(good)); err != nil {
+		t.Errorf("lint rejected valid input: %v", err)
+	}
+}

@@ -1,0 +1,244 @@
+// Package trace is the pipeline's zero-dependency observability layer: a
+// low-overhead span recorder for per-stage compile telemetry (this file)
+// and a Prometheus-text-format metrics registry (metrics.go) shared by
+// engine-embedded and daemon deployments.
+//
+// A Trace is a flat list of spans ordered by start time, each carrying its
+// nesting depth, duration, integer size attributes (instruction counts, IR
+// values, code bytes), and an outcome. The recording API is nil-safe: every
+// method on a nil *Trace and on the Region handles it returns is a no-op
+// that performs no allocation, so pipeline stages thread a possibly-nil
+// trace unconditionally and the disabled path stays free.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one integer span attribute (sizes, counts).
+type Attr struct {
+	Key string `json:"key"`
+	Val int64  `json:"val"`
+}
+
+// Span is one recorded pipeline stage. StartNS is the offset from the
+// trace's start; Depth is the nesting level (a span contains every later
+// span of greater depth until the next span of its own depth or less).
+type Span struct {
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+	Depth   int    `json:"depth"`
+	Outcome string `json:"outcome"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (s *Span) Attr(key string) (int64, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return 0, false
+}
+
+// Trace collects the spans of one pipeline run (a Rewrite call, a tier
+// promotion, a service request). Create with New; a nil *Trace is the
+// disabled recorder and every method on it no-ops.
+type Trace struct {
+	name  string
+	start time.Time
+
+	mu      sync.Mutex
+	spans   []Span
+	depth   int
+	totalNS int64
+}
+
+// New starts an enabled trace.
+func New(name string) *Trace {
+	return &Trace{name: name, start: time.Now()}
+}
+
+// Name returns the trace's name ("" on nil).
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Region is the handle of an open span. The zero Region (returned by a nil
+// Trace) is inert: Int, Outcome, and End do nothing.
+type Region struct {
+	t   *Trace
+	idx int
+	at  time.Time
+}
+
+// Start opens a span. Spans opened before the previous one ended nest one
+// level deeper; close each region exactly once with End.
+func (t *Trace) Start(name string) Region {
+	if t == nil {
+		return Region{}
+	}
+	now := time.Now()
+	t.mu.Lock()
+	idx := len(t.spans)
+	t.spans = append(t.spans, Span{
+		Name:    name,
+		StartNS: now.Sub(t.start).Nanoseconds(),
+		Depth:   t.depth,
+		Outcome: "ok",
+	})
+	t.depth++
+	t.mu.Unlock()
+	return Region{t: t, idx: idx, at: now}
+}
+
+// Int attaches an integer attribute and returns the region for chaining.
+func (r Region) Int(key string, v int64) Region {
+	if r.t == nil {
+		return r
+	}
+	r.t.mu.Lock()
+	sp := &r.t.spans[r.idx]
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, Val: v})
+	r.t.mu.Unlock()
+	return r
+}
+
+// Outcome replaces the span's outcome (default "ok").
+func (r Region) Outcome(s string) Region {
+	if r.t == nil {
+		return r
+	}
+	r.t.mu.Lock()
+	r.t.spans[r.idx].Outcome = s
+	r.t.mu.Unlock()
+	return r
+}
+
+// End closes the span, recording its duration.
+func (r Region) End() {
+	if r.t == nil {
+		return
+	}
+	d := time.Since(r.at).Nanoseconds()
+	r.t.mu.Lock()
+	r.t.spans[r.idx].DurNS = d
+	if r.t.depth > 0 {
+		r.t.depth--
+	}
+	r.t.mu.Unlock()
+}
+
+// EndErr closes the span with outcome "error: <err>" when err is non-nil.
+func (r Region) EndErr(err error) {
+	if err != nil {
+		r.Outcome("error: " + err.Error())
+	}
+	r.End()
+}
+
+// Finish records the trace's total duration. Further spans may still be
+// added (Finish is idempotent; the last call wins).
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	d := time.Since(t.start).Nanoseconds()
+	t.mu.Lock()
+	t.totalNS = d
+	t.mu.Unlock()
+}
+
+// TotalNS returns the duration recorded by Finish (0 before).
+func (t *Trace) TotalNS() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.totalNS
+}
+
+// Spans returns a copy of the recorded spans in start order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	for i := range out {
+		out[i].Attrs = append([]Attr(nil), t.spans[i].Attrs...)
+	}
+	return out
+}
+
+// Find returns the first span with the given name, or nil.
+func (t *Trace) Find(name string) *Span {
+	for _, sp := range t.Spans() {
+		if sp.Name == name {
+			s := sp
+			return &s
+		}
+	}
+	return nil
+}
+
+// jsonTrace is the wire form of a trace.
+type jsonTrace struct {
+	Name    string `json:"name"`
+	Start   string `json:"start"`
+	TotalNS int64  `json:"total_ns"`
+	Spans   []Span `json:"spans"`
+}
+
+// JSON marshals the trace (nil on a nil trace).
+func (t *Trace) JSON() []byte {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	jt := jsonTrace{
+		Name:    t.name,
+		Start:   t.start.UTC().Format(time.RFC3339Nano),
+		TotalNS: t.totalNS,
+		Spans:   t.spans,
+	}
+	out, err := json.Marshal(jt)
+	t.mu.Unlock()
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// String renders the trace as an indented tree, one span per line.
+func (t *Trace) String() string {
+	if t == nil {
+		return "(no trace)"
+	}
+	spans := t.Spans()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%v)\n", t.Name(), time.Duration(t.TotalNS()))
+	for _, sp := range spans {
+		fmt.Fprintf(&b, "%s%-18s %10v", strings.Repeat("  ", sp.Depth+1), sp.Name, time.Duration(sp.DurNS))
+		for _, a := range sp.Attrs {
+			fmt.Fprintf(&b, " %s=%d", a.Key, a.Val)
+		}
+		if sp.Outcome != "ok" {
+			fmt.Fprintf(&b, " [%s]", sp.Outcome)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanRecording(t *testing.T) {
+	tr := New("compile")
+	outer := tr.Start("cache")
+	inner := tr.Start("rewrite").Int("insts_in", 12).Int("code_bytes", 40)
+	time.Sleep(time.Millisecond)
+	inner.End()
+	outer.Outcome("miss").End()
+	tr.Finish()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "cache" || spans[0].Depth != 0 {
+		t.Errorf("span 0 = %+v, want cache at depth 0", spans[0])
+	}
+	if spans[1].Name != "rewrite" || spans[1].Depth != 1 {
+		t.Errorf("span 1 = %+v, want rewrite at depth 1", spans[1])
+	}
+	if spans[0].Outcome != "miss" {
+		t.Errorf("outcome = %q, want miss", spans[0].Outcome)
+	}
+	if v, ok := spans[1].Attr("insts_in"); !ok || v != 12 {
+		t.Errorf("insts_in = %d, %v", v, ok)
+	}
+	if spans[1].DurNS <= 0 {
+		t.Error("inner span has no duration")
+	}
+	// Child must lie within its parent.
+	if spans[1].StartNS < spans[0].StartNS ||
+		spans[1].StartNS+spans[1].DurNS > spans[0].StartNS+spans[0].DurNS {
+		t.Errorf("child [%d,+%d] escapes parent [%d,+%d]",
+			spans[1].StartNS, spans[1].DurNS, spans[0].StartNS, spans[0].DurNS)
+	}
+	if tr.TotalNS() < spans[0].DurNS {
+		t.Errorf("total %d < outer span %d", tr.TotalNS(), spans[0].DurNS)
+	}
+}
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	r := tr.Start("anything")
+	r.Int("k", 1).Outcome("x")
+	r.End()
+	r.EndErr(nil)
+	tr.Finish()
+	if tr.Spans() != nil || tr.JSON() != nil || tr.TotalNS() != 0 || tr.Name() != "" {
+		t.Error("nil trace leaked state")
+	}
+	if tr.Find("anything") != nil {
+		t.Error("nil trace found a span")
+	}
+	if got := tr.String(); got != "(no trace)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// TestNilTraceAllocationFree pins the disabled-by-default fast path: a nil
+// trace must record nothing and allocate nothing.
+func TestNilTraceAllocationFree(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("stage")
+		sp.Int("n", 1)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil-trace span cycle allocates %v times, want 0", allocs)
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	tr := New("rewrite")
+	tr.Start("lift").Int("ir_values_out", 99).End()
+	tr.Finish()
+	var decoded struct {
+		Name    string `json:"name"`
+		Start   string `json:"start"`
+		TotalNS int64  `json:"total_ns"`
+		Spans   []Span `json:"spans"`
+	}
+	if err := json.Unmarshal(tr.JSON(), &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if decoded.Name != "rewrite" || len(decoded.Spans) != 1 {
+		t.Fatalf("decoded %+v", decoded)
+	}
+	if v, ok := decoded.Spans[0].Attr("ir_values_out"); !ok || v != 99 {
+		t.Errorf("attr lost in JSON round trip: %d %v", v, ok)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, decoded.Start); err != nil {
+		t.Errorf("start timestamp: %v", err)
+	}
+}
+
+func TestStringTree(t *testing.T) {
+	tr := New("demo")
+	a := tr.Start("optimize")
+	tr.Start("optimize.round").Int("instcombine", 3).End()
+	a.End()
+	tr.Finish()
+	out := tr.String()
+	if !strings.Contains(out, "optimize.round") || !strings.Contains(out, "instcombine=3") {
+		t.Errorf("missing content:\n%s", out)
+	}
+	// The child line must be indented deeper than the parent line.
+	var parentIndent, childIndent int
+	for _, line := range strings.Split(out, "\n") {
+		trimmed := strings.TrimLeft(line, " ")
+		if strings.HasPrefix(trimmed, "optimize.round") {
+			childIndent = len(line) - len(trimmed)
+		} else if strings.HasPrefix(trimmed, "optimize") {
+			parentIndent = len(line) - len(trimmed)
+		}
+	}
+	if childIndent <= parentIndent {
+		t.Errorf("child indent %d <= parent indent %d:\n%s", childIndent, parentIndent, out)
+	}
+}
+
+func TestEndErr(t *testing.T) {
+	tr := New("x")
+	tr.Start("jit").EndErr(errTest)
+	sp := tr.Find("jit")
+	if sp == nil || sp.Outcome != "error: boom" {
+		t.Fatalf("span %+v", sp)
+	}
+	// Depth must have unwound so a sibling is not nested.
+	tr.Start("next").End()
+	if got := tr.Find("next").Depth; got != 0 {
+		t.Errorf("sibling depth = %d, want 0", got)
+	}
+}
+
+var errTest = errorString("boom")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

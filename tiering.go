@@ -19,6 +19,7 @@ import (
 	"repro/internal/lift"
 	"repro/internal/opt"
 	"repro/internal/tier"
+	"repro/internal/trace"
 )
 
 // TierConfig tunes the promotion policy; the zero value selects the
@@ -142,11 +143,19 @@ func (r *Rewriter) Tiered(name string) (*TieredFunc, error) {
 		// Rewrite compiles, exactly like the one-shot path.
 		eng.compileMu.Lock()
 		defer eng.compileMu.Unlock()
+		var tr *trace.Trace
+		if eng.traceOn.Load() {
+			tr = trace.New(fmt.Sprintf("tier%d.promote", int(target)))
+			defer func() {
+				tr.Finish()
+				eng.lastTrace.Store(tr)
+			}()
+		}
 		switch target {
 		case Tier1:
-			return compileTier1(eng, entry, name, sig, fastMath)
+			return compileTier1(eng, entry, name, sig, fastMath, tr)
 		case Tier2:
-			return compileTier2(eng, entry, name, sig, dcfg, params, ranges, fastMath, fvw)
+			return compileTier2(eng, entry, name, sig, dcfg, params, ranges, fastMath, fvw, tr)
 		}
 		return tier.CompileResult{}, fmt.Errorf("dbrewllvm: no compiler for %v", target)
 	}
@@ -163,17 +172,21 @@ func (r *Rewriter) Tiered(name string) (*TieredFunc, error) {
 // compileTier1 is the baseline tier: lift the original code and clean it up
 // with the cheap O1 pipeline — no specialization, no structural passes —
 // so compile latency stays small (the TPDE-style baseline-tier tradeoff).
-func compileTier1(e *Engine, entry uint64, name string, sig Signature, fastMath bool) (tier.CompileResult, error) {
-	l := lift.New(e.Mem, lift.DefaultOptions())
+func compileTier1(e *Engine, entry uint64, name string, sig Signature, fastMath bool, tr *trace.Trace) (tier.CompileResult, error) {
+	lo := lift.DefaultOptions()
+	lo.Trace = tr
+	l := lift.New(e.Mem, lo)
 	f, err := l.LiftFunc(entry, name+".t1", sig)
 	if err != nil {
 		return tier.CompileResult{}, fmt.Errorf("tier1 lift: %w", err)
 	}
 	cfg := opt.O1()
 	cfg.FastMath = fastMath
+	cfg.Trace = tr
 	opt.Optimize(f, cfg)
 	comp := jit.NewCompiler(e.Mem)
 	comp.NamePrefix = "t1."
+	comp.Trace = tr
 	addr, err := comp.CompileModule(l.Module, f.Nam)
 	if err != nil {
 		return tier.CompileResult{}, fmt.Errorf("tier1 jit: %w", err)
@@ -186,9 +199,10 @@ func compileTier1(e *Engine, entry uint64, name string, sig Signature, fastMath 
 // failed DBrew specialization falls back to lifting the original code, so
 // the tier still delivers an O3-optimized (if unspecialized) function.
 func compileTier2(e *Engine, entry uint64, name string, sig Signature, dcfg dbrew.Config,
-	params []dbrew.ParamFix, ranges []dbrew.Range, fastMath bool, fvw int) (tier.CompileResult, error) {
+	params []dbrew.ParamFix, ranges []dbrew.Range, fastMath bool, fvw int, tr *trace.Trace) (tier.CompileResult, error) {
 	rw := dbrew.NewRewriter(e.Mem, entry, sig)
 	rw.SetConfig(dcfg)
+	rw.Trace = tr
 	for _, p := range params {
 		rw.SetPar(p.Idx, p.Value)
 	}
@@ -199,7 +213,9 @@ func compileTier2(e *Engine, entry uint64, name string, sig Signature, dcfg dbre
 	if err != nil || rw.Stats.Failed {
 		addr = entry // fall back to optimizing the original code
 	}
-	l := lift.New(e.Mem, lift.DefaultOptions())
+	lo := lift.DefaultOptions()
+	lo.Trace = tr
+	l := lift.New(e.Mem, lo)
 	f, err := l.LiftFunc(addr, name+".t2", sig)
 	if err != nil {
 		return tier.CompileResult{}, fmt.Errorf("tier2 lift: %w", err)
@@ -207,9 +223,11 @@ func compileTier2(e *Engine, entry uint64, name string, sig Signature, dcfg dbre
 	cfg := opt.O3()
 	cfg.FastMath = fastMath
 	cfg.ForceVectorWidth = fvw
+	cfg.Trace = tr
 	opt.Optimize(f, cfg)
 	comp := jit.NewCompiler(e.Mem)
 	comp.NamePrefix = "t2."
+	comp.Trace = tr
 	jaddr, err := comp.CompileModule(l.Module, f.Nam)
 	if err != nil {
 		return tier.CompileResult{}, fmt.Errorf("tier2 jit: %w", err)

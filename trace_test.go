@@ -1,0 +1,240 @@
+package dbrewllvm
+
+// Pipeline-tracing acceptance tests: a tracing-enabled Rewrite yields one
+// span per executed stage with monotonic, parent-contained timing and
+// nonzero size attributes; tracing disabled costs nothing measurable (the
+// ≤5% overhead bound is pinned by BenchmarkRewriteTraceOff against
+// BenchmarkRewriteWarm in cache_test.go).
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// requireSpan finds the named span or fails the test.
+func requireSpan(t *testing.T, tr *trace.Trace, name string) *trace.Span {
+	t.Helper()
+	sp := tr.Find(name)
+	if sp == nil {
+		t.Fatalf("trace has no %q span:\n%s", name, tr.String())
+	}
+	return sp
+}
+
+// requireAttr asserts the span carries a positive value for key.
+func requireAttr(t *testing.T, sp *trace.Span, key string) {
+	t.Helper()
+	v, ok := sp.Attr(key)
+	if !ok {
+		t.Errorf("span %q has no attribute %q", sp.Name, key)
+		return
+	}
+	if v <= 0 {
+		t.Errorf("span %q attribute %q = %d, want > 0", sp.Name, key, v)
+	}
+}
+
+func TestRewriteTraceCompleteness(t *testing.T) {
+	e, fn, buf := cacheSetup(t)
+	e.EnableTracing()
+	if !e.TracingEnabled() {
+		t.Fatal("EnableTracing did not stick")
+	}
+	if e.LastTrace() != nil {
+		t.Fatal("LastTrace non-nil before any Rewrite")
+	}
+
+	if _, err := newDotRewriter(e, fn, buf).Rewrite(); err != nil {
+		t.Fatal(err)
+	}
+	tr := e.LastTrace()
+	if tr == nil {
+		t.Fatal("tracing-enabled Rewrite published no trace")
+	}
+
+	// One span per executed stage, with nonzero size attributes.
+	cache := requireSpan(t, tr, "cache")
+	if cache.Outcome != "miss" {
+		t.Errorf("cold cache span outcome %q, want miss", cache.Outcome)
+	}
+	requireAttr(t, cache, "code_bytes")
+	rw := requireSpan(t, tr, "rewrite")
+	requireAttr(t, rw, "insts_in")
+	requireAttr(t, rw, "insts_out")
+	requireAttr(t, rw, "code_bytes")
+	dec := requireSpan(t, tr, "decode")
+	requireAttr(t, dec, "insts_out")
+	lf := requireSpan(t, tr, "lift")
+	requireAttr(t, lf, "insts_in")
+	requireAttr(t, lf, "ir_values_out")
+	op := requireSpan(t, tr, "optimize")
+	requireAttr(t, op, "insts_in")
+	requireAttr(t, op, "insts_out")
+	requireAttr(t, op, "rounds")
+	jt := requireSpan(t, tr, "jit")
+	requireAttr(t, jt, "code_bytes")
+	if tr.Find("optimize.round") == nil {
+		t.Error("optimize span has no optimize.round children")
+	}
+
+	// Timing: spans are ordered by start, every span's interval nests
+	// within its parent's (the nearest preceding span of smaller depth),
+	// and durations were recorded.
+	spans := tr.Spans()
+	for i, sp := range spans {
+		if sp.DurNS <= 0 {
+			t.Errorf("span %q has no duration", sp.Name)
+		}
+		if i > 0 && sp.StartNS < spans[i-1].StartNS {
+			t.Errorf("span %q starts before its predecessor %q", sp.Name, spans[i-1].Name)
+		}
+		if sp.Depth == 0 {
+			continue
+		}
+		parent := -1
+		for j := i - 1; j >= 0; j-- {
+			if spans[j].Depth < sp.Depth {
+				parent = j
+				break
+			}
+		}
+		if parent < 0 {
+			t.Errorf("span %q at depth %d has no parent", sp.Name, sp.Depth)
+			continue
+		}
+		p := spans[parent]
+		if sp.StartNS < p.StartNS || sp.StartNS+sp.DurNS > p.StartNS+p.DurNS {
+			t.Errorf("span %q [%d, %d] escapes parent %q [%d, %d]",
+				sp.Name, sp.StartNS, sp.StartNS+sp.DurNS,
+				p.Name, p.StartNS, p.StartNS+p.DurNS)
+		}
+	}
+	if tr.TotalNS() <= 0 {
+		t.Error("finished trace has no total duration")
+	}
+	if js := e.TraceJSON(); len(js) == 0 {
+		t.Error("TraceJSON returned nothing for a captured trace")
+	}
+
+	// The warm rewrite's trace is a lone cache hit: no compile stages.
+	if _, err := newDotRewriter(e, fn, buf).Rewrite(); err != nil {
+		t.Fatal(err)
+	}
+	warm := e.LastTrace()
+	if warm == tr {
+		t.Fatal("warm Rewrite did not publish a fresh trace")
+	}
+	if sp := requireSpan(t, warm, "cache"); sp.Outcome != "hit" {
+		t.Errorf("warm cache span outcome %q, want hit", sp.Outcome)
+	}
+	if warm.Find("jit") != nil {
+		t.Error("warm trace contains a jit span; the hit should skip compilation")
+	}
+
+	// DisableTracing stops publication.
+	e.DisableTracing()
+	if _, err := newDotRewriter(e, fn, buf).Rewrite(); err != nil {
+		t.Fatal(err)
+	}
+	if e.LastTrace() != warm {
+		t.Error("Rewrite with tracing disabled replaced the last trace")
+	}
+}
+
+// TestEngineMetricsRegistry: Engine.RegisterMetrics exports the cache
+// counters in valid Prometheus text format, tracking live engine state.
+func TestEngineMetricsRegistry(t *testing.T) {
+	e, fn, buf := cacheSetup(t)
+	reg := trace.NewRegistry()
+	e.RegisterMetrics(reg)
+
+	if err := trace.Lint([]byte(reg.Text())); err != nil {
+		t.Fatalf("idle registry output fails lint: %v", err)
+	}
+
+	if _, err := newDotRewriter(e, fn, buf).Rewrite(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newDotRewriter(e, fn, buf).Rewrite(); err != nil {
+		t.Fatal(err)
+	}
+	out := reg.Text()
+	if err := trace.Lint([]byte(out)); err != nil {
+		t.Fatalf("registry output fails lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"dbrew_codecache_hits_total 1",
+		"dbrew_codecache_misses_total 1",
+		"dbrew_codecache_entries 1",
+	} {
+		if !containsLine(out, want) {
+			t.Errorf("registry output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func containsLine(out, want string) bool {
+	for len(out) > 0 {
+		i := 0
+		for i < len(out) && out[i] != '\n' {
+			i++
+		}
+		if out[:i] == want {
+			return true
+		}
+		if i == len(out) {
+			break
+		}
+		out = out[i+1:]
+	}
+	return false
+}
+
+// BenchmarkRewriteTraceOff is the warm Rewrite path with tracing compiled in
+// but disabled — the acceptance bound is ≤5% over BenchmarkRewriteWarm,
+// i.e. the disabled-tracing fast path adds only an atomic load.
+func BenchmarkRewriteTraceOff(b *testing.B) {
+	e := NewEngine()
+	e.EnableCache(64)
+	e.DisableTracing()
+	buf := e.Alloc(16, "coeffs")
+	e.Mem.WriteFloat64(buf, 2.0)
+	e.Mem.WriteFloat64(buf+8, 0.5)
+	fn := buildDot(b, e)
+	if _, err := newDotRewriter(e, fn, buf).Rewrite(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := newDotRewriter(e, fn, buf)
+		if _, err := r.Rewrite(); err != nil {
+			b.Fatal(err)
+		}
+		if !r.CacheHit {
+			b.Fatal("warm benchmark missed the cache")
+		}
+	}
+}
+
+// BenchmarkRewriteTraceOn quantifies the cost of capturing a full trace on
+// the warm path (span appends + the publish store) for comparison.
+func BenchmarkRewriteTraceOn(b *testing.B) {
+	e := NewEngine()
+	e.EnableCache(64)
+	e.EnableTracing()
+	buf := e.Alloc(16, "coeffs")
+	e.Mem.WriteFloat64(buf, 2.0)
+	e.Mem.WriteFloat64(buf+8, 0.5)
+	fn := buildDot(b, e)
+	if _, err := newDotRewriter(e, fn, buf).Rewrite(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := newDotRewriter(e, fn, buf)
+		if _, err := r.Rewrite(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
