@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-tiering race-service bench bench-tiering bench-service fig10 throughput cachecheck serve smoke cover fuzz-smoke
+.PHONY: check fmt vet build test race race-tiering race-service bench bench-emu bench-emu-nogate bench-tiering bench-service fig10 throughput cachecheck serve smoke cover fuzz-smoke
 
-check: fmt vet build race-tiering race-service race cover fuzz-smoke
+check: fmt vet build race-tiering race-service race cover fuzz-smoke bench-emu-nogate
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -34,6 +34,16 @@ race-service:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Emulator dispatch benchmark (interp vs translated blocks), 5 repetitions,
+# medians and speedups recorded machine-readably in BENCH_emu.json.
+bench-emu:
+	$(GO) run ./cmd/benchemu -count=5 -out=BENCH_emu.json
+
+# Non-gating wrapper for `make check`: the numbers are recorded and printed,
+# but a slow machine never fails the gate.
+bench-emu-nogate:
+	-@$(MAKE) --no-print-directory bench-emu
 
 # One-shot O3 vs tiered execution totals across call counts.
 bench-tiering:

@@ -1,0 +1,176 @@
+// Command benchemu runs the emulator dispatch benchmark and records a
+// machine-readable summary in BENCH_emu.json: ns/op and instructions/second
+// for both execution engines, the block-engine speedup over the
+// per-instruction interpreter, and the speedup against the recorded seed
+// baseline (the first committed run's interpreter numbers, kept sticky so
+// later runs keep comparing against the same reference).
+//
+// The benchmark itself is BenchmarkEmuDispatch in internal/emu, invoked
+// through `go test -bench` so the numbers in the JSON are exactly the
+// numbers a developer sees running the benchmark by hand.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EngineResult summarizes one engine's samples.
+type EngineResult struct {
+	NsPerOp    float64   `json:"ns_per_op"`    // median over samples
+	InstPerS   float64   `json:"inst_per_sec"` // median over samples
+	Samples    int       `json:"samples"`
+	RawNsPerOp []float64 `json:"raw_ns_per_op"`
+}
+
+// Baseline is the sticky seed reference: the interpreter numbers from the
+// first recorded run. It survives re-runs so speedups stay comparable.
+type Baseline struct {
+	NsPerOp  float64 `json:"ns_per_op"`
+	InstPerS float64 `json:"inst_per_sec"`
+	Source   string  `json:"source"`
+}
+
+// Report is the BENCH_emu.json schema.
+type Report struct {
+	Benchmark     string                  `json:"benchmark"`
+	Count         int                     `json:"count"`
+	Engines       map[string]EngineResult `json:"engines"`
+	Speedup       float64                 `json:"speedup"`         // interp/blocks, this run
+	SeedBaseline  Baseline                `json:"seed_baseline"`   // sticky first-run interpreter
+	SpeedupVsSeed float64                 `json:"speedup_vs_seed"` // seed ns/op over blocks ns/op
+}
+
+func main() {
+	out := flag.String("out", "BENCH_emu.json", "output file")
+	count := flag.Int("count", 5, "benchmark repetitions (go test -count)")
+	flag.Parse()
+
+	samples, err := runBench(*count)
+	if err != nil {
+		fatal(err)
+	}
+	rep := &Report{
+		Benchmark: "BenchmarkEmuDispatch",
+		Count:     *count,
+		Engines:   map[string]EngineResult{},
+	}
+	for name, ss := range samples {
+		var ns, ips []float64
+		for _, s := range ss {
+			ns = append(ns, s.nsPerOp)
+			ips = append(ips, s.instPerS)
+		}
+		rep.Engines[name] = EngineResult{
+			NsPerOp:    median(ns),
+			InstPerS:   median(ips),
+			Samples:    len(ss),
+			RawNsPerOp: ns,
+		}
+	}
+	interp, okI := rep.Engines["interp"]
+	blocks, okB := rep.Engines["blocks"]
+	if !okI || !okB || blocks.NsPerOp <= 0 {
+		fatal(fmt.Errorf("missing engine samples: interp=%v blocks=%v", okI, okB))
+	}
+	rep.Speedup = interp.NsPerOp / blocks.NsPerOp
+
+	// Keep the first recorded interpreter run as the seed baseline.
+	rep.SeedBaseline = Baseline{
+		NsPerOp:  interp.NsPerOp,
+		InstPerS: interp.InstPerS,
+		Source:   "per-instruction interpreter (pre-translation step loop)",
+	}
+	if prev, err := os.ReadFile(*out); err == nil {
+		var old Report
+		if json.Unmarshal(prev, &old) == nil && old.SeedBaseline.NsPerOp > 0 {
+			rep.SeedBaseline = old.SeedBaseline
+		}
+	}
+	rep.SpeedupVsSeed = rep.SeedBaseline.NsPerOp / blocks.NsPerOp
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: interp %.0f ns/op (%.3g inst/s), blocks %.0f ns/op (%.3g inst/s)\n",
+		*out, interp.NsPerOp, interp.InstPerS, blocks.NsPerOp, blocks.InstPerS)
+	fmt.Printf("speedup %.2fx this run, %.2fx vs recorded seed baseline\n",
+		rep.Speedup, rep.SpeedupVsSeed)
+}
+
+type sample struct {
+	nsPerOp  float64
+	instPerS float64
+}
+
+// runBench invokes the benchmark and parses the standard `go test -bench`
+// output lines: "BenchmarkEmuDispatch/<engine>-N  iters  X ns/op  Y inst/s".
+func runBench(count int) (map[string][]sample, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^BenchmarkEmuDispatch$", "-count", strconv.Itoa(count),
+		"./internal/emu")
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	samples := map[string][]sample{}
+	for _, line := range strings.Split(string(outBytes), "\n") {
+		if !strings.HasPrefix(line, "BenchmarkEmuDispatch/") {
+			continue
+		}
+		f := strings.Fields(line)
+		name := strings.TrimPrefix(f[0], "BenchmarkEmuDispatch/")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		var s sample
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				s.nsPerOp = v
+			case "inst/s":
+				s.instPerS = v
+			}
+		}
+		if s.nsPerOp > 0 {
+			samples[name] = append(samples[name], s)
+		}
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in output:\n%s", outBytes)
+	}
+	return samples, nil
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchemu:", err)
+	os.Exit(1)
+}

@@ -15,6 +15,7 @@
 //	stencilbench -fig 8             # DBrew vs DBrew+LLVM listings
 //	stencilbench -fig trace         # per-stage pipeline trace, cold vs. warm
 //	stencilbench -fig vec           # forced vectorization
+//	stencilbench -fig emu           # emulator interpreter vs block engine
 //	stencilbench -fig ablation      # lifter/pipeline ablations
 //	stencilbench -fig all           # everything
 //
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7, 9a, 9b, 10, 6, 8, trace, vec, ablation, throughput, tiering, service, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7, 9a, 9b, 10, 6, 8, trace, vec, emu, ablation, throughput, tiering, service, all")
 	size := flag.Int("size", 649, "matrix side length (paper: 649)")
 	rows := flag.Int("rows", 2, "interior rows to emulate per variant")
 	repeats := flag.Int("repeats", 10, "compile repetitions for figure 10 (paper: 1000)")
@@ -153,6 +154,14 @@ func main() {
 	})
 	run("vec", func() error {
 		r, err := w.RunVectorization(*rows)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		return nil
+	})
+	run("emu", func() error {
+		r, err := w.RunEmuSpeed(*repeats)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/emu"
+)
+
+// EmuSpeedResult compares the emulator's two execution engines on the
+// unspecialized element kernel: the per-instruction interpreter against the
+// block-translating engine, on identical inputs.
+type EmuSpeedResult struct {
+	Rounds      int           // interior-row passes per engine
+	Calls       int           // total kernel calls per engine
+	InterpTime  time.Duration // wall clock, per-instruction interpreter
+	BlocksTime  time.Duration // wall clock, block-translating engine
+	InterpInsts uint64        // instructions retired on the interpreter
+	BlocksInsts uint64        // instructions retired on the block engine
+}
+
+// Speedup is the wall-clock ratio interpreter/blocks.
+func (r *EmuSpeedResult) Speedup() float64 {
+	if r.BlocksTime <= 0 {
+		return 0
+	}
+	return float64(r.InterpTime) / float64(r.BlocksTime)
+}
+
+// RunEmuSpeed drives the original (unspecialized) element kernel through one
+// machine per engine, sweeping an interior row rounds times, and reports
+// wall time and emulated instructions per second for each. Results are
+// verified to be identical across the two engines.
+func (w *Workload) RunEmuSpeed(rounds int) (*EmuSpeedResult, error) {
+	if rounds <= 0 {
+		rounds = 50
+	}
+	entry, _, _, _ := w.inputFor(Element, Flat, DBrewLLVM)
+	n := w.SZ - 2
+
+	runOne := func(interp bool) (time.Duration, uint64, error) {
+		m := emu.NewMachine(w.Mem)
+		m.Interp = interp
+		start := time.Now()
+		for round := 0; round < rounds; round++ {
+			for col := 1; col <= n; col++ {
+				idx := uint64(w.SZ + col) // row 1
+				args := []uint64{w.FlatAddr, w.M1.Region.Start, w.M2.Region.Start, idx}
+				if _, err := m.Call(entry, emu.CallArgs{Ints: args}, 0); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+		return time.Since(start), m.InstCount, nil
+	}
+
+	interpTime, interpInsts, err := runOne(true)
+	if err != nil {
+		return nil, fmt.Errorf("bench: emuspeed interp: %w", err)
+	}
+	blocksTime, blocksInsts, err := runOne(false)
+	if err != nil {
+		return nil, fmt.Errorf("bench: emuspeed blocks: %w", err)
+	}
+	if interpInsts != blocksInsts {
+		return nil, fmt.Errorf("bench: emuspeed engines disagree: interp retired %d instructions, blocks %d",
+			interpInsts, blocksInsts)
+	}
+	return &EmuSpeedResult{
+		Rounds:      rounds,
+		Calls:       rounds * n,
+		InterpTime:  interpTime,
+		BlocksTime:  blocksTime,
+		InterpInsts: interpInsts,
+		BlocksInsts: blocksInsts,
+	}, nil
+}
+
+// Format renders the engine comparison.
+func (r *EmuSpeedResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Emulator execution engines — per-instruction interpreter vs translated blocks\n")
+	fmt.Fprintf(&b, "  workload: unspecialized flat element kernel, %d calls (%d rounds over an interior row)\n",
+		r.Calls, r.Rounds)
+	line := func(name string, d time.Duration, insts uint64) {
+		persec := 0.0
+		if d > 0 {
+			persec = float64(insts) / d.Seconds()
+		}
+		fmt.Fprintf(&b, "  %-8s %10v  %12d instructions  %10.3g inst/s\n",
+			name, d.Round(time.Microsecond), insts, persec)
+	}
+	line("interp", r.InterpTime, r.InterpInsts)
+	line("blocks", r.BlocksTime, r.BlocksInsts)
+	fmt.Fprintf(&b, "  speedup: %.2fx\n", r.Speedup())
+	return b.String()
+}

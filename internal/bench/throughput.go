@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/emu"
 )
 
 // ThroughputResult summarizes the concurrent-specialization experiment:
@@ -18,6 +20,7 @@ type ThroughputResult struct {
 	Compiles   int64         // cache misses — must equal Distinct
 	Hits       int64         // served from cache or by waiting on an in-flight compile
 	Elapsed    time.Duration // wall clock for the whole run
+	EmuInsts   uint64        // emulated instructions retired during the run
 }
 
 // RunConcurrentThroughput runs goroutines workers, each requesting every
@@ -48,6 +51,7 @@ func (w *Workload) RunConcurrentThroughput(goroutines, rounds int) (*ThroughputR
 
 	var wg sync.WaitGroup
 	errs := make([]error, goroutines)
+	startInsts := emu.TotalRetired()
 	start := time.Now()
 	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
@@ -67,6 +71,7 @@ func (w *Workload) RunConcurrentThroughput(goroutines, rounds int) (*ThroughputR
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	insts := emu.TotalRetired() - startInsts
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -81,6 +86,7 @@ func (w *Workload) RunConcurrentThroughput(goroutines, rounds int) (*ThroughputR
 		Compiles:   st.Misses,
 		Hits:       st.Hits,
 		Elapsed:    elapsed,
+		EmuInsts:   insts,
 	}, nil
 }
 
@@ -94,5 +100,11 @@ func (r *ThroughputResult) Format() string {
 		r.Compiles, r.Hits)
 	persec := float64(r.Requests) / r.Elapsed.Seconds()
 	fmt.Fprintf(&b, "  elapsed: %v, %.0f requests/s\n", r.Elapsed.Round(time.Microsecond), persec)
+	if r.EmuInsts > 0 && r.Elapsed > 0 {
+		fmt.Fprintf(&b, "  emulator: %d instructions retired (%.3g inst/s)\n",
+			r.EmuInsts, float64(r.EmuInsts)/r.Elapsed.Seconds())
+	} else {
+		b.WriteString("  emulator: 0 instructions retired (compile-only run)\n")
+	}
 	return b.String()
 }

@@ -48,6 +48,11 @@ type TieringResult struct {
 	// BreakEvenCalls estimates the call count where the one-shot compile
 	// amortizes against interpreting: compile / (tier0 - tier2) per-call.
 	BreakEvenCalls int
+	// EmuInsts and Elapsed measure the emulator's share of the sweep:
+	// instructions retired across every interpreted call (all tiers and the
+	// per-call calibration runs) against the experiment's wall clock.
+	EmuInsts uint64
+	Elapsed  time.Duration
 }
 
 // RunTiering sweeps the element-kernel (flat structure) specialization over
@@ -60,6 +65,8 @@ func (w *Workload) RunTiering(callCounts []int) (*TieringResult, error) {
 		callCounts = []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000}
 	}
 	entry, sAddr, fullSize, _ := w.inputFor(Element, Flat, DBrewLLVM)
+	startInsts := emu.TotalRetired()
+	start := time.Now()
 
 	// One-shot reference: cold full transformation plus its per-call time.
 	oneShot, err := w.Prepare(Element, Flat, DBrewLLVM, Options{})
@@ -91,6 +98,8 @@ func (w *Workload) RunTiering(callCounts []int) (*TieringResult, error) {
 		}
 		res.Rows = append(res.Rows, *row)
 	}
+	res.EmuInsts = emu.TotalRetired() - startInsts
+	res.Elapsed = time.Since(start)
 	return res, nil
 }
 
@@ -209,6 +218,10 @@ func (r *TieringResult) Format() string {
 			winner, row.FinalLevel,
 			row.Promotions[tier.Tier1], row.Promotions[tier.Tier2],
 			row.SteadyRatio)
+	}
+	if r.EmuInsts > 0 && r.Elapsed > 0 {
+		fmt.Fprintf(&b, "emulator: %d instructions retired in %v (%.3g inst/s)\n",
+			r.EmuInsts, r.Elapsed.Round(time.Millisecond), float64(r.EmuInsts)/r.Elapsed.Seconds())
 	}
 	return b.String()
 }

@@ -1,0 +1,243 @@
+package emu
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
+)
+
+// assemble builds a snippet at the given base and returns the bytes.
+func assemble(t testing.TB, base uint64, build func(b *asm.Builder)) []byte {
+	t.Helper()
+	b := asm.NewBuilder()
+	build(b)
+	code, _, err := b.Assemble(base)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return code
+}
+
+// countLoop emits: rax = 0; rcx = iters; loop { rax += step; rcx-- } ; ret.
+func countLoop(step, iters int64) func(b *asm.Builder) {
+	return func(b *asm.Builder) {
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.Imm(0, 8))
+		b.I(x86.MOV, x86.R64(x86.RCX), x86.Imm(iters, 8))
+		loop := b.NewLabel()
+		b.Bind(loop)
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.Imm(step, 8))
+		b.I(x86.SUB, x86.R64(x86.RCX), x86.Imm(1, 8))
+		b.Jcc(x86.CondNE, loop)
+		b.Ret()
+	}
+}
+
+// TestSelfModifyingCode patches the body of an already-translated loop
+// through the Memory write path and asserts the next run executes the new
+// bytes — no explicit FlushICache.
+func TestSelfModifyingCode(t *testing.T) {
+	old := assemble(t, 0x5000, countLoop(1, 10))
+	patched := assemble(t, 0x5000, countLoop(3, 10))
+	if len(old) != len(patched) {
+		t.Fatalf("encodings differ in length: %d vs %d", len(old), len(patched))
+	}
+	mem := NewMemory(0x1000000)
+	if _, err := mem.MapBytes(0x5000, old, "code"); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(mem)
+	got, err := m.Call(0x5000, CallArgs{}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Fatalf("before patch: got %d, want 10", got)
+	}
+	for i, b := range patched {
+		if b != old[i] {
+			if err := mem.WriteU(0x5000+uint64(i), 1, uint64(b)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m.Reset()
+	got, err = m.Call(0x5000, CallArgs{}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 30 {
+		t.Fatalf("after patch: got %d, want 30 (stale translation executed)", got)
+	}
+}
+
+// TestInvalidateRange covers the explicit invalidation path for code patched
+// directly through a region's byte slice (invisible to the write paths).
+func TestInvalidateRange(t *testing.T) {
+	old := assemble(t, 0x5000, countLoop(1, 4))
+	patched := assemble(t, 0x5000, countLoop(2, 4))
+	mem := NewMemory(0x1000000)
+	r, err := mem.MapBytes(0x5000, old, "code")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(mem)
+	if got, _ := m.Call(0x5000, CallArgs{}, 10000); got != 4 {
+		t.Fatalf("before patch: got %d, want 4", got)
+	}
+	copy(r.Data, patched) // direct patch: machine cache is now stale
+	m.Reset()
+	m.InvalidateRange(0x5000, 0x5000+uint64(len(patched)))
+	if got, _ := m.Call(0x5000, CallArgs{}, 10000); got != 8 {
+		t.Fatalf("after patch+invalidate: got %d, want 8", got)
+	}
+}
+
+// TestStepInterpretsAfterTranslation: single-stepping must keep working on a
+// machine that already holds translations, and must agree with Run.
+func TestStepInterpretsAfterTranslation(t *testing.T) {
+	code := assemble(t, 0x5000, countLoop(5, 7))
+	mem := NewMemory(0x1000000)
+	if _, err := mem.MapBytes(0x5000, code, "code"); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(mem)
+	if got, _ := m.Call(0x5000, CallArgs{}, 10000); got != 35 {
+		t.Fatalf("run: got %d, want 35", got)
+	}
+	m.Reset()
+	m.GPR[x86.RSP] = mem.stack.End() - 64
+	if err := m.push(returnSentinel); err != nil {
+		t.Fatal(err)
+	}
+	m.RIP = 0x5000
+	for m.RIP != returnSentinel {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.GPR[x86.RAX] != 35 {
+		t.Fatalf("step loop: got %d, want 35", m.GPR[x86.RAX])
+	}
+}
+
+// TestRegionLookupRace runs two machines over one Memory concurrently on
+// disjoint data regions (shared read-only code), asserting the shared and
+// machine-local region lookup caches are race-free under -race.
+func TestRegionLookupRace(t *testing.T) {
+	code := assemble(t, 0x5000, func(b *asm.Builder) {
+		// rdi = buf: buf[0..31] += 1, 1000 times around an outer loop.
+		b.I(x86.MOV, x86.R64(x86.RCX), x86.Imm(1000, 8))
+		outer := b.NewLabel()
+		b.Bind(outer)
+		for off := int32(0); off < 32; off += 8 {
+			b.I(x86.MOV, x86.R64(x86.RAX), x86.MemBD(8, x86.RDI, off))
+			b.I(x86.ADD, x86.R64(x86.RAX), x86.Imm(1, 8))
+			b.I(x86.MOV, x86.MemBD(8, x86.RDI, off), x86.R64(x86.RAX))
+		}
+		b.I(x86.SUB, x86.R64(x86.RCX), x86.Imm(1, 8))
+		b.Jcc(x86.CondNE, outer)
+		b.Ret()
+	})
+	mem := NewMemory(0x1000000)
+	if _, err := mem.MapBytes(0x5000, code, "code"); err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([]uint64, 4)
+	stacks := make([]uint64, 4)
+	for i := range bufs {
+		bufs[i] = mem.Alloc(64, 16, "buf").Start
+		stacks[i] = mem.Alloc(1<<16, 4096, "stk").End() - 64
+	}
+	var wg sync.WaitGroup
+	for i := range bufs {
+		wg.Add(1)
+		go func(buf, stack uint64) {
+			defer wg.Done()
+			m := NewMachine(mem)
+			m.GPR[x86.RSP] = stack
+			if _, err := m.Call(0x5000, CallArgs{Ints: []uint64{buf}}, 1_000_000); err != nil {
+				t.Errorf("call: %v", err)
+			}
+		}(bufs[i], stacks[i])
+	}
+	wg.Wait()
+	for _, buf := range bufs {
+		v, err := mem.ReadU(buf, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 1000 {
+			t.Fatalf("buf[0] = %d, want 1000", v)
+		}
+	}
+}
+
+// stencilCode is the BenchmarkEmuDispatch kernel: a 3-point 1D stencil,
+// dst[i] = (src[i-1] + src[i] + src[i+1]) * xmm1, for i in [1, n).
+func stencilCode(t testing.TB) []byte {
+	return assemble(t, 0x5000, func(b *asm.Builder) {
+		// rdi = src, rsi = dst, rdx = n, xmm1 = weight
+		b.I(x86.MOV, x86.R64(x86.RCX), x86.Imm(1, 8))
+		loop := b.NewLabel()
+		b.Bind(loop)
+		b.I(x86.MOVSD_X, x86.X(x86.XMM0), x86.MemBIS(8, x86.RDI, x86.RCX, 8, -8))
+		b.I(x86.ADDSD, x86.X(x86.XMM0), x86.MemBIS(8, x86.RDI, x86.RCX, 8, 0))
+		b.I(x86.ADDSD, x86.X(x86.XMM0), x86.MemBIS(8, x86.RDI, x86.RCX, 8, 8))
+		b.I(x86.MULSD, x86.X(x86.XMM0), x86.X(x86.XMM1))
+		b.I(x86.MOVSD_X, x86.MemBIS(8, x86.RSI, x86.RCX, 8, 0), x86.X(x86.XMM0))
+		b.I(x86.ADD, x86.R64(x86.RCX), x86.Imm(1, 8))
+		b.I(x86.CMP, x86.R64(x86.RCX), x86.R64(x86.RDX))
+		b.Jcc(x86.CondB, loop)
+		b.Ret()
+	})
+}
+
+// BenchmarkEmuDispatch measures the dispatch engines on a tight stencil
+// loop entered through Machine.Call: "interp" is the pre-translation
+// per-instruction path, "blocks" the translated block engine.
+func BenchmarkEmuDispatch(b *testing.B) {
+	const n = 512
+	code := stencilCode(b)
+	setup := func() *Machine {
+		mem := NewMemory(0x1000000)
+		if _, err := mem.MapBytes(0x5000, code, "code"); err != nil {
+			b.Fatal(err)
+		}
+		src := mem.Alloc(8*(n+2), 16, "src")
+		dst := mem.Alloc(8*(n+2), 16, "dst")
+		for i := 0; i <= n+1; i++ {
+			if err := mem.WriteFloat64(src.Start+uint64(8*i), float64(i)*0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+		m := NewMachine(mem)
+		m.GPR[x86.RDI] = src.Start
+		m.GPR[x86.RSI] = dst.Start
+		return m
+	}
+	bench := func(b *testing.B, interp bool) {
+		m := setup()
+		m.Interp = interp
+		src, dst := m.GPR[x86.RDI], m.GPR[x86.RSI]
+		var insts uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			m.GPR[x86.RDI], m.GPR[x86.RSI] = src, dst
+			m.Interp = interp
+			args := CallArgs{Ints: []uint64{src, dst, n}, Floats: []float64{0, 1.0 / 3}}
+			if _, err := m.Call(0x5000, args, 0); err != nil {
+				b.Fatal(err)
+			}
+			insts += m.InstCount
+		}
+		b.StopTimer()
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(insts)/s, "inst/s")
+		}
+	}
+	b.Run("interp", func(b *testing.B) { bench(b, true) })
+	b.Run("blocks", func(b *testing.B) { bench(b, false) })
+}

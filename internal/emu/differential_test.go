@@ -1,0 +1,120 @@
+package emu_test
+
+import (
+	"testing"
+
+	"repro/internal/crosstest"
+	"repro/internal/emu"
+)
+
+// engineState is everything the two engines must agree on bit-for-bit.
+type engineState struct {
+	gpr       [16]uint64
+	xmm       [16]emu.XMMReg
+	flags     emu.Flags
+	instCount uint64
+	cycles    float64
+	rip       uint64
+	errMsg    string
+	scratch   []byte
+}
+
+func runEngine(t *testing.T, p *crosstest.Program, a, b uint64, interp bool) engineState {
+	t.Helper()
+	mem, entry, scratch, err := p.Place()
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	m := emu.NewMachine(mem)
+	m.Interp = interp
+	_, err = m.Call(entry, emu.CallArgs{Ints: []uint64{a, b, scratch}}, 2_000_000)
+	st := engineState{
+		gpr:       m.GPR,
+		xmm:       m.XMM,
+		flags:     m.Flags,
+		instCount: m.InstCount,
+		cycles:    m.Cycles,
+		rip:       m.RIP,
+	}
+	if err != nil {
+		st.errMsg = err.Error()
+	}
+	if buf, rerr := mem.Read(scratch, crosstest.ScratchSize); rerr == nil {
+		st.scratch = buf
+	}
+	return st
+}
+
+// TestBlockEngineDifferential runs generated programs through the
+// per-instruction interpreter and the block-translating engine and demands
+// identical GPR/XMM/Flags/InstCount/Cycles (and errors, RIP, and memory).
+func TestBlockEngineDifferential(t *testing.T) {
+	inputs := [][2]uint64{{3, 5}, {0xFFFF_FFFF_FFFF_FFF0, 2}}
+	for seed := int64(0); seed < 120; seed++ {
+		p, err := crosstest.Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		for _, in := range inputs {
+			old := runEngine(t, p, in[0], in[1], true)
+			new_ := runEngine(t, p, in[0], in[1], false)
+			if old.errMsg != new_.errMsg {
+				t.Fatalf("%s in=%v: error mismatch:\n interp: %q\n blocks: %q", p.Desc, in, old.errMsg, new_.errMsg)
+			}
+			if old.gpr != new_.gpr {
+				t.Fatalf("%s in=%v: GPR mismatch:\n interp: %x\n blocks: %x", p.Desc, in, old.gpr, new_.gpr)
+			}
+			if old.xmm != new_.xmm {
+				t.Fatalf("%s in=%v: XMM mismatch:\n interp: %x\n blocks: %x", p.Desc, in, old.xmm, new_.xmm)
+			}
+			if old.flags != new_.flags {
+				t.Fatalf("%s in=%v: Flags mismatch:\n interp: %+v\n blocks: %+v", p.Desc, in, old.flags, new_.flags)
+			}
+			if old.instCount != new_.instCount {
+				t.Fatalf("%s in=%v: InstCount mismatch: interp %d, blocks %d", p.Desc, in, old.instCount, new_.instCount)
+			}
+			if old.cycles != new_.cycles {
+				t.Fatalf("%s in=%v: Cycles mismatch: interp %v, blocks %v", p.Desc, in, old.cycles, new_.cycles)
+			}
+			if old.rip != new_.rip {
+				t.Fatalf("%s in=%v: RIP mismatch: interp %#x, blocks %#x", p.Desc, in, old.rip, new_.rip)
+			}
+			if string(old.scratch) != string(new_.scratch) {
+				t.Fatalf("%s in=%v: scratch memory mismatch", p.Desc, in)
+			}
+		}
+	}
+}
+
+// TestBlockEngineBudget asserts the two engines agree on budget-exhaustion
+// behavior: same error, same partial counts, at every cutoff around a block
+// boundary.
+func TestBlockEngineBudget(t *testing.T) {
+	p, err := crosstest.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := runEngine(t, p, 3, 5, true)
+	runBudget := func(interp bool, budget uint64) (string, uint64, float64, [16]uint64) {
+		mem, entry, scratch, err := p.Place()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := emu.NewMachine(mem)
+		m.Interp = interp
+		_, err = m.Call(entry, emu.CallArgs{Ints: []uint64{3, 5, scratch}}, budget)
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		return msg, m.InstCount, m.Cycles, m.GPR
+	}
+	for budget := uint64(1); budget <= full.instCount+1; budget++ {
+		iMsg, iN, iCyc, iGPR := runBudget(true, budget)
+		bMsg, bN, bCyc, bGPR := runBudget(false, budget)
+		if iMsg != bMsg || iN != bN || iCyc != bCyc || iGPR != bGPR {
+			t.Fatalf("budget %d: interp(err=%q n=%d) vs blocks(err=%q n=%d)",
+				budget, iMsg, iN, bMsg, bN)
+		}
+	}
+}

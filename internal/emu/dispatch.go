@@ -1,0 +1,153 @@
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/x86"
+)
+
+// The code cache is page-indexed: a small map keyed by page base plus flat
+// per-page arrays indexed by in-page offset. Lookup is one (usually cached)
+// map access and one array index — no hashing of full addresses per
+// instruction, and translated blocks sit next to the decoded instructions
+// they came from.
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// codePage holds everything the engine derived from one page of guest code.
+type codePage struct {
+	insts  [pageSize]*x86.Inst
+	blocks [pageSize]*Block
+}
+
+// page returns the cache page containing addr and addr's in-page offset,
+// allocating the page on first touch. A one-entry MRU avoids the map lookup
+// for the overwhelmingly common same-page case.
+func (m *Machine) page(addr uint64) (*codePage, uint64) {
+	base := addr >> pageShift
+	if m.lastPage != nil && m.lastBase == base {
+		return m.lastPage, addr & pageMask
+	}
+	pg := m.pages[base]
+	if pg == nil {
+		pg = &codePage{}
+		m.pages[base] = pg
+	}
+	m.lastPage, m.lastBase = pg, base
+	return pg, addr & pageMask
+}
+
+// FlushICache discards all decoded instructions and translated blocks; call
+// after patching code bytes directly (writes through Memory's write paths
+// invalidate automatically via the code generation).
+func (m *Machine) FlushICache() { m.flushTranslations() }
+
+// InvalidateRange drops cached decodes and translations overlapping
+// [start, end). Blocks and instructions are indexed by their start address
+// but may extend up to a page past their start page, so the drop covers one
+// extra leading page.
+func (m *Machine) InvalidateRange(start, end uint64) {
+	if end <= start {
+		return
+	}
+	for base := range m.pages {
+		lo := base << pageShift
+		// A block starting in this page ends before lo+2*pageSize (max
+		// block size << pageSize), so the page is affected iff its
+		// extended span overlaps the invalidated range.
+		if start < lo+2*pageSize && lo < end {
+			delete(m.pages, base)
+		}
+	}
+	m.lastPage, m.lastBase = nil, 0
+	m.lastBlock = nil
+}
+
+// flushTranslations drops the whole code cache and re-syncs the generation
+// and cost-model binding.
+func (m *Machine) flushTranslations() {
+	m.pages = make(map[uint64]*codePage)
+	m.lastPage, m.lastBase = nil, 0
+	m.lastBlock = nil
+	m.cacheGen = m.Mem.CodeGen()
+	m.costBound = m.Cost
+}
+
+// runBlocks is the block-translating execution loop: look up (or translate)
+// the block at RIP, execute its pre-bound steps, and chain to the next
+// block. Accounting matches the interpreter exactly: each step adds its
+// pre-computed instruction cost before executing (memory penalties are
+// charged inside the bound operand accessors, in the same order the
+// interpreter charges them), and InstCount is settled once per block.
+func (m *Machine) runBlocks(maxInst uint64) error {
+	if m.costBound != m.Cost || m.cacheGen != m.Mem.CodeGen() {
+		m.flushTranslations()
+	}
+	var n uint64
+	var prev *Block
+	for m.RIP != returnSentinel {
+		if m.Mem.codeGen.Load() != m.cacheGen {
+			m.flushTranslations()
+			prev = nil
+		}
+		pc := m.RIP
+		var b *Block
+		switch {
+		case prev != nil && prev.next != nil && prev.nextPC == pc:
+			b = prev.next // direct block chaining
+		case m.lastBlock != nil && m.lastBlock.start == pc:
+			b = m.lastBlock // loop backedge
+		default:
+			pg, off := m.page(pc)
+			b = pg.blocks[off]
+			if b == nil {
+				var err error
+				b, err = m.translate(pc)
+				if err != nil {
+					return err
+				}
+				pg.blocks[off] = b
+			}
+		}
+		if prev != nil && prev.next == nil && prev.chainable {
+			prev.next, prev.nextPC = b, pc
+		}
+		m.lastBlock = b
+		steps := b.steps
+		limit := len(steps)
+		clamped := false
+		if maxInst > 0 && n+uint64(limit) >= maxInst {
+			limit = int(maxInst - n)
+			clamped = true
+		}
+		// RIP is not maintained per step: no bound executor reads it
+		// mid-block (CALL pushes a translate-time return address, branches
+		// set it, nothing else touches it), so it is settled once per block
+		// — on the error path, by the terminal branch, or here for
+		// fall-through and clamped blocks.
+		for i := 0; i < limit; i++ {
+			st := &steps[i]
+			m.Cycles += st.cost
+			if err := st.fn(m); err != nil {
+				m.RIP = st.next
+				m.InstCount += uint64(i + 1)
+				return fmt.Errorf("emu: at %#x %v: %w", st.in.Addr, st.in, err)
+			}
+		}
+		n += uint64(limit)
+		m.InstCount += uint64(limit)
+		if limit < len(steps) {
+			m.RIP = steps[limit-1].next
+		} else if !b.termSetsRIP {
+			m.RIP = b.end
+		}
+		if clamped {
+			return fmt.Errorf("emu: instruction budget of %d exhausted at %#x", maxInst, m.RIP)
+		}
+		prev = b
+	}
+	return nil
+}

@@ -3,9 +3,19 @@ package emu
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/x86"
 )
+
+// retiredTotal counts instructions retired by every machine's Run loop in
+// the process. Benchmarks snapshot it around an experiment to report
+// emulated instructions/second without per-instruction counting overhead.
+var retiredTotal atomic.Uint64
+
+// TotalRetired returns the process-wide number of emulated instructions
+// retired so far.
+func TotalRetired() uint64 { return retiredTotal.Load() }
 
 func f64bits(v float64) uint64     { return math.Float64bits(v) }
 func f64frombits(u uint64) float64 { return math.Float64frombits(u) }
@@ -61,50 +71,77 @@ type Machine struct {
 	// true skips the call (the hook is responsible for machine effects).
 	CallHook func(m *Machine, target uint64) (handled bool, err error)
 
-	icache map[uint64]*x86.Inst
+	// Interp forces the per-instruction interpreter — the pre-translation
+	// execution path — even where Run would use translated blocks. Step
+	// always interprets; Run also falls back when CountOps or CallHook is
+	// set, so single-stepping and hooks observe every instruction.
+	Interp bool
+
+	// pages is the flat page-indexed code cache: decoded instructions and
+	// translated blocks, indexed by page base and in-page offset. It
+	// replaces the old per-instruction map.
+	pages    map[uint64]*codePage
+	lastPage *codePage
+	lastBase uint64
+
+	// lastBlock is the one-entry last-block cache for loop backedges.
+	lastBlock *Block
+	// cacheGen is the Memory code generation the cached translations were
+	// built under; a mismatch lazily drops them.
+	cacheGen uint64
+	// costBound is the cost model the cached blocks' per-step costs were
+	// computed with; swapping models flushes translations.
+	costBound *CostModel
+
+	// lastMem is the machine-local MRU region cache. Regions are immutable
+	// once mapped and never unmapped, so caching the pointer is safe; the
+	// machine itself is single-goroutine.
+	lastMem *Region
+
+	// runDepth guards the retiredTotal accounting against nested Run calls
+	// (a CallHook may re-enter Call).
+	runDepth int
 }
 
 // NewMachine returns a machine over mem with the default cost model.
 func NewMachine(mem *Memory) *Machine {
-	return &Machine{
-		Mem:    mem,
-		Cost:   HaswellModel(),
-		icache: make(map[uint64]*x86.Inst),
+	m := &Machine{
+		Mem:   mem,
+		Cost:  HaswellModel(),
+		pages: make(map[uint64]*codePage),
 	}
+	m.cacheGen = mem.CodeGen()
+	m.costBound = m.Cost
+	return m
 }
 
 // returnSentinel is the fake return address pushed by Call; reaching it
 // terminates execution.
 const returnSentinel = 0xDEAD0000DEAD0000
 
-// FlushICache discards decoded instructions; call after patching code.
-func (m *Machine) FlushICache() { m.icache = make(map[uint64]*x86.Inst) }
-
 // fetch decodes (with caching) the instruction at RIP.
-func (m *Machine) fetch() (*x86.Inst, error) {
-	if in, ok := m.icache[m.RIP]; ok {
+func (m *Machine) fetch() (*x86.Inst, error) { return m.decodeCached(m.RIP) }
+
+// decodeCached returns the decoded instruction at addr through the
+// page-indexed cache. The decode window is the remaining span of the
+// containing region, asked for once, instead of probing ever-shorter
+// windows near a region tail.
+func (m *Machine) decodeCached(addr uint64) (*x86.Inst, error) {
+	pg, off := m.page(addr)
+	if in := pg.insts[off]; in != nil {
 		return in, nil
 	}
-	// Longest x86 instruction is 15 bytes; tolerate shorter tails.
-	window := 15
-	var code []byte
-	for window > 0 {
-		b, err := m.Mem.Bytes(m.RIP, window)
-		if err == nil {
-			code = b
-			break
-		}
-		window--
+	// Longest x86 instruction is 15 bytes; tolerate shorter region tails.
+	code, err := m.Mem.Tail(addr, 15)
+	if err != nil || len(code) == 0 {
+		return nil, &Fault{Addr: addr, Size: 1, Op: "fetch"}
 	}
-	if code == nil {
-		return nil, &Fault{Addr: m.RIP, Size: 1, Op: "fetch"}
-	}
-	in, err := x86.Decode(code, m.RIP)
+	in, err := x86.Decode(code, addr)
 	if err != nil {
 		return nil, err
 	}
 	p := &in
-	m.icache[m.RIP] = p
+	pg.insts[off] = p
 	return p, nil
 }
 
@@ -170,6 +207,91 @@ func (m *Machine) ea(in *x86.Inst, o x86.Operand) uint64 {
 	return addr
 }
 
+// regionFor resolves the region containing [addr, addr+size) through the
+// machine-local MRU cache, so straight-line kernel loops touching one
+// region skip both the region scan and the shared atomic MRU in Memory.
+func (m *Machine) regionFor(addr uint64, size int) *Region {
+	if r := m.lastMem; r != nil && addr >= r.Start && addr-r.Start+uint64(size) <= uint64(len(r.Data)) {
+		return r
+	}
+	r := m.Mem.find(addr, size)
+	if r != nil {
+		m.lastMem = r
+	}
+	return r
+}
+
+// memLoad reads a little-endian unsigned integer via the MRU region cache.
+func (m *Machine) memLoad(addr uint64, size int) (uint64, error) {
+	r := m.regionFor(addr, size)
+	if r == nil {
+		return 0, &Fault{Addr: addr, Size: size, Op: "access"}
+	}
+	off := addr - r.Start
+	b := r.Data[off : off+uint64(size)]
+	switch size {
+	case 1:
+		return uint64(b[0]), nil
+	case 2:
+		return uint64(b[0]) | uint64(b[1])<<8, nil
+	case 4:
+		return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24, nil
+	case 8:
+		return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, nil
+	}
+	return 0, fmt.Errorf("emu: bad read size %d", size)
+}
+
+// memStore writes a little-endian unsigned integer via the MRU region
+// cache, bumping the code generation when the region holds translated code.
+func (m *Machine) memStore(addr uint64, size int, v uint64) error {
+	r := m.regionFor(addr, size)
+	if r == nil {
+		return &Fault{Addr: addr, Size: size, Op: "write"}
+	}
+	if r.watch.Load() {
+		m.Mem.codeGen.Add(1)
+	}
+	off := addr - r.Start
+	b := r.Data[off : off+uint64(size)]
+	switch size {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		b[0], b[1] = byte(v), byte(v>>8)
+	case 4:
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	case 8:
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+	default:
+		return fmt.Errorf("emu: bad write size %d", size)
+	}
+	return nil
+}
+
+// memLoad128 reads a 16-byte value as two little-endian 64-bit lanes.
+func (m *Machine) memLoad128(addr uint64) (lo, hi uint64, err error) {
+	if r := m.regionFor(addr, 16); r == nil {
+		return 0, 0, &Fault{Addr: addr, Size: 16, Op: "access"}
+	}
+	lo, _ = m.memLoad(addr, 8)
+	hi, _ = m.memLoad(addr+8, 8)
+	return lo, hi, nil
+}
+
+// memStore128 writes a 16-byte value from two 64-bit lanes.
+func (m *Machine) memStore128(addr uint64, lo, hi uint64) error {
+	if r := m.regionFor(addr, 16); r == nil {
+		return &Fault{Addr: addr, Size: 16, Op: "write"}
+	}
+	if err := m.memStore(addr, 8, lo); err != nil {
+		return err
+	}
+	return m.memStore(addr+8, 8, hi)
+}
+
 // readOp reads an integer operand value (register, immediate, or memory).
 func (m *Machine) readOp(in *x86.Inst, o x86.Operand) (uint64, error) {
 	switch o.Kind {
@@ -180,7 +302,7 @@ func (m *Machine) readOp(in *x86.Inst, o x86.Operand) (uint64, error) {
 	case x86.KMem:
 		addr := m.ea(in, o)
 		m.accountMem(addr, int(o.Size), false)
-		return m.Mem.ReadU(addr, int(o.Size))
+		return m.memLoad(addr, int(o.Size))
 	}
 	return 0, fmt.Errorf("emu: read of empty operand")
 }
@@ -194,7 +316,7 @@ func (m *Machine) writeOp(in *x86.Inst, o x86.Operand, v uint64) error {
 	case x86.KMem:
 		addr := m.ea(in, o)
 		m.accountMem(addr, int(o.Size), true)
-		return m.Mem.WriteU(addr, int(o.Size), v)
+		return m.memStore(addr, int(o.Size), v)
 	}
 	return fmt.Errorf("emu: write to bad operand")
 }
@@ -208,12 +330,12 @@ func (m *Machine) accountMem(addr uint64, size int, write bool) {
 // push pushes a 64-bit value.
 func (m *Machine) push(v uint64) error {
 	m.GPR[x86.RSP] -= 8
-	return m.Mem.WriteU(m.GPR[x86.RSP], 8, v)
+	return m.memStore(m.GPR[x86.RSP], 8, v)
 }
 
 // pop pops a 64-bit value.
 func (m *Machine) pop() (uint64, error) {
-	v, err := m.Mem.ReadU(m.GPR[x86.RSP], 8)
+	v, err := m.memLoad(m.GPR[x86.RSP], 8)
 	m.GPR[x86.RSP] += 8
 	return v, err
 }
@@ -272,7 +394,29 @@ func (m *Machine) Step() error {
 
 // Run executes until the return sentinel is reached or maxInst instructions
 // retire in this run (0 means no limit).
+//
+// Straight-line runs execute through cached, pre-bound translated blocks
+// (see block.go); the per-instruction interpreter is used instead when
+// Interp, CountOps, or CallHook asks to observe every instruction. Both
+// paths produce identical architectural results and accounting.
 func (m *Machine) Run(maxInst uint64) error {
+	start := m.InstCount
+	m.runDepth++
+	defer func() {
+		m.runDepth--
+		if m.runDepth == 0 {
+			retiredTotal.Add(m.InstCount - start)
+		}
+	}()
+	if m.Interp || m.CountOps || m.CallHook != nil {
+		return m.runInterp(maxInst)
+	}
+	return m.runBlocks(maxInst)
+}
+
+// runInterp is the pre-translation execution loop: fetch, decode (cached),
+// and execute one instruction at a time.
+func (m *Machine) runInterp(maxInst uint64) error {
 	var n uint64
 	for m.RIP != returnSentinel {
 		if err := m.Step(); err != nil {
@@ -333,10 +477,12 @@ func (m *Machine) ResetStats() {
 }
 
 // Reset clears the architectural state and accounting so the machine can be
-// reused for an independent call. The decoded-instruction cache survives:
-// placed code pages are immutable, so previously decoded instructions stay
-// valid, which is what makes pooled machines cheap (no per-call re-decode).
-// Callers that patch code in place must still use FlushICache.
+// reused for an independent call. The code cache (decoded instructions and
+// translated blocks) survives: placed code pages are immutable, so previous
+// translations stay valid, which is what makes pooled machines cheap (no
+// per-call re-translation). Code patched through Memory write paths is
+// picked up automatically via the code generation; callers that patch
+// region bytes directly must still use FlushICache or InvalidateRange.
 func (m *Machine) Reset() {
 	m.GPR = [16]uint64{}
 	m.XMM = [16]XMMReg{}

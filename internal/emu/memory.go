@@ -34,6 +34,11 @@ type Region struct {
 	Start uint64
 	Data  []byte
 	Name  string
+
+	// watch is set once a machine has translated code from this region.
+	// Writes to a watched region bump the owning Memory's code generation,
+	// which lazily invalidates every machine's translated blocks.
+	watch atomic.Bool
 }
 
 // End returns the first address past the region.
@@ -56,6 +61,12 @@ type Memory struct {
 	regions atomic.Pointer[[]*Region] // sorted by Start; slice is immutable once published
 	last    atomic.Pointer[Region]    // MRU lookup cache
 	brk     uint64                    // next free address for Alloc
+
+	// codeGen counts invalidation events: it is bumped by every write into
+	// a watched (code-bearing) region and by InvalidateRange. Machines
+	// compare it against the generation their translated blocks were built
+	// under and retranslate on mismatch.
+	codeGen atomic.Uint64
 
 	// stack is the shared machine stack, created on first use. Machines
 	// on one Memory run sequentially, so one stack region suffices; a
@@ -155,6 +166,49 @@ func (m *Memory) Bytes(addr uint64, size int) ([]byte, error) {
 	return r.Data[off : off+uint64(size)], nil
 }
 
+// Tail returns a view of up to max bytes starting at addr, clamped to the
+// end of the containing region. Instruction fetch uses it to learn the
+// available decode window in one lookup instead of probing ever-shorter
+// spans near a region tail.
+func (m *Memory) Tail(addr uint64, max int) ([]byte, error) {
+	r := m.find(addr, 1)
+	if r == nil {
+		return nil, &Fault{Addr: addr, Size: 1, Op: "access"}
+	}
+	off := addr - r.Start
+	n := uint64(len(r.Data)) - off
+	if n > uint64(max) {
+		n = uint64(max)
+	}
+	return r.Data[off : off+n], nil
+}
+
+// noteCode marks every region overlapping [start, end) as code-bearing, so
+// subsequent writes into it bump the code generation. Called by machines
+// when they translate a block.
+func (m *Memory) noteCode(start, end uint64) {
+	for _, r := range m.loadRegions() {
+		if start < r.End() && r.Start < end {
+			r.watch.Store(true)
+		}
+	}
+}
+
+// CodeGen returns the current code generation. It changes whenever mapped
+// code may have been modified: translated blocks built under an older
+// generation must be discarded.
+func (m *Memory) CodeGen() uint64 { return m.codeGen.Load() }
+
+// InvalidateRange declares that bytes in [start, end) were modified outside
+// the tracked write paths (e.g. through a slice returned by Bytes). Every
+// machine's translated blocks and decoded instructions are lazily discarded
+// on their next dispatch.
+func (m *Memory) InvalidateRange(start, end uint64) {
+	_ = start
+	_ = end
+	m.codeGen.Add(1)
+}
+
 // Read copies size bytes from addr.
 func (m *Memory) Read(addr uint64, size int) ([]byte, error) {
 	b, err := m.Bytes(addr, size)
@@ -187,10 +241,15 @@ func (m *Memory) ReadU(addr uint64, size int) (uint64, error) {
 
 // WriteU writes a little-endian unsigned integer of 1, 2, 4, or 8 bytes.
 func (m *Memory) WriteU(addr uint64, size int, v uint64) error {
-	b, err := m.Bytes(addr, size)
-	if err != nil {
+	r := m.find(addr, size)
+	if r == nil {
 		return &Fault{Addr: addr, Size: size, Op: "write"}
 	}
+	if r.watch.Load() {
+		m.codeGen.Add(1)
+	}
+	off := addr - r.Start
+	b := r.Data[off : off+uint64(size)]
 	switch size {
 	case 1:
 		b[0] = byte(v)
@@ -217,10 +276,15 @@ func (m *Memory) Read128(addr uint64) (lo, hi uint64, err error) {
 
 // Write128 writes a 16-byte value from two 64-bit lanes.
 func (m *Memory) Write128(addr uint64, lo, hi uint64) error {
-	b, err := m.Bytes(addr, 16)
-	if err != nil {
+	r := m.find(addr, 16)
+	if r == nil {
 		return &Fault{Addr: addr, Size: 16, Op: "write"}
 	}
+	if r.watch.Load() {
+		m.codeGen.Add(1)
+	}
+	off := addr - r.Start
+	b := r.Data[off : off+16]
 	binary.LittleEndian.PutUint64(b, lo)
 	binary.LittleEndian.PutUint64(b[8:], hi)
 	return nil

@@ -122,6 +122,7 @@ type FuncStats struct {
 	CodeSize int    // size of the installed code (0 at tier 0)
 	Calls    uint64 // dispatched calls since registration or last deopt
 	Cycles   uint64 // accumulated modelled cycles since last deopt
+	Insts    uint64 // emulated instructions retired since last deopt
 	// Promotions[l] counts installs of tier l.
 	Promotions [NumLevels]uint64
 	// Deopts counts invalidation-driven drops back to tier 0.
@@ -188,6 +189,7 @@ func (f *Func) Stats() FuncStats {
 		CodeSize:       st.size,
 		Calls:          f.calls.Load(),
 		Cycles:         f.cycles.Load(),
+		Insts:          f.insts.Load(),
 		CompileLatency: f.hist.Snapshot(),
 	}
 	f.statsMu.Lock()

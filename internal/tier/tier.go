@@ -264,6 +264,7 @@ type Func struct {
 	active   atomic.Pointer[codeState]
 	calls    atomic.Uint64
 	cycles   atomic.Uint64
+	insts    atomic.Uint64
 	gen      atomic.Uint64
 	inflight [NumLevels]atomic.Bool
 	failed   [NumLevels]atomic.Bool
@@ -330,12 +331,14 @@ func (f *Func) dispatch(ints []uint64, floats []float64) (rax uint64, xmm0 float
 	rax, err = ex.m.Call(st.entry, emu.CallArgs{Ints: args, Floats: floats}, f.mgr.cfg.MaxInst)
 	xmm0 = emuF64(ex.m.XMM[0].Lo)
 	cyc := uint64(ex.m.Cycles)
+	n := ex.m.InstCount
 	f.mgr.pool.Put(ex)
 	if err != nil {
 		return 0, 0, err
 	}
 	calls := f.calls.Add(1)
 	cycles := f.cycles.Add(cyc)
+	f.insts.Add(n)
 	f.maybePromote(calls, cycles)
 	return rax, xmm0, nil
 }
@@ -428,6 +431,7 @@ func (f *Func) deopt() {
 	f.gen.Add(1) // discard in-flight promotion results
 	f.calls.Store(0)
 	f.cycles.Store(0)
+	f.insts.Store(0)
 	for l := range f.failed {
 		f.failed[l].Store(false)
 	}
