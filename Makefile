@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-tiering race-service bench bench-emu bench-emu-nogate bench-tiering bench-service fig10 throughput cachecheck serve smoke cover fuzz-smoke
+.PHONY: check fmt vet build test race race-tiering race-service race-trace bench bench-emu bench-emu-nogate bench-tiering bench-service fig10 throughput cachecheck serve smoke cover fuzz-smoke
 
-check: fmt vet build race-tiering race-service race cover fuzz-smoke bench-emu-nogate
+check: fmt vet build race-tiering race-service race-trace race cover fuzz-smoke bench-emu-nogate
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -31,6 +31,11 @@ race-tiering:
 # plus the cache singleflight races, re-run fresh under the race detector.
 race-service:
 	$(GO) test -race -count=1 ./internal/service/... ./internal/codecache/...
+
+# Trace-tier suite (differential engines, deopt kernels, concurrent
+# invalidation against a running trace) fresh under the race detector.
+race-trace:
+	$(GO) test -race -count=1 -run 'TestTrace' ./internal/jit
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,13 +1,25 @@
-// Command benchemu runs the emulator dispatch benchmark and records a
-// machine-readable summary in BENCH_emu.json: ns/op and instructions/second
-// for both execution engines, the block-engine speedup over the
-// per-instruction interpreter, and the speedup against the recorded seed
-// baseline (the first committed run's interpreter numbers, kept sticky so
-// later runs keep comparing against the same reference).
+// Command benchemu runs the emulator engine benchmarks and records a
+// machine-readable summary in BENCH_emu.json:
 //
-// The benchmark itself is BenchmarkEmuDispatch in internal/emu, invoked
-// through `go test -bench` so the numbers in the JSON are exactly the
-// numbers a developer sees running the benchmark by hand.
+//   - BenchmarkEmuDispatch (internal/emu): the straight-line stencil kernel
+//     on the per-instruction interpreter and the block engine. The emu test
+//     binary links no trace compiler, so these rows are the pure two-tier
+//     baseline.
+//   - BenchmarkEmuEngines (internal/jit): a loop-dominated ALU kernel on all
+//     three tiers — interp, blocks, and the tracing JIT that compiles hot
+//     superblocks through lift -> opt -> the trace VM.
+//
+// For each engine the JSON records median ns/op and instructions/second, the
+// block-engine speedup over the interpreter, the trace-tier speedup over the
+// block engine on the loop kernel, and the speedup against the recorded seed
+// baseline (the first committed run's interpreter numbers, kept sticky so
+// later runs keep comparing against the same reference). A non-gating drift
+// report compares this run's medians against the previously committed file:
+// drift is printed and recorded, never an error — a slow machine must not
+// fail the gate.
+//
+// The benchmarks are invoked through `go test -bench` so the numbers in the
+// JSON are exactly the numbers a developer sees running them by hand.
 package main
 
 import (
@@ -37,6 +49,16 @@ type Baseline struct {
 	Source   string  `json:"source"`
 }
 
+// Drift is one engine's median movement against the previously committed
+// report. Informational only: recorded and printed, never gating.
+type Drift struct {
+	Benchmark   string  `json:"benchmark"`
+	Engine      string  `json:"engine"`
+	PrevNsPerOp float64 `json:"prev_ns_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	Percent     float64 `json:"percent"` // + is slower than before
+}
+
 // Report is the BENCH_emu.json schema.
 type Report struct {
 	Benchmark     string                  `json:"benchmark"`
@@ -45,6 +67,14 @@ type Report struct {
 	Speedup       float64                 `json:"speedup"`         // interp/blocks, this run
 	SeedBaseline  Baseline                `json:"seed_baseline"`   // sticky first-run interpreter
 	SpeedupVsSeed float64                 `json:"speedup_vs_seed"` // seed ns/op over blocks ns/op
+
+	// The loop-dominated kernel, run on all three tiers (internal/jit's
+	// BenchmarkEmuEngines — importing jit is what arms the trace tier).
+	LoopBenchmark string                  `json:"loop_benchmark"`
+	LoopEngines   map[string]EngineResult `json:"loop_engines"`
+	TraceSpeedup  float64                 `json:"trace_speedup"` // loop blocks/traces ns per op
+
+	Drift []Drift `json:"drift,omitempty"` // vs previously committed file; non-gating
 }
 
 func main() {
@@ -52,27 +82,20 @@ func main() {
 	count := flag.Int("count", 5, "benchmark repetitions (go test -count)")
 	flag.Parse()
 
-	samples, err := runBench(*count)
+	dispatch, err := runBench("BenchmarkEmuDispatch", "./internal/emu", *count)
+	if err != nil {
+		fatal(err)
+	}
+	loop, err := runBench("BenchmarkEmuEngines", "./internal/jit", *count)
 	if err != nil {
 		fatal(err)
 	}
 	rep := &Report{
-		Benchmark: "BenchmarkEmuDispatch",
-		Count:     *count,
-		Engines:   map[string]EngineResult{},
-	}
-	for name, ss := range samples {
-		var ns, ips []float64
-		for _, s := range ss {
-			ns = append(ns, s.nsPerOp)
-			ips = append(ips, s.instPerS)
-		}
-		rep.Engines[name] = EngineResult{
-			NsPerOp:    median(ns),
-			InstPerS:   median(ips),
-			Samples:    len(ss),
-			RawNsPerOp: ns,
-		}
+		Benchmark:     "BenchmarkEmuDispatch",
+		Count:         *count,
+		Engines:       summarize(dispatch),
+		LoopBenchmark: "BenchmarkEmuEngines",
+		LoopEngines:   summarize(loop),
 	}
 	interp, okI := rep.Engines["interp"]
 	blocks, okB := rep.Engines["blocks"]
@@ -81,7 +104,15 @@ func main() {
 	}
 	rep.Speedup = interp.NsPerOp / blocks.NsPerOp
 
-	// Keep the first recorded interpreter run as the seed baseline.
+	lblocks, okLB := rep.LoopEngines["blocks"]
+	ltraces, okLT := rep.LoopEngines["traces"]
+	if !okLB || !okLT || ltraces.NsPerOp <= 0 {
+		fatal(fmt.Errorf("missing loop-kernel samples: blocks=%v traces=%v", okLB, okLT))
+	}
+	rep.TraceSpeedup = lblocks.NsPerOp / ltraces.NsPerOp
+
+	// Keep the first recorded interpreter run as the seed baseline, and
+	// diff this run's medians against the previously committed file.
 	rep.SeedBaseline = Baseline{
 		NsPerOp:  interp.NsPerOp,
 		InstPerS: interp.InstPerS,
@@ -89,8 +120,12 @@ func main() {
 	}
 	if prev, err := os.ReadFile(*out); err == nil {
 		var old Report
-		if json.Unmarshal(prev, &old) == nil && old.SeedBaseline.NsPerOp > 0 {
-			rep.SeedBaseline = old.SeedBaseline
+		if json.Unmarshal(prev, &old) == nil {
+			if old.SeedBaseline.NsPerOp > 0 {
+				rep.SeedBaseline = old.SeedBaseline
+			}
+			rep.Drift = append(rep.Drift, driftOf(rep.Benchmark, old.Engines, rep.Engines)...)
+			rep.Drift = append(rep.Drift, driftOf(rep.LoopBenchmark, old.LoopEngines, rep.LoopEngines)...)
 		}
 	}
 	rep.SpeedupVsSeed = rep.SeedBaseline.NsPerOp / blocks.NsPerOp
@@ -106,6 +141,55 @@ func main() {
 		*out, interp.NsPerOp, interp.InstPerS, blocks.NsPerOp, blocks.InstPerS)
 	fmt.Printf("speedup %.2fx this run, %.2fx vs recorded seed baseline\n",
 		rep.Speedup, rep.SpeedupVsSeed)
+	fmt.Printf("loop kernel: blocks %.0f ns/op (%.3g inst/s), traces %.0f ns/op (%.3g inst/s), trace tier %.2fx\n",
+		lblocks.NsPerOp, lblocks.InstPerS, ltraces.NsPerOp, ltraces.InstPerS, rep.TraceSpeedup)
+	for _, d := range rep.Drift {
+		fmt.Printf("drift (non-gating): %s/%s %+.1f%% vs committed (%.0f -> %.0f ns/op)\n",
+			d.Benchmark, d.Engine, d.Percent, d.PrevNsPerOp, d.NsPerOp)
+	}
+}
+
+// driftOf compares this run's medians against a previous report's.
+func driftOf(bench string, old, cur map[string]EngineResult) []Drift {
+	var out []Drift
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		prev, ok := old[name]
+		if !ok || prev.NsPerOp <= 0 {
+			continue
+		}
+		now := cur[name]
+		out = append(out, Drift{
+			Benchmark:   bench,
+			Engine:      name,
+			PrevNsPerOp: prev.NsPerOp,
+			NsPerOp:     now.NsPerOp,
+			Percent:     (now.NsPerOp/prev.NsPerOp - 1) * 100,
+		})
+	}
+	return out
+}
+
+func summarize(samples map[string][]sample) map[string]EngineResult {
+	out := map[string]EngineResult{}
+	for name, ss := range samples {
+		var ns, ips []float64
+		for _, s := range ss {
+			ns = append(ns, s.nsPerOp)
+			ips = append(ips, s.instPerS)
+		}
+		out[name] = EngineResult{
+			NsPerOp:    median(ns),
+			InstPerS:   median(ips),
+			Samples:    len(ss),
+			RawNsPerOp: ns,
+		}
+	}
+	return out
 }
 
 type sample struct {
@@ -113,26 +197,25 @@ type sample struct {
 	instPerS float64
 }
 
-// runBench invokes the benchmark and parses the standard `go test -bench`
-// output lines: "BenchmarkEmuDispatch/<engine>-N  iters  X ns/op  Y inst/s".
-func runBench(count int) (map[string][]sample, error) {
+// runBench invokes one benchmark and parses the standard `go test -bench`
+// output lines: "Benchmark<name>/<engine>-N  iters  X ns/op  Y inst/s".
+func runBench(name, pkg string, count int) (map[string][]sample, error) {
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", "^BenchmarkEmuDispatch$", "-count", strconv.Itoa(count),
-		"./internal/emu")
+		"-bench", "^"+name+"$", "-count", strconv.Itoa(count), pkg)
 	cmd.Stderr = os.Stderr
 	outBytes, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("go test -bench: %w", err)
+		return nil, fmt.Errorf("go test -bench %s: %w", name, err)
 	}
 	samples := map[string][]sample{}
 	for _, line := range strings.Split(string(outBytes), "\n") {
-		if !strings.HasPrefix(line, "BenchmarkEmuDispatch/") {
+		if !strings.HasPrefix(line, name+"/") {
 			continue
 		}
 		f := strings.Fields(line)
-		name := strings.TrimPrefix(f[0], "BenchmarkEmuDispatch/")
-		if i := strings.LastIndexByte(name, '-'); i > 0 {
-			name = name[:i] // strip the -GOMAXPROCS suffix
+		engine := strings.TrimPrefix(f[0], name+"/")
+		if i := strings.LastIndexByte(engine, '-'); i > 0 {
+			engine = engine[:i] // strip the -GOMAXPROCS suffix
 		}
 		var s sample
 		for i := 2; i+1 < len(f); i += 2 {
@@ -148,11 +231,11 @@ func runBench(count int) (map[string][]sample, error) {
 			}
 		}
 		if s.nsPerOp > 0 {
-			samples[name] = append(samples[name], s)
+			samples[engine] = append(samples[engine], s)
 		}
 	}
 	if len(samples) == 0 {
-		return nil, fmt.Errorf("no benchmark lines in output:\n%s", outBytes)
+		return nil, fmt.Errorf("no %s lines in output:\n%s", name, outBytes)
 	}
 	return samples, nil
 }

@@ -8,16 +8,20 @@ import (
 	"repro/internal/emu"
 )
 
-// EmuSpeedResult compares the emulator's two execution engines on the
-// unspecialized element kernel: the per-instruction interpreter against the
-// block-translating engine, on identical inputs.
+// EmuSpeedResult compares the emulator's three execution tiers on the
+// unspecialized element kernel: the per-instruction interpreter, the
+// block-translating engine, and the tracing JIT (hot superblocks compiled
+// through lift -> opt -> the trace VM), on identical inputs.
 type EmuSpeedResult struct {
 	Rounds      int           // interior-row passes per engine
 	Calls       int           // total kernel calls per engine
 	InterpTime  time.Duration // wall clock, per-instruction interpreter
 	BlocksTime  time.Duration // wall clock, block-translating engine
+	TracesTime  time.Duration // wall clock, block engine + trace tier
 	InterpInsts uint64        // instructions retired on the interpreter
 	BlocksInsts uint64        // instructions retired on the block engine
+	TracesInsts uint64        // instructions retired with the trace tier on
+	Traces      emu.TraceStats
 }
 
 // Speedup is the wall-clock ratio interpreter/blocks.
@@ -28,10 +32,19 @@ func (r *EmuSpeedResult) Speedup() float64 {
 	return float64(r.InterpTime) / float64(r.BlocksTime)
 }
 
+// TraceSpeedup is the wall-clock ratio blocks/traces: what the trace tier
+// adds on top of block translation for this workload.
+func (r *EmuSpeedResult) TraceSpeedup() float64 {
+	if r.TracesTime <= 0 {
+		return 0
+	}
+	return float64(r.BlocksTime) / float64(r.TracesTime)
+}
+
 // RunEmuSpeed drives the original (unspecialized) element kernel through one
 // machine per engine, sweeping an interior row rounds times, and reports
 // wall time and emulated instructions per second for each. Results are
-// verified to be identical across the two engines.
+// verified to be identical across all three engines.
 func (w *Workload) RunEmuSpeed(rounds int) (*EmuSpeedResult, error) {
 	if rounds <= 0 {
 		rounds = 50
@@ -39,9 +52,10 @@ func (w *Workload) RunEmuSpeed(rounds int) (*EmuSpeedResult, error) {
 	entry, _, _, _ := w.inputFor(Element, Flat, DBrewLLVM)
 	n := w.SZ - 2
 
-	runOne := func(interp bool) (time.Duration, uint64, error) {
+	runOne := func(interp, traces bool) (time.Duration, uint64, error) {
 		m := emu.NewMachine(w.Mem)
 		m.Interp = interp
+		m.Traces = traces
 		start := time.Now()
 		for round := 0; round < rounds; round++ {
 			for col := 1; col <= n; col++ {
@@ -55,32 +69,48 @@ func (w *Workload) RunEmuSpeed(rounds int) (*EmuSpeedResult, error) {
 		return time.Since(start), m.InstCount, nil
 	}
 
-	interpTime, interpInsts, err := runOne(true)
+	interpTime, interpInsts, err := runOne(true, false)
 	if err != nil {
 		return nil, fmt.Errorf("bench: emuspeed interp: %w", err)
 	}
-	blocksTime, blocksInsts, err := runOne(false)
+	blocksTime, blocksInsts, err := runOne(false, false)
 	if err != nil {
 		return nil, fmt.Errorf("bench: emuspeed blocks: %w", err)
 	}
-	if interpInsts != blocksInsts {
-		return nil, fmt.Errorf("bench: emuspeed engines disagree: interp retired %d instructions, blocks %d",
-			interpInsts, blocksInsts)
+	before := emu.ReadTraceStats()
+	tracesTime, tracesInsts, err := runOne(false, true)
+	if err != nil {
+		return nil, fmt.Errorf("bench: emuspeed traces: %w", err)
+	}
+	after := emu.ReadTraceStats()
+	if interpInsts != blocksInsts || blocksInsts != tracesInsts {
+		return nil, fmt.Errorf("bench: emuspeed engines disagree: interp retired %d instructions, blocks %d, traces %d",
+			interpInsts, blocksInsts, tracesInsts)
 	}
 	return &EmuSpeedResult{
 		Rounds:      rounds,
 		Calls:       rounds * n,
 		InterpTime:  interpTime,
 		BlocksTime:  blocksTime,
+		TracesTime:  tracesTime,
 		InterpInsts: interpInsts,
 		BlocksInsts: blocksInsts,
+		TracesInsts: tracesInsts,
+		Traces: emu.TraceStats{
+			Compiled:   after.Compiled - before.Compiled,
+			CompiledO3: after.CompiledO3 - before.CompiledO3,
+			Aborted:    after.Aborted - before.Aborted,
+			Runs:       after.Runs - before.Runs,
+			Iters:      after.Iters - before.Iters,
+			SideExits:  after.SideExits - before.SideExits,
+		},
 	}, nil
 }
 
 // Format renders the engine comparison.
 func (r *EmuSpeedResult) Format() string {
 	var b strings.Builder
-	b.WriteString("Emulator execution engines — per-instruction interpreter vs translated blocks\n")
+	b.WriteString("Emulator execution engines — interpreter vs translated blocks vs traced superblocks\n")
 	fmt.Fprintf(&b, "  workload: unspecialized flat element kernel, %d calls (%d rounds over an interior row)\n",
 		r.Calls, r.Rounds)
 	line := func(name string, d time.Duration, insts uint64) {
@@ -93,6 +123,11 @@ func (r *EmuSpeedResult) Format() string {
 	}
 	line("interp", r.InterpTime, r.InterpInsts)
 	line("blocks", r.BlocksTime, r.BlocksInsts)
-	fmt.Fprintf(&b, "  speedup: %.2fx\n", r.Speedup())
+	line("traces", r.TracesTime, r.TracesInsts)
+	fmt.Fprintf(&b, "  speedup: blocks %.2fx over interp, traces %.2fx over blocks\n",
+		r.Speedup(), r.TraceSpeedup())
+	fmt.Fprintf(&b, "  trace tier: %d compiled (%d at O3), %d aborted, %d runs, %d iterations, %d side exits\n",
+		r.Traces.Compiled, r.Traces.CompiledO3, r.Traces.Aborted,
+		r.Traces.Runs, r.Traces.Iters, r.Traces.SideExits)
 	return b.String()
 }

@@ -215,8 +215,11 @@ func (g *gen) emitFP() {
 func (g *gen) emitLoop(fp bool) {
 	g.depth++
 	defer func() { g.depth-- }()
-	// for (r10 = K; r10 != 0; r10--) body
-	iters := int64(g.r.Intn(6) + 1)
+	// for (r10 = K; r10 != 0; r10--) body. The range deliberately
+	// straddles RunNative's trace-tier hot threshold: short loops stay on
+	// the block engine, longer ones get recorded, compiled, and finish
+	// inside a trace.
+	iters := int64(g.r.Intn(12) + 1)
 	g.b.I(x86.MOV, x86.R64(x86.R10), x86.Imm(iters, 8))
 	loop := g.b.NewLabel()
 	g.b.Bind(loop)
@@ -278,9 +281,14 @@ func (p *Program) Place() (*emu.Memory, uint64, uint64, error) {
 }
 
 // RunNative executes the program on the emulator and returns (rax or xmm0
-// bits, final scratch contents).
+// bits, final scratch contents). The trace tier runs with aggressive
+// thresholds so the generator's short counted loops cross them: every
+// differential comparison then also covers record → compile → trace-VM
+// execution (and O3 recompilation) against the lifted pipelines, not just
+// the interpreter and block engine.
 func RunNative(mem *emu.Memory, entry, scratch uint64, p *Program, a, b uint64) (uint64, []byte, error) {
 	m := emu.NewMachine(mem)
+	m.TraceOpts = emu.TraceOptions{HotThreshold: 2, O3Threshold: 4}
 	res, err := m.Call(entry, emu.CallArgs{Ints: []uint64{a, b, scratch}}, 2_000_000)
 	if err != nil {
 		return 0, nil, err

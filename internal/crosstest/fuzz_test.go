@@ -14,8 +14,17 @@ package crosstest
 // blocks, counted loops, conditional diamonds, flag-consuming ops — and
 // runs as part of the plain test suite ("go test" executes the corpus
 // without fuzzing). make fuzz-smoke runs a short live fuzz on top.
+//
+// RunNative arms the emulator's trace tier with aggressive thresholds, so
+// the harness also differentially exercises superblock recording, trace-VM
+// execution, and guard-exit deoptimization whenever a generated loop gets
+// hot. The loop-bearing corpus seeds below pin that behavior.
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/emu"
+)
 
 func FuzzDifferential(f *testing.F) {
 	// In-code seeds mirror the ranges the deterministic tests sweep.
@@ -31,4 +40,35 @@ func FuzzDifferential(f *testing.F) {
 		}
 		runDifferential(t, p)
 	})
+}
+
+// TestFuzzCorpusEngagesTraces pins the loop-bearing corpus seeds to the
+// trace tier: each must compile at least one superblock trace under
+// RunNative's thresholds, so corpus runs (and fuzzing on top of them) keep
+// covering the record -> compile -> trace-VM path. If the generator or the
+// thresholds change and a seed stops tracing, this fails rather than the
+// coverage silently evaporating.
+func TestFuzzCorpusEngagesTraces(t *testing.T) {
+	// 186/831/2517 compile several distinct traces in one program,
+	// 1458 retires many trace iterations, 108/147 side-exit before
+	// completing a single iteration, 25 is a plain counted loop.
+	for _, seed := range []int64{25, 108, 147, 186, 831, 1458, 2517} {
+		p, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		mem, entry, scratch, err := p.Place()
+		if err != nil {
+			t.Fatalf("seed %d: place: %v", seed, err)
+		}
+		before := emu.ReadTraceStats()
+		if _, _, err := RunNative(mem, entry, scratch, p, 3, 5); err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		after := emu.ReadTraceStats()
+		if after.Compiled == before.Compiled {
+			t.Errorf("seed %d: no trace compiled (aborted %d): loop coverage lost",
+				seed, after.Aborted-before.Aborted)
+		}
+	}
 }

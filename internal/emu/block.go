@@ -57,6 +57,23 @@ type Block struct {
 	// (all control transfers). Otherwise dispatch settles RIP to end after
 	// the block runs — bound executors never need RIP mid-block.
 	termSetsRIP bool
+
+	// linkEpoch is the machine's chain epoch at the moment next/nextPC were
+	// installed. Machine.InvalidateRange bumps the epoch, so chain-follow
+	// can reject links that may point at invalidated blocks without
+	// touching the surviving pages.
+	linkEpoch uint64
+
+	// hot counts dispatches of this block that arrived over a backward
+	// edge; at Machine.TraceOpts.HotThreshold the block becomes a trace
+	// head and recording starts.
+	hot uint32
+	// noTrace blacklists a head whose recording or compile failed, so the
+	// dispatcher does not re-record it forever.
+	noTrace bool
+	// trace is the compiled superblock trace anchored at this block, if
+	// any. It dies with the block on flushTranslations/InvalidateRange.
+	trace *traceEntry
 }
 
 // translate decodes and binds the block starting at addr. A decode failure

@@ -94,6 +94,52 @@ func TestInvalidateRange(t *testing.T) {
 	}
 }
 
+// TestInvalidateChainedSuccessor: a block that was directly chained to its
+// successor must not follow the stale link after the successor's bytes are
+// patched and invalidated. The two blocks sit more than a page apart so the
+// predecessor's page survives InvalidateRange; only the chain epoch can
+// reject the stale link.
+func TestInvalidateChainedSuccessor(t *testing.T) {
+	const entry, target = 0x5000, 0x8000
+	head := assemble(t, entry, func(b *asm.Builder) {
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.Imm(0, 8))
+		b.I(x86.JMP, x86.Imm(target, 8))
+	})
+	tail := func(v int64) []byte {
+		return assemble(t, target, func(b *asm.Builder) {
+			b.I(x86.MOV, x86.R64(x86.RAX), x86.Imm(v, 8))
+			b.Ret()
+		})
+	}
+	mem := NewMemory(0x1000000)
+	if _, err := mem.MapBytes(entry, head, "head"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := mem.MapBytes(target, tail(1), "tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(mem)
+	// Two calls: the first installs the direct chain link, the second
+	// follows it.
+	for i := 0; i < 2; i++ {
+		if got, _ := m.Call(entry, CallArgs{}, 1000); got != 1 {
+			t.Fatalf("before patch (call %d): got %d, want 1", i, got)
+		}
+		m.Reset()
+	}
+	copy(r.Data, tail(2)) // direct patch: invisible to the write paths
+	m.InvalidateRange(target, target+uint64(len(r.Data)))
+	if got, _ := m.Call(entry, CallArgs{}, 1000); got != 2 {
+		t.Fatalf("after patch+invalidate: got %d, want 2 (stale chained block executed)", got)
+	}
+	// The chain must re-form under the new epoch and still be correct.
+	m.Reset()
+	if got, _ := m.Call(entry, CallArgs{}, 1000); got != 2 {
+		t.Fatalf("re-chained run: got %d, want 2", got)
+	}
+}
+
 // TestStepInterpretsAfterTranslation: single-stepping must keep working on a
 // machine that already holds translations, and must agree with Run.
 func TestStepInterpretsAfterTranslation(t *testing.T) {

@@ -48,7 +48,10 @@ func (m *Machine) FlushICache() { m.flushTranslations() }
 // InvalidateRange drops cached decodes and translations overlapping
 // [start, end). Blocks and instructions are indexed by their start address
 // but may extend up to a page past their start page, so the drop covers one
-// extra leading page.
+// extra leading page. Chain links installed before the invalidation are
+// rejected wholesale (by bumping the chain epoch): a surviving block's
+// direct link may point at a block whose page was just dropped, and
+// following it would execute stale translations.
 func (m *Machine) InvalidateRange(start, end uint64) {
 	if end <= start {
 		return
@@ -64,6 +67,19 @@ func (m *Machine) InvalidateRange(start, end uint64) {
 	}
 	m.lastPage, m.lastBase = nil, 0
 	m.lastBlock = nil
+	m.chainEpoch++
+	// A trace's body may span pages that survived the drop; discard any
+	// trace whose recorded span overlaps the invalidated range.
+	kept := m.traced[:0]
+	for _, b := range m.traced {
+		if t := b.trace; t != nil && start < t.hi && t.lo < end {
+			b.trace = nil
+			b.hot = 0
+			continue
+		}
+		kept = append(kept, b)
+	}
+	m.traced = kept
 }
 
 // flushTranslations drops the whole code cache and re-syncs the generation
@@ -72,6 +88,7 @@ func (m *Machine) flushTranslations() {
 	m.pages = make(map[uint64]*codePage)
 	m.lastPage, m.lastBase = nil, 0
 	m.lastBlock = nil
+	m.traced = m.traced[:0]
 	m.cacheGen = m.Mem.CodeGen()
 	m.costBound = m.Cost
 }
@@ -86,17 +103,20 @@ func (m *Machine) runBlocks(maxInst uint64) error {
 	if m.costBound != m.Cost || m.cacheGen != m.Mem.CodeGen() {
 		m.flushTranslations()
 	}
+	tracing := m.Traces && loadTraceCompiler() != nil
+	var rec *traceRecorder
 	var n uint64
 	var prev *Block
 	for m.RIP != returnSentinel {
 		if m.Mem.codeGen.Load() != m.cacheGen {
 			m.flushTranslations()
 			prev = nil
+			rec = nil
 		}
 		pc := m.RIP
 		var b *Block
 		switch {
-		case prev != nil && prev.next != nil && prev.nextPC == pc:
+		case prev != nil && prev.next != nil && prev.nextPC == pc && prev.linkEpoch == m.chainEpoch:
 			b = prev.next // direct block chaining
 		case m.lastBlock != nil && m.lastBlock.start == pc:
 			b = m.lastBlock // loop backedge
@@ -112,10 +132,33 @@ func (m *Machine) runBlocks(maxInst uint64) error {
 				pg.blocks[off] = b
 			}
 		}
-		if prev != nil && prev.next == nil && prev.chainable {
-			prev.next, prev.nextPC = b, pc
+		if prev != nil && prev.chainable && (prev.next == nil || prev.linkEpoch != m.chainEpoch) {
+			prev.next, prev.nextPC, prev.linkEpoch = b, pc, m.chainEpoch
 		}
 		m.lastBlock = b
+		if tracing {
+			if rec != nil {
+				rec = rec.note(m, b, pc)
+			} else if b.trace == nil && !b.noTrace && prev != nil && pc <= prev.start {
+				if b.hot++; b.hot >= m.TraceOpts.hotThreshold() {
+					rec = startRecording(b, pc)
+					rec = rec.note(m, b, pc)
+				}
+			}
+			if t := b.trace; t != nil && rec == nil {
+				progressed, err := m.runTrace(t, maxInst, &n)
+				if err != nil {
+					return err
+				}
+				if progressed {
+					prev = nil
+					continue
+				}
+				// Zero progress (the very first trace step deopted):
+				// execute the head block through the block engine this
+				// once so the machine is guaranteed to advance.
+			}
+		}
 		steps := b.steps
 		limit := len(steps)
 		clamped := false

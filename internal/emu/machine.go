@@ -77,6 +77,15 @@ type Machine struct {
 	// set, so single-stepping and hooks observe every instruction.
 	Interp bool
 
+	// Traces enables the tracing JIT tier on top of the block engine: hot
+	// backward edges promote their target block to a superblock trace
+	// compiled through lift → opt → jit. It is effective only when a trace
+	// compiler is registered (importing internal/jit does that) and the
+	// machine runs on the block path (no Interp/CountOps/CallHook).
+	Traces bool
+	// TraceOpts tunes the trace tier; zero fields take defaults.
+	TraceOpts TraceOptions
+
 	// pages is the flat page-indexed code cache: decoded instructions and
 	// translated blocks, indexed by page base and in-page offset. It
 	// replaces the old per-instruction map.
@@ -98,6 +107,17 @@ type Machine struct {
 	// machine itself is single-goroutine.
 	lastMem *Region
 
+	// chainEpoch invalidates direct block-to-block chain links:
+	// InvalidateRange bumps it, and chain-follow rejects links installed
+	// under an older epoch (they may point at an invalidated block whose
+	// page was dropped while the predecessor's page survived).
+	chainEpoch uint64
+
+	// traced tracks blocks carrying a compiled trace, so InvalidateRange
+	// can drop traces whose body may overlap the invalidated bytes even
+	// when the head block's own page survives.
+	traced []*Block
+
 	// runDepth guards the retiredTotal accounting against nested Run calls
 	// (a CallHook may re-enter Call).
 	runDepth int
@@ -106,9 +126,10 @@ type Machine struct {
 // NewMachine returns a machine over mem with the default cost model.
 func NewMachine(mem *Memory) *Machine {
 	m := &Machine{
-		Mem:   mem,
-		Cost:  HaswellModel(),
-		pages: make(map[uint64]*codePage),
+		Mem:    mem,
+		Cost:   HaswellModel(),
+		Traces: true,
+		pages:  make(map[uint64]*codePage),
 	}
 	m.cacheGen = mem.CodeGen()
 	m.costBound = m.Cost

@@ -44,6 +44,11 @@ type Region struct {
 // End returns the first address past the region.
 func (r *Region) End() uint64 { return r.Start + uint64(len(r.Data)) }
 
+// Watched reports whether writes to the region currently bump the code
+// generation. The trace tier uses it to deoptimize stores that may hit
+// translated code.
+func (r *Region) Watched() bool { return r.watch.Load() }
+
 // Memory is a sparse virtual address space composed of mapped regions.
 // Lookups cache the last region hit, which makes the common
 // one-region-dominates workloads fast.
@@ -155,6 +160,11 @@ func (m *Memory) find(addr uint64, size int) *Region {
 	}
 	return nil
 }
+
+// FindRegion returns the region containing [addr, addr+size), or nil. It is
+// the exported lookup the trace tier's memory intrinsics use; regions are
+// immutable and never unmapped, so the caller may cache the pointer.
+func (m *Memory) FindRegion(addr uint64, size int) *Region { return m.find(addr, size) }
 
 // Bytes returns a mutable view of [addr, addr+size).
 func (m *Memory) Bytes(addr uint64, size int) ([]byte, error) {

@@ -1,0 +1,297 @@
+package emu
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/x86"
+)
+
+// This file implements the emulator side of the tracing JIT tier. The block
+// engine counts backward-edge dispatches per target block; at the hot
+// threshold the target becomes a trace head and the dispatcher records the
+// concrete path of translated blocks it executes until the path closes back
+// at the head. The recorded superblock is handed to a registered trace
+// compiler (internal/jit wires one through lift → opt → a bytecode VM), and
+// subsequent arrivals at the head run the compiled trace natively. Every
+// off-trace branch and every abnormal memory access is a side exit that
+// materializes the full architectural state — registers, flags, RIP,
+// InstCount and Cycles — and falls back to the block engine.
+//
+// The package split keeps layering acyclic: emu knows nothing about IR. The
+// compiler is injected through RegisterTraceCompiler, which internal/jit
+// calls from an init function.
+
+// TraceOptions tunes the trace tier. Zero fields take defaults.
+type TraceOptions struct {
+	// HotThreshold is the number of backward-edge dispatches of a block
+	// before it is recorded as a trace head. Default 16.
+	HotThreshold uint32
+	// O3Threshold is the number of executions of a compiled trace before it
+	// is recompiled at opt level 3. Default 128.
+	O3Threshold uint64
+	// MaxInsts caps the instructions in a recorded trace. Default 512.
+	MaxInsts int
+	// MaxBlocks caps the blocks stitched into a recorded trace. Default 64.
+	MaxBlocks int
+}
+
+func (o *TraceOptions) hotThreshold() uint32 {
+	if o.HotThreshold == 0 {
+		return 16
+	}
+	return o.HotThreshold
+}
+
+func (o *TraceOptions) o3Threshold() uint64 {
+	if o.O3Threshold == 0 {
+		return 128
+	}
+	return o.O3Threshold
+}
+
+func (o *TraceOptions) maxInsts() int {
+	if o.MaxInsts == 0 {
+		return 512
+	}
+	return o.MaxInsts
+}
+
+func (o *TraceOptions) maxBlocks() int {
+	if o.MaxBlocks == 0 {
+		return 64
+	}
+	return o.MaxBlocks
+}
+
+// TraceStep is one recorded instruction of a superblock trace: the decoded
+// instruction, its modelled cost, and — for conditional branches — the
+// direction the recording took (the trace continues along it; the other
+// direction becomes a guarded side exit).
+type TraceStep struct {
+	In    *x86.Inst
+	Cost  float64
+	Taken bool
+}
+
+// TraceRequest is the unit of work handed to the registered trace compiler:
+// a closed instruction path starting and ending at Head.
+type TraceRequest struct {
+	Head  uint64
+	Steps []TraceStep
+	Mem   *Memory
+	Cost  *CostModel
+	// O3 requests the expensive optimization pipeline (re-hot traces).
+	O3 bool
+}
+
+// TraceRunFunc executes a compiled trace on m with at most iterCap full
+// loop iterations and returns the completed iterations, the instructions
+// retired in the final partial iteration (0 when the trace exited at the
+// loop header), and the RIP to resume the block engine at. On return the
+// machine's GPR and Flags are fully materialized; the caller settles RIP,
+// InstCount and Cycles from the returned counts.
+type TraceRunFunc func(m *Machine, iterCap uint64) (iters, steps uint64, rip uint64)
+
+// TraceCompiler builds a native executor for a recorded trace, or reports
+// that the trace cannot be compiled (unsupported instructions).
+type TraceCompiler func(*TraceRequest) (TraceRunFunc, error)
+
+var traceCompiler atomic.Value // TraceCompiler
+
+// RegisterTraceCompiler installs the trace compiler used by every machine.
+// internal/jit registers its lift → opt → VM pipeline from an init
+// function, so importing that package enables the trace tier.
+func RegisterTraceCompiler(fn TraceCompiler) { traceCompiler.Store(fn) }
+
+func loadTraceCompiler() TraceCompiler {
+	v := traceCompiler.Load()
+	if v == nil {
+		return nil
+	}
+	return v.(TraceCompiler)
+}
+
+// TraceStats is a snapshot of the process-wide trace-tier counters.
+type TraceStats struct {
+	// Compiled counts successfully compiled traces (O1), CompiledO3 the
+	// level-3 recompiles of re-hot traces.
+	Compiled, CompiledO3 uint64
+	// Aborted counts recordings or compiles that failed and blacklisted
+	// their head.
+	Aborted uint64
+	// Runs counts trace executions, Iters the completed loop iterations
+	// across all runs, SideExits the runs that left mid-iteration through
+	// a guard or deoptimizing memory access.
+	Runs, Iters, SideExits uint64
+}
+
+var traceCounters struct {
+	compiled, compiledO3, aborted, runs, iters, sideExits atomic.Uint64
+}
+
+// ReadTraceStats snapshots the process-wide trace-tier counters.
+func ReadTraceStats() TraceStats {
+	return TraceStats{
+		Compiled:   traceCounters.compiled.Load(),
+		CompiledO3: traceCounters.compiledO3.Load(),
+		Aborted:    traceCounters.aborted.Load(),
+		Runs:       traceCounters.runs.Load(),
+		Iters:      traceCounters.iters.Load(),
+		SideExits:  traceCounters.sideExits.Load(),
+	}
+}
+
+// traceEntry is a compiled trace installed on its head block. It dies with
+// the block: flushTranslations drops all pages, and InvalidateRange drops
+// entries whose recorded span overlaps the invalidated bytes, so a stale
+// trace can never be dispatched. Mid-run invalidation is caught by the
+// compiled code itself, which re-checks the memory code generation on every
+// backedge.
+type traceEntry struct {
+	run   TraceRunFunc
+	costs []float64 // per-step modelled cost, replayed in program order
+	T     uint64    // len(costs)
+	req   *TraceRequest
+	runs  uint64
+	o3    bool
+	// [lo, hi) spans every recorded instruction, for InvalidateRange.
+	lo, hi uint64
+}
+
+// traceRecorder accumulates the block path of a trace being recorded.
+type traceRecorder struct {
+	head    *Block
+	headPC  uint64
+	steps   []TraceStep
+	pending int // index of an unresolved conditional branch, or -1
+	blocks  int
+}
+
+func startRecording(head *Block, pc uint64) *traceRecorder {
+	return &traceRecorder{head: head, headPC: pc, pending: -1}
+}
+
+// note observes one dispatch while recording: it resolves the previous
+// block's branch direction from the arrived-at pc, closes the trace when
+// the path returns to the head, and otherwise appends the block's steps.
+// It returns nil when recording ended (closed or aborted).
+func (r *traceRecorder) note(m *Machine, b *Block, pc uint64) *traceRecorder {
+	if r.pending >= 0 {
+		in := r.steps[r.pending].In
+		r.steps[r.pending].Taken = pc == uint64(in.Dst.Imm)
+		r.pending = -1
+	}
+	if len(r.steps) > 0 && pc == r.headPC {
+		m.finishTrace(r)
+		return nil
+	}
+	if r.blocks++; r.blocks > m.TraceOpts.maxBlocks() || len(r.steps)+len(b.steps) > m.TraceOpts.maxInsts() {
+		r.abort()
+		return nil
+	}
+	for i := range b.steps {
+		st := &b.steps[i]
+		r.steps = append(r.steps, TraceStep{In: st.in, Cost: st.cost})
+	}
+	if len(b.steps) > 0 {
+		switch term := b.steps[len(b.steps)-1].in; term.Op {
+		case x86.RET, x86.JMPIndirect, x86.CALL, x86.CALLIndirect:
+			// The successor is data-dependent (or leaves the frame);
+			// traces only follow static control flow.
+			r.abort()
+			return nil
+		case x86.JCC:
+			r.pending = len(r.steps) - 1
+		}
+	}
+	return r
+}
+
+func (r *traceRecorder) abort() {
+	r.head.noTrace = true
+	traceCounters.aborted.Add(1)
+}
+
+// finishTrace compiles the closed recording and installs it on the head.
+func (m *Machine) finishTrace(r *traceRecorder) {
+	comp := loadTraceCompiler()
+	req := &TraceRequest{Head: r.headPC, Steps: r.steps, Mem: m.Mem, Cost: m.Cost}
+	run, err := comp(req)
+	if err != nil {
+		r.abort()
+		return
+	}
+	costs := make([]float64, len(r.steps))
+	lo, hi := ^uint64(0), uint64(0)
+	for i := range r.steps {
+		costs[i] = r.steps[i].Cost
+		a, e := r.steps[i].In.Addr, r.steps[i].In.Addr+uint64(r.steps[i].In.Len)
+		if a < lo {
+			lo = a
+		}
+		if e > hi {
+			hi = e
+		}
+	}
+	r.head.trace = &traceEntry{run: run, costs: costs, T: uint64(len(costs)), req: req, lo: lo, hi: hi}
+	m.traced = append(m.traced, r.head)
+	traceCounters.compiled.Add(1)
+}
+
+// runTrace executes a compiled trace and settles the machine's accounting.
+// It returns progressed == false when the trace could not retire a single
+// instruction (budget headroom below one iteration, or an immediate deopt),
+// in which case the caller must execute the head block through the block
+// engine instead.
+func (m *Machine) runTrace(t *traceEntry, maxInst uint64, n *uint64) (progressed bool, err error) {
+	iterCap := ^uint64(0)
+	if maxInst > 0 {
+		// Never overshoot the budget: cap whole iterations to the
+		// remaining headroom. A partial iteration is delegated to the
+		// block engine, which clamps per instruction.
+		iterCap = (maxInst - *n) / t.T
+		if iterCap == 0 {
+			return false, nil
+		}
+	}
+	iters, steps, rip := t.run(m, iterCap)
+	// Replay modelled cycles in program order: float accumulation does not
+	// commute, so the per-step costs are added exactly as the interpreter
+	// would. In-trace memory accesses carry no penalty (penalized accesses
+	// deoptimize before executing), so this replay is the whole cost.
+	costs := t.costs
+	cyc := m.Cycles
+	for it := uint64(0); it < iters; it++ {
+		for _, c := range costs {
+			cyc += c
+		}
+	}
+	for j := uint64(0); j < steps; j++ {
+		cyc += costs[j]
+	}
+	m.Cycles = cyc
+	retired := iters*t.T + steps
+	*n += retired
+	m.InstCount += retired
+	m.RIP = rip
+	traceCounters.runs.Add(1)
+	traceCounters.iters.Add(iters)
+	if steps != 0 {
+		traceCounters.sideExits.Add(1)
+	}
+	t.runs++
+	if !t.o3 && t.runs >= m.TraceOpts.o3Threshold() {
+		t.o3 = true // one shot, even if the recompile fails
+		o3req := *t.req
+		o3req.O3 = true
+		if run, err := loadTraceCompiler()(&o3req); err == nil {
+			t.run = run
+			traceCounters.compiledO3.Add(1)
+		}
+	}
+	if maxInst > 0 && *n >= maxInst {
+		return true, fmt.Errorf("emu: instruction budget of %d exhausted at %#x", maxInst, m.RIP)
+	}
+	return retired > 0, nil
+}

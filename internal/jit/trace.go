@@ -1,0 +1,45 @@
+package jit
+
+import (
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/ir"
+	"repro/internal/lift"
+	"repro/internal/opt"
+)
+
+// CompileTrace is the trace compiler the emulator's trace tier dispatches
+// to: lift the recorded superblock to IR, optimize it, and compile the
+// result to trace-VM bytecode. Importing this package is what turns the
+// tier on — init registers the compiler with internal/emu.
+//
+// The optimization config is deliberately restricted: inlining and
+// unrolling would clone the exit and memory-intrinsic calls that anchor the
+// side tables, and CFG simplification would delete the not-taken exit
+// blocks. InstCombine, DCE and CSE — the passes that actually pay here, by
+// deleting the dead flag machinery and folding the lifter's facet masks —
+// run at both levels; level 3 additionally iterates them to a fixpoint.
+func CompileTrace(req *emu.TraceRequest) (emu.TraceRunFunc, error) {
+	prog, err := lift.Trace(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := ir.Verify(prog.F); err != nil {
+		return nil, fmt.Errorf("jit: trace IR: %w", err)
+	}
+	cfg := opt.Config{Level: 1, NoInline: true, NoUnroll: true, NoSimplify: true}
+	if req.O3 {
+		cfg.Level = 3
+	}
+	opt.Optimize(prog.F, cfg)
+	vm, err := buildVM(prog, req.Mem, req.Cost)
+	if err != nil {
+		return nil, err
+	}
+	return vm.run, nil
+}
+
+func init() {
+	emu.RegisterTraceCompiler(CompileTrace)
+}

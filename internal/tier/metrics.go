@@ -87,4 +87,19 @@ func RegisterMetrics(reg *trace.Registry, prefix string, snapshot func() (Stats,
 		func() trace.HistogramData {
 			return grab().CompileLatency().HistogramData()
 		})
+	// The emulator's inner trace tier: hot superblock loops compiled while
+	// functions are still at tier 0.
+	reg.Counter(prefix+"_traces_compiled_total", "Emulator superblock traces compiled (including O3 recompiles).",
+		func() float64 {
+			t := grab().Trace
+			return float64(t.Compiled + t.CompiledO3)
+		})
+	reg.Counter(prefix+"_traces_aborted_total", "Emulator trace recordings or compiles aborted.",
+		func() float64 { return float64(grab().Trace.Aborted) })
+	reg.Counter(prefix+"_trace_runs_total", "Emulator trace executions.",
+		func() float64 { return float64(grab().Trace.Runs) })
+	reg.Counter(prefix+"_trace_iterations_total", "Loop iterations completed inside compiled traces.",
+		func() float64 { return float64(grab().Trace.Iters) })
+	reg.Counter(prefix+"_trace_side_exits_total", "Trace runs that deoptimized through a guard or memory side exit.",
+		func() float64 { return float64(grab().Trace.SideExits) })
 }

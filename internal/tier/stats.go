@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/codecache"
+	"repro/internal/emu"
 )
 
 // Level is an execution tier.
@@ -149,6 +150,10 @@ func (s FuncStats) String() string {
 type Stats struct {
 	Funcs []FuncStats
 	Cache codecache.Stats
+	// Trace is the process-wide trace-tier snapshot: tier-0 dispatch runs
+	// the emulator, whose block engine promotes hot loops to compiled
+	// superblock traces on its own. These counters expose that inner tier.
+	Trace emu.TraceStats
 }
 
 // CompileLatency merges every function's histogram.
@@ -175,6 +180,9 @@ func (s Stats) String() string {
 	}
 	fmt.Fprintf(&b, "compile cache: %v\n", s.Cache)
 	fmt.Fprintf(&b, "compile latency: %v\n", s.CompileLatency())
+	fmt.Fprintf(&b, "emulator traces: %d compiled (%d at O3), %d aborted, %d runs, %d iterations, %d side exits\n",
+		s.Trace.Compiled, s.Trace.CompiledO3, s.Trace.Aborted,
+		s.Trace.Runs, s.Trace.Iters, s.Trace.SideExits)
 	return b.String()
 }
 

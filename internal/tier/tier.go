@@ -233,9 +233,10 @@ func (m *Manager) Invalidate(start, end uint64) int {
 // count actual compilations started.
 func (m *Manager) CacheStats() codecache.Stats { return m.cache.Stats() }
 
-// Stats snapshots every registered function plus the compile cache.
+// Stats snapshots every registered function plus the compile cache and the
+// emulator's trace-tier counters.
 func (m *Manager) Stats() Stats {
-	st := Stats{Cache: m.cache.Stats()}
+	st := Stats{Cache: m.cache.Stats(), Trace: emu.ReadTraceStats()}
 	for _, f := range m.Funcs() {
 		st.Funcs = append(st.Funcs, f.Stats())
 	}
