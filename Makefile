@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-tiering race-service race-trace bench bench-emu bench-emu-nogate bench-tiering bench-service fig10 throughput cachecheck serve smoke cover fuzz-smoke
+.PHONY: check fmt vet build test race race-tiering race-service race-trace race-cluster bench bench-emu bench-emu-nogate bench-tiering bench-service bench-cache fig10 throughput cachecheck serve smoke cover fuzz-smoke
 
-check: fmt vet build race-tiering race-service race-trace race cover fuzz-smoke bench-emu-nogate
+check: fmt vet build race-tiering race-service race-trace race-cluster race cover fuzz-smoke bench-emu-nogate
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -36,6 +36,14 @@ race-service:
 # invalidation against a running trace) fresh under the race detector.
 race-trace:
 	$(GO) test -race -count=1 -run 'TestTrace' ./internal/jit
+
+# Persistence + fleet suite fresh under the race detector: two in-process
+# nodes, 32 concurrent identical requests, the exactly-one-compile
+# assertion, warm restarts, eviction broadcasts, and peer degradation —
+# plus the disk store's crash/corruption battery.
+race-cluster:
+	$(GO) test -race -count=1 -run 'TwoNode|FleetEviction|KilledPeer|WarmRestart|Warming|WarmFailure|Artifact|Delta' ./internal/service
+	$(GO) test -race -count=1 ./internal/diskcache/... ./internal/cluster/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -69,6 +77,11 @@ cachecheck:
 # In-process vs dbrewd round-trip specialization latency.
 bench-service:
 	$(GO) run ./cmd/stencilbench -fig service
+
+# Specialization latency by serving level: fresh compile vs memory hit vs
+# warm-restart disk hit vs fleet peer hit.
+bench-cache:
+	$(GO) run ./cmd/stencilbench -fig cache
 
 # Run the specialization daemon on 127.0.0.1:7411.
 serve:

@@ -6,9 +6,11 @@
 //
 // Usage:
 //
-//	dbrewd                         # serve on 127.0.0.1:7411
-//	dbrewd -addr :8080 -workers 8  # bigger pool, all interfaces
-//	dbrewd -smoke                  # self-test against an ephemeral server
+//	dbrewd                             # serve on 127.0.0.1:7411
+//	dbrewd -addr :8080 -workers 8      # bigger pool, all interfaces
+//	dbrewd -cachedir /var/cache/dbrewd # persistent artifacts: warm restarts
+//	dbrewd -peers h2:7411,h3:7411      # fleet mode: share artifacts by key owner
+//	dbrewd -smoke                      # self-test against an ephemeral server
 //
 // The daemon never runs more than -workers compilations at once; beyond
 // that, up to -queue requests wait for a slot and the rest are rejected
@@ -26,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,6 +43,10 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth beyond the worker slots")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 	cacheCap := flag.Int("cache", 1024, "specialization cache capacity (entries)")
+	cacheDir := flag.String("cachedir", "", "persistent artifact store directory (empty disables persistence); /healthz answers 503 \"warming\" until its index loads")
+	cacheBytes := flag.Int64("cachebytes", 0, "disk artifact store byte budget (0 selects the diskcache default)")
+	self := flag.String("self", "", "this node's advertised host:port for fleet mode (defaults to -addr when -peers is set)")
+	peers := flag.String("peers", "", "comma-separated host:port fleet peer list; enables peer artifact sharing")
 	smoke := flag.Bool("smoke", false, "run the self-test against an ephemeral server and exit")
 	flag.Parse()
 
@@ -48,6 +55,19 @@ func main() {
 		QueueDepth:      *queue,
 		DefaultDeadline: *deadline,
 		CacheCapacity:   *cacheCap,
+		CacheDir:        *cacheDir,
+		CacheBytes:      *cacheBytes,
+	}
+	if *peers != "" {
+		cfg.Self = *self
+		if cfg.Self == "" {
+			cfg.Self = *addr
+		}
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
 	}
 
 	if *smoke {
@@ -73,8 +93,25 @@ func serve(addr string, cfg service.Config) error {
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Printf("dbrewd: listening on %s (workers %d, queue %d)\n", addr, cfg.Workers, cfg.QueueDepth)
+		if cfg.CacheDir != "" {
+			fmt.Printf("dbrewd: warming artifact store at %s\n", cfg.CacheDir)
+		}
+		if len(cfg.Peers) > 0 {
+			fmt.Printf("dbrewd: fleet mode as %s with peers %v\n", cfg.Self, cfg.Peers)
+		}
 		errc <- srv.ListenAndServe()
 	}()
+
+	if cfg.CacheDir != "" {
+		go func() {
+			<-svc.Ready()
+			if err := svc.WarmError(); err != nil {
+				fmt.Fprintln(os.Stderr, "dbrewd:", err)
+			} else {
+				fmt.Println("dbrewd: artifact store warm, /healthz ready")
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:
@@ -115,6 +152,7 @@ func runSmoke(cfg service.Config) error {
 	defer srv.Close()
 
 	client := service.NewClient("http://" + ln.Addr().String())
+	client.EnableDeltaSnapshots()
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 	if err := client.Health(ctx); err != nil {
@@ -178,6 +216,8 @@ func runSmoke(cfg service.Config) error {
 	fmt.Printf("  warm: %5d us, cache hit\n", warm.ElapsedUS)
 	fmt.Printf("  metrics: %d requests, %d ok, %d cache hits; engine cache %d miss / %d hit\n",
 		m.Requests, m.OK, m.CacheHits, m.Engine.Cache.Misses, m.Engine.Cache.Hits)
+	fmt.Printf("  delta: %d chunked uploads, %d region bytes reconstructed server-side\n",
+		m.DeltaRequests, m.DeltaBytesSaved)
 	fmt.Printf("  IR: %d bytes lifted back from the returned code\n", len(cold.IR))
 	fmt.Printf("  trace: %d bytes of per-request spans; /metrics lints as Prometheus text (%d bytes)\n",
 		len(cold.Trace), len(promBody))

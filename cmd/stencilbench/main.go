@@ -11,6 +11,7 @@
 //	stencilbench -fig throughput    # concurrent specialization throughput
 //	stencilbench -fig tiering       # one-shot O3 vs tiered execution
 //	stencilbench -fig service       # in-process vs dbrewd round-trip latency
+//	stencilbench -fig cache         # latency by serving level: compile/memory/disk/peer
 //	stencilbench -fig 6             # flag-cache IR comparison
 //	stencilbench -fig 8             # DBrew vs DBrew+LLVM listings
 //	stencilbench -fig trace         # per-stage pipeline trace, cold vs. warm
@@ -34,7 +35,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7, 9a, 9b, 10, 6, 8, trace, vec, emu, ablation, throughput, tiering, service, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7, 9a, 9b, 10, 6, 8, trace, vec, emu, ablation, throughput, tiering, service, cache, all")
 	size := flag.Int("size", 649, "matrix side length (paper: 649)")
 	rows := flag.Int("rows", 2, "interior rows to emulate per variant")
 	repeats := flag.Int("repeats", 10, "compile repetitions for figure 10 (paper: 1000)")
@@ -141,6 +142,16 @@ func main() {
 			return err
 		}
 		fmt.Println(service.FormatBenchmark(rows))
+		return nil
+	})
+	run("cache", func() error {
+		// Latency by serving level: compile vs memory hit vs warm-restart
+		// disk hit vs fleet peer hit, one table per stencil structure.
+		rows, err := service.RunCacheBenchmark(65, *repeats)
+		if err != nil {
+			return err
+		}
+		fmt.Println(service.FormatCacheBenchmark(rows))
 		return nil
 	})
 	run("trace", func() error {

@@ -35,6 +35,7 @@ import (
 	"repro/internal/abi"
 	"repro/internal/codecache"
 	"repro/internal/dbrew"
+	"repro/internal/diskcache"
 	"repro/internal/emu"
 	"repro/internal/ir"
 	"repro/internal/jit"
@@ -81,6 +82,22 @@ type Engine struct {
 	// scale across goroutines.
 	compileMu sync.Mutex
 
+	// disk, when non-nil, is the persistent second cache level installed by
+	// EnableDiskCache (see persist.go). It sits behind the in-memory cache:
+	// misses consult it before compiling, compiles write through to it.
+	disk *diskcache.Store
+
+	// evictNotify, when non-nil, observes every explicit specialization
+	// removal after memory and disk both dropped the key (see persist.go);
+	// the dbrewd fleet layer hooks eviction broadcasts here.
+	evictNotify func(codecache.Key)
+
+	// compiles counts actual pipeline executions (DBrew rewrite, and for the
+	// LLVM backend lift+opt+JIT) — NOT lookups served from the in-memory
+	// cache, the disk store, or a peer. It is the counter warm-restart and
+	// fleet exactly-once tests assert on.
+	compiles atomic.Int64
+
 	// tiering, when non-nil, is the tiered-execution manager installed by
 	// EnableTiering (see tiering.go).
 	tiering *tier.Manager
@@ -99,6 +116,10 @@ type cachedCode struct {
 	addr     uint64
 	codeSize int
 	stats    dbrew.Stats
+	// ir is the formatted IR of the compiled function, captured only while
+	// the disk cache is enabled (it is part of the persisted artifact).
+	// Empty for the DBrew backend and for adopted artifacts without IR.
+	ir string
 }
 
 // NewEngine creates an empty engine.
@@ -117,6 +138,7 @@ func NewEngine() *Engine {
 // Enable or disable the cache only while no Rewrite calls are in flight.
 func (e *Engine) EnableCache(capacity int) {
 	e.cache = codecache.New[cachedCode](capacity)
+	e.wireRemoveHook()
 }
 
 // DisableCache turns the specialization cache off (existing generated code
@@ -139,22 +161,40 @@ func (e *Engine) CacheStats() (st codecache.Stats, ok bool) {
 }
 
 // EngineStats aggregates every observable engine counter — the
-// specialization-cache counters and the tiered-execution snapshot — into one
-// JSON-marshalable value. Disabled subsystems are nil, so consumers can tell
-// "disabled" from "enabled but idle" exactly like the (Stats, ok) accessor
-// pairs do.
+// specialization-cache counters, the disk artifact store, the derived cache
+// hit ratio, the compile counter, and the tiered-execution snapshot — into
+// one JSON-marshalable value. Disabled subsystems are nil, so consumers can
+// tell "disabled" from "enabled but idle" exactly like the (Stats, ok)
+// accessor pairs do.
 type EngineStats struct {
+	// Compiles counts actual pipeline executions: every Rewrite that ran the
+	// compiler rather than being served from memory, disk, or a peer. Always
+	// present (a fresh engine reports 0).
+	Compiles int64 `json:"compiles"`
 	// Cache is CacheStats, nil when the specialization cache is disabled.
 	Cache *codecache.Stats `json:"cache,omitempty"`
+	// CacheHitRatio is the derived warm fraction Hits/(Hits+Misses) of the
+	// in-memory cache, nil when the cache is disabled or has seen no
+	// lookups (0/0 is unrepresentable, not zero).
+	CacheHitRatio *float64 `json:"cache_hit_ratio,omitempty"`
+	// Disk is DiskStats, nil when the disk cache is disabled.
+	Disk *diskcache.Stats `json:"disk,omitempty"`
 	// Tiering is TierStats, nil when tiering is disabled.
 	Tiering *tier.Stats `json:"tiering,omitempty"`
 }
 
-// Stats snapshots CacheStats and TierStats in one call.
+// Stats snapshots CacheStats, DiskStats, and TierStats in one call.
 func (e *Engine) Stats() EngineStats {
-	var s EngineStats
+	s := EngineStats{Compiles: e.compiles.Load()}
 	if st, ok := e.CacheStats(); ok {
 		s.Cache = &st
+		if lookups := st.Hits + st.Misses; lookups > 0 {
+			ratio := float64(st.Hits) / float64(lookups)
+			s.CacheHitRatio = &ratio
+		}
+	}
+	if st, ok := e.DiskStats(); ok {
+		s.Disk = &st
 	}
 	if st, ok := e.TierStats(); ok {
 		s.Tiering = &st
@@ -162,12 +202,20 @@ func (e *Engine) Stats() EngineStats {
 	return s
 }
 
-// StatsJSON marshals CacheStats + TierStats to JSON in one call — the
-// payload dbrewd's /metrics endpoint embeds. See the ExampleEngine_StatsJSON
-// godoc example.
+// StatsJSON marshals the EngineStats snapshot — compile counter, cache
+// counters with derived hit ratio, disk-store counters, tiering — to JSON
+// in one call; this is the payload dbrewd's /metrics endpoint embeds. See
+// the ExampleEngine_StatsJSON godoc example.
 func (e *Engine) StatsJSON() ([]byte, error) {
 	return json.Marshal(e.Stats())
 }
+
+// CompileCount returns the number of actual pipeline executions this engine
+// has run — Rewrite calls (or tier promotions) that compiled, as opposed to
+// being served from the in-memory cache, the disk store, or a peer. The
+// warm-restart acceptance test asserts this stays zero when every request
+// hits disk.
+func (e *Engine) CompileCount() int64 { return e.compiles.Load() }
 
 // EnableTracing turns on pipeline tracing: every subsequent Rewrite (and
 // tier promotion) records one span per executed stage — cache lookup, dbrew
@@ -202,7 +250,11 @@ func (e *Engine) TraceJSON() []byte {
 // report ok == false), so the output only ever shows live series.
 func (e *Engine) RegisterMetrics(reg *trace.Registry) {
 	codecache.RegisterMetrics(reg, "dbrew_codecache", e.CacheStats)
+	diskcache.RegisterMetrics(reg, "dbrew_diskcache", e.DiskStats)
 	tier.RegisterMetrics(reg, "dbrew_tier", e.TierStats)
+	reg.Counter("dbrew_engine_compiles_total",
+		"Actual pipeline executions (not served from memory, disk, or a peer).",
+		func() float64 { return float64(e.compiles.Load()) })
 }
 
 // CachePeek reports whether the specialization key k is already cached and
@@ -388,6 +440,17 @@ type Rewriter struct {
 	// specialization cache (including waiting on another goroutine's
 	// in-flight compilation) instead of compiling.
 	CacheHit bool
+	// Source names the level that produced the last Rewrite's code:
+	// "memory" (in-memory cache hit, or joined another goroutine's in-flight
+	// compile), "disk" (persisted artifact restored without compiling), or
+	// "compile" (the pipeline actually ran).
+	Source string
+
+	// lastIR holds the formatted IR captured by the last compile while the
+	// disk cache is enabled; it rides into the persisted artifact.
+	lastIR string
+	// diskHit records that the last miss closure was satisfied from disk.
+	diskHit bool
 }
 
 // NewRewriter creates a rewriter for the function at entry.
@@ -444,6 +507,8 @@ func (r *Rewriter) Rewrite() (uint64, error) {
 // next caller. This is the entry point dbrewd's per-request deadlines use.
 func (r *Rewriter) RewriteCtx(ctx context.Context) (uint64, error) {
 	r.CacheHit = false
+	r.Source = "compile"
+	r.diskHit = false
 	tr := r.Trace
 	if tr == nil && r.eng.traceOn.Load() {
 		// Engine-owned trace: finish and publish it whatever the outcome.
@@ -475,11 +540,19 @@ func (r *Rewriter) RewriteCtx(ctx context.Context) (uint64, error) {
 			// don't start work nobody is waiting for.
 			return cachedCode{}, err
 		}
+		// Second level: a persisted artifact for this key skips the
+		// pipeline entirely (the warm-restart path).
+		if cc, ok := r.eng.diskLookup(key, tr); ok {
+			r.diskHit = true
+			return cc, nil
+		}
 		addr, err := r.compile(tr)
 		if err != nil {
 			return cachedCode{}, err
 		}
-		return cachedCode{addr: addr, codeSize: r.CodeSize, stats: r.Stats}, nil
+		cc := cachedCode{addr: addr, codeSize: r.CodeSize, stats: r.Stats, ir: r.lastIR}
+		r.eng.diskWrite(key, cc, tr)
+		return cc, nil
 	})
 	if err != nil {
 		csp.EndErr(err)
@@ -491,6 +564,12 @@ func (r *Rewriter) RewriteCtx(ctx context.Context) (uint64, error) {
 	}
 	csp.Int("code_bytes", int64(v.codeSize)).Outcome(outcome).End()
 	r.CacheHit = hit
+	switch {
+	case hit:
+		r.Source = "memory"
+	case r.diskHit:
+		r.Source = "disk"
+	}
 	r.Stats = v.stats
 	r.CodeSize = v.codeSize
 	return v.addr, nil
@@ -563,6 +642,8 @@ func (r *Rewriter) cacheKey() (codecache.Key, bool) {
 // case they surface as *StageError. tr (which may be nil) receives one span
 // per executed stage.
 func (r *Rewriter) compile(tr *trace.Trace) (uint64, error) {
+	r.eng.compiles.Add(1)
+	r.lastIR = ""
 	r.rw.Trace = tr
 	addr, err := r.rw.Rewrite()
 	r.Stats = r.rw.Stats
@@ -596,6 +677,11 @@ func (r *Rewriter) compile(tr *trace.Trace) (uint64, error) {
 	cfg.ForceVectorWidth = r.ForceVectorWidth
 	cfg.Trace = tr
 	opt.Optimize(f, cfg)
+	if r.eng.disk != nil {
+		// The persisted artifact carries the optimized IR for debuggability;
+		// only pay the formatting cost when something will store it.
+		r.lastIR = ir.FormatFunc(f)
+	}
 	if r.Strict {
 		if err := ir.Verify(f); err != nil {
 			return 0, &StageError{Stage: StageOptimize, Err: err}

@@ -1,0 +1,378 @@
+// Package cluster shares compiled specialization artifacts across a static
+// fleet of dbrewd nodes. Ownership of a cache key is decided by consistent
+// hashing over the peer list (every node computes the same answer with no
+// coordination), and the fleet protocol is deliberately tiny:
+//
+//	GET    /artifact/{key}         fetch a compiled artifact from its owner
+//	GET    /artifact/{key}?wait=1  ... also joining an in-flight compile
+//	DELETE /artifact/{key}         eviction broadcast to the owner
+//
+// Artifacts travel in the diskcache wire encoding, so a peer fetch gets the
+// same checksum + embedded-key verification as a disk read: a corrupt or
+// mis-keyed response is an error, never wrong code. Peer failures are soft
+// by design — every caller degrades to a local compile — and a failing peer
+// is skipped for a backoff window instead of being retried on the hot path.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/codecache"
+	"repro/internal/diskcache"
+)
+
+// ErrNotFound reports a peer answered 404: it owns the key but has no
+// artifact (and no in-flight compile when wait was requested).
+var ErrNotFound = errors.New("cluster: artifact not found on peer")
+
+// ErrPeerDown reports the peer was skipped because it is inside its failure
+// backoff window; no request was sent.
+var ErrPeerDown = errors.New("cluster: peer is in backoff")
+
+// ErrSelfOwned reports the local node owns the key, so there is no peer to
+// talk to.
+var ErrSelfOwned = errors.New("cluster: key is owned by this node")
+
+// Ring is a consistent-hash ring over node addresses. Every node builds the
+// ring from the same peer list (order-insensitive) and therefore agrees on
+// the owner of every key without coordination; adding or removing one node
+// remaps only the keys adjacent to its virtual points.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []string    // sorted, deduplicated
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// DefaultReplicas is the virtual-node count per physical node; enough to
+// keep the ownership split within a few percent of uniform for small
+// fleets.
+const DefaultReplicas = 64
+
+// NewRing builds a ring over nodes with the given number of virtual points
+// per node (<= 0 selects DefaultReplicas). Duplicate and empty node names
+// are dropped.
+func NewRing(nodes []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := map[string]bool{}
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+	}
+	sort.Strings(r.nodes)
+	for _, n := range r.nodes {
+		for i := 0; i < replicas; i++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", n, i)
+			r.points = append(r.points, ringPoint{hash: h.Sum64(), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the ring members, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owner returns the node owning key k: the first virtual point clockwise of
+// the key's hash. It returns "" for an empty ring.
+func (r *Ring) Owner(k codecache.Key) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := fnv.New64a()
+	h.Write(k[:])
+	hv := h.Sum64()
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= hv })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Stats are the peer-traffic counters of one Client, all monotonic.
+type Stats struct {
+	// Fetches counts artifact GETs actually sent to peers.
+	Fetches int64
+	// FetchHits counts fetches that returned a valid artifact.
+	FetchHits int64
+	// FetchMisses counts fetches answered 404.
+	FetchMisses int64
+	// Failures counts fetches and evicts that errored (transport error,
+	// bad status, or a response failing checksum/key verification).
+	Failures int64
+	// Timeouts counts the subset of Failures caused by the peer deadline.
+	Timeouts int64
+	// SkippedBackoff counts requests not sent because the peer was inside
+	// its failure backoff window.
+	SkippedBackoff int64
+	// Evicts counts eviction broadcasts delivered to an owner.
+	Evicts int64
+}
+
+// String summarizes the counters.
+func (s Stats) String() string {
+	return fmt.Sprintf("peer fetches %d (hits %d, misses %d), failures %d (timeouts %d), backoff-skips %d, evicts %d",
+		s.Fetches, s.FetchHits, s.FetchMisses, s.Failures, s.Timeouts, s.SkippedBackoff, s.Evicts)
+}
+
+// Options tunes a Client; the zero value selects the defaults.
+type Options struct {
+	// Replicas is the virtual-node count (default DefaultReplicas).
+	Replicas int
+	// Timeout bounds each peer request (default 2s). Degrading to a local
+	// compile after this long is always preferable to waiting.
+	Timeout time.Duration
+	// Backoff is how long a peer is skipped after a failure (default 5s);
+	// each consecutive failure doubles the window up to 8× Backoff.
+	Backoff time.Duration
+	// HTTPClient overrides the transport (tests inject httptest clients).
+	HTTPClient *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replicas <= 0 {
+		o.Replicas = DefaultReplicas
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 5 * time.Second
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{}
+	}
+	return o
+}
+
+// Client is one node's view of the fleet: the shared ring plus per-peer
+// failure state. Safe for concurrent use.
+type Client struct {
+	self string
+	ring *Ring
+	opts Options
+
+	mu    sync.Mutex
+	down  map[string]*peerState
+	stats Stats
+}
+
+type peerState struct {
+	fails int
+	until time.Time
+}
+
+// New builds a fleet client for the node at self (a host:port reachable by
+// the peers). peers is the full static member list; self is added if
+// absent, so every node can be configured with the same list.
+func New(self string, peers []string, opts Options) *Client {
+	all := append(append([]string(nil), peers...), self)
+	o := opts.withDefaults()
+	return &Client{
+		self: self,
+		ring: NewRing(all, o.Replicas),
+		opts: o,
+		down: map[string]*peerState{},
+	}
+}
+
+// Self returns this node's address.
+func (c *Client) Self() string { return c.self }
+
+// Ring exposes the ownership ring (shared, read-only).
+func (c *Client) Ring() *Ring { return c.ring }
+
+// Owner returns the address owning key k and whether that is this node.
+func (c *Client) Owner(k codecache.Key) (addr string, self bool) {
+	addr = c.ring.Owner(k)
+	return addr, addr == c.self
+}
+
+// Stats snapshots the peer-traffic counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Available reports whether peer is currently outside its failure backoff
+// window (a peer never marked failed is always available).
+func (c *Client) Available(peer string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.down[peer]
+	return !ok || time.Now().After(st.until)
+}
+
+// MarkFailure records a failed interaction with peer, starting (or
+// doubling, up to 8×) its backoff window.
+func (c *Client) MarkFailure(peer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.down[peer]
+	if st == nil {
+		st = &peerState{}
+		c.down[peer] = st
+	}
+	if st.fails < 4 {
+		st.fails++
+	}
+	st.until = time.Now().Add(c.opts.Backoff << (st.fails - 1))
+}
+
+// MarkSuccess clears peer's failure state.
+func (c *Client) MarkSuccess(peer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.down, peer)
+}
+
+func (c *Client) addStat(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// FetchArtifact asks the owner of k for its artifact. When wait is true the
+// owner also joins an in-flight compilation for the key before answering.
+// It returns ErrSelfOwned when this node owns the key, ErrPeerDown when the
+// owner is inside its backoff window, ErrNotFound on a 404, and a
+// verification error when the response fails the checksum or embeds a
+// different key. Any transport or verification failure marks the peer
+// failed; success clears it.
+func (c *Client) FetchArtifact(ctx context.Context, k codecache.Key, wait bool) (*diskcache.Artifact, error) {
+	owner, self := c.Owner(k)
+	if self || owner == "" {
+		return nil, ErrSelfOwned
+	}
+	return c.FetchArtifactFrom(ctx, owner, k, wait)
+}
+
+// FetchArtifactFrom is FetchArtifact against an explicit peer.
+func (c *Client) FetchArtifactFrom(ctx context.Context, peer string, k codecache.Key, wait bool) (*diskcache.Artifact, error) {
+	if !c.Available(peer) {
+		c.addStat(func(s *Stats) { s.SkippedBackoff++ })
+		return nil, ErrPeerDown
+	}
+	url := fmt.Sprintf("http://%s/artifact/%s", peer, k)
+	if wait {
+		url += "?wait=1"
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.addStat(func(s *Stats) { s.Fetches++ })
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		c.fail(peer, err)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		// A clean miss is a healthy peer: no backoff.
+		c.MarkSuccess(peer)
+		c.addStat(func(s *Stats) { s.FetchMisses++ })
+		return nil, ErrNotFound
+	default:
+		err := fmt.Errorf("cluster: peer %s: unexpected status %s", peer, resp.Status)
+		c.fail(peer, err)
+		return nil, err
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		c.fail(peer, err)
+		return nil, err
+	}
+	gotKey, art, err := diskcache.Decode(body)
+	if err != nil {
+		c.fail(peer, err)
+		return nil, fmt.Errorf("cluster: peer %s sent invalid artifact: %w", peer, err)
+	}
+	if gotKey != k {
+		err := fmt.Errorf("cluster: peer %s sent artifact for key %s, want %s", peer, gotKey, k)
+		c.fail(peer, err)
+		return nil, err
+	}
+	c.MarkSuccess(peer)
+	c.addStat(func(s *Stats) { s.FetchHits++ })
+	return art, nil
+}
+
+// Evict broadcasts the eviction of k to its owner (a DELETE). A no-op
+// returning nil when this node owns the key — the local levels already
+// dropped it — or when the owner is in backoff (the artifact will age out
+// or be re-evicted later; eviction is advisory, correctness never depends
+// on it because keys content-hash their inputs).
+func (c *Client) Evict(ctx context.Context, k codecache.Key) error {
+	owner, self := c.Owner(k)
+	if self || owner == "" {
+		return nil
+	}
+	if !c.Available(owner) {
+		c.addStat(func(s *Stats) { s.SkippedBackoff++ })
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	url := fmt.Sprintf("http://%s/artifact/%s", owner, k)
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		c.fail(owner, err)
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+		err := fmt.Errorf("cluster: evict on %s: unexpected status %s", owner, resp.Status)
+		c.fail(owner, err)
+		return err
+	}
+	c.MarkSuccess(owner)
+	c.addStat(func(s *Stats) { s.Evicts++ })
+	return nil
+}
+
+// fail records a request failure for backoff and stats, classifying
+// deadline errors as timeouts.
+func (c *Client) fail(peer string, err error) {
+	c.MarkFailure(peer)
+	timeout := errors.Is(err, context.DeadlineExceeded)
+	c.addStat(func(s *Stats) {
+		s.Failures++
+		if timeout {
+			s.Timeouts++
+		}
+	})
+}

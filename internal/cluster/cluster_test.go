@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/codecache"
+	"repro/internal/diskcache"
+)
+
+func keyOf(parts ...uint64) codecache.Key {
+	h := codecache.NewHasher()
+	for _, p := range parts {
+		h.U64(p)
+	}
+	return h.Sum()
+}
+
+func TestRingDeterministicAndOrderInsensitive(t *testing.T) {
+	a := NewRing([]string{"n1:9000", "n2:9000", "n3:9000"}, 0)
+	b := NewRing([]string{"n3:9000", "n1:9000", "n2:9000", "n2:9000", ""}, 0)
+	for i := uint64(0); i < 1000; i++ {
+		k := keyOf(i)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %d: owners differ across construction orders", i)
+		}
+	}
+	if got := a.Nodes(); len(got) != 3 {
+		t.Fatalf("Nodes() = %v", got)
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1", "d:1"}
+	r := NewRing(nodes, 0)
+	counts := map[string]int{}
+	const n = 8000
+	for i := uint64(0); i < n; i++ {
+		counts[r.Owner(keyOf(i))]++
+	}
+	for _, node := range nodes {
+		share := float64(counts[node]) / n
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("node %s owns %.1f%% of keys — consistent hashing badly skewed: %v",
+				node, share*100, counts)
+		}
+	}
+}
+
+func TestRingSingleNodeAndEmpty(t *testing.T) {
+	one := NewRing([]string{"solo:1"}, 0)
+	for i := uint64(0); i < 50; i++ {
+		if one.Owner(keyOf(i)) != "solo:1" {
+			t.Fatal("single-node ring must own everything")
+		}
+	}
+	if NewRing(nil, 0).Owner(keyOf(1)) != "" {
+		t.Fatal("empty ring must return no owner")
+	}
+}
+
+func TestRingRemapIsIncremental(t *testing.T) {
+	before := NewRing([]string{"a:1", "b:1", "c:1", "d:1"}, 0)
+	after := NewRing([]string{"a:1", "b:1", "c:1"}, 0) // d left
+	moved := 0
+	const n = 4000
+	for i := uint64(0); i < n; i++ {
+		k := keyOf(i)
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob != "d:1" && ob != oa {
+			moved++
+		}
+	}
+	// Keys not owned by the departed node must (almost) all stay put.
+	if moved != 0 {
+		t.Errorf("%d/%d keys not owned by the departed node were remapped", moved, n)
+	}
+}
+
+// peerServer serves the fleet protocol for a fixed artifact set.
+func peerServer(t *testing.T, artifacts map[codecache.Key]*diskcache.Artifact) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /artifact/{key}", func(w http.ResponseWriter, r *http.Request) {
+		k, err := codecache.ParseKey(r.PathValue("key"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		a, ok := artifacts[k]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(diskcache.Encode(k, a))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func hostOf(t *testing.T, srv *httptest.Server) string {
+	t.Helper()
+	u, err := url.Parse(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+func TestFetchArtifactRoundTrip(t *testing.T) {
+	k := keyOf(7)
+	want := &diskcache.Artifact{Code: []byte{0x48, 0xc3}, IR: "define @f()", Meta: []byte(`{"decoded":1}`)}
+	srv := peerServer(t, map[codecache.Key]*diskcache.Artifact{k: want})
+	peer := hostOf(t, srv)
+
+	c := New("self:1", []string{peer}, Options{})
+	got, err := c.FetchArtifactFrom(context.Background(), peer, k, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Code, want.Code) || got.IR != want.IR {
+		t.Fatalf("fetched artifact differs: %+v", got)
+	}
+	if _, err := c.FetchArtifactFrom(context.Background(), peer, keyOf(8), false); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: err = %v, want ErrNotFound", err)
+	}
+	st := c.Stats()
+	if st.Fetches != 2 || st.FetchHits != 1 || st.FetchMisses != 1 || st.Failures != 0 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+func TestFetchRejectsWrongKeyResponse(t *testing.T) {
+	// A confused peer answers with an artifact encoded under a different key.
+	k, other := keyOf(1), keyOf(2)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /artifact/{key}", func(w http.ResponseWriter, r *http.Request) {
+		w.Write(diskcache.Encode(other, &diskcache.Artifact{Code: []byte{0xc3}}))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	peer := hostOf(t, srv)
+
+	c := New("self:1", []string{peer}, Options{})
+	if _, err := c.FetchArtifactFrom(context.Background(), peer, k, false); err == nil ||
+		!strings.Contains(err.Error(), "sent artifact for key") {
+		t.Fatalf("wrong-key response accepted: err = %v", err)
+	}
+	if st := c.Stats(); st.Failures != 1 {
+		t.Fatalf("stats = %v, want 1 failure", st)
+	}
+}
+
+func TestFetchRejectsCorruptResponse(t *testing.T) {
+	k := keyOf(3)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /artifact/{key}", func(w http.ResponseWriter, r *http.Request) {
+		buf := diskcache.Encode(k, &diskcache.Artifact{Code: []byte{0xc3, 0x90, 0x90}})
+		buf[len(buf)-1] ^= 0x01 // checksum now fails
+		w.Write(buf)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	peer := hostOf(t, srv)
+
+	c := New("self:1", []string{peer}, Options{})
+	if _, err := c.FetchArtifactFrom(context.Background(), peer, k, false); err == nil ||
+		!strings.Contains(err.Error(), "invalid artifact") {
+		t.Fatalf("corrupt response accepted: err = %v", err)
+	}
+}
+
+func TestBackoffSkipsFailedPeer(t *testing.T) {
+	c := New("self:1", []string{"dead:1"}, Options{Backoff: 50 * time.Millisecond})
+	if !c.Available("dead:1") {
+		t.Fatal("fresh peer must be available")
+	}
+	c.MarkFailure("dead:1")
+	if c.Available("dead:1") {
+		t.Fatal("failed peer must be in backoff")
+	}
+	if _, err := c.FetchArtifactFrom(context.Background(), "dead:1", keyOf(1), false); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("fetch during backoff: err = %v, want ErrPeerDown", err)
+	}
+	if st := c.Stats(); st.SkippedBackoff != 1 || st.Fetches != 0 {
+		t.Fatalf("stats = %v: backoff skip must not send a request", st)
+	}
+	// The window expires; the peer becomes eligible again.
+	time.Sleep(80 * time.Millisecond)
+	if !c.Available("dead:1") {
+		t.Fatal("peer must leave backoff after the window")
+	}
+	// Consecutive failures widen the window.
+	c.MarkFailure("dead:1")
+	c.MarkFailure("dead:1")
+	time.Sleep(60 * time.Millisecond) // > 1× but < 2× backoff
+	if c.Available("dead:1") {
+		t.Fatal("second failure must widen the backoff window")
+	}
+	c.MarkSuccess("dead:1")
+	if !c.Available("dead:1") {
+		t.Fatal("MarkSuccess must clear backoff")
+	}
+}
+
+func TestFetchTimeoutClassified(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /artifact/{key}", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-block:
+		case <-r.Context().Done():
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	peer := hostOf(t, srv)
+
+	c := New("self:1", []string{peer}, Options{Timeout: 30 * time.Millisecond})
+	_, err := c.FetchArtifactFrom(context.Background(), peer, keyOf(1), false)
+	if err == nil {
+		t.Fatal("fetch against a hung peer must fail")
+	}
+	st := c.Stats()
+	if st.Failures != 1 || st.Timeouts != 1 {
+		t.Fatalf("stats = %v, want the failure classified as a timeout", st)
+	}
+	if c.Available(peer) {
+		t.Fatal("timed-out peer must enter backoff")
+	}
+}
+
+func TestEvictDeliveredToOwnerOnly(t *testing.T) {
+	deleted := make(chan string, 1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("DELETE /artifact/{key}", func(w http.ResponseWriter, r *http.Request) {
+		deleted <- r.PathValue("key")
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	peer := hostOf(t, srv)
+
+	c := New("self:1", []string{peer}, Options{})
+	// Find one key the peer owns and one key self owns.
+	var peerKey, selfKey codecache.Key
+	havePeer, haveSelf := false, false
+	for i := uint64(0); !(havePeer && haveSelf); i++ {
+		k := keyOf(i)
+		if owner, self := c.Owner(k); self && !haveSelf {
+			selfKey, haveSelf = k, true
+		} else if owner == peer && !havePeer {
+			peerKey, havePeer = k, true
+		}
+	}
+	if err := c.Evict(context.Background(), peerKey); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-deleted:
+		if got != peerKey.String() {
+			t.Fatalf("peer saw eviction of %s, want %s", got, peerKey)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("eviction never reached the owner")
+	}
+	// Self-owned evictions are a local no-op.
+	if err := c.Evict(context.Background(), selfKey); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Evicts != 1 {
+		t.Fatalf("stats = %v, want exactly 1 remote evict", st)
+	}
+}

@@ -1,0 +1,36 @@
+package cluster
+
+import "repro/internal/trace"
+
+// RegisterMetrics exports the peer-traffic counters into reg under the
+// given metric-name prefix (e.g. "dbrew_cluster"). snapshot is polled on
+// every scrape; when it reports ok == false (fleet mode disabled) every
+// series reads zero, matching the codecache/diskcache contracts.
+func RegisterMetrics(reg *trace.Registry, prefix string, snapshot func() (Stats, bool)) {
+	grab := func() Stats {
+		st, ok := snapshot()
+		if !ok {
+			return Stats{}
+		}
+		return st
+	}
+	counter := func(name, help string, field func(Stats) int64) {
+		reg.Counter(prefix+"_"+name, help, func() float64 {
+			return float64(field(grab()))
+		})
+	}
+	counter("fetches_total", "Artifact fetches sent to peers.",
+		func(s Stats) int64 { return s.Fetches })
+	counter("fetch_hits_total", "Peer fetches that returned a valid artifact.",
+		func(s Stats) int64 { return s.FetchHits })
+	counter("fetch_misses_total", "Peer fetches answered 404.",
+		func(s Stats) int64 { return s.FetchMisses })
+	counter("failures_total", "Peer requests that errored or failed verification.",
+		func(s Stats) int64 { return s.Failures })
+	counter("timeouts_total", "Peer requests that hit the per-request deadline.",
+		func(s Stats) int64 { return s.Timeouts })
+	counter("backoff_skips_total", "Peer requests suppressed by the failure backoff window.",
+		func(s Stats) int64 { return s.SkippedBackoff })
+	counter("evicts_total", "Eviction broadcasts delivered to owners.",
+		func(s Stats) int64 { return s.Evicts })
+}

@@ -80,6 +80,9 @@ type Cache[V any] struct {
 	misses    atomic.Int64
 	waits     atomic.Int64
 	evictions atomic.Int64
+
+	// onRemove, when set, observes explicit Remove calls (see SetRemoveHook).
+	onRemove atomic.Pointer[func(Key)]
 }
 
 // New returns a cache bounded to at most capacity entries (capacity <= 0
@@ -258,17 +261,88 @@ func (c *Cache[V]) Peek(k Key) (cached, inflight bool) {
 // re-inserts its result. Use Remove when the caller knows an entry went
 // stale (e.g. tiered execution deoptimizing after a fixed memory region was
 // invalidated) instead of waiting for LRU eviction.
+//
+// A remove hook installed with SetRemoveHook fires after the entry is gone
+// (and also when k was not cached — the caller declared the key stale, so
+// lower cache levels must forget it regardless of what this level held).
 func (c *Cache[V]) Remove(k Key) bool {
 	s := c.shard(k)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	el, ok := s.entries[k]
-	if !ok {
-		return false
+	if ok {
+		s.lru.Remove(el)
+		delete(s.entries, k)
 	}
-	s.lru.Remove(el)
-	delete(s.entries, k)
-	return true
+	s.mu.Unlock()
+	if fn := c.onRemove.Load(); fn != nil {
+		(*fn)(k)
+	}
+	return ok
+}
+
+// SetRemoveHook installs fn to observe every explicit Remove call, invoked
+// outside the shard lock after the entry is dropped. It is the write-through
+// invalidation hook: a second cache level (e.g. an on-disk artifact store)
+// registers here so a key declared stale at this level cannot be
+// resurrected from below. The hook intentionally does NOT fire for LRU
+// evictions or Purge — those forget a still-valid mapping, which lower
+// levels exist to preserve. Passing nil uninstalls the hook.
+func (c *Cache[V]) SetRemoveHook(fn func(Key)) {
+	if fn == nil {
+		c.onRemove.Store(nil)
+		return
+	}
+	c.onRemove.Store(&fn)
+}
+
+// Add inserts a value computed outside the cache's own singleflight — e.g.
+// an artifact fetched from a peer node or restored from disk — evicting past
+// the capacity bound like any compile-path insert. An existing entry for k
+// is replaced; an in-flight compilation for k is unaffected (it completes
+// and overwrites this value, which is benign because values for one key are
+// interchangeable by construction).
+func (c *Cache[V]) Add(k Key, v V) {
+	s := c.shard(k)
+	s.mu.Lock()
+	s.insert(k, v, c)
+	s.mu.Unlock()
+}
+
+// Wait joins an in-flight compilation for k without ever starting one: it
+// returns the cached value when k is present, blocks on the flight when one
+// is running (counted as a Wait, and a Hit if it succeeds), and otherwise
+// reports ok == false immediately. A failed flight returns its error. This
+// is the read side of cross-node singleflight: a peer serving
+// GET /artifact/{key} waits on the local compile instead of duplicating it.
+func (c *Cache[V]) Wait(ctx context.Context, k Key) (v V, ok bool, err error) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if el, found := s.entries[k]; found {
+		s.lru.MoveToFront(el)
+		v = el.Value.(*entry[V]).val
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return v, true, nil
+	}
+	fl, inflight := s.inflight[k]
+	s.mu.Unlock()
+	if !inflight {
+		var zero V
+		return zero, false, nil
+	}
+	c.waits.Add(1)
+	select {
+	case <-fl.done:
+	case <-ctx.Done():
+		var zero V
+		return zero, false, ctx.Err()
+	}
+	if fl.err != nil {
+		var zero V
+		return zero, false, fl.err
+	}
+	c.hits.Add(1)
+	return fl.val, true, nil
 }
 
 // Purge drops every cached entry (in-flight compilations finish normally

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 	"hash"
 )
 
@@ -14,6 +15,22 @@ import (
 type Key [16]byte
 
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey decodes the 32-hex-digit form produced by Key.String — the
+// representation keys travel in on disk (artifact file names) and on the
+// wire (the /artifact/{key} fleet endpoint).
+func ParseKey(s string) (Key, error) {
+	var k Key
+	if len(s) != 2*len(k) {
+		return Key{}, fmt.Errorf("codecache: key %q: want %d hex digits, have %d", s, 2*len(k), len(s))
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return Key{}, fmt.Errorf("codecache: key %q: %v", s, err)
+	}
+	copy(k[:], b)
+	return k, nil
+}
 
 // Hasher accumulates the fields of a specialization key. Each field is
 // written with a type tag and (for variable-length data) a length prefix, so

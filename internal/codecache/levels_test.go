@@ -1,0 +1,193 @@
+package codecache
+
+// Tests for the second-level plumbing added for the persistent/distributed
+// cache: external inserts (Add), in-flight joins without compiling (Wait),
+// the explicit-Remove hook, and the hex key round trip.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddInsertsAndEvicts(t *testing.T) {
+	c := New[int](4) // single shard, exact bound
+	for i := 0; i < 6; i++ {
+		c.Add(keyOf(uint64(i)), i)
+	}
+	if got := c.Len(); got != 4 {
+		t.Fatalf("Len = %d after 6 Adds into capacity 4", got)
+	}
+	if _, ok := c.Get(keyOf(5)); !ok {
+		t.Fatal("most recent Add missing")
+	}
+	if _, ok := c.Get(keyOf(0)); ok {
+		t.Fatal("oldest Add survived past the capacity bound")
+	}
+	if ev := c.Stats().Evictions; ev != 2 {
+		t.Fatalf("evictions = %d, want 2", ev)
+	}
+	// Replacing an existing key must not grow the cache.
+	c.Add(keyOf(5), 55)
+	if v, _ := c.Get(keyOf(5)); v != 55 {
+		t.Fatalf("Add did not replace: got %d", v)
+	}
+	if got := c.Len(); got != 4 {
+		t.Fatalf("Len = %d after replacement, want 4", got)
+	}
+}
+
+func TestWaitStates(t *testing.T) {
+	c := New[int](16)
+	k := keyOf(1)
+
+	// Absent, nothing in flight: immediate ok=false, no error.
+	if _, ok, err := c.Wait(context.Background(), k); ok || err != nil {
+		t.Fatalf("Wait on absent key = (ok=%v, err=%v), want (false, nil)", ok, err)
+	}
+
+	// Cached: immediate value.
+	c.Add(k, 7)
+	v, ok, err := c.Wait(context.Background(), k)
+	if !ok || err != nil || v != 7 {
+		t.Fatalf("Wait on cached key = (%d, %v, %v), want (7, true, nil)", v, ok, err)
+	}
+
+	// In flight: blocks until the compile lands, then returns its value.
+	k2 := keyOf(2)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(k2, func() (int, error) {
+		close(started)
+		<-release
+		return 42, nil
+	})
+	<-started
+	done := make(chan int, 1)
+	go func() {
+		v, ok, err := c.Wait(context.Background(), k2)
+		if !ok || err != nil {
+			t.Errorf("Wait on in-flight key = (ok=%v, err=%v)", ok, err)
+		}
+		done <- v
+	}()
+	time.Sleep(time.Millisecond)
+	close(release)
+	if v := <-done; v != 42 {
+		t.Fatalf("Wait returned %d, want 42", v)
+	}
+
+	// In flight with an expired context: ctx.Err comes back.
+	k3 := keyOf(3)
+	started3 := make(chan struct{})
+	release3 := make(chan struct{})
+	go c.Do(k3, func() (int, error) {
+		close(started3)
+		<-release3
+		return 0, nil
+	})
+	<-started3
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok, err := c.Wait(ctx, k3); ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait with dead ctx = (ok=%v, err=%v)", ok, err)
+	}
+	close(release3)
+}
+
+func TestWaitPropagatesCompileError(t *testing.T) {
+	c := New[int](16)
+	k := keyOf(9)
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(k, func() (int, error) {
+		close(started)
+		<-release
+		return 0, boom
+	})
+	<-started
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := c.Wait(context.Background(), k)
+		errc <- err
+	}()
+	// Only release the compile once Wait is registered on the flight,
+	// otherwise it could observe "nothing in flight" after the failure.
+	for c.Stats().Waits == 0 {
+		time.Sleep(time.Microsecond)
+	}
+	close(release)
+	if err := <-errc; !errors.Is(err, boom) {
+		t.Fatalf("Wait error = %v, want boom", err)
+	}
+}
+
+func TestRemoveHookFires(t *testing.T) {
+	c := New[int](16)
+	var mu sync.Mutex
+	var seen []Key
+	c.SetRemoveHook(func(k Key) {
+		mu.Lock()
+		seen = append(seen, k)
+		mu.Unlock()
+	})
+
+	k := keyOf(1)
+	c.Add(k, 1)
+	if !c.Remove(k) {
+		t.Fatal("Remove of a cached key reported false")
+	}
+	// Removing a key that is not cached still fires the hook: the caller
+	// declared it stale and lower levels must forget it.
+	if c.Remove(keyOf(2)) {
+		t.Fatal("Remove of an absent key reported true")
+	}
+	mu.Lock()
+	n := len(seen)
+	mu.Unlock()
+	if n != 2 {
+		t.Fatalf("remove hook fired %d times, want 2", n)
+	}
+
+	// LRU evictions and Purge must NOT fire the hook.
+	small := New[int](4)
+	var fired int
+	small.SetRemoveHook(func(Key) { fired++ })
+	for i := 0; i < 8; i++ {
+		small.Add(keyOf(uint64(i)), i)
+	}
+	small.Purge()
+	if fired != 0 {
+		t.Fatalf("remove hook fired %d times on eviction/purge, want 0", fired)
+	}
+
+	// Uninstalling stops further callbacks.
+	c.SetRemoveHook(nil)
+	c.Add(k, 1)
+	c.Remove(k)
+	mu.Lock()
+	n = len(seen)
+	mu.Unlock()
+	if n != 2 {
+		t.Fatalf("remove hook fired after uninstall (%d calls)", n)
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	k := keyOf(0xdeadbeef, 42)
+	got, err := ParseKey(k.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != k {
+		t.Fatalf("ParseKey(%q) = %v, want %v", k.String(), got, k)
+	}
+	for _, bad := range []string{"", "zz", k.String() + "00", k.String()[:30], "g" + k.String()[1:]} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,405 @@
+// Package diskcache implements the persistent second level of the
+// specialization cache: an on-disk, content-addressed artifact store with
+// one file per cache key. Because codecache keys canonically hash the
+// entry, signature, optimization configuration, and the *contents* of every
+// fixed memory range, an artifact written under a key is valid for as long
+// as the file survives — across process restarts and across machines — and
+// a mutated input simply produces a different key. The store therefore
+// never needs coherence traffic; it only needs integrity, which the
+// checksummed artifact format provides: a torn, truncated, or bit-flipped
+// file fails its checksum on read, is deleted, and reads as a miss (the
+// caller recompiles), never as a crash or as wrong code.
+//
+// Durability and crash safety come from the classic write-to-temp +
+// atomic-rename protocol: a writer that dies between write and rename
+// leaves only a *.tmp file, which Open sweeps; a reader never observes a
+// half-written artifact under a final name. The store is bounded by total
+// payload bytes with LRU eviction (access order is maintained in memory and
+// approximated by file modification time across restarts).
+package diskcache
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/codecache"
+)
+
+// Artifact is one cached compilation result: the generated machine code,
+// the formatted IR it was compiled from (empty when the producing pipeline
+// did not run the IR backend), and an opaque metadata blob (the engine
+// stores its compile statistics here as JSON; this package does not
+// interpret it). The same encoding serves as the artifact wire format of
+// the fleet's GET /artifact/{key} endpoint, so a peer fetch is verified by
+// the same checksum as a disk read.
+type Artifact struct {
+	Code []byte
+	IR   string
+	Meta []byte
+}
+
+// payloadSize is the artifact's contribution to the store's byte bound.
+func (a *Artifact) payloadSize() int64 {
+	return int64(len(a.Code) + len(a.IR) + len(a.Meta))
+}
+
+// Artifact file layout (little-endian):
+//
+//	offset size field
+//	     0    8 magic "DBRWART1"
+//	     8    8 CRC64-ECMA over bytes [16, EOF)
+//	    16   16 cache key (self-describing: detects cross-key renames)
+//	    32    4 code length
+//	    36    4 IR length
+//	    40    4 meta length
+//	    44    . code bytes, IR bytes, meta bytes
+//
+// The fixed 44-byte header in front of raw section bytes keeps the layout
+// mmap-friendly: code starts at a constant offset and sections are
+// contiguous and unencoded.
+const (
+	magic      = "DBRWART1"
+	headerSize = 44
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Encode serializes the artifact under key k in the checksummed file/wire
+// format.
+func Encode(k codecache.Key, a *Artifact) []byte {
+	buf := make([]byte, headerSize+int(a.payloadSize()))
+	copy(buf[0:8], magic)
+	copy(buf[16:32], k[:])
+	binary.LittleEndian.PutUint32(buf[32:36], uint32(len(a.Code)))
+	binary.LittleEndian.PutUint32(buf[36:40], uint32(len(a.IR)))
+	binary.LittleEndian.PutUint32(buf[40:44], uint32(len(a.Meta)))
+	p := buf[headerSize:]
+	copy(p, a.Code)
+	copy(p[len(a.Code):], a.IR)
+	copy(p[len(a.Code)+len(a.IR):], a.Meta)
+	binary.LittleEndian.PutUint64(buf[8:16], crc64.Checksum(buf[16:], crcTable))
+	return buf
+}
+
+// Decode parses and verifies an encoded artifact, returning the key it was
+// written under. Any structural or checksum violation is an error — the
+// caller treats it as corruption, not as data.
+func Decode(buf []byte) (codecache.Key, *Artifact, error) {
+	var k codecache.Key
+	if len(buf) < headerSize {
+		return k, nil, fmt.Errorf("diskcache: artifact truncated: %d bytes < %d-byte header", len(buf), headerSize)
+	}
+	if string(buf[0:8]) != magic {
+		return k, nil, fmt.Errorf("diskcache: bad magic %q", buf[0:8])
+	}
+	sum := binary.LittleEndian.Uint64(buf[8:16])
+	if got := crc64.Checksum(buf[16:], crcTable); got != sum {
+		return k, nil, fmt.Errorf("diskcache: checksum mismatch: header %#x, computed %#x", sum, got)
+	}
+	copy(k[:], buf[16:32])
+	nCode := int(binary.LittleEndian.Uint32(buf[32:36]))
+	nIR := int(binary.LittleEndian.Uint32(buf[36:40]))
+	nMeta := int(binary.LittleEndian.Uint32(buf[40:44]))
+	if headerSize+nCode+nIR+nMeta != len(buf) {
+		return k, nil, fmt.Errorf("diskcache: section lengths %d+%d+%d disagree with %d payload bytes",
+			nCode, nIR, nMeta, len(buf)-headerSize)
+	}
+	p := buf[headerSize:]
+	a := &Artifact{
+		Code: append([]byte(nil), p[:nCode]...),
+		IR:   string(p[nCode : nCode+nIR]),
+		Meta: append([]byte(nil), p[nCode+nIR:]...),
+	}
+	return k, a, nil
+}
+
+// Stats is a snapshot of the store counters.
+type Stats struct {
+	// Hits counts Gets served from a valid artifact file.
+	Hits int64
+	// Misses counts Gets that found no (valid) file.
+	Misses int64
+	// Writes counts artifacts persisted by Put.
+	Writes int64
+	// Evictions counts artifacts dropped by the byte-capacity bound.
+	Evictions int64
+	// Corruptions counts files rejected by Decode (bad magic, torn write,
+	// bit flip, length mismatch) and deleted. Each one also counts a Miss.
+	Corruptions int64
+	// Entries is the current number of stored artifacts; Bytes their total
+	// payload size.
+	Entries int64
+	Bytes   int64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("disk hits %d, misses %d, writes %d, evictions %d, corruptions %d, entries %d (%d bytes)",
+		s.Hits, s.Misses, s.Writes, s.Evictions, s.Corruptions, s.Entries, s.Bytes)
+}
+
+// fileExt is the artifact file suffix; files are named <key-hex>.art.
+const fileExt = ".art"
+
+type diskEntry struct {
+	key   codecache.Key
+	bytes int64
+}
+
+// Store is the on-disk artifact store. All methods are safe for concurrent
+// use; Get/Put of distinct keys serialize only on the in-memory index, while
+// file I/O for a torn or concurrent write is made safe by the temp+rename
+// protocol.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	index   map[codecache.Key]*list.Element // of *diskEntry
+	lru     *list.List                      // front = most recently used
+	totalMu int64                           // current payload bytes (under mu)
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	writes      atomic.Int64
+	evictions   atomic.Int64
+	corruptions atomic.Int64
+}
+
+// DefaultMaxBytes bounds the store when Open is given maxBytes <= 0.
+const DefaultMaxBytes = 256 << 20
+
+// Open creates (if necessary) and scans dir, rebuilding the artifact index
+// from the files present: stale *.tmp files from writers that died before
+// their rename are swept, artifact files with unparsable names are ignored,
+// and LRU order is seeded from file modification times (oldest first).
+// Contents are NOT checksummed at open — corruption is detected (and the
+// file deleted) on first Get, keeping restart cost proportional to the
+// directory listing, not the cache size. maxBytes bounds the total payload
+// bytes (<= 0 selects DefaultMaxBytes); if the scanned files already exceed
+// it, the oldest are evicted immediately.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		index:    make(map[codecache.Key]*list.Element),
+		lru:      list.New(),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	type scanned struct {
+		e     diskEntry
+		mtime int64
+	}
+	var found []scanned
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if strings.Contains(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name)) // torn write: writer died pre-rename
+			continue
+		}
+		if !strings.HasSuffix(name, fileExt) {
+			continue
+		}
+		k, err := codecache.ParseKey(strings.TrimSuffix(name, fileExt))
+		if err != nil {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		size := info.Size() - headerSize
+		if size < 0 {
+			// Too short to even hold a header: certain corruption.
+			os.Remove(filepath.Join(dir, name))
+			s.corruptions.Add(1)
+			continue
+		}
+		found = append(found, scanned{diskEntry{key: k, bytes: size}, info.ModTime().UnixNano()})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime < found[j].mtime })
+	for i := range found {
+		e := found[i].e
+		s.index[e.key] = s.lru.PushFront(&diskEntry{key: e.key, bytes: e.bytes})
+		s.totalMu += e.bytes
+	}
+	s.mu.Lock()
+	s.evictOver()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(k codecache.Key) string {
+	return filepath.Join(s.dir, k.String()+fileExt)
+}
+
+// Get loads and verifies the artifact for k. A missing file is a miss; a
+// file that fails structural or checksum validation is deleted, counted as
+// a corruption, and reported as a miss — the caller recompiles and Put
+// replaces the file with a good copy.
+func (s *Store) Get(k codecache.Key) (*Artifact, bool) {
+	s.mu.Lock()
+	el, ok := s.index[k]
+	if ok {
+		s.lru.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	buf, err := os.ReadFile(s.path(k))
+	if err != nil {
+		// Indexed but unreadable (e.g. removed underneath us): drop it.
+		s.dropIndex(k)
+		s.misses.Add(1)
+		return nil, false
+	}
+	gotKey, a, err := Decode(buf)
+	if err != nil || gotKey != k {
+		s.deleteCorrupt(k)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return a, true
+}
+
+// Contains reports whether an artifact file for k is indexed, without
+// reading or validating it (a later Get may still reject it as corrupt).
+func (s *Store) Contains(k codecache.Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[k]
+	return ok
+}
+
+// Put atomically persists the artifact for k: the encoding is written to a
+// temp file in the same directory and renamed into place, so concurrent
+// readers (and a crash at any instant) observe either the old state or the
+// complete new file, never a tear. Writing past the byte bound evicts
+// least-recently-used artifacts.
+func (s *Store) Put(k codecache.Key, a *Artifact) error {
+	buf := Encode(k, a)
+	tmp, err := os.CreateTemp(s.dir, k.String()+".tmp*")
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(k)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	s.writes.Add(1)
+
+	s.mu.Lock()
+	if el, ok := s.index[k]; ok {
+		e := el.Value.(*diskEntry)
+		s.totalMu += a.payloadSize() - e.bytes
+		e.bytes = a.payloadSize()
+		s.lru.MoveToFront(el)
+	} else {
+		s.index[k] = s.lru.PushFront(&diskEntry{key: k, bytes: a.payloadSize()})
+		s.totalMu += a.payloadSize()
+	}
+	s.evictOver()
+	s.mu.Unlock()
+	return nil
+}
+
+// evictOver drops LRU entries (and their files) until the byte bound holds.
+// Caller holds s.mu.
+func (s *Store) evictOver() {
+	for s.totalMu > s.maxBytes && s.lru.Len() > 0 {
+		back := s.lru.Back()
+		e := back.Value.(*diskEntry)
+		s.lru.Remove(back)
+		delete(s.index, e.key)
+		s.totalMu -= e.bytes
+		os.Remove(s.path(e.key))
+		s.evictions.Add(1)
+	}
+}
+
+// Remove deletes the artifact for k (file and index entry), reporting
+// whether one was stored. It is the invalidation hook: the engine calls it
+// from the in-memory cache's remove hook so a key declared stale can never
+// be resurrected from disk.
+func (s *Store) Remove(k codecache.Key) bool {
+	ok := s.dropIndex(k)
+	os.Remove(s.path(k))
+	return ok
+}
+
+func (s *Store) dropIndex(k codecache.Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[k]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*diskEntry)
+	s.lru.Remove(el)
+	delete(s.index, k)
+	s.totalMu -= e.bytes
+	return true
+}
+
+func (s *Store) deleteCorrupt(k codecache.Key) {
+	s.dropIndex(k)
+	os.Remove(s.path(k))
+	s.corruptions.Add(1)
+}
+
+// Len returns the number of indexed artifacts.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	entries, bytes := int64(s.lru.Len()), s.totalMu
+	s.mu.Unlock()
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Writes:      s.writes.Load(),
+		Evictions:   s.evictions.Load(),
+		Corruptions: s.corruptions.Load(),
+		Entries:     entries,
+		Bytes:       bytes,
+	}
+}

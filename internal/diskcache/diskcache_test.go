@@ -1,0 +1,324 @@
+package diskcache
+
+// Crash/corruption-safety suite (one of the PR's satellite tasks): torn
+// writes, truncation, bit flips, concurrent writers and readers, and
+// kill-between-write-and-rename must all checksum-reject and read as misses
+// — never as wrong data and never as a crash. Run with -race.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/codecache"
+)
+
+func keyOf(parts ...uint64) codecache.Key {
+	h := codecache.NewHasher()
+	for _, p := range parts {
+		h.U64(p)
+	}
+	return h.Sum()
+}
+
+func artifactOf(n int, tag byte) *Artifact {
+	code := bytes.Repeat([]byte{tag}, n)
+	return &Artifact{Code: code, IR: fmt.Sprintf("define @f%d()", tag), Meta: []byte(`{"v":1}`)}
+}
+
+func openT(t *testing.T, dir string, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(dir, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	k := keyOf(1, 2, 3)
+	a := &Artifact{Code: []byte{0x48, 0x89, 0xf8, 0xc3}, IR: "define i64 @f()", Meta: []byte(`{"decoded":7}`)}
+	k2, got, err := Decode(Encode(k, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 != k {
+		t.Fatalf("decoded key %v, want %v", k2, k)
+	}
+	if !bytes.Equal(got.Code, a.Code) || got.IR != a.IR || !bytes.Equal(got.Meta, a.Meta) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, a)
+	}
+	// Empty sections round-trip too.
+	if _, got, err = Decode(Encode(k, &Artifact{})); err != nil {
+		t.Fatal(err)
+	} else if len(got.Code) != 0 || got.IR != "" || len(got.Meta) != 0 {
+		t.Fatalf("empty artifact round trip: %+v", got)
+	}
+}
+
+func TestPutGetPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 1<<20)
+	k := keyOf(42)
+	a := artifactOf(128, 0xAB)
+	if err := s.Put(k, a); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok || !bytes.Equal(got.Code, a.Code) {
+		t.Fatalf("Get after Put: ok=%v", ok)
+	}
+
+	// A fresh Store over the same directory (the restart) finds it again.
+	s2 := openT(t, dir, 1<<20)
+	got, ok = s2.Get(k)
+	if !ok {
+		t.Fatal("artifact lost across reopen")
+	}
+	if !bytes.Equal(got.Code, a.Code) || got.IR != a.IR || !bytes.Equal(got.Meta, a.Meta) {
+		t.Fatal("artifact bytes changed across reopen")
+	}
+	if st := s2.Stats(); st.Entries != 1 || st.Hits != 1 {
+		t.Fatalf("reopened stats: %v", st)
+	}
+}
+
+func TestTruncatedArtifactRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 1<<20)
+	k := keyOf(7)
+	if err := s.Put(k, artifactOf(256, 0x11)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k.String()+fileExt)
+	// Truncate mid-payload: the checksum no longer matches.
+	if err := os.Truncate(path, headerSize+100); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("truncated artifact served as valid")
+	}
+	st := s.Stats()
+	if st.Corruptions != 1 {
+		t.Fatalf("corruptions = %d, want 1", st.Corruptions)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt file not deleted")
+	}
+	// Recompile-and-Put heals the slot.
+	if err := s.Put(k, artifactOf(256, 0x11)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); !ok {
+		t.Fatal("healed artifact not served")
+	}
+}
+
+func TestBitFlippedPayloadRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 1<<20)
+	k := keyOf(9)
+	if err := s.Put(k, artifactOf(512, 0x22)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k.String()+fileExt)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[headerSize+300] ^= 0x01 // single bit flip deep in the code section
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("bit-flipped artifact served as valid")
+	}
+	if st := s.Stats(); st.Corruptions != 1 || st.Misses != 1 {
+		t.Fatalf("stats after bit flip: %v", st)
+	}
+}
+
+func TestHeaderTooShortRejectedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	k := keyOf(3)
+	// A file shorter than the header cannot be anything but corrupt.
+	if err := os.WriteFile(filepath.Join(dir, k.String()+fileExt), []byte("short"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openT(t, dir, 1<<20)
+	if s.Len() != 0 {
+		t.Fatal("sub-header file indexed")
+	}
+	if st := s.Stats(); st.Corruptions != 1 {
+		t.Fatalf("corruptions = %d, want 1", st.Corruptions)
+	}
+}
+
+func TestKillBetweenWriteAndRenameSwept(t *testing.T) {
+	dir := t.TempDir()
+	k := keyOf(5)
+	// Simulate a writer that died after writing its temp file but before the
+	// rename: a complete, valid encoding under a temp name.
+	tmpPath := filepath.Join(dir, k.String()+".tmp123456")
+	if err := os.WriteFile(tmpPath, Encode(k, artifactOf(64, 0x33)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openT(t, dir, 1<<20)
+	if _, err := os.Stat(tmpPath); !os.IsNotExist(err) {
+		t.Fatal("stale tmp file survived Open")
+	}
+	// The key reads as a miss (the write never committed), and a fresh Put
+	// works normally.
+	if _, ok := s.Get(k); ok {
+		t.Fatal("uncommitted artifact visible")
+	}
+	if err := s.Put(k, artifactOf(64, 0x33)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); !ok {
+		t.Fatal("Put after sweep failed")
+	}
+}
+
+func TestWrongKeyFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 1<<20)
+	k1, k2 := keyOf(1), keyOf(2)
+	if err := s.Put(k1, artifactOf(64, 0x44)); err != nil {
+		t.Fatal(err)
+	}
+	// Rename k1's (internally consistent) file over k2's slot: the embedded
+	// key disagrees with the file name, so it must not serve for k2.
+	if err := os.Rename(filepath.Join(dir, k1.String()+fileExt), filepath.Join(dir, k2.String()+fileExt)); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir, 1<<20)
+	if _, ok := s2.Get(k2); ok {
+		t.Fatal("cross-key renamed artifact served")
+	}
+	if st := s2.Stats(); st.Corruptions != 1 {
+		t.Fatalf("corruptions = %d, want 1", st.Corruptions)
+	}
+}
+
+func TestLRUEvictionByBytes(t *testing.T) {
+	dir := t.TempDir()
+	// Each artifact is ~1KiB of payload; bound to ~3 of them.
+	s := openT(t, dir, 3*1100)
+	keys := make([]codecache.Key, 5)
+	for i := range keys {
+		keys[i] = keyOf(uint64(i))
+		if err := s.Put(keys[i], artifactOf(1024, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Bytes > 3*1100 {
+		t.Fatalf("bytes = %d over bound", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite exceeding the byte bound")
+	}
+	if _, ok := s.Get(keys[0]); ok {
+		t.Fatal("oldest artifact survived eviction")
+	}
+	if _, ok := s.Get(keys[4]); !ok {
+		t.Fatal("newest artifact evicted")
+	}
+	// The evicted file is gone from disk, not just the index.
+	if _, err := os.Stat(filepath.Join(dir, keys[0].String()+fileExt)); !os.IsNotExist(err) {
+		t.Fatal("evicted artifact file still on disk")
+	}
+}
+
+func TestOpenEvictsOverBound(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 1<<20)
+	for i := 0; i < 4; i++ {
+		if err := s.Put(keyOf(uint64(i)), artifactOf(1024, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen with a tighter bound: the scan itself evicts the oldest.
+	s2 := openT(t, dir, 2*1100)
+	if st := s2.Stats(); st.Bytes > 2*1100 || st.Entries > 2 {
+		t.Fatalf("reopen did not enforce the bound: %v", st)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 1<<20)
+	k := keyOf(1)
+	if err := s.Put(k, artifactOf(32, 0x55)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Remove(k) {
+		t.Fatal("Remove of stored key reported false")
+	}
+	if s.Remove(k) {
+		t.Fatal("second Remove reported true")
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("removed artifact still served")
+	}
+	if _, err := os.Stat(filepath.Join(dir, k.String()+fileExt)); !os.IsNotExist(err) {
+		t.Fatal("removed artifact file still on disk")
+	}
+}
+
+// TestConcurrentWritersAndReaders hammers one store with same-key and
+// distinct-key traffic; under -race this pins the locking discipline, and
+// every successful Get must decode to one of the values some writer wrote.
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 1<<20)
+	const (
+		workers = 8
+		rounds  = 50
+	)
+	shared := keyOf(0xFFFF)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			own := keyOf(uint64(w))
+			for i := 0; i < rounds; i++ {
+				if err := s.Put(shared, artifactOf(256, byte(w))); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.Put(own, artifactOf(128, byte(w))); err != nil {
+					t.Error(err)
+					return
+				}
+				if a, ok := s.Get(shared); ok {
+					if len(a.Code) != 256 {
+						t.Errorf("shared artifact has %d code bytes, want 256", len(a.Code))
+						return
+					}
+					// All bytes must come from ONE writer: no torn mixes.
+					for _, b := range a.Code[1:] {
+						if b != a.Code[0] {
+							t.Error("torn artifact observed")
+							return
+						}
+					}
+				}
+				if a, ok := s.Get(own); !ok || a.Code[0] != byte(w) {
+					t.Errorf("worker %d lost its own artifact (ok=%v)", w, ok)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Corruptions != 0 {
+		t.Fatalf("concurrent traffic produced %d corruption rejections", st.Corruptions)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 )
 
 // Sentinel errors for the interesting response classes; match with
@@ -30,6 +31,8 @@ type APIError struct {
 	StatusCode int
 	Stage      string
 	Message    string
+	// Missing carries the 412 missing-chunk set for delta-form requests.
+	Missing []string
 }
 
 // Error formats the status, optional stage, and message.
@@ -62,6 +65,68 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+
+	// deltaMu guards delta/known: delta snapshots replace each region's
+	// bytes with its content-defined chunk list, omitting payloads the
+	// server acknowledged in an earlier response.
+	deltaMu sync.Mutex
+	delta   bool
+	known   map[string]struct{}
+}
+
+// EnableDeltaSnapshots switches this client to chunked delta uploads:
+// regions ship as chunk-hash lists, payloads included only for chunks the
+// server has not yet acknowledged. A server that lost chunks (restart,
+// store eviction) answers 412 with the missing set; the client retries once
+// with those payloads, and falls back to a plain full snapshot if the delta
+// transport still fails — delta mode can never lose a request.
+func (c *Client) EnableDeltaSnapshots() {
+	c.deltaMu.Lock()
+	defer c.deltaMu.Unlock()
+	c.delta = true
+	if c.known == nil {
+		c.known = make(map[string]struct{})
+	}
+}
+
+// deltaRequest returns a copy of req with every region in delta form, plus
+// the full ordered hash list for post-success bookkeeping. Chunks in force
+// (the server's reported missing set) or never acknowledged carry payloads.
+func (c *Client) deltaRequest(req *Request, force map[string]bool) (*Request, []string) {
+	c.deltaMu.Lock()
+	defer c.deltaMu.Unlock()
+	dreq := *req
+	dreq.Regions = make([]Region, len(req.Regions))
+	var hashes []string
+	for i, rg := range req.Regions {
+		chunks := splitChunks(rg.Data)
+		wire := make([]Chunk, len(chunks))
+		for j, data := range chunks {
+			h := chunkHash(data)
+			hashes = append(hashes, h)
+			wire[j] = Chunk{Hash: h}
+			_, acked := c.known[h]
+			if force[h] || !acked {
+				wire[j].Data = data
+			}
+		}
+		dreq.Regions[i] = Region{Addr: rg.Addr, Chunks: wire}
+	}
+	return &dreq, hashes
+}
+
+func (c *Client) markKnown(hashes []string) {
+	c.deltaMu.Lock()
+	defer c.deltaMu.Unlock()
+	for _, h := range hashes {
+		c.known[h] = struct{}{}
+	}
+}
+
+func (c *Client) deltaEnabled() bool {
+	c.deltaMu.Lock()
+	defer c.deltaMu.Unlock()
+	return c.delta
 }
 
 // NewClient returns a client for the daemon at baseURL.
@@ -87,6 +152,34 @@ func (c *Client) SpecializeTraced(ctx context.Context, req *Request) (*Response,
 }
 
 func (c *Client) specialize(ctx context.Context, req *Request, path string) (*Response, error) {
+	if !c.deltaEnabled() {
+		return c.post(ctx, req, path)
+	}
+	dreq, hashes := c.deltaRequest(req, nil)
+	resp, err := c.post(ctx, dreq, path)
+	var apiErr *APIError
+	if err != nil && errors.As(err, &apiErr) &&
+		apiErr.StatusCode == http.StatusPreconditionFailed && len(apiErr.Missing) > 0 {
+		force := make(map[string]bool, len(apiErr.Missing))
+		for _, h := range apiErr.Missing {
+			force[h] = true
+		}
+		dreq, hashes = c.deltaRequest(req, force)
+		resp, err = c.post(ctx, dreq, path)
+	}
+	if err != nil {
+		if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusPreconditionFailed {
+			// The handshake failed twice (a store thrashing under eviction
+			// pressure); the plain snapshot always works.
+			return c.post(ctx, req, path)
+		}
+		return nil, err
+	}
+	c.markKnown(hashes)
+	return resp, nil
+}
+
+func (c *Client) post(ctx context.Context, req *Request, path string) (*Response, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("service: encoding request: %w", err)
@@ -159,6 +252,7 @@ func decodeError(hres *http.Response) error {
 	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
 		apiErr.Stage = body.Stage
 		apiErr.Message = body.Error
+		apiErr.Missing = body.Missing
 	} else {
 		apiErr.Message = string(bytes.TrimSpace(raw))
 	}

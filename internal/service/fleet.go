@@ -1,0 +1,228 @@
+package service
+
+// Fleet mode: peer artifact sharing over the cluster protocol. A node
+// receiving a /specialize whose key it does not own first asks the owner
+// for the artifact (joining the owner's in-flight compile when there is
+// one), then — on a clean miss — forwards the whole request to the owner so
+// the owner's singleflight makes the fleet compile each specialization
+// exactly once. Every peer failure degrades to a local compile: the fleet
+// is a latency/work optimization, never a correctness dependency.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	dbrewllvm "repro"
+	"repro/internal/cluster"
+	"repro/internal/codecache"
+	"repro/internal/diskcache"
+	"repro/internal/trace"
+)
+
+// forwardHeader marks a /specialize request relayed by a fleet peer. The
+// receiving owner answers locally — it never forwards again — so a
+// misconfigured ring cannot bounce a request around the fleet.
+const forwardHeader = "X-Dbrew-Forwarded"
+
+// handleArtifactGet serves GET /artifact/{key}: the artifact in the
+// diskcache wire encoding from the warmest local level, joining an
+// in-flight compilation first when ?wait=1. 404 when no level has the key.
+func (s *Service) handleArtifactGet(w http.ResponseWriter, r *http.Request) {
+	if !s.enter() {
+		writeError(w, http.StatusServiceUnavailable, "", "service is shutting down")
+		return
+	}
+	defer s.wg.Done()
+	select {
+	case <-s.ready:
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "", "warming")
+		return
+	}
+	key, err := codecache.ParseKey(r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "", err.Error())
+		return
+	}
+	wait := r.URL.Query().Get("wait") == "1"
+	ctx := r.Context()
+	if wait {
+		// Bound the in-flight join so a hung compile cannot pin the peer's
+		// connection past its own patience.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.PeerTimeout)
+		defer cancel()
+	}
+	art, err := s.eng.ArtifactFor(ctx, key, wait)
+	if err != nil {
+		if errors.Is(err, dbrewllvm.ErrArtifactNotFound) {
+			writeError(w, http.StatusNotFound, "", "no artifact for key")
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(diskcache.Encode(key, art))
+}
+
+// handleArtifactDelete serves DELETE /artifact/{key}: the eviction
+// broadcast target. The key is dropped from every local level; the local
+// eviction notifier's own broadcast no-ops because this node owns the key.
+func (s *Service) handleArtifactDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.enter() {
+		writeError(w, http.StatusServiceUnavailable, "", "service is shutting down")
+		return
+	}
+	defer s.wg.Done()
+	select {
+	case <-s.ready:
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "", "warming")
+		return
+	}
+	key, err := codecache.ParseKey(r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "", err.Error())
+		return
+	}
+	removed := s.eng.RemoveSpecialization(key)
+	writeJSON(w, http.StatusOK, map[string]bool{"removed": removed})
+}
+
+// fleetSpecialize attempts to resolve req through the key's owner. done
+// reports whether the request was resolved (response or error); when false
+// the caller degrades to the local compile path. The flow is
+// fetch-before-compile: GET the owner's artifact (?wait=1 joins an
+// in-flight compile), on 404 forward the whole request so the owner's
+// singleflight compiles it exactly once fleet-wide, and on any peer
+// failure, timeout, or backoff degrade locally.
+func (s *Service) fleetSpecialize(ctx context.Context, req *Request, key codecache.Key, tr *trace.Trace) (resp *Response, status int, stage string, err error, done bool) {
+	owner, self := s.fleet.Owner(key)
+	if self {
+		return nil, 0, "", nil, false
+	}
+	sp := tr.Start("fleet")
+
+	art, ferr := s.fleet.FetchArtifact(ctx, key, true)
+	if ferr == nil {
+		if resp, aerr := s.adoptResponse(key, art, req); aerr == nil {
+			s.peerHits.Add(1)
+			sp.Outcome("peer hit").End()
+			resp.Source = "peer"
+			return resp, http.StatusOK, "", nil, true
+		}
+		// An artifact that fails adoption (unusable metadata) is treated
+		// like any other peer failure: compile locally.
+		s.peerDegraded.Add(1)
+		sp.Outcome("degraded: bad artifact").End()
+		return nil, 0, "", nil, false
+	}
+	if errors.Is(ferr, cluster.ErrNotFound) {
+		fresp, fwerr := s.forwardSpecialize(ctx, owner, req)
+		if fwerr == nil {
+			s.peerForwards.Add(1)
+			sp.Outcome("forwarded").End()
+			// Adopt the owner's result so later identical requests hit this
+			// node's memory cache; failure to adopt only loses the caching.
+			s.adoptForwarded(key, fresp)
+			fresp.Source = "forward"
+			return fresp, http.StatusOK, "", nil, true
+		}
+		// A forward that the owner *answered* with a pipeline failure is a
+		// real answer, not a degraded peer: the same compile would fail
+		// locally too. Relay the owner's status.
+		var apiErr *APIError
+		if errors.As(fwerr, &apiErr) && apiErr.StatusCode != http.StatusServiceUnavailable &&
+			apiErr.StatusCode != http.StatusTooManyRequests {
+			sp.Outcome("forwarded: owner error").End()
+			return nil, apiErr.StatusCode, apiErr.Stage, errors.New(apiErr.Message), true
+		}
+		s.fleet.MarkFailure(owner)
+	}
+	s.peerDegraded.Add(1)
+	sp.Outcome(fmt.Sprintf("degraded: %v", ferr)).End()
+	return nil, 0, "", nil, false
+}
+
+// adoptResponse installs a peer's artifact into the local engine and builds
+// the /specialize response from it.
+func (s *Service) adoptResponse(key codecache.Key, art *diskcache.Artifact, req *Request) (*Response, error) {
+	addr, err := s.eng.AdoptArtifact(key, art)
+	if err != nil {
+		return nil, err
+	}
+	var stats CompileStats
+	if err := json.Unmarshal(art.Meta, &stats); err != nil {
+		stats = CompileStats{CodeSize: len(art.Code)}
+	}
+	resp := &Response{
+		Addr:  addr,
+		Code:  art.Code,
+		Stats: stats,
+	}
+	if req.IncludeIR {
+		resp.IR = art.IR
+	}
+	return resp, nil
+}
+
+// adoptForwarded caches an owner-compiled response locally (best effort).
+func (s *Service) adoptForwarded(key codecache.Key, resp *Response) {
+	meta, err := json.Marshal(resp.Stats)
+	if err != nil {
+		return
+	}
+	art := &diskcache.Artifact{Code: resp.Code, IR: resp.IR, Meta: meta}
+	if addr, err := s.eng.AdoptArtifact(key, art); err == nil {
+		resp.Addr = addr // report the local placement, like every other path
+	}
+}
+
+// forwardSpecialize relays the materialized request to the owner with the
+// forward marker set. The owner compiles (or serves its caches) and its
+// singleflight dedups concurrent forwards of the same key.
+func (s *Service) forwardSpecialize(ctx context.Context, owner string, req *Request) (*Response, error) {
+	if !s.fleet.Available(owner) {
+		return nil, cluster.ErrPeerDown
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.PeerTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		fmt.Sprintf("http://%s/specialize", owner), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(forwardHeader, "1")
+	hres, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		apiErr := &APIError{StatusCode: hres.StatusCode}
+		raw, _ := io.ReadAll(io.LimitReader(hres.Body, 1<<16))
+		var eb ErrorBody
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			apiErr.Stage, apiErr.Message = eb.Stage, eb.Error
+		} else {
+			apiErr.Message = string(bytes.TrimSpace(raw))
+		}
+		return nil, apiErr
+	}
+	var resp Response
+	if err := json.NewDecoder(hres.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("service: decoding forwarded response: %w", err)
+	}
+	return &resp, nil
+}

@@ -13,6 +13,8 @@ import (
 	"time"
 
 	dbrewllvm "repro"
+	"repro/internal/cluster"
+	"repro/internal/codecache"
 	"repro/internal/dbrew"
 	"repro/internal/tier"
 	"repro/internal/trace"
@@ -39,6 +41,41 @@ type Config struct {
 	// MaxBodyBytes bounds the request body, and therefore the uploaded
 	// image size (default 64 MiB).
 	MaxBodyBytes int64
+
+	// CacheDir, when non-empty, enables the persistent artifact store: the
+	// engine's disk cache level opens over this directory (asynchronously —
+	// /healthz answers 503 "warming" until the index load finishes) and
+	// restarts over the same directory serve previous compilations without
+	// recompiling.
+	CacheDir string
+	// CacheBytes bounds the disk store's total payload bytes (<= 0 selects
+	// diskcache.DefaultMaxBytes).
+	CacheBytes int64
+
+	// ChunkBytes bounds the delta-snapshot chunk store's payload bytes
+	// (<= 0 selects 64 MiB). Evicted chunks are re-shipped by clients after
+	// a 412, so the bound trades upload bytes for memory, never correctness.
+	ChunkBytes int64
+
+	// Self is this node's advertised host:port for fleet mode. Setting Self
+	// and Peers turns on peer artifact sharing: cache keys are owned by
+	// consistent hashing over the member list, misses fetch from (or
+	// forward to) the owner before compiling locally, and evictions are
+	// broadcast to the owner.
+	Self string
+	// Peers is the static fleet member list (host:port each); Self is
+	// implied, so every node can ship the identical list.
+	Peers []string
+	// PeerTimeout bounds each peer interaction; on expiry the request
+	// degrades to a local compile (default 2s).
+	PeerTimeout time.Duration
+	// PeerBackoff is how long a failed peer is skipped before being retried
+	// (default 5s, doubling per consecutive failure).
+	PeerBackoff time.Duration
+
+	// warmHook, when non-nil, runs inside the warming goroutine before the
+	// disk index load — a test seam for pinning the warming state.
+	warmHook func()
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +96,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 2 * time.Second
+	}
+	if c.PeerBackoff <= 0 {
+		c.PeerBackoff = 5 * time.Second
 	}
 	return c
 }
@@ -92,6 +135,31 @@ type Service struct {
 
 	requests, okCount, badReq, rejected, deadlines, errCount, cacheHits atomic.Int64
 
+	// Fleet counters: peerHits are requests served by adopting an owner's
+	// artifact, peerForwards are requests forwarded to their owner for
+	// compilation, peerDegraded are fleet paths that fell back to a local
+	// compile (peer down, timeout, or error), and forwardServed are
+	// forwarded requests this node compiled as owner.
+	peerHits, peerForwards, peerDegraded, forwardServed atomic.Int64
+
+	// fleet is the peer-sharing client; nil outside fleet mode.
+	fleet *cluster.Client
+
+	// chunks backs delta snapshots: the content-defined chunk payloads
+	// clients may omit from later requests. deltaRequests counts delta-form
+	// requests, deltaMisses the 412 missing-chunk replies, deltaBytesSaved
+	// the region bytes reconstructed instead of shipped.
+	chunks                                      *chunkStore
+	deltaRequests, deltaMisses, deltaBytesSaved atomic.Int64
+
+	// ready is closed once the disk-cache index has loaded (immediately
+	// when no CacheDir is configured); until then /healthz answers 503
+	// "warming" and request handlers block, bounded by their deadlines.
+	// warmErr records a failed disk-cache open (the service then runs
+	// without persistence — the disk level is an optimization).
+	ready   chan struct{}
+	warmErr atomic.Pointer[error]
+
 	latency tier.LatencyHistogram
 
 	// reg is the Prometheus-text-format registry behind GET /metrics: the
@@ -108,19 +176,70 @@ type Service struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:   cfg,
-		eng:   dbrewllvm.NewEngine(),
-		mux:   http.NewServeMux(),
-		slots: make(chan struct{}, cfg.Workers),
+		cfg:    cfg,
+		eng:    dbrewllvm.NewEngine(),
+		mux:    http.NewServeMux(),
+		slots:  make(chan struct{}, cfg.Workers),
+		ready:  make(chan struct{}),
+		chunks: newChunkStore(cfg.ChunkBytes),
 	}
 	s.eng.EnableCache(cfg.CacheCapacity)
+	if cfg.Self != "" && len(cfg.Peers) > 0 {
+		s.fleet = cluster.New(cfg.Self, cfg.Peers, cluster.Options{
+			Timeout: cfg.PeerTimeout,
+			Backoff: cfg.PeerBackoff,
+		})
+		// Explicit removals (deopt, DELETE /artifact) propagate to the
+		// owning peer after the local levels dropped the key; Evict no-ops
+		// when this node is the owner, so broadcasts cannot loop.
+		s.eng.SetEvictNotifier(func(k codecache.Key) {
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.PeerTimeout)
+			defer cancel()
+			s.fleet.Evict(ctx, k)
+		})
+	}
 	s.reg = trace.NewRegistry()
 	s.eng.RegisterMetrics(s.reg)
 	s.registerMetrics()
 	s.mux.HandleFunc("POST /specialize", s.handleSpecialize)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /artifact/{key}", s.handleArtifactGet)
+	s.mux.HandleFunc("DELETE /artifact/{key}", s.handleArtifactDelete)
+	if cfg.CacheDir == "" {
+		close(s.ready)
+	} else {
+		// The disk index load (directory scan + LRU seeding) can be slow on
+		// large caches; warm in the background so the listener comes up
+		// immediately, with /healthz reporting "warming" until done. No
+		// request touches the engine before ready closes, so the late
+		// EnableDiskCache cannot race an in-flight Rewrite.
+		go func() {
+			defer close(s.ready)
+			if cfg.warmHook != nil {
+				cfg.warmHook()
+			}
+			if err := s.eng.EnableDiskCache(cfg.CacheDir, cfg.CacheBytes); err != nil {
+				err = fmt.Errorf("service: disk cache disabled: %w", err)
+				s.warmErr.Store(&err)
+			}
+		}()
+	}
 	return s
+}
+
+// Ready returns a channel closed once the service finished warming (the
+// disk-cache index load); it is closed from the start when no CacheDir is
+// configured.
+func (s *Service) Ready() <-chan struct{} { return s.ready }
+
+// WarmError reports a failed disk-cache open after warming finished; the
+// service stays up and compiles without persistence in that case.
+func (s *Service) WarmError() error {
+	if p := s.warmErr.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Engine returns the daemon's engine (for embedding applications that want
@@ -172,6 +291,12 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "shutting-down"})
 		return
 	}
+	select {
+	case <-s.ready:
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "warming"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -188,6 +313,25 @@ func (s *Service) registerMetrics() {
 	counter("dbrew_service_deadline_total", "Requests that exceeded their deadline (504).", &s.deadlines)
 	counter("dbrew_service_errors_total", "Requests failed with a 5xx pipeline error.", &s.errCount)
 	counter("dbrew_service_cache_hits_total", "Requests served from the specialization cache.", &s.cacheHits)
+	counter("dbrew_service_peer_hits_total", "Requests served by adopting a peer's artifact.", &s.peerHits)
+	counter("dbrew_service_peer_forwards_total", "Requests forwarded to their owning peer for compilation.", &s.peerForwards)
+	counter("dbrew_service_peer_degraded_total", "Fleet requests that fell back to a local compile.", &s.peerDegraded)
+	counter("dbrew_service_forward_served_total", "Forwarded requests compiled by this node as owner.", &s.forwardServed)
+	counter("dbrew_service_delta_requests_total", "Requests that arrived in delta (chunked) form.", &s.deltaRequests)
+	counter("dbrew_service_delta_misses_total", "Missing-chunk (412) replies to delta requests.", &s.deltaMisses)
+	counter("dbrew_service_delta_bytes_saved_total", "Region bytes reconstructed from the chunk store instead of shipped.", &s.deltaBytesSaved)
+	s.reg.Gauge("dbrew_service_chunk_store_entries", "Chunks held by the delta chunk store.",
+		func() float64 { entries, _, _ := s.chunks.stats(); return float64(entries) })
+	s.reg.Gauge("dbrew_service_chunk_store_bytes", "Payload bytes held by the delta chunk store.",
+		func() float64 { _, bytes, _ := s.chunks.stats(); return float64(bytes) })
+	s.reg.Counter("dbrew_service_chunk_store_evictions_total", "Chunks evicted by the store's byte budget.",
+		func() float64 { _, _, ev := s.chunks.stats(); return float64(ev) })
+	cluster.RegisterMetrics(s.reg, "dbrew_cluster", func() (cluster.Stats, bool) {
+		if s.fleet == nil {
+			return cluster.Stats{}, false
+		}
+		return s.fleet.Stats(), true
+	})
 	s.reg.Gauge("dbrew_service_queued", "Requests waiting for a compile slot.",
 		func() float64 { return float64(s.queued.Load()) })
 	s.reg.Gauge("dbrew_service_active", "Compile slots currently in use.",
@@ -228,6 +372,17 @@ func (s *Service) MetricsSnapshot() Metrics {
 	if es.Cache != nil {
 		m.CoalesceHits = es.Cache.Waits
 	}
+	m.DeltaRequests = s.deltaRequests.Load()
+	m.DeltaMisses = s.deltaMisses.Load()
+	m.DeltaBytesSaved = s.deltaBytesSaved.Load()
+	if s.fleet != nil {
+		m.PeerHits = s.peerHits.Load()
+		m.PeerForwards = s.peerForwards.Load()
+		m.PeerDegraded = s.peerDegraded.Load()
+		m.ForwardServed = s.forwardServed.Load()
+		st := s.fleet.Stats()
+		m.Cluster = &st
+	}
 	return m
 }
 
@@ -256,17 +411,24 @@ func (s *Service) handleSpecialize(w http.ResponseWriter, r *http.Request) {
 		tr = trace.New("specialize")
 	}
 
-	resp, status, stage, err := s.specialize(r.Context(), &req, tr)
+	resp, status, stage, err := s.specialize(r.Context(), &req, tr, r.Header.Get(forwardHeader) != "")
 	if err != nil {
 		switch {
 		case status == http.StatusTooManyRequests:
 			s.rejected.Add(1)
 		case status == http.StatusGatewayTimeout:
 			s.deadlines.Add(1)
+		case status == http.StatusPreconditionFailed:
+			// The delta handshake, not a failure; counted via deltaMisses.
 		case status >= 500:
 			s.errCount.Add(1)
 		default:
 			s.badReq.Add(1)
+		}
+		var mc *missingChunksError
+		if errors.As(err, &mc) {
+			writeJSON(w, status, ErrorBody{Error: err.Error(), Missing: mc.hashes})
+			return
 		}
 		writeError(w, status, stage, err.Error())
 		return
@@ -283,11 +445,22 @@ func (s *Service) handleSpecialize(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// specialize runs one request through placement, admission, and the
-// rewriter, returning the response or (status, stage, error) on failure.
-// tr (which may be nil) receives the admission span and the rewriter's
-// pipeline spans.
-func (s *Service) specialize(ctx context.Context, req *Request, tr *trace.Trace) (*Response, int, string, error) {
+// specialize runs one request through placement, the fleet fast paths
+// (peer fetch, owner forward), admission, and the rewriter, returning the
+// response or (status, stage, error) on failure. tr (which may be nil)
+// receives the admission span and the rewriter's pipeline spans. forwarded
+// marks a request relayed by a fleet peer: it must be answered locally,
+// never forwarded again.
+func (s *Service) specialize(ctx context.Context, req *Request, tr *trace.Trace, forwarded bool) (*Response, int, string, error) {
+	// Delta-form regions materialize first: validation, placement, key
+	// derivation, and fleet forwarding all want plain bytes.
+	if err := s.materializeRegions(req); err != nil {
+		var mc *missingChunksError
+		if errors.As(err, &mc) {
+			return nil, http.StatusPreconditionFailed, "", err
+		}
+		return nil, http.StatusBadRequest, "", err
+	}
 	if err := validate(req); err != nil {
 		return nil, http.StatusBadRequest, "", err
 	}
@@ -305,6 +478,13 @@ func (s *Service) specialize(ctx context.Context, req *Request, tr *trace.Trace)
 	}
 	ctx, cancel := context.WithTimeout(ctx, deadline)
 	defer cancel()
+
+	// The engine is off limits until the disk-cache index finished loading.
+	select {
+	case <-s.ready:
+	case <-ctx.Done():
+		return nil, http.StatusGatewayTimeout, "", fmt.Errorf("deadline expired while the cache index was warming: %w", ctx.Err())
+	}
 
 	if err := s.ensureRegions(req.Regions); err != nil {
 		return nil, http.StatusConflict, "", err
@@ -348,9 +528,20 @@ func (s *Service) specialize(ctx context.Context, req *Request, tr *trace.Trace)
 	// the cache.
 	needSlot := true
 	if key, ok := rw.CacheKey(); ok {
-		if cached, inflight, ok := s.eng.CachePeek(key); ok && (cached || inflight) {
+		cached, inflight, peeked := s.eng.CachePeek(key)
+		if peeked && (cached || inflight) {
 			needSlot = false
+		} else if s.fleet != nil && !forwarded {
+			// Fleet fast path: the key's owner may already hold (or be
+			// compiling) this artifact. Resolved responses return from here;
+			// a nil response degrades to the local compile below.
+			if resp, status, stage, err, done := s.fleetSpecialize(ctx, req, key, tr); done {
+				return resp, status, stage, err
+			}
 		}
+	}
+	if forwarded {
+		s.forwardServed.Add(1)
 	}
 	asp := tr.Start("admission").Int("queued", s.queued.Load()).Int("active", s.active.Load())
 	if needSlot {
@@ -384,6 +575,7 @@ func (s *Service) specialize(ctx context.Context, req *Request, tr *trace.Trace)
 		Addr:     addr,
 		Code:     code,
 		CacheHit: rw.CacheHit,
+		Source:   rw.Source,
 		Stats: CompileStats{
 			Decoded:    rw.Stats.Decoded,
 			Emitted:    rw.Stats.Emitted,

@@ -24,15 +24,33 @@ import (
 
 	dbrewllvm "repro"
 	"repro/internal/abi"
+	"repro/internal/cluster"
 	"repro/internal/emu"
 	"repro/internal/tier"
 )
 
 // Region is one mapped range of the client's address space, placed at its
 // absolute address inside the daemon's engine. Data is base64 in JSON.
+//
+// A region travels in exactly one of two forms: plain (Data holds the
+// bytes) or delta (Chunks lists the region's content-defined chunks in
+// order, each payload optional). The server reconstructs delta regions from
+// its chunk store and answers 412 with ErrorBody.Missing when payloads it
+// has never seen are omitted — see Client.EnableDeltaSnapshots.
 type Region struct {
 	Addr uint64 `json:"addr"`
-	Data []byte `json:"data"`
+	Data []byte `json:"data,omitempty"`
+	// Chunks is the delta form: the region's chunk sequence. Mutually
+	// exclusive with Data.
+	Chunks []Chunk `json:"chunks,omitempty"`
+}
+
+// Chunk is one content-defined chunk of a delta-form region. Hash is the
+// chunk identity (truncated SHA-256, hex); Data is the payload, omitted
+// when the client believes the server's chunk store already holds it.
+type Chunk struct {
+	Hash string `json:"hash"`
+	Data []byte `json:"data,omitempty"`
 }
 
 // SigSpec is the wire form of a function signature. Classes are "int",
@@ -117,6 +135,11 @@ type Response struct {
 	// cache — including joining another request's in-flight compilation —
 	// rather than compiled for this request.
 	CacheHit bool `json:"cache_hit"`
+	// Source names the level that produced the code: "memory" (in-memory
+	// cache or in-flight join), "disk" (persisted artifact), "peer" (owner's
+	// artifact adopted), "forward" (request compiled by the owning peer), or
+	// "compile" (this node ran the pipeline).
+	Source string `json:"source,omitempty"`
 	// Stats are the compile statistics (restored from cache on a hit).
 	Stats CompileStats `json:"stats"`
 	// IR is the formatted IR of the returned code, when IncludeIR was set
@@ -136,6 +159,10 @@ type ErrorBody struct {
 	// Stage identifies the failing pipeline stage ("rewrite", "lift",
 	// "optimize", "jit") when the failure came from the compile pipeline.
 	Stage string `json:"stage,omitempty"`
+	// Missing accompanies 412: the chunk hashes a delta-form request
+	// referenced that the server's chunk store does not hold. Retry the
+	// request once with those payloads included.
+	Missing []string `json:"missing,omitempty"`
 }
 
 // Metrics is the GET /metrics payload.
@@ -164,6 +191,22 @@ type Metrics struct {
 	// slot; ActiveCompiles the number of slots in use.
 	QueueDepth     int64 `json:"queue_depth"`
 	ActiveCompiles int64 `json:"active_compiles"`
+	// PeerHits counts requests served by adopting the owning peer's
+	// artifact; PeerForwards requests relayed to their owner for
+	// compilation; PeerDegraded fleet paths that fell back to a local
+	// compile; ForwardServed forwarded requests this node answered as owner.
+	PeerHits      int64 `json:"peer_hits,omitempty"`
+	PeerForwards  int64 `json:"peer_forwards,omitempty"`
+	PeerDegraded  int64 `json:"peer_degraded,omitempty"`
+	ForwardServed int64 `json:"forward_served,omitempty"`
+	// Cluster is the peer-traffic counter snapshot; nil outside fleet mode.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
+	// DeltaRequests counts requests that arrived in delta (chunked) form;
+	// DeltaMisses the 412 missing-chunk replies; DeltaBytesSaved the region
+	// bytes reconstructed from the chunk store instead of shipped.
+	DeltaRequests   int64 `json:"delta_requests,omitempty"`
+	DeltaMisses     int64 `json:"delta_misses,omitempty"`
+	DeltaBytesSaved int64 `json:"delta_bytes_saved,omitempty"`
 	// LatencyUSLog2 is the request latency histogram: bucket i counts
 	// requests in [2^(i-1), 2^i) microseconds.
 	LatencyUSLog2 tier.HistogramSnapshot `json:"latency_us_log2"`

@@ -233,6 +233,16 @@ func (m *Manager) Invalidate(start, end uint64) int {
 // count actual compilations started.
 func (m *Manager) CacheStats() codecache.Stats { return m.cache.Stats() }
 
+// SetCacheRemoveHook installs fn to observe every explicit removal from the
+// promotion cache — i.e. every deoptimization's dropped compilation keys.
+// The engine points this at its lower cache levels (disk artifact eviction
+// and the fleet eviction broadcast) so a deoptimized specialization cannot
+// be resurrected stale from a level the manager does not know about. A nil
+// fn uninstalls. See codecache.Cache.SetRemoveHook for the firing rules.
+func (m *Manager) SetCacheRemoveHook(fn func(codecache.Key)) {
+	m.cache.SetRemoveHook(fn)
+}
+
 // Stats snapshots every registered function plus the compile cache and the
 // emulator's trace-tier counters.
 func (m *Manager) Stats() Stats {

@@ -1,0 +1,353 @@
+package dbrewllvm
+
+// Engine-level tests for the persistent cache level: warm restart over the
+// same cache directory, multi-level eviction via RemoveSpecialization, and
+// corruption recovery — always gated on byte identity with the in-process
+// compile.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"repro/internal/codecache"
+	"repro/internal/diskcache"
+	"sync"
+	"testing"
+)
+
+// diskSetup is cacheSetup plus a disk level over dir. The allocation order
+// is deterministic, so two engines built by this helper place the kernel and
+// the coefficient buffer at identical addresses — the precondition for their
+// specialization keys to match across a "restart".
+func diskSetup(t *testing.T, dir string) (e *Engine, fn, buf uint64) {
+	t.Helper()
+	e = NewEngine()
+	e.EnableCache(64)
+	if err := e.EnableDiskCache(dir, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	buf = e.Alloc(16, "coeffs")
+	if err := e.Mem.WriteFloat64(buf, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Mem.WriteFloat64(buf+8, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	fn = buildDot(t, e)
+	return e, fn, buf
+}
+
+func codeBytes(t *testing.T, e *Engine, addr uint64, size int) []byte {
+	t.Helper()
+	b, err := e.Mem.Read(addr, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]byte(nil), b...)
+}
+
+// TestDiskCacheWarmRestart is the PR's headline acceptance path: a fresh
+// engine over the same cache directory serves the specialization from disk
+// — byte-identical code, zero compiles.
+func TestDiskCacheWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	// Cold process: compiles once, writes through to disk.
+	e1, fn, buf := diskSetup(t, dir)
+	r1 := newDotRewriter(e1, fn, buf)
+	a1, err := r1.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Source != "compile" {
+		t.Fatalf("cold Rewrite Source = %q, want compile", r1.Source)
+	}
+	if got := e1.CompileCount(); got != 1 {
+		t.Fatalf("cold CompileCount = %d, want 1", got)
+	}
+	if st, ok := e1.DiskStats(); !ok || st.Writes != 1 {
+		t.Fatalf("disk stats after cold compile: ok=%v %v", ok, st)
+	}
+	want := codeBytes(t, e1, a1, r1.CodeSize)
+
+	// Restarted process: same directory, same (deterministic) layout. The
+	// rewrite must restore from disk without running the pipeline.
+	e2, fn2, buf2 := diskSetup(t, dir)
+	r2 := newDotRewriter(e2, fn2, buf2)
+	a2, err := r2.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Source != "disk" {
+		t.Fatalf("warm-restart Rewrite Source = %q, want disk", r2.Source)
+	}
+	if r2.CacheHit {
+		t.Fatal("disk restore must not report an in-memory cache hit")
+	}
+	if got := e2.CompileCount(); got != 0 {
+		t.Fatalf("warm-restart CompileCount = %d, want 0", got)
+	}
+	if got := codeBytes(t, e2, a2, r2.CodeSize); !bytes.Equal(got, want) {
+		t.Fatal("disk-restored code differs from the in-process compile")
+	}
+	if r2.Stats.Decoded != r1.Stats.Decoded || r2.Stats.Emitted != r1.Stats.Emitted {
+		t.Fatalf("restored stats %+v differ from compiled stats %+v", r2.Stats, r1.Stats)
+	}
+	got, err := e2.CallF(a2, []uint64{buf2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4.5 {
+		t.Errorf("disk-restored specialization = %g, want 4.5", got)
+	}
+
+	// Third rewrite in the restarted process hits memory, not disk.
+	r3 := newDotRewriter(e2, fn2, buf2)
+	if _, err := r3.Rewrite(); err != nil {
+		t.Fatal(err)
+	}
+	if r3.Source != "memory" || !r3.CacheHit {
+		t.Errorf("repeat Rewrite Source = %q hit=%v, want memory hit", r3.Source, r3.CacheHit)
+	}
+}
+
+// TestRemoveSpecializationEvictsAllLevels: satellite 6's engine half —
+// removing a key must drop the in-memory entry, delete the disk artifact,
+// and fire the eviction notifier (where the fleet broadcast hangs), and the
+// next Rewrite must recompile rather than resurrect from a lower level.
+func TestRemoveSpecializationEvictsAllLevels(t *testing.T) {
+	dir := t.TempDir()
+	e, fn, buf := diskSetup(t, dir)
+
+	var notified []string
+	e.SetEvictNotifier(func(k codecache.Key) { notified = append(notified, k.String()) })
+
+	r := newDotRewriter(e, fn, buf)
+	if _, err := r.Rewrite(); err != nil {
+		t.Fatal(err)
+	}
+	key, ok := r.CacheKey()
+	if !ok {
+		t.Fatal("CacheKey not computable")
+	}
+	if has, ok := e.DiskHas(key); !ok || !has {
+		t.Fatalf("artifact not on disk after compile: has=%v ok=%v", has, ok)
+	}
+
+	if !e.RemoveSpecialization(key) {
+		t.Fatal("RemoveSpecialization of a cached key reported false")
+	}
+	if cached, _, _ := e.CachePeek(key); cached {
+		t.Fatal("memory level still holds the removed key")
+	}
+	if has, _ := e.DiskHas(key); has {
+		t.Fatal("disk level still holds the removed key")
+	}
+	if _, err := os.Stat(filepath.Join(dir, key.String()+".art")); !os.IsNotExist(err) {
+		t.Fatal("removed artifact file still on disk")
+	}
+	if len(notified) != 1 || notified[0] != key.String() {
+		t.Fatalf("eviction notifier saw %v, want exactly [%s]", notified, key)
+	}
+
+	// No resurrection: the next rewrite compiles.
+	before := e.CompileCount()
+	r2 := newDotRewriter(e, fn, buf)
+	if _, err := r2.Rewrite(); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Source != "compile" {
+		t.Fatalf("Rewrite after removal Source = %q, want compile", r2.Source)
+	}
+	if e.CompileCount() != before+1 {
+		t.Fatal("Rewrite after removal did not recompile")
+	}
+}
+
+// TestDiskCorruptionRecompilesIdentical: a corrupt artifact must read as a
+// miss and the recompile must reproduce byte-identical code.
+func TestDiskCorruptionRecompilesIdentical(t *testing.T) {
+	dir := t.TempDir()
+	e1, fn, buf := diskSetup(t, dir)
+	r1 := newDotRewriter(e1, fn, buf)
+	a1, err := r1.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := codeBytes(t, e1, a1, r1.CodeSize)
+	key, _ := r1.CacheKey()
+
+	// Flip one bit in the persisted payload.
+	path := filepath.Join(dir, key.String()+".art")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restarted process rejects the artifact and recompiles.
+	e2, fn2, buf2 := diskSetup(t, dir)
+	r2 := newDotRewriter(e2, fn2, buf2)
+	a2, err := r2.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Source != "compile" {
+		t.Fatalf("Rewrite over corrupt artifact Source = %q, want compile", r2.Source)
+	}
+	if st, _ := e2.DiskStats(); st.Corruptions != 1 {
+		t.Fatalf("Corruptions = %d, want 1", st.Corruptions)
+	}
+	if got := codeBytes(t, e2, a2, r2.CodeSize); !bytes.Equal(got, want) {
+		t.Fatal("recompile after corruption produced different code")
+	}
+	// And the recompile healed the disk slot.
+	if has, _ := e2.DiskHas(key); !has {
+		t.Fatal("recompile did not write the artifact back")
+	}
+}
+
+// TestInvalidateRangeEvictsDiskAndBroadcasts: satellite 6's tiering half —
+// a deoptimization drops its promotion-cache keys, and those removals must
+// propagate to the disk level and the eviction notifier, so a deoptimized
+// specialization cannot be resurrected stale from disk.
+func TestInvalidateRangeEvictsDiskAndBroadcasts(t *testing.T) {
+	e := NewEngine()
+	e.EnableTiering(TierConfig{Tier1Calls: 2, Tier2Calls: 4, Synchronous: true})
+	if err := e.EnableDiskCache(t.TempDir(), 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var notified []codecache.Key
+	e.SetEvictNotifier(func(k codecache.Key) {
+		mu.Lock()
+		notified = append(notified, k)
+		mu.Unlock()
+	})
+
+	buf := e.Alloc(8, "coeff")
+	if err := e.Mem.WriteU(buf, 8, 1000); err != nil {
+		t.Fatal(err)
+	}
+	fn := buildAddC(t, e)
+	r := NewRewriter(e, fn, Sig(Int, Ptr, Int))
+	r.SetParPtr(0, buf, 8)
+	h, err := r.Tiered("addc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promote := func() {
+		t.Helper()
+		for i := uint64(1); i <= 6; i++ {
+			if _, err := h.Call([]uint64{0, i}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if h.Level() != Tier2 {
+			t.Fatalf("level = %v, want tier2", h.Level())
+		}
+	}
+	promote()
+
+	// First deoptimization: capture the promotion-cache keys it dropped.
+	if n := e.InvalidateRange(buf, buf+8); n != 1 {
+		t.Fatalf("InvalidateRange deoptimized %d, want 1", n)
+	}
+	mu.Lock()
+	keys := append([]codecache.Key(nil), notified...)
+	notified = nil
+	mu.Unlock()
+	if len(keys) == 0 {
+		t.Fatal("deoptimization fired no eviction notifications")
+	}
+
+	// Plant artifacts on disk under the dropped keys (the stale state a
+	// restart could otherwise resurrect), re-promote over the unchanged
+	// contents — same keys — and deoptimize again.
+	for _, k := range keys {
+		if _, err := e.AdoptArtifact(k, &diskcache.Artifact{Code: []byte{0xc3}, Meta: []byte("{}")}); err != nil {
+			t.Fatal(err)
+		}
+		if has, _ := e.DiskHas(k); !has {
+			t.Fatal("planted artifact not on disk")
+		}
+	}
+	promote()
+	if n := e.InvalidateRange(buf, buf+8); n != 1 {
+		t.Fatal("second InvalidateRange did not deoptimize")
+	}
+	for _, k := range keys {
+		if has, _ := e.DiskHas(k); has {
+			t.Fatalf("deoptimized key %s still on disk", k)
+		}
+	}
+	mu.Lock()
+	gotNotify := len(notified)
+	mu.Unlock()
+	if gotNotify == 0 {
+		t.Fatal("second deoptimization fired no eviction notifications")
+	}
+}
+
+// TestArtifactForAndAdopt: the fleet primitives — exporting an artifact
+// from one engine and adopting it into another must be byte-identical and
+// compile-free on the adopting side.
+func TestArtifactForAndAdopt(t *testing.T) {
+	dir1 := t.TempDir()
+	e1, fn, buf := diskSetup(t, dir1)
+	r1 := newDotRewriter(e1, fn, buf)
+	a1, err := r1.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := codeBytes(t, e1, a1, r1.CodeSize)
+	key, _ := r1.CacheKey()
+
+	art, err := e1.ArtifactFor(context.Background(), key, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(art.Code, want) {
+		t.Fatal("ArtifactFor returned different code bytes")
+	}
+	if art.IR == "" {
+		t.Fatal("artifact missing captured IR")
+	}
+
+	// Unknown key: the not-found sentinel, never a compile.
+	if _, err := e1.ArtifactFor(context.Background(), codecache.Key{}, false); err != ErrArtifactNotFound {
+		t.Fatalf("ArtifactFor(unknown) = %v, want ErrArtifactNotFound", err)
+	}
+
+	// The "peer": same layout, separate cache dir, never compiles.
+	e2, fn2, buf2 := diskSetup(t, t.TempDir())
+	addr, err := e2.AdoptArtifact(key, art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := codeBytes(t, e2, addr, len(art.Code)); !bytes.Equal(got, want) {
+		t.Fatal("adopted code differs")
+	}
+	r2 := newDotRewriter(e2, fn2, buf2)
+	a2, err := r2.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Source != "memory" || a2 != addr {
+		t.Fatalf("Rewrite after adoption Source=%q addr=%#x, want memory hit at %#x", r2.Source, a2, addr)
+	}
+	if e2.CompileCount() != 0 {
+		t.Fatal("adopting engine compiled")
+	}
+	if got, err := e2.CallF(a2, []uint64{buf2}, nil); err != nil || got != 4.5 {
+		t.Fatalf("adopted specialization = %g (%v), want 4.5", got, err)
+	}
+	// Write-through: the adopted artifact is on the peer's disk too.
+	if has, _ := e2.DiskHas(key); !has {
+		t.Fatal("adopted artifact not written through to disk")
+	}
+}

@@ -60,6 +60,9 @@ var ErrTieringDisabled = errors.New("dbrewllvm: tiering is not enabled (call Eng
 // it again replaces the manager and orphans existing handles.
 func (e *Engine) EnableTiering(cfg TierConfig) {
 	e.tiering = tier.NewManager(e.Mem, cfg)
+	// Deoptimizations drop their promotion-cache keys; route those removals
+	// to the disk level and the fleet eviction broadcast (persist.go).
+	e.wireRemoveHook()
 }
 
 // TieringEnabled reports whether EnableTiering has been called.
