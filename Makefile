@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-tiering race-service race-trace race-cluster bench bench-emu bench-emu-nogate bench-tiering bench-service bench-cache fig10 throughput cachecheck serve smoke cover fuzz-smoke
+.PHONY: check fmt vet build test race race-tiering race-service race-trace race-cluster race-fastpath bench bench-emu bench-emu-nogate bench-fastpath bench-fastpath-nogate bench-tiering bench-service bench-cache fig10 throughput cachecheck serve smoke cover fuzz-smoke
 
-check: fmt vet build race-tiering race-service race-trace race-cluster race cover fuzz-smoke bench-emu-nogate
+check: fmt vet build race-tiering race-service race-trace race-cluster race-fastpath race cover fuzz-smoke bench-emu-nogate bench-fastpath-nogate
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -32,6 +32,14 @@ race-tiering:
 race-service:
 	$(GO) test -race -count=1 ./internal/service/... ./internal/codecache/...
 
+# Fastpath baseline backend: the package suite plus the concurrency- and
+# strategy-sensitive call sites — the deopt-during-in-flight-compile tier
+# test, the dbrewd strategy selection, and the pinned copy-shortcut seeds —
+# fresh under the race detector.
+race-fastpath:
+	$(GO) test -race -count=1 ./internal/fastpath/...
+	$(GO) test -race -count=1 -run 'Fastpath' ./internal/tier ./internal/service ./internal/crosstest ./internal/bench .
+
 # Trace-tier suite (differential engines, deopt kernels, concurrent
 # invalidation against a running trace) fresh under the race detector.
 race-trace:
@@ -57,6 +65,17 @@ bench-emu:
 # but a slow machine never fails the gate.
 bench-emu-nogate:
 	-@$(MAKE) --no-print-directory bench-emu
+
+# Tier-1 backend compile-latency benchmark (legacy lift+O1 vs the fastpath
+# single-pass baseline), 5 repetitions, medians, speedups, and the >=5x
+# copy-route target recorded machine-readably in BENCH_fastpath.json.
+bench-fastpath:
+	$(GO) run ./cmd/benchfastpath -count=5 -out=BENCH_fastpath.json
+
+# Non-gating wrapper for `make check`: the numbers are recorded and printed,
+# but a slow machine never fails the gate.
+bench-fastpath-nogate:
+	-@$(MAKE) --no-print-directory bench-fastpath
 
 # One-shot O3 vs tiered execution totals across call counts.
 bench-tiering:

@@ -45,18 +45,20 @@ func main() {
 	cacheCap := flag.Int("cache", 1024, "specialization cache capacity (entries)")
 	cacheDir := flag.String("cachedir", "", "persistent artifact store directory (empty disables persistence); /healthz answers 503 \"warming\" until its index loads")
 	cacheBytes := flag.Int64("cachebytes", 0, "disk artifact store byte budget (0 selects the diskcache default)")
+	fastpath := flag.Duration("fastpath-deadline", 250*time.Millisecond, "switch to the single-pass fastpath backend when a request's remaining deadline budget is below this (0 disables)")
 	self := flag.String("self", "", "this node's advertised host:port for fleet mode (defaults to -addr when -peers is set)")
 	peers := flag.String("peers", "", "comma-separated host:port fleet peer list; enables peer artifact sharing")
 	smoke := flag.Bool("smoke", false, "run the self-test against an ephemeral server and exit")
 	flag.Parse()
 
 	cfg := service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		DefaultDeadline: *deadline,
-		CacheCapacity:   *cacheCap,
-		CacheDir:        *cacheDir,
-		CacheBytes:      *cacheBytes,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		DefaultDeadline:  *deadline,
+		CacheCapacity:    *cacheCap,
+		CacheDir:         *cacheDir,
+		CacheBytes:       *cacheBytes,
+		FastpathDeadline: *fastpath,
 	}
 	if *peers != "" {
 		cfg.Self = *self
@@ -193,6 +195,28 @@ func runSmoke(cfg service.Config) error {
 		return errors.New("?trace=1 request carried no trace")
 	}
 
+	// Deadline pressure: a budget below -fastpath-deadline must flip the
+	// server to the single-pass baseline backend, compiled fresh (the
+	// strategy is part of the cache key, so the warm full artifact must
+	// not be served).
+	var fast *service.Response
+	if cfg.FastpathDeadline > 0 {
+		fastReq := *req
+		fastReq.DeadlineMS = cfg.FastpathDeadline.Milliseconds() * 4 / 5
+		fast, err = client.Specialize(ctx, &fastReq)
+		if err != nil {
+			return fmt.Errorf("fastpath specialize: %w", err)
+		}
+		switch {
+		case fast.Strategy != "fastpath":
+			return fmt.Errorf("tight-deadline strategy = %q, want fastpath", fast.Strategy)
+		case fast.CacheHit:
+			return errors.New("fastpath request hit the full-strategy cache entry")
+		case len(fast.Code) == 0:
+			return errors.New("fastpath request returned no code")
+		}
+	}
+
 	m, err := client.Metrics(ctx)
 	if err != nil {
 		return fmt.Errorf("metrics: %w", err)
@@ -214,6 +238,11 @@ func runSmoke(cfg service.Config) error {
 		cold.ElapsedUS, len(cold.Code), cold.Addr,
 		cold.Stats.Decoded, cold.Stats.Emitted, cold.Stats.Eliminated)
 	fmt.Printf("  warm: %5d us, cache hit\n", warm.ElapsedUS)
+	if fast != nil {
+		fmt.Printf("  fastpath: %5d us, %d bytes under a %dms budget (strategy %q, %d served)\n",
+			fast.ElapsedUS, len(fast.Code), cfg.FastpathDeadline.Milliseconds()*4/5,
+			fast.Strategy, m.FastpathServed)
+	}
 	fmt.Printf("  metrics: %d requests, %d ok, %d cache hits; engine cache %d miss / %d hit\n",
 		m.Requests, m.OK, m.CacheHits, m.Engine.Cache.Misses, m.Engine.Cache.Hits)
 	fmt.Printf("  delta: %d chunked uploads, %d region bytes reconstructed server-side\n",

@@ -98,6 +98,11 @@ type Engine struct {
 	// fleet exactly-once tests assert on.
 	compiles atomic.Int64
 
+	// fastpathCompiles counts the subset of compiles that took the fastpath
+	// strategy (Rewriter.Fastpath): specialized by DBrew but emitted by the
+	// single-pass baseline backend instead of the O3+linear-scan pipeline.
+	fastpathCompiles atomic.Int64
+
 	// tiering, when non-nil, is the tiered-execution manager installed by
 	// EnableTiering (see tiering.go).
 	tiering *tier.Manager
@@ -171,6 +176,10 @@ type EngineStats struct {
 	// compiler rather than being served from memory, disk, or a peer. Always
 	// present (a fresh engine reports 0).
 	Compiles int64 `json:"compiles"`
+	// FastpathCompiles counts the subset of Compiles that used the fastpath
+	// strategy (specialize, then single-pass baseline emit with no optimizer
+	// rounds) — the deadline-pressured requests in dbrewd.
+	FastpathCompiles int64 `json:"fastpath_compiles"`
 	// Cache is CacheStats, nil when the specialization cache is disabled.
 	Cache *codecache.Stats `json:"cache,omitempty"`
 	// CacheHitRatio is the derived warm fraction Hits/(Hits+Misses) of the
@@ -185,7 +194,10 @@ type EngineStats struct {
 
 // Stats snapshots CacheStats, DiskStats, and TierStats in one call.
 func (e *Engine) Stats() EngineStats {
-	s := EngineStats{Compiles: e.compiles.Load()}
+	s := EngineStats{
+		Compiles:         e.compiles.Load(),
+		FastpathCompiles: e.fastpathCompiles.Load(),
+	}
 	if st, ok := e.CacheStats(); ok {
 		s.Cache = &st
 		if lookups := st.Hits + st.Misses; lookups > 0 {
@@ -255,6 +267,9 @@ func (e *Engine) RegisterMetrics(reg *trace.Registry) {
 	reg.Counter("dbrew_engine_compiles_total",
 		"Actual pipeline executions (not served from memory, disk, or a peer).",
 		func() float64 { return float64(e.compiles.Load()) })
+	reg.Counter("dbrew_engine_fastpath_compiles_total",
+		"Pipeline executions that used the fastpath strategy (baseline backend, no optimizer).",
+		func() float64 { return float64(e.fastpathCompiles.Load()) })
 }
 
 // CachePeek reports whether the specialization key k is already cached and
@@ -413,6 +428,16 @@ type Rewriter struct {
 	// even when Engine.EnableCache is active (e.g. for one-off rewrites that
 	// would only pollute the cache).
 	NoCache bool
+
+	// Fastpath trades steady-state code quality for compile latency in the
+	// LLVM backend: the DBrew rewrite still runs (the specialization is
+	// preserved), but the lifted IR skips the optimizer entirely and is
+	// emitted by the JIT's single-pass baseline mode. dbrewd selects this
+	// strategy automatically when a request's remaining deadline budget is
+	// below its configured threshold. The specialization cache key includes
+	// this flag, so fastpath and full builds of one configuration never
+	// alias.
+	Fastpath bool
 
 	// Trace, when non-nil, receives the pipeline spans of the next Rewrite
 	// call (cache lookup, rewrite, decode, lift, optimize rounds, jit) —
@@ -596,6 +621,7 @@ func (r *Rewriter) cacheKey() (codecache.Key, bool) {
 	h.U64(r.entry)
 	h.I64(int64(r.backend))
 	h.Bool(r.FastMath)
+	h.Bool(r.Fastpath)
 	h.I64(int64(r.ForceVectorWidth))
 
 	h.I64(int64(r.sig.Ret))
@@ -672,11 +698,15 @@ func (r *Rewriter) compile(tr *trace.Trace) (uint64, error) {
 		// Lifting failure falls back to the DBrew output.
 		return addr, nil
 	}
-	cfg := opt.O3()
-	cfg.FastMath = r.FastMath
-	cfg.ForceVectorWidth = r.ForceVectorWidth
-	cfg.Trace = tr
-	opt.Optimize(f, cfg)
+	if r.Fastpath {
+		r.eng.fastpathCompiles.Add(1)
+	} else {
+		cfg := opt.O3()
+		cfg.FastMath = r.FastMath
+		cfg.ForceVectorWidth = r.ForceVectorWidth
+		cfg.Trace = tr
+		opt.Optimize(f, cfg)
+	}
 	if r.eng.disk != nil {
 		// The persisted artifact carries the optimized IR for debuggability;
 		// only pay the formatting cost when something will store it.
@@ -688,6 +718,7 @@ func (r *Rewriter) compile(tr *trace.Trace) (uint64, error) {
 		}
 	}
 	comp := jit.NewCompiler(r.eng.Mem)
+	comp.Baseline = r.Fastpath
 	comp.Trace = tr
 	jaddr, err := comp.CompileModule(l.Module, f.Nam)
 	if err != nil {

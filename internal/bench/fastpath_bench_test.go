@@ -1,0 +1,182 @@
+package bench
+
+// BenchmarkTier1Compile compares tier-1 compile latency across backends,
+// the measurement behind BENCH_fastpath.json (cmd/benchfastpath):
+//
+//	legacy/*    lift + O1 + linear-scan JIT (TierConfig.LegacyTier1)
+//	fastpath/*  the fastpath backend's real decision path (copy or lower)
+//	lower/*     fastpath with the shortcut disabled, isolating its gain
+//
+// Two subjects: the flat element kernel (branchy — takes the lowering
+// route, where lifting dominates every backend) and a hand-assembled
+// straight-line kernel (copy-eligible — where the shortcut removes the
+// lifter from the path entirely and delivers the order-of-magnitude win).
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/emu"
+	"repro/internal/fastpath"
+	"repro/internal/jit"
+	"repro/internal/lift"
+	"repro/internal/opt"
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
+)
+
+// compileBatch bounds how many compiles land in one address space before
+// the benchmark recreates it (off the clock): every compile allocates code
+// pages, and an unbounded run would grow the region table without bound.
+const compileBatch = 1024
+
+// placeStraight assembles a ~12-instruction straight-line integer kernel
+// (no branches, no RIP-relative operands) into mem and returns its entry.
+func placeStraight(tb testing.TB, mem *emu.Memory) uint64 {
+	b := asm.NewBuilder()
+	b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+	b.I(x86.IMUL3, x86.R64(x86.RAX), x86.R64(x86.RAX), x86.Imm(3, 8))
+	b.I(x86.XOR, x86.R64(x86.RSI), x86.Imm(0x55, 8))
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RSI))
+	b.I(x86.LEA, x86.R64(x86.RCX), x86.MemBIS(8, x86.RAX, x86.RSI, 2, 17))
+	b.I(x86.SHL, x86.R64(x86.RCX), x86.Imm(3, 1))
+	b.I(x86.SUB, x86.R64(x86.RCX), x86.R64(x86.RDI))
+	b.I(x86.AND, x86.R64(x86.RCX), x86.Imm(0x7FFFFFFF, 8))
+	b.I(x86.OR, x86.R64(x86.RAX), x86.R64(x86.RCX))
+	b.I(x86.MOV, x86.R32(x86.RDX), x86.R32(x86.RAX))
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RDX))
+	b.Ret()
+	code, _, err := b.Assemble(0) // position-independent: base is irrelevant
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r := mem.Alloc(len(code), 16, "straight")
+	copy(r.Data, code)
+	return r.Start
+}
+
+var straightSig = abi.Signature{Params: []abi.Class{abi.ClassInt, abi.ClassInt}, Ret: abi.ClassInt}
+
+func mustWorkload33(tb testing.TB) *Workload {
+	w, err := NewWorkload(33)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return w
+}
+
+// compileLegacyT1 is the legacy tier-1 pipeline: lift, O1, linear-scan JIT.
+func compileLegacyT1(tb testing.TB, mem *emu.Memory, entry uint64, sig abi.Signature) {
+	l := lift.New(mem, lift.DefaultOptions())
+	f, err := l.LiftFunc(entry, "t1", sig)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := opt.O1()
+	opt.Optimize(f, cfg)
+	comp := jit.NewCompiler(mem)
+	comp.NamePrefix = "t1."
+	if _, err := comp.CompileModule(l.Module, f.Nam); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func compileFastpathT1(tb testing.TB, mem *emu.Memory, entry uint64, sig abi.Signature, noShortcut bool) {
+	if _, err := fastpath.Compile(mem, entry, "t1", sig, fastpath.Options{
+		NamePrefix: "t1.",
+		NoShortcut: noShortcut,
+	}); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func BenchmarkTier1Compile(b *testing.B) {
+	// Element-kernel subjects share this setup: a fresh workload every
+	// compileBatch compiles.
+	elementLoop := func(b *testing.B, compile func(*Workload, uint64)) {
+		w := mustWorkload33(b)
+		entry, _, _, _ := w.inputFor(Element, Flat, DBrewLLVM)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%compileBatch == 0 {
+				b.StopTimer()
+				w = mustWorkload33(b)
+				entry, _, _, _ = w.inputFor(Element, Flat, DBrewLLVM)
+				b.StartTimer()
+			}
+			compile(w, entry)
+		}
+	}
+	// Straight-line subjects only need a bare memory image.
+	straightLoop := func(b *testing.B, compile func(*emu.Memory, uint64)) {
+		mem := emu.NewMemory(0x10000000)
+		entry := placeStraight(b, mem)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%compileBatch == 0 {
+				b.StopTimer()
+				mem = emu.NewMemory(0x10000000)
+				entry = placeStraight(b, mem)
+				b.StartTimer()
+			}
+			compile(mem, entry)
+		}
+	}
+
+	b.Run("legacy/element", func(b *testing.B) {
+		elementLoop(b, func(w *Workload, entry uint64) {
+			compileLegacyT1(b, w.Mem, entry, sigFor(Element))
+		})
+	})
+	b.Run("fastpath/element", func(b *testing.B) {
+		elementLoop(b, func(w *Workload, entry uint64) {
+			compileFastpathT1(b, w.Mem, entry, sigFor(Element), false)
+		})
+	})
+	b.Run("legacy/straight", func(b *testing.B) {
+		straightLoop(b, func(mem *emu.Memory, entry uint64) {
+			compileLegacyT1(b, mem, entry, straightSig)
+		})
+	})
+	b.Run("fastpath/straight", func(b *testing.B) {
+		straightLoop(b, func(mem *emu.Memory, entry uint64) {
+			compileFastpathT1(b, mem, entry, straightSig, false)
+		})
+	})
+	b.Run("lower/straight", func(b *testing.B) {
+		straightLoop(b, func(mem *emu.Memory, entry uint64) {
+			compileFastpathT1(b, mem, entry, straightSig, true)
+		})
+	})
+}
+
+// TestFastpathStraightKernelCopyEligible pins the benchmark's straight-line
+// subject to the copy route: if the kernel or the scanner changes and it
+// stops copy-qualifying, fastpath/straight silently measures the wrong
+// thing — fail instead.
+func TestFastpathStraightKernelCopyEligible(t *testing.T) {
+	mem := emu.NewMemory(0x10000000)
+	entry := placeStraight(t, mem)
+	res, err := fastpath.Compile(mem, entry, "pin", straightSig, fastpath.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != fastpath.ModeCopy {
+		t.Fatalf("straight kernel mode = %v, want copy", res.Mode)
+	}
+	// The copied code must behave like the original: run both on the
+	// emulator and compare.
+	for _, in := range [][2]uint64{{0, 0}, {7, 9}, {1 << 40, 0xFFFF}} {
+		want, err := emu.NewMachine(mem).Call(entry, emu.CallArgs{Ints: []uint64{in[0], in[1]}}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := emu.NewMachine(mem).Call(res.Entry, emu.CallArgs{Ints: []uint64{in[0], in[1]}}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("copy(%#x, %#x) = %#x, original %#x", in[0], in[1], got, want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/emu"
+	"repro/internal/fastpath"
 	"repro/internal/opt"
 	"repro/internal/tier"
 )
@@ -53,6 +54,19 @@ type TieringResult struct {
 	// per-call calibration runs) against the experiment's wall clock.
 	EmuInsts uint64
 	Elapsed  time.Duration
+
+	// Tier-1 backend comparison over the same entry: the legacy lift+O1
+	// pipeline against the fastpath single-pass baseline that tiering now
+	// uses by default. Compile times are wall clock, per-call times use the
+	// cycle model, and the break-evens estimate the call count where each
+	// tier-1 compile amortizes against staying interpreted.
+	LegacyT1Compile     time.Duration
+	FastpathT1Compile   time.Duration
+	LegacyT1PerCall     time.Duration
+	FastpathT1PerCall   time.Duration
+	FastpathT1Mode      string
+	LegacyT1BreakEven   int
+	FastpathT1BreakEven int
 }
 
 // RunTiering sweeps the element-kernel (flat structure) specialization over
@@ -91,6 +105,36 @@ func (w *Workload) RunTiering(callCounts []int) (*TieringResult, error) {
 		res.BreakEvenCalls = int(float64(oneShot.CompileTime) / float64(d))
 	}
 
+	// Tier-1 backend comparison: compile the same entry with the legacy
+	// lift+O1 pipeline and with the fastpath baseline, and measure both
+	// compile cost and resulting per-call time.
+	legacyT1, err := w.Prepare(Element, Flat, LLVM, Options{
+		PipelineMod: func(c *opt.Config) { *c = opt.O1() },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: legacy tier1 prepare: %w", err)
+	}
+	fpStart := time.Now()
+	fpRes, err := fastpath.Compile(w.Mem, entry, "elem.t1", sigFor(Element), fastpath.Options{NamePrefix: "bench."})
+	if err != nil {
+		return nil, fmt.Errorf("bench: fastpath tier1 compile: %w", err)
+	}
+	res.FastpathT1Compile = time.Since(fpStart)
+	res.LegacyT1Compile = legacyT1.CompileTime
+	res.FastpathT1Mode = fpRes.Mode.String()
+	if res.LegacyT1PerCall, err = w.perCallTime(legacyT1.Entry); err != nil {
+		return nil, fmt.Errorf("bench: legacy tier1 measure: %w", err)
+	}
+	if res.FastpathT1PerCall, err = w.perCallTime(fpRes.Entry); err != nil {
+		return nil, fmt.Errorf("bench: fastpath tier1 measure: %w", err)
+	}
+	if d := tier0PerCall - res.LegacyT1PerCall; d > 0 {
+		res.LegacyT1BreakEven = int(float64(res.LegacyT1Compile) / float64(d))
+	}
+	if d := tier0PerCall - res.FastpathT1PerCall; d > 0 {
+		res.FastpathT1BreakEven = int(float64(res.FastpathT1Compile) / float64(d))
+	}
+
 	for _, calls := range callCounts {
 		row, err := w.runTieredOnce(entry, sAddr, fullSize, calls, oneShot.CompileTime, oneShotPerCall)
 		if err != nil {
@@ -117,22 +161,23 @@ func (w *Workload) runTieredOnce(entry, sAddr uint64, fullSize, calls int, oneSh
 		Fixed:  []tier.FixedArg{{Idx: 0, Val: sAddr}},
 		Ranges: []tier.Range{{Start: sAddr, End: sAddr + uint64(fullSize)}},
 		Compile: func(target tier.Level) (tier.CompileResult, error) {
-			var v *Variant
-			var err error
 			switch target {
 			case tier.Tier1:
-				v, err = w.Prepare(Element, Flat, LLVM, Options{
-					PipelineMod: func(c *opt.Config) { *c = opt.O1() },
-				})
+				// The default tier-1 backend: fastpath single-pass baseline,
+				// matching what Rewriter.Tiered installs.
+				res, err := fastpath.Compile(w.Mem, entry, "flat_elem.t1", sigFor(Element), fastpath.Options{NamePrefix: "tb."})
+				if err != nil {
+					return tier.CompileResult{}, err
+				}
+				return tier.CompileResult{Entry: res.Entry, CodeSize: res.CodeSize}, nil
 			case tier.Tier2:
-				v, err = w.Prepare(Element, Flat, DBrewLLVM, Options{})
-			default:
-				return tier.CompileResult{}, fmt.Errorf("no compiler for %v", target)
+				v, err := w.Prepare(Element, Flat, DBrewLLVM, Options{})
+				if err != nil {
+					return tier.CompileResult{}, err
+				}
+				return tier.CompileResult{Entry: v.Entry, CodeSize: v.CodeSize}, nil
 			}
-			if err != nil {
-				return tier.CompileResult{}, err
-			}
-			return tier.CompileResult{Entry: v.Entry, CodeSize: v.CodeSize}, nil
+			return tier.CompileResult{}, fmt.Errorf("no compiler for %v", target)
 		},
 	})
 	if err != nil {
@@ -177,6 +222,17 @@ func (w *Workload) runTieredOnce(entry, sAddr uint64, fullSize, calls int, oneSh
 	return out, nil
 }
 
+// formatBreakEven renders a tier-1 break-even estimate; 0 means the
+// compiled code never beats the interpreter per call (baseline code can
+// model slower than interpreting a tiny kernel — its value is the nearly
+// free compile, not steady-state speed).
+func formatBreakEven(calls int) string {
+	if calls <= 0 {
+		return "never (per-call above interp)"
+	}
+	return fmt.Sprintf("~%d calls", calls)
+}
+
 // perCallTime measures the modelled per-call time of one element-kernel
 // entry by averaging over an interior row.
 func (w *Workload) perCallTime(entry uint64) (time.Duration, error) {
@@ -203,6 +259,15 @@ func (r *TieringResult) Format() string {
 	fmt.Fprintf(&b, "promotion thresholds: tier1 at %d calls, tier2 at %d calls\n", tieringT1, tieringT2)
 	if r.BreakEvenCalls > 0 {
 		fmt.Fprintf(&b, "estimated break-even: ~%d calls (compile / per-call saving)\n", r.BreakEvenCalls)
+	}
+	if r.FastpathT1Compile > 0 {
+		speedup := float64(r.LegacyT1Compile) / float64(r.FastpathT1Compile)
+		fmt.Fprintf(&b, "tier-1 compile: legacy lift+O1 %v, fastpath %v (%.1fx cheaper, mode %s)\n",
+			r.LegacyT1Compile.Round(time.Microsecond), r.FastpathT1Compile.Round(time.Microsecond),
+			speedup, r.FastpathT1Mode)
+		fmt.Fprintf(&b, "tier-1 per-call: legacy %v, fastpath %v; tier-1 break-even: legacy %s, fastpath %s\n",
+			r.LegacyT1PerCall, r.FastpathT1PerCall,
+			formatBreakEven(r.LegacyT1BreakEven), formatBreakEven(r.FastpathT1BreakEven))
 	}
 	fmt.Fprintf(&b, "%8s %14s %14s %14s %-12s %7s %7s\n",
 		"calls", "one-shot [ms]", "tiered [ms]", "winner", "final tier", "promos", "steady")

@@ -58,8 +58,25 @@ func TestRunTiering(t *testing.T) {
 		t.Fatalf("break-even estimate = %d, want positive", res.BreakEvenCalls)
 	}
 
+	// Tier-1 backend comparison: both backends measured and the route
+	// recorded. No relative wall-clock assertion here — the element kernel
+	// takes the lowering route, where lifting dominates both backends and
+	// scheduler noise could flip single samples; the compile-latency gate
+	// lives in cmd/benchfastpath over medians.
+	if res.LegacyT1Compile <= 0 || res.FastpathT1Compile <= 0 {
+		t.Fatalf("tier-1 compile times not measured: legacy %v, fastpath %v",
+			res.LegacyT1Compile, res.FastpathT1Compile)
+	}
+	if res.FastpathT1Mode == "" {
+		t.Error("fastpath tier-1 mode not recorded")
+	}
+	if res.LegacyT1PerCall <= 0 || res.FastpathT1PerCall <= 0 {
+		t.Errorf("tier-1 per-call times not measured: legacy %v, fastpath %v",
+			res.LegacyT1PerCall, res.FastpathT1PerCall)
+	}
+
 	out := res.Format()
-	for _, want := range []string{"one-shot", "tiered", "break-even", "tier2/opt"} {
+	for _, want := range []string{"one-shot", "tiered", "break-even", "tier2/opt", "fastpath"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("formatted table missing %q:\n%s", want, out)
 		}

@@ -2,8 +2,9 @@
 // reproduction's execution paths: randomly generated x86-64 programs are
 // run (1) natively on the emulator, (2) lifted and interpreted as IR,
 // (3) lifted, optimized at -O3, and interpreted, (4) lifted, optimized, and
-// JIT-compiled back to machine code, and (5) identity-rewritten by DBrew —
-// all five must agree bit-for-bit on every input.
+// JIT-compiled back to machine code, (5) identity-rewritten by DBrew, and
+// (6) compiled by the fastpath single-pass baseline backend — all six must
+// agree bit-for-bit on every input.
 //
 // The generator emits structured random programs (straight-line ALU and SSE
 // blocks, counted loops, conditional diamonds, memory traffic on a scratch

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dbrew"
 	"repro/internal/emu"
+	"repro/internal/fastpath"
 	"repro/internal/ir"
 	"repro/internal/jit"
 	"repro/internal/lift"
@@ -53,6 +54,7 @@ func runDifferential(t *testing.T, p *Program) {
 	// program's disassembly and the lifted IR variants, so a fuzzing
 	// counterexample is diagnosable from the report alone.
 	var fRaw, fOpt *ir.Func
+	var fpRes *fastpath.Result
 	alreadyFailed := t.Failed()
 	defer func() {
 		if !t.Failed() || alreadyFailed {
@@ -66,6 +68,12 @@ func runDifferential(t *testing.T, p *Program) {
 		}
 		if fOpt != nil {
 			t.Logf("%s: lifted IR (post-O3):\n%s", p.Desc, ir.FormatFunc(fOpt))
+		}
+		if fpRes != nil {
+			if lst, err := dbrew.Listing(mem, fpRes.Entry, fpRes.CodeSize); err == nil {
+				t.Logf("%s: fastpath output (%v, %d bytes):\n\t%s",
+					p.Desc, fpRes.Mode, fpRes.CodeSize, strings.Join(lst, "\n\t"))
+			}
 		}
 	}()
 
@@ -103,6 +111,12 @@ func runDifferential(t *testing.T, p *Program) {
 	if rw.Stats.Failed {
 		t.Fatalf("%s: dbrew fell back: %v", p.Desc, rw.Stats.Err)
 	}
+	// Variant D: fastpath single-pass baseline — byte-copy shortcut for
+	// straight-line programs, fused lift+baseline-JIT for the rest.
+	fpRes, err = fastpath.Compile(mem, entry, "fp", sig, fastpath.Options{NamePrefix: "xt."})
+	if err != nil {
+		t.Fatalf("%s: fastpath: %v", p.Desc, err)
+	}
 
 	for _, in := range inputPairs {
 		// Native reference.
@@ -139,6 +153,14 @@ func runDifferential(t *testing.T, p *Program) {
 			t.Fatalf("%s in=%v: dbrew run: %v", p.Desc, in, err)
 		}
 		check(t, p, "dbrew", in, want, got, wantBuf, buf)
+
+		// Fastpath baseline, emulated.
+		ResetScratch(mem, scratch)
+		got, buf, err = RunNative(mem, fpRes.Entry, scratch, p, in[0], in[1])
+		if err != nil {
+			t.Fatalf("%s in=%v: fastpath(%v) run: %v", p.Desc, in, fpRes.Mode, err)
+		}
+		check(t, p, "fastpath:"+fpRes.Mode.String(), in, want, got, wantBuf, buf)
 	}
 }
 
@@ -262,6 +284,37 @@ func TestDBrewPlusLLVMConsistency(t *testing.T) {
 				t.Errorf("%s: dbrew+llvm diverged for b=%#x: %#x vs %#x", p.Desc, b, got, want)
 			}
 		}
+	}
+}
+
+// TestFastpathShortcutSeeds pins generator seeds whose programs are
+// straight-line (no loop or diamond chunks), so the fastpath backend must
+// take the direct byte-copy route rather than lowering through the lifter.
+// Each seed then runs the full differential harness, which includes the
+// fastpath variant — the copied code must agree bit-for-bit with the
+// native reference. If the generator changes and a seed stops being
+// copy-eligible, this fails rather than the shortcut coverage silently
+// evaporating. The same seeds are in FuzzDifferential's in-code corpus.
+func TestFastpathShortcutSeeds(t *testing.T) {
+	// 3/17 are small integer ALU+mem programs, 15/28 carry SSE doubles
+	// (28 is the longest at 22 instructions).
+	for _, seed := range []int64{3, 15, 17, 28} {
+		p, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		mem, entry, _, err := p.Place()
+		if err != nil {
+			t.Fatalf("seed %d: place: %v", seed, err)
+		}
+		res, err := fastpath.Compile(mem, entry, "pin", p.Sig(), fastpath.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: fastpath: %v", seed, err)
+		}
+		if res.Mode != fastpath.ModeCopy {
+			t.Errorf("seed %d: mode = %v, want copy: shortcut coverage lost", seed, res.Mode)
+		}
+		runDifferential(t, p)
 	}
 }
 

@@ -3,8 +3,10 @@ package crosstest
 // FuzzDifferential feeds generator seeds through the full differential
 // harness: every program the seed produces must agree bit-for-bit across
 // native emulation, lifted interpretation, lifted+O3 interpretation,
-// lifted+O3+JIT, and the DBrew identity rewrite, on every boundary input
-// pair. A crash artifact is therefore a seed whose generated program
+// lifted+O3+JIT, the DBrew identity rewrite, and the fastpath baseline
+// backend, on every boundary input pair (straight-line programs also pin
+// fastpath's byte-copy shortcut). A crash artifact is therefore a seed
+// whose generated program
 // exposes a miscompilation somewhere in the pipeline; runDifferential dumps
 // the disassembly and lifted IR on failure so the artifact is diagnosable
 // offline.
@@ -29,6 +31,11 @@ import (
 func FuzzDifferential(f *testing.F) {
 	// In-code seeds mirror the ranges the deterministic tests sweep.
 	for _, seed := range []int64{1, 7, 19, 40, 100, 500, 512, 555} {
+		f.Add(seed)
+	}
+	// Straight-line seeds that keep the fastpath byte-copy shortcut under
+	// fuzz (pinned by TestFastpathShortcutSeeds).
+	for _, seed := range []int64{3, 15, 17, 28} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {

@@ -1,0 +1,204 @@
+// Package fastpath is the TPDE-style single-pass baseline backend: it turns
+// original machine code into installable tier-1 code with the minimum work
+// that still yields bit-identical architectural behavior.
+//
+// Two routes, tried in order:
+//
+//  1. Direct-from-x86 shortcut (ModeCopy): if the function is straight-line
+//     code — decodes cleanly from the entry to a RET with no other control
+//     flow and no RIP-relative operands — the bytes are position-independent
+//     and are simply copied into a fresh code region. No lift, no IR, no
+//     regalloc; compile cost is one decode scan plus a memcpy.
+//
+//  2. Single-pass lower (ModeLower): otherwise the code is lifted to IR once
+//     and handed to the JIT's baseline mode (jit.Compiler.Baseline), which
+//     fuses instruction selection and a fixed all-in-slots allocation into
+//     one walk — no optimizer rounds, no liveness fixpoint, no linear scan.
+//
+// Callers that need the legacy lift+O1+linear-scan tier-1 pipeline for A/B
+// comparison keep it behind their own flag; see dbrewllvm's
+// TierConfig.LegacyTier1 and the dbrewd fastpath deadline strategy.
+package fastpath
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/abi"
+	"repro/internal/emu"
+	"repro/internal/jit"
+	"repro/internal/lift"
+	"repro/internal/trace"
+	"repro/internal/x86"
+)
+
+// Mode identifies which route produced the code.
+type Mode int
+
+const (
+	// ModeCopy is the direct-from-x86 shortcut: straight-line original
+	// bytes copied verbatim into a new region.
+	ModeCopy Mode = iota
+	// ModeLower is the fused single-pass compile: lift once, then the
+	// baseline JIT backend.
+	ModeLower
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeCopy:
+		return "copy"
+	case ModeLower:
+		return "lower"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Options tune a fastpath compile; the zero value is ready to use.
+type Options struct {
+	// NamePrefix distinguishes code regions of multiple generations of one
+	// function, as in jit.Compiler.NamePrefix (e.g. "t1.").
+	NamePrefix string
+	// Trace, when non-nil, receives one "fastpath" span per Compile with
+	// mode and size attributes. A nil Trace records nothing.
+	Trace *trace.Trace
+	// MaxScan bounds the shortcut's decode scan in bytes (default 4096).
+	// Functions longer than this take the lowering route.
+	MaxScan int
+	// NoShortcut disables the direct-from-x86 route, forcing ModeLower.
+	// Used by benchmarks and tests to measure the lowering path alone.
+	NoShortcut bool
+}
+
+// Result describes a successful fastpath compile.
+type Result struct {
+	// Entry is the address of the installed code.
+	Entry uint64
+	// CodeSize is the emitted (or copied) code size in bytes.
+	CodeSize int
+	// Mode is the route that produced the code.
+	Mode Mode
+	// Insts is the number of machine instructions scanned on the copy
+	// route (0 for ModeLower).
+	Insts int
+}
+
+// Stats are process-wide fastpath counters, in the style of
+// emu.ReadTraceStats.
+type Stats struct {
+	// Copies and Lowers count successful compiles per route.
+	Copies, Lowers uint64
+	// ShortcutRejects counts entries that failed the straight-line scan
+	// (branch, RIP-relative operand, decode error, or over MaxScan) and
+	// fell through to lowering.
+	ShortcutRejects uint64
+}
+
+var counters struct {
+	copies, lowers, rejects atomic.Uint64
+}
+
+// ReadStats returns a snapshot of the process-wide counters.
+func ReadStats() Stats {
+	return Stats{
+		Copies:          counters.copies.Load(),
+		Lowers:          counters.lowers.Load(),
+		ShortcutRejects: counters.rejects.Load(),
+	}
+}
+
+const defaultMaxScan = 4096
+
+// Compile produces executable code for the function at entry using the
+// cheapest applicable route. The output is behaviorally bit-identical to
+// the original code (architectural state, flags, memory effects); only
+// compile latency and code placement differ from the optimizing tiers.
+func Compile(mem *emu.Memory, entry uint64, name string, sig abi.Signature, opts Options) (*Result, error) {
+	sp := opts.Trace.Start("fastpath")
+	res, err := compile(mem, entry, name, sig, opts)
+	if err != nil {
+		sp.EndErr(err)
+		return nil, err
+	}
+	sp.Int("mode", int64(res.Mode)).Int("code_bytes", int64(res.CodeSize)).End()
+	return res, nil
+}
+
+func compile(mem *emu.Memory, entry uint64, name string, sig abi.Signature, opts Options) (*Result, error) {
+	if !opts.NoShortcut {
+		if n, insts, ok := scanStraightLine(mem, entry, opts.MaxScan); ok {
+			code, err := mem.Bytes(entry, n)
+			if err != nil {
+				return nil, fmt.Errorf("fastpath: read %s at %#x: %w", name, entry, err)
+			}
+			r := mem.Alloc(n, 16, "fastpath."+opts.NamePrefix+name)
+			copy(r.Data, code)
+			counters.copies.Add(1)
+			return &Result{Entry: r.Start, CodeSize: n, Mode: ModeCopy, Insts: insts}, nil
+		}
+		counters.rejects.Add(1)
+	}
+
+	lo := lift.DefaultOptions()
+	lo.Trace = opts.Trace
+	l := lift.New(mem, lo)
+	f, err := l.LiftFunc(entry, name, sig)
+	if err != nil {
+		return nil, fmt.Errorf("fastpath: lift %s: %w", name, err)
+	}
+	comp := jit.NewCompiler(mem)
+	comp.Baseline = true
+	comp.NamePrefix = opts.NamePrefix
+	comp.Trace = opts.Trace
+	addr, err := comp.CompileModule(l.Module, f.Nam)
+	if err != nil {
+		return nil, fmt.Errorf("fastpath: jit %s: %w", name, err)
+	}
+	counters.lowers.Add(1)
+	return &Result{Entry: addr, CodeSize: comp.Sizes[addr], Mode: ModeLower}, nil
+}
+
+// scanStraightLine decodes forward from entry and reports (totalBytes,
+// instCount, true) when the function is eligible for the copy shortcut:
+// every instruction decodes, none is a branch except a final RET, and no
+// operand is RIP-relative (copied code runs at a different address, so only
+// position-independent encodings survive relocation by memcpy).
+func scanStraightLine(mem *emu.Memory, entry uint64, maxScan int) (int, int, bool) {
+	if maxScan <= 0 {
+		maxScan = defaultMaxScan
+	}
+	off, insts := 0, 0
+	for off < maxScan {
+		addr := entry + uint64(off)
+		// An instruction is at most 15 bytes; near the end of a mapped
+		// region a full window may fault, so shrink until a read succeeds.
+		var window []byte
+		for n := 16; n >= 1; n-- {
+			if b, err := mem.Bytes(addr, n); err == nil {
+				window = b
+				break
+			}
+		}
+		if window == nil {
+			return 0, 0, false
+		}
+		in, err := x86.Decode(window, addr)
+		if err != nil {
+			return 0, 0, false
+		}
+		off += in.Len
+		insts++
+		if in.Op == x86.RET {
+			return off, insts, true
+		}
+		if in.IsBranch() {
+			return 0, 0, false
+		}
+		for _, op := range []x86.Operand{in.Dst, in.Src, in.Src2} {
+			if op.Kind == x86.KMem && op.Mem.RIPRel {
+				return 0, 0, false
+			}
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,124 @@
+package jit
+
+// Baseline allocation: the single-pass backend's replacement for the
+// liveness + linear-scan pipeline. Every live value gets a fixed stack slot
+// in one walk over the function — no intervals, no fixpoint, no spilling
+// decisions — and the existing emitter stages slot-homed values through its
+// scratch registers exactly as it stages spilled values today. The only
+// analysis performed is a cheap mark-live sweep: unoptimized lifted IR
+// carries large amounts of dead flag materialization (the lifter computes
+// every x86 status flag; the optimizer normally deletes the unconsumed
+// ones), and emitting those would bloat the output several-fold.
+
+import "repro/internal/ir"
+
+// baselineRoot reports whether an instruction must execute regardless of
+// whether its result is consumed.
+func baselineRoot(in *ir.Inst) bool {
+	if in.IsTerminator() {
+		return true
+	}
+	switch in.Op {
+	case ir.OpStore, ir.OpCall:
+		return true
+	case ir.OpLoad:
+		return in.Volatile
+	case ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem:
+		// Division can trap; without value-range facts its execution is an
+		// observable effect, so it is never treated as dead.
+		return true
+	}
+	return false
+}
+
+// baselineAllocate assigns every live value a stack slot and marks
+// everything else dead. It produces an allocation the emitter consumes
+// unchanged: empty fusion map, no callee-saved registers, all homes spilled.
+func baselineAllocate(f *ir.Func) *allocation {
+	// Mark-live: roots are effectful instructions; liveness propagates
+	// through operands (including phi incoming values, which are the phi's
+	// Args). The worklist converges even through phi cycles — an
+	// unreferenced phi loop simply never gets marked.
+	live := make(map[*ir.Inst]bool)
+	var work []*ir.Inst
+	mark := func(v ir.Value) {
+		if in, ok := v.(*ir.Inst); ok && !live[in] {
+			live[in] = true
+			work = append(work, in)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			if baselineRoot(in) {
+				mark(in)
+			}
+		}
+	}
+	for len(work) > 0 {
+		in := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, a := range in.Args {
+			mark(a)
+		}
+	}
+
+	// Used values: operands of live instructions. A live instruction whose
+	// result is never consumed (an effectful call, a kept division) gets no
+	// home; writeBackGP/XMM skip it.
+	used := make(map[ir.Value]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			if !live[in] {
+				continue
+			}
+			for _, a := range in.Args {
+				switch a.(type) {
+				case *ir.Inst, *ir.Param:
+					used[a] = true
+				}
+			}
+		}
+	}
+
+	a := &allocation{
+		locs:  make(map[ir.Value]loc),
+		fused: make(map[*ir.Inst]bool),
+		dead:  make(map[*ir.Inst]bool),
+	}
+	var frame int32
+	slotOf := func(cl regClass) int32 {
+		if cl == classXMM {
+			frame += 16
+			if frame%16 != 0 {
+				frame += 16 - frame%16
+			}
+		} else {
+			frame += 8
+		}
+		return -frame
+	}
+	for _, p := range f.Params {
+		if used[p] {
+			a.locs[p] = loc{off: slotOf(classOf(p.Ty))}
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			if !live[in] {
+				a.dead[in] = true
+				continue
+			}
+			// Allocas own frame space via the emitter's allocaOff pass and
+			// are rematerialized with LEA wherever used; a slot would never
+			// be read.
+			if in.Ty != ir.Void && in.Op != ir.OpAlloca && used[in] {
+				a.locs[in] = loc{off: slotOf(classOf(in.Ty))}
+			}
+		}
+	}
+	if frame%16 != 0 {
+		frame += 16 - frame%16
+	}
+	a.frameSize = frame
+	return a
+}

@@ -1,0 +1,165 @@
+package jit
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/ir"
+)
+
+// buildBaselineCases returns fresh IR functions covering the shapes the
+// baseline backend must lower: control flow with phis, FP arithmetic,
+// memory traffic, selects, and narrow-width extensions. Functions are
+// rebuilt per call because compilation mutates the IR (edge splitting).
+func buildBaselineCases() map[string]func() (*ir.Func, []uint64, []float64) {
+	return map[string]func() (*ir.Func, []uint64, []float64){
+		"max": func() (*ir.Func, []uint64, []float64) {
+			f := ir.NewFunc("max", ir.I64, ir.I64, ir.I64)
+			b := ir.NewBuilder(f)
+			lt := b.ICmp(ir.PredSLT, f.Params[0], f.Params[1])
+			b.Ret(b.Select(lt, f.Params[1], f.Params[0]))
+			return f, []uint64{9, 3}, nil
+		},
+		"loopsum": func() (*ir.Func, []uint64, []float64) {
+			f := ir.NewFunc("sum", ir.I64, ir.I64)
+			b := ir.NewBuilder(f)
+			entry := b.Cur
+			loop := f.NewBlock("loop")
+			body := f.NewBlock("body")
+			exit := f.NewBlock("exit")
+			b.Br(loop)
+			b.SetBlock(loop)
+			i := b.Phi(ir.I64)
+			s := b.Phi(ir.I64)
+			b.CondBr(b.ICmp(ir.PredSLT, i, f.Params[0]), body, exit)
+			b.SetBlock(body)
+			s2 := b.Add(s, i)
+			i2 := b.Add(i, ir.Int(ir.I64, 1))
+			b.Br(loop)
+			ir.AddIncoming(i, ir.Int(ir.I64, 0), entry)
+			ir.AddIncoming(i, i2, body)
+			ir.AddIncoming(s, ir.Int(ir.I64, 0), entry)
+			ir.AddIncoming(s, s2, body)
+			b.SetBlock(exit)
+			b.Ret(s)
+			return f, []uint64{100}, nil
+		},
+		"axpy": func() (*ir.Func, []uint64, []float64) {
+			f := ir.NewFunc("axpy", ir.Double, ir.Double, ir.Double, ir.Double)
+			b := ir.NewBuilder(f)
+			b.Ret(b.FAdd(b.FMul(f.Params[0], f.Params[1]), f.Params[2]))
+			return f, nil, []float64{3, 4, 5}
+		},
+		"narrow": func() (*ir.Func, []uint64, []float64) {
+			f := ir.NewFunc("narrow", ir.I64, ir.I64, ir.I64)
+			b := ir.NewBuilder(f)
+			t8 := b.Trunc(f.Params[0], ir.I8)
+			z := b.ZExt(t8, ir.I64)
+			sx := b.SExt(b.Trunc(f.Params[1], ir.I32), ir.I64)
+			b.Ret(b.Xor(z, sx))
+			return f, []uint64{0x1FF, 0xFFFFFFFF80000001}, nil
+		},
+	}
+}
+
+// TestBaselineMatchesLinearScan compiles each case with both backends and
+// requires identical results (RAX or XMM0) on the emulator.
+func TestBaselineMatchesLinearScan(t *testing.T) {
+	for name, build := range buildBaselineCases() {
+		t.Run(name, func(t *testing.T) {
+			f1, ints, fps := build()
+			want, m1 := compileAndRun(t, emu.NewMemory(0x1000000), f1, ints, fps)
+
+			f2, _, _ := build()
+			mem := emu.NewMemory(0x1000000)
+			c := NewCompiler(mem)
+			c.Baseline = true
+			entry, err := c.Compile(f2)
+			if err != nil {
+				t.Fatalf("baseline compile: %v\n%s", err, ir.FormatFunc(f2))
+			}
+			m := emu.NewMachine(mem)
+			got, err := m.Call(entry, emu.CallArgs{Ints: ints, Floats: fps}, 1_000_000)
+			if err != nil {
+				t.Fatalf("baseline run: %v\n%s", err, ir.FormatFunc(f2))
+			}
+			if got != want {
+				t.Errorf("baseline = %#x, linear-scan = %#x", got, want)
+			}
+			if m.XMM[0].Lo != m1.XMM[0].Lo {
+				t.Errorf("baseline xmm0 = %#x, linear-scan = %#x", m.XMM[0].Lo, m1.XMM[0].Lo)
+			}
+		})
+	}
+}
+
+// TestBaselineMemoryOps checks loads/stores through an unfused GEP chain and
+// that stored side effects land (stores are roots, never dead).
+func TestBaselineMemoryOps(t *testing.T) {
+	f := ir.NewFunc("pair", ir.Double, ir.PtrTo(ir.I8), ir.I64)
+	b := ir.NewBuilder(f)
+	dp := b.Bitcast(f.Params[0], ir.PtrTo(ir.Double))
+	l0 := b.Load(ir.Double, b.GEP(ir.Double, dp, f.Params[1]))
+	l1 := b.Load(ir.Double, b.GEP(ir.Double, dp, b.Add(f.Params[1], ir.Int(ir.I64, 1))))
+	sum := b.FAdd(l0, l1)
+	b.Store(sum, b.GEP(ir.Double, dp, ir.Int(ir.I64, 0)))
+	b.Ret(sum)
+
+	mem := emu.NewMemory(0x1000000)
+	buf := mem.Alloc(64, 16, "buf")
+	mem.WriteFloat64(buf.Start+16, 1.5)
+	mem.WriteFloat64(buf.Start+24, 2.25)
+	c := NewCompiler(mem)
+	c.Baseline = true
+	entry, err := c.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.NewMachine(mem)
+	if _, err := m.Call(entry, emu.CallArgs{Ints: []uint64{buf.Start, 2}}, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.XMM[0].Lo; got != f64b(3.75) {
+		t.Errorf("pair = %#x, want %#x", got, f64b(3.75))
+	}
+	if got, _ := mem.ReadFloat64(buf.Start); got != 3.75 {
+		t.Errorf("store missed: buf[0] = %g, want 3.75", got)
+	}
+}
+
+// TestBaselineDCE verifies the mark-live sweep: dead pure chains produce no
+// code, but kept roots (division) survive even when unused.
+func TestBaselineDCE(t *testing.T) {
+	f := ir.NewFunc("dead", ir.I64, ir.I64)
+	b := ir.NewBuilder(f)
+	// Dead chain: never consumed.
+	d := b.Add(f.Params[0], ir.Int(ir.I64, 1))
+	b.Mul(d, d)
+	b.Ret(f.Params[0])
+
+	al := baselineAllocate(f)
+	deadCount := 0
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Insts {
+			if al.dead[in] {
+				deadCount++
+			}
+		}
+	}
+	if deadCount != 2 {
+		t.Errorf("dead instructions = %d, want 2\n%s", deadCount, ir.FormatFunc(f))
+	}
+
+	g := ir.NewFunc("divkeep", ir.I64, ir.I64, ir.I64)
+	b2 := ir.NewBuilder(g)
+	b2.SDiv(g.Params[0], g.Params[1]) // unused, but may trap: must stay
+	b2.Ret(g.Params[0])
+	al2 := baselineAllocate(g)
+	for _, blk := range g.Blocks {
+		for _, in := range blk.Insts {
+			if in.Op == ir.OpSDiv && al2.dead[in] {
+				t.Error("unused sdiv was marked dead; division is an effect")
+			}
+		}
+	}
+}

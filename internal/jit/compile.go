@@ -20,6 +20,13 @@ type Compiler struct {
 	// with the compiled function count and emitted code size. A nil Trace
 	// records nothing.
 	Trace *trace.Trace
+	// Baseline selects the single-pass fused backend: instruction selection
+	// and a fixed all-in-slots allocation happen in one walk over the lifted
+	// IR, with no fusion analysis, no liveness fixpoint, no linear scan, and
+	// no pre-compile verification. Compile latency drops by an order of
+	// magnitude; code quality is comparable to an -O0 build. Used by
+	// internal/fastpath for tier-1 promotions and deadline-bounded requests.
+	Baseline bool
 	// entries records where each compiled function was placed.
 	entries map[*ir.Func]uint64
 	// Sizes records the code size of each compiled function by entry.
@@ -152,8 +159,10 @@ func (c *Compiler) Compile(f *ir.Func) (uint64, error) {
 	}
 	splitCriticalEdges(f)
 	foldTrivialPhis(f)
-	if err := ir.Verify(f); err != nil {
-		return 0, fmt.Errorf("jit: pre-compile verify of %s: %w", f.Nam, err)
+	if !c.Baseline {
+		if err := ir.Verify(f); err != nil {
+			return 0, fmt.Errorf("jit: pre-compile verify of %s: %w", f.Nam, err)
+		}
 	}
 
 	// Two-pass assembly: measure at a provisional base, then place.
@@ -185,8 +194,13 @@ func (c *Compiler) Entry(f *ir.Func) (uint64, bool) {
 // emitFunc assembles the whole function at the given base. selfAddr is the
 // final address used for recursive calls (0 during the sizing pass).
 func (c *Compiler) emitFunc(f *ir.Func, base, selfAddr uint64) ([]byte, error) {
-	fused := analyzeFusion(f)
-	al := allocate(f, fused)
+	var al *allocation
+	if c.Baseline {
+		al = baselineAllocate(f)
+	} else {
+		fused := analyzeFusion(f)
+		al = allocate(f, fused)
+	}
 	em := &emitter{
 		c:        c,
 		f:        f,

@@ -122,7 +122,7 @@ func (e *emitter) run() error {
 			next = e.f.Blocks[bi+1]
 		}
 		for _, in := range blk.Insts {
-			if in.Op == ir.OpPhi || e.alloc.fused[in] {
+			if in.Op == ir.OpPhi || e.alloc.fused[in] || e.alloc.dead[in] {
 				continue
 			}
 			if in.IsTerminator() {

@@ -83,6 +83,10 @@ type allocation struct {
 	// fused instructions produce no home and are re-materialized at their
 	// single consumer.
 	fused map[*ir.Inst]bool
+	// dead instructions are skipped entirely during emission (baseline mode
+	// only; nil under the linear-scan allocator, whose input is already
+	// DCE-cleaned by the optimizer).
+	dead map[*ir.Inst]bool
 }
 
 // analyzeFusion finds instructions folded into their consumer: icmps feeding

@@ -52,6 +52,16 @@ type Config struct {
 	// diskcache.DefaultMaxBytes).
 	CacheBytes int64
 
+	// FastpathDeadline switches deadline-pressured requests to the fastpath
+	// compile strategy: when a request's remaining deadline budget (after
+	// clamping) is below this threshold, the rewriter skips the optimizer
+	// and emits through the single-pass baseline backend — a much cheaper
+	// compile whose output is still correct, just less optimized. Zero
+	// disables the automatic switch (every request takes the full pipeline);
+	// cmd/dbrewd enables it at 250ms by default. Response.Strategy reports
+	// the choice per request.
+	FastpathDeadline time.Duration
+
 	// ChunkBytes bounds the delta-snapshot chunk store's payload bytes
 	// (<= 0 selects 64 MiB). Evicted chunks are re-shipped by clients after
 	// a 412, so the bound trades upload bytes for memory, never correctness.
@@ -109,6 +119,13 @@ func (c Config) withDefaults() Config {
 // errOverloaded marks an admission rejection (queue full) internally.
 var errOverloaded = errors.New("service: admission queue full")
 
+// Compile strategies, as reported in Response.Strategy and the
+// dbrew_service_strategy_total metric.
+const (
+	strategyFull     = "full"
+	strategyFastpath = "fastpath"
+)
+
 // Service is the dbrewd HTTP handler: one engine, one specialization
 // cache, a bounded admission pool, and the /specialize, /healthz, and
 // /metrics endpoints. Create it with New and serve it with net/http.
@@ -134,6 +151,10 @@ type Service struct {
 	wg     sync.WaitGroup
 
 	requests, okCount, badReq, rejected, deadlines, errCount, cacheHits atomic.Int64
+
+	// Strategy counters: fastpathServed counts 200s compiled (or served)
+	// under the fastpath strategy, fullServed the full-pipeline rest.
+	fastpathServed, fullServed atomic.Int64
 
 	// Fleet counters: peerHits are requests served by adopting an owner's
 	// artifact, peerForwards are requests forwarded to their owner for
@@ -313,6 +334,13 @@ func (s *Service) registerMetrics() {
 	counter("dbrew_service_deadline_total", "Requests that exceeded their deadline (504).", &s.deadlines)
 	counter("dbrew_service_errors_total", "Requests failed with a 5xx pipeline error.", &s.errCount)
 	counter("dbrew_service_cache_hits_total", "Requests served from the specialization cache.", &s.cacheHits)
+	s.reg.CounterVec("dbrew_service_strategy_total", "Successful requests by compile strategy.",
+		func() []trace.Sample {
+			return []trace.Sample{
+				{Label: `strategy="full"`, Value: float64(s.fullServed.Load())},
+				{Label: `strategy="fastpath"`, Value: float64(s.fastpathServed.Load())},
+			}
+		})
 	counter("dbrew_service_peer_hits_total", "Requests served by adopting a peer's artifact.", &s.peerHits)
 	counter("dbrew_service_peer_forwards_total", "Requests forwarded to their owning peer for compilation.", &s.peerForwards)
 	counter("dbrew_service_peer_degraded_total", "Fleet requests that fell back to a local compile.", &s.peerDegraded)
@@ -367,6 +395,8 @@ func (s *Service) MetricsSnapshot() Metrics {
 		QueueDepth:       s.queued.Load(),
 		ActiveCompiles:   s.active.Load(),
 		LatencyUSLog2:    s.latency.Snapshot(),
+		FastpathServed:   s.fastpathServed.Load(),
+		FullServed:       s.fullServed.Load(),
 		Engine:           es,
 	}
 	if es.Cache != nil {
@@ -479,6 +509,18 @@ func (s *Service) specialize(ctx context.Context, req *Request, tr *trace.Trace,
 	ctx, cancel := context.WithTimeout(ctx, deadline)
 	defer cancel()
 
+	// Strategy selection: a request whose remaining budget is below the
+	// configured threshold cannot afford the optimizer — compile it with the
+	// single-pass fastpath backend instead of risking a 504. Decided from
+	// the context deadline (not the nominal request deadline), so time
+	// already burned upstream counts against the budget.
+	strategy := strategyFull
+	if s.cfg.FastpathDeadline > 0 {
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < s.cfg.FastpathDeadline {
+			strategy = strategyFastpath
+		}
+	}
+
 	// The engine is off limits until the disk-cache index finished loading.
 	select {
 	case <-s.ready:
@@ -492,6 +534,7 @@ func (s *Service) specialize(ctx context.Context, req *Request, tr *trace.Trace,
 
 	rw := dbrewllvm.NewRewriter(s.eng, req.Entry, sig)
 	rw.Strict = true
+	rw.Fastpath = strategy == strategyFastpath
 	rw.FastMath = !req.NoFastMath
 	rw.ForceVectorWidth = req.ForceVectorWidth
 	switch req.Backend {
@@ -571,11 +614,17 @@ func (s *Service) specialize(ctx context.Context, req *Request, tr *trace.Trace,
 		return nil, http.StatusInternalServerError, "", fmt.Errorf("reading generated code: %w", err)
 	}
 
+	if strategy == strategyFastpath {
+		s.fastpathServed.Add(1)
+	} else {
+		s.fullServed.Add(1)
+	}
 	resp := &Response{
 		Addr:     addr,
 		Code:     code,
 		CacheHit: rw.CacheHit,
 		Source:   rw.Source,
+		Strategy: strategy,
 		Stats: CompileStats{
 			Decoded:    rw.Stats.Decoded,
 			Emitted:    rw.Stats.Emitted,

@@ -140,6 +140,12 @@ type Response struct {
 	// artifact adopted), "forward" (request compiled by the owning peer), or
 	// "compile" (this node ran the pipeline).
 	Source string `json:"source,omitempty"`
+	// Strategy names the compile strategy the server chose for this
+	// request: "full" (specialize + O3 + JIT) or "fastpath" (specialize,
+	// then the single-pass baseline backend — selected automatically when
+	// the remaining deadline budget fell below the server's configured
+	// threshold).
+	Strategy string `json:"strategy,omitempty"`
 	// Stats are the compile statistics (restored from cache on a hit).
 	Stats CompileStats `json:"stats"`
 	// IR is the formatted IR of the returned code, when IncludeIR was set
@@ -187,6 +193,10 @@ type Metrics struct {
 	// CoalesceHits counts requests that blocked on another request's
 	// in-flight identical compilation (the engine cache's Waits counter).
 	CoalesceHits int64 `json:"coalesce_hits"`
+	// FastpathServed counts 200s answered under the fastpath strategy
+	// (deadline budget below the server's threshold); FullServed the rest.
+	FastpathServed int64 `json:"fastpath_served"`
+	FullServed     int64 `json:"full_served"`
 	// QueueDepth is the current number of requests queued for a compile
 	// slot; ActiveCompiles the number of slots in use.
 	QueueDepth     int64 `json:"queue_depth"`

@@ -87,6 +87,18 @@ func RegisterMetrics(reg *trace.Registry, prefix string, snapshot func() (Stats,
 		func() trace.HistogramData {
 			return grab().CompileLatency().HistogramData()
 		})
+	// Per-tier split of the same latencies: the registry has no labeled
+	// histograms, so each target tier gets its own metric family. The
+	// tier-1 family is where the fastpath baseline backend's compile-cost
+	// win shows up against the tier-2 full pipeline.
+	reg.Histogram(prefix+"_tier1_compile_seconds", "Tier-1 (baseline backend) promotion compile latency.",
+		func() trace.HistogramData {
+			return grab().CompileLatencyFor(Tier1).HistogramData()
+		})
+	reg.Histogram(prefix+"_tier2_compile_seconds", "Tier-2 (specialize+optimize) promotion compile latency.",
+		func() trace.HistogramData {
+			return grab().CompileLatencyFor(Tier2).HistogramData()
+		})
 	// The emulator's inner trace tier: hot superblock loops compiled while
 	// functions are still at tier 0.
 	reg.Counter(prefix+"_traces_compiled_total", "Emulator superblock traces compiled (including O3 recompiles).",

@@ -135,8 +135,13 @@ type FuncStats struct {
 	CompileTime time.Duration
 	// TimeInTier accumulates wall-clock residency per tier.
 	TimeInTier [NumLevels]time.Duration
-	// CompileLatency is the per-promotion latency histogram.
+	// CompileLatency is the per-promotion latency histogram, merged across
+	// target tiers.
 	CompileLatency HistogramSnapshot
+	// CompileLatencyByTier splits the same promotions by target tier, so a
+	// cheap tier-1 baseline compile and an expensive tier-2 specialization
+	// are visible as separate distributions. Index Tier0 stays empty.
+	CompileLatencyByTier [NumLevels]HistogramSnapshot
 }
 
 // String summarizes the snapshot on one line.
@@ -165,6 +170,18 @@ func (s Stats) CompileLatency() HistogramSnapshot {
 	return h
 }
 
+// CompileLatencyFor merges every function's histogram for one target tier.
+func (s Stats) CompileLatencyFor(l Level) HistogramSnapshot {
+	var h HistogramSnapshot
+	if l < 0 || l >= NumLevels {
+		return h
+	}
+	for _, f := range s.Funcs {
+		h.Merge(f.CompileLatencyByTier[l])
+	}
+	return h
+}
+
 // String renders a small per-function table plus the cache counters.
 func (s Stats) String() string {
 	var b strings.Builder
@@ -180,6 +197,8 @@ func (s Stats) String() string {
 	}
 	fmt.Fprintf(&b, "compile cache: %v\n", s.Cache)
 	fmt.Fprintf(&b, "compile latency: %v\n", s.CompileLatency())
+	fmt.Fprintf(&b, "compile latency tier1: %v\n", s.CompileLatencyFor(Tier1))
+	fmt.Fprintf(&b, "compile latency tier2: %v\n", s.CompileLatencyFor(Tier2))
 	fmt.Fprintf(&b, "emulator traces: %d compiled (%d at O3), %d aborted, %d runs, %d iterations, %d side exits\n",
 		s.Trace.Compiled, s.Trace.CompiledO3, s.Trace.Aborted,
 		s.Trace.Runs, s.Trace.Iters, s.Trace.SideExits)
@@ -191,14 +210,17 @@ func (s Stats) String() string {
 func (f *Func) Stats() FuncStats {
 	st := f.active.Load()
 	out := FuncStats{
-		Name:           f.name,
-		Level:          st.level,
-		Entry:          st.entry,
-		CodeSize:       st.size,
-		Calls:          f.calls.Load(),
-		Cycles:         f.cycles.Load(),
-		Insts:          f.insts.Load(),
-		CompileLatency: f.hist.Snapshot(),
+		Name:     f.name,
+		Level:    st.level,
+		Entry:    st.entry,
+		CodeSize: st.size,
+		Calls:    f.calls.Load(),
+		Cycles:   f.cycles.Load(),
+		Insts:    f.insts.Load(),
+	}
+	for l := range f.hist {
+		out.CompileLatencyByTier[l] = f.hist[l].Snapshot()
+		out.CompileLatency.Merge(out.CompileLatencyByTier[l])
 	}
 	f.statsMu.Lock()
 	out.Promotions = f.promotions

@@ -99,6 +99,13 @@ type Config struct {
 	// Each concurrent caller gets its own stack region, which is what makes
 	// dispatch safe from many goroutines on one shared address space.
 	StackSize int
+
+	// LegacyTier1 selects the old lift+O1+linear-scan tier-1 pipeline
+	// instead of the fastpath single-pass baseline backend. The manager
+	// itself only records the choice (compile callbacks read it through
+	// Manager.Config and specialization keys hash it, so the two pipelines
+	// never share cached code); kept for A/B comparison.
+	LegacyTier1 bool
 }
 
 func (c Config) withDefaults() Config {
@@ -201,6 +208,9 @@ func (m *Manager) Register(spec FuncSpec) (*Func, error) {
 	return f, nil
 }
 
+// Config returns the manager's effective configuration (defaults applied).
+func (m *Manager) Config() Config { return m.cfg }
+
 // Funcs returns the registered handles in registration order.
 func (m *Manager) Funcs() []*Func {
 	m.mu.Lock()
@@ -280,7 +290,7 @@ type Func struct {
 	inflight [NumLevels]atomic.Bool
 	failed   [NumLevels]atomic.Bool
 
-	hist LatencyHistogram
+	hist [NumLevels]LatencyHistogram
 
 	statsMu     sync.Mutex
 	enteredAt   time.Time
@@ -408,7 +418,7 @@ func (f *Func) promote(target Level) {
 		res, err = f.compile(target)
 	}
 	lat := time.Since(start)
-	f.hist.Add(lat)
+	f.hist[target].Add(lat)
 
 	f.statsMu.Lock()
 	defer f.statsMu.Unlock()
@@ -480,6 +490,11 @@ func (f *Func) specKey(target Level) (codecache.Key, bool) {
 	h := codecache.NewHasher()
 	h.U64(f.orig)
 	h.I64(int64(target))
+	if f.mgr.cfg.LegacyTier1 {
+		// The two tier-1 backends emit different code for the same
+		// specialization; keep their cache entries apart.
+		h.U64(1)
+	}
 	h.U64(uint64(len(f.fixed)))
 	for _, fx := range f.fixed {
 		h.I64(int64(fx.Idx))

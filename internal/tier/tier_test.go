@@ -316,3 +316,88 @@ func TestRegisterValidation(t *testing.T) {
 		t.Fatal("nil compile accepted")
 	}
 }
+
+// TestFastpathDeoptDiscardsInFlightCompile pins the generation-counter
+// contract the fastpath tier-1 backend depends on: when a function is
+// deoptimized while its (fast, but still asynchronous) tier-1 compile is in
+// flight, the arriving result must be discarded, not installed over the
+// freshly invalidated state. Run under -race via `make race-fastpath`.
+func TestFastpathDeoptDiscardsInFlightCompile(t *testing.T) {
+	mem := emu.NewMemory(0x1000000)
+	mgr := NewManager(mem, Config{Tier1Calls: 2, Tier2Calls: 1 << 62})
+	fixed := mem.Alloc(16, 8, "fixed")
+
+	started := make(chan struct{})
+	var startedOnce sync.Once
+	release := make(chan struct{})
+	var compiles atomic.Int64
+	orig := placeAdd(t, mem, "orig", 8)
+	f, err := mgr.Register(FuncSpec{
+		Name:   "add",
+		Entry:  orig,
+		Ranges: []Range{{Start: fixed.Start, End: fixed.End()}},
+		Compile: func(target Level) (CompileResult, error) {
+			startedOnce.Do(func() { close(started) })
+			<-release
+			n := compiles.Add(1)
+			entry := placeAdd(t, mem, fmt.Sprintf("code.%v.%d", target, n), 4)
+			return CompileResult{Entry: entry, CodeSize: 16}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cross the tier-1 threshold; the background compile parks on release.
+	for i := 0; i < 2; i++ {
+		if _, err := f.Call([]uint64{1, uint64(i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-started
+
+	// Deoptimize mid-compile, then let the stale result arrive: it must be
+	// discarded, leaving the function at tier 0 with zero installs.
+	if n := mgr.Invalidate(fixed.Start, fixed.End()); n != 1 {
+		t.Fatalf("Invalidate deoptimized %d funcs, want 1", n)
+	}
+	close(release)
+	mgr.Drain()
+
+	st := f.Stats()
+	if st.Promotions[Tier1] != 0 {
+		t.Fatalf("stale tier-1 result was installed (promotions = %d)", st.Promotions[Tier1])
+	}
+	if compiles.Load() != 1 {
+		t.Fatalf("compiles = %d, want 1", compiles.Load())
+	}
+	if got := f.Level(); got != Tier0 {
+		t.Fatalf("level after discarded compile = %v, want tier0", got)
+	}
+
+	// The handle still works and re-promotes over the new state; racing
+	// dispatchers against the second promotion install is the -race payoff.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				got, err := f.Call([]uint64{10, 20}, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != 30 {
+					t.Errorf("call after deopt = %d, want 30", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mgr.Drain()
+	if got := f.Level(); got != Tier1 {
+		t.Fatalf("level after re-promotion = %v, want tier1", got)
+	}
+}

@@ -6,15 +6,18 @@ package dbrewllvm
 // (Section V, Figure 10) says that choice should depend on how hot the
 // function turns out to be. EnableTiering turns the engine into an adaptive
 // runtime: functions registered through Rewriter.Tiered start interpreted,
-// get a cheap lift+O1 JIT once warm, and receive the full DBrew+O3
-// specialization once hot — with deoptimization back to the interpreter
-// when a fixed memory region is invalidated.
+// get cheap single-pass baseline code (internal/fastpath) once warm, and
+// receive the full DBrew+O3 specialization once hot — with deoptimization
+// back to the interpreter when a fixed memory region is invalidated.
+// TierConfig.LegacyTier1 restores the previous lift+O1 tier-1 pipeline for
+// A/B comparison.
 
 import (
 	"errors"
 	"fmt"
 
 	"repro/internal/dbrew"
+	"repro/internal/fastpath"
 	"repro/internal/jit"
 	"repro/internal/lift"
 	"repro/internal/opt"
@@ -34,7 +37,8 @@ type TierLevel = tier.Level
 const (
 	// Tier0 interprets the original machine code (internal/emu).
 	Tier0 = tier.Tier0
-	// Tier1 runs cheaply lifted, minimally cleaned (opt.O1) JIT code.
+	// Tier1 runs the fastpath single-pass baseline backend's code (or the
+	// legacy lift+O1 JIT under TierConfig.LegacyTier1).
 	Tier1 = tier.Tier1
 	// Tier2 runs the fully specialized and optimized (DBrew + opt.O3) code.
 	Tier2 = tier.Tier2
@@ -113,7 +117,9 @@ func (e *Engine) InvalidateRange(start, end uint64) int {
 //
 //	tier 0  interprets the original code with fixed parameters pinned at
 //	        dispatch, so results match the specialization from call one
-//	tier 1  lifts the original code and runs the cheap opt.O1 cleanup
+//	tier 1  compiles with the fastpath single-pass baseline backend
+//	        (straight-line code is byte-copied; everything else is lifted
+//	        once and emitted in one fused isel+regalloc walk)
 //	tier 2  runs the full DBrew rewrite + lift + opt.O3 + JIT pipeline
 //
 // The rewriter itself is not retained; it can be reconfigured or discarded
@@ -127,6 +133,7 @@ func (r *Rewriter) Tiered(name string) (*TieredFunc, error) {
 	eng := r.eng
 	entry, sig := r.entry, r.sig
 	fastMath, fvw := r.FastMath, r.ForceVectorWidth
+	legacy := mgr.Config().LegacyTier1
 	dcfg := r.rw.Config()
 	params := r.rw.KnownParams()
 	ranges := r.rw.Ranges()
@@ -156,7 +163,10 @@ func (r *Rewriter) Tiered(name string) (*TieredFunc, error) {
 		}
 		switch target {
 		case Tier1:
-			return compileTier1(eng, entry, name, sig, fastMath, tr)
+			if legacy {
+				return compileTier1(eng, entry, name, sig, fastMath, tr)
+			}
+			return compileTier1Fastpath(eng, entry, name, sig, fastMath, tr)
 		case Tier2:
 			return compileTier2(eng, entry, name, sig, dcfg, params, ranges, fastMath, fvw, tr)
 		}
@@ -172,9 +182,26 @@ func (r *Rewriter) Tiered(name string) (*TieredFunc, error) {
 	})
 }
 
-// compileTier1 is the baseline tier: lift the original code and clean it up
-// with the cheap O1 pipeline — no specialization, no structural passes —
-// so compile latency stays small (the TPDE-style baseline-tier tradeoff).
+// compileTier1Fastpath is the default baseline tier: the single-pass
+// fastpath backend either byte-copies straight-line original code or lifts
+// once and runs the fused isel+regalloc walk — an order of magnitude
+// cheaper than even the legacy lift+O1 pipeline. A fastpath failure falls
+// back to the legacy tier-1 compile so promotion never regresses on inputs
+// only the full lifter configuration handles.
+func compileTier1Fastpath(e *Engine, entry uint64, name string, sig Signature, fastMath bool, tr *trace.Trace) (tier.CompileResult, error) {
+	res, err := fastpath.Compile(e.Mem, entry, name+".t1", sig, fastpath.Options{
+		NamePrefix: "t1.",
+		Trace:      tr,
+	})
+	if err != nil {
+		return compileTier1(e, entry, name, sig, fastMath, tr)
+	}
+	return tier.CompileResult{Entry: res.Entry, CodeSize: res.CodeSize}, nil
+}
+
+// compileTier1 is the legacy baseline tier (TierConfig.LegacyTier1, kept
+// for A/B comparison): lift the original code and clean it up with the
+// cheap O1 pipeline — no specialization, no structural passes.
 func compileTier1(e *Engine, entry uint64, name string, sig Signature, fastMath bool, tr *trace.Trace) (tier.CompileResult, error) {
 	lo := lift.DefaultOptions()
 	lo.Trace = tr

@@ -168,3 +168,33 @@ func TestTierStatsSentinel(t *testing.T) {
 		t.Fatal("empty stats rendering")
 	}
 }
+
+// TestTieredFastpathMatchesLegacyTier1 A/Bs the two tier-1 backends: the
+// default fastpath baseline and the legacy lift+O1 pipeline must agree on
+// every call while parked at tier 1.
+func TestTieredFastpathMatchesLegacyTier1(t *testing.T) {
+	run := func(legacy bool) []uint64 {
+		// Tier2Calls is out of reach, so calls 2..9 all execute tier-1 code.
+		_, h, _ := tieringSetup(t, TierConfig{
+			Tier1Calls: 2, Tier2Calls: 1 << 62, Synchronous: true, LegacyTier1: legacy,
+		})
+		var out []uint64
+		for i := uint64(1); i <= 9; i++ {
+			got, err := h.Call([]uint64{0xDEADBEEF, i}, nil)
+			if err != nil {
+				t.Fatalf("legacy=%v call %d: %v", legacy, i, err)
+			}
+			out = append(out, got)
+		}
+		if h.Level() != Tier1 {
+			t.Fatalf("legacy=%v: level = %v, want tier1", legacy, h.Level())
+		}
+		return out
+	}
+	fast, old := run(false), run(true)
+	for i := range fast {
+		if fast[i] != old[i] {
+			t.Errorf("call %d: fastpath = %d, legacy = %d", i+1, fast[i], old[i])
+		}
+	}
+}
