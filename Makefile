@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-tiering race-service race-trace race-cluster race-fastpath bench bench-emu bench-emu-nogate bench-fastpath bench-fastpath-nogate bench-tiering bench-service bench-cache fig10 throughput cachecheck serve smoke cover fuzz-smoke
+.PHONY: check fmt vet build test race race-tiering race-service race-trace race-cluster race-fastpath bench bench-emu bench-emu-nogate bench-fastpath bench-fastpath-nogate bench-tiering bench-service bench-cache bench-futamura corpus fig10 throughput cachecheck serve smoke cover fuzz-smoke
 
-check: fmt vet build race-tiering race-service race-trace race-cluster race-fastpath race cover fuzz-smoke bench-emu-nogate bench-fastpath-nogate
+check: fmt vet build race-tiering race-service race-trace race-cluster race-fastpath race corpus cover fuzz-smoke bench-emu-nogate bench-fastpath-nogate
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -101,6 +101,18 @@ bench-service:
 # warm-restart disk hit vs fleet peer hit.
 bench-cache:
 	$(GO) run ./cmd/stencilbench -fig cache
+
+# Rewriter-evaluation corpus gate: every hard-idiom subject through every
+# execution path. Fails on any wrong-code verdict, on a pass -> fallback
+# regression against the committed BENCH_coverage.json, or if the Futamura
+# speedup row drops below 2x. Regenerate the artifact with:
+#   go run ./cmd/stencilbench -fig coverage -coverage-out BENCH_coverage.json
+corpus:
+	$(GO) test -count=1 ./internal/corpus/
+
+# Interpreter-specialization benchmark row (first Futamura projection).
+bench-futamura:
+	$(GO) run ./cmd/stencilbench -fig futamura
 
 # Run the specialization daemon on 127.0.0.1:7411.
 serve:

@@ -18,7 +18,12 @@
 //	stencilbench -fig vec           # forced vectorization
 //	stencilbench -fig emu           # emulator interpreter vs block engine
 //	stencilbench -fig ablation      # lifter/pipeline ablations
+//	stencilbench -fig coverage      # rewriter-evaluation corpus scorecard
+//	stencilbench -fig futamura      # interpreter-specialization benchmark row
 //	stencilbench -fig all           # everything
+//
+// With -fig coverage, -coverage-out FILE additionally writes the scorecard
+// as deterministic JSON (the committed BENCH_coverage.json artifact).
 //
 // Flags -size and -rows trade fidelity for speed: the paper's matrix is
 // 649×649 (9×9 base grid with 80 interlines); the emulated sample is
@@ -31,11 +36,13 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/corpus"
 	"repro/internal/service"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7, 9a, 9b, 10, 6, 8, trace, vec, emu, ablation, throughput, tiering, service, cache, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7, 9a, 9b, 10, 6, 8, trace, vec, emu, ablation, throughput, tiering, service, cache, coverage, futamura, all")
+	covOut := flag.String("coverage-out", "", "with -fig coverage: also write the scorecard JSON to this file")
 	size := flag.Int("size", 649, "matrix side length (paper: 649)")
 	rows := flag.Int("rows", 2, "interior rows to emulate per variant")
 	repeats := flag.Int("repeats", 10, "compile repetitions for figure 10 (paper: 1000)")
@@ -191,6 +198,45 @@ func main() {
 				return err
 			}
 			fmt.Println(bench.FormatPassAblation(p, mode))
+		}
+		return nil
+	})
+	run("coverage", func() error {
+		sc, err := corpus.BuildScorecard()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Coverage scorecard — hard-idiom corpus across every execution path:")
+		fmt.Println(corpus.FormatScorecard(sc))
+		if bad := sc.Gate(); len(bad) != 0 {
+			for _, msg := range bad {
+				fmt.Fprintln(os.Stderr, "stencilbench: coverage gate:", msg)
+			}
+			return fmt.Errorf("coverage gate failed (%d violations)", len(bad))
+		}
+		if *covOut != "" {
+			data, err := sc.Encode()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*covOut, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("scorecard written to %s\n", *covOut)
+		}
+		return nil
+	})
+	run("futamura", func() error {
+		rep, err := corpus.RunFutamura()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Futamura projection — bytecode interpreter specialized against its program:")
+		fmt.Printf("    inputs checked      %d (randomized, fixed seed)\n", rep.Inputs)
+		fmt.Printf("    interpreted         %.0f cycles/call\n", rep.InterpCycles)
+		fmt.Printf("    specialized         %.0f cycles/call (%.2fx)\n", rep.SpecCycles, rep.Speedup)
+		if rep.SpecO3Cycles != 0 {
+			fmt.Printf("    specialized + O3    %.0f cycles/call (%.2fx)\n", rep.SpecO3Cycles, rep.SpeedupO3)
 		}
 		return nil
 	})

@@ -1,0 +1,375 @@
+// Package corpus is the rewriter-evaluation corpus: a registry of
+// compiler-idiom subjects the pipeline historically did not cover — jump
+// tables and computed gotos, irreducible control flow, varargs-style and
+// struct-by-value ABI shapes, unaligned SSE, rep-string ops, PIC/RIP-
+// relative data — plus a Futamura-projection stress workload (a bytecode
+// interpreter specialized against a fixed program). Each subject carries
+// machine code, an input-space generator, and a differential oracle over
+// every execution path; the oracle asserts bit-identical outputs or an
+// explicit classified fallback. The one outcome the corpus exists to make
+// impossible is silent wrong code.
+//
+// The per-subject × per-path verdicts form the coverage scorecard surfaced
+// by `stencilbench -fig coverage` and committed as BENCH_coverage.json;
+// `make corpus` fails on any wrong verdict or on a pass→fallback regression
+// against the committed scorecard.
+package corpus
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"repro/internal/abi"
+	"repro/internal/dbrew"
+	"repro/internal/emu"
+	"repro/internal/fastpath"
+	"repro/internal/jit"
+	"repro/internal/lift"
+	"repro/internal/opt"
+	"repro/internal/service"
+)
+
+// Verdict classifies one execution path's handling of one subject.
+type Verdict string
+
+const (
+	// VerdictPass: the path produced code (or executed directly) and the
+	// result was bit-identical to the reference on every input.
+	VerdictPass Verdict = "pass"
+	// VerdictFallback: the path explicitly declined (DBrew fallback, trace
+	// recording abort) and execution continued on the original code, which
+	// stayed bit-identical. The idiom is handled safely, not accelerated.
+	VerdictFallback Verdict = "fallback"
+	// VerdictUnsupported: the path rejected the subject with a classified
+	// error before producing any code (lift/fastpath/jit refusal). Nothing
+	// ran, so nothing could diverge.
+	VerdictUnsupported Verdict = "unsupported"
+	// VerdictWrong: the path produced code whose behavior diverged from
+	// the reference. Never acceptable; the corpus gate fails on it.
+	VerdictWrong Verdict = "wrong"
+)
+
+// Image is a built subject: a self-contained address space with the
+// subject's code, an entry point, a zeroed scratch window the function may
+// use via its third argument, and the input pairs the oracle sweeps.
+type Image struct {
+	Mem     *emu.Memory
+	Entry   uint64
+	Scratch uint64
+	Sig     abi.Signature
+	Inputs  [][2]uint64
+}
+
+// Subject is one corpus entry.
+type Subject struct {
+	// Name is the scorecard row key; Family groups related subjects
+	// (several rows may probe one idiom family from different angles).
+	Name, Family string
+	// Desc says what the subject exercises and why it is hard.
+	Desc string
+	// Build constructs a fresh image. Subjects must derive all state from
+	// the arguments and the zeroed scratch window so runs are reproducible.
+	Build func() (*Image, error)
+}
+
+// PathResult is one cell of the scorecard.
+type PathResult struct {
+	Path    string  `json:"path"`
+	Verdict Verdict `json:"verdict"`
+	// Detail carries the classified error or divergence description.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Result is one subject's verdicts across every execution path.
+type Result struct {
+	Subject string       `json:"subject"`
+	Family  string       `json:"family"`
+	Paths   []PathResult `json:"paths"`
+}
+
+// Wrong reports whether any path produced wrong code.
+func (r *Result) Wrong() bool {
+	for _, p := range r.Paths {
+		if p.Verdict == VerdictWrong {
+			return true
+		}
+	}
+	return false
+}
+
+// Verdict returns the named path's verdict ("" when absent).
+func (r *Result) Verdict(path string) Verdict {
+	for _, p := range r.Paths {
+		if p.Path == path {
+			return p.Verdict
+		}
+	}
+	return ""
+}
+
+// PathNames lists the execution paths every subject is swept through, in
+// scorecard column order.
+func PathNames() []string {
+	return []string{
+		"emu-interp", "emu-block", "emu-trace",
+		"dbrew", "lift-o1", "specialize-o3", "fastpath", "dbrewd",
+	}
+}
+
+// scratchSize is the zeroed window subjects may address via arg 3.
+const scratchSize = 256
+
+// defaultSig is the uniform subject signature: f(i64, i64, ptr) -> i64.
+var defaultSig = abi.Signature{
+	Params: []abi.Class{abi.ClassInt, abi.ClassInt, abi.ClassPtr},
+	Ret:    abi.ClassInt,
+}
+
+// outcome is one run's observable behavior: the returned value and the
+// scratch window afterwards (all the architectural effects subjects have).
+type outcome struct {
+	ret     uint64
+	scratch string
+}
+
+func runMachine(img *Image, entry uint64, in [2]uint64, cfg func(*emu.Machine)) (outcome, error) {
+	if err := zeroScratch(img.Mem, img.Scratch); err != nil {
+		return outcome{}, err
+	}
+	m := emu.NewMachine(img.Mem)
+	if cfg != nil {
+		cfg(m)
+	}
+	ret, err := m.Call(entry, emu.CallArgs{Ints: []uint64{in[0], in[1], img.Scratch}}, 5_000_000)
+	if err != nil {
+		return outcome{}, err
+	}
+	buf, err := img.Mem.Read(img.Scratch, scratchSize)
+	if err != nil {
+		return outcome{}, err
+	}
+	return outcome{ret: ret, scratch: string(buf)}, nil
+}
+
+func zeroScratch(mem *emu.Memory, scratch uint64) error {
+	b, err := mem.Bytes(scratch, scratchSize)
+	if err != nil {
+		return err
+	}
+	for i := range b {
+		b[i] = 0
+	}
+	return nil
+}
+
+// compare sweeps the subject's inputs at entry under cfg and compares each
+// outcome to the reference list. It returns a passing PathResult or a
+// VerdictWrong one describing the first divergence; an execution error is a
+// divergence too (the reference ran to completion).
+func compare(img *Image, path string, entry uint64, refs []outcome, cfg func(*emu.Machine)) PathResult {
+	for i, in := range img.Inputs {
+		got, err := runMachine(img, entry, in, cfg)
+		if err != nil {
+			return PathResult{Path: path, Verdict: VerdictWrong,
+				Detail: fmt.Sprintf("in=(%#x,%#x): %v", in[0], in[1], err)}
+		}
+		if got.ret != refs[i].ret {
+			return PathResult{Path: path, Verdict: VerdictWrong,
+				Detail: fmt.Sprintf("in=(%#x,%#x): got %#x, want %#x", in[0], in[1], got.ret, refs[i].ret)}
+		}
+		if got.scratch != refs[i].scratch {
+			return PathResult{Path: path, Verdict: VerdictWrong,
+				Detail: fmt.Sprintf("in=(%#x,%#x): scratch memory diverged", in[0], in[1])}
+		}
+	}
+	return PathResult{Path: path, Verdict: VerdictPass}
+}
+
+// Run sweeps one subject through every execution path and returns the
+// scorecard row. The reference is the per-instruction interpreter; every
+// other path must match it bit-for-bit or decline explicitly.
+func Run(s *Subject) (*Result, error) {
+	img, err := s.Build()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: build %s: %v", s.Name, err)
+	}
+	// The dbrewd path replays the daemon's output over a pristine snapshot,
+	// so capture the address space before anything (stack allocation,
+	// installed rewrites) extends it.
+	snapshot := service.SnapshotRegions(img.Mem)
+
+	// Reference: the per-instruction interpreter.
+	refs := make([]outcome, len(img.Inputs))
+	for i, in := range img.Inputs {
+		refs[i], err = runMachine(img, img.Entry, in, func(m *emu.Machine) { m.Interp = true })
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %s: reference run in=%v: %v", s.Name, in, err)
+		}
+	}
+	res := &Result{Subject: s.Name, Family: s.Family}
+	res.Paths = append(res.Paths,
+		PathResult{Path: "emu-interp", Verdict: VerdictPass}, // the reference itself
+		compare(img, "emu-block", img.Entry, refs, func(m *emu.Machine) { m.Traces = false }),
+		runTracePath(img, refs),
+		runDBrewPath(img, refs),
+		runLiftPath(img, refs),
+		runSpecializePath(img, refs),
+		runFastpathPath(img, refs),
+		runDbrewdPath(s, img, snapshot, refs),
+	)
+	return res, nil
+}
+
+// RunAll runs every subject and returns the rows in registry order.
+func RunAll(subjects []*Subject) ([]*Result, error) {
+	var out []*Result
+	for _, s := range subjects {
+		r, err := Run(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// runTracePath runs the trace tier with aggressive thresholds. A subject
+// whose loops the recorder declines (indirect branches, unsupported ops)
+// still executes on the block engine; that is the classified fallback.
+func runTracePath(img *Image, refs []outcome) PathResult {
+	before := emu.ReadTraceStats()
+	pr := compare(img, "emu-trace", img.Entry, refs, func(m *emu.Machine) {
+		m.Traces = true
+		m.TraceOpts = emu.TraceOptions{HotThreshold: 2, O3Threshold: 4}
+	})
+	after := emu.ReadTraceStats()
+	if pr.Verdict == VerdictPass && after.Compiled == before.Compiled && after.Aborted > before.Aborted {
+		pr.Verdict = VerdictFallback
+		pr.Detail = "recording aborted; stayed on the block engine"
+	}
+	return pr
+}
+
+// runDBrewPath does the identity rewrite. An explicit fallback re-enters
+// the original code — verified bit-identical and classified VerdictFallback.
+func runDBrewPath(img *Image, refs []outcome) PathResult {
+	rw := dbrew.NewRewriter(img.Mem, img.Entry, img.Sig)
+	entry, err := rw.Rewrite()
+	if err != nil {
+		return PathResult{Path: "dbrew", Verdict: VerdictUnsupported, Detail: err.Error()}
+	}
+	pr := compare(img, "dbrew", entry, refs, nil)
+	if pr.Verdict == VerdictPass && rw.Stats.Failed {
+		pr.Verdict = VerdictFallback
+		if rw.Stats.Err != nil {
+			pr.Detail = rw.Stats.Err.Error()
+		}
+	}
+	return pr
+}
+
+// runLiftPath is the tier-1 pipeline: lift, O1 (strict FP), JIT.
+func runLiftPath(img *Image, refs []outcome) PathResult {
+	l := lift.New(img.Mem, lift.DefaultOptions())
+	f, err := l.LiftFunc(img.Entry, "c1", img.Sig)
+	if err != nil {
+		return PathResult{Path: "lift-o1", Verdict: VerdictUnsupported, Detail: err.Error()}
+	}
+	cfg := opt.O1()
+	cfg.FastMath = false
+	opt.Optimize(f, cfg)
+	comp := jit.NewCompiler(img.Mem)
+	comp.NamePrefix = "corpus1."
+	entry, err := comp.CompileModule(l.Module, f.Nam)
+	if err != nil {
+		return PathResult{Path: "lift-o1", Verdict: VerdictUnsupported, Detail: err.Error()}
+	}
+	return compare(img, "lift-o1", entry, refs, nil)
+}
+
+// runSpecializePath is the paper's full pipeline: DBrew rewrite, then lift
+// + O3 (strict FP) + JIT of the rewritten code. A DBrew fallback leaves
+// nothing to lift, so the path is classified unsupported.
+func runSpecializePath(img *Image, refs []outcome) PathResult {
+	rw := dbrew.NewRewriter(img.Mem, img.Entry, img.Sig)
+	specEntry, err := rw.Rewrite()
+	if err != nil || rw.Stats.Failed {
+		detail := "dbrew fell back; nothing to lift"
+		if err != nil {
+			detail = err.Error()
+		} else if rw.Stats.Err != nil {
+			detail = rw.Stats.Err.Error()
+		}
+		return PathResult{Path: "specialize-o3", Verdict: VerdictUnsupported, Detail: detail}
+	}
+	l := lift.New(img.Mem, lift.DefaultOptions())
+	f, err := l.LiftFunc(specEntry, "c3", img.Sig)
+	if err != nil {
+		return PathResult{Path: "specialize-o3", Verdict: VerdictUnsupported, Detail: err.Error()}
+	}
+	cfg := opt.O3()
+	cfg.FastMath = false
+	opt.Optimize(f, cfg)
+	comp := jit.NewCompiler(img.Mem)
+	comp.NamePrefix = "corpus3."
+	entry, err := comp.CompileModule(l.Module, f.Nam)
+	if err != nil {
+		return PathResult{Path: "specialize-o3", Verdict: VerdictUnsupported, Detail: err.Error()}
+	}
+	return compare(img, "specialize-o3", entry, refs, nil)
+}
+
+func runFastpathPath(img *Image, refs []outcome) PathResult {
+	res, err := fastpath.Compile(img.Mem, img.Entry, "c", img.Sig, fastpath.Options{NamePrefix: "corpus."})
+	if err != nil {
+		return PathResult{Path: "fastpath", Verdict: VerdictUnsupported, Detail: err.Error()}
+	}
+	pr := compare(img, "fastpath", res.Entry, refs, nil)
+	if pr.Verdict == VerdictPass {
+		pr.Detail = "mode=" + res.Mode.String()
+	}
+	return pr
+}
+
+// runDbrewdPath round-trips the subject through a dbrewd instance: snapshot
+// regions up, identity rewrite with the dbrew backend, then replay the
+// returned code over a pristine copy of the snapshot. A daemon-side
+// fallback replays the original entry instead (the client's contract).
+func runDbrewdPath(s *Subject, img *Image, snapshot []service.Region, refs []outcome) PathResult {
+	svc := service.New(service.Config{})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	client := service.NewClient(ts.URL)
+
+	resp, err := client.Specialize(context.Background(), &service.Request{
+		Regions: snapshot,
+		Entry:   img.Entry,
+		Sig:     service.SigFromABI(img.Sig),
+		Backend: "dbrew",
+	})
+	if err != nil {
+		return PathResult{Path: "dbrewd", Verdict: VerdictUnsupported, Detail: err.Error()}
+	}
+
+	// Replay in a fresh address space reconstructed from the snapshot, the
+	// way a client would install the daemon's artifact.
+	replay, err := s.Build()
+	if err != nil {
+		return PathResult{Path: "dbrewd", Verdict: VerdictWrong, Detail: "rebuild for replay: " + err.Error()}
+	}
+	entry := replay.Entry
+	fellBack := resp.Stats.Failed
+	if !fellBack {
+		if _, err := replay.Mem.MapBytes(resp.Addr, resp.Code, "dbrewd"); err != nil {
+			return PathResult{Path: "dbrewd", Verdict: VerdictWrong, Detail: "map artifact: " + err.Error()}
+		}
+		entry = resp.Addr
+	}
+	pr := compare(replay, "dbrewd", entry, refs, nil)
+	if pr.Verdict == VerdictPass && fellBack {
+		pr.Verdict = VerdictFallback
+		pr.Detail = "daemon reported fallback; original code replayed"
+	}
+	return pr
+}

@@ -1,0 +1,81 @@
+package corpus
+
+import (
+	"os"
+	"testing"
+)
+
+// TestCorpusNoWrongCode is the central gate: every subject through every
+// execution path, no silent wrong code anywhere. Fallback and unsupported
+// are acceptable classified outcomes; divergence never is.
+func TestCorpusNoWrongCode(t *testing.T) {
+	rows, err := RunAll(Subjects())
+	if err != nil {
+		t.Fatal(err)
+	}
+	families := map[string]bool{}
+	for _, r := range rows {
+		families[r.Family] = true
+		for _, p := range r.Paths {
+			t.Logf("%-16s %-14s %-11s %s", r.Subject, p.Path, p.Verdict, p.Detail)
+			if p.Verdict == VerdictWrong {
+				t.Errorf("%s/%s: WRONG CODE: %s", r.Subject, p.Path, p.Detail)
+			}
+		}
+		if len(r.Paths) != len(PathNames()) {
+			t.Errorf("%s: %d paths, want %d", r.Subject, len(r.Paths), len(PathNames()))
+		}
+	}
+	if len(families) < 6 {
+		t.Errorf("corpus covers %d idiom families, want >= 6", len(families))
+	}
+	if len(PathNames()) < 5 {
+		t.Errorf("corpus sweeps %d paths, want >= 5", len(PathNames()))
+	}
+}
+
+// TestFutamuraProjection gates the specialization stress workload: the
+// rewriter must compile the interpreter+program pair, agree with plain
+// interpretation on every randomized input, and clear the 2x speedup bar.
+func TestFutamuraProjection(t *testing.T) {
+	rep, err := RunFutamura()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("futamura: inputs=%d interp=%.0fcy spec=%.0fcy (%.2fx) specO3=%.0fcy (%.2fx)",
+		rep.Inputs, rep.InterpCycles, rep.SpecCycles, rep.Speedup, rep.SpecO3Cycles, rep.SpeedupO3)
+	if rep.Inputs < 20 {
+		t.Errorf("swept %d inputs, want >= 20", rep.Inputs)
+	}
+	if rep.Speedup < 2 {
+		t.Errorf("specialization speedup %.2fx, want >= 2x", rep.Speedup)
+	}
+}
+
+// TestScorecardAgainstCommitted regenerates the scorecard and diffs it
+// against the committed BENCH_coverage.json: any wrong verdict or any
+// pass -> fallback/unsupported regression fails. This is what `make corpus`
+// runs.
+func TestScorecardAgainstCommitted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus run; skipped in -short")
+	}
+	fresh, err := BuildScorecard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range fresh.Gate() {
+		t.Error(msg)
+	}
+	data, err := os.ReadFile("../../BENCH_coverage.json")
+	if err != nil {
+		t.Fatalf("committed scorecard missing (regenerate with `stencilbench -fig coverage > BENCH_coverage.json`): %v", err)
+	}
+	committed, err := DecodeScorecard(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range CompareScorecards(committed, fresh) {
+		t.Errorf("coverage regression: %s", msg)
+	}
+}

@@ -1,0 +1,321 @@
+package corpus
+
+// The Futamura-projection stress workload: a small bytecode-VM interpreter
+// written in x86, specialized by DBrew against a fixed bytecode program —
+// the first Futamura projection, where specializing an interpreter to a
+// program yields a compiled version of that program. The VM program lives
+// in its own memory region declared constant via SetMem, so the rewriter
+// folds the whole fetch/decode/dispatch skeleton away and the residual code
+// is just the handler bodies. The oracle asserts the specialized function
+// agrees with plain interpretation on randomized inputs, and the benchmark
+// row gates on a >= 2x deterministic-cycle speedup.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dbrew"
+	"repro/internal/emu"
+	"repro/internal/jit"
+	"repro/internal/lift"
+	"repro/internal/opt"
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
+)
+
+// vmProgBase is the VM program's region: disjoint from subject code and
+// scratch so SetMem can declare exactly the bytecode constant.
+const vmProgBase = 0x600000
+
+// VM opcodes. Instructions are 8 bytes: byte 0 opcode, byte 1 dst register
+// (0..5), byte 2 src register, bytes 4..7 a little-endian int32 immediate.
+// The six VM registers live in the scratch window at [rdx+0..48); r0 and r1
+// are preloaded with the function's two arguments, r2 is the result.
+const (
+	vmHALT  = 0 // return vmreg r2
+	vmLOADI = 1 // dst = imm
+	vmMOV   = 2 // dst = src
+	vmADD   = 3 // dst += src
+	vmSUB   = 4 // dst -= src
+	vmMUL   = 5 // dst *= src
+	vmAND   = 6 // dst &= src
+	vmJNZ   = 7 // if dst != 0: goto instruction index imm
+)
+
+func vmInst(op, dst, src byte, imm int32) uint64 {
+	return uint64(op) | uint64(dst)<<8 | uint64(src)<<16 | uint64(uint32(imm))<<32
+}
+
+// vmProgram is the fixed bytecode the interpreter is specialized against:
+// a 12-iteration loop computing r2 = 12*(a*b + b) (mod 2^64).
+func vmProgram() []uint64 {
+	return []uint64{
+		vmInst(vmLOADI, 2, 0, 0),  // 0: r2 = 0 (accumulator)
+		vmInst(vmLOADI, 3, 0, 12), // 1: r3 = 12 (counter)
+		vmInst(vmLOADI, 4, 0, 1),  // 2: r4 = 1
+		vmInst(vmMOV, 5, 0, 0),    // 3: r5 = r0        <- loop head
+		vmInst(vmMUL, 5, 1, 0),    // 4: r5 *= r1
+		vmInst(vmADD, 2, 5, 0),    // 5: r2 += r5
+		vmInst(vmADD, 2, 1, 0),    // 6: r2 += r1
+		vmInst(vmSUB, 3, 4, 0),    // 7: r3 -= r4
+		vmInst(vmJNZ, 3, 0, 3),    // 8: if r3 != 0 goto 3
+		vmInst(vmHALT, 0, 0, 0),   // 9: return r2
+	}
+}
+
+func vmProgramBytes() []byte {
+	var out []byte
+	for _, w := range vmProgram() {
+		out = append(out,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return out
+}
+
+// vmEval is the Go-level semantic model of the VM, used to cross-check the
+// x86 interpreter itself.
+func vmEval(prog []uint64, a, b uint64) uint64 {
+	var regs [6]uint64
+	regs[0], regs[1] = a, b
+	pc := 0
+	for {
+		w := prog[pc]
+		op, dst, src := byte(w), (w>>8)&7, (w>>16)&7
+		imm := int64(int32(w >> 32))
+		switch op {
+		case vmHALT:
+			return regs[2]
+		case vmLOADI:
+			regs[dst] = uint64(imm)
+		case vmMOV:
+			regs[dst] = regs[src]
+		case vmADD:
+			regs[dst] += regs[src]
+		case vmSUB:
+			regs[dst] -= regs[src]
+		case vmMUL:
+			regs[dst] *= regs[src]
+		case vmAND:
+			regs[dst] &= regs[src]
+		case vmJNZ:
+			if regs[dst] != 0 {
+				pc = int(imm)
+				continue
+			}
+		}
+		pc++
+	}
+}
+
+// buildInterpreter assembles the x86 bytecode interpreter. Dispatch is a
+// compare/jump-equal chain (not an indirect jump) so the DBrew rewriter and
+// the lifter can follow it; with the program bytes known, every compare
+// folds and the chain disappears from the residual code.
+func buildInterpreter(b *asm.Builder) {
+	loop, next, halt := b.NewLabel(), b.NewLabel(), b.NewLabel()
+	handlers := make([]asm.Label, 8)
+	for i := range handlers {
+		handlers[i] = b.NewLabel()
+	}
+	// vmreg r0 = a, r1 = b; r10 = VM program counter (a host pointer).
+	b.I(x86.MOV, x86.MemBD(8, x86.RDX, 0), x86.R64(x86.RDI))
+	b.I(x86.MOV, x86.MemBD(8, x86.RDX, 8), x86.R64(x86.RSI))
+	b.I(x86.MOV, x86.R64(x86.R10), x86.Imm(vmProgBase, 8))
+
+	b.Bind(loop)
+	// Fetch and crack the 8-byte instruction word.
+	b.I(x86.MOV, x86.R64(x86.RAX), x86.MemBD(8, x86.R10, 0))
+	b.I(x86.MOV, x86.R64(x86.RCX), x86.R64(x86.RAX)) // opcode
+	b.I(x86.AND, x86.R64(x86.RCX), x86.Imm(0xFF, 8))
+	b.I(x86.MOV, x86.R64(x86.R8), x86.R64(x86.RAX)) // dst byte offset
+	b.I(x86.SHR, x86.R64(x86.R8), x86.Imm(8, 1))
+	b.I(x86.AND, x86.R64(x86.R8), x86.Imm(7, 8))
+	b.I(x86.SHL, x86.R64(x86.R8), x86.Imm(3, 1))
+	b.I(x86.MOV, x86.R64(x86.R9), x86.R64(x86.RAX)) // src byte offset
+	b.I(x86.SHR, x86.R64(x86.R9), x86.Imm(16, 1))
+	b.I(x86.AND, x86.R64(x86.R9), x86.Imm(7, 8))
+	b.I(x86.SHL, x86.R64(x86.R9), x86.Imm(3, 1))
+	b.I(x86.MOV, x86.R64(x86.R11), x86.R64(x86.RAX)) // sign-extended imm
+	b.I(x86.SAR, x86.R64(x86.R11), x86.Imm(32, 1))
+	for op := 0; op < 8; op++ {
+		b.I(x86.CMP, x86.R64(x86.RCX), x86.Imm(int64(op), 1))
+		b.Jcc(x86.CondE, handlers[op])
+	}
+	b.Jmp(halt) // unreachable opcode: stop rather than run off
+
+	b.Bind(handlers[vmHALT])
+	b.Jmp(halt)
+	b.Bind(handlers[vmLOADI])
+	b.I(x86.MOV, x86.MemBIS(8, x86.RDX, x86.R8, 1, 0), x86.R64(x86.R11))
+	b.Jmp(next)
+	b.Bind(handlers[vmMOV])
+	b.I(x86.MOV, x86.R64(x86.RAX), x86.MemBIS(8, x86.RDX, x86.R9, 1, 0))
+	b.I(x86.MOV, x86.MemBIS(8, x86.RDX, x86.R8, 1, 0), x86.R64(x86.RAX))
+	b.Jmp(next)
+	for _, h := range []struct {
+		op  int
+		alu x86.Op
+	}{{vmADD, x86.ADD}, {vmSUB, x86.SUB}, {vmMUL, x86.IMUL}, {vmAND, x86.AND}} {
+		b.Bind(handlers[h.op])
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.MemBIS(8, x86.RDX, x86.R9, 1, 0))
+		b.I(x86.MOV, x86.R64(x86.RCX), x86.MemBIS(8, x86.RDX, x86.R8, 1, 0))
+		b.I(h.alu, x86.R64(x86.RCX), x86.R64(x86.RAX))
+		b.I(x86.MOV, x86.MemBIS(8, x86.RDX, x86.R8, 1, 0), x86.R64(x86.RCX))
+		b.Jmp(next)
+	}
+	b.Bind(handlers[vmJNZ])
+	b.I(x86.MOV, x86.R64(x86.RAX), x86.MemBIS(8, x86.RDX, x86.R8, 1, 0))
+	b.I(x86.CMP, x86.R64(x86.RAX), x86.Imm(0, 1))
+	b.Jcc(x86.CondE, next)
+	b.I(x86.SHL, x86.R64(x86.R11), x86.Imm(3, 1))
+	b.I(x86.MOV, x86.R64(x86.R10), x86.Imm(vmProgBase, 8))
+	b.I(x86.ADD, x86.R64(x86.R10), x86.R64(x86.R11))
+	b.Jmp(loop)
+
+	b.Bind(next)
+	b.I(x86.ADD, x86.R64(x86.R10), x86.Imm(8, 8))
+	b.Jmp(loop)
+
+	b.Bind(halt)
+	b.I(x86.MOV, x86.R64(x86.RAX), x86.MemBD(8, x86.RDX, 16)) // vmreg r2
+	b.Ret()
+}
+
+func buildFutamuraImage() (*Image, error) {
+	img, err := buildImage(buildInterpreter)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := img.Mem.MapBytes(vmProgBase, vmProgramBytes(), "vmprog"); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// FutamuraSubject sweeps the interpreter itself (running the fixed program)
+// through the standard oracle, so every execution path is held to
+// bit-identical interpretation of the VM.
+func FutamuraSubject() *Subject {
+	return &Subject{
+		Name:   "futamura-interp",
+		Family: "futamura",
+		Desc:   "bytecode-VM interpreter running a fixed 10-instruction program",
+		Build:  buildFutamuraImage,
+	}
+}
+
+// FutamuraReport is the specialization benchmark row.
+type FutamuraReport struct {
+	Inputs int `json:"inputs"` // randomized input pairs checked
+	// Deterministic cycle counts (Haswell cost model) for one call.
+	InterpCycles float64 `json:"interp_cycles"`
+	SpecCycles   float64 `json:"spec_cycles"`
+	SpecO3Cycles float64 `json:"spec_o3_cycles,omitempty"`
+	// Speedup = InterpCycles / SpecCycles; the corpus gate requires >= 2.
+	Speedup   float64 `json:"speedup"`
+	SpeedupO3 float64 `json:"speedup_o3,omitempty"`
+}
+
+// futamuraInputs is the randomized sweep: boundary pairs plus seeded-random
+// 64-bit values (fixed seed — the corpus is deterministic end to end).
+func futamuraInputs() [][2]uint64 {
+	in := [][2]uint64{{0, 0}, {1, 1}, {0xFFFF_FFFF_FFFF_FFFF, 2}, {3, 0x8000_0000_0000_0000}}
+	r := rand.New(rand.NewSource(0x5EED))
+	for i := 0; i < 16; i++ {
+		in = append(in, [2]uint64{r.Uint64(), r.Uint64()})
+	}
+	return in
+}
+
+// cycleCount runs entry on the interpreter and returns (ret, cycles) under
+// the deterministic cost model.
+func cycleCount(img *Image, entry uint64, in [2]uint64) (uint64, float64, error) {
+	if err := zeroScratch(img.Mem, img.Scratch); err != nil {
+		return 0, 0, err
+	}
+	m := emu.NewMachine(img.Mem)
+	m.Interp = true
+	ret, err := m.Call(entry, emu.CallArgs{Ints: []uint64{in[0], in[1], img.Scratch}}, 5_000_000)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ret, m.Cycles, nil
+}
+
+// RunFutamura performs the first Futamura projection — specialize the
+// interpreter against the fixed program via SetMem — and verifies the
+// residual function against plain interpretation and the Go semantic model
+// on every randomized input, then measures the cycle-count speedup. Any
+// disagreement or a rewriter fallback is an error: the stress workload
+// exists to prove the specializer handles an interpreter loop.
+func RunFutamura() (*FutamuraReport, error) {
+	img, err := buildFutamuraImage()
+	if err != nil {
+		return nil, err
+	}
+	prog := vmProgram()
+
+	rw := dbrew.NewRewriter(img.Mem, img.Entry, img.Sig)
+	rw.SetMem(vmProgBase, vmProgBase+uint64(8*len(prog)))
+	specEntry, err := rw.Rewrite()
+	if err != nil {
+		return nil, fmt.Errorf("futamura: specialize: %v", err)
+	}
+	if rw.Stats.Failed {
+		return nil, fmt.Errorf("futamura: rewriter fell back: %v", rw.Stats.Err)
+	}
+
+	// Optional second stage: lift the residual code and push it through O3.
+	var o3Entry uint64
+	l := lift.New(img.Mem, lift.DefaultOptions())
+	if f, lerr := l.LiftFunc(specEntry, "fut3", img.Sig); lerr == nil {
+		cfg := opt.O3()
+		cfg.FastMath = false
+		opt.Optimize(f, cfg)
+		comp := jit.NewCompiler(img.Mem)
+		comp.NamePrefix = "futamura."
+		if e, cerr := comp.CompileModule(l.Module, f.Nam); cerr == nil {
+			o3Entry = e
+		}
+	}
+
+	rep := &FutamuraReport{}
+	for _, in := range futamuraInputs() {
+		want := vmEval(prog, in[0], in[1])
+		ref, refCycles, err := cycleCount(img, img.Entry, in)
+		if err != nil {
+			return nil, fmt.Errorf("futamura: interpret (%#x,%#x): %v", in[0], in[1], err)
+		}
+		if ref != want {
+			return nil, fmt.Errorf("futamura: x86 interpreter disagrees with VM model on (%#x,%#x): got %#x, want %#x",
+				in[0], in[1], ref, want)
+		}
+		got, specCycles, err := cycleCount(img, specEntry, in)
+		if err != nil {
+			return nil, fmt.Errorf("futamura: specialized (%#x,%#x): %v", in[0], in[1], err)
+		}
+		if got != want {
+			return nil, fmt.Errorf("futamura: specialized code wrong on (%#x,%#x): got %#x, want %#x",
+				in[0], in[1], got, want)
+		}
+		if o3Entry != 0 {
+			got3, o3Cycles, err := cycleCount(img, o3Entry, in)
+			if err != nil {
+				return nil, fmt.Errorf("futamura: spec+O3 (%#x,%#x): %v", in[0], in[1], err)
+			}
+			if got3 != want {
+				return nil, fmt.Errorf("futamura: spec+O3 wrong on (%#x,%#x): got %#x, want %#x",
+					in[0], in[1], got3, want)
+			}
+			rep.SpecO3Cycles = o3Cycles
+		}
+		rep.Inputs++
+		rep.InterpCycles, rep.SpecCycles = refCycles, specCycles
+	}
+	rep.Speedup = rep.InterpCycles / rep.SpecCycles
+	if rep.SpecO3Cycles != 0 {
+		rep.SpeedupO3 = rep.InterpCycles / rep.SpecO3Cycles
+	}
+	return rep, nil
+}

@@ -1,0 +1,144 @@
+package corpus
+
+// The coverage scorecard: the corpus run serialized as deterministic JSON
+// (fixed subject and path order, no timestamps) so it can be committed as
+// BENCH_coverage.json and diffed. `make corpus` regenerates it and fails on
+// any wrong verdict or on a pass -> fallback/unsupported regression against
+// the committed file.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Scorecard is the committed corpus-coverage artifact.
+type Scorecard struct {
+	Paths    []string        `json:"paths"`
+	Subjects []*Result       `json:"subjects"`
+	Futamura *FutamuraReport `json:"futamura,omitempty"`
+}
+
+// BuildScorecard runs the full corpus (every subject across every path,
+// plus the Futamura specialization benchmark) and assembles the scorecard.
+func BuildScorecard() (*Scorecard, error) {
+	rows, err := RunAll(Subjects())
+	if err != nil {
+		return nil, err
+	}
+	fut, err := RunFutamura()
+	if err != nil {
+		return nil, err
+	}
+	return &Scorecard{Paths: PathNames(), Subjects: rows, Futamura: fut}, nil
+}
+
+// MarshalJSON-stable encoding for committing to the repo.
+func (sc *Scorecard) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sc); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func DecodeScorecard(data []byte) (*Scorecard, error) {
+	var sc Scorecard
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// Gate validates an invariant every scorecard must satisfy regardless of
+// history: no path on any subject produced wrong code, and the Futamura
+// speedup holds the paper's >= 2x bar.
+func (sc *Scorecard) Gate() []string {
+	var bad []string
+	for _, r := range sc.Subjects {
+		for _, p := range r.Paths {
+			if p.Verdict == VerdictWrong {
+				bad = append(bad, fmt.Sprintf("%s/%s: WRONG CODE: %s", r.Subject, p.Path, p.Detail))
+			}
+		}
+	}
+	if sc.Futamura == nil {
+		bad = append(bad, "futamura: benchmark row missing")
+	} else if sc.Futamura.Speedup < 2 {
+		bad = append(bad, fmt.Sprintf("futamura: speedup %.2fx below the 2x bar", sc.Futamura.Speedup))
+	}
+	return bad
+}
+
+// CompareScorecards reports coverage regressions of fresh against committed:
+// a subject/path cell that was a pass and no longer is, or a row that
+// disappeared. New subjects and fallback -> pass improvements are fine.
+func CompareScorecards(committed, fresh *Scorecard) []string {
+	var regressions []string
+	byName := map[string]*Result{}
+	for _, r := range fresh.Subjects {
+		byName[r.Subject] = r
+	}
+	for _, old := range committed.Subjects {
+		now, ok := byName[old.Subject]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: subject dropped from the corpus", old.Subject))
+			continue
+		}
+		for _, p := range old.Paths {
+			if p.Verdict != VerdictPass {
+				continue
+			}
+			if got := now.Verdict(p.Path); got != VerdictPass {
+				regressions = append(regressions,
+					fmt.Sprintf("%s/%s: was pass, now %s", old.Subject, p.Path, got))
+			}
+		}
+	}
+	if committed.Futamura != nil && committed.Futamura.Speedup >= 2 &&
+		(fresh.Futamura == nil || fresh.Futamura.Speedup < 2) {
+		regressions = append(regressions, "futamura: speedup row regressed below 2x")
+	}
+	return regressions
+}
+
+// FormatScorecard renders the verdict matrix as the human-readable table
+// `stencilbench -fig coverage` prints (the JSON artifact is the canonical
+// committed form).
+func FormatScorecard(sc *Scorecard) string {
+	short := map[Verdict]string{
+		VerdictPass:        "pass",
+		VerdictFallback:    "fallback",
+		VerdictUnsupported: "unsup",
+		VerdictWrong:       "WRONG",
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%-18s %-16s", "subject", "family")
+	for _, p := range sc.Paths {
+		fmt.Fprintf(&buf, " %-13s", p)
+	}
+	buf.WriteByte('\n')
+	for _, r := range sc.Subjects {
+		fmt.Fprintf(&buf, "%-18s %-16s", r.Subject, r.Family)
+		for _, p := range sc.Paths {
+			v := r.Verdict(p)
+			s, ok := short[v]
+			if !ok {
+				s = string(v)
+			}
+			fmt.Fprintf(&buf, " %-13s", s)
+		}
+		buf.WriteByte('\n')
+	}
+	if f := sc.Futamura; f != nil {
+		fmt.Fprintf(&buf, "\nfutamura projection: %d inputs, interp %.0f cy -> specialized %.0f cy (%.2fx)",
+			f.Inputs, f.InterpCycles, f.SpecCycles, f.Speedup)
+		if f.SpecO3Cycles != 0 {
+			fmt.Fprintf(&buf, ", spec+O3 %.0f cy (%.2fx)", f.SpecO3Cycles, f.SpeedupO3)
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}

@@ -1,0 +1,360 @@
+package corpus
+
+// The subject registry. Every subject is a small function with the uniform
+// signature f(a i64, b i64, scratch ptr) -> i64 that leans hard on one
+// compiler idiom the rewriting pipeline historically sidestepped. Subjects
+// derive all state from the arguments and the zeroed scratch window, so the
+// oracle's runs are reproducible and every architectural effect lands in
+// the (ret, scratch) outcome the oracle compares.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
+)
+
+// subjectBase is where subject code is mapped; far from the rewriter's own
+// allocation range so installed artifacts never alias it.
+const subjectBase = 0x400000
+
+// defaultInputs covers boundary shapes: zeros, small values, all low-bit
+// selector classes (for subjects that index tables by a&3 or a&1), large
+// magnitudes, and sign-bit patterns.
+var defaultInputs = [][2]uint64{
+	{0, 0},
+	{1, 1},
+	{2, 3},
+	{3, 0xFF},
+	{4, 2},
+	{7, 13},
+	{5, 0x8000_0000_0000_0001},
+	{0xFFFF_FFFF_FFFF_FFFF, 5},
+	{123456789, 987654321},
+}
+
+// buildImage assembles body at subjectBase, allocates the scratch window,
+// and wraps both in a fresh address space.
+func buildImage(body func(b *asm.Builder)) (*Image, error) {
+	b := asm.NewBuilder()
+	body(b)
+	code, _, err := b.Assemble(subjectBase)
+	if err != nil {
+		return nil, err
+	}
+	return placeImage(code)
+}
+
+func placeImage(code []byte) (*Image, error) {
+	mem := emu.NewMemory(0x10000000)
+	if _, err := mem.MapBytes(subjectBase, code, "subject"); err != nil {
+		return nil, err
+	}
+	scratch := mem.Alloc(scratchSize, 64, "scratch")
+	return &Image{
+		Mem:     mem,
+		Entry:   subjectBase,
+		Scratch: scratch.Start,
+		Sig:     defaultSig,
+		Inputs:  defaultInputs,
+	}, nil
+}
+
+// Subjects returns the full registry in scorecard row order.
+func Subjects() []*Subject {
+	return []*Subject{
+		jumpTableSubject(),
+		computedGotoSubject(),
+		irreducibleSubject(),
+		varargsSubject(),
+		byvalSubject(),
+		unalignedSSESubject(),
+		repStringSubject(),
+		picRIPRelSubject(),
+		FutamuraSubject(),
+	}
+}
+
+// jumpTableSubject dispatches through a 4-entry jump table materialized in
+// scratch memory — the switch-statement lowering pattern. The table is
+// built at runtime (MovLabel stores), so the indirect jmp's targets are
+// data, invisible to any static scan.
+func jumpTableSubject() *Subject {
+	return &Subject{
+		Name:   "jumptable",
+		Family: "jump-table",
+		Desc:   "4-way switch via in-memory jump table; indirect jmp [rdx+r8*8+192]",
+		Build: func() (*Image, error) {
+			return buildImage(func(b *asm.Builder) {
+				c0, c1, c2, c3 := b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel()
+				done := b.NewLabel()
+				b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+				b.I(x86.MOV, x86.R64(x86.RCX), x86.R64(x86.RSI))
+				// Build the table at [rdx+192..224).
+				for i, lbl := range []asm.Label{c0, c1, c2, c3} {
+					b.MovLabel(x86.R11, lbl)
+					b.I(x86.MOV, x86.MemBD(8, x86.RDX, int32(192+8*i)), x86.R64(x86.R11))
+				}
+				b.I(x86.MOV, x86.R64(x86.R8), x86.R64(x86.RDI))
+				b.I(x86.AND, x86.R64(x86.R8), x86.Imm(3, 8))
+				b.I(x86.JMPIndirect, x86.MemBIS(8, x86.RDX, x86.R8, 8, 192))
+				b.Bind(c0)
+				b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RCX))
+				b.Jmp(done)
+				b.Bind(c1)
+				b.I(x86.XOR, x86.R64(x86.RAX), x86.R64(x86.RCX))
+				b.Jmp(done)
+				b.Bind(c2)
+				b.I(x86.SUB, x86.R64(x86.RAX), x86.R64(x86.RCX))
+				b.Jmp(done)
+				b.Bind(c3)
+				b.I(x86.IMUL, x86.R64(x86.RAX), x86.R64(x86.RCX))
+				b.Bind(done)
+				b.Ret()
+			})
+		},
+	}
+}
+
+// computedGotoSubject is the threaded-interpreter dispatch shape: a loop
+// whose every iteration indirect-jumps through a 2-entry table selected by
+// a data-dependent bit, so the branch target changes between iterations.
+func computedGotoSubject() *Subject {
+	return &Subject{
+		Name:   "computed-goto",
+		Family: "jump-table",
+		Desc:   "threaded dispatch loop: per-iteration indirect jmp via [rdx+r11*8+160]",
+		Build: func() (*Image, error) {
+			return buildImage(func(b *asm.Builder) {
+				t0, t1 := b.NewLabel(), b.NewLabel()
+				loop, done := b.NewLabel(), b.NewLabel()
+				b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+				b.I(x86.MOV, x86.R64(x86.RCX), x86.Imm(6, 8))
+				for i, lbl := range []asm.Label{t0, t1} {
+					b.MovLabel(x86.R9, lbl)
+					b.I(x86.MOV, x86.MemBD(8, x86.RDX, int32(160+8*i)), x86.R64(x86.R9))
+				}
+				b.Bind(loop)
+				b.I(x86.CMP, x86.R64(x86.RCX), x86.Imm(0, 1))
+				b.Jcc(x86.CondE, done)
+				b.I(x86.MOV, x86.R64(x86.R11), x86.R64(x86.RAX))
+				b.I(x86.AND, x86.R64(x86.R11), x86.Imm(1, 8))
+				b.I(x86.JMPIndirect, x86.MemBIS(8, x86.RDX, x86.R11, 8, 160))
+				b.Bind(t0) // even accumulator: fold in b
+				b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RSI))
+				b.I(x86.SUB, x86.R64(x86.RCX), x86.Imm(1, 8))
+				b.Jmp(loop)
+				b.Bind(t1) // odd accumulator: scramble
+				b.I(x86.XOR, x86.R64(x86.RAX), x86.Imm(0x3C5A, 8))
+				b.I(x86.ADD, x86.R64(x86.RAX), x86.Imm(1, 8))
+				b.I(x86.SUB, x86.R64(x86.RCX), x86.Imm(1, 8))
+				b.Jmp(loop)
+				b.Bind(done)
+				b.Ret()
+			})
+		},
+	}
+}
+
+// irreducibleSubject enters a loop at two different points: the preheader
+// conditionally jumps into the loop's middle, while the back edge targets
+// its top. The resulting region has two entries — irreducible, so it cannot
+// be expressed as natural loops and defeats interval-based loop analyses.
+func irreducibleSubject() *Subject {
+	return &Subject{
+		Name:   "irreducible",
+		Family: "irreducible-cfg",
+		Desc:   "two-entry loop: preheader jumps into the middle, back edge to the top",
+		Build: func() (*Image, error) {
+			return buildImage(func(b *asm.Builder) {
+				entryA, entryB := b.NewLabel(), b.NewLabel()
+				b.I(x86.MOV, x86.R64(x86.RAX), x86.R64(x86.RDI))
+				b.I(x86.MOV, x86.R64(x86.RCX), x86.Imm(8, 8))
+				b.I(x86.MOV, x86.R64(x86.R8), x86.R64(x86.RSI))
+				b.I(x86.AND, x86.R64(x86.R8), x86.Imm(1, 8))
+				b.I(x86.CMP, x86.R64(x86.R8), x86.Imm(0, 1))
+				b.Jcc(x86.CondNE, entryB) // odd b: enter the loop mid-body
+				b.Bind(entryA)
+				b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RSI))
+				b.Bind(entryB)
+				b.I(x86.XOR, x86.R64(x86.RAX), x86.R64(x86.RCX))
+				b.I(x86.SUB, x86.R64(x86.RCX), x86.Imm(1, 8))
+				b.I(x86.CMP, x86.R64(x86.RCX), x86.Imm(0, 1))
+				b.Jcc(x86.CondNE, entryA)
+				b.Ret()
+			})
+		},
+	}
+}
+
+// varargsSubject models the va_start/va_arg lowering: register arguments
+// spill to an in-memory save area, then a data-dependent count walks the
+// area as an array — the access pattern that makes argument registers
+// observable through memory.
+func varargsSubject() *Subject {
+	return &Subject{
+		Name:   "varargs",
+		Family: "abi-varargs",
+		Desc:   "register save area at [rdx+128..); count=(a&3)+1 entries summed via indexed loads",
+		Build: func() (*Image, error) {
+			return buildImage(func(b *asm.Builder) {
+				loop, done := b.NewLabel(), b.NewLabel()
+				// Spill the "variadic" arguments.
+				b.I(x86.MOV, x86.MemBD(8, x86.RDX, 128), x86.R64(x86.RDI))
+				b.I(x86.MOV, x86.MemBD(8, x86.RDX, 136), x86.R64(x86.RSI))
+				b.I(x86.MOV, x86.R64(x86.R11), x86.Imm(0x11_2233_4455, 8))
+				b.I(x86.MOV, x86.MemBD(8, x86.RDX, 144), x86.R64(x86.R11))
+				b.I(x86.MOV, x86.R64(x86.R11), x86.Imm(0x77, 8))
+				b.I(x86.MOV, x86.MemBD(8, x86.RDX, 152), x86.R64(x86.R11))
+				// count = (a & 3) + 1
+				b.I(x86.MOV, x86.R64(x86.RCX), x86.R64(x86.RDI))
+				b.I(x86.AND, x86.R64(x86.RCX), x86.Imm(3, 8))
+				b.I(x86.ADD, x86.R64(x86.RCX), x86.Imm(1, 8))
+				b.I(x86.XOR, x86.R64(x86.RAX), x86.R64(x86.RAX))
+				b.I(x86.XOR, x86.R64(x86.R8), x86.R64(x86.R8))
+				b.Bind(loop)
+				b.I(x86.CMP, x86.R64(x86.R8), x86.R64(x86.RCX))
+				b.Jcc(x86.CondGE, done)
+				b.I(x86.MOV, x86.R64(x86.R11), x86.MemBIS(8, x86.RDX, x86.R8, 8, 128))
+				b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.R11))
+				b.I(x86.ADD, x86.R64(x86.R8), x86.Imm(1, 8))
+				b.Jmp(loop)
+				b.Bind(done)
+				b.Ret()
+			})
+		},
+	}
+}
+
+// byvalSubject passes a 3-field struct by value on the stack to a callee
+// that reads it rsp-relative across the return address — the memory-passed
+// aggregate ABI shape. RSP-relative addressing inside an inlined call is
+// exactly what DBrew's rewriter must refuse rather than mistranslate.
+func byvalSubject() *Subject {
+	return &Subject{
+		Name:   "byval",
+		Family: "abi-byval",
+		Desc:   "struct{a,b,7} passed by value on the stack; callee reads [rsp+8..32)",
+		Build: func() (*Image, error) {
+			return buildImage(func(b *asm.Builder) {
+				callee := b.NewLabel()
+				b.I(x86.SUB, x86.R64(x86.RSP), x86.Imm(32, 8))
+				b.I(x86.MOV, x86.MemBD(8, x86.RSP, 0), x86.R64(x86.RDI))
+				b.I(x86.MOV, x86.MemBD(8, x86.RSP, 8), x86.R64(x86.RSI))
+				b.I(x86.MOV, x86.R64(x86.R11), x86.Imm(7, 8))
+				b.I(x86.MOV, x86.MemBD(8, x86.RSP, 16), x86.R64(x86.R11))
+				b.CallLabel(callee)
+				b.I(x86.ADD, x86.R64(x86.RSP), x86.Imm(32, 8))
+				b.Ret()
+				b.Bind(callee)
+				// The struct sits just above the return address.
+				b.I(x86.MOV, x86.R64(x86.RAX), x86.MemBD(8, x86.RSP, 8))
+				b.I(x86.MOV, x86.R64(x86.R8), x86.MemBD(8, x86.RSP, 16))
+				b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.R8))
+				b.I(x86.MOV, x86.R64(x86.R8), x86.MemBD(8, x86.RSP, 24))
+				b.I(x86.IMUL, x86.R64(x86.RAX), x86.R64(x86.R8))
+				b.Ret()
+			})
+		},
+	}
+}
+
+// unalignedSSESubject does 16-byte SSE loads and stores at 4-byte-offset
+// (misaligned) addresses straddling adjacent scratch slots — legal only for
+// the unaligned move forms, and a classic source of rewriter bugs when an
+// alignment assumption sneaks into the translated access.
+func unalignedSSESubject() *Subject {
+	return &Subject{
+		Name:   "unaligned-sse",
+		Family: "unaligned-sse",
+		Desc:   "movups/paddq on addresses at +4/+12 bytes, straddling slot boundaries",
+		Build: func() (*Image, error) {
+			return buildImage(func(b *asm.Builder) {
+				b.I(x86.MOV, x86.MemBD(8, x86.RDX, 0), x86.R64(x86.RDI))
+				b.I(x86.MOV, x86.MemBD(8, x86.RDX, 8), x86.R64(x86.RSI))
+				b.I(x86.MOV, x86.R64(x86.R11), x86.R64(x86.RDI))
+				b.I(x86.XOR, x86.R64(x86.R11), x86.R64(x86.RSI))
+				b.I(x86.MOV, x86.MemBD(8, x86.RDX, 16), x86.R64(x86.R11))
+				b.I(x86.MOVUPS, x86.X(x86.XMM0), x86.MemBD(16, x86.RDX, 4))
+				b.I(x86.MOVUPS, x86.X(x86.XMM1), x86.MemBD(16, x86.RDX, 12))
+				b.I(x86.PADDQ, x86.X(x86.XMM0), x86.X(x86.XMM1))
+				b.I(x86.MOVUPS, x86.MemBD(16, x86.RDX, 32), x86.X(x86.XMM0))
+				b.I(x86.MOV, x86.R64(x86.RAX), x86.MemBD(8, x86.RDX, 32))
+				b.I(x86.MOV, x86.R64(x86.R8), x86.MemBD(8, x86.RDX, 40))
+				b.I(x86.XOR, x86.R64(x86.RAX), x86.R64(x86.R8))
+				b.Ret()
+			})
+		},
+	}
+}
+
+// repStringSubject uses the rep-prefixed string instructions — an implicit
+// rcx/rsi/rdi loop in a single instruction, with memory effects whose size
+// is data-independent here but whose semantics (pointer advancement, byte
+// granularity) the pipeline must model exactly.
+func repStringSubject() *Subject {
+	return &Subject{
+		Name:   "rep-string",
+		Family: "rep-string",
+		Desc:   "rep movsb block copy + rep stosb fill, results folded from the copied bytes",
+		Build: func() (*Image, error) {
+			return buildImage(func(b *asm.Builder) {
+				b.I(x86.MOV, x86.MemBD(8, x86.RDX, 0), x86.R64(x86.RDI))
+				b.I(x86.MOV, x86.MemBD(8, x86.RDX, 8), x86.R64(x86.RSI))
+				// rep movsb: copy 16 bytes scratch[0..16) -> scratch[64..80).
+				b.I(x86.LEA, x86.R64(x86.RSI), x86.MemBD(8, x86.RDX, 0))
+				b.I(x86.LEA, x86.R64(x86.RDI), x86.MemBD(8, x86.RDX, 64))
+				b.I(x86.MOV, x86.R64(x86.RCX), x86.Imm(16, 8))
+				b.I(x86.REPMOVSB)
+				// rep stosb: fill scratch[96..104) with 0x5A.
+				b.I(x86.MOV, x86.R64(x86.RAX), x86.Imm(0x5A, 8))
+				b.I(x86.LEA, x86.R64(x86.RDI), x86.MemBD(8, x86.RDX, 96))
+				b.I(x86.MOV, x86.R64(x86.RCX), x86.Imm(8, 8))
+				b.I(x86.REPSTOSB)
+				b.I(x86.MOV, x86.R64(x86.RAX), x86.MemBD(8, x86.RDX, 64))
+				b.I(x86.MOV, x86.R64(x86.R8), x86.MemBD(8, x86.RDX, 72))
+				b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.R8))
+				b.I(x86.MOV, x86.R64(x86.R8), x86.MemBD(8, x86.RDX, 96))
+				b.I(x86.XOR, x86.R64(x86.RAX), x86.R64(x86.R8))
+				b.Ret()
+			})
+		},
+	}
+}
+
+// picRIPRelSubject loads two constants through RIP-relative addressing —
+// the position-independent-code data access pattern. Any path that moves
+// the code (fastpath copy, DBrew emit) must retarget the displacements or
+// decline; copying the bytes verbatim silently reads the wrong address.
+func picRIPRelSubject() *Subject {
+	return &Subject{
+		Name:   "pic-riprel",
+		Family: "pic-riprel",
+		Desc:   "two RIP-relative constant loads; constants live just past RET",
+		Build: func() (*Image, error) {
+			e := x86.Encoder{PC: subjectBase}
+			// Layout (fixed lengths): mov(7) mov(7) add(3) add(3) xor(3)
+			// ret(1) = 24 bytes, constants at +24 and +32.
+			for _, in := range []x86.Inst{
+				{Op: x86.MOV, Dst: x86.R64(x86.RAX), Src: x86.MemRIP(8, 24-7)},
+				{Op: x86.MOV, Dst: x86.R64(x86.R8), Src: x86.MemRIP(8, 32-14)},
+				{Op: x86.ADD, Dst: x86.R64(x86.RAX), Src: x86.R64(x86.R8)},
+				{Op: x86.ADD, Dst: x86.R64(x86.RAX), Src: x86.R64(x86.RDI)},
+				{Op: x86.XOR, Dst: x86.R64(x86.RAX), Src: x86.R64(x86.RSI)},
+				{Op: x86.RET},
+			} {
+				if err := e.Encode(in); err != nil {
+					return nil, err
+				}
+			}
+			if len(e.Buf) != 24 {
+				return nil, fmt.Errorf("pic-riprel: code is %d bytes, layout expects 24", len(e.Buf))
+			}
+			code := binary.LittleEndian.AppendUint64(e.Buf, 0x1111_2222_3333_4444)
+			code = binary.LittleEndian.AppendUint64(code, 0x0F0F_F0F0_5A5A_A5A5)
+			return placeImage(code)
+		},
+	}
+}

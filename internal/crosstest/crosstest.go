@@ -21,12 +21,29 @@ import (
 	"repro/internal/x86/asm"
 )
 
+// Feature is a bitmask of optional generator shapes beyond the baseline
+// instruction mix. Features gate idioms that not every execution path
+// supports (the lifter and fastpath reject indirect branches, for example),
+// so masked programs run through the relaxed differential harness that
+// classifies those rejections instead of failing on them.
+type Feature uint32
+
+const (
+	// FeatIndirect emits computed gotos: case addresses stored into an
+	// in-memory table, then an indirect jmp through the table.
+	FeatIndirect Feature = 1 << iota
+	// FeatRepString emits rep movsb / rep stosb blocks on the scratch
+	// buffer.
+	FeatRepString
+)
+
 // Program is one generated test program.
 type Program struct {
 	Code []byte
 	// UsesFP selects the XMM0-result convention.
 	UsesFP bool
 	Seed   int64
+	Mask   Feature
 	Desc   string
 }
 
@@ -53,12 +70,19 @@ type gen struct {
 	// fp tracks whether XMM0..XMM3 hold initialized doubles.
 	fpLive int
 	depth  int
+	mask   Feature
 }
 
-// Generate builds a random program from the seed.
-func Generate(seed int64) (*Program, error) {
+// Generate builds a random program from the seed with no optional features.
+func Generate(seed int64) (*Program, error) { return GenerateWithMask(seed, 0) }
+
+// GenerateWithMask builds a random program from the seed with the given
+// feature shapes enabled. A zero mask produces bit-identical programs to
+// Generate for the same seed: the extra chunk kinds only widen the random
+// choice when their feature bit is set.
+func GenerateWithMask(seed int64, mask Feature) (*Program, error) {
 	r := rand.New(rand.NewSource(seed))
-	g := &gen{r: r, b: asm.NewBuilder()}
+	g := &gen{r: r, b: asm.NewBuilder(), mask: mask}
 
 	// Initial values: rax := rdi, rcx... keep args and derive more.
 	// Register pool: rax, rcx, rsi?, r8, r9, r10, r11 (caller-saved).
@@ -96,8 +120,8 @@ func Generate(seed int64) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{Code: code, UsesFP: usesFP, Seed: seed,
-		Desc: fmt.Sprintf("seed=%d chunks=%d fp=%v", seed, n, usesFP)}, nil
+	return &Program{Code: code, UsesFP: usesFP, Seed: seed, Mask: mask,
+		Desc: fmt.Sprintf("seed=%d chunks=%d fp=%v mask=%#x", seed, n, usesFP, uint32(mask))}, nil
 }
 
 func (g *gen) pick() x86.Reg { return g.live[g.r.Intn(len(g.live))] }
@@ -110,9 +134,34 @@ func (g *gen) scratchOp(size uint8) x86.Operand {
 	return x86.MemBD(size, x86.RDX, off)
 }
 
-// emitChunk appends one random structure.
+// features returns the enabled optional chunk kinds in fixed order, so the
+// mapping from random index to shape is stable per mask.
+func (g *gen) features() []Feature {
+	var fs []Feature
+	for _, f := range []Feature{FeatIndirect, FeatRepString} {
+		if g.mask&f != 0 {
+			fs = append(fs, f)
+		}
+	}
+	return fs
+}
+
+// emitChunk appends one random structure. Feature chunks occupy indices 8+,
+// so a zero mask draws from the same range (and therefore the same random
+// bit stream) as before features existed.
 func (g *gen) emitChunk(fp bool) {
-	switch g.r.Intn(8) {
+	fs := g.features()
+	k := g.r.Intn(8 + len(fs))
+	if k >= 8 {
+		switch fs[k-8] {
+		case FeatIndirect:
+			g.emitIndirect()
+		case FeatRepString:
+			g.emitRepString()
+		}
+		return
+	}
+	switch k {
 	case 0:
 		g.emitALU()
 	case 1:
@@ -268,6 +317,53 @@ func (g *gen) emitDiamond() {
 	g.b.Bind(els)
 	g.emitALU()
 	g.b.Bind(done)
+}
+
+// emitIndirect appends a computed goto: the absolute addresses of two case
+// labels are stored into an in-memory table at the top of the scratch buffer
+// (above the slots scratchOp hands out, so random stores cannot clobber it),
+// then an indirect jmp selects one by a data-dependent bit. This is the
+// jump-table idiom compilers emit for dense switches; the lifter, DBrew, and
+// fastpath reject it, so masked programs go through the relaxed harness.
+func (g *gen) emitIndirect() {
+	c0 := g.b.NewLabel()
+	c1 := g.b.NewLabel()
+	done := g.b.NewLabel()
+	g.b.MovLabel(x86.R11, c0)
+	g.b.I(x86.MOV, x86.MemBD(8, x86.RDX, ScratchSize-16), x86.R64(x86.R11))
+	g.b.MovLabel(x86.R11, c1)
+	g.b.I(x86.MOV, x86.MemBD(8, x86.RDX, ScratchSize-8), x86.R64(x86.R11))
+	g.b.I(x86.MOV, x86.R64(x86.R11), x86.R64(g.pick()))
+	g.b.I(x86.AND, x86.R64(x86.R11), x86.Imm(1, 8))
+	g.b.I(x86.JMPIndirect, x86.MemBIS(8, x86.RDX, x86.R11, 8, ScratchSize-16))
+	g.b.Bind(c0)
+	g.emitALU()
+	g.b.Jmp(done)
+	g.b.Bind(c1)
+	g.emitALU()
+	g.b.Bind(done)
+}
+
+// emitRepString appends a rep movsb or rep stosb block on the scratch
+// buffer, then folds one destination byte back into a live register so the
+// string op affects the architectural result. rsi/rdi/rcx are outside the
+// register pool, so clobbering them is safe.
+func (g *gen) emitRepString() {
+	count := int64(g.r.Intn(24) + 1)
+	srcOff := int32(8 * g.r.Intn(8))    // 0..56
+	dstOff := int32(64 + 8*g.r.Intn(8)) // 64..120
+	g.b.I(x86.LEA, x86.R64(x86.RDI), x86.MemBD(8, x86.RDX, dstOff))
+	g.b.I(x86.MOV, x86.R64(x86.RCX), x86.Imm(count, 8))
+	if g.r.Intn(2) == 0 {
+		g.b.I(x86.LEA, x86.R64(x86.RSI), x86.MemBD(8, x86.RDX, srcOff))
+		g.b.I(x86.REPMOVSB)
+	} else {
+		g.b.I(x86.REPSTOSB) // stores AL; rax holds live pool state
+	}
+	d := g.pick()
+	g.b.I(x86.MOV, x86.R64(x86.R11), x86.MemBD(8, x86.RDX, dstOff))
+	g.b.I(x86.AND, x86.R64(x86.R11), x86.Imm(0xFF, 8))
+	g.b.I(x86.ADD, x86.R64(d), x86.R64(x86.R11))
 }
 
 // Place loads the program into a fresh memory image with a scratch buffer

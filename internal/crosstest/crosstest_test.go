@@ -2,6 +2,7 @@ package crosstest
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 
@@ -12,6 +13,8 @@ import (
 	"repro/internal/jit"
 	"repro/internal/lift"
 	"repro/internal/opt"
+	"repro/internal/x86"
+	"repro/internal/x86/asm"
 )
 
 // inputs exercised for every generated program.
@@ -316,6 +319,215 @@ func TestFastpathShortcutSeeds(t *testing.T) {
 		}
 		runDifferential(t, p)
 	}
+}
+
+// containsOp reports whether the program's code stream contains op.
+func containsOp(p *Program, op x86.Op) bool {
+	for off := 0; off < len(p.Code); {
+		in, err := x86.Decode(p.Code[off:], 0x400000+uint64(off))
+		if err != nil {
+			return false
+		}
+		off += in.Len
+		if in.Op == op {
+			return true
+		}
+	}
+	return false
+}
+
+// runDifferentialRelaxed is the masked-program harness: every execution
+// path either agrees bit-for-bit with the native reference or rejects the
+// program explicitly — a lift or fastpath error, or a DBrew fallback that
+// re-enters the original code. Hard idioms rejecting is expected and
+// classified; producing silently wrong code never is.
+func runDifferentialRelaxed(t *testing.T, p *Program) {
+	t.Helper()
+	sig := p.Sig()
+	mem, entry, scratch, err := p.Place()
+	if err != nil {
+		t.Fatalf("%s: place: %v", p.Desc, err)
+	}
+
+	type variant struct {
+		name  string
+		entry uint64
+	}
+	var variants []variant
+
+	// DBrew: a fallback returns the original entry, which still runs below
+	// (it must stay bit-identical); Stats.Failed only classifies it.
+	rw := dbrew.NewRewriter(mem, entry, sig)
+	de, err := rw.Rewrite()
+	if err != nil {
+		t.Fatalf("%s: dbrew: %v", p.Desc, err)
+	}
+	dbName := "dbrew"
+	if rw.Stats.Failed {
+		dbName = "dbrew-fallback"
+	}
+	variants = append(variants, variant{dbName, de})
+
+	// lift + O3 + JIT: an unsupported idiom is a classified rejection.
+	l := lift.New(mem, lift.DefaultOptions())
+	if f, err := l.LiftFunc(entry, "m", sig); err != nil {
+		t.Logf("%s: lift rejected (classified): %v", p.Desc, err)
+	} else {
+		cfg := opt.O3()
+		cfg.FastMath = false
+		opt.Optimize(f, cfg)
+		if err := ir.Verify(f); err != nil {
+			t.Fatalf("%s: post-O3 verify: %v", p.Desc, err)
+		}
+		comp := jit.NewCompiler(mem)
+		if je, err := comp.CompileModule(l.Module, "m"); err != nil {
+			t.Logf("%s: jit rejected (classified): %v", p.Desc, err)
+		} else {
+			variants = append(variants, variant{"lift+O3+jit", je})
+		}
+	}
+
+	// Fastpath: same contract.
+	if res, err := fastpath.Compile(mem, entry, "m", sig, fastpath.Options{NamePrefix: "xm."}); err != nil {
+		t.Logf("%s: fastpath rejected (classified): %v", p.Desc, err)
+	} else {
+		variants = append(variants, variant{"fastpath:" + res.Mode.String(), res.Entry})
+	}
+
+	engines := []struct {
+		name string
+		cfg  func(m *emu.Machine)
+	}{
+		{"interp", func(m *emu.Machine) { m.Interp = true }},
+		{"block", func(m *emu.Machine) { m.Traces = false }},
+	}
+	for _, in := range inputPairs {
+		if err := ResetScratch(mem, scratch); err != nil {
+			t.Fatal(err)
+		}
+		// Reference: the trace-tier machine on the original code.
+		want, wantBuf, err := RunNative(mem, entry, scratch, p, in[0], in[1])
+		if err != nil {
+			t.Fatalf("%s in=%v: native: %v", p.Desc, in, err)
+		}
+		// The pure interpreter and the block engine must agree with it.
+		for _, eng := range engines {
+			ResetScratch(mem, scratch)
+			m := emu.NewMachine(mem)
+			eng.cfg(m)
+			got, err := m.Call(entry, emu.CallArgs{Ints: []uint64{in[0], in[1], scratch}}, 2_000_000)
+			if err != nil {
+				t.Fatalf("%s in=%v: %s: %v", p.Desc, in, eng.name, err)
+			}
+			if p.UsesFP {
+				got = m.XMM[0].Lo
+			}
+			buf, err := mem.Read(scratch, ScratchSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, p, eng.name, in, want, got, wantBuf, buf)
+		}
+		for _, v := range variants {
+			ResetScratch(mem, scratch)
+			got, buf, err := RunNative(mem, v.entry, scratch, p, in[0], in[1])
+			if err != nil {
+				t.Fatalf("%s in=%v: %s run: %v", p.Desc, in, v.name, err)
+			}
+			check(t, p, v.name, in, want, got, wantBuf, buf)
+		}
+	}
+}
+
+// TestDifferentialMasked sweeps the feature-gated generator shapes —
+// computed gotos through in-memory jump tables and rep-string blocks —
+// through the relaxed harness. The sweep also asserts both idioms actually
+// appear somewhere in the swept programs, so a generator change cannot
+// silently drop the coverage.
+func TestDifferentialMasked(t *testing.T) {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	sawIndirect, sawRep := false, false
+	for _, mask := range []Feature{FeatIndirect, FeatRepString, FeatIndirect | FeatRepString} {
+		for seed := int64(1); seed <= seeds; seed++ {
+			p, err := GenerateWithMask(seed, mask)
+			if err != nil {
+				t.Fatalf("seed %d mask %#x: generate: %v", seed, mask, err)
+			}
+			sawIndirect = sawIndirect || containsOp(p, x86.JMPIndirect)
+			sawRep = sawRep || containsOp(p, x86.REPMOVSB) || containsOp(p, x86.REPSTOSB)
+			runDifferentialRelaxed(t, p)
+		}
+	}
+	if !sawIndirect {
+		t.Error("no swept program contained an indirect jmp: jump-table coverage lost")
+	}
+	if !sawRep {
+		t.Error("no swept program contained a rep-string op: rep-string coverage lost")
+	}
+}
+
+// TestGenerateMaskZeroUnchanged pins that a zero mask reproduces the exact
+// byte stream Generate produced before features existed, for a handful of
+// structurally diverse seeds — the feature gating must not perturb the
+// random sequence of existing corpus seeds.
+func TestGenerateMaskZeroUnchanged(t *testing.T) {
+	for _, seed := range []int64{1, 3, 25, 28, 100, 500, 1458} {
+		a, err := Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GenerateWithMask(seed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Code, b.Code) {
+			t.Errorf("seed %d: mask-0 program differs from Generate", seed)
+		}
+	}
+}
+
+// TestFastpathRIPRelativeCopySubject pins a hand-built straight-line
+// subject with RIP-relative constant loads (PIC-style data after the code):
+// the fastpath backend must keep it on the copy route by re-encoding the
+// displacements against the relocated address, and the result must survive
+// the full strict differential harness.
+func TestFastpathRIPRelativeCopySubject(t *testing.T) {
+	b := asm.NewBuilder()
+	// Layout (offsets): mov rax,[rip+17] at 0 (len 7, end 7, target 24);
+	// mov r8,[rip+18] at 7 (len 7, end 14, target 32); add at 14; add at
+	// 17; xor at 20; ret at 23; constants at 24 and 32.
+	b.I(x86.MOV, x86.R64(x86.RAX), x86.MemRIP(8, 17))
+	b.I(x86.MOV, x86.R64(x86.R8), x86.MemRIP(8, 18))
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.R8))
+	b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RDI))
+	b.I(x86.XOR, x86.R64(x86.RAX), x86.R64(x86.RSI))
+	b.Ret()
+	code, _, err := b.Assemble(0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code) != 24 {
+		t.Fatalf("code is %d bytes, want 24: hand-computed RIP displacements are stale", len(code))
+	}
+	code = binary.LittleEndian.AppendUint64(code, 0x1111_2222_3333_4444)
+	code = binary.LittleEndian.AppendUint64(code, 0x0F0F_F0F0_5A5A_A5A5)
+	p := &Program{Code: code, Seed: -1, Desc: "pinned-riprel"}
+
+	mem, entry, _, err := p.Place()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fastpath.Compile(mem, entry, "riprel", p.Sig(), fastpath.Options{})
+	if err != nil {
+		t.Fatalf("fastpath: %v", err)
+	}
+	if res.Mode != fastpath.ModeCopy {
+		t.Errorf("mode = %v, want copy: RIP-relative fixup coverage lost", res.Mode)
+	}
+	runDifferential(t, p)
 }
 
 // TestDifferentialCondOps pins fresh seeds that exercise the flag-consuming

@@ -26,7 +26,23 @@ import (
 	"testing"
 
 	"repro/internal/emu"
+	"repro/internal/x86"
 )
+
+// decodeFuzzSeed splits a raw fuzz input into (generator seed, feature
+// mask): the low 32 bits seed the generator, bits 32-33 select features.
+// Plain small seeds — the whole historical corpus — decode to a zero mask
+// and the exact program they always produced; masked inputs reach the
+// jump-table and rep-string shapes, and the fuzzer can mutate between the
+// two spaces freely.
+func decodeFuzzSeed(raw int64) (int64, Feature) {
+	return int64(uint32(raw)), Feature((uint64(raw) >> 32) & 3)
+}
+
+// encodeFuzzSeed is decodeFuzzSeed's inverse for pinning corpus entries.
+func encodeFuzzSeed(seed int64, mask Feature) int64 {
+	return int64(uint64(uint32(seed)) | uint64(mask)<<32)
+}
 
 func FuzzDifferential(f *testing.F) {
 	// In-code seeds mirror the ranges the deterministic tests sweep.
@@ -38,15 +54,67 @@ func FuzzDifferential(f *testing.F) {
 	for _, seed := range []int64{3, 15, 17, 28} {
 		f.Add(seed)
 	}
-	f.Fuzz(func(t *testing.T, seed int64) {
-		p, err := Generate(seed)
+	// Masked seeds pin the hard-idiom shapes under fuzz: computed gotos
+	// through in-memory jump tables (mask 1), rep movsb/stosb blocks
+	// (mask 2), and both at once (mask 3). Verified idiom-bearing by
+	// TestFuzzCorpusHitsHardIdioms; mirrored in testdata/fuzz.
+	for _, raw := range pinnedMaskedSeeds {
+		f.Add(raw)
+	}
+	f.Fuzz(func(t *testing.T, raw int64) {
+		seed, mask := decodeFuzzSeed(raw)
+		p, err := GenerateWithMask(seed, mask)
 		if err != nil {
 			// The generator rejects nothing today; treat a refusal as
 			// uninteresting rather than a failure so fuzzing keeps moving.
 			t.Skipf("seed %d: generate: %v", seed, err)
 		}
+		if mask != 0 {
+			// Hard idioms may be rejected (classified) by the lifted
+			// paths; the relaxed harness still requires every path that
+			// accepts the program to agree bit-for-bit.
+			runDifferentialRelaxed(t, p)
+			return
+		}
 		runDifferential(t, p)
 	})
+}
+
+// pinnedMaskedSeeds are the feature-masked corpus entries: two jump-table
+// programs, two rep-string programs, two with both shapes (18|3 also mixes
+// conditional diamonds around the indirect jmp, the closest the generator
+// comes to irreducible regions).
+var pinnedMaskedSeeds = []int64{
+	encodeFuzzSeed(5, FeatIndirect),
+	encodeFuzzSeed(10, FeatIndirect),
+	encodeFuzzSeed(5, FeatRepString),
+	encodeFuzzSeed(11, FeatRepString),
+	encodeFuzzSeed(18, FeatIndirect|FeatRepString),
+	encodeFuzzSeed(10, FeatIndirect|FeatRepString),
+}
+
+// TestFuzzCorpusHitsHardIdioms pins that the masked corpus seeds actually
+// generate the idioms they were chosen for, so generator drift cannot
+// silently reduce them to baseline programs.
+func TestFuzzCorpusHitsHardIdioms(t *testing.T) {
+	sawIndirect, sawRep := false, false
+	for _, raw := range pinnedMaskedSeeds {
+		seed, mask := decodeFuzzSeed(raw)
+		p, err := GenerateWithMask(seed, mask)
+		if err != nil {
+			t.Fatalf("seed %d mask %#x: %v", seed, mask, err)
+		}
+		hasInd := containsOp(p, x86.JMPIndirect)
+		hasRep := containsOp(p, x86.REPMOVSB) || containsOp(p, x86.REPSTOSB)
+		if !hasInd && !hasRep {
+			t.Errorf("seed %d mask %#x: program contains neither hard idiom", seed, mask)
+		}
+		sawIndirect = sawIndirect || hasInd
+		sawRep = sawRep || hasRep
+	}
+	if !sawIndirect || !sawRep {
+		t.Errorf("corpus coverage: indirect=%v rep-string=%v, want both", sawIndirect, sawRep)
+	}
 }
 
 // TestFuzzCorpusEngagesTraces pins the loop-bearing corpus seeds to the

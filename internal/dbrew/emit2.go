@@ -245,6 +245,30 @@ func (e *emitterState) exec(st *mstate, in *x86.Inst) error {
 		}
 		return e.emitAdjusted(st, in, 0)
 
+	case x86.MOVSB, x86.STOSB, x86.REPMOVSB, x86.REPSTOSB:
+		// String ops read RSI/RDI (plus RCX for rep, AL for stos)
+		// implicitly, so the generic emit path would not notice abstractly
+		// known inputs: materialize them, emit verbatim, and mark the
+		// advanced registers dynamic. No flags are written.
+		e.materialize(st, x86.RDI)
+		if in.Op == x86.MOVSB || in.Op == x86.REPMOVSB {
+			e.materialize(st, x86.RSI)
+		} else {
+			e.materialize(st, x86.RAX)
+		}
+		if in.Op == x86.REPMOVSB || in.Op == x86.REPSTOSB {
+			e.materialize(st, x86.RCX)
+		}
+		e.emit(*in)
+		st.setDynamic(x86.RDI)
+		if in.Op == x86.MOVSB || in.Op == x86.REPMOVSB {
+			st.setDynamic(x86.RSI)
+		}
+		if in.Op == x86.REPMOVSB || in.Op == x86.REPSTOSB {
+			st.setDynamic(x86.RCX)
+		}
+		return nil
+
 	case x86.PUSH:
 		// Track the pushed abstract value so the matching pop restores it.
 		if st.vstackOK {
@@ -492,6 +516,14 @@ func (e *emitterState) execCMov(st *mstate, in *x86.Inst) error {
 func (e *emitterState) adjustMem(st *mstate, in *x86.Inst, op x86.Operand) (x86.Operand, error) {
 	if op.Mem.Seg != x86.SegNone {
 		return op, nil
+	}
+	// An inlined call elides the return-address push, so a callee that
+	// addresses its caller's frame through RSP would see every offset
+	// shifted by 8. Refuse rather than emit silently wrong code — the
+	// rewrite falls back to the original function (stack-passed
+	// struct-by-value ABI shapes classify as fallback, not miscompile).
+	if len(st.retStack) > 0 && (op.Mem.Base == x86.RSP || op.Mem.Index == x86.RSP) {
+		return op, fmt.Errorf("%w: rsp-relative memory access inside inlined call at %#x", ErrUnsupported, in.Addr)
 	}
 	if addr, ok := e.addrKnown(st, in, op.Mem); ok {
 		if addr < 1<<31 {

@@ -51,6 +51,10 @@ func HaswellModel() *CostModel {
 		x86.IDIV: 25, x86.DIV: 22,
 		x86.CQO: 0.33, x86.CDQ: 0.33, x86.CDQE: 0.33,
 		x86.XCHG: 1.0, x86.POPCNT: 1.0,
+		// String ops: movsb/stosb are load+store micro-op pairs; the rep
+		// forms retire as one instruction here, so they carry the fast-string
+		// startup cost (the per-byte cost is hidden by the block regime).
+		x86.MOVSB: 1.0, x86.STOSB: 1.0, x86.REPMOVSB: 4.0, x86.REPSTOSB: 4.0,
 		// Control flow: predicted branches are cheap; calls/returns carry
 		// stack-engine and frontend cost.
 		x86.JMP: 0.5, x86.JCC: 0.5, x86.CMOVCC: 0.5, x86.SETCC: 0.5,

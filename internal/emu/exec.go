@@ -509,6 +509,51 @@ func (m *Machine) exec(in *x86.Inst) error {
 			return err
 		}
 		return m.writeOp(in, in.Src, a)
+
+	// Byte string operations. The machine models DF as always clear
+	// (forward), matching the SysV ABI's guarantee at function entry; a rep
+	// block retires as a single instruction with its count folded in.
+	case x86.MOVSB:
+		v, err := m.memLoad(m.GPR[x86.RSI], 1)
+		if err != nil {
+			return err
+		}
+		if err := m.memStore(m.GPR[x86.RDI], 1, v); err != nil {
+			return err
+		}
+		m.GPR[x86.RSI]++
+		m.GPR[x86.RDI]++
+		return nil
+	case x86.STOSB:
+		if err := m.memStore(m.GPR[x86.RDI], 1, m.GPR[x86.RAX]&0xFF); err != nil {
+			return err
+		}
+		m.GPR[x86.RDI]++
+		return nil
+	case x86.REPMOVSB:
+		for m.GPR[x86.RCX] != 0 {
+			v, err := m.memLoad(m.GPR[x86.RSI], 1)
+			if err != nil {
+				return err
+			}
+			if err := m.memStore(m.GPR[x86.RDI], 1, v); err != nil {
+				return err
+			}
+			m.GPR[x86.RSI]++
+			m.GPR[x86.RDI]++
+			m.GPR[x86.RCX]--
+		}
+		return nil
+	case x86.REPSTOSB:
+		al := m.GPR[x86.RAX] & 0xFF
+		for m.GPR[x86.RCX] != 0 {
+			if err := m.memStore(m.GPR[x86.RDI], 1, al); err != nil {
+				return err
+			}
+			m.GPR[x86.RDI]++
+			m.GPR[x86.RCX]--
+		}
+		return nil
 	}
 
 	return m.execSSE(in)

@@ -6,9 +6,11 @@
 //
 //  1. Direct-from-x86 shortcut (ModeCopy): if the function is straight-line
 //     code — decodes cleanly from the entry to a RET with no other control
-//     flow and no RIP-relative operands — the bytes are position-independent
-//     and are simply copied into a fresh code region. No lift, no IR, no
-//     regalloc; compile cost is one decode scan plus a memcpy.
+//     flow — the bytes are copied into a fresh code region. Encodings that
+//     are position-independent copy verbatim; RIP-relative operands are
+//     re-encoded with the displacement retargeted at the original data. No
+//     lift, no IR, no regalloc; compile cost is one decode scan plus a
+//     memcpy (plus per-instruction re-encode when fixups are needed).
 //
 //  2. Single-pass lower (ModeLower): otherwise the code is lifted to IR once
 //     and handed to the JIT's baseline mode (jit.Compiler.Baseline), which
@@ -88,14 +90,17 @@ type Result struct {
 type Stats struct {
 	// Copies and Lowers count successful compiles per route.
 	Copies, Lowers uint64
+	// CopyFixups counts ModeCopy compiles that needed RIP-relative
+	// displacement re-encoding (a subset of Copies).
+	CopyFixups uint64
 	// ShortcutRejects counts entries that failed the straight-line scan
-	// (branch, RIP-relative operand, decode error, or over MaxScan) and
-	// fell through to lowering.
+	// (branch, decode error, over MaxScan, or an out-of-range RIP-relative
+	// fixup) and fell through to lowering.
 	ShortcutRejects uint64
 }
 
 var counters struct {
-	copies, lowers, rejects atomic.Uint64
+	copies, lowers, fixups, rejects atomic.Uint64
 }
 
 // ReadStats returns a snapshot of the process-wide counters.
@@ -103,6 +108,7 @@ func ReadStats() Stats {
 	return Stats{
 		Copies:          counters.copies.Load(),
 		Lowers:          counters.lowers.Load(),
+		CopyFixups:      counters.fixups.Load(),
 		ShortcutRejects: counters.rejects.Load(),
 	}
 }
@@ -126,15 +132,9 @@ func Compile(mem *emu.Memory, entry uint64, name string, sig abi.Signature, opts
 
 func compile(mem *emu.Memory, entry uint64, name string, sig abi.Signature, opts Options) (*Result, error) {
 	if !opts.NoShortcut {
-		if n, insts, ok := scanStraightLine(mem, entry, opts.MaxScan); ok {
-			code, err := mem.Bytes(entry, n)
-			if err != nil {
-				return nil, fmt.Errorf("fastpath: read %s at %#x: %w", name, entry, err)
-			}
-			r := mem.Alloc(n, 16, "fastpath."+opts.NamePrefix+name)
-			copy(r.Data, code)
+		if res, ok := tryCopy(mem, entry, name, opts); ok {
 			counters.copies.Add(1)
-			return &Result{Entry: r.Start, CodeSize: n, Mode: ModeCopy, Insts: insts}, nil
+			return res, nil
 		}
 		counters.rejects.Add(1)
 	}
@@ -158,16 +158,129 @@ func compile(mem *emu.Memory, entry uint64, name string, sig abi.Signature, opts
 	return &Result{Entry: addr, CodeSize: comp.Sizes[addr], Mode: ModeLower}, nil
 }
 
-// scanStraightLine decodes forward from entry and reports (totalBytes,
-// instCount, true) when the function is eligible for the copy shortcut:
-// every instruction decodes, none is a branch except a final RET, and no
-// operand is RIP-relative (copied code runs at a different address, so only
-// position-independent encodings survive relocation by memcpy).
-func scanStraightLine(mem *emu.Memory, entry uint64, maxScan int) (int, int, bool) {
+// tryCopy attempts the direct-from-x86 shortcut: scan for straight-line
+// code, then install it at a fresh address — verbatim when every encoding is
+// position-independent, or with RIP-relative displacements re-encoded
+// against the new location. Returns (nil, false) when the function is not
+// copy-eligible (branch, decode error, over MaxScan, or a displacement that
+// cannot be expressed from the new address).
+func tryCopy(mem *emu.Memory, entry uint64, name string, opts Options) (*Result, bool) {
+	insts, n, ok := scanStraightLine(mem, entry, opts.MaxScan)
+	if !ok {
+		return nil, false
+	}
+	ripRel := false
+	for i := range insts {
+		if instRIPRel(&insts[i]) {
+			ripRel = true
+			break
+		}
+	}
+	if !ripRel {
+		// Pure byte copy: the encodings are position-independent.
+		code, err := mem.Bytes(entry, n)
+		if err != nil {
+			return nil, false
+		}
+		r := mem.Alloc(n, 16, "fastpath."+opts.NamePrefix+name)
+		copy(r.Data, code)
+		return &Result{Entry: r.Start, CodeSize: n, Mode: ModeCopy, Insts: len(insts)}, true
+	}
+	// RIP-relative fixup: the output is rebuilt instruction by instruction —
+	// position-independent encodings are copied verbatim, RIP-relative ones
+	// are re-encoded with the displacement retargeted at the original data.
+	// Sizing pass at base 0 (lengths are displacement-independent: RIP
+	// operands always encode disp32), then the real pass at the allocated
+	// address with range checks.
+	size, ok := emitCopyFixed(mem, entry, insts, nil)
+	if !ok {
+		return nil, false
+	}
+	r := mem.Alloc(size, 16, "fastpath."+opts.NamePrefix+name)
+	if got, ok := emitCopyFixed(mem, entry, insts, r); !ok || got != size {
+		return nil, false
+	}
+	counters.fixups.Add(1)
+	return &Result{Entry: r.Start, CodeSize: size, Mode: ModeCopy, Insts: len(insts)}, true
+}
+
+// emitCopyFixed writes the relocated copy of insts into out (or, with out ==
+// nil, sizes it at a placeholder base). Returns the total byte size and
+// whether every RIP-relative displacement stayed in range.
+func emitCopyFixed(mem *emu.Memory, entry uint64, insts []x86.Inst, out *emu.Region) (int, bool) {
+	base := uint64(0)
+	if out != nil {
+		base = out.Start
+	}
+	e := x86.NewEncoder(base)
+	for i := range insts {
+		in := insts[i]
+		if !instRIPRel(&in) {
+			raw, err := mem.Bytes(in.Addr, in.Len)
+			if err != nil {
+				return 0, false
+			}
+			e.Buf = append(e.Buf, raw...)
+			e.PC += uint64(in.Len)
+			continue
+		}
+		// The decoded displacement is relative to the end of the original
+		// instruction; the encoder's contract is the same relative to the
+		// new end, so retarget each operand at its original absolute data.
+		before := len(e.Buf)
+		for _, op := range []*x86.Operand{&in.Dst, &in.Src, &in.Src2} {
+			if op.Kind != x86.KMem || !op.Mem.RIPRel {
+				continue
+			}
+			target := in.Addr + uint64(in.Len) + uint64(int64(op.Mem.Disp))
+			// Conservative length bound: re-encoding cannot shrink the
+			// fields that precede the displacement, so the new end is at
+			// most at pc+15. Verify the exact value after encoding.
+			newDisp := int64(target) - int64(e.PC) - int64(in.Len)
+			if newDisp < -(1<<31) || newDisp >= 1<<31 {
+				return 0, false
+			}
+			op.Mem.Disp = int32(newDisp)
+		}
+		if err := e.Encode(in); err != nil {
+			return 0, false
+		}
+		if newLen := len(e.Buf) - before; newLen != in.Len {
+			// The encoder chose a different-length form than the original
+			// bytes: the pre-computed displacement (relative to the new
+			// end) would be off. Reject; the lowering route handles it.
+			return 0, false
+		}
+	}
+	if out != nil {
+		if len(e.Buf) != len(out.Data) {
+			return len(e.Buf), false
+		}
+		copy(out.Data, e.Buf)
+	}
+	return len(e.Buf), true
+}
+
+func instRIPRel(in *x86.Inst) bool {
+	for _, op := range []x86.Operand{in.Dst, in.Src, in.Src2} {
+		if op.Kind == x86.KMem && op.Mem.RIPRel {
+			return true
+		}
+	}
+	return false
+}
+
+// scanStraightLine decodes forward from entry and returns the decoded
+// instructions plus total byte length when the function is eligible for the
+// copy shortcut: every instruction decodes and none is a branch except a
+// final RET. RIP-relative operands are allowed — the copy route re-encodes
+// them against the new address (see tryCopy).
+func scanStraightLine(mem *emu.Memory, entry uint64, maxScan int) ([]x86.Inst, int, bool) {
 	if maxScan <= 0 {
 		maxScan = defaultMaxScan
 	}
-	off, insts := 0, 0
+	off := 0
+	var insts []x86.Inst
 	for off < maxScan {
 		addr := entry + uint64(off)
 		// An instruction is at most 15 bytes; near the end of a mapped
@@ -180,25 +293,20 @@ func scanStraightLine(mem *emu.Memory, entry uint64, maxScan int) (int, int, boo
 			}
 		}
 		if window == nil {
-			return 0, 0, false
+			return nil, 0, false
 		}
 		in, err := x86.Decode(window, addr)
 		if err != nil {
-			return 0, 0, false
+			return nil, 0, false
 		}
 		off += in.Len
-		insts++
+		insts = append(insts, in)
 		if in.Op == x86.RET {
-			return off, insts, true
+			return insts, off, true
 		}
 		if in.IsBranch() {
-			return 0, 0, false
-		}
-		for _, op := range []x86.Operand{in.Dst, in.Src, in.Src2} {
-			if op.Kind == x86.KMem && op.Mem.RIPRel {
-				return 0, 0, false
-			}
+			return nil, 0, false
 		}
 	}
-	return 0, 0, false
+	return nil, 0, false
 }

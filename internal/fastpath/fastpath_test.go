@@ -114,10 +114,11 @@ func TestBranchFallsBackToLower(t *testing.T) {
 	}
 }
 
-func TestRIPRelativeRejectsShortcut(t *testing.T) {
-	mem, _ := place(t, func(b *asm.Builder) {
-		// RIP-relative load: position-dependent, must not be byte-copied.
-		// The displacement points 8 bytes past RET, where we map a constant.
+func TestRIPRelativeCopyFixup(t *testing.T) {
+	mem, code := place(t, func(b *asm.Builder) {
+		// RIP-relative load: position-dependent, so the copy route must
+		// re-encode the displacement against the new address. The
+		// displacement points 8 bytes past RET, where we map a constant.
 		b.Emit(x86.Inst{Op: x86.MOV, Dst: x86.R64(x86.RAX), Src: x86.MemRIP(8, 1)})
 		b.Ret()
 	})
@@ -126,15 +127,59 @@ func TestRIPRelativeRejectsShortcut(t *testing.T) {
 	if _, err := mem.MapBytes(codeBase+8, []byte{0x2A, 0, 0, 0, 0, 0, 0, 0}, "const"); err != nil {
 		t.Fatal(err)
 	}
+	before := ReadStats()
 	res, err := Compile(mem, codeBase, "ripload", abi.Signature{Ret: abi.ClassInt}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Mode != ModeLower {
-		t.Fatalf("mode = %v, want lower (RIP-relative operand)", res.Mode)
+	if res.Mode != ModeCopy {
+		t.Fatalf("mode = %v, want copy (RIP-relative fixup)", res.Mode)
 	}
-	if got := run(t, mem, res.Entry, 0, 0); got != 0x2A {
-		t.Errorf("lowered ripload = %#x, want 0x2a", got)
+	got, err := mem.Bytes(res.Entry, res.CodeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, code) {
+		t.Error("fixed-up copy is byte-identical to the original: displacement was not retargeted")
+	}
+	if g := run(t, mem, res.Entry, 0, 0); g != 0x2A {
+		t.Errorf("relocated ripload = %#x, want 0x2a", g)
+	}
+	after := ReadStats()
+	if after.CopyFixups != before.CopyFixups+1 {
+		t.Errorf("CopyFixups = %d, want %d", after.CopyFixups, before.CopyFixups+1)
+	}
+}
+
+func TestRIPRelativeStoreCopyFixup(t *testing.T) {
+	// A RIP-relative *store* followed by a reload, exercising a destination
+	// memory operand fixup: writes 0x55 into the slot after RET, reads it
+	// back.
+	mem, _ := place(t, func(b *asm.Builder) {
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.Imm(0x55, 4))
+		// Both instructions target the 8-byte slot right past RET.
+		// Sizes: mov-imm 7, store 7, load 7, ret 1 → end offsets 7/14/21/22.
+		b.Emit(x86.Inst{Op: x86.MOV, Dst: x86.MemRIP(8, 22-14), Src: x86.R64(x86.RAX)})
+		b.Emit(x86.Inst{Op: x86.MOV, Dst: x86.R64(x86.RAX), Src: x86.MemRIP(8, 22-21)})
+		b.Ret()
+	})
+	if _, err := mem.MapBytes(codeBase+22, make([]byte, 8), "slot"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(mem, codeBase, "ripstore", abi.Signature{Ret: abi.ClassInt}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeCopy {
+		t.Fatalf("mode = %v, want copy (RIP-relative fixup)", res.Mode)
+	}
+	if g := run(t, mem, res.Entry, 0, 0); g != 0x55 {
+		t.Errorf("relocated ripstore = %#x, want 0x55", g)
+	}
+	// Both copies hit the same absolute slot: the original still sees the
+	// value stored by the relocated code's target computation.
+	if g := run(t, mem, codeBase, 0, 0); g != 0x55 {
+		t.Errorf("original ripstore = %#x, want 0x55", g)
 	}
 }
 
@@ -156,9 +201,9 @@ func TestNoShortcutForcesLower(t *testing.T) {
 
 func TestScanStraightLine(t *testing.T) {
 	mem, code := place(t, maxCode)
-	n, insts, ok := scanStraightLine(mem, codeBase, 0)
-	if !ok || n != len(code) || insts != 4 {
-		t.Errorf("scan = (%d, %d, %v), want (%d, 4, true)", n, insts, ok, len(code))
+	insts, n, ok := scanStraightLine(mem, codeBase, 0)
+	if !ok || n != len(code) || len(insts) != 4 {
+		t.Errorf("scan = (%d, %d, %v), want (%d, 4, true)", n, len(insts), ok, len(code))
 	}
 	// A scan cap below the function size rejects.
 	if _, _, ok := scanStraightLine(mem, codeBase, 2); ok {

@@ -401,3 +401,48 @@ func TestTraceO3Recompile(t *testing.T) {
 		t.Fatal("trace was never recompiled at O3")
 	}
 }
+
+// TestTraceIndirectJumpAborts pins the trace tier's contract for indirect
+// control flow (the jump-table idiom): a hot loop whose back edge is an
+// indirect jmp through an in-memory table cannot be traced. Recording must
+// abort exactly once at the indirect jmp and blacklist the loop head — a
+// second abort would mean the head was re-recorded every iteration — while
+// execution stays on the block engine with bit-identical interpreter state.
+// Compiling through the indirect branch (guessing the target) would be a
+// silent miscompile once the table is rewritten, so "no trace at all" is
+// the asserted behavior.
+func TestTraceIndirectJumpAborts(t *testing.T) {
+	code := assembleAt(t, 0x5000, func(b *asm.Builder) {
+		loop := b.NewLabel()
+		done := b.NewLabel()
+		b.I(x86.MOV, x86.R64(x86.RAX), x86.Imm(0, 8))
+		b.I(x86.MOV, x86.R64(x86.RCX), x86.Imm(200, 8))
+		// Build the one-entry jump table: [rdx] = &loop.
+		b.MovLabel(x86.RBX, loop)
+		b.I(x86.MOV, x86.MemBD(8, x86.RDX, 0), x86.R64(x86.RBX))
+		b.Bind(loop)
+		b.I(x86.ADD, x86.R64(x86.RAX), x86.R64(x86.RCX))
+		b.I(x86.XOR, x86.R64(x86.RAX), x86.Imm(0x5A, 8))
+		b.I(x86.SUB, x86.R64(x86.RCX), x86.Imm(1, 8))
+		b.Jcc(x86.CondE, done)
+		b.I(x86.JMPIndirect, x86.MemBD(8, x86.RDX, 0))
+		b.Bind(done)
+		b.Ret()
+	})
+	table := func(m *emu.Machine, mem *emu.Memory) {
+		r := mem.Alloc(8, 8, "table")
+		m.GPR[x86.RDX] = r.Start
+	}
+	before := emu.ReadTraceStats()
+	ref := runSnippet(t, code, modeInterp, 0, table)
+	got := runSnippet(t, code, modeTraces, 0, table)
+	diffStates(t, "indirect back edge", ref, got, modeInterp, modeTraces)
+	after := emu.ReadTraceStats()
+	if after.Compiled != before.Compiled {
+		t.Errorf("compiled %d traces across an indirect back edge, want 0",
+			after.Compiled-before.Compiled)
+	}
+	if aborts := after.Aborted - before.Aborted; aborts != 1 {
+		t.Errorf("recording aborted %d times, want exactly 1: head was not blacklisted", aborts)
+	}
+}

@@ -90,6 +90,13 @@ func (b *Builder) CallLabel(lbl Label) {
 // Ret emits a return.
 func (b *Builder) Ret() { b.I(x86.RET) }
 
+// MovLabel emits "mov r64, imm" whose immediate is the absolute address of
+// lbl, resolved at Assemble time. It is how subjects build jump tables and
+// computed-goto targets at runtime without knowing layout in advance.
+func (b *Builder) MovLabel(r x86.Reg, lbl Label) {
+	b.items = append(b.items, item{inst: x86.Inst{Op: x86.MOV, Dst: x86.R64(r), Src: x86.Imm(0, 8)}, target: lbl})
+}
+
 // Assemble encodes the instruction stream at the given base address and
 // returns the machine code plus the address of every bound label.
 func (b *Builder) Assemble(base uint64) ([]byte, map[Label]uint64, error) {
@@ -122,11 +129,22 @@ func (b *Builder) Assemble(base uint64) ([]byte, map[Label]uint64, error) {
 			if !ok {
 				return nil, nil, fmt.Errorf("asm: unbound label %d", it.target)
 			}
-			in.Dst = x86.Imm(int64(addr), 8)
+			if in.Op == x86.MOV {
+				in.Src = x86.Imm(int64(addr), 8)
+			} else {
+				in.Dst = x86.Imm(int64(addr), 8)
+			}
 		}
 		if err := e.Encode(in); err != nil {
 			return nil, nil, fmt.Errorf("asm: pass2 item %d: %w", i, err)
 		}
+	}
+	// Label addresses were computed from pass-1 lengths; a pass-2 encoding
+	// that drifted (e.g. a MovLabel immediate crossing the imm32 boundary)
+	// would silently corrupt every later target.
+	if uint64(len(e.Buf)) != pc-base {
+		return nil, nil, fmt.Errorf("asm: pass2 emitted %d bytes, pass1 sized %d (encoding length drifted)",
+			len(e.Buf), pc-base)
 	}
 	return e.Buf, labelAddr, nil
 }
@@ -142,6 +160,10 @@ func patchedForSizing(in x86.Inst, hasLabel bool, pc uint64) x86.Inst {
 	switch in.Op {
 	case x86.JMP, x86.JCC, x86.CALL:
 		in.Dst = x86.Imm(int64(pc), 8)
+	case x86.MOV:
+		// MovLabel: size with a same-neighbourhood immediate so the mov
+		// picks the same encoding length in both passes.
+		in.Src = x86.Imm(int64(pc), 8)
 	}
 	return in
 }

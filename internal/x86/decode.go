@@ -454,6 +454,21 @@ func (d *decodeState) decodeOpcode() (Inst, error) {
 		}
 		return Inst{Op: CDQ}, nil
 
+	case opc == 0xA4 || opc == 0xAA: // movsb / stosb (byte string ops)
+		if d.repF2 {
+			return Inst{}, d.fail("repne string op not supported")
+		}
+		switch {
+		case opc == 0xA4 && d.repF3:
+			return Inst{Op: REPMOVSB}, nil
+		case opc == 0xA4:
+			return Inst{Op: MOVSB}, nil
+		case d.repF3:
+			return Inst{Op: REPSTOSB}, nil
+		default:
+			return Inst{Op: STOSB}, nil
+		}
+
 	case opc >= 0xB0 && opc <= 0xB7:
 		v, err := d.i8()
 		if err != nil {

@@ -297,6 +297,18 @@ func (e *Encoder) encode(in Inst) error {
 	case RET:
 		e.Buf = append(e.Buf, 0xC3)
 		return nil
+	case MOVSB:
+		e.Buf = append(e.Buf, 0xA4)
+		return nil
+	case STOSB:
+		e.Buf = append(e.Buf, 0xAA)
+		return nil
+	case REPMOVSB:
+		e.Buf = append(e.Buf, 0xF3, 0xA4)
+		return nil
+	case REPSTOSB:
+		e.Buf = append(e.Buf, 0xF3, 0xAA)
+		return nil
 	case CQO:
 		e.Buf = append(e.Buf, 0x48, 0x99)
 		return nil

@@ -60,6 +60,10 @@ const (
 	XCHG
 	ENDBR64
 	POPCNT
+	MOVSB    // byte string move [rdi] <- [rsi], rsi/rdi advance
+	STOSB    // byte string store [rdi] <- al, rdi advances
+	REPMOVSB // rep movsb: rcx-counted block copy
+	REPSTOSB // rep stosb: rcx-counted block fill
 
 	// SSE data movement.
 	MOVSD_X // scalar double move (F2 0F 10/11)
@@ -148,6 +152,7 @@ var opNames = map[Op]string{
 	JMPIndirect: "jmp", CALLIndirect: "call",
 	NOP: "nop", STC: "stc", CLC: "clc",
 	UD2: "ud2", XCHG: "xchg", ENDBR64: "endbr64", POPCNT: "popcnt",
+	MOVSB: "movsb", STOSB: "stosb", REPMOVSB: "rep movsb", REPSTOSB: "rep stosb",
 	MOVSD_X: "movsd", MOVSS_X: "movss", MOVAPS: "movaps", MOVUPS: "movups",
 	MOVAPD: "movapd", MOVUPD: "movupd", MOVDQA: "movdqa", MOVDQU: "movdqu",
 	MOVQ: "movq", MOVD: "movd", MOVQGP: "movq", MOVHPD: "movhpd", MOVLPD: "movlpd",

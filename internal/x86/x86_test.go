@@ -161,6 +161,11 @@ func corpus() []Inst {
 		i(COMISS, X(XMM2), X(XMM3)),
 		i(UCOMISS, X(XMM4), X(XMM5)),
 		i(MOVMSKPD, R32(RAX), X(XMM0)),
+		// Byte string operations.
+		i(MOVSB),
+		i(STOSB),
+		i(REPMOVSB),
+		i(REPSTOSB),
 		// Indirect control flow (decode-only targets).
 		i(JMPIndirect, R64(RAX)),
 		i(CALLIndirect, MemBD(8, RBX, 0)),
