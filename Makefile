@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-tiering race-service race-trace race-cluster race-fastpath bench bench-emu bench-emu-nogate bench-fastpath bench-fastpath-nogate bench-tiering bench-service bench-cache bench-futamura corpus fig10 throughput cachecheck serve smoke cover fuzz-smoke
+.PHONY: check fmt vet build test race race-tiering race-service race-trace race-trace-native race-cluster race-fastpath bench bench-emu bench-emu-nogate bench-fastpath bench-fastpath-nogate bench-tiering bench-service bench-cache bench-futamura corpus fig10 throughput cachecheck serve smoke cover fuzz-smoke
 
-check: fmt vet build race-tiering race-service race-trace race-cluster race-fastpath race corpus cover fuzz-smoke bench-emu-nogate bench-fastpath-nogate
+check: fmt vet build race-tiering race-service race-trace race-trace-native race-cluster race-fastpath race corpus cover fuzz-smoke bench-emu-nogate bench-fastpath-nogate
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -44,6 +44,16 @@ race-fastpath:
 # invalidation against a running trace) fresh under the race detector.
 race-trace:
 	$(GO) test -race -count=1 -run 'TestTrace' ./internal/jit
+
+# Native trace backend suite fresh under the race detector: the
+# native-vs-VM differential, the exit-stub deopt battery, trace-to-trace
+# linking and its epoch invalidation, polymorphic trace selection, and
+# concurrent invalidation against both a native and a VM machine. The
+# native code itself is invisible to the detector; what this proves is
+# that the Go side of the protocol (miss refills, link cache, counters)
+# adds no unsynchronized state.
+race-trace-native:
+	$(GO) test -race -count=1 -run 'TestTraceNative|TestTraceLink|TestTracePoly' ./internal/jit
 
 # Persistence + fleet suite fresh under the race detector: two in-process
 # nodes, 32 concurrent identical requests, the exactly-one-compile

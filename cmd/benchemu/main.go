@@ -6,17 +6,23 @@
 //     binary links no trace compiler, so these rows are the pure two-tier
 //     baseline.
 //   - BenchmarkEmuEngines (internal/jit): a loop-dominated ALU kernel on all
-//     three tiers — interp, blocks, and the tracing JIT that compiles hot
-//     superblocks through lift -> opt -> the trace VM.
+//     four tiers — interp, blocks, the tracing JIT pinned to its bytecode VM
+//     (tracevm), and the full trace tier with native x86-64 emission (traces).
+//   - BenchmarkEmuLinked (internal/jit): adjacent counted loops whose traces
+//     hand off through the trace-to-trace link cache; the traces row also
+//     reports how many links the run performed.
 //
 // For each engine the JSON records median ns/op and instructions/second, the
 // block-engine speedup over the interpreter, the trace-tier speedup over the
-// block engine on the loop kernel, and the speedup against the recorded seed
+// block engine on the loop kernel, the native-over-VM speedup, the linked
+// kernel's rows and link count, and the speedup against the recorded seed
 // baseline (the first committed run's interpreter numbers, kept sticky so
 // later runs keep comparing against the same reference). A non-gating drift
 // report compares this run's medians against the previously committed file:
 // drift is printed and recorded, never an error — a slow machine must not
-// fail the gate.
+// fail the gate. Two results do gate: native emission must hold a 2x floor
+// over the trace VM on the loop kernel, and the linked kernel must actually
+// link (both are machine-independent ratios/counts, unlike raw ns/op).
 //
 // The benchmarks are invoked through `go test -bench` so the numbers in the
 // JSON are exactly the numbers a developer sees running them by hand.
@@ -37,6 +43,7 @@ import (
 type EngineResult struct {
 	NsPerOp    float64   `json:"ns_per_op"`    // median over samples
 	InstPerS   float64   `json:"inst_per_sec"` // median over samples
+	Links      float64   `json:"links,omitempty"`
 	Samples    int       `json:"samples"`
 	RawNsPerOp []float64 `json:"raw_ns_per_op"`
 }
@@ -68,11 +75,19 @@ type Report struct {
 	SeedBaseline  Baseline                `json:"seed_baseline"`   // sticky first-run interpreter
 	SpeedupVsSeed float64                 `json:"speedup_vs_seed"` // seed ns/op over blocks ns/op
 
-	// The loop-dominated kernel, run on all three tiers (internal/jit's
+	// The loop-dominated kernel, run on all four tiers (internal/jit's
 	// BenchmarkEmuEngines — importing jit is what arms the trace tier).
 	LoopBenchmark string                  `json:"loop_benchmark"`
 	LoopEngines   map[string]EngineResult `json:"loop_engines"`
-	TraceSpeedup  float64                 `json:"trace_speedup"` // loop blocks/traces ns per op
+	TraceSpeedup  float64                 `json:"trace_speedup"`  // loop blocks/traces ns per op
+	NativeSpeedup float64                 `json:"native_speedup"` // loop tracevm/traces ns per op
+
+	// The linked kernel: adjacent loops whose traces chain through the
+	// trace-to-trace link cache (internal/jit's BenchmarkEmuLinked).
+	LinkedBenchmark    string                  `json:"linked_benchmark"`
+	LinkedEngines      map[string]EngineResult `json:"linked_engines"`
+	LinkedTraceSpeedup float64                 `json:"linked_trace_speedup"` // linked blocks/traces
+	LinkedLinks        float64                 `json:"linked_links"`         // links recorded by the traces row
 
 	Drift []Drift `json:"drift,omitempty"` // vs previously committed file; non-gating
 }
@@ -90,12 +105,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	linked, err := runBench("BenchmarkEmuLinked", "./internal/jit", *count)
+	if err != nil {
+		fatal(err)
+	}
 	rep := &Report{
-		Benchmark:     "BenchmarkEmuDispatch",
-		Count:         *count,
-		Engines:       summarize(dispatch),
-		LoopBenchmark: "BenchmarkEmuEngines",
-		LoopEngines:   summarize(loop),
+		Benchmark:       "BenchmarkEmuDispatch",
+		Count:           *count,
+		Engines:         summarize(dispatch),
+		LoopBenchmark:   "BenchmarkEmuEngines",
+		LoopEngines:     summarize(loop),
+		LinkedBenchmark: "BenchmarkEmuLinked",
+		LinkedEngines:   summarize(linked),
 	}
 	interp, okI := rep.Engines["interp"]
 	blocks, okB := rep.Engines["blocks"]
@@ -106,10 +127,30 @@ func main() {
 
 	lblocks, okLB := rep.LoopEngines["blocks"]
 	ltraces, okLT := rep.LoopEngines["traces"]
-	if !okLB || !okLT || ltraces.NsPerOp <= 0 {
-		fatal(fmt.Errorf("missing loop-kernel samples: blocks=%v traces=%v", okLB, okLT))
+	lvm, okLV := rep.LoopEngines["tracevm"]
+	if !okLB || !okLT || !okLV || ltraces.NsPerOp <= 0 {
+		fatal(fmt.Errorf("missing loop-kernel samples: blocks=%v tracevm=%v traces=%v", okLB, okLV, okLT))
 	}
 	rep.TraceSpeedup = lblocks.NsPerOp / ltraces.NsPerOp
+	rep.NativeSpeedup = lvm.NsPerOp / ltraces.NsPerOp
+
+	kblocks, okKB := rep.LinkedEngines["blocks"]
+	ktraces, okKT := rep.LinkedEngines["traces"]
+	if !okKB || !okKT || ktraces.NsPerOp <= 0 {
+		fatal(fmt.Errorf("missing linked-kernel samples: blocks=%v traces=%v", okKB, okKT))
+	}
+	rep.LinkedTraceSpeedup = kblocks.NsPerOp / ktraces.NsPerOp
+	rep.LinkedLinks = ktraces.Links
+
+	// Gating floors: unlike raw ns/op these are machine-independent, so a
+	// slow runner cannot trip them while a regression in the native backend
+	// or the link cache must.
+	if rep.NativeSpeedup < 2.0 {
+		fatal(fmt.Errorf("native traces %.2fx over the trace VM, below the 2x floor", rep.NativeSpeedup))
+	}
+	if rep.LinkedLinks <= 0 {
+		fatal(fmt.Errorf("linked kernel recorded no trace-to-trace links"))
+	}
 
 	// Keep the first recorded interpreter run as the seed baseline, and
 	// diff this run's medians against the previously committed file.
@@ -126,6 +167,7 @@ func main() {
 			}
 			rep.Drift = append(rep.Drift, driftOf(rep.Benchmark, old.Engines, rep.Engines)...)
 			rep.Drift = append(rep.Drift, driftOf(rep.LoopBenchmark, old.LoopEngines, rep.LoopEngines)...)
+			rep.Drift = append(rep.Drift, driftOf(rep.LinkedBenchmark, old.LinkedEngines, rep.LinkedEngines)...)
 		}
 	}
 	rep.SpeedupVsSeed = rep.SeedBaseline.NsPerOp / blocks.NsPerOp
@@ -141,8 +183,12 @@ func main() {
 		*out, interp.NsPerOp, interp.InstPerS, blocks.NsPerOp, blocks.InstPerS)
 	fmt.Printf("speedup %.2fx this run, %.2fx vs recorded seed baseline\n",
 		rep.Speedup, rep.SpeedupVsSeed)
-	fmt.Printf("loop kernel: blocks %.0f ns/op (%.3g inst/s), traces %.0f ns/op (%.3g inst/s), trace tier %.2fx\n",
-		lblocks.NsPerOp, lblocks.InstPerS, ltraces.NsPerOp, ltraces.InstPerS, rep.TraceSpeedup)
+	fmt.Printf("loop kernel: blocks %.0f ns/op (%.3g inst/s), tracevm %.0f ns/op (%.3g inst/s), traces %.0f ns/op (%.3g inst/s)\n",
+		lblocks.NsPerOp, lblocks.InstPerS, lvm.NsPerOp, lvm.InstPerS, ltraces.NsPerOp, ltraces.InstPerS)
+	fmt.Printf("trace tier %.2fx over blocks, native %.2fx over trace VM\n",
+		rep.TraceSpeedup, rep.NativeSpeedup)
+	fmt.Printf("linked kernel: blocks %.0f ns/op, traces %.0f ns/op (%.2fx, %.0f links)\n",
+		kblocks.NsPerOp, ktraces.NsPerOp, rep.LinkedTraceSpeedup, rep.LinkedLinks)
 	for _, d := range rep.Drift {
 		fmt.Printf("drift (non-gating): %s/%s %+.1f%% vs committed (%.0f -> %.0f ns/op)\n",
 			d.Benchmark, d.Engine, d.Percent, d.PrevNsPerOp, d.NsPerOp)
@@ -177,14 +223,16 @@ func driftOf(bench string, old, cur map[string]EngineResult) []Drift {
 func summarize(samples map[string][]sample) map[string]EngineResult {
 	out := map[string]EngineResult{}
 	for name, ss := range samples {
-		var ns, ips []float64
+		var ns, ips, lk []float64
 		for _, s := range ss {
 			ns = append(ns, s.nsPerOp)
 			ips = append(ips, s.instPerS)
+			lk = append(lk, s.links)
 		}
 		out[name] = EngineResult{
 			NsPerOp:    median(ns),
 			InstPerS:   median(ips),
+			Links:      median(lk),
 			Samples:    len(ss),
 			RawNsPerOp: ns,
 		}
@@ -195,6 +243,7 @@ func summarize(samples map[string][]sample) map[string]EngineResult {
 type sample struct {
 	nsPerOp  float64
 	instPerS float64
+	links    float64
 }
 
 // runBench invokes one benchmark and parses the standard `go test -bench`
@@ -228,6 +277,8 @@ func runBench(name, pkg string, count int) (map[string][]sample, error) {
 				s.nsPerOp = v
 			case "inst/s":
 				s.instPerS = v
+			case "links":
+				s.links = v
 			}
 		}
 		if s.nsPerOp > 0 {

@@ -8,20 +8,23 @@ import (
 	"repro/internal/emu"
 )
 
-// EmuSpeedResult compares the emulator's three execution tiers on the
+// EmuSpeedResult compares the emulator's execution tiers on the
 // unspecialized element kernel: the per-instruction interpreter, the
-// block-translating engine, and the tracing JIT (hot superblocks compiled
-// through lift -> opt -> the trace VM), on identical inputs.
+// block-translating engine, the tracing JIT pinned to its bytecode VM, and
+// the full trace tier with native x86-64 emission and trace linking — all
+// on identical inputs.
 type EmuSpeedResult struct {
-	Rounds      int           // interior-row passes per engine
-	Calls       int           // total kernel calls per engine
-	InterpTime  time.Duration // wall clock, per-instruction interpreter
-	BlocksTime  time.Duration // wall clock, block-translating engine
-	TracesTime  time.Duration // wall clock, block engine + trace tier
-	InterpInsts uint64        // instructions retired on the interpreter
-	BlocksInsts uint64        // instructions retired on the block engine
-	TracesInsts uint64        // instructions retired with the trace tier on
-	Traces      emu.TraceStats
+	Rounds       int           // interior-row passes per engine
+	Calls        int           // total kernel calls per engine
+	InterpTime   time.Duration // wall clock, per-instruction interpreter
+	BlocksTime   time.Duration // wall clock, block-translating engine
+	TraceVMTime  time.Duration // wall clock, trace tier pinned to the bytecode VM
+	TracesTime   time.Duration // wall clock, trace tier with native emission
+	InterpInsts  uint64        // instructions retired on the interpreter
+	BlocksInsts  uint64        // instructions retired on the block engine
+	TraceVMInsts uint64        // instructions retired on the bytecode-VM trace tier
+	TracesInsts  uint64        // instructions retired with native traces on
+	Traces       emu.TraceStats
 }
 
 // Speedup is the wall-clock ratio interpreter/blocks.
@@ -41,6 +44,15 @@ func (r *EmuSpeedResult) TraceSpeedup() float64 {
 	return float64(r.BlocksTime) / float64(r.TracesTime)
 }
 
+// NativeSpeedup is the wall-clock ratio tracevm/traces: what native
+// emission adds over interpreting the same compiled traces on the VM.
+func (r *EmuSpeedResult) NativeSpeedup() float64 {
+	if r.TracesTime <= 0 {
+		return 0
+	}
+	return float64(r.TraceVMTime) / float64(r.TracesTime)
+}
+
 // RunEmuSpeed drives the original (unspecialized) element kernel through one
 // machine per engine, sweeping an interior row rounds times, and reports
 // wall time and emulated instructions per second for each. Results are
@@ -52,10 +64,11 @@ func (w *Workload) RunEmuSpeed(rounds int) (*EmuSpeedResult, error) {
 	entry, _, _, _ := w.inputFor(Element, Flat, DBrewLLVM)
 	n := w.SZ - 2
 
-	runOne := func(interp, traces bool) (time.Duration, uint64, error) {
+	runOne := func(interp, traces, noNative bool) (time.Duration, uint64, error) {
 		m := emu.NewMachine(w.Mem)
 		m.Interp = interp
 		m.Traces = traces
+		m.TraceOpts.NoNativeTraces = noNative
 		start := time.Now()
 		for round := 0; round < rounds; round++ {
 			for col := 1; col <= n; col++ {
@@ -69,40 +82,50 @@ func (w *Workload) RunEmuSpeed(rounds int) (*EmuSpeedResult, error) {
 		return time.Since(start), m.InstCount, nil
 	}
 
-	interpTime, interpInsts, err := runOne(true, false)
+	interpTime, interpInsts, err := runOne(true, false, false)
 	if err != nil {
 		return nil, fmt.Errorf("bench: emuspeed interp: %w", err)
 	}
-	blocksTime, blocksInsts, err := runOne(false, false)
+	blocksTime, blocksInsts, err := runOne(false, false, false)
 	if err != nil {
 		return nil, fmt.Errorf("bench: emuspeed blocks: %w", err)
 	}
+	vmTime, vmInsts, err := runOne(false, true, true)
+	if err != nil {
+		return nil, fmt.Errorf("bench: emuspeed tracevm: %w", err)
+	}
 	before := emu.ReadTraceStats()
-	tracesTime, tracesInsts, err := runOne(false, true)
+	tracesTime, tracesInsts, err := runOne(false, true, false)
 	if err != nil {
 		return nil, fmt.Errorf("bench: emuspeed traces: %w", err)
 	}
 	after := emu.ReadTraceStats()
-	if interpInsts != blocksInsts || blocksInsts != tracesInsts {
-		return nil, fmt.Errorf("bench: emuspeed engines disagree: interp retired %d instructions, blocks %d, traces %d",
-			interpInsts, blocksInsts, tracesInsts)
+	if interpInsts != blocksInsts || blocksInsts != vmInsts || vmInsts != tracesInsts {
+		return nil, fmt.Errorf("bench: emuspeed engines disagree: interp retired %d instructions, blocks %d, tracevm %d, traces %d",
+			interpInsts, blocksInsts, vmInsts, tracesInsts)
 	}
 	return &EmuSpeedResult{
-		Rounds:      rounds,
-		Calls:       rounds * n,
-		InterpTime:  interpTime,
-		BlocksTime:  blocksTime,
-		TracesTime:  tracesTime,
-		InterpInsts: interpInsts,
-		BlocksInsts: blocksInsts,
-		TracesInsts: tracesInsts,
+		Rounds:       rounds,
+		Calls:        rounds * n,
+		InterpTime:   interpTime,
+		BlocksTime:   blocksTime,
+		TraceVMTime:  vmTime,
+		TracesTime:   tracesTime,
+		InterpInsts:  interpInsts,
+		BlocksInsts:  blocksInsts,
+		TraceVMInsts: vmInsts,
+		TracesInsts:  tracesInsts,
 		Traces: emu.TraceStats{
-			Compiled:   after.Compiled - before.Compiled,
-			CompiledO3: after.CompiledO3 - before.CompiledO3,
-			Aborted:    after.Aborted - before.Aborted,
-			Runs:       after.Runs - before.Runs,
-			Iters:      after.Iters - before.Iters,
-			SideExits:  after.SideExits - before.SideExits,
+			Compiled:          after.Compiled - before.Compiled,
+			CompiledO3:        after.CompiledO3 - before.CompiledO3,
+			Aborted:           after.Aborted - before.Aborted,
+			Runs:              after.Runs - before.Runs,
+			Iters:             after.Iters - before.Iters,
+			SideExits:         after.SideExits - before.SideExits,
+			NativeCompiled:    after.NativeCompiled - before.NativeCompiled,
+			NativeDeopts:      after.NativeDeopts - before.NativeDeopts,
+			Links:             after.Links - before.Links,
+			LinkInvalidations: after.LinkInvalidations - before.LinkInvalidations,
 		},
 	}, nil
 }
@@ -123,11 +146,14 @@ func (r *EmuSpeedResult) Format() string {
 	}
 	line("interp", r.InterpTime, r.InterpInsts)
 	line("blocks", r.BlocksTime, r.BlocksInsts)
+	line("tracevm", r.TraceVMTime, r.TraceVMInsts)
 	line("traces", r.TracesTime, r.TracesInsts)
-	fmt.Fprintf(&b, "  speedup: blocks %.2fx over interp, traces %.2fx over blocks\n",
-		r.Speedup(), r.TraceSpeedup())
-	fmt.Fprintf(&b, "  trace tier: %d compiled (%d at O3), %d aborted, %d runs, %d iterations, %d side exits\n",
-		r.Traces.Compiled, r.Traces.CompiledO3, r.Traces.Aborted,
+	fmt.Fprintf(&b, "  speedup: blocks %.2fx over interp, traces %.2fx over blocks, native %.2fx over trace VM\n",
+		r.Speedup(), r.TraceSpeedup(), r.NativeSpeedup())
+	fmt.Fprintf(&b, "  trace tier: %d compiled (%d at O3, %d native), %d aborted, %d runs, %d iterations, %d side exits\n",
+		r.Traces.Compiled, r.Traces.CompiledO3, r.Traces.NativeCompiled, r.Traces.Aborted,
 		r.Traces.Runs, r.Traces.Iters, r.Traces.SideExits)
+	fmt.Fprintf(&b, "  native: %d exit-stub deopts, %d trace links (%d link invalidations)\n",
+		r.Traces.NativeDeopts, r.Traces.Links, r.Traces.LinkInvalidations)
 	return b.String()
 }

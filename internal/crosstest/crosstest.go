@@ -35,6 +35,10 @@ const (
 	// FeatRepString emits rep movsb / rep stosb blocks on the scratch
 	// buffer.
 	FeatRepString
+	// FeatNestedLoop emits two adjacent counted loops re-entered by an
+	// outer loop — the shape whose traces hand off through the
+	// trace-to-trace link cache.
+	FeatNestedLoop
 )
 
 // Program is one generated test program.
@@ -138,7 +142,7 @@ func (g *gen) scratchOp(size uint8) x86.Operand {
 // mapping from random index to shape is stable per mask.
 func (g *gen) features() []Feature {
 	var fs []Feature
-	for _, f := range []Feature{FeatIndirect, FeatRepString} {
+	for _, f := range []Feature{FeatIndirect, FeatRepString, FeatNestedLoop} {
 		if g.mask&f != 0 {
 			fs = append(fs, f)
 		}
@@ -158,6 +162,8 @@ func (g *gen) emitChunk(fp bool) {
 			g.emitIndirect()
 		case FeatRepString:
 			g.emitRepString()
+		case FeatNestedLoop:
+			g.emitAdjacentLoops()
 		}
 		return
 	}
@@ -364,6 +370,38 @@ func (g *gen) emitRepString() {
 	g.b.I(x86.MOV, x86.R64(x86.R11), x86.MemBD(8, x86.RDX, dstOff))
 	g.b.I(x86.AND, x86.R64(x86.R11), x86.Imm(0xFF, 8))
 	g.b.I(x86.ADD, x86.R64(d), x86.R64(x86.R11))
+}
+
+// emitAdjacentLoops appends the trace-linking idiom: two counted do-while
+// loops placed back to back so the first loop's not-taken backedge falls
+// through directly onto the second loop's head, the pair re-entered by a
+// short outer loop. Under RunNative's thresholds both inner loops compile
+// traces on the first outer pass; on the second, the first trace's guard
+// exit lands exactly on the second trace's head and the handoff goes
+// through the trace-to-trace link cache instead of block dispatch.
+func (g *gen) emitAdjacentLoops() {
+	i1 := int64(g.r.Intn(5) + 4) // 4..8: enough iterations to record,
+	i2 := int64(g.r.Intn(5) + 4) // compile, and enter each inner trace
+	g.b.I(x86.MOV, x86.R64(x86.R11), x86.Imm(2, 8))
+	top := g.b.NewLabel()
+	g.b.Bind(top)
+	// Both inner counters initialize before the first loop: an instruction
+	// between the loops would become the first guard exit's target and the
+	// handoff would miss the second trace's head.
+	g.b.I(x86.MOV, x86.R64(x86.R10), x86.Imm(i1, 8))
+	g.b.I(x86.MOV, x86.R64(x86.RCX), x86.Imm(i2, 8))
+	l1 := g.b.NewLabel()
+	g.b.Bind(l1)
+	g.emitALU()
+	g.b.I(x86.SUB, x86.R64(x86.R10), x86.Imm(1, 8))
+	g.b.Jcc(x86.CondNE, l1) // fallthrough == second loop head
+	l2 := g.b.NewLabel()
+	g.b.Bind(l2)
+	g.emitALU()
+	g.b.I(x86.SUB, x86.R64(x86.RCX), x86.Imm(1, 8))
+	g.b.Jcc(x86.CondNE, l2)
+	g.b.I(x86.SUB, x86.R64(x86.R11), x86.Imm(1, 8))
+	g.b.Jcc(x86.CondNE, top)
 }
 
 // Place loads the program into a fresh memory image with a scratch buffer

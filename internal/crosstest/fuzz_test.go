@@ -30,13 +30,13 @@ import (
 )
 
 // decodeFuzzSeed splits a raw fuzz input into (generator seed, feature
-// mask): the low 32 bits seed the generator, bits 32-33 select features.
+// mask): the low 32 bits seed the generator, bits 32-34 select features.
 // Plain small seeds — the whole historical corpus — decode to a zero mask
 // and the exact program they always produced; masked inputs reach the
-// jump-table and rep-string shapes, and the fuzzer can mutate between the
-// two spaces freely.
+// jump-table, rep-string, and trace-linking nested-loop shapes, and the
+// fuzzer can mutate between the spaces freely.
 func decodeFuzzSeed(raw int64) (int64, Feature) {
-	return int64(uint32(raw)), Feature((uint64(raw) >> 32) & 3)
+	return int64(uint32(raw)), Feature((uint64(raw) >> 32) & 7)
 }
 
 // encodeFuzzSeed is decodeFuzzSeed's inverse for pinning corpus entries.
@@ -59,6 +59,11 @@ func FuzzDifferential(f *testing.F) {
 	// (mask 2), and both at once (mask 3). Verified idiom-bearing by
 	// TestFuzzCorpusHitsHardIdioms; mirrored in testdata/fuzz.
 	for _, raw := range pinnedMaskedSeeds {
+		f.Add(raw)
+	}
+	// Nested-loop seeds keep trace-to-trace linking under fuzz (pinned by
+	// TestFuzzCorpusEngagesTraceLinks; mirrored in testdata/fuzz).
+	for _, raw := range pinnedLinkSeeds {
 		f.Add(raw)
 	}
 	f.Fuzz(func(t *testing.T, raw int64) {
@@ -91,6 +96,19 @@ var pinnedMaskedSeeds = []int64{
 	encodeFuzzSeed(11, FeatRepString),
 	encodeFuzzSeed(18, FeatIndirect|FeatRepString),
 	encodeFuzzSeed(10, FeatIndirect|FeatRepString),
+}
+
+// pinnedLinkSeeds are nested-loop corpus entries whose adjacent-loop chunks
+// provably hand off through the trace-to-trace link cache under RunNative's
+// thresholds (verified by TestFuzzCorpusEngagesTraceLinks). 9/24/28 link
+// multiple loop pairs; the masked pair mixes links with rep-string and
+// jump-table idioms around the linked region.
+var pinnedLinkSeeds = []int64{
+	encodeFuzzSeed(9, FeatNestedLoop),
+	encodeFuzzSeed(24, FeatNestedLoop),
+	encodeFuzzSeed(28, FeatNestedLoop),
+	encodeFuzzSeed(9, FeatNestedLoop|FeatRepString),
+	encodeFuzzSeed(28, FeatNestedLoop|FeatRepString|FeatIndirect),
 }
 
 // TestFuzzCorpusHitsHardIdioms pins that the masked corpus seeds actually
@@ -144,6 +162,35 @@ func TestFuzzCorpusEngagesTraces(t *testing.T) {
 		if after.Compiled == before.Compiled {
 			t.Errorf("seed %d: no trace compiled (aborted %d): loop coverage lost",
 				seed, after.Aborted-before.Aborted)
+		}
+	}
+}
+
+// TestFuzzCorpusEngagesTraceLinks pins the nested-loop corpus seeds to the
+// linking tier: each must record at least one trace-to-trace link under
+// RunNative's thresholds, so corpus runs (and fuzzing on top of them) keep
+// covering the guard-exit handoff between compiled traces. Like its trace
+// sibling above, this fails loudly if generator or threshold drift ever
+// stops the seeds from linking.
+func TestFuzzCorpusEngagesTraceLinks(t *testing.T) {
+	for _, raw := range pinnedLinkSeeds {
+		seed, mask := decodeFuzzSeed(raw)
+		p, err := GenerateWithMask(seed, mask)
+		if err != nil {
+			t.Fatalf("seed %d mask %#x: generate: %v", seed, mask, err)
+		}
+		mem, entry, scratch, err := p.Place()
+		if err != nil {
+			t.Fatalf("seed %d mask %#x: place: %v", seed, mask, err)
+		}
+		before := emu.ReadTraceStats()
+		if _, _, err := RunNative(mem, entry, scratch, p, 3, 5); err != nil {
+			t.Fatalf("seed %d mask %#x: run: %v", seed, mask, err)
+		}
+		after := emu.ReadTraceStats()
+		if after.Links == before.Links {
+			t.Errorf("seed %d mask %#x: no trace link (compiled %d): linking coverage lost",
+				seed, mask, after.Compiled-before.Compiled)
 		}
 	}
 }

@@ -71,9 +71,85 @@ type Block struct {
 	// noTrace blacklists a head whose recording or compile failed, so the
 	// dispatcher does not re-record it forever.
 	noTrace bool
-	// trace is the compiled superblock trace anchored at this block, if
-	// any. It dies with the block on flushTranslations/InvalidateRange.
-	trace *traceEntry
+	// traces are the compiled superblock traces anchored at this block —
+	// up to maxTracesPerHead per head, so an alternating-path loop can hold
+	// one trace per hot path instead of thrashing side exits forever. Each
+	// entry is keyed by the context it was recorded under (the side-exit
+	// RIP whose streak triggered the re-record; 0 for the root trace).
+	// Entries die with the block on flushTranslations/InvalidateRange.
+	traces [maxTracesPerHead]*traceEntry
+}
+
+// maxTracesPerHead bounds polymorphic trace selection: a head holds at most
+// this many compiled traces before further re-records are refused.
+const maxTracesPerHead = 2
+
+// selectTrace picks the installed trace to run for the given entry context:
+// the entry recorded under exactly this context if one exists, else the root
+// (context-0) entry, else the first installed entry. Returns nil when the
+// head has no traces.
+func (b *Block) selectTrace(ctx uint64) *traceEntry {
+	var root, first *traceEntry
+	for _, t := range &b.traces {
+		if t == nil {
+			continue
+		}
+		if t.ctx == ctx {
+			return t
+		}
+		if t.ctx == 0 && root == nil {
+			root = t
+		}
+		if first == nil {
+			first = t
+		}
+	}
+	if root != nil {
+		return root
+	}
+	return first
+}
+
+// installTrace places t in a free slot; reports whether one was free and
+// whether this was the head's first trace (so it joins Machine.traced once).
+func (b *Block) installTrace(t *traceEntry) (installed, wasEmpty bool) {
+	wasEmpty = true
+	slot := -1
+	for i, e := range &b.traces {
+		if e != nil {
+			wasEmpty = false
+		} else if slot < 0 {
+			slot = i
+		}
+	}
+	if slot < 0 {
+		return false, wasEmpty
+	}
+	b.traces[slot] = t
+	return true, wasEmpty
+}
+
+// wantsTrace reports whether a backward-edge arrival under ctx should count
+// toward recording a (further) trace on this head: always before the first
+// trace, and afterwards only when the arrival context matches no installed
+// entry (the thrash signal left by a zero-iteration side exit) and a slot is
+// free.
+func (b *Block) wantsTrace(ctx uint64) bool {
+	free := false
+	for _, t := range &b.traces {
+		if t == nil {
+			free = true
+		} else if t.ctx == ctx {
+			return false
+		}
+	}
+	if !free {
+		return false
+	}
+	if b.traces[0] == nil && b.traces[1] == nil {
+		return true
+	}
+	return ctx != 0
 }
 
 // translate decodes and binds the block starting at addr. A decode failure

@@ -69,11 +69,24 @@ func (m *Machine) InvalidateRange(start, end uint64) {
 	m.lastBlock = nil
 	m.chainEpoch++
 	// A trace's body may span pages that survived the drop; discard any
-	// trace whose recorded span overlaps the invalidated range.
+	// trace whose recorded span overlaps the invalidated range. A head
+	// stays in the traced list while any of its polymorphic entries
+	// survives. Per-exit trace links need no walk here: they are guarded
+	// by the chain epoch bumped above and lazily re-resolved.
 	kept := m.traced[:0]
 	for _, b := range m.traced {
-		if t := b.trace; t != nil && start < t.hi && t.lo < end {
-			b.trace = nil
+		alive := false
+		for i, t := range &b.traces {
+			if t == nil {
+				continue
+			}
+			if start < t.hi && t.lo < end {
+				b.traces[i] = nil
+				continue
+			}
+			alive = true
+		}
+		if !alive {
 			b.hot = 0
 			continue
 		}
@@ -139,13 +152,17 @@ func (m *Machine) runBlocks(maxInst uint64) error {
 		if tracing {
 			if rec != nil {
 				rec = rec.note(m, b, pc)
-			} else if b.trace == nil && !b.noTrace && prev != nil && pc <= prev.start {
+			} else if !b.noTrace && prev != nil && pc <= prev.start && b.wantsTrace(m.traceCtx) {
+				// Counts both cold heads heating up and installed heads
+				// whose selected trace keeps zero-iteration side-exiting
+				// under an unseen entry context (polymorphic re-record).
 				if b.hot++; b.hot >= m.TraceOpts.hotThreshold() {
-					rec = startRecording(b, pc)
+					b.hot = 0
+					rec = startRecording(b, pc, m.traceCtx)
 					rec = rec.note(m, b, pc)
 				}
 			}
-			if t := b.trace; t != nil && rec == nil {
+			if t := b.selectTrace(m.traceCtx); t != nil && rec == nil {
 				progressed, err := m.runTrace(t, maxInst, &n)
 				if err != nil {
 					return err

@@ -118,6 +118,14 @@ type Machine struct {
 	// when the head block's own page survives.
 	traced []*Block
 
+	// traceCtx is the polymorphic-selection hint: the side-exit RIP of the
+	// last trace run that retired zero complete iterations (the trace
+	// followed the wrong path for the current data), or 0 after a
+	// productive run. Heads select — and, when thrashing persists, record —
+	// trace entries keyed by it. Purely a performance hint; stale values
+	// only cost an extra selection miss.
+	traceCtx uint64
+
 	// runDepth guards the retiredTotal accounting against nested Run calls
 	// (a CallHook may re-enter Call).
 	runDepth int

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Fault describes an invalid memory access.
@@ -48,6 +49,13 @@ func (r *Region) End() uint64 { return r.Start + uint64(len(r.Data)) }
 // generation. The trace tier uses it to deoptimize stores that may hit
 // translated code.
 func (r *Region) Watched() bool { return r.watch.Load() }
+
+// WatchWord exposes the address of the watch flag's storage word so
+// natively compiled traces can poll it with a plain aligned load (the
+// atomic.Bool value word sits at offset 0; non-zero means watched).
+// Regions are never unmapped, so the pointer stays valid for the region's
+// lifetime. Callers must only read through it.
+func (r *Region) WatchWord() *uint32 { return (*uint32)(unsafe.Pointer(&r.watch)) }
 
 // Memory is a sparse virtual address space composed of mapped regions.
 // Lookups cache the last region hit, which makes the common
@@ -208,6 +216,13 @@ func (m *Memory) noteCode(start, end uint64) {
 // code may have been modified: translated blocks built under an older
 // generation must be discarded.
 func (m *Memory) CodeGen() uint64 { return m.codeGen.Load() }
+
+// CodeGenWord exposes the address of the code-generation counter's storage
+// word so natively compiled traces can re-check it on every backedge with a
+// plain aligned 64-bit load (the atomic.Uint64 value word sits at offset 0).
+// Memory outlives every machine executing against it, so the pointer stays
+// valid. Callers must only read through it.
+func (m *Memory) CodeGenWord() *uint64 { return (*uint64)(unsafe.Pointer(&m.codeGen)) }
 
 // InvalidateRange declares that bytes in [start, end) were modified outside
 // the tracked write paths (e.g. through a slice returned by Bytes). Every

@@ -34,6 +34,10 @@ type TraceOptions struct {
 	MaxInsts int
 	// MaxBlocks caps the blocks stitched into a recorded trace. Default 64.
 	MaxBlocks int
+	// NoNativeTraces pins compiled traces to the bytecode trace VM even
+	// when a native backend is registered — the A/B reference for the
+	// native tier and an escape hatch if host execution misbehaves.
+	NoNativeTraces bool
 }
 
 func (o *TraceOptions) hotThreshold() uint32 {
@@ -83,6 +87,8 @@ type TraceRequest struct {
 	Cost  *CostModel
 	// O3 requests the expensive optimization pipeline (re-hot traces).
 	O3 bool
+	// NoNative pins this trace to the bytecode VM (TraceOptions.NoNativeTraces).
+	NoNative bool
 }
 
 // TraceRunFunc executes a compiled trace on m with at most iterCap full
@@ -124,23 +130,45 @@ type TraceStats struct {
 	// across all runs, SideExits the runs that left mid-iteration through
 	// a guard or deoptimizing memory access.
 	Runs, Iters, SideExits uint64
+	// NativeCompiled counts traces whose compiled form runs as host x86-64
+	// code rather than the bytecode VM; NativeDeopts counts native runs
+	// that finished through any exit other than the loop-header iteration
+	// cap (guards, memory deopts, SMC generation checks).
+	NativeCompiled, NativeDeopts uint64
+	// Links counts trace-to-trace transfers that bypassed block dispatch;
+	// LinkInvalidations counts cached links rejected because the chain
+	// epoch moved (InvalidateRange) since the link was installed.
+	Links, LinkInvalidations uint64
 }
 
 var traceCounters struct {
-	compiled, compiledO3, aborted, runs, iters, sideExits atomic.Uint64
+	compiled, compiledO3, aborted, runs, iters, sideExits  atomic.Uint64
+	nativeCompiled, nativeDeopts, links, linkInvalidations atomic.Uint64
 }
 
 // ReadTraceStats snapshots the process-wide trace-tier counters.
 func ReadTraceStats() TraceStats {
 	return TraceStats{
-		Compiled:   traceCounters.compiled.Load(),
-		CompiledO3: traceCounters.compiledO3.Load(),
-		Aborted:    traceCounters.aborted.Load(),
-		Runs:       traceCounters.runs.Load(),
-		Iters:      traceCounters.iters.Load(),
-		SideExits:  traceCounters.sideExits.Load(),
+		Compiled:          traceCounters.compiled.Load(),
+		CompiledO3:        traceCounters.compiledO3.Load(),
+		Aborted:           traceCounters.aborted.Load(),
+		Runs:              traceCounters.runs.Load(),
+		Iters:             traceCounters.iters.Load(),
+		SideExits:         traceCounters.sideExits.Load(),
+		NativeCompiled:    traceCounters.nativeCompiled.Load(),
+		NativeDeopts:      traceCounters.nativeDeopts.Load(),
+		Links:             traceCounters.links.Load(),
+		LinkInvalidations: traceCounters.linkInvalidations.Load(),
 	}
 }
+
+// CountTraceNativeCompile and CountTraceNativeDeopt are bumped by the
+// registered trace compiler (internal/jit) when it emits a trace as host
+// code and when a native run leaves through a deoptimizing exit. They live
+// here so the counters stay process-wide next to the rest of the tier's
+// stats without a reverse dependency.
+func CountTraceNativeCompile() { traceCounters.nativeCompiled.Add(1) }
+func CountTraceNativeDeopt()   { traceCounters.nativeDeopts.Add(1) }
 
 // traceEntry is a compiled trace installed on its head block. It dies with
 // the block: flushTranslations drops all pages, and InvalidateRange drops
@@ -157,19 +185,40 @@ type traceEntry struct {
 	o3    bool
 	// [lo, hi) spans every recorded instruction, for InvalidateRange.
 	lo, hi uint64
+	// ctx is the entry context the trace was recorded under: the side-exit
+	// RIP whose zero-iteration streak triggered the re-record, or 0 for
+	// the head's root trace. Block.selectTrace keys on it.
+	ctx uint64
+	// links caches side-exit targets that resolved to other compiled trace
+	// heads, so linked traces hand off without re-entering block dispatch.
+	// Each link is guarded by the chain epoch it was installed under —
+	// InvalidateRange bumps the epoch, and a stale link is dropped and
+	// re-resolved on next use (counted as a link invalidation).
+	links []traceLink
+}
+
+// maxTraceLinks bounds the per-trace link cache; a trace has only a handful
+// of side exits, so a tiny linear-scanned slice beats a map.
+const maxTraceLinks = 4
+
+type traceLink struct {
+	rip   uint64
+	b     *Block
+	epoch uint64
 }
 
 // traceRecorder accumulates the block path of a trace being recorded.
 type traceRecorder struct {
 	head    *Block
 	headPC  uint64
+	ctx     uint64 // entry context the recording was triggered under
 	steps   []TraceStep
 	pending int // index of an unresolved conditional branch, or -1
 	blocks  int
 }
 
-func startRecording(head *Block, pc uint64) *traceRecorder {
-	return &traceRecorder{head: head, headPC: pc, pending: -1}
+func startRecording(head *Block, pc, ctx uint64) *traceRecorder {
+	return &traceRecorder{head: head, headPC: pc, ctx: ctx, pending: -1}
 }
 
 // note observes one dispatch while recording: it resolves the previous
@@ -216,7 +265,8 @@ func (r *traceRecorder) abort() {
 // finishTrace compiles the closed recording and installs it on the head.
 func (m *Machine) finishTrace(r *traceRecorder) {
 	comp := loadTraceCompiler()
-	req := &TraceRequest{Head: r.headPC, Steps: r.steps, Mem: m.Mem, Cost: m.Cost}
+	req := &TraceRequest{Head: r.headPC, Steps: r.steps, Mem: m.Mem, Cost: m.Cost,
+		NoNative: m.TraceOpts.NoNativeTraces}
 	run, err := comp(req)
 	if err != nil {
 		r.abort()
@@ -234,64 +284,142 @@ func (m *Machine) finishTrace(r *traceRecorder) {
 			hi = e
 		}
 	}
-	r.head.trace = &traceEntry{run: run, costs: costs, T: uint64(len(costs)), req: req, lo: lo, hi: hi}
-	m.traced = append(m.traced, r.head)
+	t := &traceEntry{run: run, costs: costs, T: uint64(len(costs)), req: req,
+		lo: lo, hi: hi, ctx: r.ctx}
+	installed, wasEmpty := r.head.installTrace(t)
+	if !installed {
+		// All slots taken (another recording won the race within this
+		// machine); drop the compile without blacklisting the head.
+		return
+	}
+	if wasEmpty {
+		m.traced = append(m.traced, r.head)
+	}
 	traceCounters.compiled.Add(1)
 }
 
-// runTrace executes a compiled trace and settles the machine's accounting.
-// It returns progressed == false when the trace could not retire a single
-// instruction (budget headroom below one iteration, or an immediate deopt),
-// in which case the caller must execute the head block through the block
-// engine instead.
+// runTrace executes a compiled trace — and any chain of linked traces its
+// side exits resolve to — settling the machine's accounting after every run.
+// It returns progressed == false only when no trace in the chain retired a
+// single instruction (budget headroom below one iteration, or an immediate
+// deopt), in which case the caller must execute the head block through the
+// block engine instead. Note the asymmetry: once any run made progress, RIP
+// has moved, so the caller must re-dispatch from scratch even if a later
+// linked trace stalled.
 func (m *Machine) runTrace(t *traceEntry, maxInst uint64, n *uint64) (progressed bool, err error) {
-	iterCap := ^uint64(0)
-	if maxInst > 0 {
-		// Never overshoot the budget: cap whole iterations to the
-		// remaining headroom. A partial iteration is delegated to the
-		// block engine, which clamps per instruction.
-		iterCap = (maxInst - *n) / t.T
-		if iterCap == 0 {
-			return false, nil
+	for {
+		iterCap := ^uint64(0)
+		if maxInst > 0 {
+			// Never overshoot the budget: cap whole iterations to the
+			// remaining headroom. A partial iteration is delegated to the
+			// block engine, which clamps per instruction.
+			iterCap = (maxInst - *n) / t.T
+			if iterCap == 0 {
+				return progressed, nil
+			}
 		}
-	}
-	iters, steps, rip := t.run(m, iterCap)
-	// Replay modelled cycles in program order: float accumulation does not
-	// commute, so the per-step costs are added exactly as the interpreter
-	// would. In-trace memory accesses carry no penalty (penalized accesses
-	// deoptimize before executing), so this replay is the whole cost.
-	costs := t.costs
-	cyc := m.Cycles
-	for it := uint64(0); it < iters; it++ {
-		for _, c := range costs {
-			cyc += c
+		iters, steps, rip := t.run(m, iterCap)
+		// Replay modelled cycles in program order: float accumulation does
+		// not commute, so the per-step costs are added exactly as the
+		// interpreter would. In-trace memory accesses carry no penalty
+		// (penalized accesses deoptimize before executing), so this replay
+		// is the whole cost.
+		costs := t.costs
+		cyc := m.Cycles
+		for it := uint64(0); it < iters; it++ {
+			for _, c := range costs {
+				cyc += c
+			}
 		}
-	}
-	for j := uint64(0); j < steps; j++ {
-		cyc += costs[j]
-	}
-	m.Cycles = cyc
-	retired := iters*t.T + steps
-	*n += retired
-	m.InstCount += retired
-	m.RIP = rip
-	traceCounters.runs.Add(1)
-	traceCounters.iters.Add(iters)
-	if steps != 0 {
-		traceCounters.sideExits.Add(1)
-	}
-	t.runs++
-	if !t.o3 && t.runs >= m.TraceOpts.o3Threshold() {
-		t.o3 = true // one shot, even if the recompile fails
-		o3req := *t.req
-		o3req.O3 = true
-		if run, err := loadTraceCompiler()(&o3req); err == nil {
-			t.run = run
-			traceCounters.compiledO3.Add(1)
+		for j := uint64(0); j < steps; j++ {
+			cyc += costs[j]
 		}
+		m.Cycles = cyc
+		retired := iters*t.T + steps
+		*n += retired
+		m.InstCount += retired
+		m.RIP = rip
+		traceCounters.runs.Add(1)
+		traceCounters.iters.Add(iters)
+		if steps != 0 {
+			traceCounters.sideExits.Add(1)
+		}
+		// Selection hint for polymorphic heads: a side exit that retired no
+		// complete iteration means the installed trace follows the wrong
+		// path for the current data — remember where it bailed so the next
+		// head arrival prefers (or records) a trace keyed to that context.
+		if iters == 0 && steps != 0 {
+			m.traceCtx = rip
+		} else if iters > 0 {
+			m.traceCtx = 0
+		}
+		t.runs++
+		if !t.o3 && t.runs >= m.TraceOpts.o3Threshold() {
+			t.o3 = true // one shot, even if the recompile fails
+			o3req := *t.req
+			o3req.O3 = true
+			if run, err := loadTraceCompiler()(&o3req); err == nil {
+				t.run = run
+				traceCounters.compiledO3.Add(1)
+			}
+		}
+		if maxInst > 0 && *n >= maxInst {
+			return true, fmt.Errorf("emu: instruction budget of %d exhausted at %#x", maxInst, m.RIP)
+		}
+		if retired == 0 {
+			return progressed, nil
+		}
+		progressed = true
+		// Trace-to-trace linking: if the exit RIP is another compiled trace
+		// head, hand off directly instead of bouncing through block
+		// dispatch per outer-loop iteration.
+		next := t.linkTo(m, rip)
+		if next == nil || next == t {
+			return true, nil
+		}
+		traceCounters.links.Add(1)
+		t = next
 	}
-	if maxInst > 0 && *n >= maxInst {
-		return true, fmt.Errorf("emu: instruction budget of %d exhausted at %#x", maxInst, m.RIP)
+}
+
+// linkTo resolves the trace to hand off to after a run left at rip, using
+// the per-exit link cache when its epoch is current, else re-resolving
+// through the page table. It never translates new code and returns nil when
+// rip is not a compiled trace head or the world changed under the trace
+// (code generation moved — the dispatcher must flush first).
+func (t *traceEntry) linkTo(m *Machine, rip uint64) *traceEntry {
+	if m.Mem.codeGen.Load() != m.cacheGen {
+		return nil
 	}
-	return retired > 0, nil
+	for i := range t.links {
+		l := &t.links[i]
+		if l.rip != rip {
+			continue
+		}
+		if l.epoch == m.chainEpoch {
+			return l.b.selectTrace(m.traceCtx)
+		}
+		// Stale epoch: the pages the link was resolved against may have
+		// been invalidated. Drop it and fall through to re-resolve.
+		traceCounters.linkInvalidations.Add(1)
+		t.links[i] = t.links[len(t.links)-1]
+		t.links = t.links[:len(t.links)-1]
+		break
+	}
+	pg := m.pages[rip>>pageShift]
+	if pg == nil {
+		return nil
+	}
+	b := pg.blocks[rip&pageMask]
+	if b == nil {
+		return nil
+	}
+	nt := b.selectTrace(m.traceCtx)
+	if nt == nil {
+		return nil
+	}
+	if len(t.links) < maxTraceLinks {
+		t.links = append(t.links, traceLink{rip: rip, b: b, epoch: m.chainEpoch})
+	}
+	return nt
 }

@@ -37,6 +37,15 @@ func CompileTrace(req *emu.TraceRequest) (emu.TraceRunFunc, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !req.NoNative {
+		// Native emission rejecting a trace (unsupported op shape, exotic
+		// cost model, non-amd64 host) is not an error: the bytecode VM is
+		// the always-correct fallback.
+		if np, nerr := buildNative(vm, prog, req.Head, req.O3); nerr == nil {
+			emu.CountTraceNativeCompile()
+			return np.run, nil
+		}
+	}
 	return vm.run, nil
 }
 

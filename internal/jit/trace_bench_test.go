@@ -41,14 +41,15 @@ func alukernCode(t testing.TB) []byte {
 	})
 }
 
-// BenchmarkEmuEngines measures the three execution tiers on the same
+// BenchmarkEmuEngines measures the execution tiers on the same
 // loop-dominated kernel: "interp" dispatches per instruction, "blocks"
-// runs pre-bound translated blocks, and "traces" compiles the hot loop
-// through lift -> opt -> the trace VM.
+// runs pre-bound translated blocks, "tracevm" compiles the hot loop
+// through lift -> opt -> the trace VM, and "traces" carries it the rest of
+// the way to native x86-64.
 func BenchmarkEmuEngines(b *testing.B) {
 	const iters = 4096
 	code := alukernCode(b)
-	bench := func(b *testing.B, mode engineMode) {
+	bench := func(b *testing.B, mode engineMode, noNative bool) {
 		mem := emu.NewMemory(0x1000000)
 		if _, err := mem.MapBytes(0x5000, code, "code"); err != nil {
 			b.Fatal(err)
@@ -56,7 +57,7 @@ func BenchmarkEmuEngines(b *testing.B) {
 		buf := mem.Alloc(4096, 64, "buf")
 		m := emu.NewMachine(mem)
 		configure(m, mode)
-		m.TraceOpts = emu.TraceOptions{} // defaults: realistic thresholds
+		m.TraceOpts = emu.TraceOptions{NoNativeTraces: noNative} // defaults: realistic thresholds
 		var insts uint64
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -72,7 +73,46 @@ func BenchmarkEmuEngines(b *testing.B) {
 			b.ReportMetric(float64(insts)/s, "inst/s")
 		}
 	}
-	b.Run("interp", func(b *testing.B) { bench(b, modeInterp) })
-	b.Run("blocks", func(b *testing.B) { bench(b, modeBlocks) })
-	b.Run("traces", func(b *testing.B) { bench(b, modeTraces) })
+	b.Run("interp", func(b *testing.B) { bench(b, modeInterp, false) })
+	b.Run("blocks", func(b *testing.B) { bench(b, modeBlocks, false) })
+	b.Run("tracevm", func(b *testing.B) { bench(b, modeTraces, true) })
+	b.Run("traces", func(b *testing.B) { bench(b, modeTraces, false) })
+}
+
+// BenchmarkEmuLinked measures the linked-kernel shape: two adjacent
+// do-while loops whose traces hand off to each other through the
+// trace-to-trace link cache, re-entered by an outer loop too large to
+// trace. "blocks" is the no-trace baseline; "tracevm" and "traces" split
+// the win between trace compilation and native emission + linking.
+func BenchmarkEmuLinked(b *testing.B) {
+	code := assembleAt(b, 0x5000, linkedLoops(64, 40, 40))
+	bench := func(b *testing.B, mode engineMode, noNative bool) {
+		mem := emu.NewMemory(0x1000000)
+		if _, err := mem.MapBytes(0x5000, code, "code"); err != nil {
+			b.Fatal(err)
+		}
+		m := emu.NewMachine(mem)
+		configure(m, mode)
+		m.TraceOpts = emu.TraceOptions{NoNativeTraces: noNative}
+		var insts uint64
+		before := emu.ReadTraceStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			if _, err := m.Call(0x5000, emu.CallArgs{}, 0); err != nil {
+				b.Fatal(err)
+			}
+			insts += m.InstCount
+		}
+		b.StopTimer()
+		after := emu.ReadTraceStats()
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(insts)/s, "inst/s")
+		}
+		// benchemu gates on the traces row having linked at least once.
+		b.ReportMetric(float64(after.Links-before.Links), "links")
+	}
+	b.Run("blocks", func(b *testing.B) { bench(b, modeBlocks, false) })
+	b.Run("tracevm", func(b *testing.B) { bench(b, modeTraces, true) })
+	b.Run("traces", func(b *testing.B) { bench(b, modeTraces, false) })
 }

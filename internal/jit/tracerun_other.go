@@ -1,0 +1,20 @@
+//go:build !amd64 || !linux
+
+package jit
+
+import "fmt"
+
+// Non-amd64/linux hosts run compiled traces on the bytecode VM only;
+// buildNative checks nativeTraceOK before anything else, so the stubs below
+// are unreachable.
+const nativeTraceOK = false
+
+func traceEnter(code uintptr, state *uint64) {
+	panic("jit: traceEnter on unsupported platform")
+}
+
+func allocExec(code []byte) ([]byte, error) {
+	return nil, fmt.Errorf("jit: native trace execution unsupported on this platform")
+}
+
+func freeExec(buf []byte) {}

@@ -114,4 +114,14 @@ func RegisterMetrics(reg *trace.Registry, prefix string, snapshot func() (Stats,
 		func() float64 { return float64(grab().Trace.Iters) })
 	reg.Counter(prefix+"_trace_side_exits_total", "Trace runs that deoptimized through a guard or memory side exit.",
 		func() float64 { return float64(grab().Trace.SideExits) })
+	// The native backend layered on the trace tier: superblocks compiled
+	// all the way to host x86-64 and stitched by the link cache.
+	reg.Counter(prefix+"_trace_native_compiles_total", "Emulator traces compiled to native x86-64 (vs. bytecode-VM fallback).",
+		func() float64 { return float64(grab().Trace.NativeCompiled) })
+	reg.Counter(prefix+"_trace_native_deopts_total", "Native trace runs that reconstructed state through an exit stub.",
+		func() float64 { return float64(grab().Trace.NativeDeopts) })
+	reg.Counter(prefix+"_trace_links_total", "Guard-exit handoffs dispatched through the trace-to-trace link cache.",
+		func() float64 { return float64(grab().Trace.Links) })
+	reg.Counter(prefix+"_trace_link_invalidations_total", "Cached trace links dropped by code-invalidation epoch bumps.",
+		func() float64 { return float64(grab().Trace.LinkInvalidations) })
 }
